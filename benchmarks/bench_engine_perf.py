@@ -1,0 +1,75 @@
+"""Engine performance micro-benchmarks.
+
+The hpc-parallel guides' first rule: measure before optimizing.  These
+benches track the simulator's own speed so a future "optimization" (or
+regression) is visible:
+
+* end-to-end run throughput in simulated-tasks per wall-second;
+* offline planning throughput (heuristic list scheduler) in tasks/s;
+* epoch cost with a non-trivial preemption policy attached.
+
+Unlike the figure benches these use multiple rounds — the point *is* the
+timing distribution.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import palmetto_cluster
+from repro.config import SimConfig
+from repro.core import DSPPreemption, DSPScheduler, HeuristicScheduler
+from repro.experiments import build_workload_for_cluster, default_config
+
+CLUSTER = palmetto_cluster(10)
+CONFIG = default_config()
+WORKLOAD = build_workload_for_cluster(
+    10, CLUSTER, scale=30.0, seed=41, config=CONFIG, demand_fraction=0.8
+)
+SIM = SimConfig(epoch=60.0, scheduling_period=300.0)
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_offline_planning(benchmark):
+    """Heuristic list-scheduling throughput (plan tasks/second)."""
+
+    def plan():
+        scheduler = HeuristicScheduler(CLUSTER, CONFIG)
+        return scheduler.schedule(list(WORKLOAD.jobs))
+
+    result = benchmark(plan)
+    assert len(result) == WORKLOAD.num_tasks
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_end_to_end_null_policy(benchmark):
+    """Full simulation without preemption: the engine's event-loop floor."""
+    from repro.sim import NullPreemption, SimEngine
+
+    def run():
+        engine = SimEngine(
+            CLUSTER, WORKLOAD.jobs,
+            DSPScheduler(CLUSTER, CONFIG, ilp_task_limit=0),
+            preemption=NullPreemption(), dsp_config=CONFIG, sim_config=SIM,
+        )
+        return engine.run()
+
+    m = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert m.tasks_completed == WORKLOAD.num_tasks
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_end_to_end_dsp_policy(benchmark):
+    """Full simulation with DSP preemption: epoch evaluation included."""
+    from repro.sim import SimEngine
+
+    def run():
+        engine = SimEngine(
+            CLUSTER, WORKLOAD.jobs,
+            DSPScheduler(CLUSTER, CONFIG, ilp_task_limit=0),
+            preemption=DSPPreemption(CONFIG), dsp_config=CONFIG, sim_config=SIM,
+        )
+        return engine.run()
+
+    m = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert m.tasks_completed == WORKLOAD.num_tasks

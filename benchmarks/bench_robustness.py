@@ -1,0 +1,95 @@
+"""Cross-seed robustness: do the reproduced orderings survive reseeding?
+
+A single-seed figure can get lucky.  This bench re-runs the headline
+claims across independent workload seeds and scores each ordering with
+:func:`~repro.experiments.trials.order_stability` (the fraction of
+(seed, x-point) cells where the claimed ascending order holds):
+
+* Fig. 5's "DSP beats TetrisW/oDep" must hold in **every** cell;
+* Fig. 6's "SRPT has the lowest throughput" must hold in every cell;
+* Fig. 6's full preemption-count ordering must hold in at least 70% of
+  cells (individual cells are noisy, exactly like individual bars in the
+  paper's plots — EXPERIMENTS.md reports the sweep totals).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    aggregate_trials,
+    fig5_makespan,
+    fig6_fig7_preemption,
+    order_stability,
+)
+
+SEEDS = (7, 101, 2023)
+JOBS = (15, 30)
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_fig5_ordering_stability(benchmark):
+    def run():
+        figs = [
+            fig5_makespan("cluster", job_counts=JOBS, scale=20.0, seed=s)
+            for s in SEEDS
+        ]
+        dsp_beats_blind = order_stability(
+            figs, "makespan", ["DSP", "TetrisW/oDep"]
+        )
+        dsp_near_best = order_stability(
+            figs, "makespan", ["DSP", "TetrisW/SimDep"], tolerance=0.10
+        )
+        print(f"\n  DSP < TetrisW/oDep: {dsp_beats_blind:.0%} of cells")
+        print(f"  DSP <= SimDep (10% tol): {dsp_near_best:.0%} of cells")
+        assert dsp_beats_blind == 1.0
+        assert dsp_near_best >= 0.5
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_fig6_ordering_stability(benchmark):
+    def run():
+        figs = [
+            fig6_fig7_preemption("cluster", job_counts=JOBS, scale=20.0, seed=s)
+            for s in SEEDS
+        ]
+        srpt_worst_thr = order_stability(
+            figs, "throughput_tasks_per_ms", ["SRPT", "Amoeba"]
+        ) * order_stability(figs, "throughput_tasks_per_ms", ["SRPT", "Natjam"])
+        dsp_zero_disorders = all(
+            v == 0 for f in figs for v in f.series["DSP"]["num_disorders"]
+        )
+        preemption_order = order_stability(
+            figs, "num_preemptions",
+            ["DSP", "DSPW/oPP", "Natjam", "Amoeba", "SRPT"],
+            tolerance=0.15,
+        )
+        print(f"\n  SRPT lowest throughput: {srpt_worst_thr:.0%} of cells")
+        print(f"  DSP zero disorders: {dsp_zero_disorders}")
+        print(f"  full preemption ordering (15% tol): {preemption_order:.0%} of cells")
+        assert srpt_worst_thr == 1.0
+        assert dsp_zero_disorders
+        assert preemption_order >= 0.7
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="robustness")
+def test_fig6_trial_means(benchmark):
+    """Means over the seeds tell the same story the single-seed tables do."""
+
+    def run():
+        agg = aggregate_trials(
+            lambda s: fig6_fig7_preemption("cluster", job_counts=(15,), scale=20.0, seed=s),
+            seeds=SEEDS,
+        )
+        thr = {m: agg.mean_of(m, "throughput_tasks_per_ms")[0] for m in agg.mean.methods()}
+        pre = {m: agg.mean_of(m, "num_preemptions")[0] for m in agg.mean.methods()}
+        print(f"\n  mean throughput: { {k: round(v*1000, 4) for k, v in thr.items()} }")
+        print(f"  mean preemptions: { {k: round(v) for k, v in pre.items()} }")
+        assert thr["SRPT"] == min(thr.values())
+        assert pre["DSP"] <= pre["DSPW/oPP"] <= pre["SRPT"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

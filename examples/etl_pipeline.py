@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Domain example: a deadline-bound ETL/analytics pipeline.
+
+The paper's intro motivates DSP with data-parallel analytics whose stages
+form a DAG — ingest, per-partition transforms, joins, aggregation, report.
+This example builds exactly that shape for three concurrent pipelines
+with different SLAs, schedules them with DSP, and shows how the
+dependency-aware priority (Eq. 12) front-loads the tasks that unlock the
+most downstream work.
+
+Run:  python examples/etl_pipeline.py
+"""
+
+from repro.cluster import ResourceVector, uniform_cluster
+from repro.config import DSPConfig, SimConfig
+from repro.core import DSPSystem, PriorityEvaluator
+from repro.dag import Job, Task
+from repro.sim import SimEngine
+
+DEMAND = ResourceVector(cpu=1.0, mem=1.0, disk=0.02, bandwidth=0.02)
+
+
+def etl_job(job_id: str, partitions: int, deadline: float, arrival: float) -> Job:
+    """ingest -> N transforms -> N cleanups -> join -> report."""
+
+    def t(name: str, size: float, parents=()) -> Task:
+        return Task(
+            task_id=f"{job_id}.{name}", job_id=job_id, size_mi=size,
+            demand=DEMAND, parents=tuple(f"{job_id}.{p}" for p in parents),
+        )
+
+    tasks = [t("ingest", 2000.0)]
+    for i in range(partitions):
+        tasks.append(t(f"transform{i}", 3000.0, parents=["ingest"]))
+        tasks.append(t(f"cleanup{i}", 1000.0, parents=[f"transform{i}"]))
+    tasks.append(
+        t("join", 4000.0, parents=[f"cleanup{i}" for i in range(partitions)])
+    )
+    tasks.append(t("report", 500.0, parents=["join"]))
+    return Job.from_tasks(job_id, tasks, deadline=deadline, arrival_time=arrival)
+
+
+def main() -> None:
+    cluster = uniform_cluster(3, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+    jobs = [
+        etl_job("hourly", partitions=4, deadline=60.0, arrival=0.0),
+        etl_job("daily", partitions=6, deadline=120.0, arrival=0.0),
+        etl_job("adhoc", partitions=2, deadline=90.0, arrival=5.0),
+    ]
+
+    config = DSPConfig()
+    system = DSPSystem.build(cluster, config)
+
+    # --- The Eq. 12 story: which tasks does DSP consider most valuable?
+    all_tasks = {tid: task for job in jobs for tid, task in job.tasks.items()}
+    evaluator = PriorityEvaluator(config, all_tasks)
+    rate = cluster.nodes[0].processing_rate()
+    signals = {
+        tid: task.execution_time(rate) for tid, task in all_tasks.items()
+    }
+    pri = evaluator.compute(
+        remaining=signals,
+        waiting={tid: 0.0 for tid in all_tasks},
+        allowable={tid: 10.0 for tid in all_tasks},
+    )
+    print("top-5 priority tasks (Eq. 12 — gates to the most downstream work):")
+    for tid in sorted(pri, key=pri.get, reverse=True)[:5]:
+        print(f"  {pri[tid]:10.2f}  {tid}")
+    assert all("ingest" in tid for tid in sorted(pri, key=pri.get, reverse=True)[:3]), (
+        "the ingest stages gate everything and must rank highest"
+    )
+
+    # --- Simulate the three pipelines under DSP.
+    engine = SimEngine(
+        cluster, jobs, system.scheduler, preemption=system.preemption,
+        dsp_config=config, sim_config=SimConfig(epoch=2.0, scheduling_period=20.0),
+    )
+    metrics = engine.run()
+    print(f"\nall pipelines done in {metrics.makespan:.1f} s; "
+          f"{metrics.jobs_within_deadline}/{metrics.jobs_completed} met their SLA; "
+          f"{metrics.num_preemptions} preemptions, {metrics.num_disorders} disorders")
+
+
+if __name__ == "__main__":
+    main()

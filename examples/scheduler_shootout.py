@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Compare the scheduling methods on one trace-shaped workload.
+
+Generates a Google-trace-like workload calibrated to a scaled Palmetto
+cluster and runs the four §V-A methods (DSP, Aalo, TetrisW/SimDep,
+TetrisW/oDep) plus the extension baselines (Graphene-lite, FCFS)
+head-to-head — a miniature of the paper's Fig. 5 experiment you can tweak
+interactively.
+
+Run:  python examples/scheduler_shootout.py [num_jobs]
+"""
+
+import sys
+
+from repro.cluster import palmetto_cluster
+from repro.experiments import (
+    build_workload_for_cluster,
+    default_config,
+    default_sim_config,
+    make_extended_schedulers,
+    run_scheduling,
+    series_table,
+)
+
+
+def main() -> None:
+    num_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 12
+    cluster = palmetto_cluster(8)
+    config = default_config()
+    workload = build_workload_for_cluster(
+        num_jobs, cluster, scale=30.0, seed=1, config=config, demand_fraction=0.8
+    )
+    print(
+        f"workload: {len(workload.jobs)} jobs / {workload.num_tasks} tasks "
+        f"on {len(cluster)} nodes\n"
+    )
+
+    rows: dict[str, list[float]] = {}
+    details: dict[str, dict[str, float]] = {}
+    for name, scheduler in make_extended_schedulers(cluster, config).items():
+        metrics = run_scheduling(
+            workload, cluster, scheduler, config=config,
+            sim_config=default_sim_config(),
+        )
+        rows[name] = [metrics.makespan]
+        details[name] = {
+            "disorders": metrics.num_disorders,
+            "within_deadline": metrics.jobs_within_deadline,
+            "avg_wait": metrics.avg_job_waiting,
+        }
+
+    print(series_table("metric", ["makespan (s)"], rows))
+    print()
+    for name, d in details.items():
+        print(
+            f"{name:16s} disorders={d['disorders']:5.0f}  "
+            f"in-deadline={d['within_deadline']:3.0f}/{len(workload.jobs)}  "
+            f"avg wait={d['avg_wait']:8.1f} s"
+        )
+
+    best = min(rows, key=lambda n: rows[n][0])
+    print(f"\nbest makespan: {best}")
+
+
+if __name__ == "__main__":
+    main()

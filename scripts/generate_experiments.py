@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Regenerate the measured tables embedded in EXPERIMENTS.md.
+
+Usage:  python3 scripts/generate_experiments.py > /tmp/tables.md
+Then splice the output into EXPERIMENTS.md under the per-figure sections.
+"""
+
+from repro.experiments import (
+    fig5_makespan,
+    fig6_fig7_preemption,
+    fig8_scalability,
+    figure_markdown,
+)
+
+JOBS = (15, 30, 45, 60, 75)
+
+
+def main() -> None:
+    print("<!-- auto-generated tables: python3 scripts/generate_experiments.py -->\n")
+    for profile, label in (("cluster", "5a"), ("ec2", "5b")):
+        fig = fig5_makespan(profile, job_counts=JOBS, scale=20.0, seed=7)
+        print(
+            f"### Fig. {label} — makespan vs #jobs "
+            f"({profile} profile, {fig.meta['nodes']} nodes)\n"
+        )
+        print(figure_markdown(fig, ("makespan",)))
+
+    for profile, label in (("cluster", "6"), ("ec2", "7")):
+        fig = fig6_fig7_preemption(profile, job_counts=JOBS, scale=20.0, seed=7)
+        print(
+            f"### Fig. {label} — preemption methods "
+            f"({profile} profile, {fig.meta['nodes']} nodes)\n"
+        )
+        print(
+            figure_markdown(
+                fig,
+                (
+                    "num_disorders",
+                    "throughput_tasks_per_ms",
+                    "avg_job_waiting",
+                    "num_preemptions",
+                ),
+            )
+        )
+
+    fig = fig8_scalability(job_counts=(50, 100, 150, 200, 250), scale=40.0, seed=7)
+    print("### Fig. 8 — DSP scalability (both profiles)\n")
+    print(figure_markdown(fig, ("makespan", "throughput_tasks_per_ms")))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Setup shim: enables legacy `pip install -e .` on environments whose
+setuptools lacks PEP 660 editable support (no `wheel` package installed)."""
+from setuptools import setup
+
+setup()

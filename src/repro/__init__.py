@@ -1,0 +1,25 @@
+"""repro — reproduction of DSP (Dependency-aware Scheduling and Preemption).
+
+Public entry points:
+
+* :mod:`repro.dag` — task/job DAG model and generators
+* :mod:`repro.cluster` — node/cluster model and testbed profiles
+* :mod:`repro.trace` — synthetic Google-trace substrate and workload builder
+* :mod:`repro.sim` — discrete-event cluster simulator
+* :mod:`repro.core` — the DSP scheduler and preemption engine
+* :mod:`repro.baselines` — Tetris / Aalo / Amoeba / Natjam / SRPT
+* :mod:`repro.experiments` — figure-reproduction harnesses
+"""
+
+from .config import DSPConfig, SimConfig
+from .locality import locality_fraction, with_random_inputs
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DSPConfig",
+    "SimConfig",
+    "locality_fraction",
+    "with_random_inputs",
+    "__version__",
+]

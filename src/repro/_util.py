@@ -1,0 +1,98 @@
+"""Shared utilities: RNG handling, validation helpers, small numerics.
+
+Every stochastic component of the library accepts either a seed or a
+:class:`numpy.random.Generator` so that experiments are reproducible
+bit-for-bit.  :func:`ensure_rng` is the single conversion point.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ensure_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_probability",
+    "weighted_mean",
+    "pairwise_mean_gap",
+    "EPS",
+]
+
+#: Numerical tolerance used throughout the simulator for time comparisons.
+EPS = 1e-9
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for *seed*.
+
+    Accepts an existing generator (returned unchanged), an integer seed, or
+    ``None`` (fresh OS-entropy generator).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def check_positive(value: float, name: str) -> float:
+    """Validate that *value* is strictly positive; return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Validate that *value* is >= 0; return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Validate that *value* lies in the closed interval [0, 1]; return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Alias of :func:`check_fraction` kept for readability at call sites."""
+    return check_fraction(value, name)
+
+
+def weighted_mean(values: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean; raises on mismatched or empty input."""
+    if len(values) != len(weights):
+        raise ValueError("values and weights must have equal length")
+    if not values:
+        raise ValueError("weighted_mean of empty sequence")
+    total_w = float(sum(weights))
+    if total_w <= 0:
+        raise ValueError("weights must sum to a positive value")
+    return float(sum(v * w for v, w in zip(values, weights)) / total_w)
+
+
+def pairwise_mean_gap(sorted_values: Iterable[float]) -> float:
+    """Mean gap between consecutive values of an ascending sequence.
+
+    This is the paper's :math:`\\bar P` — the average priority difference
+    between neighbouring tasks once all tasks are sorted by priority
+    (Section IV-B).  Returns 0.0 when fewer than two values are given or
+    when all values coincide.
+    """
+    vals = list(sorted_values)
+    if len(vals) < 2:
+        return 0.0
+    gaps = [b - a for a, b in zip(vals, vals[1:])]
+    if any(g < -EPS for g in gaps):
+        raise ValueError("pairwise_mean_gap expects ascending values")
+    return float(sum(gaps) / len(gaps))
+
+
+def isclose(a: float, b: float, tol: float = EPS) -> bool:
+    """Absolute-tolerance float comparison used by the simulator clock."""
+    return math.isclose(a, b, rel_tol=0.0, abs_tol=tol)

@@ -1,0 +1,21 @@
+"""Compared methods: scheduling baselines (Tetris variants, Aalo) and
+preemption baselines (Amoeba, Natjam, SRPT)."""
+
+from .fcfs import FCFSScheduler
+from .graphene import GrapheneLiteScheduler
+from .tetris import TetrisScheduler
+from .aalo import AaloScheduler
+from .amoeba import AmoebaPreemption
+from .natjam import NatjamPreemption, PRODUCTION_WEIGHT
+from .srpt import SRPTPreemption
+
+__all__ = [
+    "FCFSScheduler",
+    "GrapheneLiteScheduler",
+    "TetrisScheduler",
+    "AaloScheduler",
+    "AmoebaPreemption",
+    "NatjamPreemption",
+    "PRODUCTION_WEIGHT",
+    "SRPTPreemption",
+]

@@ -1,0 +1,69 @@
+"""FCFS placement — the no-intelligence scheduler.
+
+§III closes with: "if the high time overhead of the offline method is a
+concern for a data-parallel cluster, then it can only run the online
+dependency-aware preemption method to achieve high throughput."  To make
+that mode runnable we need a deliberately naive offline stage: first-come
+first-served over arrival order, tasks in topological order within a job,
+placed on whichever node can start soonest.  Pairing this with
+:class:`~repro.core.preemption.DSPPreemption` yields the paper's
+online-only configuration; pairing it with no preemption gives the floor
+both DSP phases are measured against (``benchmarks/bench_modes.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.cluster import Cluster
+from ..config import DSPConfig
+from ..core.lanes import LaneTimelines
+from ..core.schedule import Schedule, TaskAssignment
+from ..dag.job import Job
+
+__all__ = ["FCFSScheduler"]
+
+
+class FCFSScheduler:
+    """Arrival-ordered, earliest-start placement with no look-ahead."""
+
+    respects_dependencies = True
+    name = "FCFS"
+
+    def __init__(self, cluster: Cluster, config: DSPConfig | None = None):
+        self._cluster = cluster
+        self._config = config or DSPConfig()
+        self._rates = {
+            n.node_id: n.processing_rate(self._config.theta_cpu, self._config.theta_mem)
+            for n in cluster
+        }
+        self._timelines = LaneTimelines(cluster)
+
+    def reset(self) -> None:
+        """Forget previously planned batches."""
+        self._timelines.reset()
+
+    def schedule(self, jobs: Sequence[Job]) -> Schedule:
+        """Place jobs strictly in arrival order (ties by id), tasks in
+        topological order — no rank, no packing objective."""
+        ordered = sorted(jobs, key=lambda j: (j.arrival_time, j.job_id))
+        self._timelines.ensure_sized(jobs)
+        assignments: dict[str, TaskAssignment] = {}
+        finish: dict[str, float] = {}
+        for job in ordered:
+            for tid in job.topo_order:
+                task = job.tasks[tid]
+                ready = max(
+                    job.arrival_time,
+                    max((finish[p] for p in task.parents), default=0.0),
+                )
+                nid, start, end = self._timelines.place_earliest_start(
+                    task.demand.as_tuple(),
+                    ready,
+                    lambda n: task.execution_time(self._rates[n]),
+                )
+                finish[tid] = end
+                assignments[tid] = TaskAssignment(
+                    task_id=tid, node_id=nid, start=start, finish=end
+                )
+        return Schedule(assignments)

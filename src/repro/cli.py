@@ -1,0 +1,231 @@
+"""Command-line interface: reproduce any figure or run a custom experiment.
+
+Examples
+--------
+Reproduce Fig. 5(a) at the default (scaled) sizes::
+
+    python -m repro fig5 --profile cluster
+
+Reproduce Fig. 6 with a quicker sweep::
+
+    python -m repro fig6 --jobs 15 30
+
+Scalability (Fig. 8)::
+
+    python -m repro fig8
+
+One custom run, any scheduler × preemption policy::
+
+    python -m repro run --scheduler DSP --policy SRPT --jobs 30
+
+Parameter ablation::
+
+    python -m repro ablate --param rho
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .experiments import (
+    DEFAULT_SWEEPS,
+    PREEMPTION_NAMES,
+    SCHEDULER_NAMES,
+    ablation_report,
+    build_workload_for_cluster,
+    cluster_profile,
+    default_config,
+    default_sim_config,
+    fig5_makespan,
+    fig6_fig7_preemption,
+    fig8_scalability,
+    figure_report,
+    make_preemption_policies,
+    make_schedulers,
+    run_preemption,
+    run_scheduling,
+    sweep_parameter,
+)
+
+__all__ = ["main", "build_parser"]
+
+_FIG6_METRICS = (
+    "num_disorders",
+    "throughput_tasks_per_ms",
+    "avg_job_waiting",
+    "num_preemptions",
+)
+_FIG8_METRICS = ("makespan", "throughput_tasks_per_ms")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro CLI argument parser (exposed for tests)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the DSP (CLUSTER 2018) evaluation figures.",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_common(sp: argparse.ArgumentParser, default_jobs: Sequence[int]) -> None:
+        sp.add_argument(
+            "--jobs", type=int, nargs="+", default=list(default_jobs),
+            help="job counts to sweep (x axis)",
+        )
+        sp.add_argument(
+            "--scale", type=float, default=20.0,
+            help="per-job task-count divisor vs the paper (default 20)",
+        )
+        sp.add_argument(
+            "--node-scale", type=float, default=5.0,
+            help="node-count divisor vs the paper (default 5)",
+        )
+        sp.add_argument("--seed", type=int, default=7, help="base RNG seed")
+        sp.add_argument(
+            "--out", type=str, default=None, metavar="FILE.json",
+            help="also save the sweep as JSON (reload with load_figure)",
+        )
+
+    sp5 = sub.add_parser("fig5", help="Fig. 5: makespan vs #jobs, 4 schedulers")
+    sp5.add_argument("--profile", choices=("cluster", "ec2"), default="cluster")
+    add_common(sp5, (15, 30, 45, 60, 75))
+
+    sp6 = sub.add_parser("fig6", help="Fig. 6: preemption metrics on the real cluster")
+    add_common(sp6, (15, 30, 45, 60, 75))
+
+    sp7 = sub.add_parser("fig7", help="Fig. 7: preemption metrics on EC2")
+    add_common(sp7, (15, 30, 45, 60, 75))
+
+    sp8 = sub.add_parser("fig8", help="Fig. 8: DSP scalability on both testbeds")
+    add_common(sp8, (50, 100, 150, 200, 250))
+
+    spr = sub.add_parser("run", help="one custom scheduler × policy run")
+    spr.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="DSP")
+    spr.add_argument("--policy", choices=(*PREEMPTION_NAMES, "none"), default="none")
+    spr.add_argument("--profile", choices=("cluster", "ec2"), default="cluster")
+    spr.add_argument("--jobs", type=int, default=30)
+    spr.add_argument("--scale", type=float, default=20.0)
+    spr.add_argument("--node-scale", type=float, default=5.0)
+    spr.add_argument("--seed", type=int, default=7)
+    spr.add_argument(
+        "--mtbf", type=float, default=None,
+        help="inject node failures with this mean time between failures (s)",
+    )
+    spr.add_argument(
+        "--locality", type=float, default=None, metavar="FRACTION",
+        help="give this fraction of root tasks located input data (§VI)",
+    )
+    spr.add_argument(
+        "--analyze", action="store_true",
+        help="print the post-run fairness/slowdown/utilization analysis",
+    )
+    spr.add_argument(
+        "--gantt", action="store_true",
+        help="record the execution trace and print per-node Gantt lanes",
+    )
+
+    spa = sub.add_parser("ablate", help="parameter-sensitivity sweep for DSP")
+    spa.add_argument("--param", choices=sorted(DEFAULT_SWEEPS), required=True)
+    spa.add_argument("--values", type=float, nargs="+", default=None)
+    spa.add_argument("--jobs", type=int, default=30)
+    spa.add_argument("--seed", type=int, default=7)
+
+    return p
+
+
+def _maybe_save(fig, args) -> None:
+    """Persist a figure sweep when --out was given."""
+    out = getattr(args, "out", None)
+    if out:
+        from .experiments import save_figure
+
+        path = save_figure(fig, out)
+        print(f"\nsaved: {path}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig5":
+        fig = fig5_makespan(
+            args.profile, args.jobs, scale=args.scale,
+            node_scale=args.node_scale, seed=args.seed,
+        )
+        print(figure_report(fig, ("makespan",)))
+        _maybe_save(fig, args)
+    elif args.command in ("fig6", "fig7"):
+        profile = "cluster" if args.command == "fig6" else "ec2"
+        fig = fig6_fig7_preemption(
+            profile, args.jobs, scale=args.scale,
+            node_scale=args.node_scale, seed=args.seed,
+        )
+        print(figure_report(fig, _FIG6_METRICS))
+        _maybe_save(fig, args)
+    elif args.command == "fig8":
+        fig = fig8_scalability(
+            args.jobs, scale=max(args.scale, 40.0),
+            node_scale=args.node_scale, seed=args.seed,
+        )
+        print(figure_report(fig, _FIG8_METRICS))
+        _maybe_save(fig, args)
+    elif args.command == "run":
+        from .experiments import analysis_report, compute_level_deadlines
+        from .locality import with_random_inputs
+        from .sim import NullPreemption, SimEngine, random_fault_plan
+
+        cluster = cluster_profile(args.profile, args.node_scale)
+        cfg = default_config()
+        sim = default_sim_config()
+        workload = build_workload_for_cluster(
+            args.jobs, cluster, scale=args.scale, seed=args.seed, config=cfg,
+        )
+        jobs = list(workload.jobs)
+        if args.locality is not None:
+            jobs = with_random_inputs(
+                jobs, cluster, rng=args.seed, fraction=args.locality
+            )
+        faults = None
+        if args.mtbf is not None:
+            faults = random_fault_plan(
+                cluster, horizon=sim.horizon / 100, rng=args.seed, mtbf=args.mtbf
+            )
+        scheduler = make_schedulers(cluster, cfg)[args.scheduler]
+        policy = (
+            NullPreemption()
+            if args.policy == "none"
+            else make_preemption_policies(cfg)[args.policy]
+        )
+        engine = SimEngine(
+            cluster, jobs, scheduler, preemption=policy, dsp_config=cfg,
+            sim_config=sim,
+            task_deadlines=compute_level_deadlines(workload, cluster, cfg),
+            dependency_aware_dispatch=(
+                getattr(scheduler, "respects_dependencies", True)
+                if args.policy == "none"
+                else policy.respects_dependencies
+            ),
+            faults=faults,
+            record_trace=args.gantt,
+        )
+        metrics = engine.run()
+        for key, value in sorted(metrics.as_dict().items()):
+            print(f"{key:28s} {value:.6g}")
+        if args.analyze:
+            print()
+            print(analysis_report(engine))
+        if args.gantt and engine.trace is not None:
+            from .sim import gantt_chart
+
+            print()
+            print(gantt_chart(engine.trace, [n.node_id for n in cluster]))
+    elif args.command == "ablate":
+        values = tuple(args.values) if args.values else DEFAULT_SWEEPS[args.param]
+        results = sweep_parameter(args.param, values, num_jobs=args.jobs, seed=args.seed)
+        print(ablation_report(args.param, results))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""Cluster model: resources, node specs, cluster container, testbed profiles."""
+
+from .resources import ResourceVector, ZERO_RESOURCES
+from .node import NodeSpec
+from .cluster import Cluster
+from .machine_specs import (
+    EC2_NODE_COUNT,
+    PALMETTO_NODE_COUNT,
+    ec2_cluster,
+    ec2_node,
+    palmetto_cluster,
+    palmetto_node,
+    uniform_cluster,
+)
+
+__all__ = [
+    "ResourceVector",
+    "ZERO_RESOURCES",
+    "NodeSpec",
+    "Cluster",
+    "EC2_NODE_COUNT",
+    "PALMETTO_NODE_COUNT",
+    "ec2_cluster",
+    "ec2_node",
+    "palmetto_cluster",
+    "palmetto_node",
+    "uniform_cluster",
+]

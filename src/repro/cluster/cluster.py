@@ -1,0 +1,76 @@
+"""Cluster container: an immutable, ordered collection of node specs."""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from .node import NodeSpec
+from .resources import ResourceVector
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """An ordered set of :class:`NodeSpec` with lookup by id and index.
+
+    The ordering is significant: the ILP and the heuristic scheduler index
+    nodes by position, and determinism of assignments depends on a stable
+    node order.
+    """
+
+    def __init__(self, nodes: Sequence[NodeSpec]):
+        if not nodes:
+            raise ValueError("a cluster must contain at least one node")
+        ids = [n.node_id for n in nodes]
+        if len(set(ids)) != len(ids):
+            dupes = sorted({i for i in ids if ids.count(i) > 1})
+            raise ValueError(f"duplicate node ids: {dupes}")
+        self._nodes: tuple[NodeSpec, ...] = tuple(nodes)
+        self._by_id: dict[str, NodeSpec] = {n.node_id: n for n in self._nodes}
+        self._index: dict[str, int] = {n.node_id: i for i, n in enumerate(self._nodes)}
+
+    # -- access ----------------------------------------------------------
+    @property
+    def nodes(self) -> tuple[NodeSpec, ...]:
+        """All node specs in cluster order."""
+        return self._nodes
+
+    def node(self, node_id: str) -> NodeSpec:
+        """Look a node up by id; raises KeyError when absent."""
+        return self._by_id[node_id]
+
+    def index_of(self, node_id: str) -> int:
+        """Position of *node_id* in cluster order."""
+        return self._index[node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[NodeSpec]:
+        return iter(self._nodes)
+
+    def __contains__(self, node_id: object) -> bool:
+        return node_id in self._by_id
+
+    # -- aggregates ------------------------------------------------------
+    def total_capacity(self) -> ResourceVector:
+        """Element-wise sum of all node capacities."""
+        total = ResourceVector()
+        for n in self._nodes:
+            total = total + n.capacity
+        return total
+
+    def total_rate(self, theta_cpu: float = 0.5, theta_mem: float = 0.5) -> float:
+        """Aggregate processing rate (MIPS) of the cluster — used for
+        quick lower bounds on makespan (total work / total rate)."""
+        return sum(n.processing_rate(theta_cpu, theta_mem) for n in self._nodes)
+
+    def fastest_node(self, theta_cpu: float = 0.5, theta_mem: float = 0.5) -> NodeSpec:
+        """The node with the highest g(k); ties broken by cluster order."""
+        return max(
+            self._nodes,
+            key=lambda n: (n.processing_rate(theta_cpu, theta_mem), -self._index[n.node_id]),
+        )
+
+    def __repr__(self) -> str:
+        return f"Cluster({len(self._nodes)} nodes)"

@@ -1,0 +1,93 @@
+"""Machine profiles of the paper's two testbeds.
+
+§V: the real-cluster experiments ran on 50 Palmetto servers (Sun X2200,
+AMD Opteron 2356, 16 GB RAM); the cloud experiments on 30 Amazon EC2
+instances backed by HP ProLiant ML110 G5 hardware (2660 MIPS CPU, 4 GB
+RAM).  Every server had 1 GB/s bandwidth and 720 GB disk.
+
+These factories are the single source of truth for those numbers; the
+figure harnesses build clusters exclusively through them so the
+"cluster vs EC2" deltas in Figs. 6 vs 7 trace back to exactly these specs.
+"""
+
+from __future__ import annotations
+
+from .cluster import Cluster
+from .node import NodeSpec
+
+__all__ = [
+    "palmetto_node",
+    "ec2_node",
+    "palmetto_cluster",
+    "ec2_cluster",
+    "uniform_cluster",
+    "PALMETTO_NODE_COUNT",
+    "EC2_NODE_COUNT",
+]
+
+#: Node counts of the paper's two testbeds.
+PALMETTO_NODE_COUNT = 50
+EC2_NODE_COUNT = 30
+
+_DISK_MB = 720_000.0  # 720 GB
+_BANDWIDTH_MBPS = 1000.0  # 1 GB/s
+
+
+def palmetto_node(node_id: str) -> NodeSpec:
+    """One Palmetto server: Opteron 2356 (8 cores) with 16 GB RAM.
+
+    ``mips_per_unit`` is calibrated so that g(k) with the default
+    θ1 = θ2 = 0.5 lands near the Opteron 2356's aggregate ~9200 MIPS.
+    """
+    return NodeSpec(
+        node_id=node_id,
+        cpu_size=8.0,
+        mem_size=16.0,
+        disk_capacity=_DISK_MB,
+        bandwidth_capacity=_BANDWIDTH_MBPS,
+        mips_per_unit=766.7,
+    )
+
+
+def ec2_node(node_id: str) -> NodeSpec:
+    """One EC2 instance: HP ProLiant ML110 G5 class, 2660 MIPS, 4 GB RAM."""
+    return NodeSpec(
+        node_id=node_id,
+        cpu_size=4.0,
+        mem_size=4.0,
+        disk_capacity=_DISK_MB,
+        bandwidth_capacity=_BANDWIDTH_MBPS,
+        mips_per_unit=665.0,
+    )
+
+
+def palmetto_cluster(num_nodes: int = PALMETTO_NODE_COUNT) -> Cluster:
+    """The paper's real-cluster testbed: *num_nodes* Palmetto servers."""
+    return Cluster([palmetto_node(f"palmetto-{i:02d}") for i in range(num_nodes)])
+
+
+def ec2_cluster(num_nodes: int = EC2_NODE_COUNT) -> Cluster:
+    """The paper's cloud testbed: *num_nodes* EC2 instances."""
+    return Cluster([ec2_node(f"ec2-{i:02d}") for i in range(num_nodes)])
+
+
+def uniform_cluster(
+    num_nodes: int,
+    cpu_size: float = 4.0,
+    mem_size: float = 8.0,
+    mips_per_unit: float = 100.0,
+) -> Cluster:
+    """A homogeneous cluster for unit tests and micro-benchmarks."""
+    return Cluster(
+        [
+            NodeSpec(
+                node_id=f"node-{i:02d}",
+                cpu_size=cpu_size,
+                mem_size=mem_size,
+                disk_capacity=_DISK_MB,
+                bandwidth_capacity=_BANDWIDTH_MBPS,
+                mips_per_unit=mips_per_unit,
+            )
+            for i in range(num_nodes)
+        ]
+    )

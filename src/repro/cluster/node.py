@@ -1,0 +1,78 @@
+"""Node (server) model.
+
+A :class:`NodeSpec` is the static description of one server: its CPU and
+memory sizes (which determine the processing rate ``g(k)`` of Eq. 1), plus
+disk and bandwidth capacities.  The paper's experiments fix 1 GB/s
+bandwidth and 720 GB disk per server in both testbeds.
+
+Runtime occupancy (which tasks are running, free capacity, the waiting
+queue) is tracked by the simulator's :class:`~repro.sim.engine.NodeRuntime`;
+keeping the spec immutable lets one cluster description be shared across
+policy runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .._util import check_positive
+from .resources import ResourceVector
+
+__all__ = ["NodeSpec"]
+
+
+@dataclass(frozen=True, slots=True)
+class NodeSpec:
+    """Static description of one cluster node (server).
+
+    Attributes
+    ----------
+    node_id:
+        Unique identifier (``"palmetto-07"``).
+    cpu_size:
+        :math:`s^k_{cpu}` — CPU size (cores or a normalized CPU figure).
+    mem_size:
+        :math:`s^k_{mem}` — memory size in GB.
+    disk_capacity:
+        Disk capacity in MB (experiments: 720 GB = 720_000 MB).
+    bandwidth_capacity:
+        Network bandwidth in MB/s (experiments: 1 GB/s = 1000 MB/s).
+    mips_per_unit:
+        Scale factor translating the weighted CPU+mem size into MIPS; lets
+        profiles calibrate ``g(k)`` to a testbed figure (e.g. the EC2
+        instances' 2660 MIPS).
+    """
+
+    node_id: str
+    cpu_size: float
+    mem_size: float
+    disk_capacity: float = 720_000.0
+    bandwidth_capacity: float = 1000.0
+    mips_per_unit: float = 100.0
+
+    def __post_init__(self) -> None:
+        if not self.node_id:
+            raise ValueError("node_id must be non-empty")
+        check_positive(self.cpu_size, "cpu_size")
+        check_positive(self.mem_size, "mem_size")
+        check_positive(self.disk_capacity, "disk_capacity")
+        check_positive(self.bandwidth_capacity, "bandwidth_capacity")
+        check_positive(self.mips_per_unit, "mips_per_unit")
+
+    def processing_rate(self, theta_cpu: float = 0.5, theta_mem: float = 0.5) -> float:
+        """Processing rate ``g(k) = θ1·s_cpu + θ2·s_mem`` (Eq. 1), scaled to
+        MIPS via :attr:`mips_per_unit`."""
+        weighted = theta_cpu * self.cpu_size + theta_mem * self.mem_size
+        if weighted <= 0:
+            raise ValueError("processing rate must be positive; check theta weights")
+        return weighted * self.mips_per_unit
+
+    @property
+    def capacity(self) -> ResourceVector:
+        """Total resource capacity of this node as a vector."""
+        return ResourceVector(
+            cpu=self.cpu_size,
+            mem=self.mem_size,
+            disk=self.disk_capacity,
+            bandwidth=self.bandwidth_capacity,
+        )

@@ -1,0 +1,162 @@
+"""Configuration objects mirroring the paper's Table II parameter settings.
+
+:class:`DSPConfig` collects every tunable that appears in the paper —
+priority weights (Eq. 12–13), preemption thresholds (Algorithm 1), the
+normalized-priority factor ρ, and the scheduling cadence — with the
+defaults of Table II.  Experiments construct one config and pass it to the
+scheduler, preemption engine and simulator so a run is fully described by
+(config, workload, cluster, seed).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from ._util import check_fraction, check_non_negative, check_positive
+
+__all__ = ["DSPConfig", "SimConfig"]
+
+
+@dataclass(frozen=True)
+class DSPConfig:
+    """Parameters of the DSP system (paper Table II).
+
+    Attributes
+    ----------
+    theta_cpu, theta_mem:
+        θ1/θ2 — weights of CPU and memory size in the node processing-rate
+        function ``g(k) = θ1·s_cpu + θ2·s_mem`` (Eq. 1).
+    gamma:
+        γ ∈ (0, 1) — level-boost coefficient of the recursive priority
+        (Eq. 12); children contribute with factor (γ + 1), so dependants in
+        *higher* DAG levels weigh more.
+    omega_remaining, omega_waiting, omega_allowable:
+        ω1/ω2/ω3 — weights of the leaf-task priority (Eq. 13) on
+        1/remaining-time, waiting time and allowable waiting time.  Must sum
+        to 1.
+    delta:
+        δ — fraction of each node queue's head considered as *preempting
+        tasks* in Algorithm 1 (the "minimum required ratio" of Table II).
+    tau:
+        τ — waiting-time threshold (seconds); a task whose *current stint*
+        in the queue exceeds τ preempts regardless of condition C1
+        (Algorithm 1 line 4's starvation override).  Table II lists
+        τ = 0.05 s, but at that value every queued task becomes "urgent"
+        within one epoch and the priority/PP machinery never engages
+        (see DESIGN.md §2); we default to 30 s — still a tight starvation
+        bound relative to task durations — and the ablation bench sweeps τ
+        including the paper's value.
+    epsilon:
+        ε — urgency threshold (seconds) on allowable waiting time; tasks
+        with ``t_a <= ε`` are *urgent* and preempt immediately.
+    rho:
+        ρ > 1 — normalized-priority factor of the PP mechanism; a
+        preemption fires only when the priority gap exceeds ρ times the
+        mean neighbouring gap.
+    sigma:
+        σ — post-eviction dispatch latency (seconds) added to each
+        recovery (the paper's 0.05 s threshold for an evicted task to start).
+    recovery_time:
+        t_r — context-switch/checkpoint-recovery cost per preemption
+        (seconds).
+    srpt_alpha, srpt_beta:
+        α/β — waiting-time and remaining-time weights of the SRPT baseline.
+    checkpoint_interval:
+        Seconds of execution progress between checkpoints (the [29]
+        checkpoint–restart mechanism §III adopts).  0 — the default — is
+        the perfect-checkpoint abstraction: a preempted task retains all
+        completed work.  Positive values switch the engine to the interval
+        model where work since the last checkpoint is lost on preemption
+        (see :mod:`repro.sim.checkpoint`).
+    use_pp:
+        Whether the normalized-priority (PP) filter is active.  ``False``
+        yields the paper's DSPW/oPP variant.
+    """
+
+    theta_cpu: float = 0.5
+    theta_mem: float = 0.5
+    gamma: float = 0.5
+    omega_remaining: float = 0.5
+    omega_waiting: float = 0.3
+    omega_allowable: float = 0.2
+    delta: float = 0.35
+    tau: float = 30.0
+    epsilon: float = 0.01
+    rho: float = 1.5
+    sigma: float = 0.05
+    recovery_time: float = 0.05
+    srpt_alpha: float = 0.5
+    srpt_beta: float = 1.0
+    checkpoint_interval: float = 0.0
+    use_pp: bool = True
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.theta_cpu, "theta_cpu")
+        check_non_negative(self.theta_mem, "theta_mem")
+        if not (self.theta_cpu > 0 or self.theta_mem > 0):
+            raise ValueError("at least one of theta_cpu/theta_mem must be > 0")
+        if not 0.0 < self.gamma < 1.0:
+            raise ValueError(f"gamma must be in (0, 1), got {self.gamma!r}")
+        for name in ("omega_remaining", "omega_waiting", "omega_allowable"):
+            check_fraction(getattr(self, name), name)
+        total = self.omega_remaining + self.omega_waiting + self.omega_allowable
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"omega weights must sum to 1, got {total!r}")
+        check_fraction(self.delta, "delta")
+        check_non_negative(self.tau, "tau")
+        check_non_negative(self.epsilon, "epsilon")
+        if not self.rho > 1.0:
+            raise ValueError(f"rho must be > 1, got {self.rho!r}")
+        check_non_negative(self.sigma, "sigma")
+        check_non_negative(self.recovery_time, "recovery_time")
+        check_non_negative(self.srpt_alpha, "srpt_alpha")
+        check_non_negative(self.srpt_beta, "srpt_beta")
+        check_non_negative(self.checkpoint_interval, "checkpoint_interval")
+
+    def without_pp(self) -> "DSPConfig":
+        """Return a copy with the PP filter disabled (the DSPW/oPP variant)."""
+        return dataclasses.replace(self, use_pp=False)
+
+    def replace(self, **changes) -> "DSPConfig":
+        """Return a copy with *changes* applied (thin dataclasses.replace)."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Parameters of the discrete-event simulation run.
+
+    Attributes
+    ----------
+    epoch:
+        Length (seconds) of the online preemption epoch; the preemption
+        engine runs on every epoch tick (§IV-B).
+    scheduling_period:
+        Length (seconds) of the offline scheduling unit period; the
+        offline scheduler runs on jobs submitted in each period (§III,
+        experiments use 5 simulated minutes).
+    horizon:
+        Hard stop for the simulation clock (seconds); guards against
+        non-terminating configurations.
+    collect_task_samples:
+        When True, the metrics collector retains per-task latency samples
+        (queue wait + execution span per task) for distributional reports;
+        memory-heavier, so off by default.
+    """
+
+    epoch: float = 5.0
+    scheduling_period: float = 300.0
+    horizon: float = 10_000_000.0
+    collect_task_samples: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive(self.epoch, "epoch")
+        check_positive(self.scheduling_period, "scheduling_period")
+        check_positive(self.horizon, "horizon")
+        if self.epoch > self.scheduling_period:
+            raise ValueError("epoch must not exceed scheduling_period")
+
+    def replace(self, **changes) -> "SimConfig":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)

@@ -1,0 +1,70 @@
+"""The DSP system facade: offline scheduler + online preemption, bundled.
+
+The paper's system is the *pair* — §III's planner feeding §IV's preemption
+engine.  :class:`DSPSystem` packages both with one shared config so the
+experiment harness (and users) can say::
+
+    system = DSPSystem.build(cluster)            # full DSP
+    variant = DSPSystem.build(cluster, pp=False)  # DSPW/oPP ablation
+
+and hand ``system.scheduler`` / ``system.preemption`` to the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.cluster import Cluster
+from ..config import DSPConfig
+from .preemption import DSPPreemption
+from .scheduler import DSPScheduler
+
+__all__ = ["DSPSystem"]
+
+
+@dataclass(frozen=True)
+class DSPSystem:
+    """One configured DSP instance: scheduler, preemption policy, config."""
+
+    scheduler: DSPScheduler
+    preemption: DSPPreemption
+    config: DSPConfig
+
+    @property
+    def name(self) -> str:
+        """Report label: ``"DSP"`` or ``"DSPW/oPP"``."""
+        return self.preemption.name
+
+    @classmethod
+    def build(
+        cls,
+        cluster: Cluster,
+        config: DSPConfig | None = None,
+        *,
+        pp: bool = True,
+        ilp_task_limit: int = 0,
+    ) -> "DSPSystem":
+        """Construct a DSP instance for *cluster*.
+
+        Parameters
+        ----------
+        config:
+            Base parameters (Table II defaults when omitted).
+        pp:
+            False builds the DSPW/oPP ablation (no normalized-priority
+            filter).
+        ilp_task_limit:
+            Passed through to :class:`DSPScheduler`; 0 (default) keeps
+            scheduling purely heuristic, which is what cluster-scale runs
+            want.  Raise it to exercise the exact ILP on small workloads.
+        """
+        cfg = config or DSPConfig()
+        if not pp:
+            cfg = cfg.without_pp()
+        elif not cfg.use_pp:
+            cfg = cfg.replace(use_pp=True)
+        return cls(
+            scheduler=DSPScheduler(cluster, cfg, ilp_task_limit=ilp_task_limit),
+            preemption=DSPPreemption(cfg),
+            config=cfg,
+        )

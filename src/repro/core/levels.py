@@ -1,0 +1,73 @@
+"""Per-level task deadlines and allowable waiting time (§IV-B).
+
+The paper derives a deadline for every task from its job's deadline by
+walking the DAG levels backwards:
+
+* tasks in the last level L inherit the job deadline,
+  :math:`t^d_{ijL} = t^d_i`;
+* tasks in level *l* get the job deadline minus the worst-case execution
+  time of every later level,
+  :math:`t^d_{ijl} = t^d_i - \\sum_{k=l+1}^{L} \\max_j\\{t_{ijk}\\}`.
+
+A task's *allowable waiting time* is then the slack it has left:
+:math:`t^a_{ij} = t^d_{ij} - t^{rem}_{ij}` — as long as its subsequent
+waiting stays below :math:`t^a`, it still meets its deadline.  Tasks whose
+allowable waiting time falls to :math:`\\epsilon` become *urgent* and
+preempt immediately (Algorithm 1, line 4).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..dag.job import Job
+
+__all__ = ["level_max_exec_times", "task_deadlines", "allowable_waiting_time"]
+
+
+def level_max_exec_times(job: Job, exec_time: Mapping[str, float]) -> list[float]:
+    """Per-level worst-case execution time: element ``l-1`` is
+    :math:`\\max_j\\{t_{ijl}\\}` over tasks of level *l*.
+
+    *exec_time* maps task_id → execution time (seconds); callers usually
+    evaluate Eq. 2 at the task's assigned node or a reference rate.
+    """
+    out: list[float] = []
+    for level_tasks in job.level_lists:
+        missing = [tid for tid in level_tasks if tid not in exec_time]
+        if missing:
+            raise KeyError(f"exec_time missing for tasks {missing[:3]}...")
+        out.append(max(exec_time[tid] for tid in level_tasks))
+    return out
+
+
+def task_deadlines(job: Job, exec_time: Mapping[str, float]) -> dict[str, float]:
+    """Absolute deadline of every task of *job* per the level rule above.
+
+    The returned values are absolute times (the job deadline is absolute).
+    Tasks in the deepest level get exactly ``job.deadline``; each shallower
+    level subtracts the max execution time of all deeper levels, giving
+    upstream tasks correspondingly earlier deadlines.
+    """
+    maxes = level_max_exec_times(job, exec_time)
+    depth = len(maxes)
+    # suffix_after[l-1] = sum of level maxima strictly below level l.
+    suffix = 0.0
+    deadline_by_level: list[float] = [0.0] * depth
+    for lvl in range(depth, 0, -1):
+        deadline_by_level[lvl - 1] = job.deadline - suffix
+        suffix += maxes[lvl - 1]
+    levels = job.levels
+    return {tid: deadline_by_level[levels[tid] - 1] for tid in job.tasks}
+
+
+def allowable_waiting_time(
+    task_deadline: float, remaining_time: float, now: float
+) -> float:
+    """Slack :math:`t^a = t^d - t^{rem}` measured from *now*.
+
+    Positive: the task can still wait that long and meet its deadline.
+    Zero or negative: the task must run immediately (urgent) or has already
+    lost its deadline.
+    """
+    return task_deadline - now - remaining_time

@@ -1,0 +1,172 @@
+"""DSP's dependency-aware task preemption (§IV-B, Algorithm 1).
+
+Per epoch and per node queue the engine hands us a snapshot; we decide
+which waiting tasks evict which running tasks:
+
+1. **Urgent pass** (Algorithm 1 lines 3–11): waiting tasks whose allowable
+   waiting time has dropped to ε, or that have waited beyond τ, evict the
+   lowest-priority preemptable running task they do not depend on —
+   unconditionally (deadline protection beats priority).
+2. **Priority pass** (lines 12–19): the first δ-fraction of the queue
+   (*preempting tasks*) try, in queue order, to evict the lowest-priority
+   preemptable running task satisfying
+
+   * **C1** — the waiting task's priority strictly exceeds the victim's;
+   * **C2** — the waiting task does not (transitively) depend on the
+     victim;
+   * **PP** (normalized priority; §IV-B last part): the raw gap
+     :math:`\\hat P` must be large on the *global* priority scale —
+     :math:`\\tilde P = \\hat P / \\bar P > \\rho` where :math:`\\bar P`
+     is the mean gap between priority-adjacent tasks.  PP is what
+     suppresses churn whose context-switch cost outweighs its gain;
+     disabling it yields the paper's DSPW/oPP variant.
+
+   If C1 fails against the lowest-priority candidate it fails against all
+   (the list is sorted), so the scan stops; C2 failures skip to the next
+   candidate.
+
+Only running tasks whose allowable waiting time exceeds the epoch length
+are *preemptable* — evicting anything tighter would make it miss its own
+deadline (§IV-B).
+
+Priorities come from Eq. 12–13 via
+:class:`~repro.core.priority.PriorityEvaluator`, evaluated lazily over the
+descendant subgraphs of the tasks in the snapshot with live signals from
+the engine's :class:`~repro.sim.engine.SimContext`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .._util import pairwise_mean_gap
+from ..config import DSPConfig
+from ..sim.policy import NodeView, PreemptionDecision, PreemptionPolicy, TaskView
+from .priority import PriorityEvaluator
+
+__all__ = ["DSPPreemption"]
+
+
+class DSPPreemption(PreemptionPolicy):
+    """Algorithm 1 with (DSP) or without (DSPW/oPP) the PP filter.
+
+    Parameters
+    ----------
+    config:
+        Table II parameters; ``config.use_pp`` selects the variant and is
+        reflected in :attr:`name` (``"DSP"`` vs ``"DSPW/oPP"``).
+    """
+
+    respects_dependencies = True
+    uses_checkpointing = True
+
+    def __init__(self, config: DSPConfig | None = None):
+        self._config = config or DSPConfig()
+        self.name = "DSP" if self._config.use_pp else "DSPW/oPP"
+        self._evaluator: PriorityEvaluator | None = None
+        self._ctx = None
+
+    # -- engine handshake ---------------------------------------------------
+    def attach(self, ctx) -> None:
+        """Receive the engine facade; build the Eq. 12 evaluator over the
+        full static task set."""
+        self._ctx = ctx
+        self._evaluator = PriorityEvaluator(self._config, ctx.tasks)
+
+    # -- decision logic -------------------------------------------------------
+    def _priorities(self, view: NodeView) -> dict[str, float]:
+        """Eq. 12–13 scores for every task in the snapshot, with live
+        signals pulled from the engine context."""
+        assert self._evaluator is not None and self._ctx is not None, (
+            "DSPPreemption used before attach()"
+        )
+        ctx = self._ctx
+        wanted = [t.task_id for t in view.running] + [t.task_id for t in view.waiting]
+        return self._evaluator.compute_for(
+            wanted,
+            remaining_fn=ctx.remaining_time,
+            waiting_fn=ctx.waiting_time,
+            allowable_fn=ctx.allowable_wait,
+            completed_fn=ctx.is_completed,
+        )
+
+    def select_preemptions(self, view: NodeView) -> Sequence[PreemptionDecision]:
+        if not view.waiting or not view.running:
+            return ()
+        priority = self._priorities(view)
+
+        # Preemptable running tasks, ascending priority (Algorithm 1 line 2).
+        preemptable = [
+            r
+            for r in view.running
+            if r.is_preemptable and r.allowable_wait > view.epoch
+        ]
+        preemptable.sort(key=lambda r: (priority[r.task_id], r.task_id))
+        if not preemptable:
+            return ()
+        available = list(preemptable)
+
+        decisions: list[PreemptionDecision] = []
+        decided: set[str] = set()
+
+        def take_victim(waiting: TaskView, require_c1: bool, require_pp: bool) -> bool:
+            """Scan candidates ascending; apply C2/C1/PP; consume on success."""
+            p_wait = priority[waiting.task_id]
+            for idx, victim in enumerate(available):
+                if victim.task_id in waiting.depends_on_running:
+                    continue  # C2: never evict an ancestor
+                p_run = priority[victim.task_id]
+                gap = p_wait - p_run
+                if require_c1:
+                    if gap <= 0:
+                        return False  # sorted: every later victim is higher
+                    if require_pp and not self._pp_allows(gap, priority):
+                        # PP rejects this victim; a higher-priority victim
+                        # has an even smaller gap, so stop scanning.
+                        return False
+                decisions.append(
+                    PreemptionDecision(
+                        preempting_task_id=waiting.task_id,
+                        victim_task_id=victim.task_id,
+                    )
+                )
+                del available[idx]
+                decided.add(waiting.task_id)
+                return True
+            return False
+
+        # Pass 1 — urgent tasks (t_a <= ε or t_w >= τ): preempt regardless
+        # of C1/PP, still honouring C2.
+        for waiting in view.waiting:
+            if not available:
+                break
+            if waiting.task_id in decided or not waiting.is_runnable:
+                continue
+            if (
+                waiting.allowable_wait <= self._config.epsilon
+                or waiting.overdue_waiting_time >= self._config.tau
+            ):
+                take_victim(waiting, require_c1=False, require_pp=False)
+
+        # Pass 2 — the first δ-fraction of the queue, priority-gated.
+        head = max(1, math.ceil(self._config.delta * len(view.waiting)))
+        for waiting in view.waiting[:head]:
+            if not available:
+                break
+            if waiting.task_id in decided or not waiting.is_runnable:
+                continue
+            take_victim(waiting, require_c1=True, require_pp=self._config.use_pp)
+
+        return decisions
+
+    def _pp_allows(self, gap: float, priority: dict[str, float]) -> bool:
+        """Normalized-priority check: gap / mean-neighbour-gap > ρ.
+
+        With fewer than two distinct priorities the scale is undefined; any
+        strictly positive gap is then allowed (matching DSPW/oPP).
+        """
+        mean_gap = pairwise_mean_gap(sorted(priority.values()))
+        if mean_gap <= 0.0:
+            return gap > 0.0
+        return gap / mean_gap > self._config.rho

@@ -1,0 +1,192 @@
+"""Schedule representation and feasibility checking.
+
+The offline phase (§III) outputs, per task, the pair
+:math:`[t^s_{ij},\\ k|_{x_{ij,k}=1}]` — a start time and a target node.
+:class:`Schedule` holds those pairs plus the resulting makespan;
+:func:`verify_schedule` re-checks every ILP constraint class (assignment,
+precedence, per-node overlap, deadlines) against a produced schedule, which
+both the tests and the property-based suite lean on: *any* scheduler in
+this repo, exact or heuristic, must emit schedules that verify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+from .._util import EPS
+from ..cluster.cluster import Cluster
+from ..dag.job import Job
+from ..dag.task import Task
+
+__all__ = ["TaskAssignment", "Schedule", "ScheduleInfeasible", "verify_schedule"]
+
+
+class ScheduleInfeasible(RuntimeError):
+    """Raised when no feasible schedule exists (or the solver proves none
+    within its limits)."""
+
+
+@dataclass(frozen=True, slots=True)
+class TaskAssignment:
+    """One task's slot in the offline plan: node, start and finish times."""
+
+    task_id: str
+    node_id: str
+    start: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if self.finish < self.start - EPS:
+            raise ValueError(
+                f"assignment for {self.task_id!r}: finish {self.finish} < start {self.start}"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Planned uninterrupted execution span."""
+        return self.finish - self.start
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """The offline plan: task → (node, start, finish) plus the makespan.
+
+    ``makespan`` follows Eq. 4: latest finish minus earliest start over all
+    assigned tasks.
+    """
+
+    assignments: Mapping[str, TaskAssignment]
+    objective: float | None = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "assignments", dict(self.assignments))
+        for tid, a in self.assignments.items():
+            if tid != a.task_id:
+                raise ValueError(f"assignment key {tid!r} != task_id {a.task_id!r}")
+
+    @property
+    def makespan(self) -> float:
+        """Latest finish minus earliest start (0.0 for an empty schedule)."""
+        if not self.assignments:
+            return 0.0
+        finishes = [a.finish for a in self.assignments.values()]
+        starts = [a.start for a in self.assignments.values()]
+        return max(finishes) - min(starts)
+
+    def node_of(self, task_id: str) -> str:
+        """Target node of *task_id*."""
+        return self.assignments[task_id].node_id
+
+    def start_of(self, task_id: str) -> float:
+        """Planned start time of *task_id*."""
+        return self.assignments[task_id].start
+
+    def tasks_on(self, node_id: str) -> list[TaskAssignment]:
+        """Assignments placed on *node_id*, ascending by start time — the
+        initial content of that node's waiting queue (§IV-B, Fig. 4)."""
+        picked = [a for a in self.assignments.values() if a.node_id == node_id]
+        picked.sort(key=lambda a: (a.start, a.task_id))
+        return picked
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def __contains__(self, task_id: object) -> bool:
+        return task_id in self.assignments
+
+
+def verify_schedule(
+    schedule: Schedule,
+    jobs: Sequence[Job],
+    cluster: Cluster,
+    *,
+    unit_capacity: bool = True,
+    node_lanes: Mapping[str, int] | None = None,
+    check_deadlines: bool = True,
+    tol: float = 1e-6,
+) -> list[str]:
+    """Check *schedule* against the ILP constraint classes; return a list
+    of human-readable violations (empty = feasible).
+
+    Parameters
+    ----------
+    unit_capacity:
+        When True, tasks on the same node must not overlap in time (the
+        paper's constraint (5)/(8) semantics).  When False, up to
+        ``node_lanes[node_id]`` tasks may overlap per node (the lane model
+        of the heuristic scheduler).
+    check_deadlines:
+        When True, every task must finish by its job's deadline (Eq. 6).
+    """
+    violations: list[str] = []
+    all_tasks: dict[str, Task] = {}
+    deadline_of: dict[str, float] = {}
+    arrival_of: dict[str, float] = {}
+    for job in jobs:
+        for tid, task in job.tasks.items():
+            all_tasks[tid] = task
+            deadline_of[tid] = job.deadline
+            arrival_of[tid] = job.arrival_time
+
+    # Assignment completeness and node validity.
+    for tid in all_tasks:
+        if tid not in schedule.assignments:
+            violations.append(f"task {tid} is unassigned")
+    for tid, a in schedule.assignments.items():
+        if tid not in all_tasks:
+            violations.append(f"assignment for unknown task {tid}")
+            continue
+        if a.node_id not in cluster:
+            violations.append(f"task {tid} assigned to unknown node {a.node_id}")
+        if a.start < arrival_of[tid] - tol:
+            violations.append(
+                f"task {tid} starts at {a.start:.3f} before its job arrives "
+                f"at {arrival_of[tid]:.3f}"
+            )
+
+    # Precedence (Eq. 7): child start >= parent finish.
+    for tid, task in all_tasks.items():
+        if tid not in schedule.assignments:
+            continue
+        child = schedule.assignments[tid]
+        for parent in task.parents:
+            if parent not in schedule.assignments:
+                continue
+            p = schedule.assignments[parent]
+            if child.start < p.finish - tol:
+                violations.append(
+                    f"precedence violated: {tid} starts {child.start:.3f} "
+                    f"before parent {parent} finishes {p.finish:.3f}"
+                )
+
+    # Per-node overlap (Eq. 5/8) — sweep each node's timeline.
+    for node in cluster:
+        lane_cap = 1 if unit_capacity else max(1, (node_lanes or {}).get(node.node_id, 1))
+        events: list[tuple[float, int, str]] = []
+        for a in schedule.tasks_on(node.node_id):
+            if a.duration <= tol:
+                continue
+            events.append((a.start + tol, +1, a.task_id))
+            events.append((a.finish - tol, -1, a.task_id))
+        events.sort(key=lambda e: (e[0], e[1]))
+        live = 0
+        for t, delta, tid in events:
+            live += delta
+            if live > lane_cap:
+                violations.append(
+                    f"node {node.node_id}: {live} concurrent tasks at t={t:.3f} "
+                    f"(cap {lane_cap}, at task {tid})"
+                )
+                live = lane_cap  # report once per excursion
+
+    # Deadlines (Eq. 6).
+    if check_deadlines:
+        for tid, a in schedule.assignments.items():
+            if tid in deadline_of and a.finish > deadline_of[tid] + tol:
+                violations.append(
+                    f"task {tid} finishes {a.finish:.3f} after job deadline "
+                    f"{deadline_of[tid]:.3f}"
+                )
+
+    return violations

@@ -1,0 +1,93 @@
+"""DSP's offline scheduler facade (§III).
+
+Routes each scheduling batch to the right solver:
+
+* **exact ILP** (HiGHS, Eq. 3–11) when the batch is small enough for exact
+  optimization to return promptly;
+* **dependency-aware list scheduling** (the relax-and-round surrogate)
+  otherwise.
+
+Both emit the same plan type, so downstream code never cares which path
+produced it.  The paper runs this periodically for the jobs submitted in
+each unit period; the simulator invokes :meth:`schedule` once per round.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..cluster.cluster import Cluster
+from ..config import DSPConfig
+from ..dag.job import Job
+from .ilp import ILPScheduler
+from .ilp_heuristic import HeuristicScheduler
+from .schedule import Schedule, ScheduleInfeasible
+
+__all__ = ["DSPScheduler"]
+
+
+class DSPScheduler:
+    """Offline dependency-aware scheduler with automatic exact/heuristic routing.
+
+    Parameters
+    ----------
+    cluster, config:
+        Hardware and Table II parameters.
+    ilp_task_limit:
+        Batches with at most this many tasks (and ``ilp_node_limit``
+        nodes) go to the exact ILP; ``0`` disables the exact path
+        entirely (pure heuristic — what the figure harness uses at scale).
+    ilp_node_limit:
+        Node-count cap for the exact path.
+    ilp_time_limit:
+        HiGHS wall-clock budget (seconds) per exact solve; on timeout or
+        proven infeasibility (over-tight deadlines) the batch falls back
+        to the heuristic.
+    """
+
+    #: DSP dispatch honours dependencies (a runnable-only discipline).
+    respects_dependencies = True
+    name = "DSP"
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        config: DSPConfig | None = None,
+        ilp_task_limit: int = 12,
+        ilp_node_limit: int = 4,
+        ilp_time_limit: float = 30.0,
+    ):
+        if ilp_task_limit < 0:
+            raise ValueError("ilp_task_limit must be >= 0")
+        self._cluster = cluster
+        self._config = config or DSPConfig()
+        self._ilp_task_limit = ilp_task_limit
+        self._ilp_node_limit = ilp_node_limit
+        self._ilp_time_limit = ilp_time_limit
+        self._heuristic = HeuristicScheduler(cluster, self._config)
+        self._ilp = ILPScheduler(cluster, self._config)
+        self.last_used: str = "none"  # "ilp" or "heuristic"; handy in tests
+
+    def reset(self) -> None:
+        """Clear the heuristic's persistent lane timelines (start a new run)."""
+        self._heuristic.reset()
+        self.last_used = "none"
+
+    def schedule(self, jobs: Sequence[Job]) -> Schedule:
+        """Plan one batch: exact when tiny, heuristic otherwise."""
+        num_tasks = sum(j.num_tasks for j in jobs)
+        if (
+            0 < num_tasks <= self._ilp_task_limit
+            and len(self._cluster) <= self._ilp_node_limit
+        ):
+            try:
+                result = self._ilp.solve(jobs, time_limit=self._ilp_time_limit)
+                self.last_used = "ilp"
+                return result.schedule
+            except ScheduleInfeasible:
+                # Deadlines may be unattainable even for the optimum; the
+                # online preemption phase salvages what it can, so fall
+                # through to a best-effort plan.
+                pass
+        self.last_used = "heuristic"
+        return self._heuristic.schedule(jobs)

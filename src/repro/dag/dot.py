@@ -1,0 +1,67 @@
+"""Graphviz DOT export for job DAGs.
+
+Writes plain DOT text (no graphviz dependency); paste into any renderer to
+*see* a workload's structure.  Node labels carry size and demand; levels
+become ``rank=same`` groups so the drawing mirrors the paper's figures.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .job import Job
+
+__all__ = ["job_to_dot", "write_dot"]
+
+
+def _esc(s: str) -> str:
+    return s.replace('"', r"\"")
+
+
+def job_to_dot(job: Job, *, include_sizes: bool = True, rankdir: str = "TB") -> str:
+    """Render one job as a DOT digraph string.
+
+    ``include_sizes`` adds size/cpu/mem annotations to node labels;
+    ``rankdir`` is passed through ("TB" top-down like the paper's figures,
+    "LR" for wide DAGs).
+    """
+    if rankdir not in ("TB", "LR", "BT", "RL"):
+        raise ValueError(f"invalid rankdir {rankdir!r}")
+    lines = [
+        f'digraph "{_esc(job.job_id)}" {{',
+        f"  rankdir={rankdir};",
+        '  node [shape=box, style=rounded];',
+        f'  label="{_esc(job.job_id)} ({job.num_tasks} tasks, depth {job.depth}, '
+        f'deadline {job.deadline:g})";',
+    ]
+    for tid in sorted(job.tasks):
+        task = job.tasks[tid]
+        short = tid.split(".")[-1]
+        if include_sizes:
+            label = (
+                f"{short}\\n{task.size_mi:g} MI\\n"
+                f"cpu {task.demand.cpu:g} / mem {task.demand.mem:g}"
+            )
+        else:
+            label = short
+        extra = ""
+        if task.input_mb > 0:
+            extra = ', peripheries=2'  # double border marks located inputs
+        lines.append(f'  "{_esc(tid)}" [label="{label}"{extra}];')
+    for tid in sorted(job.tasks):
+        for parent in job.tasks[tid].parents:
+            lines.append(f'  "{_esc(parent)}" -> "{_esc(tid)}";')
+    # Group tasks of one level at the same rank (the paper's level rows).
+    for level_tasks in job.level_lists:
+        if len(level_tasks) > 1:
+            ids = "; ".join(f'"{_esc(t)}"' for t in level_tasks)
+            lines.append(f"  {{ rank=same; {ids} }}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def write_dot(job: Job, path: str | Path, **kwargs) -> Path:
+    """Write :func:`job_to_dot` output to *path*; returns the path."""
+    path = Path(path)
+    path.write_text(job_to_dot(job, **kwargs))
+    return path

@@ -1,0 +1,314 @@
+"""Synthetic DAG generators.
+
+The paper evaluates on DAGs derived from the Google cluster trace,
+constrained to at most five levels and at most fifteen dependents per task
+(§V, following Graphene's measurement that the median production DAG has
+depth five).  These generators produce the structural shapes the paper's
+figures draw on — chains, fork-joins, trees, diamonds — plus
+:func:`layered_random_dag`, the work-horse "Google-like" generator used by
+the workload builder.
+
+Every generator returns a list of :class:`~repro.dag.task.Task`; sizes and
+demands are filled by the caller (the trace substrate) unless overridden
+here, keeping structure and cost orthogonal.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .._util import check_positive, ensure_rng
+from ..cluster.resources import ResourceVector
+from .task import Task
+
+__all__ = [
+    "chain_dag",
+    "fork_join_dag",
+    "diamond_dag",
+    "tree_dag",
+    "inverted_tree_dag",
+    "layered_random_dag",
+    "paper_figure1_dag",
+    "paper_figure2_dag",
+    "paper_figure3_dag",
+    "MAX_LEVELS",
+    "MAX_DEPENDENTS",
+]
+
+#: Structural caps from §V: DAG depth <= 5 levels, <= 15 dependents per task.
+MAX_LEVELS = 5
+MAX_DEPENDENTS = 15
+
+_DEFAULT_DEMAND = ResourceVector(cpu=1.0, mem=0.5, disk=0.02, bandwidth=0.02)
+
+
+def _task_id(job_id: str, index: int) -> str:
+    return f"{job_id}.T{index:04d}"
+
+
+def _mk(
+    job_id: str,
+    index: int,
+    parents: Sequence[str],
+    size_mi: float,
+    demand: ResourceVector,
+) -> Task:
+    return Task(
+        task_id=_task_id(job_id, index),
+        job_id=job_id,
+        size_mi=size_mi,
+        demand=demand,
+        parents=tuple(parents),
+    )
+
+
+def chain_dag(
+    job_id: str,
+    length: int,
+    size_mi: float = 1000.0,
+    demand: ResourceVector = _DEFAULT_DEMAND,
+) -> list[Task]:
+    """A linear chain T0 -> T1 -> ... -> T(length-1): the degenerate DAG
+    where dependency-awareness matters most (nothing can run in parallel)."""
+    check_positive(length, "length")
+    tasks: list[Task] = []
+    for i in range(length):
+        parents = [_task_id(job_id, i - 1)] if i > 0 else []
+        tasks.append(_mk(job_id, i, parents, size_mi, demand))
+    return tasks
+
+
+def fork_join_dag(
+    job_id: str,
+    width: int,
+    size_mi: float = 1000.0,
+    demand: ResourceVector = _DEFAULT_DEMAND,
+) -> list[Task]:
+    """Source -> *width* parallel tasks -> sink (the map/reduce skeleton)."""
+    check_positive(width, "width")
+    source = _mk(job_id, 0, [], size_mi, demand)
+    middle = [_mk(job_id, i + 1, [source.task_id], size_mi, demand) for i in range(width)]
+    sink = _mk(job_id, width + 1, [t.task_id for t in middle], size_mi, demand)
+    return [source, *middle, sink]
+
+
+def diamond_dag(
+    job_id: str,
+    size_mi: float = 1000.0,
+    demand: ResourceVector = _DEFAULT_DEMAND,
+) -> list[Task]:
+    """The four-task diamond A -> {B, C} -> D."""
+    a = _mk(job_id, 0, [], size_mi, demand)
+    b = _mk(job_id, 1, [a.task_id], size_mi, demand)
+    c = _mk(job_id, 2, [a.task_id], size_mi, demand)
+    d = _mk(job_id, 3, [b.task_id, c.task_id], size_mi, demand)
+    return [a, b, c, d]
+
+
+def tree_dag(
+    job_id: str,
+    depth: int,
+    branching: int,
+    size_mi: float = 1000.0,
+    demand: ResourceVector = _DEFAULT_DEMAND,
+) -> list[Task]:
+    """A rooted out-tree: the root has *branching* children, each of which
+    has *branching* children, down to *depth* levels.  Dependents fan out
+    below, so the root has by far the highest Eq. 12 priority."""
+    check_positive(depth, "depth")
+    check_positive(branching, "branching")
+    if branching > MAX_DEPENDENTS:
+        raise ValueError(f"branching {branching} exceeds MAX_DEPENDENTS={MAX_DEPENDENTS}")
+    tasks: list[Task] = [_mk(job_id, 0, [], size_mi, demand)]
+    frontier = [tasks[0].task_id]
+    index = 1
+    for _level in range(1, depth):
+        next_frontier: list[str] = []
+        for parent in frontier:
+            for _ in range(branching):
+                t = _mk(job_id, index, [parent], size_mi, demand)
+                tasks.append(t)
+                next_frontier.append(t.task_id)
+                index += 1
+        frontier = next_frontier
+    return tasks
+
+
+def inverted_tree_dag(
+    job_id: str,
+    depth: int,
+    branching: int,
+    size_mi: float = 1000.0,
+    demand: ResourceVector = _DEFAULT_DEMAND,
+) -> list[Task]:
+    """A reduction tree: many sources merging into one sink (aggregation
+    jobs).  Built by inverting the edges of :func:`tree_dag`."""
+    out_tree = tree_dag(job_id, depth, branching, size_mi, demand)
+    # Parent/child inversion: in the out-tree each non-root has one parent;
+    # in the in-tree each non-leaf has `branching` parents.
+    children: dict[str, list[str]] = {t.task_id: [] for t in out_tree}
+    for t in out_tree:
+        for p in t.parents:
+            children[p].append(t.task_id)
+    inverted: list[Task] = []
+    for t in out_tree:
+        inverted.append(
+            Task(
+                task_id=t.task_id,
+                job_id=job_id,
+                size_mi=t.size_mi,
+                demand=t.demand,
+                parents=tuple(sorted(children[t.task_id])),
+            )
+        )
+    return inverted
+
+
+def layered_random_dag(
+    job_id: str,
+    num_tasks: int,
+    rng: int | np.random.Generator | None = None,
+    max_levels: int = MAX_LEVELS,
+    max_dependents: int = MAX_DEPENDENTS,
+    edge_density: float = 0.5,
+    size_sampler: Callable[[np.random.Generator], float] | None = None,
+    demand_sampler: Callable[[np.random.Generator], ResourceVector] | None = None,
+) -> list[Task]:
+    """Random layered DAG with the paper's structural caps.
+
+    Tasks are spread over ``min(max_levels, ...)`` levels; each non-first-
+    level task draws 1–3 parents from the previous level, subject to no
+    parent exceeding *max_dependents* children.  *edge_density* scales the
+    expected number of parents.  Size/demand samplers default to constants;
+    the trace substrate passes Google-trace-shaped samplers.
+    """
+    check_positive(num_tasks, "num_tasks")
+    if not 0.0 < edge_density <= 1.0:
+        raise ValueError(f"edge_density must be in (0, 1], got {edge_density!r}")
+    gen = ensure_rng(rng)
+    levels = int(min(max_levels, max(1, num_tasks)))
+    # Distribute tasks over levels: every level gets at least one task.
+    counts = np.ones(levels, dtype=int)
+    remaining = num_tasks - levels
+    if remaining > 0:
+        extra = gen.multinomial(remaining, np.full(levels, 1.0 / levels))
+        counts = counts + extra
+
+    def draw_size(g: np.random.Generator) -> float:
+        return float(size_sampler(g)) if size_sampler else 1000.0
+
+    def draw_demand(g: np.random.Generator) -> ResourceVector:
+        return demand_sampler(g) if demand_sampler else _DEFAULT_DEMAND
+
+    tasks: list[Task] = []
+    child_count: dict[str, int] = {}
+    prev_level_ids: list[str] = []
+    index = 0
+    for level in range(levels):
+        this_level: list[str] = []
+        for _ in range(int(counts[level])):
+            parents: list[str] = []
+            if prev_level_ids:
+                eligible = [p for p in prev_level_ids if child_count[p] < max_dependents]
+                if eligible:
+                    want = 1 + gen.binomial(2, edge_density)
+                    k = int(min(want, len(eligible)))
+                    chosen = gen.choice(len(eligible), size=k, replace=False)
+                    parents = sorted(eligible[int(c)] for c in chosen)
+                else:
+                    # All previous-level tasks saturated: chain off the one
+                    # with the fewest children to keep the DAG connected.
+                    fallback = min(prev_level_ids, key=lambda p: (child_count[p], p))
+                    parents = [fallback]
+            t = _mk(job_id, index, parents, draw_size(gen), draw_demand(gen))
+            tasks.append(t)
+            this_level.append(t.task_id)
+            child_count[t.task_id] = 0
+            for p in parents:
+                child_count[p] += 1
+            index += 1
+        prev_level_ids = this_level
+    return tasks
+
+
+def paper_figure1_dag(job_id: str = "fig1", size_mi: float = 1000.0) -> list[Task]:
+    """The Fig. 1 motif: "diverse dependency relations among tasks" [6].
+
+    An 18-task DAG mixing the structures production DAGs exhibit — an
+    isolated chain (T1→T2→T3), a heavy fan-out hub (T6 with six direct
+    dependents feeding a fan-in), and a shallow bushy subgraph rooted at
+    T15.  §I argues T6 should run before T1/T15 because finishing it makes
+    the most tasks runnable; the priority tests assert exactly that.
+    """
+    d = _DEFAULT_DEMAND
+    tasks: list[Task] = []
+    # Chain rooted at T1.
+    tasks.append(_mk(job_id, 1, [], size_mi, d))
+    tasks.append(_mk(job_id, 2, [_task_id(job_id, 1)], size_mi, d))
+    tasks.append(_mk(job_id, 3, [_task_id(job_id, 2)], size_mi, d))
+    # Hub rooted at T6: six dependents, two of which join into T13.
+    tasks.append(_mk(job_id, 6, [], size_mi, d))
+    for i in range(7, 13):
+        tasks.append(_mk(job_id, i, [_task_id(job_id, 6)], size_mi, d))
+    tasks.append(
+        _mk(job_id, 13, [_task_id(job_id, 7), _task_id(job_id, 8)], size_mi, d)
+    )
+    tasks.append(_mk(job_id, 14, [_task_id(job_id, 13)], size_mi, d))
+    # Bushy shallow subgraph rooted at T15: three dependents, no depth.
+    tasks.append(_mk(job_id, 15, [], size_mi, d))
+    for i in range(16, 19):
+        tasks.append(_mk(job_id, i, [_task_id(job_id, 15)], size_mi, d))
+    # Two free-floating tasks (no dependencies either way).
+    tasks.append(_mk(job_id, 19, [], size_mi, d))
+    tasks.append(_mk(job_id, 20, [], size_mi, d))
+    return tasks
+
+
+def paper_figure2_dag(job_id: str = "fig2", size_mi: float = 1000.0) -> list[Task]:
+    """The seven-task example of Fig. 2: T2,T3 depend on T1; T4,T5 on T2;
+    T6,T7 on T3.  Used throughout the tests to pin down priority ordering."""
+    d = _DEFAULT_DEMAND
+    t1 = _mk(job_id, 1, [], size_mi, d)
+    t2 = _mk(job_id, 2, [t1.task_id], size_mi, d)
+    t3 = _mk(job_id, 3, [t1.task_id], size_mi, d)
+    t4 = _mk(job_id, 4, [t2.task_id], size_mi, d)
+    t5 = _mk(job_id, 5, [t2.task_id], size_mi, d)
+    t6 = _mk(job_id, 6, [t3.task_id], size_mi, d)
+    t7 = _mk(job_id, 7, [t3.task_id], size_mi, d)
+    return [t1, t2, t3, t4, t5, t6, t7]
+
+
+def paper_figure3_dag(job_id: str = "fig3", size_mi: float = 1000.0) -> list[Task]:
+    """The three-subgraph example of Fig. 3.
+
+    * T1 with four direct dependents in one level (flat fan-out);
+    * T6 with four direct dependents, one of which has a second-level child
+      (deeper);
+    * T11 with four direct dependents and two second-level dependents.
+
+    The paper argues priority must order T11 > T6 > T1; the priority tests
+    assert exactly that.
+    """
+    d = _DEFAULT_DEMAND
+    tasks: list[Task] = []
+    # Subgraph rooted at index 1: flat fan-out of four.
+    t1 = _mk(job_id, 1, [], size_mi, d)
+    tasks.append(t1)
+    for i in range(2, 6):
+        tasks.append(_mk(job_id, i, [t1.task_id], size_mi, d))
+    # Subgraph rooted at index 6: fan-out of four, one grandchild.
+    t6 = _mk(job_id, 6, [], size_mi, d)
+    tasks.append(t6)
+    for i in range(7, 11):
+        tasks.append(_mk(job_id, i, [t6.task_id], size_mi, d))
+    tasks.append(_mk(job_id, 20, [_task_id(job_id, 7)], size_mi, d))
+    # Subgraph rooted at index 11: fan-out of four, two grandchildren.
+    t11 = _mk(job_id, 11, [], size_mi, d)
+    tasks.append(t11)
+    for i in range(12, 16):
+        tasks.append(_mk(job_id, i, [t11.task_id], size_mi, d))
+    tasks.append(_mk(job_id, 21, [_task_id(job_id, 12)], size_mi, d))
+    tasks.append(_mk(job_id, 22, [_task_id(job_id, 13)], size_mi, d))
+    return tasks

@@ -1,0 +1,200 @@
+"""DAG operations over a job's task set.
+
+The paper leans on three structural notions:
+
+* **children / dependents** — Eq. 12's recursion runs over the set
+  :math:`S_{ij}` of tasks that directly depend on :math:`T_{ij}`;
+* **levels** — per-level task deadlines (§IV-B) need the partition of the
+  DAG into levels 1..L, where a task's level is the length of the longest
+  chain from any root to it;
+* **chains** — the ILP of §III is written over the chain decomposition
+  :math:`C_i^q` of each job.
+
+All functions here are pure: they take mappings and return new structures,
+so they are trivially testable and cacheable.  ``networkx`` backs cycle
+detection and topological orders.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from .task import Task
+
+__all__ = [
+    "build_children_map",
+    "validate_acyclic",
+    "topological_order",
+    "compute_levels",
+    "level_partition",
+    "enumerate_chains",
+    "descendants_by_depth",
+    "critical_path_length",
+    "DependencyCycleError",
+    "UnknownParentError",
+]
+
+
+class DependencyCycleError(ValueError):
+    """Raised when a task set's dependency relation contains a cycle."""
+
+
+class UnknownParentError(KeyError):
+    """Raised when a task references a parent id that is not in the set."""
+
+
+def _as_graph(tasks: Mapping[str, Task]) -> nx.DiGraph:
+    """Build the parent→child digraph, validating parent references."""
+    g = nx.DiGraph()
+    g.add_nodes_from(tasks)
+    for task in tasks.values():
+        for parent in task.parents:
+            if parent not in tasks:
+                raise UnknownParentError(
+                    f"task {task.task_id!r} references unknown parent {parent!r}"
+                )
+            g.add_edge(parent, task.task_id)
+    return g
+
+
+def build_children_map(tasks: Mapping[str, Task]) -> dict[str, tuple[str, ...]]:
+    """Invert the parent relation: ``children[t]`` is the tuple of direct
+    dependents of *t* (the paper's :math:`S_{ij}`), in deterministic order."""
+    children: dict[str, list[str]] = {tid: [] for tid in tasks}
+    for task in tasks.values():
+        for parent in task.parents:
+            if parent not in children:
+                raise UnknownParentError(
+                    f"task {task.task_id!r} references unknown parent {parent!r}"
+                )
+            children[parent].append(task.task_id)
+    return {tid: tuple(sorted(kids)) for tid, kids in children.items()}
+
+
+def validate_acyclic(tasks: Mapping[str, Task]) -> None:
+    """Raise :class:`DependencyCycleError` when the dependency relation has
+    a cycle; otherwise return silently."""
+    g = _as_graph(tasks)
+    if not nx.is_directed_acyclic_graph(g):
+        cycle = nx.find_cycle(g)
+        path = " -> ".join(edge[0] for edge in cycle) + f" -> {cycle[-1][1]}"
+        raise DependencyCycleError(f"dependency cycle: {path}")
+
+
+def topological_order(tasks: Mapping[str, Task]) -> list[str]:
+    """A deterministic topological order of task ids (parents first).
+
+    Determinism matters for reproducibility: ties are broken
+    lexicographically so the same workload yields the same order on every
+    run and platform.
+    """
+    g = _as_graph(tasks)
+    try:
+        return list(nx.lexicographical_topological_sort(g))
+    except nx.NetworkXUnfeasible as exc:
+        raise DependencyCycleError(str(exc)) from exc
+
+
+def compute_levels(tasks: Mapping[str, Task]) -> dict[str, int]:
+    """Level of each task: 1 + length of the longest chain from a root.
+
+    Roots are level 1; the maximum value is the paper's L.  Runs in
+    O(V + E) over a topological order.
+    """
+    levels: dict[str, int] = {}
+    for tid in topological_order(tasks):
+        parents = tasks[tid].parents
+        levels[tid] = 1 + max((levels[p] for p in parents), default=0)
+    return levels
+
+
+def level_partition(tasks: Mapping[str, Task]) -> list[list[str]]:
+    """Partition task ids into levels: element ``i`` holds level ``i+1``.
+
+    Each inner list is sorted for determinism.  The result's length is the
+    DAG depth L.
+    """
+    levels = compute_levels(tasks)
+    if not levels:
+        return []
+    depth = max(levels.values())
+    buckets: list[list[str]] = [[] for _ in range(depth)]
+    for tid, lvl in levels.items():
+        buckets[lvl - 1].append(tid)
+    for bucket in buckets:
+        bucket.sort()
+    return buckets
+
+
+def enumerate_chains(
+    tasks: Mapping[str, Task], max_chains: int | None = None
+) -> list[tuple[str, ...]]:
+    """Enumerate root→sink chains (the paper's :math:`C_i^q`).
+
+    The number of chains can be exponential in pathological DAGs, so
+    *max_chains* bounds the enumeration (``None`` = unbounded).  Chains are
+    produced in lexicographic DFS order for determinism.
+    """
+    children = build_children_map(tasks)
+    roots = sorted(tid for tid, t in tasks.items() if t.is_root)
+    if not roots and tasks:
+        raise DependencyCycleError("task set has no root; dependency cycle")
+    chains: list[tuple[str, ...]] = []
+    stack: list[tuple[str, tuple[str, ...]]] = [(r, (r,)) for r in reversed(roots)]
+    while stack:
+        tid, path = stack.pop()
+        kids = children[tid]
+        if not kids:
+            chains.append(path)
+            if max_chains is not None and len(chains) >= max_chains:
+                return chains
+            continue
+        for kid in reversed(kids):
+            stack.append((kid, path + (kid,)))
+    return chains
+
+
+def descendants_by_depth(
+    tasks: Mapping[str, Task], task_id: str
+) -> list[list[str]]:
+    """Descendants of *task_id* grouped by depth below it.
+
+    Element 0 holds the direct children ("first level" in Fig. 3), element
+    1 their children, and so on; a task appearing at several depths is
+    reported at its *shallowest* depth, matching the figure's reading.
+    """
+    if task_id not in tasks:
+        raise KeyError(task_id)
+    children = build_children_map(tasks)
+    seen: set[str] = {task_id}
+    frontier: list[str] = [task_id]
+    out: list[list[str]] = []
+    while frontier:
+        nxt: set[str] = set()
+        for tid in frontier:
+            for kid in children[tid]:
+                if kid not in seen:
+                    nxt.add(kid)
+        if not nxt:
+            break
+        seen |= nxt
+        layer = sorted(nxt)
+        out.append(layer)
+        frontier = layer
+    return out
+
+
+def critical_path_length(
+    tasks: Mapping[str, Task], exec_time: Mapping[str, float]
+) -> float:
+    """Length of the longest path through the DAG when each task *t* costs
+    ``exec_time[t]`` — the lower bound on any schedule's makespan and the
+    basis of the per-level deadline computation."""
+    finish: dict[str, float] = {}
+    for tid in topological_order(tasks):
+        start = max((finish[p] for p in tasks[tid].parents), default=0.0)
+        finish[tid] = start + exec_time[tid]
+    return max(finish.values(), default=0.0)

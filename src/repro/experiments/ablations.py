@@ -1,0 +1,83 @@
+"""Parameter-sensitivity ablations (the paper's §VI future work).
+
+The conclusion defers "the sensitivity of the parameters" to future work;
+these sweeps supply it for the four parameters that shape DSP's behaviour:
+
+* **γ** — the level-boost coefficient of the recursive priority (Eq. 12);
+* **ρ** — the PP normalized-priority threshold (how aggressive the
+  unnecessary-preemption filter is);
+* **δ** — the fraction of each queue considered for preemption;
+* **τ** — the starvation override threshold.
+
+Each sweep runs DSP on a fixed workload with one parameter varied and
+reports the throughput/preemption/waiting trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..cluster.cluster import Cluster
+from ..config import DSPConfig, SimConfig
+from ..sim.metrics import RunMetrics
+from .figures import cluster_profile, default_config, default_sim_config
+from .harness import build_workload_for_cluster, make_preemption_policies, run_preemption
+
+__all__ = ["sweep_parameter", "ablation_report", "DEFAULT_SWEEPS"]
+
+#: Parameter name → values swept by the ablation bench.
+DEFAULT_SWEEPS: dict[str, tuple[float, ...]] = {
+    "gamma": (0.1, 0.3, 0.5, 0.7, 0.9),
+    "rho": (1.1, 1.5, 2.0, 3.0, 5.0),
+    "delta": (0.1, 0.2, 0.35, 0.5, 0.8),
+    "tau": (0.05, 30.0, 120.0, 600.0),
+}
+
+
+def sweep_parameter(
+    param: str,
+    values: Sequence[float],
+    *,
+    num_jobs: int = 30,
+    profile: str = "cluster",
+    scale: float = 20.0,
+    seed: int = 7,
+    demand_fraction: float = 0.8,
+) -> dict[float, RunMetrics]:
+    """Run DSP with *param* set to each value; everything else fixed.
+
+    Returns value → RunMetrics, using the same workload for every point so
+    the differences are attributable to the parameter alone.
+    """
+    if param not in DEFAULT_SWEEPS:
+        raise ValueError(
+            f"unknown ablation parameter {param!r}; one of {sorted(DEFAULT_SWEEPS)}"
+        )
+    cluster = cluster_profile(profile)
+    base = default_config()
+    sim = default_sim_config()
+    workload = build_workload_for_cluster(
+        num_jobs, cluster, scale=scale, seed=seed, config=base,
+        demand_fraction=demand_fraction,
+    )
+    out: dict[float, RunMetrics] = {}
+    for value in values:
+        cfg = base.replace(**{param: value})
+        policy = make_preemption_policies(cfg)["DSP"]
+        out[value] = run_preemption(workload, cluster, policy, config=cfg, sim_config=sim)
+    return out
+
+
+def ablation_report(param: str, results: Mapping[float, RunMetrics]) -> str:
+    """Tabulate one sweep: value vs throughput/preemptions/waiting."""
+    lines = [
+        f"Ablation: {param}",
+        f"{param:>8}  {'thr(t/ms)':>10}  {'preempts':>9}  {'wait(s)':>9}  {'makespan':>10}",
+    ]
+    for value in sorted(results):
+        m = results[value]
+        lines.append(
+            f"{value:>8g}  {m.throughput_tasks_per_ms:>10.5f}  "
+            f"{m.num_preemptions:>9d}  {m.avg_job_waiting:>9.1f}  {m.makespan:>10.1f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,145 @@
+"""Post-run analysis: per-job statistics, fairness, utilization.
+
+The paper's future work (§VI) names *fairness* as a target; these tools
+quantify it for any finished run.  The engine exposes its per-task
+runtimes after :meth:`~repro.sim.engine.SimEngine.run`, and this module
+turns them into the distributional views a scheduling paper's appendix
+would show: job slowdowns, Jain's fairness index over them, latency
+percentiles and cluster-utilization estimates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..dag.job import Job
+from ..sim.engine import SimEngine
+
+__all__ = [
+    "JobStats",
+    "job_stats",
+    "slowdowns",
+    "jain_fairness",
+    "percentiles",
+    "utilization",
+    "analysis_report",
+]
+
+
+@dataclass(frozen=True)
+class JobStats:
+    """One job's outcome in a finished run."""
+
+    job_id: str
+    arrival: float
+    completion: float
+    deadline: float
+    critical_path: float
+    num_tasks: int
+
+    @property
+    def response_time(self) -> float:
+        """Arrival → last task completion."""
+        return self.completion - self.arrival
+
+    @property
+    def slowdown(self) -> float:
+        """Response time normalized by the job's ideal (critical-path)
+        duration — 1.0 is a perfect, contention-free run."""
+        return self.response_time / self.critical_path if self.critical_path > 0 else 1.0
+
+    @property
+    def met_deadline(self) -> bool:
+        return self.completion <= self.deadline
+
+
+def job_stats(engine: SimEngine, reference_rate: float | None = None) -> list[JobStats]:
+    """Per-job statistics extracted from a *finished* engine.
+
+    *reference_rate* sets the MIPS figure for the ideal critical path;
+    defaults to the cluster's mean rate.
+    """
+    rate = reference_rate or (
+        sum(n.rate for n in engine._nodes.values()) / len(engine._nodes)
+    )
+    out: list[JobStats] = []
+    for jid, job in sorted(engine._jobs.items()):
+        completions = [
+            engine._tasks[tid].completed_at for tid in job.tasks
+        ]
+        if any(c is None for c in completions):
+            raise ValueError(f"job {jid} has unfinished tasks; run the engine first")
+        out.append(
+            JobStats(
+                job_id=jid,
+                arrival=job.arrival_time,
+                completion=max(completions),  # type: ignore[arg-type]
+                deadline=job.deadline,
+                critical_path=job.critical_path_time(rate),
+                num_tasks=job.num_tasks,
+            )
+        )
+    return out
+
+
+def slowdowns(stats: Sequence[JobStats]) -> list[float]:
+    """Job slowdown factors, in job-id order."""
+    return [s.slowdown for s in stats]
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index over *values*: 1.0 = perfectly equal,
+    1/n = maximally unfair.  Raises on empty input."""
+    if not values:
+        raise ValueError("jain_fairness of empty sequence")
+    arr = np.asarray(values, dtype=float)
+    if np.any(arr < 0):
+        raise ValueError("jain_fairness expects non-negative values")
+    total = arr.sum()
+    if total == 0:
+        return 1.0
+    return float(total**2 / (len(arr) * np.square(arr).sum()))
+
+
+def percentiles(
+    values: Sequence[float], points: Sequence[float] = (50, 90, 99)
+) -> dict[float, float]:
+    """Selected percentiles of *values* (empty input raises)."""
+    if not values:
+        raise ValueError("percentiles of empty sequence")
+    arr = np.asarray(values, dtype=float)
+    return {p: float(np.percentile(arr, p)) for p in points}
+
+
+def utilization(engine: SimEngine) -> float:
+    """Fraction of cluster compute-capacity the run actually used:
+    executed work (MI) / (total rate × makespan).  In [0, 1] up to
+    recovery/transfer overheads."""
+    total_work = sum(rt.task.size_mi for rt in engine._tasks.values())
+    total_rate = sum(n.base_rate for n in engine._nodes.values())
+    completions = [rt.completed_at for rt in engine._tasks.values()]
+    if any(c is None for c in completions):
+        raise ValueError("run the engine before computing utilization")
+    arrivals = [j.arrival_time for j in engine._jobs.values()]
+    span = max(completions) - min(arrivals)  # type: ignore[type-var]
+    if span <= 0:
+        return 0.0
+    return min(1.0, total_work / (total_rate * span))
+
+
+def analysis_report(engine: SimEngine) -> str:
+    """Human-readable post-run summary (used by examples and the CLI)."""
+    stats = job_stats(engine)
+    sl = slowdowns(stats)
+    pct = percentiles(sl)
+    lines = [
+        f"jobs: {len(stats)}   "
+        f"met deadline: {sum(s.met_deadline for s in stats)}/{len(stats)}",
+        f"slowdown: p50={pct[50]:.2f}  p90={pct[90]:.2f}  p99={pct[99]:.2f}",
+        f"fairness (Jain over slowdowns): {jain_fairness(sl):.3f}",
+        f"cluster utilization: {utilization(engine):.1%}",
+    ]
+    return "\n".join(lines)

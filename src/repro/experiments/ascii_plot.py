@@ -1,0 +1,101 @@
+"""Plotting-free trend rendering: ASCII line charts for figure series.
+
+The offline environment has no matplotlib, but trends are much easier to
+eyeball as a chart than as a table.  :func:`ascii_chart` renders one or
+more series against a shared x axis using a character canvas; the CLI's
+figure commands append it under each table.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["ascii_chart", "sparkline"]
+
+_MARKS = "ox+*#@%&"
+_TICKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line unicode sparkline of *values* (empty input → empty string)."""
+    if not values:
+        return ""
+    lo, hi = min(values), max(values)
+    if hi - lo < 1e-12:
+        return _TICKS[3] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / (hi - lo) * (len(_TICKS) - 1))
+        out.append(_TICKS[idx])
+    return "".join(out)
+
+
+def ascii_chart(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    *,
+    width: int = 60,
+    height: int = 12,
+    title: str = "",
+) -> str:
+    """Render *series* (name → y values aligned with *x*) as an ASCII chart.
+
+    Each series gets a distinct mark; a legend maps marks to names.  Values
+    are linearly scaled into the canvas; ties overprint (later series win).
+    """
+    if not series:
+        raise ValueError("ascii_chart needs at least one series")
+    lengths = {len(v) for v in series.values()}
+    if lengths != {len(x)}:
+        raise ValueError("every series must align with x")
+    if len(x) < 2:
+        raise ValueError("ascii_chart needs at least two x points")
+    if width < 10 or height < 4:
+        raise ValueError("canvas too small")
+
+    all_y = [v for vals in series.values() for v in vals]
+    y_lo, y_hi = min(all_y), max(all_y)
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+    x_lo, x_hi = min(x), max(x)
+    if x_hi - x_lo < 1e-12:
+        raise ValueError("x values must span a range")
+
+    canvas = [[" "] * width for _ in range(height)]
+
+    def col(xv: float) -> int:
+        return int(round((xv - x_lo) / (x_hi - x_lo) * (width - 1)))
+
+    def row(yv: float) -> int:
+        frac = (yv - y_lo) / (y_hi - y_lo)
+        return (height - 1) - int(round(frac * (height - 1)))
+
+    legend: list[str] = []
+    for idx, (name, vals) in enumerate(series.items()):
+        mark = _MARKS[idx % len(_MARKS)]
+        legend.append(f"{mark}={name}")
+        # Draw segments with simple linear interpolation between points.
+        for (x0, y0), (x1, y1) in zip(zip(x, vals), zip(x[1:], vals[1:])):
+            c0, c1 = col(x0), col(x1)
+            steps = max(1, c1 - c0)
+            for s in range(steps + 1):
+                t = s / steps
+                xc = c0 + s
+                yc = row(y0 + t * (y1 - y0))
+                canvas[yc][min(xc, width - 1)] = mark
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    top_label = f"{y_hi:.4g}"
+    bottom_label = f"{y_lo:.4g}"
+    pad = max(len(top_label), len(bottom_label))
+    for r, rowchars in enumerate(canvas):
+        label = top_label if r == 0 else (bottom_label if r == height - 1 else "")
+        lines.append(f"{label:>{pad}} |" + "".join(rowchars))
+    lines.append(" " * pad + " +" + "-" * width)
+    lines.append(
+        " " * pad + f"  {x_lo:<10.4g}{'':^{max(0, width - 22)}}{x_hi:>10.4g}"
+    )
+    lines.append(" " * pad + "  " + "   ".join(legend))
+    return "\n".join(lines)

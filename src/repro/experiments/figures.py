@@ -1,0 +1,264 @@
+"""Figure reproductions: one runner per paper figure.
+
+Every figure in §V is a sweep over the number of jobs with several methods
+per point.  :class:`FigureSeries` is the common result shape (x values +
+one y-series per method per metric); the per-figure functions fix the
+paper's method sets, metrics and cluster profiles.
+
+Scaling (recorded per experiment in EXPERIMENTS.md): relative to the
+paper, job counts are divided by 10, per-job task counts by 20 and node
+counts by 5, preserving the jobs-to-capacity pressure that drives every
+trend in Figs. 5–8.  The ``scale_*`` arguments expose the knobs so larger
+(slower) runs can approach the paper's raw sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+from ..cluster.cluster import Cluster
+from ..cluster.machine_specs import ec2_cluster, palmetto_cluster
+from ..config import DSPConfig, SimConfig
+from ..sim.metrics import RunMetrics
+from .harness import (
+    PREEMPTION_NAMES,
+    SCHEDULER_NAMES,
+    build_workload_for_cluster,
+    make_preemption_policies,
+    make_schedulers,
+    run_preemption,
+    run_scheduling,
+)
+
+__all__ = [
+    "FigureSeries",
+    "default_config",
+    "default_sim_config",
+    "cluster_profile",
+    "fig5_makespan",
+    "fig6_fig7_preemption",
+    "fig8_scalability",
+    "PAPER_JOB_COUNTS_FIG5",
+    "PAPER_JOB_COUNTS_FIG8",
+    "SCALED_JOB_COUNTS_FIG5",
+    "SCALED_JOB_COUNTS_FIG8",
+]
+
+#: The paper's x axes (number of jobs).
+PAPER_JOB_COUNTS_FIG5 = (150, 300, 450, 600, 750)
+PAPER_JOB_COUNTS_FIG8 = (500, 1000, 1500, 2000, 2500)
+#: Our defaults: paper counts ÷ 10.
+SCALED_JOB_COUNTS_FIG5 = (15, 30, 45, 60, 75)
+SCALED_JOB_COUNTS_FIG8 = (50, 100, 150, 200, 250)
+
+#: Node counts ÷ 5 relative to the paper's 50 / 30.
+_SCALED_PALMETTO_NODES = 10
+_SCALED_EC2_NODES = 6
+
+
+@dataclass(frozen=True)
+class FigureSeries:
+    """One reproduced figure: x values and per-method metric series.
+
+    ``series[method][metric]`` is a list aligned with ``x`` (number of
+    jobs).  ``meta`` records the run configuration for EXPERIMENTS.md.
+    """
+
+    figure: str
+    x_label: str
+    x: tuple[int, ...]
+    series: Mapping[str, Mapping[str, tuple[float, ...]]]
+    meta: Mapping[str, object] = field(default_factory=dict)
+
+    def metric(self, metric: str) -> dict[str, tuple[float, ...]]:
+        """One metric's series for every method."""
+        return {m: data[metric] for m, data in self.series.items()}
+
+    def methods(self) -> list[str]:
+        """Method labels in insertion (paper plotting) order."""
+        return list(self.series)
+
+
+def default_config(tau: float = 120.0) -> DSPConfig:
+    """Experiment DSPConfig: Table II defaults with τ scaled to the
+    simulated task durations (see DESIGN.md §2 on τ)."""
+    return DSPConfig(tau=tau)
+
+
+def default_sim_config() -> SimConfig:
+    """Experiment cadence: 60 s epochs within 300 s (5 min) scheduling
+    periods — §V runs scheduling every 5 minutes."""
+    return SimConfig(epoch=60.0, scheduling_period=300.0)
+
+
+def cluster_profile(kind: str, node_scale: float = 5.0) -> Cluster:
+    """'cluster' (Palmetto) or 'ec2' testbed at 1/node_scale of the
+    paper's node counts."""
+    if kind == "cluster":
+        return palmetto_cluster(max(1, round(50 / node_scale)))
+    if kind == "ec2":
+        return ec2_cluster(max(1, round(30 / node_scale)))
+    raise ValueError(f"unknown cluster profile {kind!r}; use 'cluster' or 'ec2'")
+
+
+_METRICS = (
+    "makespan",
+    "throughput_tasks_per_ms",
+    "throughput_jobs_per_s",
+    "avg_job_waiting",
+    "num_preemptions",
+    "num_disorders",
+)
+
+
+def _metrics_row(m: RunMetrics) -> dict[str, float]:
+    d = m.as_dict()
+    return {k: d[k] for k in _METRICS}
+
+
+def _sweep(
+    job_counts: Sequence[int],
+    methods: Sequence[str],
+    run_one: Callable[[int, str], RunMetrics],
+) -> dict[str, dict[str, tuple[float, ...]]]:
+    acc: dict[str, dict[str, list[float]]] = {
+        m: {k: [] for k in _METRICS} for m in methods
+    }
+    for n in job_counts:
+        for method in methods:
+            row = _metrics_row(run_one(n, method))
+            for k, v in row.items():
+                acc[method][k].append(v)
+    return {
+        m: {k: tuple(vs) for k, vs in per.items()} for m, per in acc.items()
+    }
+
+
+def fig5_makespan(
+    profile: str,
+    job_counts: Sequence[int] = SCALED_JOB_COUNTS_FIG5,
+    *,
+    scale: float = 20.0,
+    node_scale: float = 5.0,
+    seed: int = 7,
+    demand_fraction: float = 0.8,
+) -> FigureSeries:
+    """Fig. 5(a)/(b): makespan vs number of jobs for the four scheduling
+    methods, on the 'cluster' or 'ec2' profile."""
+    cluster = cluster_profile(profile, node_scale)
+    cfg = default_config()
+    sim = default_sim_config()
+
+    def run_one(n: int, method: str) -> RunMetrics:
+        workload = build_workload_for_cluster(
+            n, cluster, scale=scale, seed=seed + n, config=cfg,
+            demand_fraction=demand_fraction,
+        )
+        scheduler = make_schedulers(cluster, cfg)[method]
+        return run_scheduling(workload, cluster, scheduler, config=cfg, sim_config=sim)
+
+    series = _sweep(job_counts, SCHEDULER_NAMES, run_one)
+    sub = "a" if profile == "cluster" else "b"
+    return FigureSeries(
+        figure=f"fig5{sub}",
+        x_label="number of jobs",
+        x=tuple(job_counts),
+        series=series,
+        meta={
+            "profile": profile,
+            "nodes": len(cluster),
+            "task_scale": scale,
+            "seed_base": seed,
+            "demand_fraction": demand_fraction,
+        },
+    )
+
+
+def fig6_fig7_preemption(
+    profile: str,
+    job_counts: Sequence[int] = SCALED_JOB_COUNTS_FIG5,
+    *,
+    scale: float = 20.0,
+    node_scale: float = 5.0,
+    seed: int = 7,
+    demand_fraction: float = 0.8,
+) -> FigureSeries:
+    """Figs. 6/7 (a–d): disorders, throughput, waiting time and preemption
+    counts vs number of jobs for the five preemption methods.
+
+    ``profile='cluster'`` reproduces Fig. 6, ``'ec2'`` Fig. 7.
+    """
+    cluster = cluster_profile(profile, node_scale)
+    cfg = default_config()
+    sim = default_sim_config()
+
+    def run_one(n: int, method: str) -> RunMetrics:
+        workload = build_workload_for_cluster(
+            n, cluster, scale=scale, seed=seed + n, config=cfg,
+            demand_fraction=demand_fraction,
+        )
+        policy = make_preemption_policies(cfg)[method]
+        return run_preemption(workload, cluster, policy, config=cfg, sim_config=sim)
+
+    series = _sweep(job_counts, PREEMPTION_NAMES, run_one)
+    fig = "fig6" if profile == "cluster" else "fig7"
+    return FigureSeries(
+        figure=fig,
+        x_label="number of jobs",
+        x=tuple(job_counts),
+        series=series,
+        meta={
+            "profile": profile,
+            "nodes": len(cluster),
+            "task_scale": scale,
+            "seed_base": seed,
+            "demand_fraction": demand_fraction,
+        },
+    )
+
+
+def fig8_scalability(
+    job_counts: Sequence[int] = SCALED_JOB_COUNTS_FIG8,
+    *,
+    scale: float = 40.0,
+    node_scale: float = 5.0,
+    seed: int = 7,
+    demand_fraction: float = 0.8,
+) -> FigureSeries:
+    """Fig. 8(a)/(b): DSP's makespan and throughput as the job count grows
+    large, on both cluster profiles.
+
+    The per-job task scale is halved relative to Figs. 5–7 (÷40) so the
+    large sweeps stay laptop-sized; the scalability *trend* (sub-linear
+    makespan growth, flattening throughput) is scale-invariant.
+    """
+    cfg = default_config()
+    sim = default_sim_config()
+    series: dict[str, dict[str, tuple[float, ...]]] = {}
+    for profile in ("cluster", "ec2"):
+        cluster = cluster_profile(profile, node_scale)
+
+        def run_one(n: int, method: str) -> RunMetrics:
+            workload = build_workload_for_cluster(
+                n, cluster, scale=scale, seed=seed + n, config=cfg,
+                demand_fraction=demand_fraction,
+            )
+            scheduler = make_schedulers(cluster, cfg)["DSP"]
+            return run_scheduling(
+                workload, cluster, scheduler, config=cfg, sim_config=sim
+            )
+
+        label = "Real cluster" if profile == "cluster" else "Amazon EC2"
+        series[label] = _sweep(job_counts, (label,), lambda n, _m: run_one(n, "DSP"))[label]
+    return FigureSeries(
+        figure="fig8",
+        x_label="number of jobs",
+        x=tuple(job_counts),
+        series=series,
+        meta={
+            "task_scale": scale,
+            "seed_base": seed,
+            "demand_fraction": demand_fraction,
+        },
+    )

@@ -1,0 +1,204 @@
+"""Experiment harness: (workload, cluster, method) → metrics.
+
+Centralizes the run recipes of §V so every figure reproduction uses
+identical plumbing:
+
+* :func:`build_workload_for_cluster` — generates the Google-trace-shaped
+  workload with its reference node/rate matched to the target cluster, so
+  demands always fit some node and deadline slack is meaningful;
+* :func:`make_schedulers` — the four §V-A scheduling methods;
+* :func:`make_preemption_policies` — the five §V-B preemption methods;
+* :func:`run_scheduling` — one scheduler, no preemption (NullPreemption),
+  dispatch discipline taken from the scheduler (TetrisW/oDep runs
+  dependency-blind);
+* :func:`run_preemption` — DSP's initial schedule for *every* policy
+  ("We use our initial schedule for all preemption methods"), per-task
+  level deadlines from §IV-B, dispatch discipline from the policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..cluster.cluster import Cluster
+from ..config import DSPConfig, SimConfig
+from ..core.levels import task_deadlines
+from ..core.scheduler import DSPScheduler
+from ..core.preemption import DSPPreemption
+from ..baselines.aalo import AaloScheduler
+from ..baselines.fcfs import FCFSScheduler
+from ..baselines.graphene import GrapheneLiteScheduler
+from ..baselines.amoeba import AmoebaPreemption
+from ..baselines.natjam import NatjamPreemption
+from ..baselines.srpt import SRPTPreemption
+from ..baselines.tetris import TetrisScheduler
+from ..sim.engine import SimEngine
+from ..sim.metrics import RunMetrics
+from ..sim.policy import NullPreemption, PreemptionPolicy
+from ..trace.workload import Workload, WorkloadSpec, build_workload
+
+__all__ = [
+    "SCHEDULER_NAMES",
+    "PREEMPTION_NAMES",
+    "build_workload_for_cluster",
+    "make_schedulers",
+    "make_extended_schedulers",
+    "make_preemption_policies",
+    "compute_level_deadlines",
+    "run_scheduling",
+    "run_preemption",
+]
+
+#: §V-A method labels, in the paper's plotting order.
+SCHEDULER_NAMES = ("DSP", "Aalo", "TetrisW/SimDep", "TetrisW/oDep")
+#: §V-B method labels, in the paper's plotting order.
+PREEMPTION_NAMES = ("DSP", "DSPW/oPP", "Natjam", "Amoeba", "SRPT")
+
+
+def build_workload_for_cluster(
+    num_jobs: int,
+    cluster: Cluster,
+    *,
+    scale: float = 20.0,
+    seed: int | np.random.Generator | None = 0,
+    deadline_slack: float = 4.0,
+    config: DSPConfig | None = None,
+    demand_fraction: float = 0.45,
+) -> Workload:
+    """Workload whose demands and deadlines are calibrated to *cluster*.
+
+    The reference rate becomes the cluster's mean g(k) (so deadline slack
+    is measured against achievable speed) and the reference node dims are
+    *demand_fraction* of the smallest node (so roughly
+    ``1/demand_fraction`` average tasks fit per node and nothing is
+    undispatchable).
+    """
+    cfg = config or DSPConfig()
+    mean_rate = cluster.total_rate(cfg.theta_cpu, cfg.theta_mem) / len(cluster)
+    min_cpu = min(n.cpu_size for n in cluster)
+    min_mem = min(n.mem_size for n in cluster)
+    spec = WorkloadSpec(
+        num_jobs=num_jobs,
+        scale=scale,
+        deadline_slack=deadline_slack,
+        reference_rate_mips=mean_rate,
+        reference_node_cpu=min_cpu * demand_fraction,
+        reference_node_mem=min_mem * demand_fraction,
+    )
+    return build_workload(spec, rng=seed)
+
+
+def make_schedulers(
+    cluster: Cluster, config: DSPConfig | None = None
+) -> dict[str, object]:
+    """The four §V-A scheduling methods keyed by their paper labels."""
+    cfg = config or DSPConfig()
+    return {
+        "DSP": DSPScheduler(cluster, cfg, ilp_task_limit=0),
+        "Aalo": AaloScheduler(cluster, cfg),
+        "TetrisW/SimDep": TetrisScheduler(cluster, cfg, simdep=True),
+        "TetrisW/oDep": TetrisScheduler(cluster, cfg, simdep=False),
+    }
+
+
+def make_extended_schedulers(
+    cluster: Cluster, config: DSPConfig | None = None
+) -> dict[str, object]:
+    """The §V-A methods plus the extension baselines (Graphene-lite from
+    the related work, FCFS as the naive floor)."""
+    cfg = config or DSPConfig()
+    out = make_schedulers(cluster, cfg)
+    out["Graphene-lite"] = GrapheneLiteScheduler(cluster, cfg)
+    out["FCFS"] = FCFSScheduler(cluster, cfg)
+    return out
+
+
+def make_preemption_policies(
+    config: DSPConfig | None = None,
+) -> dict[str, PreemptionPolicy]:
+    """The five §V-B preemption methods keyed by their paper labels."""
+    cfg = config or DSPConfig()
+    return {
+        "DSP": DSPPreemption(cfg),
+        "DSPW/oPP": DSPPreemption(cfg.without_pp()),
+        "Natjam": NatjamPreemption(cfg),
+        "Amoeba": AmoebaPreemption(cfg),
+        "SRPT": SRPTPreemption(cfg),
+    }
+
+
+def compute_level_deadlines(
+    workload: Workload, cluster: Cluster, config: DSPConfig | None = None
+) -> dict[str, float]:
+    """Per-task absolute deadlines via the §IV-B level rule, with execution
+    times estimated at the cluster's mean rate."""
+    cfg = config or DSPConfig()
+    mean_rate = cluster.total_rate(cfg.theta_cpu, cfg.theta_mem) / len(cluster)
+    out: dict[str, float] = {}
+    for job in workload.jobs:
+        exec_time = {
+            tid: t.execution_time(mean_rate) for tid, t in job.tasks.items()
+        }
+        out.update(task_deadlines(job, exec_time))
+    return out
+
+
+def run_scheduling(
+    workload: Workload,
+    cluster: Cluster,
+    scheduler,
+    *,
+    config: DSPConfig | None = None,
+    sim_config: SimConfig | None = None,
+) -> RunMetrics:
+    """§V-A run: one scheduling method, no preemption.
+
+    The dispatch discipline follows the scheduler's own semantics
+    (TetrisW/oDep dispatches dependency-blind, everyone else runnable-only).
+    """
+    reset = getattr(scheduler, "reset", None)
+    if callable(reset):
+        reset()  # schedulers keep lane/timeline state across rounds of ONE run
+    engine = SimEngine(
+        cluster=cluster,
+        jobs=workload.jobs,
+        scheduler=scheduler,
+        preemption=NullPreemption(),
+        dsp_config=config,
+        sim_config=sim_config,
+        dependency_aware_dispatch=getattr(scheduler, "respects_dependencies", True),
+    )
+    return engine.run()
+
+
+def run_preemption(
+    workload: Workload,
+    cluster: Cluster,
+    policy: PreemptionPolicy,
+    *,
+    config: DSPConfig | None = None,
+    sim_config: SimConfig | None = None,
+    max_preemptions_per_task: int = 25,
+) -> RunMetrics:
+    """§V-B run: DSP's initial schedule + one preemption policy.
+
+    Per-task deadlines come from the level rule so DSP's urgency logic (and
+    Natjam's deadline tie-break) see the quantities the paper defines.
+    """
+    cfg = config or DSPConfig()
+    scheduler = DSPScheduler(cluster, cfg, ilp_task_limit=0)
+    engine = SimEngine(
+        cluster=cluster,
+        jobs=workload.jobs,
+        scheduler=scheduler,
+        preemption=policy,
+        dsp_config=cfg,
+        sim_config=sim_config,
+        task_deadlines=compute_level_deadlines(workload, cluster, cfg),
+        dependency_aware_dispatch=policy.respects_dependencies,
+        max_preemptions_per_task=max_preemptions_per_task,
+    )
+    return engine.run()

@@ -1,0 +1,109 @@
+"""Text reporting for reproduced figures.
+
+No plotting dependency is available offline, so figures are rendered as
+aligned ASCII tables — the same rows/series the paper's plots show.  The
+benchmark harness prints these, and :func:`figure_markdown` renders the
+EXPERIMENTS.md fragments.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .figures import FigureSeries
+
+__all__ = ["series_table", "figure_report", "figure_markdown", "check_order"]
+
+#: Human labels for the metric keys of FigureSeries.
+METRIC_LABELS = {
+    "makespan": "Makespan (s)",
+    "throughput_tasks_per_ms": "Throughput (tasks/ms)",
+    "throughput_jobs_per_s": "Throughput (jobs/s, in-deadline)",
+    "avg_job_waiting": "Avg job waiting time (s)",
+    "num_preemptions": "Number of preemptions",
+    "num_disorders": "Number of disorders",
+}
+
+
+def _fmt(v: float) -> str:
+    if v == 0:
+        return "0"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    if abs(v) >= 1:
+        return f"{v:.1f}"
+    return f"{v:.5f}"
+
+
+def series_table(
+    x_label: str,
+    x: Sequence[int],
+    rows: Mapping[str, Sequence[float]],
+    title: str = "",
+) -> str:
+    """One metric as an aligned table: methods down, x values across."""
+    headers = [x_label] + [str(v) for v in x]
+    body = [[name] + [_fmt(v) for v in vals] for name, vals in rows.items()]
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in body)) if body else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(r[i].ljust(widths[i]) for i in range(len(r))))
+    return "\n".join(lines)
+
+
+def figure_report(fig: FigureSeries, metrics: Sequence[str]) -> str:
+    """Full text report of a reproduced figure: one table per metric."""
+    parts = [f"=== {fig.figure}  ({fig.meta})"]
+    for metric in metrics:
+        rows = fig.metric(metric)
+        parts.append(
+            series_table(
+                fig.x_label, fig.x, rows, title=METRIC_LABELS.get(metric, metric)
+            )
+        )
+    return "\n\n".join(parts)
+
+
+def figure_markdown(fig: FigureSeries, metrics: Sequence[str]) -> str:
+    """Markdown tables of a reproduced figure (for EXPERIMENTS.md)."""
+    parts: list[str] = []
+    for metric in metrics:
+        rows = fig.metric(metric)
+        parts.append(f"**{METRIC_LABELS.get(metric, metric)}** ({fig.figure})")
+        parts.append("")
+        header = "| method | " + " | ".join(str(v) for v in fig.x) + " |"
+        sep = "|---" * (len(fig.x) + 1) + "|"
+        parts.append(header)
+        parts.append(sep)
+        for name, vals in rows.items():
+            parts.append("| " + name + " | " + " | ".join(_fmt(v) for v in vals) + " |")
+        parts.append("")
+    return "\n".join(parts)
+
+
+def check_order(
+    values: Mapping[str, float],
+    expected_order: Sequence[str],
+    *,
+    tolerance: float = 0.0,
+) -> list[str]:
+    """Check that ``values`` respect an ascending expected order.
+
+    Returns the violations (empty = order holds).  *tolerance* is the
+    relative slack treated as a tie — the paper itself reports several
+    pairs as ≈.
+    """
+    problems: list[str] = []
+    for a, b in zip(expected_order, expected_order[1:]):
+        va, vb = values[a], values[b]
+        slack = tolerance * max(abs(va), abs(vb))
+        if va > vb + slack:
+            problems.append(f"{a} ({va:.4g}) should be <= {b} ({vb:.4g})")
+    return problems

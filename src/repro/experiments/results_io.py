@@ -1,0 +1,91 @@
+"""Persistence for experiment results (JSON).
+
+Figure sweeps take minutes; being able to save a :class:`FigureSeries` (or
+a plain :class:`~repro.sim.metrics.RunMetrics`) and re-render tables or
+compare runs later is table stakes for an experiment harness.  The format
+is plain JSON — stable, diffable, and readable outside Python.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any
+
+from ..sim.metrics import RunMetrics
+from .figures import FigureSeries
+
+__all__ = [
+    "figure_to_json",
+    "figure_from_json",
+    "save_figure",
+    "load_figure",
+    "metrics_to_dict",
+    "metrics_from_dict",
+]
+
+_SCHEMA_VERSION = 1
+
+
+def figure_to_json(fig: FigureSeries) -> str:
+    """Serialize a figure sweep to a JSON string."""
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "figure": fig.figure,
+        "x_label": fig.x_label,
+        "x": list(fig.x),
+        "series": {
+            method: {metric: list(vals) for metric, vals in per.items()}
+            for method, per in fig.series.items()
+        },
+        "meta": dict(fig.meta),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def figure_from_json(text: str) -> FigureSeries:
+    """Inverse of :func:`figure_to_json`; validates the schema version."""
+    payload = json.loads(text)
+    schema = payload.get("schema")
+    if schema != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported results schema {schema!r}")
+    return FigureSeries(
+        figure=payload["figure"],
+        x_label=payload["x_label"],
+        x=tuple(int(v) for v in payload["x"]),
+        series={
+            method: {metric: tuple(vals) for metric, vals in per.items()}
+            for method, per in payload["series"].items()
+        },
+        meta=payload.get("meta", {}),
+    )
+
+
+def save_figure(fig: FigureSeries, path: str | Path) -> Path:
+    """Write a figure sweep to *path*; returns the resolved path."""
+    path = Path(path)
+    path.write_text(figure_to_json(fig))
+    return path
+
+
+def load_figure(path: str | Path) -> FigureSeries:
+    """Read a figure sweep previously written by :func:`save_figure`."""
+    return figure_from_json(Path(path).read_text())
+
+
+def metrics_to_dict(metrics: RunMetrics) -> dict[str, Any]:
+    """RunMetrics → plain dict (all dataclass fields, JSON-safe)."""
+    return dataclasses.asdict(metrics)
+
+
+def metrics_from_dict(payload: dict[str, Any]) -> RunMetrics:
+    """Inverse of :func:`metrics_to_dict`; rejects unknown/missing keys."""
+    fields = {f.name for f in dataclasses.fields(RunMetrics)}
+    unknown = set(payload) - fields
+    if unknown:
+        raise ValueError(f"unknown RunMetrics fields: {sorted(unknown)}")
+    missing = fields - set(payload)
+    if missing:
+        raise ValueError(f"missing RunMetrics fields: {sorted(missing)}")
+    return RunMetrics(**payload)

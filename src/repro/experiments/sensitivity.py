@@ -1,0 +1,114 @@
+"""Two-dimensional parameter sensitivity: grids and ASCII heatmaps.
+
+One-dimensional sweeps (:mod:`repro.experiments.ablations`) show each
+parameter's marginal effect; interactions need a grid.  The obvious pair
+in DSP is (γ, ρ): γ sets how steeply the Eq. 12 recursion amplifies
+dependency structure, ρ sets how large a priority gap must be before a
+preemption is worth its context switch — together they control how often
+the online phase overrides the offline plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..config import DSPConfig
+from ..sim.metrics import RunMetrics
+from .ablations import DEFAULT_SWEEPS
+from .figures import cluster_profile, default_config, default_sim_config
+from .harness import build_workload_for_cluster, make_preemption_policies, run_preemption
+
+__all__ = ["GridResult", "sweep_grid", "heatmap"]
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """A 2D sensitivity grid: metrics for every (row, col) parameter pair."""
+
+    row_param: str
+    col_param: str
+    row_values: tuple[float, ...]
+    col_values: tuple[float, ...]
+    cells: Mapping[tuple[float, float], RunMetrics]
+
+    def metric(self, name: str) -> list[list[float]]:
+        """The grid of one scalar metric, rows × cols."""
+        return [
+            [self.cells[(r, c)].as_dict()[name] for c in self.col_values]
+            for r in self.row_values
+        ]
+
+
+def sweep_grid(
+    row_param: str,
+    row_values: Sequence[float],
+    col_param: str,
+    col_values: Sequence[float],
+    *,
+    num_jobs: int = 15,
+    profile: str = "cluster",
+    scale: float = 30.0,
+    seed: int = 7,
+    demand_fraction: float = 0.8,
+) -> GridResult:
+    """Run DSP over the (row × col) parameter grid on one fixed workload."""
+    for param in (row_param, col_param):
+        if param not in DEFAULT_SWEEPS:
+            raise ValueError(
+                f"unknown parameter {param!r}; one of {sorted(DEFAULT_SWEEPS)}"
+            )
+    if row_param == col_param:
+        raise ValueError("row and column parameters must differ")
+    cluster = cluster_profile(profile)
+    base = default_config()
+    sim = default_sim_config()
+    workload = build_workload_for_cluster(
+        num_jobs, cluster, scale=scale, seed=seed, config=base,
+        demand_fraction=demand_fraction,
+    )
+    cells: dict[tuple[float, float], RunMetrics] = {}
+    for r in row_values:
+        for c in col_values:
+            cfg = base.replace(**{row_param: r, col_param: c})
+            policy = make_preemption_policies(cfg)["DSP"]
+            cells[(r, c)] = run_preemption(
+                workload, cluster, policy, config=cfg, sim_config=sim
+            )
+    return GridResult(
+        row_param=row_param,
+        col_param=col_param,
+        row_values=tuple(row_values),
+        col_values=tuple(col_values),
+        cells=cells,
+    )
+
+
+_SHADES = " .:-=+*#%@"
+
+
+def heatmap(grid: GridResult, metric: str, *, invert: bool = False) -> str:
+    """Render one metric of a grid as an ASCII heatmap (darker = larger,
+    or smaller when *invert*), with the numeric values alongside."""
+    values = grid.metric(metric)
+    flat = [v for row in values for v in row]
+    lo, hi = min(flat), max(flat)
+    span = hi - lo if hi > lo else 1.0
+
+    def shade(v: float) -> str:
+        frac = (v - lo) / span
+        if invert:
+            frac = 1.0 - frac
+        return _SHADES[int(frac * (len(_SHADES) - 1))]
+
+    col_hdr = "  ".join(f"{c:>9g}" for c in grid.col_values)
+    lines = [
+        f"{metric} over {grid.row_param} (rows) x {grid.col_param} (cols)",
+        f"{'':>9}  {col_hdr}",
+    ]
+    for r, row in zip(grid.row_values, values):
+        cells = "  ".join(f"{v:>8.4g}{shade(v)}" for v in row)
+        lines.append(f"{r:>9g}  {cells}")
+    lines.append(f"shade: '{_SHADES[0]}' low ... '{_SHADES[-1]}' high"
+                 + (" (inverted)" if invert else ""))
+    return "\n".join(lines)

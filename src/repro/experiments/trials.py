@@ -1,0 +1,104 @@
+"""Multi-trial aggregation: run a sweep over several seeds, report means.
+
+Single-seed sweeps are noisy at scaled-down sizes (exactly like single
+runs on a real testbed).  :func:`aggregate_trials` repeats a figure runner
+over a seed list and averages each series element-wise; the result is a
+:class:`~repro.experiments.figures.FigureSeries` whose tables/benches can
+be rendered exactly like a single run's, plus per-cell standard deviations
+for error bars.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from .figures import FigureSeries
+
+__all__ = ["TrialAggregate", "aggregate_trials", "order_stability"]
+
+
+class TrialAggregate:
+    """Mean figure plus per-cell standard deviations across trials."""
+
+    def __init__(self, mean: FigureSeries, std: FigureSeries, num_trials: int):
+        self.mean = mean
+        self.std = std
+        self.num_trials = num_trials
+
+    def mean_of(self, method: str, metric: str) -> tuple[float, ...]:
+        """Mean series of one method/metric."""
+        return self.mean.series[method][metric]
+
+    def std_of(self, method: str, metric: str) -> tuple[float, ...]:
+        """Standard-deviation series of one method/metric."""
+        return self.std.series[method][metric]
+
+
+def aggregate_trials(
+    runner: Callable[[int], FigureSeries],
+    seeds: Sequence[int],
+) -> TrialAggregate:
+    """Run ``runner(seed)`` for every seed and aggregate element-wise.
+
+    All runs must produce identical structure (figure id, x, methods,
+    metrics); mismatches raise ``ValueError``.
+    """
+    if not seeds:
+        raise ValueError("aggregate_trials needs at least one seed")
+    figs = [runner(seed) for seed in seeds]
+    first = figs[0]
+    for fig in figs[1:]:
+        if fig.x != first.x or set(fig.series) != set(first.series):
+            raise ValueError("trial runs produced mismatched figure structure")
+
+    mean_series: dict[str, dict[str, tuple[float, ...]]] = {}
+    std_series: dict[str, dict[str, tuple[float, ...]]] = {}
+    for method, per in first.series.items():
+        mean_series[method] = {}
+        std_series[method] = {}
+        for metric in per:
+            stack = np.array([f.series[method][metric] for f in figs])
+            mean_series[method][metric] = tuple(float(v) for v in stack.mean(axis=0))
+            std_series[method][metric] = tuple(float(v) for v in stack.std(axis=0))
+
+    meta = dict(first.meta)
+    meta["trials"] = len(seeds)
+    meta["seeds"] = list(seeds)
+    return TrialAggregate(
+        mean=FigureSeries(
+            figure=first.figure, x_label=first.x_label, x=first.x,
+            series=mean_series, meta=meta,
+        ),
+        std=FigureSeries(
+            figure=first.figure + ":std", x_label=first.x_label, x=first.x,
+            series=std_series, meta=meta,
+        ),
+        num_trials=len(seeds),
+    )
+
+
+def order_stability(
+    figs: Sequence[FigureSeries],
+    metric: str,
+    expected_order: Sequence[str],
+    *,
+    tolerance: float = 0.0,
+) -> float:
+    """Fraction of (trial, x-point) cells where the expected ascending
+    order holds — a reproducibility score for a claimed ordering."""
+    if not figs:
+        raise ValueError("order_stability needs at least one figure")
+    ok = 0
+    total = 0
+    for fig in figs:
+        for i in range(len(fig.x)):
+            total += 1
+            values = {m: fig.series[m][metric][i] for m in expected_order}
+            holds = all(
+                values[a] <= values[b] + tolerance * max(abs(values[a]), abs(values[b]))
+                for a, b in zip(expected_order, expected_order[1:])
+            )
+            ok += holds
+    return ok / total if total else 0.0

@@ -1,0 +1,53 @@
+"""Discrete-event cluster simulator: events, runtimes, metrics, the engine
+and the preemption-policy interface."""
+
+from .checkpoint import checkpoint_count, lost_work_mi, retained_work_mi
+from .events import Event, EventKind, EventQueue
+from .faults import FaultEvent, FaultKind, random_fault_plan, validate_fault_plan
+from .metrics import MetricsCollector, RunMetrics
+from .executor import NodeRuntime, TaskRuntime
+from .tracelog import TraceLog, TraceSegment, gantt_chart
+from .policy import (
+    NodeView,
+    NullPreemption,
+    PreemptionDecision,
+    PreemptionPolicy,
+    TaskView,
+)
+from .engine import (
+    SchedulerLike,
+    SimContext,
+    SimEngine,
+    SimulationError,
+    SimulationStuck,
+)
+
+__all__ = [
+    "checkpoint_count",
+    "lost_work_mi",
+    "retained_work_mi",
+    "FaultEvent",
+    "FaultKind",
+    "random_fault_plan",
+    "validate_fault_plan",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "MetricsCollector",
+    "RunMetrics",
+    "NodeRuntime",
+    "TaskRuntime",
+    "NodeView",
+    "NullPreemption",
+    "PreemptionDecision",
+    "PreemptionPolicy",
+    "TaskView",
+    "SchedulerLike",
+    "SimContext",
+    "SimEngine",
+    "SimulationError",
+    "SimulationStuck",
+    "TraceLog",
+    "TraceSegment",
+    "gantt_chart",
+]

@@ -1,0 +1,71 @@
+"""Checkpoint–restart model (§III's mechanism, following [29] Niu et al.).
+
+The paper adopts checkpoint–restart: "preempted tasks are restarted from
+their most recent checkpoints".  Two of the compared systems (Amoeba,
+Natjam) checkpoint; SRPT does not and restarts from scratch.
+
+The engine's default is the *perfect checkpoint* abstraction (a preempted
+task retains exactly the work it completed), which is what the paper's
+modelling implies.  Real checkpointing is periodic, so this module also
+provides the interval model: with a checkpoint every ``interval`` seconds
+of execution progress, a preempted task loses the work done since its last
+checkpoint boundary.
+
+Set :attr:`~repro.config.DSPConfig.checkpoint_interval` > 0 to switch the
+engine to the interval model; the ablation bench quantifies the cost.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .._util import check_non_negative, check_positive
+
+__all__ = ["retained_work_mi", "checkpoint_count", "lost_work_mi"]
+
+
+def retained_work_mi(work_done_mi: float, rate_mips: float, interval: float) -> float:
+    """Work (MI) preserved across a preemption.
+
+    Parameters
+    ----------
+    work_done_mi:
+        Total work the task had completed when suspended.
+    rate_mips:
+        The node's processing rate — checkpoints are taken every
+        ``interval`` *seconds* of execution, i.e. every
+        ``interval * rate`` MI of progress.
+    interval:
+        Seconds of execution between checkpoints.  ``0`` means the perfect
+        (continuous) checkpoint: everything is retained.
+
+    Returns the work at the last checkpoint boundary at or below
+    *work_done_mi*.
+    """
+    check_non_negative(work_done_mi, "work_done_mi")
+    check_positive(rate_mips, "rate_mips")
+    check_non_negative(interval, "interval")
+    quantum = interval * rate_mips
+    if quantum <= 1e-12:
+        # interval == 0 (or numerically indistinguishable from it): the
+        # continuous-checkpoint abstraction — everything is retained.
+        return work_done_mi
+    # floor(w/q)*q can exceed w by one ulp; clamp to keep the invariant
+    # 0 <= retained <= work exact.
+    return min(work_done_mi, math.floor(work_done_mi / quantum) * quantum)
+
+
+def checkpoint_count(work_done_mi: float, rate_mips: float, interval: float) -> int:
+    """Number of checkpoints taken while completing *work_done_mi*."""
+    check_non_negative(work_done_mi, "work_done_mi")
+    check_positive(rate_mips, "rate_mips")
+    check_non_negative(interval, "interval")
+    quantum = interval * rate_mips
+    if quantum <= 1e-12:
+        return 0
+    return int(math.floor(work_done_mi / quantum))
+
+
+def lost_work_mi(work_done_mi: float, rate_mips: float, interval: float) -> float:
+    """Work (MI) a preemption destroys under the interval model."""
+    return work_done_mi - retained_work_mi(work_done_mi, rate_mips, interval)

@@ -1,0 +1,757 @@
+"""Discrete-event cluster simulator.
+
+The engine replays a workload (jobs of DAG tasks) on a cluster under
+
+* an **offline scheduler** — any object with
+  ``schedule(jobs) -> ScheduleLike`` (the DSP ILP/heuristic or a baseline),
+  invoked every scheduling period on the jobs that arrived since the last
+  round (§III's unit periods), whose output fills the per-node waiting
+  queues of Fig. 4; and
+* an **online preemption policy** — evaluated on every epoch tick
+  (§IV-B), producing (preempting, victim) pairs the engine validates and
+  applies.
+
+Behavioural contract (DESIGN.md §4):
+
+* a node runs any set of tasks whose demands fit its capacity vector;
+* dependency-aware runs dispatch only runnable tasks; dependency-unaware
+  runs also dispatch tasks whose planned start has passed — if their
+  parents have not finished, that dispatch is a **disorder** and the task
+  *stalls*, holding capacity without progressing, until its parents
+  complete;
+* a preempted task is re-queued by its planned start; with checkpointing
+  it keeps its progress, without (SRPT) it restarts from zero; either way
+  it pays the recovery cost :math:`t_r + \\sigma` when next dispatched and
+  the run's preemption counter increments;
+* a *starvation guard* caps preemptions per task (default 25): beyond the
+  cap a task becomes non-preemptable and runs to completion.  The paper
+  does not need this because its testbed runs finite workloads with human
+  patience as the backstop; an un-capped SRPT-without-checkpoint can
+  livelock in simulation.  The cap is far above the per-task preemption
+  counts any policy reaches in the reproduced figures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Protocol, Sequence
+
+from .._util import EPS
+from ..cluster.cluster import Cluster
+from ..config import DSPConfig, SimConfig
+from ..dag.job import Job
+from ..dag.task import Task, TaskState
+from .checkpoint import retained_work_mi
+from .events import EventKind, EventQueue
+from .faults import FaultEvent, FaultKind, validate_fault_plan
+from .executor import NodeRuntime, TaskRuntime
+from .metrics import MetricsCollector, RunMetrics
+from .policy import NodeView, NullPreemption, PreemptionDecision, PreemptionPolicy, TaskView
+from .tracelog import TraceLog
+
+__all__ = [
+    "SimEngine",
+    "SimulationError",
+    "SimulationStuck",
+    "SchedulerLike",
+    "SimContext",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulation failures."""
+
+
+class SimulationStuck(SimulationError):
+    """No task can ever be dispatched again yet work remains — a deadlock
+    (e.g. a task demand exceeding every node's total capacity)."""
+
+
+class SchedulerLike(Protocol):
+    """Structural type of offline schedulers: one batch in, a plan out.
+
+    The plan must expose ``assignments``: a mapping from task id to an
+    object with ``node_id`` and ``start`` attributes
+    (:class:`repro.core.schedule.Schedule` satisfies this)."""
+
+    def schedule(self, jobs: Sequence[Job]) -> Any: ...
+
+
+class SimContext:
+    """Read-only engine facade handed to preemption policies at attach time.
+
+    Exposes the static task set, the per-task children map and live signal
+    accessors so a policy (e.g. DSP's Eq. 12 recursion) can reach *global*
+    runtime state, not just the node snapshot it is deciding for.
+    """
+
+    def __init__(self, engine: "SimEngine"):
+        self._engine = engine
+
+    @property
+    def tasks(self) -> Mapping[str, Task]:
+        """All static tasks keyed by id."""
+        return self._engine._static_tasks
+
+    @property
+    def children(self) -> Mapping[str, tuple[str, ...]]:
+        """Direct dependents of every task."""
+        return self._engine._children
+
+    @property
+    def dsp_config(self) -> DSPConfig:
+        return self._engine._dsp_config
+
+    @property
+    def epoch(self) -> float:
+        return self._engine._sim_config.epoch
+
+    def now(self) -> float:
+        """Current simulation clock."""
+        return self._engine.now
+
+    def is_completed(self, task_id: str) -> bool:
+        """Whether *task_id* has finished."""
+        return self._engine._tasks[task_id].state is TaskState.COMPLETED
+
+    def remaining_time(self, task_id: str) -> float:
+        """Live :math:`t^{rem}` of a task at the engine's assigned rate."""
+        return self._engine._remaining_time(task_id)
+
+    def waiting_time(self, task_id: str) -> float:
+        """Live :math:`t^w` of a task."""
+        return self._engine._tasks[task_id].waiting_time_at(self._engine.now)
+
+    def allowable_wait(self, task_id: str) -> float:
+        """Live :math:`t^a` of a task against its level deadline."""
+        rt = self._engine._tasks[task_id]
+        return rt.deadline - self._engine.now - self._engine._remaining_time(task_id)
+
+
+class SimEngine:
+    """One simulation run: (cluster, jobs, scheduler, policy, configs) → metrics.
+
+    Parameters
+    ----------
+    cluster, jobs:
+        The hardware and the workload.
+    scheduler:
+        Offline planner invoked per scheduling round.
+    preemption:
+        Online policy evaluated per epoch; defaults to
+        :class:`~repro.sim.policy.NullPreemption`.
+    dsp_config, sim_config:
+        Parameter sets (Table II and run cadence).
+    task_deadlines:
+        Optional per-task absolute deadlines (the §IV-B level rule,
+        computed by :func:`repro.core.levels.task_deadlines`); defaults to
+        each task inheriting its job's deadline.
+    dependency_aware_dispatch:
+        Overrides the dispatch discipline; ``None`` inherits
+        ``preemption.respects_dependencies``.
+    max_preemptions_per_task:
+        The starvation guard (see module docstring).
+    view_queue_limit:
+        How many waiting tasks (from the queue head) each epoch snapshot
+        exposes to the policy.  The paper's Algorithm 1 only ever examines
+        the first δ-fraction of a queue plus urgent tasks near the head, so
+        a bounded window changes decisions marginally while keeping epoch
+        cost independent of backlog length.
+    stall_timeout:
+        Dependency-blind dispatch can *deadlock*: a stalled task holds
+        capacity its own (queued) ancestor needs — exactly the hazard §IV-A
+        warns about ("even worse, deadlock may occur due to the dependency
+        constraints").  Real frameworks eventually fail/kick such tasks, so
+        after stalling this many *seconds* (checked at epoch ticks) a
+        stalled task is evicted back to the queue (counted in
+        ``metrics.num_stall_evictions``, not as a policy preemption) and
+        thereafter only dispatches once runnable.  The 120 s default
+        approximates the detect-fail-retry cost of dispatching a task whose
+        inputs do not exist yet on a production framework.
+    faults:
+        Optional fault-injection plan (:mod:`repro.sim.faults`): node
+        failures suspend and reassign everything on the node (work rolls
+        back to the last checkpoint), stragglers re-time in-flight tasks
+        at the degraded rate.  Validated against the cluster up front.
+    record_trace:
+        When True, every run/stall segment is recorded in
+        :attr:`trace` (a :class:`~repro.sim.tracelog.TraceLog`) for Gantt
+        rendering and timeline debugging.  Off by default — long runs
+        record millions of segments.
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        jobs: Sequence[Job],
+        scheduler: SchedulerLike,
+        preemption: PreemptionPolicy | None = None,
+        dsp_config: DSPConfig | None = None,
+        sim_config: SimConfig | None = None,
+        task_deadlines: Mapping[str, float] | None = None,
+        dependency_aware_dispatch: bool | None = None,
+        max_preemptions_per_task: int = 25,
+        view_queue_limit: int = 32,
+        stall_timeout: float = 120.0,
+        faults: Sequence[FaultEvent] | None = None,
+        record_trace: bool = False,
+    ):
+        if not jobs:
+            raise ValueError("SimEngine needs at least one job")
+        self._cluster = cluster
+        self._jobs: dict[str, Job] = {}
+        for job in jobs:
+            if job.job_id in self._jobs:
+                raise ValueError(f"duplicate job id {job.job_id!r}")
+            self._jobs[job.job_id] = job
+        self._scheduler = scheduler
+        self._policy = preemption if preemption is not None else NullPreemption()
+        self._dsp_config = dsp_config or DSPConfig()
+        self._sim_config = sim_config or SimConfig()
+        self._dependency_aware = (
+            self._policy.respects_dependencies
+            if dependency_aware_dispatch is None
+            else dependency_aware_dispatch
+        )
+        if max_preemptions_per_task < 1:
+            raise ValueError("max_preemptions_per_task must be >= 1")
+        self._max_preemptions = max_preemptions_per_task
+        if view_queue_limit < 1:
+            raise ValueError("view_queue_limit must be >= 1")
+        self._view_queue_limit = view_queue_limit
+        if stall_timeout <= 0:
+            raise ValueError("stall_timeout must be > 0")
+        self._stall_timeout = stall_timeout
+        self._fault_plan: list[FaultEvent] = sorted(
+            faults or (), key=lambda e: (e.time, e.node_id)
+        )
+        if self._fault_plan:
+            problems = validate_fault_plan(self._fault_plan, cluster)
+            if problems:
+                raise ValueError(f"invalid fault plan: {problems[:3]}")
+        self._pending_faults = len(self._fault_plan)
+        self.trace: TraceLog | None = TraceLog() if record_trace else None
+
+        # Static structures.
+        self._static_tasks: dict[str, Task] = {}
+        self._children: dict[str, tuple[str, ...]] = {}
+        self._job_of: dict[str, str] = {}
+        for job in self._jobs.values():
+            for tid, task in job.tasks.items():
+                if tid in self._static_tasks:
+                    raise ValueError(f"duplicate task id {tid!r} across jobs")
+                self._static_tasks[tid] = task
+                self._job_of[tid] = job.job_id
+            self._children.update(job.children)
+
+        # Full ancestor sets, precomputed once: condition C2 checks become a
+        # set intersection instead of a per-epoch graph walk.
+        self._ancestors: dict[str, frozenset[str]] = {}
+        for job in self._jobs.values():
+            for tid in job.topo_order:
+                anc: set[str] = set()
+                for p in job.tasks[tid].parents:
+                    anc.add(p)
+                    anc |= self._ancestors[p]
+                self._ancestors[tid] = frozenset(anc)
+
+        # Runtime structures.
+        self._tasks: dict[str, TaskRuntime] = {}
+        deadlines = dict(task_deadlines or {})
+        smallest = min((n.capacity for n in cluster), key=lambda c: c.norm1())
+        for job in self._jobs.values():
+            for tid, task in job.tasks.items():
+                if not task.demand.fits_within(smallest) and not any(
+                    task.demand.fits_within(n.capacity) for n in cluster
+                ):
+                    raise SimulationStuck(
+                        f"task {tid} demand {task.demand} exceeds every node's capacity"
+                    )
+                self._tasks[tid] = TaskRuntime(
+                    task=task,
+                    deadline=deadlines.get(tid, job.deadline),
+                    unfinished_parents=len(task.parents),
+                )
+        self._nodes: dict[str, NodeRuntime] = {
+            n.node_id: NodeRuntime(
+                n, n.processing_rate(self._dsp_config.theta_cpu, self._dsp_config.theta_mem)
+            )
+            for n in cluster
+        }
+        self._job_remaining: dict[str, int] = {
+            jid: len(job.tasks) for jid, job in self._jobs.items()
+        }
+
+        self.now: float = 0.0
+        self._events = EventQueue()
+        self.metrics = MetricsCollector(
+            collect_samples=self._sim_config.collect_task_samples
+        )
+        self._unscheduled: list[str] = []  # job ids arrived but not yet planned
+        self._arrived: set[str] = set()
+        self._completed_tasks = 0
+        self._finished = False
+        self._epoch_scheduled = False
+        self._dispatched_this_tick = False
+
+        attach = getattr(self._policy, "attach", None)
+        if callable(attach):
+            attach(SimContext(self))
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> RunMetrics:
+        """Execute to completion and return the run's metrics."""
+        if self._finished:
+            raise SimulationError("engine instances are single-use; build a new one")
+        for job in self._jobs.values():
+            self.metrics.register_job(job.job_id, job.arrival_time, job.deadline)
+            for tid in job.tasks:
+                self.metrics.register_task(tid, job.job_id)
+            self._events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id)
+        first_arrival = min(j.arrival_time for j in self._jobs.values())
+        self._events.push(first_arrival, EventKind.SCHEDULING_ROUND, None)
+        for fault in self._fault_plan:
+            self._events.push(fault.time, EventKind.FAULT, fault)
+
+        while self._events:
+            ev = self._events.pop()
+            if ev.time > self._sim_config.horizon:
+                raise SimulationError(
+                    f"simulation exceeded horizon {self._sim_config.horizon}s "
+                    f"({self._completed_tasks}/{len(self._tasks)} tasks done)"
+                )
+            self.now = max(self.now, ev.time)
+            if ev.kind is EventKind.JOB_ARRIVAL:
+                self._on_arrival(ev.payload)
+            elif ev.kind is EventKind.SCHEDULING_ROUND:
+                self._on_round()
+            elif ev.kind is EventKind.EPOCH_TICK:
+                self._on_epoch()
+            elif ev.kind is EventKind.TASK_FINISH:
+                tid, version = ev.payload
+                self._on_finish(tid, version)
+            elif ev.kind is EventKind.FAULT:
+                self._on_fault(ev.payload)
+            if self._completed_tasks == len(self._tasks):
+                break
+
+        if self._completed_tasks != len(self._tasks):
+            unfinished = [
+                tid for tid, rt in self._tasks.items() if rt.state is not TaskState.COMPLETED
+            ]
+            raise SimulationStuck(
+                f"event queue drained with {len(unfinished)} unfinished tasks "
+                f"(first: {sorted(unfinished)[:3]})"
+            )
+        self._finished = True
+        return self.metrics.finalize(self.now)
+
+    # ------------------------------------------------------------- handlers
+    def _on_arrival(self, job_id: str) -> None:
+        self._arrived.add(job_id)
+        self._unscheduled.append(job_id)
+
+    def _on_round(self) -> None:
+        batch = [self._jobs[jid] for jid in self._unscheduled]
+        self._unscheduled.clear()
+        if batch:
+            plan = self._scheduler.schedule(batch)
+            for tid, assignment in plan.assignments.items():
+                rt = self._tasks[tid]
+                if rt.node_id is not None:
+                    raise SimulationError(f"task {tid} scheduled twice")
+                rt.node_id = assignment.node_id
+                rt.planned_start = float(assignment.start)
+                rt.state = TaskState.QUEUED
+                rt.queued_since = self.now
+                rt.first_enqueued_at = self.now
+                self._nodes[assignment.node_id].enqueue(tid, rt.planned_start)
+            missing = [tid for j in batch for tid in j.tasks if self._tasks[tid].node_id is None]
+            if missing:
+                raise SimulationError(
+                    f"scheduler left tasks unassigned: {sorted(missing)[:3]}"
+                )
+            for node in self._nodes.values():
+                self._dispatch(node)
+            self._ensure_epoch_tick()
+        # Next round while any job is still to arrive or be planned.
+        if len(self._arrived) < len(self._jobs) or self._unscheduled:
+            self._events.push(
+                self.now + self._sim_config.scheduling_period,
+                EventKind.SCHEDULING_ROUND,
+                None,
+            )
+
+    def _on_epoch(self) -> None:
+        self._epoch_scheduled = False
+        if self._completed_tasks == len(self._tasks):
+            return
+        self._dispatched_this_tick = False
+        self._evict_timed_out_stalls()
+        if not isinstance(self._policy, NullPreemption):
+            for node_id in sorted(self._nodes):
+                node = self._nodes[node_id]
+                if not node.alive or node.queue_length == 0:
+                    continue  # dead or nothing waiting => nothing to do
+                view = self._build_view(node)
+                for decision in self._policy.select_preemptions(view):
+                    self._apply_preemption(decision, node)
+        for node in self._nodes.values():
+            self._dispatch(node)
+        self._check_progress()
+        self._ensure_epoch_tick()
+
+    def _on_finish(self, task_id: str, version: int) -> None:
+        rt = self._tasks[task_id]
+        if rt.finish_version != version or rt.state is not TaskState.RUNNING:
+            return  # stale event from before a preemption
+        node = self._nodes[rt.node_id]
+        rt.work_done_mi = rt.task.size_mi
+        rt.state = TaskState.COMPLETED
+        rt.completed_at = self.now
+        if self.trace is not None:
+            self.trace.close_segment(task_id, self.now)
+        node.running.discard(task_id)
+        node.release(rt.task.demand)
+        self._completed_tasks += 1
+        latency = (
+            self.now - rt.first_enqueued_at
+            if rt.first_enqueued_at is not None
+            else None
+        )
+        self.metrics.record_task_completion(task_id, self.now, latency=latency)
+
+        jid = self._job_of[task_id]
+        self._job_remaining[jid] -= 1
+        if self._job_remaining[jid] == 0:
+            self.metrics.record_job_completion(jid, self.now)
+
+        wake: set[str] = {node.node_id}
+        for child in self._children.get(task_id, ()):
+            crt = self._tasks[child]
+            crt.unfinished_parents -= 1
+            if crt.unfinished_parents == 0:
+                if crt.state is TaskState.STALLED:
+                    self._activate_stalled(crt)
+                elif crt.state is TaskState.QUEUED and crt.node_id is not None:
+                    # A child on another node just became runnable; wake that
+                    # node now rather than at its next epoch tick.
+                    wake.add(crt.node_id)
+        for nid in wake:
+            self._dispatch(self._nodes[nid])
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, node: NodeRuntime) -> None:
+        """Start queued tasks that fit, in planned-start order.
+
+        Dependency-aware runs start only runnable tasks; unaware runs also
+        start tasks whose planned start has passed (stalling them when
+        parents are unfinished — a disorder)."""
+        if not node.alive or node.queue_length == 0:
+            return
+        for tid in node.queued_ids():
+            rt = self._tasks[tid]
+            if not rt.is_runnable:
+                if self._dependency_aware or rt.stall_banned:
+                    continue
+                if self.now + EPS < rt.planned_start:
+                    continue
+            if node.fits(rt.task.demand):
+                self._start_task(rt, node)
+
+    def _start_task(self, rt: TaskRuntime, node: NodeRuntime) -> None:
+        """Move a queued task onto the node (RUNNING, or STALLED when its
+        parents are unfinished — counted as a disorder)."""
+        node.dequeue(rt.task.task_id, rt.planned_start)
+        if rt.queued_since is not None:
+            wait = self.now - rt.queued_since
+            rt.total_wait += wait
+            self.metrics.record_wait(rt.task.task_id, wait)
+            rt.queued_since = None
+        if rt.first_dispatched_at is None:
+            rt.first_dispatched_at = self.now
+        node.allocate(rt.task.demand)
+        node.running.add(rt.task.task_id)
+        self._dispatched_this_tick = True
+        if rt.is_runnable:
+            self._begin_running(rt, node)
+        else:
+            rt.state = TaskState.STALLED
+            rt.stall_start = self.now
+            self.metrics.record_disorder()
+            if self.trace is not None:
+                self.trace.open_segment(
+                    rt.task.task_id, node.node_id, self.now, "stall"
+                )
+
+    def _begin_running(self, rt: TaskRuntime, node: NodeRuntime) -> None:
+        rt.state = TaskState.RUNNING
+        rt.run_start = self.now
+        transfer = 0.0
+        if rt.task.input_mb > 0 and rt.fetched_on != node.node_id:
+            # §VI locality: fetch the input before executing (paid once per
+            # node; a re-dispatch on the same node reuses the local copy).
+            transfer = rt.task.transfer_time(
+                node.node_id, node.spec.bandwidth_capacity
+            )
+            rt.fetched_on = node.node_id
+            self.metrics.record_transfer(transfer)
+        rt.current_recovery = rt.recovery_due + transfer
+        rt.recovery_due = 0.0
+        rt.finish_version += 1
+        if self.trace is not None:
+            self.trace.open_segment(
+                rt.task.task_id, node.node_id, self.now, "run", rt.current_recovery
+            )
+        busy = rt.current_recovery + (rt.task.size_mi - rt.work_done_mi) / node.rate
+        self._events.push(
+            self.now + busy, EventKind.TASK_FINISH, (rt.task.task_id, rt.finish_version)
+        )
+
+    def _end_stall(self, rt: TaskRuntime) -> None:
+        """Close a stall stint: charge it as wasted capacity AND as waiting
+        time — a stalled task occupies a slot but is not executing, so the
+        paper's waiting-time metric keeps accruing."""
+        if rt.stall_start is None:
+            return
+        stalled = self.now - rt.stall_start
+        rt.stall_start = None
+        self.metrics.record_stall(stalled)
+        rt.total_wait += stalled
+        self.metrics.record_wait(rt.task.task_id, stalled)
+
+    def _activate_stalled(self, rt: TaskRuntime) -> None:
+        """A stalled task's last parent completed: begin real execution."""
+        node = self._nodes[rt.node_id]
+        self._end_stall(rt)
+        if self.trace is not None:
+            self.trace.close_segment(rt.task.task_id, self.now)
+        self._begin_running(rt, node)
+
+    # ----------------------------------------------------------- preemption
+    def _apply_preemption(self, decision: PreemptionDecision, node: NodeRuntime) -> None:
+        """Validate and apply one (preempting, victim) pair on *node*."""
+        pre = self._tasks.get(decision.preempting_task_id)
+        vic = self._tasks.get(decision.victim_task_id)
+        if pre is None or vic is None:
+            return
+        if pre.state is not TaskState.QUEUED or pre.node_id != node.node_id:
+            return
+        if not vic.occupies_resources or vic.node_id != node.node_id:
+            return
+        if vic.preempt_count >= self._max_preemptions:
+            return
+        if not pre.is_runnable and (self._dependency_aware or pre.stall_banned):
+            return  # would only stall; aware policies never ask for this
+        freed = node.free + vic.task.demand
+        if not pre.task.demand.fits_within(freed):
+            return
+        self._suspend(vic, node)
+        self._start_task(pre, node)
+
+    def _suspend(
+        self, rt: TaskRuntime, node: NodeRuntime, *, cause: str = "preemption"
+    ) -> None:
+        """Evict a running/stalled task back to the queue.
+
+        ``cause`` selects the accounting: ``"preemption"`` (a policy
+        decision — counts toward Fig. 6d and the preemption cap),
+        ``"stall"`` (the engine kicked a timed-out stalled task — counted
+        separately, bans the task from blind re-dispatch) or ``"failure"``
+        (node fault — no context-switch charge; the reassignment counter
+        covers it).
+        """
+        if self.trace is not None:
+            self.trace.close_segment(rt.task.task_id, self.now)
+        if rt.state is TaskState.RUNNING:
+            progressed = rt.progress_seconds(self.now) * node.rate
+            rt.work_done_mi = min(rt.task.size_mi, rt.work_done_mi + progressed)
+            if not self._policy.uses_checkpointing:
+                rt.work_done_mi = 0.0  # no checkpoint: restart from scratch
+            else:
+                # Resume from the most recent checkpoint ([29]): with the
+                # default interval of 0 this retains everything.
+                rt.work_done_mi = retained_work_mi(
+                    rt.work_done_mi, node.rate, self._dsp_config.checkpoint_interval
+                )
+            rt.finish_version += 1  # invalidate the in-flight finish event
+            rt.run_start = None
+            rt.current_recovery = 0.0
+        elif rt.state is TaskState.STALLED:
+            self._end_stall(rt)
+        node.running.discard(rt.task.task_id)
+        node.release(rt.task.demand)
+        rt.state = TaskState.QUEUED
+        rt.queued_since = self.now
+        rt.recovery_due = self._dsp_config.recovery_time + self._dsp_config.sigma
+        node.enqueue(rt.task.task_id, rt.planned_start)
+        if cause == "stall":
+            rt.stall_banned = True
+            self.metrics.record_stall_eviction(
+                self._dsp_config.recovery_time + self._dsp_config.sigma
+            )
+        elif cause == "failure":
+            pass  # accounted via record_node_failure/record_reassignment
+        else:
+            rt.preempt_count += 1
+            self.metrics.record_preemption(
+                self._dsp_config.recovery_time + self._dsp_config.sigma
+            )
+
+    def _evict_timed_out_stalls(self) -> None:
+        """Kick stalled tasks whose stall exceeded the timeout, freeing the
+        capacity their ancestors may be waiting for (deadlock breaker)."""
+        for node in self._nodes.values():
+            if not node.running:
+                continue
+            for tid in sorted(node.running):
+                rt = self._tasks[tid]
+                if (
+                    rt.state is TaskState.STALLED
+                    and rt.stall_start is not None
+                    and self.now - rt.stall_start >= self._stall_timeout
+                ):
+                    self._suspend(rt, node, cause="stall")
+
+    # --------------------------------------------------------------- faults
+    def _on_fault(self, fault: FaultEvent) -> None:
+        self._pending_faults -= 1
+        node = self._nodes.get(fault.node_id)
+        if node is None:
+            return
+        if fault.kind is FaultKind.FAILURE:
+            self._fail_node(node)
+        elif fault.kind is FaultKind.RECOVERY:
+            node.alive = True
+            node.rate = node.base_rate
+            self._dispatch(node)
+        elif fault.kind is FaultKind.SLOWDOWN:
+            self._retime_node(node, node.base_rate * fault.factor)
+        elif fault.kind is FaultKind.RESTORE:
+            self._retime_node(node, node.base_rate)
+
+    def _fail_node(self, node: NodeRuntime) -> None:
+        """Node crash: suspend everything on it (work rolls back to the
+        last checkpoint) and reassign its backlog to alive nodes."""
+        self.metrics.record_node_failure()
+        for tid in sorted(node.running):
+            self._suspend(self._tasks[tid], node, cause="failure")
+        node.alive = False
+        alive = [n for n in self._nodes.values() if n.alive]
+        if not alive:
+            return  # tasks park on the dead node until a recovery
+        moved = 0
+        for tid in node.queued_ids():
+            rt = self._tasks[tid]
+            target = min(alive, key=lambda n: (n.queue_length, n.node_id))
+            node.dequeue(tid, rt.planned_start)
+            rt.node_id = target.node_id
+            target.enqueue(tid, rt.planned_start)
+            moved += 1
+        if moved:
+            self.metrics.record_reassignment(moved)
+        for n in alive:
+            self._dispatch(n)
+
+    def _retime_node(self, node: NodeRuntime, new_rate: float) -> None:
+        """Straggler onset/recovery: change the node's rate and re-time its
+        in-flight tasks at the new speed."""
+        if abs(new_rate - node.rate) < EPS:
+            return
+        old_rate = node.rate
+        node.rate = new_rate
+        for tid in sorted(node.running):
+            rt = self._tasks[tid]
+            if rt.state is not TaskState.RUNNING or rt.run_start is None:
+                continue  # stalled tasks make no progress; nothing to re-time
+            unpaid = max(0.0, rt.current_recovery - (self.now - rt.run_start))
+            progressed = rt.progress_seconds(self.now) * old_rate
+            rt.work_done_mi = min(rt.task.size_mi, rt.work_done_mi + progressed)
+            rt.run_start = self.now
+            rt.current_recovery = unpaid
+            rt.finish_version += 1
+            if self.trace is not None:
+                self.trace.close_segment(tid, self.now)
+                self.trace.open_segment(tid, node.node_id, self.now, "run", unpaid)
+            busy = unpaid + (rt.task.size_mi - rt.work_done_mi) / new_rate
+            self._events.push(
+                self.now + busy, EventKind.TASK_FINISH, (tid, rt.finish_version)
+            )
+
+    # ----------------------------------------------------------------- views
+    def _remaining_time(self, task_id: str) -> float:
+        rt = self._tasks[task_id]
+        node = self._nodes[rt.node_id] if rt.node_id else None
+        rate = node.rate if node else self._mean_rate()
+        return rt.remaining_time_at(self.now, rate)
+
+    def _mean_rate(self) -> float:
+        return sum(n.rate for n in self._nodes.values()) / len(self._nodes)
+
+    def _ancestors_in(self, task_id: str, pool: set[str]) -> frozenset[str]:
+        """Ancestors of *task_id* that appear in *pool* (precomputed sets)."""
+        return frozenset(self._ancestors[task_id] & pool)
+
+    def _task_view(self, rt: TaskRuntime, node: NodeRuntime, running_pool: set[str]) -> TaskView:
+        remaining = rt.remaining_time_at(self.now, node.rate)
+        return TaskView(
+            task_id=rt.task.task_id,
+            job_id=rt.task.job_id,
+            remaining_time=remaining,
+            waiting_time=rt.waiting_time_at(self.now),
+            stint_waiting_time=rt.stint_waiting_at(self.now),
+            overdue_waiting_time=rt.overdue_waiting_at(self.now),
+            allowable_wait=rt.deadline - self.now - remaining,
+            is_runnable=rt.is_runnable,
+            is_running=rt.occupies_resources,
+            is_preemptable=(
+                rt.occupies_resources and rt.preempt_count < self._max_preemptions
+            ),
+            resource_footprint=rt.task.demand.norm1(),
+            job_weight=self._jobs[rt.task.job_id].weight,
+            job_deadline=self._jobs[rt.task.job_id].deadline,
+            depends_on_running=self._ancestors_in(rt.task.task_id, running_pool),
+        )
+
+    def _build_view(self, node: NodeRuntime) -> NodeView:
+        running_pool = set(node.running)
+        running = tuple(
+            self._task_view(self._tasks[tid], node, running_pool)
+            for tid in sorted(node.running)
+        )
+        waiting = tuple(
+            self._task_view(self._tasks[tid], node, running_pool)
+            for tid in node.queued_ids()[: self._view_queue_limit]
+        )
+        return NodeView(
+            node_id=node.node_id,
+            now=self.now,
+            epoch=self._sim_config.epoch,
+            running=running,
+            waiting=waiting,
+        )
+
+    # ------------------------------------------------------------- plumbing
+    def _ensure_epoch_tick(self) -> None:
+        if not self._epoch_scheduled and self._completed_tasks < len(self._tasks):
+            self._events.push(
+                self.now + self._sim_config.epoch, EventKind.EPOCH_TICK, None
+            )
+            self._epoch_scheduled = True
+
+    def _check_progress(self) -> None:
+        """Deadlock detector: if nothing is running, nothing was dispatched
+        this tick, and no arrival/round/finish event is pending, queued
+        work can never start."""
+        if self._dispatched_this_tick:
+            return
+        if any(node.running for node in self._nodes.values()):
+            return
+        if len(self._arrived) < len(self._jobs) or self._unscheduled:
+            return
+        if self._pending_faults:
+            return  # a recovery/restore may still unblock the queue
+        queued = sum(node.queue_length for node in self._nodes.values())
+        if queued and self._completed_tasks < len(self._tasks):
+            raise SimulationStuck(
+                f"{queued} tasks queued but none dispatchable and nothing running"
+            )

@@ -1,0 +1,73 @@
+"""Event heap for the discrete-event engine.
+
+A thin, typed wrapper over :mod:`heapq`.  Events are ordered by
+``(time, sequence)``; the monotonically increasing sequence number makes
+simultaneous events deterministic (insertion order) and keeps heap
+comparisons away from payload objects.
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(enum.Enum):
+    """All event types the engine understands.
+
+    The enum order doubles as a tie-break *within* one timestamp only via
+    the sequence counter — the engine relies on scheduling rounds being
+    enqueued before epoch ticks at equal times, which it does explicitly.
+    """
+
+    JOB_ARRIVAL = "job_arrival"
+    SCHEDULING_ROUND = "scheduling_round"
+    EPOCH_TICK = "epoch_tick"
+    TASK_FINISH = "task_finish"
+    FAULT = "fault"
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One scheduled occurrence: a time, a kind and an opaque payload."""
+
+    time: float
+    seq: int
+    kind: EventKind
+    payload: Any = None
+
+
+class EventQueue:
+    """Min-heap of events ordered by (time, seq)."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, Event]] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
+        """Schedule an event; returns it (useful for logging/tests)."""
+        if time < 0:
+            raise ValueError(f"cannot schedule event at negative time {time}")
+        seq = next(self._counter)
+        ev = Event(time=time, seq=seq, kind=kind, payload=payload)
+        heapq.heappush(self._heap, (time, seq, ev))
+        return ev
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event; raises IndexError if empty."""
+        return heapq.heappop(self._heap)[2]
+
+    def peek_time(self) -> float | None:
+        """Time of the earliest event, or None when empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,166 @@
+"""Fault injection: node failures, recoveries and stragglers (§VI).
+
+The paper's future work asks for a dependency-aware system that can
+"handle node failures/crashes or straggler[s]".  This module supplies the
+fault model the engine executes:
+
+* **FAILURE** — a node goes down.  Everything it was running or queueing
+  is suspended (work rolls back to the last checkpoint, per the §III
+  checkpoint–restart mechanism) and reassigned to the alive node with the
+  shortest queue; if no node is alive, tasks park until a recovery.
+* **RECOVERY** — the node returns, empty, at full rate.
+* **SLOWDOWN** — a straggler: the node's processing rate is multiplied by
+  ``factor`` (< 1); in-flight tasks are re-timed at the new rate.
+* **RESTORE** — the straggler recovers its nominal rate.
+
+Faults are injected as a pre-built plan (deterministic experiments) —
+either hand-written or drawn from :func:`random_fault_plan`'s
+MTBF/MTTR model.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .._util import check_positive, ensure_rng
+from ..cluster.cluster import Cluster
+
+__all__ = ["FaultKind", "FaultEvent", "random_fault_plan", "validate_fault_plan"]
+
+
+class FaultKind(enum.Enum):
+    """The four fault-model events."""
+
+    FAILURE = "failure"
+    RECOVERY = "recovery"
+    SLOWDOWN = "slowdown"
+    RESTORE = "restore"
+
+
+@dataclass(frozen=True, slots=True)
+class FaultEvent:
+    """One scheduled fault: what happens to which node, when.
+
+    ``factor`` is only meaningful for SLOWDOWN (the rate multiplier,
+    in (0, 1)); other kinds ignore it.
+    """
+
+    time: float
+    node_id: str
+    kind: FaultKind
+    factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.time}")
+        if not self.node_id:
+            raise ValueError("fault node_id must be non-empty")
+        if self.kind is FaultKind.SLOWDOWN and not 0.0 < self.factor < 1.0:
+            raise ValueError(
+                f"slowdown factor must be in (0, 1), got {self.factor!r}"
+            )
+
+
+def validate_fault_plan(
+    plan: Sequence[FaultEvent], cluster: Cluster
+) -> list[str]:
+    """Sanity-check a fault plan; returns human-readable problems.
+
+    Checks node existence and per-node event alternation (no double
+    failure without recovery, no restore without slowdown, …).
+    """
+    problems: list[str] = []
+    state: dict[str, str] = {}
+    for ev in sorted(plan, key=lambda e: (e.time, e.node_id)):
+        if ev.node_id not in cluster:
+            problems.append(f"t={ev.time}: unknown node {ev.node_id!r}")
+            continue
+        current = state.get(ev.node_id, "up")
+        if ev.kind is FaultKind.FAILURE:
+            if current == "down":
+                problems.append(f"t={ev.time}: {ev.node_id} fails while down")
+            state[ev.node_id] = "down"
+        elif ev.kind is FaultKind.RECOVERY:
+            if current != "down":
+                problems.append(f"t={ev.time}: {ev.node_id} recovers while up")
+            state[ev.node_id] = "up"
+        elif ev.kind is FaultKind.SLOWDOWN:
+            if current != "up":
+                problems.append(f"t={ev.time}: {ev.node_id} slows while {current}")
+            state[ev.node_id] = "slow"
+        elif ev.kind is FaultKind.RESTORE:
+            if current != "slow":
+                problems.append(f"t={ev.time}: {ev.node_id} restores while {current}")
+            state[ev.node_id] = "up"
+    return problems
+
+
+def random_fault_plan(
+    cluster: Cluster,
+    horizon: float,
+    *,
+    rng: int | np.random.Generator | None = None,
+    mtbf: float = 3600.0,
+    mttr: float = 300.0,
+    straggler_rate: float = 0.0,
+    straggler_duration: float = 600.0,
+    straggler_factor: float = 0.3,
+) -> list[FaultEvent]:
+    """Draw a failure/straggler plan from an exponential MTBF/MTTR model.
+
+    Per node, failures arrive with mean time between failures *mtbf* and
+    are repaired after an exponential *mttr*; independently, stragglers
+    (rate slowdowns to *straggler_factor*) arrive at *straggler_rate*
+    events per *mtbf* and last *straggler_duration* on average.  Events
+    beyond *horizon* are dropped; the plan always validates.
+    """
+    check_positive(horizon, "horizon")
+    check_positive(mtbf, "mtbf")
+    check_positive(mttr, "mttr")
+    gen = ensure_rng(rng)
+    plan: list[FaultEvent] = []
+    for node in cluster:
+        t = float(gen.exponential(mtbf))
+        while t < horizon:
+            plan.append(FaultEvent(t, node.node_id, FaultKind.FAILURE))
+            up = t + float(gen.exponential(mttr))
+            if up >= horizon:
+                break
+            plan.append(FaultEvent(up, node.node_id, FaultKind.RECOVERY))
+            t = up + float(gen.exponential(mtbf))
+        if straggler_rate > 0:
+            t = float(gen.exponential(mtbf / straggler_rate))
+            while t < horizon:
+                end = t + float(gen.exponential(straggler_duration))
+                # Avoid interleaving with this node's failure windows: keep
+                # only stragglers fully inside an "up" stretch.
+                overlaps = any(
+                    ev.node_id == node.node_id
+                    and ev.kind in (FaultKind.FAILURE, FaultKind.RECOVERY)
+                    and t <= ev.time <= end
+                    for ev in plan
+                )
+                down = any(
+                    ev.node_id == node.node_id and ev.kind is FaultKind.FAILURE
+                    and ev.time <= t
+                    and not any(
+                        r.node_id == node.node_id
+                        and r.kind is FaultKind.RECOVERY
+                        and ev.time < r.time <= t
+                        for r in plan
+                    )
+                    for ev in plan
+                )
+                if not overlaps and not down and end < horizon:
+                    plan.append(
+                        FaultEvent(t, node.node_id, FaultKind.SLOWDOWN, straggler_factor)
+                    )
+                    plan.append(FaultEvent(end, node.node_id, FaultKind.RESTORE))
+                t = end + float(gen.exponential(mtbf / straggler_rate))
+    plan.sort(key=lambda e: (e.time, e.node_id))
+    assert validate_fault_plan(plan, cluster) == []
+    return plan

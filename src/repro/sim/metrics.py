@@ -1,0 +1,228 @@
+"""Metrics collection for simulation runs.
+
+One :class:`MetricsCollector` instance accompanies each engine run and
+accumulates exactly the quantities the paper's evaluation plots:
+
+* **makespan** (Figs. 5, 8a) — latest task completion minus earliest job
+  arrival;
+* **throughput** (Figs. 6b/7b/8b) — tasks completed per millisecond, and
+  the §III definition: jobs completed within deadline per second;
+* **average job waiting time** (Figs. 6c/7c) — mean over jobs of the mean
+  queued-wait of their tasks;
+* **number of preemptions** (Figs. 6d/7d);
+* **number of disorders** (Figs. 6a/7a) — dispatches whose execution order
+  contradicted the dependency relation;
+* deadline misses, context-switch overhead and stalled (wasted-capacity)
+  time as supporting diagnostics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+__all__ = ["MetricsCollector", "RunMetrics"]
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Immutable summary of one finished simulation run."""
+
+    makespan: float
+    tasks_completed: int
+    jobs_completed: int
+    jobs_within_deadline: int
+    num_preemptions: int
+    num_disorders: int
+    num_stall_evictions: int
+    num_node_failures: int
+    num_task_reassignments: int
+    deadline_misses: int
+    avg_job_waiting: float
+    avg_task_waiting: float
+    total_context_switch_time: float
+    total_stalled_time: float
+    total_transfer_time: float
+    sim_end_time: float
+
+    @property
+    def throughput_tasks_per_ms(self) -> float:
+        """Tasks completed per millisecond of makespan (Fig. 6b's unit)."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.tasks_completed / (self.makespan * 1000.0)
+
+    @property
+    def throughput_jobs_per_s(self) -> float:
+        """Jobs completed *within deadline* per second — the §III
+        throughput definition."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.jobs_within_deadline / self.makespan
+
+    def as_dict(self) -> dict[str, float]:
+        """Flat dict for tabular reports."""
+        return {
+            "makespan": self.makespan,
+            "tasks_completed": float(self.tasks_completed),
+            "jobs_completed": float(self.jobs_completed),
+            "jobs_within_deadline": float(self.jobs_within_deadline),
+            "num_preemptions": float(self.num_preemptions),
+            "num_disorders": float(self.num_disorders),
+            "num_stall_evictions": float(self.num_stall_evictions),
+            "num_node_failures": float(self.num_node_failures),
+            "num_task_reassignments": float(self.num_task_reassignments),
+            "deadline_misses": float(self.deadline_misses),
+            "avg_job_waiting": self.avg_job_waiting,
+            "avg_task_waiting": self.avg_task_waiting,
+            "throughput_tasks_per_ms": self.throughput_tasks_per_ms,
+            "throughput_jobs_per_s": self.throughput_jobs_per_s,
+            "total_context_switch_time": self.total_context_switch_time,
+            "total_stalled_time": self.total_stalled_time,
+            "total_transfer_time": self.total_transfer_time,
+        }
+
+
+class MetricsCollector:
+    """Mutable accumulator the engine reports into while running.
+
+    With ``collect_samples=True`` (driven by
+    :attr:`~repro.config.SimConfig.collect_task_samples`) per-task latency
+    samples — completion minus first enqueue — are retained for
+    distributional analysis (percentiles, CDFs); off by default since a
+    large run holds one float per task.
+    """
+
+    def __init__(self, collect_samples: bool = False) -> None:
+        self._collect_samples = collect_samples
+        self._latency_samples: dict[str, float] = {}
+        self.num_preemptions: int = 0
+        self.num_disorders: int = 0
+        self.num_stall_evictions: int = 0
+        self.num_node_failures: int = 0
+        self.num_task_reassignments: int = 0
+        self.total_context_switch_time: float = 0.0
+        self.total_stalled_time: float = 0.0
+        self.total_transfer_time: float = 0.0
+        self._task_waits: dict[str, float] = {}
+        self._task_completions: dict[str, float] = {}
+        self._job_of_task: dict[str, str] = {}
+        self._job_arrivals: dict[str, float] = {}
+        self._job_deadlines: dict[str, float] = {}
+        self._job_completions: dict[str, float] = {}
+
+    # -- registration ------------------------------------------------------
+    def register_job(self, job_id: str, arrival: float, deadline: float) -> None:
+        """Declare a job before its tasks report anything."""
+        self._job_arrivals[job_id] = arrival
+        self._job_deadlines[job_id] = deadline
+
+    def register_task(self, task_id: str, job_id: str) -> None:
+        """Declare a task as belonging to *job_id*."""
+        self._job_of_task[task_id] = job_id
+        self._task_waits.setdefault(task_id, 0.0)
+
+    # -- event reporting -----------------------------------------------------
+    def record_wait(self, task_id: str, duration: float) -> None:
+        """Accumulate queued-waiting time for a task."""
+        if duration < 0:
+            raise ValueError(f"negative wait {duration} for {task_id}")
+        self._task_waits[task_id] = self._task_waits.get(task_id, 0.0) + duration
+
+    def record_preemption(self, context_switch_time: float) -> None:
+        """One preemption occurred; charge its context-switch cost."""
+        self.num_preemptions += 1
+        self.total_context_switch_time += context_switch_time
+
+    def record_disorder(self) -> None:
+        """A task was dispatched before its parents completed."""
+        self.num_disorders += 1
+
+    def record_node_failure(self) -> None:
+        """A node failed (fault injection)."""
+        self.num_node_failures += 1
+
+    def record_reassignment(self, count: int = 1) -> None:
+        """Tasks were moved off a failed node."""
+        self.num_task_reassignments += count
+
+    def record_stall_eviction(self, context_switch_time: float) -> None:
+        """The engine kicked a timed-out stalled task (deadlock breaker);
+        charged as context-switch overhead but not as a policy preemption."""
+        self.num_stall_evictions += 1
+        self.total_context_switch_time += context_switch_time
+
+    def record_transfer(self, duration: float) -> None:
+        """An input fetch delayed a task start (§VI locality extension)."""
+        self.total_transfer_time += max(0.0, duration)
+
+    def record_stall(self, duration: float) -> None:
+        """Capacity held by a stalled (disordered) task for *duration*."""
+        self.total_stalled_time += max(0.0, duration)
+
+    def record_task_completion(
+        self, task_id: str, time: float, latency: float | None = None
+    ) -> None:
+        """A task finished at *time*; *latency* (enqueue→completion) is
+        retained when sampling is enabled."""
+        self._task_completions[task_id] = time
+        if self._collect_samples and latency is not None:
+            if latency < 0:
+                raise ValueError(f"negative latency {latency} for {task_id}")
+            self._latency_samples[task_id] = latency
+
+    def latency_samples(self) -> dict[str, float]:
+        """Per-task latency samples (empty unless sampling is enabled)."""
+        return dict(self._latency_samples)
+
+    def record_job_completion(self, job_id: str, time: float) -> None:
+        """All tasks of *job_id* finished at *time*."""
+        self._job_completions[job_id] = time
+
+    # -- finalization -----------------------------------------------------
+    def finalize(self, sim_end_time: float) -> RunMetrics:
+        """Freeze into a :class:`RunMetrics` at the end of a run."""
+        arrivals = list(self._job_arrivals.values())
+        start = min(arrivals) if arrivals else 0.0
+        completions = list(self._task_completions.values())
+        makespan = (max(completions) - start) if completions else 0.0
+
+        jobs_completed = len(self._job_completions)
+        within = sum(
+            1
+            for jid, t in self._job_completions.items()
+            if t <= self._job_deadlines.get(jid, float("inf"))
+        )
+        misses = jobs_completed - within
+
+        # Mean task wait, overall and per job (mean of per-job means so a
+        # 2000-task job does not drown the small jobs — matching the paper's
+        # "average waiting time of jobs").
+        waits = [self._task_waits[t] for t in self._task_completions]
+        avg_task_wait = sum(waits) / len(waits) if waits else 0.0
+        per_job: dict[str, list[float]] = {}
+        for tid in self._task_completions:
+            per_job.setdefault(self._job_of_task.get(tid, "?"), []).append(
+                self._task_waits[tid]
+            )
+        job_means = [sum(v) / len(v) for v in per_job.values()]
+        avg_job_wait = sum(job_means) / len(job_means) if job_means else 0.0
+
+        return RunMetrics(
+            makespan=makespan,
+            tasks_completed=len(self._task_completions),
+            jobs_completed=jobs_completed,
+            jobs_within_deadline=within,
+            num_preemptions=self.num_preemptions,
+            num_disorders=self.num_disorders,
+            num_stall_evictions=self.num_stall_evictions,
+            num_node_failures=self.num_node_failures,
+            num_task_reassignments=self.num_task_reassignments,
+            deadline_misses=misses,
+            avg_job_waiting=avg_job_wait,
+            avg_task_waiting=avg_task_wait,
+            total_context_switch_time=self.total_context_switch_time,
+            total_stalled_time=self.total_stalled_time,
+            total_transfer_time=self.total_transfer_time,
+            sim_end_time=sim_end_time,
+        )

@@ -1,0 +1,161 @@
+"""Preemption-policy interface between the engine and the strategies.
+
+At every epoch tick the engine hands each policy a :class:`NodeView` — an
+immutable snapshot of one node's running set and waiting queue with the
+runtime signals every strategy in the paper consumes (remaining time,
+waiting time, allowable waiting time, dependencies, job class, resource
+footprint).  The policy answers with :class:`PreemptionDecision` pairs;
+the engine validates and applies them, charging context-switch costs and
+counting disorders.
+
+Keeping the interface snapshot-based means DSP and all four baselines
+differ *only* in their decision logic — dispatch, bookkeeping and metric
+accounting are shared, so measured differences are attributable to the
+policies alone (the property the paper's §V-B comparison needs).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "TaskView",
+    "NodeView",
+    "PreemptionDecision",
+    "PreemptionPolicy",
+    "NullPreemption",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskView:
+    """Snapshot of one task's runtime state at an epoch boundary.
+
+    Attributes
+    ----------
+    task_id, job_id:
+        Identity.
+    remaining_time:
+        :math:`t^{rem}` — remaining work divided by the node's rate
+        (seconds), including pending recovery cost.
+    waiting_time:
+        :math:`t^w` — accumulated queued-wait over the task's lifetime
+        (seconds); the signal of Eq. 13.
+    stint_waiting_time:
+        Queued-wait of the *current* stint only (since the task last
+        entered the queue).
+    overdue_waiting_time:
+        Wait beyond ``max(stint start, planned start)``.  Algorithm 1's τ
+        starvation override keys on this: a task quietly waiting for its
+        scheduled slot is not starving, and one long-ago wait does not make
+        a task permanently urgent.
+    allowable_wait:
+        :math:`t^a` — slack before the task's level-deadline is lost
+        (seconds; may be negative).
+    is_runnable:
+        True when every parent has completed.
+    is_running:
+        True for members of the running set (False: waiting in queue).
+    is_preemptable:
+        Engine-level flag: False once a task has hit the preemption cap
+        (the starvation guard, see DESIGN.md §4) or is otherwise pinned.
+    resource_footprint:
+        ℓ1 size of the task's demand vector — the "most resources" signal
+        Amoeba and Natjam evict by.
+    job_weight:
+        Owning job's weight; Natjam treats weight >= 1 as production.
+    job_deadline:
+        Owning job's absolute deadline.
+    depends_on_running:
+        Task ids *within this node's running set* that are ancestors of
+        this task (condition C2 forbids preempting them).
+    """
+
+    task_id: str
+    job_id: str
+    remaining_time: float
+    waiting_time: float
+    stint_waiting_time: float
+    overdue_waiting_time: float
+    allowable_wait: float
+    is_runnable: bool
+    is_running: bool
+    is_preemptable: bool
+    resource_footprint: float
+    job_weight: float
+    job_deadline: float
+    depends_on_running: frozenset[str] = frozenset()
+
+
+@dataclass(frozen=True, slots=True)
+class NodeView:
+    """Snapshot of one node at an epoch boundary.
+
+    ``waiting`` preserves queue order (ascending planned start — Fig. 4);
+    ``running`` has no meaningful order.  ``epoch`` is the epoch length so
+    policies can apply the paper's "allowable waiting time larger than the
+    epoch" preemptability rule.
+    """
+
+    node_id: str
+    now: float
+    epoch: float
+    running: tuple[TaskView, ...]
+    waiting: tuple[TaskView, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class PreemptionDecision:
+    """One policy decision: *preempting* (a waiting task) evicts *victim*
+    (a running task).  The engine suspends the victim, dispatches the
+    preempting task in its place and charges the context switch."""
+
+    preempting_task_id: str
+    victim_task_id: str
+
+
+class PreemptionPolicy(abc.ABC):
+    """Strategy interface evaluated at every epoch tick.
+
+    Class attributes declare the two behavioural axes the engine needs:
+
+    * ``respects_dependencies`` — when False, the engine may dispatch this
+      policy's choices (and queue heads) before their parents complete,
+      producing *disorders* (Figs. 6a/7a);
+    * ``uses_checkpointing`` — when False, a preempted task loses all
+      progress and restarts from scratch (the SRPT behaviour §V describes).
+    """
+
+    #: Whether dispatch and preemption honour the dependency relation.
+    respects_dependencies: bool = True
+    #: Whether preempted tasks resume from their last checkpoint.
+    uses_checkpointing: bool = True
+    #: Human-readable policy name used in reports.
+    name: str = "base"
+
+    @abc.abstractmethod
+    def select_preemptions(self, view: NodeView) -> Sequence[PreemptionDecision]:
+        """Decide this epoch's preemptions for one node.
+
+        Decisions are applied in order; each (preempting, victim) pair is
+        re-validated by the engine against live state (both tasks still
+        present, victim under the preemption cap, freed capacity
+        sufficient), so a policy may be optimistic.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class NullPreemption(PreemptionPolicy):
+    """No preemption at all — used to isolate the scheduling comparison of
+    §V-A, where makespan differences must come from placement alone."""
+
+    respects_dependencies = True
+    uses_checkpointing = True
+    name = "none"
+
+    def select_preemptions(self, view: NodeView) -> Sequence[PreemptionDecision]:
+        return ()

@@ -1,0 +1,142 @@
+"""Execution trace recording and ASCII Gantt rendering.
+
+Scheduling bugs are timeline bugs; a metrics summary cannot show *why* a
+makespan regressed.  With ``record_trace=True`` the engine records every
+execution segment — runs, recovery prefixes, stalls — and this module
+renders them as a per-node Gantt chart, plain text, no plotting stack.
+
+Segment kinds:
+
+* ``run``   — the task was executing (includes its recovery/transfer
+  prefix; the prefix length is recorded separately);
+* ``stall`` — the task occupied capacity while waiting for unfinished
+  parents (a disorder's footprint).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["TraceSegment", "TraceLog", "gantt_chart"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSegment:
+    """One contiguous occupancy of a node by a task."""
+
+    task_id: str
+    node_id: str
+    start: float
+    end: float
+    kind: str  # "run" | "stall"
+    overhead: float = 0.0  # recovery/transfer prefix inside a run segment
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise ValueError(f"segment for {self.task_id}: end < start")
+        if self.kind not in ("run", "stall"):
+            raise ValueError(f"unknown segment kind {self.kind!r}")
+        if self.overhead < 0 or self.overhead > (self.end - self.start) + 1e-9:
+            raise ValueError("overhead must fit inside the segment")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class TraceLog:
+    """Mutable collector of trace segments with query helpers."""
+
+    def __init__(self) -> None:
+        self._segments: list[TraceSegment] = []
+        self._open: dict[str, tuple[str, float, str, float]] = {}
+
+    # -- recording (engine-facing) -----------------------------------------
+    def open_segment(
+        self, task_id: str, node_id: str, start: float, kind: str, overhead: float = 0.0
+    ) -> None:
+        """Begin a segment; an already-open segment for the task is an error."""
+        if task_id in self._open:
+            raise RuntimeError(f"segment already open for {task_id}")
+        self._open[task_id] = (node_id, start, kind, overhead)
+
+    def close_segment(self, task_id: str, end: float) -> None:
+        """Finish the open segment for *task_id* (no-op if none is open —
+        e.g. a queued task was 'suspended' without ever occupying a node)."""
+        opened = self._open.pop(task_id, None)
+        if opened is None:
+            return
+        node_id, start, kind, overhead = opened
+        overhead = min(overhead, max(0.0, end - start))
+        self._segments.append(
+            TraceSegment(task_id, node_id, start, end, kind, overhead)
+        )
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def segments(self) -> tuple[TraceSegment, ...]:
+        """All closed segments, in completion order."""
+        return tuple(self._segments)
+
+    def for_node(self, node_id: str) -> list[TraceSegment]:
+        """Segments on one node, by start time."""
+        return sorted(
+            (s for s in self._segments if s.node_id == node_id),
+            key=lambda s: (s.start, s.task_id),
+        )
+
+    def for_task(self, task_id: str) -> list[TraceSegment]:
+        """Segments of one task, by start time."""
+        return sorted(
+            (s for s in self._segments if s.task_id == task_id),
+            key=lambda s: s.start,
+        )
+
+    def busy_time(self, node_id: str) -> float:
+        """Total occupied seconds on a node (run + stall)."""
+        return sum(s.duration for s in self._segments if s.node_id == node_id)
+
+
+def gantt_chart(
+    log: TraceLog,
+    node_ids: Sequence[str],
+    *,
+    width: int = 80,
+    t_min: float | None = None,
+    t_max: float | None = None,
+) -> str:
+    """Render a per-node lane chart of the trace.
+
+    Each node gets one text lane; segments print the first letter of their
+    task id (uppercase for stalls) across their extent.  Overlapping
+    concurrent segments on one node are folded left-to-right (later
+    overprints), which is enough to eyeball packing/idle structure.
+    """
+    if width < 20:
+        raise ValueError("width too small")
+    segs = [s for s in log.segments if s.node_id in set(node_ids)]
+    if not segs:
+        return "(empty trace)"
+    lo = min(s.start for s in segs) if t_min is None else t_min
+    hi = max(s.end for s in segs) if t_max is None else t_max
+    if hi <= lo:
+        hi = lo + 1.0
+
+    def col(t: float) -> int:
+        return int((t - lo) / (hi - lo) * (width - 1))
+
+    pad = max(len(n) for n in node_ids)
+    lines = [f"{'':>{pad}}  t=[{lo:.1f}, {hi:.1f}]s"]
+    for nid in node_ids:
+        lane = [" "] * width
+        for s in log.for_node(nid):
+            mark = s.task_id[-1] if s.task_id else "?"
+            if s.kind == "stall":
+                mark = "#"
+            c0, c1 = col(s.start), max(col(s.start), col(s.end) - 1)
+            for c in range(c0, min(c1, width - 1) + 1):
+                lane[c] = mark
+        lines.append(f"{nid:>{pad}} |{''.join(lane)}|")
+    lines.append(f"{'':>{pad}}  ('#' = stalled capacity)")
+    return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Dependency inference from trace execution windows (§V).
+
+The paper constructs each job's DAG from the Google trace with one rule:
+
+    "When there is no overlap between the execution times of two tasks of
+     a job, we can create a dependency relationship between the two tasks."
+
+subject to two structural caps taken from Graphene's measurements: at most
+five DAG levels and at most fifteen dependents per task.
+
+:func:`infer_dependencies` implements that rule deterministically: tasks
+are scanned in start-time order; each task adopts as parents the most
+recently finished tasks whose windows precede it, skipping candidates that
+would exceed the level cap or whose dependent count is saturated.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..dag.generators import MAX_DEPENDENTS, MAX_LEVELS
+from .google_trace import TraceTaskRecord
+
+__all__ = ["infer_dependencies"]
+
+
+def infer_dependencies(
+    records: Sequence[TraceTaskRecord],
+    max_levels: int = MAX_LEVELS,
+    max_dependents: int = MAX_DEPENDENTS,
+    max_parents: int = 3,
+) -> dict[int, tuple[int, ...]]:
+    """Infer a parent map for one job's trace records.
+
+    Parameters
+    ----------
+    records:
+        Records of a *single* job (mixed jobs raise ``ValueError``).
+    max_levels:
+        Depth cap L of the produced DAG (paper: 5).
+    max_dependents:
+        Cap on children per task (paper: 15).
+    max_parents:
+        Cap on parents per task; the paper does not state one, but without
+        it the rule produces near-complete DAGs on long staggered jobs, so
+        we link each task to at most this many of its most recent
+        predecessors.
+
+    Returns
+    -------
+    dict mapping ``task_index`` → tuple of parent ``task_index`` values.
+    Tasks whose window overlaps every earlier window become roots.
+
+    The result is guaranteed acyclic: a parent's execution window ends
+    strictly before the child's begins, so edges follow time.
+    """
+    if not records:
+        return {}
+    job_ids = {r.job_id for r in records}
+    if len(job_ids) > 1:
+        raise ValueError(f"records must belong to one job, got {sorted(job_ids)}")
+    if max_levels < 1:
+        raise ValueError(f"max_levels must be >= 1, got {max_levels}")
+    if max_dependents < 0:
+        raise ValueError(f"max_dependents must be >= 0, got {max_dependents}")
+    if max_parents < 1:
+        raise ValueError(f"max_parents must be >= 1, got {max_parents}")
+
+    ordered = sorted(records, key=lambda r: (r.start_time, r.task_index))
+    parents: dict[int, tuple[int, ...]] = {}
+    level: dict[int, int] = {}
+    child_count: dict[int, int] = {}
+    finished: list[TraceTaskRecord] = []  # kept sorted by end_time ascending
+
+    for rec in ordered:
+        # Candidates: earlier tasks whose window ends before this one starts
+        # (the no-overlap rule), most recent enders first.
+        candidates = [f for f in finished if f.end_time <= rec.start_time]
+        candidates.sort(key=lambda f: (-f.end_time, f.task_index))
+        chosen: list[int] = []
+        for cand in candidates:
+            if len(chosen) >= max_parents:
+                break
+            if child_count.get(cand.task_index, 0) >= max_dependents:
+                continue
+            if level[cand.task_index] + 1 > max_levels:
+                continue
+            chosen.append(cand.task_index)
+        parents[rec.task_index] = tuple(sorted(chosen))
+        level[rec.task_index] = 1 + max((level[c] for c in chosen), default=0)
+        for c in chosen:
+            child_count[c] = child_count.get(c, 0) + 1
+        finished.append(rec)
+
+    return parents

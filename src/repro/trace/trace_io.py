@@ -1,0 +1,87 @@
+"""Trace record persistence (CSV).
+
+Keeps synthetic traces reproducible across processes: a generated trace can
+be written once and replayed by every policy run, mirroring how the paper
+replays the same Google-trace sample against each compared method.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .google_trace import TraceTaskRecord
+
+__all__ = ["write_trace_csv", "read_trace_csv", "records_to_csv_string", "records_from_csv_string"]
+
+_FIELDS = ("job_id", "task_index", "start_time", "end_time", "cpu", "mem")
+
+
+def _write(records: Iterable[TraceTaskRecord], fh) -> int:
+    writer = csv.writer(fh)
+    writer.writerow(_FIELDS)
+    n = 0
+    for r in records:
+        writer.writerow(
+            [r.job_id, r.task_index, repr(r.start_time), repr(r.end_time), repr(r.cpu), repr(r.mem)]
+        )
+        n += 1
+    return n
+
+
+def _read(fh) -> list[TraceTaskRecord]:
+    reader = csv.reader(fh)
+    header = next(reader, None)
+    if header is None:
+        return []
+    if tuple(header) != _FIELDS:
+        raise ValueError(f"unexpected trace header {header!r}; expected {_FIELDS!r}")
+    out: list[TraceTaskRecord] = []
+    for lineno, row in enumerate(reader, start=2):
+        if not row:
+            continue
+        if len(row) != len(_FIELDS):
+            raise ValueError(f"line {lineno}: expected {len(_FIELDS)} columns, got {len(row)}")
+        out.append(
+            TraceTaskRecord(
+                job_id=row[0],
+                task_index=int(row[1]),
+                start_time=float(row[2]),
+                end_time=float(row[3]),
+                cpu=float(row[4]),
+                mem=float(row[5]),
+            )
+        )
+    return out
+
+
+def write_trace_csv(records: Sequence[TraceTaskRecord], path: str | Path) -> int:
+    """Write records to a CSV file; returns the number of rows written.
+
+    Floats are serialized with ``repr`` so a write→read round-trip is
+    bit-exact.
+    """
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        return _write(records, fh)
+
+
+def read_trace_csv(path: str | Path) -> list[TraceTaskRecord]:
+    """Read records previously written by :func:`write_trace_csv`."""
+    path = Path(path)
+    with path.open("r", newline="") as fh:
+        return _read(fh)
+
+
+def records_to_csv_string(records: Sequence[TraceTaskRecord]) -> str:
+    """In-memory variant of :func:`write_trace_csv` (useful in tests)."""
+    buf = io.StringIO()
+    _write(records, buf)
+    return buf.getvalue()
+
+
+def records_from_csv_string(text: str) -> list[TraceTaskRecord]:
+    """In-memory variant of :func:`read_trace_csv`."""
+    return _read(io.StringIO(text))

@@ -1,0 +1,100 @@
+"""Workload validation: catch broken experiment setups before they burn a
+simulation run.
+
+A workload can be structurally valid yet unrunnable against a particular
+cluster (a demand exceeding every node, a deadline below the critical
+path) or subtly wrong (class mix drift, structural caps exceeded).
+:func:`validate_workload` returns human-readable findings, split into
+errors (the engine would fail or deadlock) and warnings (the run would
+work but probably not measure what was intended).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cluster.cluster import Cluster
+from ..dag.generators import MAX_DEPENDENTS, MAX_LEVELS
+from .workload import Workload
+
+__all__ = ["ValidationReport", "validate_workload"]
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of a workload/cluster validation pass."""
+
+    errors: tuple[str, ...] = ()
+    warnings: tuple[str, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        """True when no errors were found (warnings are allowed)."""
+        return not self.errors
+
+    def __str__(self) -> str:
+        lines = [f"errors: {len(self.errors)}, warnings: {len(self.warnings)}"]
+        lines += [f"  ERROR: {e}" for e in self.errors]
+        lines += [f"  warn:  {w}" for w in self.warnings]
+        return "\n".join(lines)
+
+
+def validate_workload(
+    workload: Workload,
+    cluster: Cluster,
+    *,
+    theta_cpu: float = 0.5,
+    theta_mem: float = 0.5,
+) -> ValidationReport:
+    """Check a workload against a cluster.
+
+    Errors: any task demand that fits no node; any deadline below the
+    job's critical-path time at the *fastest* node (provably unmeetable).
+    Warnings: depth/fan-out beyond the §V caps, input data located on
+    unknown nodes, deadlines tight against the mean-rate critical path.
+    """
+    errors: list[str] = []
+    warnings: list[str] = []
+
+    capacities = [n.capacity for n in cluster]
+    fastest = max(n.processing_rate(theta_cpu, theta_mem) for n in cluster)
+    mean_rate = cluster.total_rate(theta_cpu, theta_mem) / len(cluster)
+    node_ids = {n.node_id for n in cluster}
+
+    for job in workload.jobs:
+        for tid, task in job.tasks.items():
+            if not any(task.demand.fits_within(cap) for cap in capacities):
+                errors.append(
+                    f"task {tid}: demand {task.demand.as_tuple()} fits no node"
+                )
+            if task.input_location and task.input_location not in node_ids:
+                warnings.append(
+                    f"task {tid}: input located on unknown node "
+                    f"{task.input_location!r}"
+                )
+        if job.depth > MAX_LEVELS:
+            warnings.append(
+                f"job {job.job_id}: depth {job.depth} exceeds the §V cap "
+                f"of {MAX_LEVELS}"
+            )
+        worst_fanout = max((len(k) for k in job.children.values()), default=0)
+        if worst_fanout > MAX_DEPENDENTS:
+            warnings.append(
+                f"job {job.job_id}: fan-out {worst_fanout} exceeds the §V cap "
+                f"of {MAX_DEPENDENTS}"
+            )
+        horizon = job.deadline - job.arrival_time
+        cp_fast = job.critical_path_time(fastest)
+        if horizon < cp_fast:
+            errors.append(
+                f"job {job.job_id}: deadline slack {horizon:.1f}s is below its "
+                f"critical path {cp_fast:.1f}s even at the fastest node"
+            )
+        else:
+            cp_mean = job.critical_path_time(mean_rate)
+            if horizon < 1.5 * cp_mean:
+                warnings.append(
+                    f"job {job.job_id}: deadline slack {horizon:.1f}s is tight "
+                    f"(< 1.5x mean-rate critical path {cp_mean:.1f}s)"
+                )
+    return ValidationReport(errors=tuple(errors), warnings=tuple(warnings))

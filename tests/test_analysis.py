@@ -1,0 +1,143 @@
+"""Tests for post-run analysis (fairness, slowdowns, utilization) and
+ASCII chart rendering."""
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.config import SimConfig
+from repro.core import HeuristicScheduler
+from repro.dag import Job, chain_dag
+from repro.experiments import (
+    analysis_report,
+    ascii_chart,
+    jain_fairness,
+    job_stats,
+    percentiles,
+    slowdowns,
+    sparkline,
+    utilization,
+)
+from repro.sim import SimEngine
+
+
+@pytest.fixture(scope="module")
+def finished_engine():
+    cluster = uniform_cluster(2, cpu_size=2.0, mem_size=2.0, mips_per_unit=500.0)
+    jobs = [
+        Job.from_tasks(f"J{i}", chain_dag(f"J{i}", 3, size_mi=1000.0), deadline=100.0)
+        for i in range(3)
+    ]
+    engine = SimEngine(
+        cluster, jobs, HeuristicScheduler(cluster),
+        sim_config=SimConfig(epoch=1.0, scheduling_period=10.0),
+    )
+    engine.run()
+    return engine
+
+
+class TestJobStats:
+    def test_one_entry_per_job(self, finished_engine):
+        stats = job_stats(finished_engine)
+        assert [s.job_id for s in stats] == ["J0", "J1", "J2"]
+
+    def test_slowdown_at_least_one(self, finished_engine):
+        for s in job_stats(finished_engine):
+            assert s.slowdown >= 1.0 - 1e-9
+
+    def test_response_time_positive(self, finished_engine):
+        for s in job_stats(finished_engine):
+            assert s.response_time > 0
+
+    def test_met_deadline(self, finished_engine):
+        assert all(s.met_deadline for s in job_stats(finished_engine))
+
+    def test_unfinished_engine_rejected(self):
+        cluster = uniform_cluster(1, cpu_size=2.0, mem_size=2.0)
+        job = Job.from_tasks("J", chain_dag("J", 2), deadline=1e9)
+        engine = SimEngine(cluster, [job], HeuristicScheduler(cluster))
+        with pytest.raises(ValueError, match="unfinished"):
+            job_stats(engine)
+
+
+class TestFairness:
+    def test_equal_values_perfect(self):
+        assert jain_fairness([2.0, 2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert jain_fairness([5.0]) == pytest.approx(1.0)
+
+    def test_maximally_unfair(self):
+        # One job got everything: index -> 1/n.
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_fairness([1.0, -1.0])
+
+    def test_all_zero_is_fair(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+
+class TestPercentilesAndUtilization:
+    def test_percentiles(self):
+        pct = percentiles(list(range(1, 101)), points=(50, 99))
+        assert pct[50] == pytest.approx(50.5)
+        assert pct[99] > 99
+
+    def test_percentiles_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentiles([])
+
+    def test_utilization_bounds(self, finished_engine):
+        u = utilization(finished_engine)
+        assert 0.0 < u <= 1.0
+
+    def test_report_renders(self, finished_engine):
+        text = analysis_report(finished_engine)
+        assert "fairness" in text and "utilization" in text
+        assert "p50" in text
+
+
+class TestSparkline:
+    def test_constant(self):
+        assert len(sparkline([1.0, 1.0, 1.0])) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_rises(self):
+        s = sparkline([0.0, 1.0, 2.0, 3.0])
+        assert s[0] < s[-1]
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        out = ascii_chart(
+            [1, 2, 3], {"up": [1.0, 2.0, 3.0], "down": [3.0, 2.0, 1.0]},
+            title="trend",
+        )
+        assert "trend" in out
+        assert "o=up" in out and "x=down" in out
+        assert "o" in out and "x" in out
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {})
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0]})  # misaligned
+        with pytest.raises(ValueError):
+            ascii_chart([1], {"a": [1.0]})  # single point
+        with pytest.raises(ValueError):
+            ascii_chart([1, 2], {"a": [1.0, 2.0]}, width=5)
+
+    def test_flat_series_ok(self):
+        out = ascii_chart([0, 10], {"flat": [5.0, 5.0]})
+        assert "o=flat" in out
+
+    def test_axis_labels(self):
+        out = ascii_chart([0, 100], {"a": [0.0, 50.0]})
+        assert "100" in out and "50" in out

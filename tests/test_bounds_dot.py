@@ -1,0 +1,112 @@
+"""Tests for makespan lower bounds and DOT export."""
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.dag import Job, chain_dag, diamond_dag, job_to_dot, write_dot
+from repro.experiments import (
+    capacity_bound,
+    critical_path_bound,
+    dimension_bound,
+    makespan_lower_bound,
+)
+
+
+@pytest.fixture
+def cluster():
+    return uniform_cluster(2, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+
+
+class TestBounds:
+    def test_critical_path_bound_chain(self, cluster):
+        # Chain of 4 x 1000 MI at 1000 MIPS: cannot beat 4 s.
+        job = Job.from_tasks("J", chain_dag("J", 4, size_mi=1000.0), deadline=1e9)
+        assert critical_path_bound([job], cluster) == pytest.approx(4.0)
+
+    def test_capacity_bound(self, cluster):
+        # 8000 MI; each node (cpu 4, mem 4) fits 4 unit-demand tasks, each
+        # at 1000 MIPS -> max throughput 8000 MI/s -> bound 1 s.
+        job = Job.from_tasks("J", chain_dag("J", 8, size_mi=1000.0), deadline=1e9)
+        assert capacity_bound([job], cluster) == pytest.approx(1.0)
+
+    def test_capacity_bound_single_slot(self):
+        # Nodes that fit exactly one task: throughput = sum of g(k).
+        from repro.cluster import Cluster, NodeSpec
+
+        cl = Cluster([
+            NodeSpec(node_id=f"n{i}", cpu_size=1.0, mem_size=0.5, mips_per_unit=1333.33)
+            for i in range(2)
+        ])  # g(k) = 1000 MIPS, capacity fits one default-demand task
+        job = Job.from_tasks("J", chain_dag("J", 8, size_mi=1000.0), deadline=1e9)
+        assert capacity_bound([job], cl) == pytest.approx(4.0, rel=1e-3)
+
+    def test_dimension_bound_positive(self, cluster):
+        job = Job.from_tasks("J", diamond_dag("J"), deadline=1e9)
+        assert dimension_bound([job], cluster) > 0.0
+
+    def test_lower_bound_is_max(self, cluster):
+        job = Job.from_tasks("J", chain_dag("J", 4, size_mi=1000.0), deadline=1e9)
+        lb = makespan_lower_bound([job], cluster)
+        assert lb >= critical_path_bound([job], cluster)
+        assert lb >= capacity_bound([job], cluster)
+
+    def test_empty(self, cluster):
+        assert critical_path_bound([], cluster) == 0.0
+        assert dimension_bound([], cluster) == 0.0
+
+    def test_arrivals_shift_bound(self, cluster):
+        from repro.dag import Task
+
+        t = Task(task_id="K.a", job_id="K", size_mi=1000.0)
+        late = Job(job_id="K", tasks={"K.a": t}, deadline=1e9, arrival_time=100.0)
+        early = Job.from_tasks("J", chain_dag("J", 1, size_mi=1000.0), deadline=1e9)
+        # The late job's chain can only start at t=100.
+        assert critical_path_bound([early, late], cluster) >= 100.0
+
+    def test_simulated_run_respects_bound(self, cluster):
+        from repro.config import SimConfig
+        from repro.core import HeuristicScheduler
+        from repro.sim import SimEngine
+
+        job = Job.from_tasks("J", diamond_dag("J", size_mi=2000.0), deadline=1e9)
+        engine = SimEngine(
+            cluster, [job], HeuristicScheduler(cluster),
+            sim_config=SimConfig(epoch=1.0, scheduling_period=10.0),
+        )
+        m = engine.run()
+        assert m.makespan >= makespan_lower_bound([job], cluster) - 1e-9
+
+
+class TestDotExport:
+    def test_structure(self):
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=100.0)
+        dot = job_to_dot(job)
+        assert dot.startswith('digraph "J1"')
+        assert '"J1.T0000" -> "J1.T0001"' in dot
+        assert "rank=same" in dot  # the two middle tasks share a level
+        assert dot.rstrip().endswith("}")
+
+    def test_sizes_toggle(self):
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=100.0)
+        assert "MI" in job_to_dot(job, include_sizes=True)
+        assert "MI" not in job_to_dot(job, include_sizes=False)
+
+    def test_rankdir_validation(self):
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=100.0)
+        with pytest.raises(ValueError):
+            job_to_dot(job, rankdir="XX")
+
+    def test_input_marking(self):
+        from repro.cluster import ResourceVector
+        from repro.dag import Task
+
+        t = Task(task_id="K.a", job_id="K", size_mi=1.0,
+                 demand=ResourceVector(cpu=1.0),
+                 input_mb=10.0, input_location="n0")
+        job = Job(job_id="K", tasks={"K.a": t}, deadline=1e9)
+        assert "peripheries=2" in job_to_dot(job)
+
+    def test_write(self, tmp_path):
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=100.0)
+        path = write_dot(job, tmp_path / "j.dot")
+        assert path.read_text().startswith("digraph")

@@ -1,0 +1,93 @@
+"""Tests for the checkpoint–restart model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim import checkpoint_count, lost_work_mi, retained_work_mi
+
+
+class TestRetainedWork:
+    def test_perfect_checkpoint_retains_all(self):
+        assert retained_work_mi(1234.5, 1000.0, 0.0) == 1234.5
+
+    def test_interval_rolls_back_to_boundary(self):
+        # interval 10 s at 100 MIPS -> checkpoints every 1000 MI.
+        assert retained_work_mi(2500.0, 100.0, 10.0) == 2000.0
+
+    def test_exact_boundary_kept(self):
+        assert retained_work_mi(2000.0, 100.0, 10.0) == 2000.0
+
+    def test_before_first_checkpoint_loses_all(self):
+        assert retained_work_mi(999.0, 100.0, 10.0) == 0.0
+
+    def test_zero_work(self):
+        assert retained_work_mi(0.0, 100.0, 10.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            retained_work_mi(-1.0, 100.0, 10.0)
+        with pytest.raises(ValueError):
+            retained_work_mi(1.0, 0.0, 10.0)
+        with pytest.raises(ValueError):
+            retained_work_mi(1.0, 100.0, -1.0)
+
+
+class TestCounts:
+    def test_checkpoint_count(self):
+        assert checkpoint_count(2500.0, 100.0, 10.0) == 2
+        assert checkpoint_count(999.0, 100.0, 10.0) == 0
+        assert checkpoint_count(2500.0, 100.0, 0.0) == 0
+
+    def test_lost_work(self):
+        assert lost_work_mi(2500.0, 100.0, 10.0) == pytest.approx(500.0)
+        assert lost_work_mi(2500.0, 100.0, 0.0) == 0.0
+
+
+class TestProperties:
+    @given(
+        work=st.floats(min_value=0.0, max_value=1e6),
+        rate=st.floats(min_value=1.0, max_value=1e4),
+        interval=st.floats(min_value=0.0, max_value=1e3),
+    )
+    def test_retained_bounded_and_consistent(self, work, rate, interval):
+        kept = retained_work_mi(work, rate, interval)
+        assert 0.0 <= kept <= work
+        assert kept + lost_work_mi(work, rate, interval) == pytest.approx(work)
+        quantum = interval * rate
+        if quantum > 1e-9 and kept < work:
+            # Away from the clamp, retained work sits on a checkpoint
+            # boundary (an exact multiple of the quantum).
+            assert kept / quantum == pytest.approx(round(kept / quantum))
+
+
+class TestEngineIntegration:
+    def test_interval_checkpoint_loses_partial_work(self):
+        """With a coarse checkpoint interval, a preemption rolls the victim
+        back and the makespan grows vs the perfect-checkpoint run."""
+        from repro.cluster import Cluster, NodeSpec, ResourceVector
+        from repro.config import DSPConfig, SimConfig
+        from repro.core import HeuristicScheduler
+        from repro.dag import Job, Task
+        from repro.sim import SimEngine
+        from tests.test_engine import ScriptedPolicy
+
+        def build(interval: float):
+            cl = Cluster([NodeSpec(node_id="n0", cpu_size=1.0, mem_size=1.0,
+                                   mips_per_unit=500.0)])
+            long = Task(task_id="long", job_id="J", size_mi=5000.0,
+                        demand=ResourceVector(cpu=1.0, mem=0.5))
+            short = Task(task_id="short", job_id="J", size_mi=500.0,
+                         demand=ResourceVector(cpu=1.0, mem=0.5))
+            job = Job.from_tasks("J", [long, short], deadline=1e6)
+            cfg = DSPConfig(checkpoint_interval=interval)
+            eng = SimEngine(
+                cl, [job], HeuristicScheduler(cl, cfg),
+                preemption=ScriptedPolicy("short", "long"),
+                dsp_config=cfg,
+                sim_config=SimConfig(epoch=0.7, scheduling_period=10.0),
+            )
+            return eng.run()
+
+        perfect = build(0.0)
+        coarse = build(5.0)   # one checkpoint per 5 s of progress
+        assert coarse.makespan > perfect.makespan

@@ -1,0 +1,102 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig5_defaults(self):
+        args = build_parser().parse_args(["fig5"])
+        assert args.profile == "cluster"
+        assert args.jobs == [15, 30, 45, 60, 75]
+
+    def test_fig5_custom_jobs(self):
+        args = build_parser().parse_args(["fig5", "--jobs", "5", "10"])
+        assert args.jobs == [5, 10]
+
+    def test_run_choices_enforced(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--scheduler", "NOPE"])
+
+    def test_ablate_requires_param(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablate"])
+
+    def test_all_subcommands_parse(self):
+        p = build_parser()
+        for argv in (["fig5"], ["fig6"], ["fig7"], ["fig8"], ["run"],
+                     ["ablate", "--param", "rho"]):
+            assert p.parse_args(argv) is not None
+
+
+class TestMain:
+    def test_run_command_prints_metrics(self, capsys):
+        rc = main(["run", "--jobs", "3", "--scale", "100", "--policy", "none"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "tasks_completed" in out
+
+    def test_run_with_policy(self, capsys):
+        rc = main(["run", "--jobs", "3", "--scale", "100", "--policy", "DSP"])
+        assert rc == 0
+        assert "num_preemptions" in capsys.readouterr().out
+
+    def test_fig5_tiny(self, capsys):
+        rc = main(["fig5", "--jobs", "3", "--scale", "100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Makespan" in out and "DSP" in out and "TetrisW/oDep" in out
+
+    def test_ablate_tiny(self, capsys):
+        rc = main(["ablate", "--param", "gamma", "--values", "0.5", "--jobs", "3"])
+        assert rc == 0
+        assert "Ablation: gamma" in capsys.readouterr().out
+
+
+class TestExtendedRunFlags:
+    def test_run_with_faults(self, capsys):
+        rc = main(["run", "--jobs", "3", "--scale", "100", "--policy", "DSP",
+                   "--mtbf", "500"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "num_node_failures" in out
+
+    def test_run_with_locality_and_analyze(self, capsys):
+        rc = main(["run", "--jobs", "3", "--scale", "100",
+                   "--locality", "0.5", "--analyze"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "total_transfer_time" in out
+        assert "fairness" in out
+
+    def test_locality_flag_parse(self):
+        args = build_parser().parse_args(["run", "--locality", "0.3"])
+        assert args.locality == 0.3
+        assert args.mtbf is None
+
+
+class TestFigureSaving:
+    def test_fig5_out_roundtrip(self, capsys, tmp_path):
+        out = tmp_path / "fig5.json"
+        rc = main(["fig5", "--jobs", "3", "--scale", "100", "--out", str(out)])
+        assert rc == 0
+        assert "saved:" in capsys.readouterr().out
+        from repro.experiments import load_figure
+
+        fig = load_figure(out)
+        assert fig.figure == "fig5a"
+        assert fig.x == (3,)
+
+
+class TestGanttFlag:
+    def test_run_with_gantt(self, capsys):
+        rc = main(["run", "--jobs", "3", "--scale", "100", "--gantt"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "t=[" in out  # the chart's time axis header

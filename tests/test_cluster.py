@@ -1,0 +1,119 @@
+"""Tests for NodeSpec, Cluster and the testbed machine profiles."""
+
+import pytest
+
+from repro.cluster import (
+    EC2_NODE_COUNT,
+    PALMETTO_NODE_COUNT,
+    Cluster,
+    NodeSpec,
+    ec2_cluster,
+    ec2_node,
+    palmetto_cluster,
+    palmetto_node,
+    uniform_cluster,
+)
+
+
+class TestNodeSpec:
+    def test_processing_rate_eq1(self):
+        # g(k) = (θ1·cpu + θ2·mem) · mips_per_unit
+        n = NodeSpec(node_id="n", cpu_size=4.0, mem_size=8.0, mips_per_unit=100.0)
+        assert n.processing_rate(0.5, 0.5) == pytest.approx(600.0)
+
+    def test_theta_weights_shift_rate(self):
+        n = NodeSpec(node_id="n", cpu_size=4.0, mem_size=8.0, mips_per_unit=100.0)
+        assert n.processing_rate(1.0, 0.0) == pytest.approx(400.0)
+        assert n.processing_rate(0.0, 1.0) == pytest.approx(800.0)
+
+    def test_zero_weights_rejected(self):
+        n = NodeSpec(node_id="n", cpu_size=4.0, mem_size=8.0)
+        with pytest.raises(ValueError):
+            n.processing_rate(0.0, 0.0)
+
+    def test_capacity_vector(self):
+        n = NodeSpec(node_id="n", cpu_size=4.0, mem_size=8.0,
+                     disk_capacity=100.0, bandwidth_capacity=10.0)
+        assert n.capacity.as_tuple() == (4.0, 8.0, 100.0, 10.0)
+
+    @pytest.mark.parametrize("field", ["cpu_size", "mem_size", "disk_capacity",
+                                        "bandwidth_capacity", "mips_per_unit"])
+    def test_positive_fields(self, field):
+        kwargs = dict(node_id="n", cpu_size=1.0, mem_size=1.0)
+        kwargs[field] = 0.0
+        with pytest.raises(ValueError):
+            NodeSpec(**kwargs)
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSpec(node_id="", cpu_size=1.0, mem_size=1.0)
+
+
+class TestCluster:
+    def test_lookup_and_index(self):
+        cl = uniform_cluster(3)
+        assert cl.node("node-01").node_id == "node-01"
+        assert cl.index_of("node-02") == 2
+        assert "node-00" in cl
+        assert "nope" not in cl
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cluster([])
+
+    def test_duplicate_ids_rejected(self):
+        n = NodeSpec(node_id="x", cpu_size=1.0, mem_size=1.0)
+        with pytest.raises(ValueError, match="duplicate"):
+            Cluster([n, n])
+
+    def test_total_capacity(self):
+        cl = uniform_cluster(2, cpu_size=4.0, mem_size=8.0)
+        assert cl.total_capacity().cpu == 8.0
+        assert cl.total_capacity().mem == 16.0
+
+    def test_total_rate_additivity(self):
+        cl = uniform_cluster(5, cpu_size=4.0, mem_size=4.0, mips_per_unit=100.0)
+        single = cl.nodes[0].processing_rate()
+        assert cl.total_rate() == pytest.approx(5 * single)
+
+    def test_fastest_node(self):
+        nodes = [
+            NodeSpec(node_id="slow", cpu_size=1.0, mem_size=1.0),
+            NodeSpec(node_id="fast", cpu_size=8.0, mem_size=8.0),
+        ]
+        assert Cluster(nodes).fastest_node().node_id == "fast"
+
+    def test_iteration_order_stable(self):
+        cl = uniform_cluster(4)
+        assert [n.node_id for n in cl] == [f"node-0{i}" for i in range(4)]
+
+
+class TestMachineProfiles:
+    def test_palmetto_count_default(self):
+        assert len(palmetto_cluster()) == PALMETTO_NODE_COUNT == 50
+
+    def test_ec2_count_default(self):
+        assert len(ec2_cluster()) == EC2_NODE_COUNT == 30
+
+    def test_paper_disk_and_bandwidth(self):
+        # §V: 1 GB/s bandwidth, 720 GB disk on every server.
+        for node in (palmetto_node("p"), ec2_node("e")):
+            assert node.disk_capacity == 720_000.0
+            assert node.bandwidth_capacity == 1000.0
+
+    def test_ec2_rate_matches_2660_mips(self):
+        # HP ProLiant ML110 G5: 2660 MIPS.
+        assert ec2_node("e").processing_rate() == pytest.approx(2660.0)
+
+    def test_palmetto_faster_than_ec2(self):
+        assert palmetto_node("p").processing_rate() > ec2_node("e").processing_rate()
+
+    def test_palmetto_memory_16gb(self):
+        assert palmetto_node("p").mem_size == 16.0
+
+    def test_ec2_memory_4gb(self):
+        assert ec2_node("e").mem_size == 4.0
+
+    def test_custom_counts(self):
+        assert len(palmetto_cluster(7)) == 7
+        assert len(ec2_cluster(3)) == 3

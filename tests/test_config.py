@@ -1,0 +1,119 @@
+"""Tests for DSPConfig/SimConfig — including the Table II defaults (E14)."""
+
+import pytest
+
+from repro.config import DSPConfig, SimConfig
+
+
+class TestTableIIDefaults:
+    """The paper's Table II parameter settings are the library defaults."""
+
+    def test_theta_weights(self):
+        cfg = DSPConfig()
+        assert cfg.theta_cpu == 0.5
+        assert cfg.theta_mem == 0.5
+
+    def test_gamma(self):
+        assert DSPConfig().gamma == 0.5
+
+    def test_omega_weights(self):
+        cfg = DSPConfig()
+        assert cfg.omega_remaining == 0.5
+        assert cfg.omega_waiting == 0.3
+        assert cfg.omega_allowable == 0.2
+
+    def test_delta(self):
+        assert DSPConfig().delta == 0.35
+
+    def test_srpt_weights(self):
+        cfg = DSPConfig()
+        assert cfg.srpt_alpha == 0.5
+        assert cfg.srpt_beta == 1.0
+
+    def test_sigma_is_paper_value(self):
+        assert DSPConfig().sigma == 0.05
+
+    def test_pp_enabled_by_default(self):
+        assert DSPConfig().use_pp is True
+
+    def test_tau_documented_deviation(self):
+        # Table II says 0.05 s; the library deliberately defaults higher
+        # (see DESIGN.md §2) but must accept the paper's value.
+        assert DSPConfig().tau == 30.0
+        assert DSPConfig(tau=0.05).tau == 0.05
+
+
+class TestDSPConfigValidation:
+    def test_omegas_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            DSPConfig(omega_remaining=0.5, omega_waiting=0.5, omega_allowable=0.5)
+
+    @pytest.mark.parametrize("gamma", [0.0, 1.0, -0.1, 1.5])
+    def test_gamma_open_interval(self, gamma):
+        with pytest.raises(ValueError, match="gamma"):
+            DSPConfig(gamma=gamma)
+
+    @pytest.mark.parametrize("rho", [1.0, 0.5, 0.0])
+    def test_rho_must_exceed_one(self, rho):
+        with pytest.raises(ValueError, match="rho"):
+            DSPConfig(rho=rho)
+
+    def test_delta_is_fraction(self):
+        with pytest.raises(ValueError):
+            DSPConfig(delta=1.2)
+
+    def test_negative_tau_rejected(self):
+        with pytest.raises(ValueError):
+            DSPConfig(tau=-1.0)
+
+    def test_negative_recovery_rejected(self):
+        with pytest.raises(ValueError):
+            DSPConfig(recovery_time=-0.1)
+
+    def test_both_thetas_zero_rejected(self):
+        with pytest.raises(ValueError):
+            DSPConfig(theta_cpu=0.0, theta_mem=0.0)
+
+    def test_one_theta_zero_allowed(self):
+        assert DSPConfig(theta_cpu=0.0, theta_mem=1.0).theta_mem == 1.0
+
+
+class TestDSPConfigHelpers:
+    def test_without_pp(self):
+        cfg = DSPConfig().without_pp()
+        assert cfg.use_pp is False
+        # Everything else preserved.
+        assert cfg.gamma == DSPConfig().gamma
+
+    def test_without_pp_does_not_mutate(self):
+        base = DSPConfig()
+        base.without_pp()
+        assert base.use_pp is True
+
+    def test_replace(self):
+        cfg = DSPConfig().replace(rho=2.5)
+        assert cfg.rho == 2.5
+        assert cfg.delta == 0.35
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DSPConfig().rho = 3.0  # type: ignore[misc]
+
+
+class TestSimConfig:
+    def test_defaults(self):
+        sc = SimConfig()
+        assert sc.epoch == 5.0
+        assert sc.scheduling_period == 300.0  # the paper's 5 minutes
+
+    def test_epoch_must_fit_period(self):
+        with pytest.raises(ValueError, match="epoch"):
+            SimConfig(epoch=100.0, scheduling_period=50.0)
+
+    @pytest.mark.parametrize("field", ["epoch", "scheduling_period", "horizon"])
+    def test_positive_fields(self, field):
+        with pytest.raises(ValueError):
+            SimConfig(**{field: 0.0})
+
+    def test_replace(self):
+        assert SimConfig().replace(epoch=2.0).epoch == 2.0

@@ -1,0 +1,109 @@
+"""Tests for §V dependency inference from execution windows."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace import GoogleTraceGenerator, TraceTaskRecord, infer_dependencies
+
+
+def rec(idx: int, start: float, end: float, job: str = "j") -> TraceTaskRecord:
+    return TraceTaskRecord(job, idx, start, end, 0.5, 0.5)
+
+
+class TestNoOverlapRule:
+    def test_sequential_tasks_linked(self):
+        parents = infer_dependencies([rec(0, 0, 10), rec(1, 10, 20)])
+        assert parents[1] == (0,)
+
+    def test_overlapping_tasks_not_linked(self):
+        parents = infer_dependencies([rec(0, 0, 10), rec(1, 5, 20)])
+        assert parents[1] == ()
+
+    def test_first_task_is_root(self):
+        parents = infer_dependencies([rec(0, 0, 10), rec(1, 20, 30)])
+        assert parents[0] == ()
+
+    def test_most_recent_enders_preferred(self):
+        # Task 3 starts at 100; tasks 0 (ends 10), 1 (ends 50), 2 (ends 90).
+        records = [rec(0, 0, 10), rec(1, 20, 50), rec(2, 60, 90), rec(3, 100, 110)]
+        parents = infer_dependencies(records, max_parents=2)
+        assert parents[3] == (1, 2)  # the two most recent enders
+
+    def test_max_parents_cap(self):
+        records = [rec(i, i * 10.0, i * 10.0 + 5.0) for i in range(6)]
+        parents = infer_dependencies(records, max_parents=2)
+        assert all(len(p) <= 2 for p in parents.values())
+
+
+class TestStructuralCaps:
+    def test_level_cap(self):
+        # A long strictly sequential job would produce a chain; the level
+        # cap must keep depth <= max_levels.
+        records = [rec(i, i * 10.0, i * 10.0 + 5.0) for i in range(20)]
+        parents = infer_dependencies(records, max_levels=5, max_parents=1)
+        level = {}
+        for idx in sorted(parents):
+            ps = parents[idx]
+            level[idx] = 1 + max((level[p] for p in ps), default=0)
+        assert max(level.values()) <= 5
+
+    def test_dependents_cap(self):
+        # One early task, many later tasks that would all link to it.
+        records = [rec(0, 0, 1)] + [rec(i, 10 + i, 12 + i) for i in range(1, 30)]
+        parents = infer_dependencies(records, max_dependents=3)
+        count0 = sum(1 for ps in parents.values() if 0 in ps)
+        assert count0 <= 3
+
+    def test_acyclic_by_construction(self):
+        records = GoogleTraceGenerator(rng=3).job_records("j", 60)
+        parents = infer_dependencies(records)
+        by_idx = {r.task_index: r for r in records}
+        for child, ps in parents.items():
+            for p in ps:
+                assert by_idx[p].end_time <= by_idx[child].start_time
+
+
+class TestValidation:
+    def test_empty(self):
+        assert infer_dependencies([]) == {}
+
+    def test_mixed_jobs_rejected(self):
+        with pytest.raises(ValueError, match="one job"):
+            infer_dependencies([rec(0, 0, 1, job="a"), rec(1, 2, 3, job="b")])
+
+    def test_bad_caps_rejected(self):
+        with pytest.raises(ValueError):
+            infer_dependencies([rec(0, 0, 1)], max_levels=0)
+        with pytest.raises(ValueError):
+            infer_dependencies([rec(0, 0, 1)], max_parents=0)
+        with pytest.raises(ValueError):
+            infer_dependencies([rec(0, 0, 1)], max_dependents=-1)
+
+    def test_deterministic(self):
+        records = GoogleTraceGenerator(rng=9).job_records("j", 40)
+        assert infer_dependencies(records) == infer_dependencies(records)
+
+
+class TestPropertyBased:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=1, max_value=60),
+    )
+    def test_invariants_on_random_traces(self, seed, n):
+        records = GoogleTraceGenerator(rng=seed).job_records("j", n)
+        parents = infer_dependencies(records)
+        assert set(parents) == {r.task_index for r in records}
+        # Caps hold.
+        child_count: dict[int, int] = {}
+        level: dict[int, int] = {}
+        by_idx = {r.task_index: r for r in records}
+        for idx in sorted(parents, key=lambda i: (by_idx[i].start_time, i)):
+            ps = parents[idx]
+            level[idx] = 1 + max((level[p] for p in ps), default=0)
+            for p in ps:
+                child_count[p] = child_count.get(p, 0) + 1
+                # §V rule: a parent's window strictly precedes the child's.
+                assert by_idx[p].end_time <= by_idx[idx].start_time
+        assert max(level.values(), default=1) <= 5
+        assert max(child_count.values(), default=0) <= 15

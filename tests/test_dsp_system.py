@@ -1,0 +1,85 @@
+"""Tests for DSPScheduler routing and the DSPSystem facade."""
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.config import DSPConfig
+from repro.core import DSPScheduler, DSPSystem, verify_schedule
+from repro.dag import Job, Task, diamond_dag, layered_random_dag
+
+
+@pytest.fixture
+def cluster():
+    return uniform_cluster(2, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+
+
+class TestDSPSchedulerRouting:
+    def test_small_batch_uses_ilp(self, cluster):
+        sched = DSPScheduler(cluster, ilp_task_limit=12)
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=100.0)
+        plan = sched.schedule([job])
+        assert sched.last_used == "ilp"
+        # Exact: the diamond optimum is 3 s on two nodes.
+        assert plan.makespan == pytest.approx(3.0, abs=1e-4)
+
+    def test_large_batch_uses_heuristic(self, cluster):
+        sched = DSPScheduler(cluster, ilp_task_limit=12)
+        job = Job.from_tasks("J", layered_random_dag("J", 40, rng=2), deadline=1e9)
+        sched.schedule([job])
+        assert sched.last_used == "heuristic"
+
+    def test_ilp_disabled_by_zero_limit(self, cluster):
+        sched = DSPScheduler(cluster, ilp_task_limit=0)
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=100.0)
+        sched.schedule([job])
+        assert sched.last_used == "heuristic"
+
+    def test_infeasible_ilp_falls_back(self, cluster):
+        # Deadline too tight for the exact ILP: heuristic best-effort plan.
+        sched = DSPScheduler(cluster, ilp_task_limit=12)
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=0.5)
+        plan = sched.schedule([job])
+        assert sched.last_used == "heuristic"
+        assert len(plan) == 4
+
+    def test_node_limit_gates_ilp(self):
+        big_cluster = uniform_cluster(10, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+        sched = DSPScheduler(big_cluster, ilp_task_limit=12, ilp_node_limit=4)
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=100.0)
+        sched.schedule([job])
+        assert sched.last_used == "heuristic"
+
+    def test_negative_limit_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            DSPScheduler(cluster, ilp_task_limit=-1)
+
+    def test_reset_clears_state(self, cluster):
+        sched = DSPScheduler(cluster, ilp_task_limit=0)
+        job = Job.from_tasks("J", layered_random_dag("J", 30, rng=2), deadline=1e9)
+        p1 = sched.schedule([job])
+        sched.reset()
+        p2 = sched.schedule([job])
+        assert {t: a.start for t, a in p1.assignments.items()} == {
+            t: a.start for t, a in p2.assignments.items()
+        }
+
+
+class TestDSPSystem:
+    def test_build_default(self, cluster):
+        system = DSPSystem.build(cluster)
+        assert system.name == "DSP"
+        assert system.config.use_pp
+
+    def test_build_without_pp(self, cluster):
+        system = DSPSystem.build(cluster, pp=False)
+        assert system.name == "DSPW/oPP"
+        assert not system.config.use_pp
+
+    def test_pp_true_overrides_config(self, cluster):
+        system = DSPSystem.build(cluster, config=DSPConfig().without_pp(), pp=True)
+        assert system.config.use_pp
+
+    def test_components_share_config(self, cluster):
+        system = DSPSystem.build(cluster, config=DSPConfig(gamma=0.7))
+        assert system.config.gamma == 0.7
+        assert system.preemption._config.gamma == 0.7

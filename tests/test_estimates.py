@@ -1,0 +1,72 @@
+"""Tests for the N^p preemption-count estimator (paper [29])."""
+
+import pytest
+
+from repro.core import estimate_preemptions
+from repro.dag import Job, Task, chain_dag, tree_dag
+
+
+def mk(tid: str, size=1000.0, parents=()) -> Task:
+    return Task(task_id=tid, job_id="J", size_mi=size, parents=tuple(parents))
+
+
+class TestEstimator:
+    def test_nonnegative_and_complete(self):
+        job = Job.from_tasks("J1", tree_dag("J1", depth=3, branching=2), deadline=1e4)
+        est = estimate_preemptions([job], rate_mips=1000.0)
+        assert set(est) == set(job.tasks)
+        assert all(v >= 0 for v in est.values())
+
+    def test_bigger_tasks_estimate_higher(self):
+        small = mk("small", size=100.0)
+        big = mk("big", size=10_000.0)
+        job = Job.from_tasks("J", [small, big], deadline=1e5)
+        est = estimate_preemptions([job], 1000.0)
+        assert est["big"] > est["small"]
+
+    def test_dependency_shield_lowers_estimate(self):
+        # Same size: a task with many descendants is preempted less.
+        job = Job.from_tasks("J1", tree_dag("J1", depth=3, branching=3), deadline=1e5)
+        est = estimate_preemptions([job], 1000.0)
+        root = "J1.T0000"
+        leaf = sorted(est)[-1]
+        assert est[root] < est[leaf]
+
+    def test_tight_deadline_lowers_estimate(self):
+        loose = Job.from_tasks("J", [mk("a")], deadline=1e6)
+        t = Task(task_id="K.a", job_id="K", size_mi=1000.0)
+        tight = Job(job_id="K", tasks={"K.a": t}, deadline=1.5)
+        est = estimate_preemptions([loose, tight], 1000.0)
+        assert est["K.a"] < est["a"]
+
+    def test_clamped_at_max(self):
+        huge = mk("huge", size=1e9)
+        tiny = mk("tiny", size=1.0)
+        job = Job.from_tasks("J", [huge, tiny], deadline=1e12)
+        est = estimate_preemptions([job], 1000.0, max_preemptions=5.0)
+        assert est["huge"] <= 5.0
+
+    def test_empty(self):
+        assert estimate_preemptions([], 1000.0) == {}
+
+    def test_validation(self):
+        job = Job.from_tasks("J", [mk("a")], deadline=1e4)
+        with pytest.raises(ValueError):
+            estimate_preemptions([job], 0.0)
+        with pytest.raises(ValueError):
+            estimate_preemptions([job], 1000.0, baseline=-1.0)
+
+    def test_feeds_the_ilp(self):
+        """The estimator's output plugs straight into ILPScheduler and
+        inflates planned busy time."""
+        from repro.cluster import uniform_cluster
+        from repro.config import DSPConfig
+        from repro.core import ILPScheduler
+
+        cluster = uniform_cluster(1, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+        job = Job.from_tasks("J1", chain_dag("J1", 2, size_mi=1000.0), deadline=1e5)
+        est = estimate_preemptions([job], 1000.0, baseline=4.0)
+        cfg = DSPConfig(recovery_time=0.5, sigma=0.5)
+        plain = ILPScheduler(cluster, cfg).solve([job])
+        padded = ILPScheduler(cluster, cfg, preemption_estimates=est).solve([job])
+        assert padded.makespan >= plain.makespan

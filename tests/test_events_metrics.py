@@ -1,0 +1,162 @@
+"""Tests for the event queue and metrics collector."""
+
+import pytest
+
+from repro.sim import Event, EventKind, EventQueue, MetricsCollector
+
+
+class TestEventQueue:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.EPOCH_TICK)
+        q.push(1.0, EventKind.JOB_ARRIVAL, "j")
+        q.push(3.0, EventKind.TASK_FINISH, ("t", 1))
+        times = [q.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_break_by_insertion(self):
+        q = EventQueue()
+        a = q.push(1.0, EventKind.JOB_ARRIVAL, "first")
+        b = q.push(1.0, EventKind.JOB_ARRIVAL, "second")
+        assert q.pop().payload == "first"
+        assert q.pop().payload == "second"
+        assert a.seq < b.seq
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().push(-1.0, EventKind.EPOCH_TICK)
+
+    def test_peek_time(self):
+        q = EventQueue()
+        assert q.peek_time() is None
+        q.push(7.0, EventKind.EPOCH_TICK)
+        assert q.peek_time() == 7.0
+
+    def test_len_and_bool(self):
+        q = EventQueue()
+        assert not q and len(q) == 0
+        q.push(1.0, EventKind.EPOCH_TICK)
+        assert q and len(q) == 1
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            EventQueue().pop()
+
+
+class TestMetricsCollector:
+    @pytest.fixture
+    def mc(self) -> MetricsCollector:
+        mc = MetricsCollector()
+        mc.register_job("J1", arrival=0.0, deadline=100.0)
+        mc.register_job("J2", arrival=10.0, deadline=50.0)
+        for t, j in [("a", "J1"), ("b", "J1"), ("c", "J2")]:
+            mc.register_task(t, j)
+        return mc
+
+    def test_makespan_from_first_arrival(self, mc):
+        mc.record_task_completion("a", 40.0)
+        mc.record_task_completion("b", 90.0)
+        m = mc.finalize(90.0)
+        assert m.makespan == pytest.approx(90.0)  # 90 - min arrival 0
+
+    def test_deadline_accounting(self, mc):
+        mc.record_task_completion("a", 40.0)
+        mc.record_job_completion("J1", 40.0)   # within 100
+        mc.record_task_completion("c", 70.0)
+        mc.record_job_completion("J2", 70.0)   # misses 50
+        m = mc.finalize(70.0)
+        assert m.jobs_completed == 2
+        assert m.jobs_within_deadline == 1
+        assert m.deadline_misses == 1
+
+    def test_throughput_properties(self, mc):
+        mc.record_task_completion("a", 10.0)
+        mc.record_task_completion("b", 20.0)
+        mc.record_job_completion("J1", 20.0)
+        m = mc.finalize(20.0)
+        assert m.throughput_tasks_per_ms == pytest.approx(2 / 20_000.0)
+        assert m.throughput_jobs_per_s == pytest.approx(1 / 20.0)
+
+    def test_zero_makespan_throughput(self):
+        m = MetricsCollector().finalize(0.0)
+        assert m.throughput_tasks_per_ms == 0.0
+        assert m.throughput_jobs_per_s == 0.0
+
+    def test_wait_accumulates(self, mc):
+        mc.record_wait("a", 5.0)
+        mc.record_wait("a", 3.0)
+        mc.record_task_completion("a", 10.0)
+        m = mc.finalize(10.0)
+        assert m.avg_task_waiting == pytest.approx(8.0)
+
+    def test_negative_wait_rejected(self, mc):
+        with pytest.raises(ValueError):
+            mc.record_wait("a", -1.0)
+
+    def test_job_mean_of_means(self, mc):
+        # J1: waits 10 and 0 -> mean 5. J2: wait 1 -> mean 1. Overall 3.
+        mc.record_wait("a", 10.0)
+        mc.record_wait("c", 1.0)
+        for t in ("a", "b", "c"):
+            mc.record_task_completion(t, 10.0)
+        m = mc.finalize(10.0)
+        assert m.avg_job_waiting == pytest.approx((5.0 + 1.0) / 2)
+
+    def test_preemption_and_stall_counters(self, mc):
+        mc.record_preemption(0.1)
+        mc.record_preemption(0.1)
+        mc.record_stall_eviction(0.1)
+        mc.record_disorder()
+        mc.record_stall(7.0)
+        m = mc.finalize(1.0)
+        assert m.num_preemptions == 2
+        assert m.num_stall_evictions == 1
+        assert m.num_disorders == 1
+        assert m.total_context_switch_time == pytest.approx(0.3)
+        assert m.total_stalled_time == pytest.approx(7.0)
+
+    def test_as_dict_keys(self, mc):
+        d = mc.finalize(1.0).as_dict()
+        for key in ("makespan", "num_preemptions", "throughput_tasks_per_ms",
+                    "avg_job_waiting", "num_disorders", "num_stall_evictions"):
+            assert key in d
+
+
+class TestLatencySampling:
+    def test_disabled_by_default(self):
+        mc = MetricsCollector()
+        mc.register_job("J", 0.0, 10.0)
+        mc.register_task("t", "J")
+        mc.record_task_completion("t", 5.0, latency=4.0)
+        assert mc.latency_samples() == {}
+
+    def test_enabled_collects(self):
+        mc = MetricsCollector(collect_samples=True)
+        mc.register_job("J", 0.0, 10.0)
+        mc.register_task("t", "J")
+        mc.record_task_completion("t", 5.0, latency=4.0)
+        assert mc.latency_samples() == {"t": 4.0}
+
+    def test_negative_latency_rejected(self):
+        mc = MetricsCollector(collect_samples=True)
+        with pytest.raises(ValueError):
+            mc.record_task_completion("t", 5.0, latency=-1.0)
+
+    def test_engine_populates_samples(self):
+        from repro.cluster import uniform_cluster
+        from repro.config import SimConfig
+        from repro.core import HeuristicScheduler
+        from repro.dag import Job, chain_dag
+        from repro.sim import SimEngine
+
+        cluster = uniform_cluster(1, cpu_size=2.0, mem_size=2.0, mips_per_unit=500.0)
+        job = Job.from_tasks("J", chain_dag("J", 3, size_mi=1000.0), deadline=1e6)
+        engine = SimEngine(
+            cluster, [job], HeuristicScheduler(cluster),
+            sim_config=SimConfig(epoch=1.0, scheduling_period=10.0,
+                                 collect_task_samples=True),
+        )
+        engine.run()
+        samples = engine.metrics.latency_samples()
+        assert set(samples) == set(job.tasks)
+        assert all(v > 0 for v in samples.values())

@@ -1,0 +1,77 @@
+"""Smoke tests: every shipped example must run cleanly end-to-end.
+
+Examples are the first thing a downstream user runs; a broken example is
+a broken front door.  Each is executed as a subprocess with the repo's
+``src`` on the path; internal assertions inside the examples double as
+behavioural checks (e.g. the deadline rescue in preemption_deadlines).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = REPO / "examples"
+
+
+def run_example(name: str, *args: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=300, env=env,
+    )
+
+
+class TestExamples:
+    def test_all_examples_present(self):
+        present = {p.name for p in EXAMPLES.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "etl_pipeline.py",
+            "scheduler_shootout.py",
+            "preemption_deadlines.py",
+            "trace_workflow.py",
+            "fault_tolerance.py",
+            "timeline_debug.py",
+        } <= present
+
+    def test_quickstart(self):
+        result = run_example("quickstart.py")
+        assert result.returncode == 0, result.stderr
+        assert "makespan" in result.stdout
+        assert "offline plan" in result.stdout
+
+    def test_etl_pipeline(self):
+        result = run_example("etl_pipeline.py")
+        assert result.returncode == 0, result.stderr
+        assert "top-5 priority tasks" in result.stdout
+        assert "ingest" in result.stdout
+
+    def test_trace_workflow(self):
+        result = run_example("trace_workflow.py")
+        assert result.returncode == 0, result.stderr
+        assert "round-tripped" in result.stdout
+        assert "exact ILP schedule" in result.stdout
+
+    def test_scheduler_shootout_small(self):
+        result = run_example("scheduler_shootout.py", "6")
+        assert result.returncode == 0, result.stderr
+        assert "best makespan" in result.stdout
+
+    def test_timeline_debug(self):
+        result = run_example("timeline_debug.py")
+        assert result.returncode == 0, result.stderr
+        assert "#" in result.stdout  # the stall blocks
+        assert "dependency-aware run" in result.stdout
+
+    def test_preemption_deadlines(self):
+        result = run_example("preemption_deadlines.py")
+        assert result.returncode == 0, result.stderr
+        assert "deadline rescue" in result.stdout
+        assert "PP ablation" in result.stdout

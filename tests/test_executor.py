@@ -1,0 +1,145 @@
+"""Tests for TaskRuntime progress math and NodeRuntime bookkeeping."""
+
+import pytest
+
+from repro.cluster import NodeSpec, ResourceVector
+from repro.dag import Task, TaskState
+from repro.sim import NodeRuntime, TaskRuntime
+
+
+def runtime(size=1000.0, deadline=100.0, parents=0) -> TaskRuntime:
+    task = Task(task_id="t", job_id="j", size_mi=size,
+                demand=ResourceVector(cpu=1.0, mem=1.0))
+    return TaskRuntime(task=task, deadline=deadline, unfinished_parents=parents)
+
+
+class TestProgressAccounting:
+    def test_no_progress_when_not_running(self):
+        rt = runtime()
+        assert rt.progress_seconds(10.0) == 0.0
+
+    def test_progress_while_running(self):
+        rt = runtime()
+        rt.state = TaskState.RUNNING
+        rt.run_start = 5.0
+        assert rt.progress_seconds(8.0) == pytest.approx(3.0)
+
+    def test_recovery_delays_progress(self):
+        rt = runtime()
+        rt.state = TaskState.RUNNING
+        rt.run_start = 0.0
+        rt.current_recovery = 2.0
+        assert rt.progress_seconds(1.0) == 0.0        # still recovering
+        assert rt.progress_seconds(3.0) == pytest.approx(1.0)
+
+    def test_work_done_caps_at_size(self):
+        rt = runtime(size=100.0)
+        rt.state = TaskState.RUNNING
+        rt.run_start = 0.0
+        assert rt.work_done_at(1000.0, rate=1000.0) == 100.0
+
+    def test_remaining_time_running(self):
+        rt = runtime(size=1000.0)
+        rt.state = TaskState.RUNNING
+        rt.run_start = 0.0
+        # After 0.4 s at 1000 MIPS: 600 MI left -> 0.6 s.
+        assert rt.remaining_time_at(0.4, 1000.0) == pytest.approx(0.6)
+
+    def test_remaining_time_queued_includes_recovery(self):
+        rt = runtime(size=1000.0)
+        rt.recovery_due = 0.5
+        assert rt.remaining_time_at(0.0, 1000.0) == pytest.approx(1.5)
+
+    def test_remaining_time_running_unpaid_recovery(self):
+        rt = runtime(size=1000.0)
+        rt.state = TaskState.RUNNING
+        rt.run_start = 0.0
+        rt.current_recovery = 1.0
+        # At t=0.25: 0.75 s recovery left + full 1 s work.
+        assert rt.remaining_time_at(0.25, 1000.0) == pytest.approx(1.75)
+
+
+class TestWaiting:
+    def test_stint_and_total(self):
+        rt = runtime()
+        rt.queued_since = 10.0
+        rt.total_wait = 4.0
+        assert rt.stint_waiting_at(15.0) == pytest.approx(5.0)
+        assert rt.waiting_time_at(15.0) == pytest.approx(9.0)
+
+    def test_not_queued_is_zero(self):
+        rt = runtime()
+        rt.total_wait = 4.0
+        assert rt.stint_waiting_at(15.0) == 0.0
+        assert rt.waiting_time_at(15.0) == pytest.approx(4.0)
+
+    def test_overdue_waits_for_planned_start(self):
+        rt = runtime()
+        rt.queued_since = 0.0
+        rt.planned_start = 50.0
+        assert rt.overdue_waiting_at(30.0) == 0.0          # not yet due
+        assert rt.overdue_waiting_at(70.0) == pytest.approx(20.0)
+
+    def test_overdue_after_requeue(self):
+        rt = runtime()
+        rt.planned_start = 0.0
+        rt.queued_since = 100.0  # re-entered the queue at t=100
+        assert rt.overdue_waiting_at(130.0) == pytest.approx(30.0)
+
+
+class TestRunnableFlags:
+    def test_runnable_when_no_parents(self):
+        assert runtime(parents=0).is_runnable
+        assert not runtime(parents=2).is_runnable
+
+    def test_occupies_resources(self):
+        rt = runtime()
+        assert not rt.occupies_resources
+        rt.state = TaskState.RUNNING
+        assert rt.occupies_resources
+        rt.state = TaskState.STALLED
+        assert rt.occupies_resources
+        rt.state = TaskState.QUEUED
+        assert not rt.occupies_resources
+
+
+class TestNodeRuntime:
+    @pytest.fixture
+    def node(self) -> NodeRuntime:
+        spec = NodeSpec(node_id="n", cpu_size=4.0, mem_size=8.0)
+        return NodeRuntime(spec, rate=1000.0)
+
+    def test_queue_ordered_by_planned_start(self, node):
+        node.enqueue("late", 10.0)
+        node.enqueue("early", 1.0)
+        node.enqueue("mid", 5.0)
+        assert node.queued_ids() == ["early", "mid", "late"]
+
+    def test_dequeue_specific(self, node):
+        node.enqueue("a", 1.0)
+        node.enqueue("b", 2.0)
+        node.dequeue("a", 1.0)
+        assert node.queued_ids() == ["b"]
+
+    def test_dequeue_missing_raises(self, node):
+        with pytest.raises(ValueError):
+            node.dequeue("ghost", 1.0)
+
+    def test_allocate_and_release(self, node):
+        demand = ResourceVector(cpu=2.0, mem=4.0)
+        node.allocate(demand)
+        assert node.free.cpu == pytest.approx(2.0)
+        node.release(demand)
+        assert node.free.cpu == pytest.approx(4.0)
+
+    def test_allocate_over_capacity_raises(self, node):
+        with pytest.raises(RuntimeError):
+            node.allocate(ResourceVector(cpu=100.0))
+
+    def test_release_clamped_to_spec(self, node):
+        node.release(ResourceVector(cpu=100.0))
+        assert node.free.cpu == 4.0  # never exceeds capacity
+
+    def test_fits(self, node):
+        assert node.fits(ResourceVector(cpu=4.0, mem=8.0))
+        assert not node.fits(ResourceVector(cpu=4.1))

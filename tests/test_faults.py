@@ -1,0 +1,170 @@
+"""Tests for fault injection: plan model, validation, engine behaviour."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, ResourceVector, uniform_cluster
+from repro.config import SimConfig
+from repro.core import HeuristicScheduler
+from repro.dag import Job, Task
+from repro.sim import (
+    FaultEvent,
+    FaultKind,
+    SimEngine,
+    random_fault_plan,
+    validate_fault_plan,
+)
+
+
+def mk(tid: str, size=5000.0) -> Task:
+    return Task(task_id=tid, job_id="J", size_mi=size,
+                demand=ResourceVector(cpu=1.0, mem=0.5))
+
+
+def one_lane(n: int) -> Cluster:
+    return Cluster([
+        NodeSpec(node_id=f"n{i}", cpu_size=1.0, mem_size=1.0, mips_per_unit=500.0)
+        for i in range(n)
+    ])
+
+
+def run(cluster, jobs, faults, **kw):
+    eng = SimEngine(
+        cluster, jobs, HeuristicScheduler(cluster),
+        sim_config=SimConfig(epoch=1.0, scheduling_period=10.0),
+        faults=faults, **kw,
+    )
+    return eng.run()
+
+
+class TestFaultEvent:
+    def test_valid(self):
+        FaultEvent(1.0, "n0", FaultKind.FAILURE)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(-1.0, "n0", FaultKind.FAILURE)
+
+    def test_empty_node_rejected(self):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "", FaultKind.FAILURE)
+
+    @pytest.mark.parametrize("factor", [0.0, 1.0, 1.5])
+    def test_slowdown_factor_bounds(self, factor):
+        with pytest.raises(ValueError):
+            FaultEvent(1.0, "n0", FaultKind.SLOWDOWN, factor=factor)
+
+
+class TestValidatePlan:
+    def test_good_plan(self):
+        cl = one_lane(2)
+        plan = [
+            FaultEvent(1.0, "n0", FaultKind.FAILURE),
+            FaultEvent(5.0, "n0", FaultKind.RECOVERY),
+            FaultEvent(2.0, "n1", FaultKind.SLOWDOWN, 0.5),
+            FaultEvent(4.0, "n1", FaultKind.RESTORE),
+        ]
+        assert validate_fault_plan(plan, cl) == []
+
+    def test_unknown_node(self):
+        cl = one_lane(1)
+        plan = [FaultEvent(1.0, "ghost", FaultKind.FAILURE)]
+        assert any("unknown node" in p for p in validate_fault_plan(plan, cl))
+
+    def test_double_failure(self):
+        cl = one_lane(1)
+        plan = [
+            FaultEvent(1.0, "n0", FaultKind.FAILURE),
+            FaultEvent(2.0, "n0", FaultKind.FAILURE),
+        ]
+        assert any("fails while down" in p for p in validate_fault_plan(plan, cl))
+
+    def test_restore_without_slowdown(self):
+        cl = one_lane(1)
+        plan = [FaultEvent(1.0, "n0", FaultKind.RESTORE)]
+        assert validate_fault_plan(plan, cl) != []
+
+
+class TestRandomPlan:
+    def test_deterministic(self):
+        cl = one_lane(3)
+        a = random_fault_plan(cl, 10_000.0, rng=5, mtbf=2000.0, mttr=100.0)
+        b = random_fault_plan(cl, 10_000.0, rng=5, mtbf=2000.0, mttr=100.0)
+        assert a == b
+
+    def test_validates(self):
+        cl = one_lane(4)
+        plan = random_fault_plan(
+            cl, 20_000.0, rng=9, mtbf=3000.0, mttr=200.0,
+            straggler_rate=0.5,
+        )
+        assert validate_fault_plan(plan, cl) == []
+
+    def test_within_horizon(self):
+        cl = one_lane(2)
+        plan = random_fault_plan(cl, 5000.0, rng=1, mtbf=800.0, mttr=100.0)
+        assert all(ev.time < 5000.0 for ev in plan)
+
+
+class TestEngineFaultHandling:
+    def test_failure_reassigns_and_completes(self):
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(4)], deadline=1e6)
+        faults = [FaultEvent(3.0, "n0", FaultKind.FAILURE)]
+        m = run(cl, [job], faults)
+        assert m.tasks_completed == 4
+        assert m.num_node_failures == 1
+        assert m.num_task_reassignments >= 1
+
+    def test_failure_loses_in_flight_progress(self):
+        # One node fails mid-task; a second node carries on.  The failed
+        # task must rerun, so the makespan exceeds the fault-free run.
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(4)], deadline=1e6)
+        faults = [FaultEvent(3.0, "n0", FaultKind.FAILURE),
+                  FaultEvent(50.0, "n0", FaultKind.RECOVERY)]
+        faulty = run(cl, [job], faults)
+        clean = run(cl, [job], None)
+        assert faulty.makespan > clean.makespan
+
+    def test_all_nodes_down_parks_until_recovery(self):
+        cl = one_lane(1)
+        job = Job.from_tasks("J", [mk("t0", size=1000.0)], deadline=1e6)
+        faults = [FaultEvent(0.5, "n0", FaultKind.FAILURE),
+                  FaultEvent(30.0, "n0", FaultKind.RECOVERY)]
+        m = run(cl, [job], faults)
+        assert m.tasks_completed == 1
+        assert m.makespan >= 30.0  # could not finish before the recovery
+
+    def test_straggler_slows_completion(self):
+        cl = one_lane(1)
+        job = Job.from_tasks("J", [mk("t0", size=5000.0)], deadline=1e6)  # 10 s
+        faults = [FaultEvent(2.0, "n0", FaultKind.SLOWDOWN, factor=0.5),
+                  FaultEvent(1e5, "n0", FaultKind.RESTORE)]
+        m = run(cl, [job], faults)
+        # 2 s at full rate (1000 MI) + 4000 MI at 250 MIPS = 2 + 16 = 18 s.
+        assert m.makespan == pytest.approx(18.0, abs=0.1)
+
+    def test_restore_speeds_back_up(self):
+        cl = one_lane(1)
+        job = Job.from_tasks("J", [mk("t0", size=5000.0)], deadline=1e6)
+        faults = [FaultEvent(2.0, "n0", FaultKind.SLOWDOWN, factor=0.5),
+                  FaultEvent(6.0, "n0", FaultKind.RESTORE)]
+        m = run(cl, [job], faults)
+        # 2 s full (1000 MI) + 4 s half (1000 MI) + 3000 MI full (6 s) = 12 s.
+        assert m.makespan == pytest.approx(12.0, abs=0.1)
+
+    def test_invalid_plan_rejected_at_construction(self):
+        cl = one_lane(1)
+        job = Job.from_tasks("J", [mk("t0")], deadline=1e6)
+        with pytest.raises(ValueError, match="invalid fault plan"):
+            SimEngine(
+                cl, [job], HeuristicScheduler(cl),
+                faults=[FaultEvent(1.0, "ghost", FaultKind.FAILURE)],
+            )
+
+    def test_failures_not_counted_as_preemptions(self):
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(4)], deadline=1e6)
+        faults = [FaultEvent(3.0, "n0", FaultKind.FAILURE)]
+        m = run(cl, [job], faults)
+        assert m.num_preemptions == 0

@@ -1,0 +1,135 @@
+"""Tests for the figure runners, report rendering and ablations."""
+
+import pytest
+
+from repro.experiments import (
+    DEFAULT_SWEEPS,
+    FigureSeries,
+    ablation_report,
+    check_order,
+    cluster_profile,
+    default_config,
+    default_sim_config,
+    fig5_makespan,
+    fig6_fig7_preemption,
+    fig8_scalability,
+    figure_markdown,
+    figure_report,
+    series_table,
+    sweep_parameter,
+)
+
+
+class TestClusterProfile:
+    def test_cluster_profile_counts(self):
+        assert len(cluster_profile("cluster", node_scale=5.0)) == 10
+        assert len(cluster_profile("ec2", node_scale=5.0)) == 6
+
+    def test_full_scale(self):
+        assert len(cluster_profile("cluster", node_scale=1.0)) == 50
+        assert len(cluster_profile("ec2", node_scale=1.0)) == 30
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError):
+            cluster_profile("mars")
+
+    def test_default_configs(self):
+        assert default_config().tau == 120.0
+        assert default_sim_config().scheduling_period == 300.0
+
+
+@pytest.fixture(scope="module")
+def tiny_fig5():
+    return fig5_makespan("cluster", job_counts=(6,), scale=60.0, seed=3)
+
+
+@pytest.fixture(scope="module")
+def tiny_fig6():
+    return fig6_fig7_preemption("cluster", job_counts=(6,), scale=60.0, seed=3)
+
+
+class TestFigureRunners:
+    def test_fig5_shape(self, tiny_fig5):
+        assert tiny_fig5.figure == "fig5a"
+        assert tiny_fig5.x == (6,)
+        assert set(tiny_fig5.methods()) == {"DSP", "Aalo", "TetrisW/SimDep", "TetrisW/oDep"}
+        for series in tiny_fig5.metric("makespan").values():
+            assert len(series) == 1 and series[0] > 0
+
+    def test_fig5_ec2_label(self):
+        fig = fig5_makespan("ec2", job_counts=(3,), scale=100.0, seed=3)
+        assert fig.figure == "fig5b"
+        assert fig.meta["nodes"] == 6
+
+    def test_fig6_shape(self, tiny_fig6):
+        assert tiny_fig6.figure == "fig6"
+        assert set(tiny_fig6.methods()) == {"DSP", "DSPW/oPP", "Natjam", "Amoeba", "SRPT"}
+        assert all(v == 0 for v in tiny_fig6.metric("num_disorders")["DSP"])
+
+    def test_fig8_two_profiles(self):
+        fig = fig8_scalability(job_counts=(4,), scale=120.0, seed=3)
+        assert set(fig.methods()) == {"Real cluster", "Amazon EC2"}
+
+    def test_metric_accessor(self, tiny_fig5):
+        rows = tiny_fig5.metric("makespan")
+        assert set(rows) == set(tiny_fig5.methods())
+
+
+class TestReportRendering:
+    def test_series_table_alignment(self):
+        out = series_table("jobs", [10, 20], {"DSP": [1.0, 2.0], "SRPT": [3.0, 4.0]},
+                           title="Makespan")
+        lines = out.splitlines()
+        assert lines[0] == "Makespan"
+        assert "jobs" in lines[1] and "10" in lines[1]
+        assert any("DSP" in l for l in lines)
+
+    def test_figure_report_contains_all_methods(self, tiny_fig5):
+        text = figure_report(tiny_fig5, ("makespan",))
+        for name in tiny_fig5.methods():
+            assert name in text
+
+    def test_figure_markdown_is_table(self, tiny_fig5):
+        md = figure_markdown(tiny_fig5, ("makespan",))
+        assert "| method |" in md
+        assert "| DSP |" in md
+
+    def test_number_formats(self):
+        out = series_table("x", [1], {"m": [0.00012]})
+        assert "0.00012" in out
+        out = series_table("x", [1], {"m": [123456.0]})
+        assert "123,456" in out
+
+
+class TestCheckOrder:
+    def test_respected(self):
+        assert check_order({"a": 1.0, "b": 2.0, "c": 3.0}, ["a", "b", "c"]) == []
+
+    def test_violation_reported(self):
+        problems = check_order({"a": 5.0, "b": 2.0}, ["a", "b"])
+        assert len(problems) == 1 and "a" in problems[0]
+
+    def test_tolerance_allows_ties(self):
+        values = {"a": 1.02, "b": 1.0}
+        assert check_order(values, ["a", "b"], tolerance=0.05) == []
+        assert check_order(values, ["a", "b"]) != []
+
+
+class TestAblations:
+    def test_sweep_runs(self):
+        results = sweep_parameter("rho", (1.5, 3.0), num_jobs=4, scale=80.0, seed=3)
+        assert set(results) == {1.5, 3.0}
+        for m in results.values():
+            assert m.tasks_completed > 0
+
+    def test_unknown_parameter(self):
+        with pytest.raises(ValueError, match="unknown ablation"):
+            sweep_parameter("nope", (1.0,))
+
+    def test_default_sweeps_cover_paper_params(self):
+        assert set(DEFAULT_SWEEPS) == {"gamma", "rho", "delta", "tau"}
+
+    def test_report_renders(self):
+        results = sweep_parameter("gamma", (0.3,), num_jobs=3, scale=100.0, seed=3)
+        text = ablation_report("gamma", results)
+        assert "gamma" in text and "0.3" in text

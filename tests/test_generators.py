@@ -1,0 +1,212 @@
+"""Tests for DAG generators, including the paper's Fig. 2/3 examples."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dag import (
+    MAX_DEPENDENTS,
+    MAX_LEVELS,
+    Job,
+    chain_dag,
+    compute_levels,
+    diamond_dag,
+    fork_join_dag,
+    inverted_tree_dag,
+    layered_random_dag,
+    paper_figure2_dag,
+    paper_figure3_dag,
+    tree_dag,
+    validate_acyclic,
+)
+
+
+def as_map(tasks):
+    return {t.task_id: t for t in tasks}
+
+
+class TestChain:
+    def test_length(self):
+        assert len(chain_dag("j", 5)) == 5
+
+    def test_structure(self):
+        tasks = chain_dag("j", 3)
+        assert tasks[0].parents == ()
+        assert tasks[1].parents == (tasks[0].task_id,)
+        assert tasks[2].parents == (tasks[1].task_id,)
+
+    def test_levels(self):
+        levels = compute_levels(as_map(chain_dag("j", 4)))
+        assert sorted(levels.values()) == [1, 2, 3, 4]
+
+    def test_zero_length_rejected(self):
+        with pytest.raises(ValueError):
+            chain_dag("j", 0)
+
+
+class TestForkJoin:
+    def test_counts(self):
+        tasks = fork_join_dag("j", width=4)
+        assert len(tasks) == 6  # source + 4 + sink
+
+    def test_sink_depends_on_all_middle(self):
+        tasks = fork_join_dag("j", width=3)
+        sink = tasks[-1]
+        assert len(sink.parents) == 3
+
+    def test_depth_three(self):
+        levels = compute_levels(as_map(fork_join_dag("j", width=5)))
+        assert max(levels.values()) == 3
+
+
+class TestDiamond:
+    def test_four_tasks(self):
+        assert len(diamond_dag("j")) == 4
+
+    def test_valid(self):
+        validate_acyclic(as_map(diamond_dag("j")))
+
+
+class TestTrees:
+    def test_tree_node_count(self):
+        # depth 3, branching 2: 1 + 2 + 4 = 7.
+        assert len(tree_dag("j", depth=3, branching=2)) == 7
+
+    def test_tree_root_fanout(self):
+        tasks = tree_dag("j", depth=2, branching=4)
+        root_id = tasks[0].task_id
+        children = [t for t in tasks if root_id in t.parents]
+        assert len(children) == 4
+
+    def test_branching_cap(self):
+        with pytest.raises(ValueError, match="MAX_DEPENDENTS"):
+            tree_dag("j", depth=2, branching=MAX_DEPENDENTS + 1)
+
+    def test_inverted_tree_single_sink(self):
+        tasks = inverted_tree_dag("j", depth=3, branching=2)
+        tmap = as_map(tasks)
+        validate_acyclic(tmap)
+        sinks = [t for t in tasks if not any(t.task_id in o.parents for o in tasks)]
+        assert len(sinks) == 1
+
+    def test_inverted_tree_many_roots(self):
+        tasks = inverted_tree_dag("j", depth=3, branching=2)
+        roots = [t for t in tasks if t.is_root]
+        assert len(roots) == 4  # the leaves of the out-tree
+
+
+class TestLayeredRandom:
+    def test_task_count(self):
+        assert len(layered_random_dag("j", 37, rng=0)) == 37
+
+    def test_acyclic(self):
+        validate_acyclic(as_map(layered_random_dag("j", 50, rng=1)))
+
+    def test_level_cap(self):
+        levels = compute_levels(as_map(layered_random_dag("j", 80, rng=2)))
+        assert max(levels.values()) <= MAX_LEVELS
+
+    def test_dependents_cap(self):
+        tasks = layered_random_dag("j", 200, rng=3)
+        child_count: dict[str, int] = {}
+        for t in tasks:
+            for p in t.parents:
+                child_count[p] = child_count.get(p, 0) + 1
+        assert max(child_count.values(), default=0) <= MAX_DEPENDENTS
+
+    def test_deterministic_by_seed(self):
+        a = layered_random_dag("j", 30, rng=5)
+        b = layered_random_dag("j", 30, rng=5)
+        assert [(t.task_id, t.parents) for t in a] == [(t.task_id, t.parents) for t in b]
+
+    def test_custom_samplers(self):
+        tasks = layered_random_dag(
+            "j", 10, rng=0, size_sampler=lambda g: 42.0,
+        )
+        assert all(t.size_mi == 42.0 for t in tasks)
+
+    def test_bad_density_rejected(self):
+        with pytest.raises(ValueError):
+            layered_random_dag("j", 10, rng=0, edge_density=0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=120),
+        seed=st.integers(min_value=0, max_value=10_000),
+    )
+    def test_property_valid_job(self, n, seed):
+        """Any generated DAG forms a valid Job within the paper's caps."""
+        tasks = layered_random_dag("j", n, rng=seed)
+        job = Job.from_tasks("j", tasks, deadline=1e9)
+        assert job.num_tasks == n
+        assert job.depth <= MAX_LEVELS
+        assert all(len(kids) <= MAX_DEPENDENTS for kids in job.children.values())
+
+
+class TestPaperFigures:
+    def test_fig2_structure(self):
+        tasks = as_map(paper_figure2_dag())
+        assert len(tasks) == 7
+        levels = compute_levels(tasks)
+        assert max(levels.values()) == 3
+        # T2, T3 depend on T1.
+        assert tasks["fig2.T0002"].parents == ("fig2.T0001",)
+        assert tasks["fig2.T0003"].parents == ("fig2.T0001",)
+
+    def test_fig3_roots(self):
+        tasks = as_map(paper_figure3_dag())
+        roots = sorted(tid for tid, t in tasks.items() if t.is_root)
+        assert roots == ["fig3.T0001", "fig3.T0006", "fig3.T0011"]
+
+    def test_fig3_fanouts(self):
+        tasks = paper_figure3_dag()
+        tmap = as_map(tasks)
+        validate_acyclic(tmap)
+
+        def fanout(tid):
+            return sum(1 for t in tasks if tid in t.parents)
+
+        # Each subgraph root has four direct dependents.
+        assert fanout("fig3.T0001") == 4
+        assert fanout("fig3.T0006") == 4
+        assert fanout("fig3.T0011") == 4
+        # T6's subtree has 1 second-level dependent, T11's has 2, T1's 0.
+        assert fanout("fig3.T0007") == 1
+        assert fanout("fig3.T0012") == 1 and fanout("fig3.T0013") == 1
+
+
+class TestPaperFigure1:
+    def test_structure(self):
+        from repro.dag import paper_figure1_dag
+
+        tasks = as_map(paper_figure1_dag())
+        validate_acyclic(tasks)
+        assert len(tasks) == 18
+        roots = sorted(t for t, task in tasks.items() if task.is_root)
+        assert "fig1.T0001" in roots and "fig1.T0006" in roots and "fig1.T0015" in roots
+
+    def test_t6_is_the_hub(self):
+        from repro.dag import paper_figure1_dag
+
+        tasks = paper_figure1_dag()
+
+        def fanout(tid):
+            return sum(1 for t in tasks if tid in t.parents)
+
+        assert fanout("fig1.T0006") == 6
+        assert fanout("fig1.T0001") == 1
+        assert fanout("fig1.T0015") == 3
+
+    def test_priority_prefers_t6(self):
+        """§I's claim: executing T6 first enables the most dependent tasks."""
+        from repro.config import DSPConfig
+        from repro.core import PriorityEvaluator
+        from repro.dag import paper_figure1_dag
+
+        tasks = as_map(paper_figure1_dag())
+        ev = PriorityEvaluator(DSPConfig(), tasks)
+        ids = list(tasks)
+        pri = ev.compute(
+            {t: 10.0 for t in ids}, {t: 0.0 for t in ids}, {t: 0.0 for t in ids}
+        )
+        assert pri["fig1.T0006"] > pri["fig1.T0001"]
+        assert pri["fig1.T0006"] > pri["fig1.T0015"]

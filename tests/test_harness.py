@@ -1,0 +1,96 @@
+"""Tests for the experiment harness (builders and run recipes)."""
+
+import pytest
+
+from repro.cluster import ec2_cluster, palmetto_cluster
+from repro.config import DSPConfig, SimConfig
+from repro.experiments import (
+    PREEMPTION_NAMES,
+    SCHEDULER_NAMES,
+    build_workload_for_cluster,
+    compute_level_deadlines,
+    make_preemption_policies,
+    make_schedulers,
+    run_preemption,
+    run_scheduling,
+)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return palmetto_cluster(4)
+
+
+@pytest.fixture(scope="module")
+def workload(cluster):
+    return build_workload_for_cluster(3, cluster, scale=60.0, seed=5)
+
+
+FAST = SimConfig(epoch=5.0, scheduling_period=60.0)
+
+
+class TestBuilders:
+    def test_method_name_tuples(self):
+        assert SCHEDULER_NAMES == ("DSP", "Aalo", "TetrisW/SimDep", "TetrisW/oDep")
+        assert PREEMPTION_NAMES == ("DSP", "DSPW/oPP", "Natjam", "Amoeba", "SRPT")
+
+    def test_make_schedulers_covers_names(self, cluster):
+        assert set(make_schedulers(cluster)) == set(SCHEDULER_NAMES)
+
+    def test_make_policies_covers_names(self):
+        assert set(make_preemption_policies()) == set(PREEMPTION_NAMES)
+
+    def test_policy_variants(self):
+        policies = make_preemption_policies()
+        assert policies["DSP"].name == "DSP"
+        assert policies["DSPW/oPP"].name == "DSPW/oPP"
+
+    def test_workload_demands_fit_smallest_node(self, cluster, workload):
+        smallest = min((n.capacity for n in cluster), key=lambda c: c.norm1())
+        for task in workload.all_tasks().values():
+            assert task.demand.fits_within(smallest)
+
+    def test_workload_fits_ec2_too(self):
+        cl = ec2_cluster(3)
+        w = build_workload_for_cluster(3, cl, scale=60.0, seed=5)
+        smallest = min((n.capacity for n in cl), key=lambda c: c.norm1())
+        for task in w.all_tasks().values():
+            assert task.demand.fits_within(smallest)
+
+    def test_level_deadlines_bounded_by_job_deadline(self, cluster, workload):
+        deadlines = compute_level_deadlines(workload, cluster)
+        for job in workload.jobs:
+            for tid in job.tasks:
+                assert deadlines[tid] <= job.deadline + 1e-9
+
+
+class TestRunRecipes:
+    def test_run_scheduling_completes(self, cluster, workload):
+        sched = make_schedulers(cluster)["DSP"]
+        m = run_scheduling(workload, cluster, sched, sim_config=FAST)
+        assert m.tasks_completed == workload.num_tasks
+        assert m.num_preemptions == 0  # NullPreemption
+
+    def test_run_scheduling_blind_scheduler_may_disorder(self, cluster, workload):
+        sched = make_schedulers(cluster)["TetrisW/oDep"]
+        m = run_scheduling(workload, cluster, sched, sim_config=FAST)
+        assert m.tasks_completed == workload.num_tasks
+
+    def test_run_preemption_each_policy_completes(self, cluster, workload):
+        for name, policy in make_preemption_policies().items():
+            m = run_preemption(workload, cluster, policy, sim_config=FAST)
+            assert m.tasks_completed == workload.num_tasks, name
+
+    def test_dsp_run_zero_disorders(self, cluster, workload):
+        m = run_preemption(
+            workload, cluster, make_preemption_policies()["DSP"], sim_config=FAST
+        )
+        assert m.num_disorders == 0
+
+    def test_scheduling_runs_reuse_scheduler_safely(self, cluster, workload):
+        # The harness resets persistent planner state between runs: two runs
+        # with the same scheduler object must agree.
+        sched = make_schedulers(cluster)["DSP"]
+        m1 = run_scheduling(workload, cluster, sched, sim_config=FAST)
+        m2 = run_scheduling(workload, cluster, sched, sim_config=FAST)
+        assert m1.makespan == m2.makespan

@@ -1,0 +1,116 @@
+"""Tests for the exact ILP scheduler (Eq. 3–11 via HiGHS)."""
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.config import DSPConfig
+from repro.core import ILPScheduler, ScheduleInfeasible, verify_schedule
+from repro.dag import Job, Task, chain_dag, diamond_dag, fork_join_dag
+
+
+def mk(tid: str, parents=(), size=1000.0) -> Task:
+    return Task(task_id=tid, job_id="J", size_mi=size, parents=tuple(parents))
+
+
+@pytest.fixture
+def two_nodes():
+    # g(k) = 1000 MIPS each -> a 1000 MI task runs 1 s.
+    return uniform_cluster(2, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+
+
+@pytest.fixture
+def one_node():
+    return uniform_cluster(1, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+
+
+class TestExactOptima:
+    def test_diamond_makespan_three(self, two_nodes):
+        job = Job.from_tasks("J1", diamond_dag("J1", size_mi=1000.0), deadline=100.0)
+        res = ILPScheduler(two_nodes).solve([job])
+        assert res.makespan == pytest.approx(3.0, abs=1e-4)
+        assert verify_schedule(res.schedule, [job], two_nodes) == []
+
+    def test_chain_serializes(self, two_nodes):
+        job = Job.from_tasks("J1", chain_dag("J1", 4, size_mi=1000.0), deadline=100.0)
+        res = ILPScheduler(two_nodes).solve([job])
+        # A chain cannot parallelize: makespan = 4 s regardless of nodes.
+        assert res.makespan == pytest.approx(4.0, abs=1e-4)
+
+    def test_independent_tasks_parallelize(self, two_nodes):
+        job = Job.from_tasks("J", [mk("a"), mk("b")], deadline=100.0)
+        res = ILPScheduler(two_nodes).solve([job])
+        assert res.makespan == pytest.approx(1.0, abs=1e-4)
+        nodes = {a.node_id for a in res.schedule.assignments.values()}
+        assert len(nodes) == 2  # placed on different nodes (Eq. 3 objective)
+
+    def test_single_node_serializes_independent(self, one_node):
+        job = Job.from_tasks("J", [mk("a"), mk("b"), mk("c")], deadline=100.0)
+        res = ILPScheduler(one_node).solve([job])
+        assert res.makespan == pytest.approx(3.0, abs=1e-4)
+        assert verify_schedule(res.schedule, [job], one_node) == []
+
+    def test_fork_join(self, two_nodes):
+        job = Job.from_tasks("J1", fork_join_dag("J1", width=2, size_mi=1000.0), deadline=100.0)
+        res = ILPScheduler(two_nodes).solve([job])
+        # source(1) + parallel middle(1) + sink(1) = 3 s.
+        assert res.makespan == pytest.approx(3.0, abs=1e-4)
+
+    def test_two_jobs(self, two_nodes):
+        j1 = Job.from_tasks("J", [mk("J.a", size=1000.0)], deadline=100.0)
+        t = Task(task_id="J2.a", job_id="J2", size_mi=1000.0)
+        j2 = Job(job_id="J2", tasks={"J2.a": t}, deadline=100.0)
+        res = ILPScheduler(two_nodes).solve([j1, j2])
+        assert res.makespan == pytest.approx(1.0, abs=1e-4)
+
+    def test_empty(self, two_nodes):
+        res = ILPScheduler(two_nodes).solve([])
+        assert res.makespan == 0.0
+        assert len(res.schedule) == 0
+
+
+class TestConstraints:
+    def test_release_times_respected(self, two_nodes):
+        job = Job.from_tasks(
+            "J", [mk("a")], deadline=200.0, arrival_time=50.0
+        )
+        res = ILPScheduler(two_nodes).solve([job])
+        assert res.schedule.start_of("a") >= 50.0 - 1e-6
+
+    def test_deadline_infeasible_raises(self, one_node):
+        # Two 1 s tasks, deadline 1.5 s on one node: impossible.
+        job = Job.from_tasks("J", [mk("a"), mk("b")], deadline=1.5)
+        with pytest.raises(ScheduleInfeasible):
+            ILPScheduler(one_node).solve([job])
+
+    def test_deadline_enforcement_toggle(self, one_node):
+        job = Job.from_tasks("J", [mk("a"), mk("b")], deadline=1.5)
+        res = ILPScheduler(one_node).solve([job], enforce_deadlines=False)
+        assert res.makespan == pytest.approx(2.0, abs=1e-4)
+
+    def test_preemption_overhead_in_objective(self, one_node):
+        cfg = DSPConfig(recovery_time=0.5, sigma=0.5)
+        job = Job.from_tasks("J", [mk("a")], deadline=100.0)
+        res = ILPScheduler(one_node, cfg, preemption_estimates={"a": 2.0}).solve([job])
+        # 1 s execution + 2 preemptions x (0.5 + 0.5) = 3 s busy time.
+        assert res.makespan == pytest.approx(3.0, abs=1e-4)
+
+    def test_negative_preemption_estimate_rejected(self, one_node):
+        with pytest.raises(ValueError):
+            ILPScheduler(one_node, preemption_estimates={"a": -1.0})
+
+
+class TestRelaxation:
+    def test_relaxed_feasible(self, two_nodes):
+        job = Job.from_tasks("J1", diamond_dag("J1", size_mi=1000.0), deadline=100.0)
+        res = ILPScheduler(two_nodes).solve([job], relax=True)
+        assert res.relaxed
+        assert verify_schedule(res.schedule, [job], two_nodes) == []
+
+    def test_relaxed_bounded_by_list_schedule(self, two_nodes):
+        job = Job.from_tasks("J1", fork_join_dag("J1", width=4, size_mi=1000.0), deadline=100.0)
+        exact = ILPScheduler(two_nodes).solve([job])
+        relaxed = ILPScheduler(two_nodes).solve([job], relax=True)
+        # Rounded relaxation is feasible, so >= exact; and it should not be
+        # pathologically bad (within 3x here).
+        assert relaxed.makespan >= exact.makespan - 1e-6
+        assert relaxed.makespan <= 3.0 * exact.makespan + 1e-6

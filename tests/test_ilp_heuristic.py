@@ -1,0 +1,161 @@
+"""Tests for the heuristic (list-scheduling) relaxation and lane model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import uniform_cluster
+from repro.config import DSPConfig
+from repro.core import HeuristicScheduler, node_lane_counts, verify_schedule
+from repro.core.lanes import LaneTimelines, demand_sized_lanes
+from repro.dag import Job, Task, chain_dag, diamond_dag, layered_random_dag
+
+
+def mk(tid: str, parents=(), size=1000.0, cpu=1.0) -> Task:
+    from repro.cluster import ResourceVector
+    return Task(
+        task_id=tid, job_id="J", size_mi=size,
+        demand=ResourceVector(cpu=cpu, mem=0.5, disk=0.02, bandwidth=0.02),
+        parents=tuple(parents),
+    )
+
+
+@pytest.fixture
+def cluster():
+    return uniform_cluster(2, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+
+
+class TestUpwardRank:
+    def test_chain_ranks_descend(self, cluster):
+        job = Job.from_tasks("J1", chain_dag("J1", 3, size_mi=1000.0), deadline=100.0)
+        ranks = HeuristicScheduler(cluster).upward_rank([job])
+        ids = sorted(ranks, key=ranks.get, reverse=True)
+        assert ids == ["J1.T0000", "J1.T0001", "J1.T0002"]
+
+    def test_rank_is_exec_plus_longest_chain(self, cluster):
+        job = Job.from_tasks("J", [mk("a"), mk("b", ["a"])], deadline=100.0)
+        ranks = HeuristicScheduler(cluster).upward_rank([job])
+        assert ranks["b"] == pytest.approx(1.0)   # 1000 MI at 1000 MIPS
+        assert ranks["a"] == pytest.approx(2.0)
+
+    def test_root_of_big_subtree_outranks(self, cluster):
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=100.0)
+        ranks = HeuristicScheduler(cluster).upward_rank([job])
+        assert ranks["J1.T0000"] > ranks["J1.T0001"] > ranks["J1.T0003"]
+
+
+class TestScheduleValidity:
+    def test_precedence_respected(self, cluster):
+        job = Job.from_tasks("J1", diamond_dag("J1"), deadline=1000.0)
+        plan = HeuristicScheduler(cluster).schedule([job])
+        violations = verify_schedule(
+            plan, [job], cluster, unit_capacity=False,
+            node_lanes={n.node_id: 64 for n in cluster}, check_deadlines=False,
+        )
+        assert violations == []
+
+    def test_all_tasks_assigned(self, cluster):
+        job = Job.from_tasks(
+            "J", layered_random_dag("J", 60, rng=3), deadline=1e9
+        )
+        plan = HeuristicScheduler(cluster).schedule([job])
+        assert set(plan.assignments) == set(job.tasks)
+
+    def test_release_times(self, cluster):
+        job = Job.from_tasks("J", [mk("a")], deadline=1000.0, arrival_time=77.0)
+        plan = HeuristicScheduler(cluster).schedule([job])
+        assert plan.start_of("a") >= 77.0
+
+    def test_deterministic(self, cluster):
+        job = Job.from_tasks("J", layered_random_dag("J", 40, rng=5), deadline=1e9)
+        a = HeuristicScheduler(cluster).schedule([job])
+        b = HeuristicScheduler(cluster).schedule([job])
+        assert {t: (x.node_id, x.start) for t, x in a.assignments.items()} == {
+            t: (x.node_id, x.start) for t, x in b.assignments.items()
+        }
+
+    def test_empty_batch(self, cluster):
+        assert len(HeuristicScheduler(cluster).schedule([])) == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=500),
+           n=st.integers(min_value=1, max_value=50))
+    def test_property_precedence_always_holds(self, seed, n):
+        cluster = uniform_cluster(3, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+        job = Job.from_tasks("J", layered_random_dag("J", n, rng=seed), deadline=1e12)
+        plan = HeuristicScheduler(cluster).schedule([job])
+        for tid, task in job.tasks.items():
+            for p in task.parents:
+                assert plan.assignments[tid].start >= plan.assignments[p].finish - 1e-9
+
+
+class TestBatchPersistence:
+    def test_second_batch_sees_backlog(self, cluster):
+        sched = HeuristicScheduler(cluster)
+        j1 = Job.from_tasks("J", [mk(f"t{i}", size=8000.0) for i in range(16)], deadline=1e9)
+        plan1 = sched.schedule([j1])
+        t2 = Task(task_id="K.a", job_id="K", size_mi=1000.0)
+        j2 = Job(job_id="K", tasks={"K.a": t2}, deadline=1e9)
+        plan2 = sched.schedule([j2])
+        # The second batch cannot start at 0: lanes are busy with batch 1.
+        assert plan2.start_of("K.a") > 0.0
+
+    def test_reset_clears_backlog(self, cluster):
+        sched = HeuristicScheduler(cluster)
+        j1 = Job.from_tasks("J", [mk(f"t{i}", size=8000.0) for i in range(16)], deadline=1e9)
+        sched.schedule([j1])
+        sched.reset()
+        t2 = Task(task_id="K.a", job_id="K", size_mi=1000.0)
+        j2 = Job(job_id="K", tasks={"K.a": t2}, deadline=1e9)
+        assert sched.schedule([j2]).start_of("K.a") == pytest.approx(0.0)
+
+    def test_explicit_lanes_respected(self, cluster):
+        sched = HeuristicScheduler(cluster, lanes={"node-00": 1, "node-01": 1})
+        job = Job.from_tasks("J", [mk("a"), mk("b"), mk("c")], deadline=1e9)
+        plan = sched.schedule([job])
+        # 3 unit tasks over 2 single-lane nodes: one node must run two.
+        assert plan.makespan == pytest.approx(2.0)
+
+    def test_invalid_lane_count_rejected(self, cluster):
+        with pytest.raises(ValueError):
+            HeuristicScheduler(cluster, lanes={"node-00": 0, "node-01": 1})
+
+
+class TestLaneModel:
+    def test_node_lane_counts(self, cluster):
+        assert node_lane_counts(cluster) == {"node-00": 4, "node-01": 4}
+
+    def test_demand_sized_lanes(self, cluster):
+        # Mean demand cpu=2 on 4-cpu nodes -> 2 lanes.
+        job = Job.from_tasks("J", [mk("a", cpu=2.0), mk("b", cpu=2.0)], deadline=1e9)
+        lanes = demand_sized_lanes(cluster, [job])
+        assert lanes["node-00"] == 2
+
+    def test_demand_sized_lanes_empty(self, cluster):
+        lanes = demand_sized_lanes(cluster, [])
+        assert lanes["node-00"] == 4  # falls back to cpu count
+
+    def test_lanes_needed_proportional(self, cluster):
+        tl = LaneTimelines(cluster, {"node-00": 4, "node-01": 4})
+        # cpu 2 of 4 = 50% share -> 2 of 4 lanes.
+        assert tl.lanes_needed("node-00", (2.0, 0.1, 0.0, 0.0)) == 2
+        # Tiny demand -> 1 lane.
+        assert tl.lanes_needed("node-00", (0.1, 0.1, 0.0, 0.0)) == 1
+        # Oversized demand clamps to all lanes.
+        assert tl.lanes_needed("node-00", (100.0, 0.1, 0.0, 0.0)) == 4
+
+    def test_earliest_start_and_commit(self, cluster):
+        tl = LaneTimelines(cluster, {"node-00": 2, "node-01": 2})
+        assert tl.earliest_start("node-00", 1, 0.0) == 0.0
+        tl.commit("node-00", 2, 5.0)
+        assert tl.earliest_start("node-00", 1, 0.0) == 5.0
+
+    def test_place_eft_prefers_free_node(self, cluster):
+        tl = LaneTimelines(cluster, {"node-00": 1, "node-01": 1})
+        tl.commit("node-00", 1, 10.0)
+        nid, start, end = tl.place_eft((1.0, 1.0, 0, 0), 0.0, lambda n: 1.0)
+        assert nid == "node-01" and start == 0.0 and end == 1.0
+
+    def test_place_earliest_start_ties_by_id(self, cluster):
+        tl = LaneTimelines(cluster, {"node-00": 1, "node-01": 1})
+        nid, start, _ = tl.place_earliest_start((1.0, 1.0, 0, 0), 0.0, lambda n: 1.0)
+        assert nid == "node-00" and start == 0.0

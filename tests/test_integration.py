@@ -1,0 +1,116 @@
+"""End-to-end integration tests: the paper's qualitative claims on small
+workloads, cross-scheduler schedule validity, and full-pipeline runs."""
+
+import pytest
+
+from repro.cluster import palmetto_cluster
+from repro.config import SimConfig
+from repro.experiments import (
+    build_workload_for_cluster,
+    check_order,
+    default_config,
+    make_preemption_policies,
+    make_schedulers,
+    run_preemption,
+    run_scheduling,
+)
+
+SIM = SimConfig(epoch=30.0, scheduling_period=300.0)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return palmetto_cluster(6)
+
+
+@pytest.fixture(scope="module")
+def workload(cluster):
+    # Enough contention for the orderings to be visible, small enough to
+    # run in seconds.
+    return build_workload_for_cluster(
+        12, cluster, scale=30.0, seed=11, demand_fraction=0.8
+    )
+
+
+@pytest.fixture(scope="module")
+def scheduling_metrics(cluster, workload):
+    cfg = default_config()
+    out = {}
+    for name, sched in make_schedulers(cluster, cfg).items():
+        out[name] = run_scheduling(workload, cluster, sched, config=cfg, sim_config=SIM)
+    return out
+
+
+@pytest.fixture(scope="module")
+def preemption_metrics(cluster, workload):
+    cfg = default_config()
+    out = {}
+    for name, policy in make_preemption_policies(cfg).items():
+        out[name] = run_preemption(workload, cluster, policy, config=cfg, sim_config=SIM)
+    return out
+
+
+class TestSchedulingClaims:
+    def test_everything_completes(self, scheduling_metrics, workload):
+        for name, m in scheduling_metrics.items():
+            assert m.tasks_completed == workload.num_tasks, name
+            assert m.jobs_completed == len(workload.jobs), name
+
+    def test_dependency_aware_methods_have_zero_disorders(self, scheduling_metrics):
+        for name in ("DSP", "Aalo", "TetrisW/SimDep"):
+            assert scheduling_metrics[name].num_disorders == 0, name
+
+    def test_blind_tetris_disorders(self, scheduling_metrics):
+        assert scheduling_metrics["TetrisW/oDep"].num_disorders > 0
+
+    def test_dsp_not_worst_makespan(self, scheduling_metrics):
+        """Fig. 5's core claim at this scale: DSP beats the blind packer
+        and is never the worst method."""
+        values = {n: m.makespan for n, m in scheduling_metrics.items()}
+        assert values["DSP"] < values["TetrisW/oDep"]
+        assert values["DSP"] <= min(values.values()) * 1.15  # at or near best
+
+
+class TestPreemptionClaims:
+    def test_everything_completes(self, preemption_metrics, workload):
+        for name, m in preemption_metrics.items():
+            assert m.tasks_completed == workload.num_tasks, name
+
+    def test_disorders_fig6a(self, preemption_metrics):
+        values = {n: m.num_disorders for n, m in preemption_metrics.items()}
+        assert values["DSP"] == 0
+        assert values["DSPW/oPP"] == 0
+        assert values["SRPT"] > max(values["Natjam"], values["Amoeba"]) * 0.99
+        assert values["Natjam"] > 0 and values["Amoeba"] > 0
+
+    def test_throughput_fig6b(self, preemption_metrics):
+        values = {n: m.throughput_tasks_per_ms for n, m in preemption_metrics.items()}
+        # SRPT worst; DSP variants best (paper order with ≈ tolerance).
+        assert values["SRPT"] < min(values["Natjam"], values["Amoeba"])
+        assert min(values["DSP"], values["DSPW/oPP"]) >= max(
+            values["Natjam"], values["Amoeba"]
+        ) * 0.98
+
+    def test_waiting_fig6c(self, preemption_metrics):
+        values = {n: m.avg_job_waiting for n, m in preemption_metrics.items()}
+        # DSP variants wait least.
+        assert max(values["DSP"], values["DSPW/oPP"]) <= min(
+            values["Natjam"], values["Amoeba"], values["SRPT"]
+        ) * 1.05
+
+    def test_preemptions_fig6d(self, preemption_metrics):
+        values = {n: m.num_preemptions for n, m in preemption_metrics.items()}
+        # PP reduces DSP's preemptions; SRPT preempts the most.
+        assert values["DSP"] <= values["DSPW/oPP"]
+        assert values["SRPT"] == max(values.values())
+
+    def test_pp_reduces_context_switch_overhead(self, preemption_metrics):
+        assert (
+            preemption_metrics["DSP"].total_context_switch_time
+            <= preemption_metrics["DSPW/oPP"].total_context_switch_time + 1e-9
+        )
+
+    def test_checkpointless_srpt_slowest(self, preemption_metrics):
+        assert preemption_metrics["SRPT"].makespan == max(
+            m.makespan for m in preemption_metrics.values()
+        )

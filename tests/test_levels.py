@@ -1,0 +1,77 @@
+"""Tests for per-level task deadlines and allowable waiting time (§IV-B)."""
+
+import pytest
+
+from repro.core import allowable_waiting_time, level_max_exec_times, task_deadlines
+from repro.dag import Job, Task
+
+
+def mk(tid: str, parents=(), size=1000.0) -> Task:
+    return Task(task_id=tid, job_id="J", size_mi=size, parents=tuple(parents))
+
+
+@pytest.fixture
+def three_level_job() -> Job:
+    # Level 1: a (2 s), b (1 s); level 2: c (3 s); level 3: d (1 s)  @1000 MIPS
+    tasks = [
+        mk("a", size=2000.0),
+        mk("b", size=1000.0),
+        mk("c", parents=["a", "b"], size=3000.0),
+        mk("d", parents=["c"], size=1000.0),
+    ]
+    return Job.from_tasks("J", tasks, deadline=100.0)
+
+
+EXEC = {"a": 2.0, "b": 1.0, "c": 3.0, "d": 1.0}
+
+
+class TestLevelMaxExecTimes:
+    def test_values(self, three_level_job):
+        assert level_max_exec_times(three_level_job, EXEC) == [2.0, 3.0, 1.0]
+
+    def test_missing_task_raises(self, three_level_job):
+        with pytest.raises(KeyError):
+            level_max_exec_times(three_level_job, {"a": 1.0})
+
+
+class TestTaskDeadlines:
+    def test_last_level_inherits_job_deadline(self, three_level_job):
+        d = task_deadlines(three_level_job, EXEC)
+        assert d["d"] == pytest.approx(100.0)
+
+    def test_backward_subtraction(self, three_level_job):
+        # Level 2 deadline = 100 - max(level 3) = 99.
+        # Level 1 deadline = 100 - (1 + 3) = 96.
+        d = task_deadlines(three_level_job, EXEC)
+        assert d["c"] == pytest.approx(99.0)
+        assert d["a"] == pytest.approx(96.0)
+        assert d["b"] == pytest.approx(96.0)
+
+    def test_monotone_with_level(self, three_level_job):
+        d = task_deadlines(three_level_job, EXEC)
+        assert d["a"] < d["c"] < d["d"]
+
+    def test_single_level_job(self):
+        job = Job.from_tasks("J", [mk("x"), mk("y")], deadline=50.0)
+        d = task_deadlines(job, {"x": 1.0, "y": 2.0})
+        assert d == {"x": 50.0, "y": 50.0}
+
+    def test_chain_job(self):
+        tasks = [mk("a"), mk("b", ["a"]), mk("c", ["b"])]
+        job = Job.from_tasks("J", tasks, deadline=10.0)
+        d = task_deadlines(job, {"a": 1.0, "b": 2.0, "c": 3.0})
+        assert d["c"] == pytest.approx(10.0)
+        assert d["b"] == pytest.approx(7.0)   # 10 - 3
+        assert d["a"] == pytest.approx(5.0)   # 10 - 3 - 2
+
+
+class TestAllowableWaitingTime:
+    def test_positive_slack(self):
+        # deadline 100, now 50, remaining 20 -> can wait 30 more.
+        assert allowable_waiting_time(100.0, 20.0, 50.0) == pytest.approx(30.0)
+
+    def test_zero_slack(self):
+        assert allowable_waiting_time(100.0, 50.0, 50.0) == pytest.approx(0.0)
+
+    def test_negative_means_lost(self):
+        assert allowable_waiting_time(100.0, 60.0, 50.0) < 0.0

@@ -1,0 +1,142 @@
+"""Tests for the data-locality extension."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, ResourceVector, uniform_cluster
+from repro.config import SimConfig
+from repro.core import HeuristicScheduler
+from repro.dag import Job, Task, layered_random_dag
+from repro.locality import locality_fraction, with_random_inputs
+from repro.sim import SimEngine
+
+
+def mk(tid: str, input_mb=0.0, location=None, size=1000.0, parents=()) -> Task:
+    return Task(
+        task_id=tid, job_id="J", size_mi=size,
+        demand=ResourceVector(cpu=1.0, mem=0.5),
+        parents=tuple(parents), input_mb=input_mb, input_location=location,
+    )
+
+
+@pytest.fixture
+def cluster():
+    return uniform_cluster(2, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+
+
+class TestTaskTransferTime:
+    def test_local_is_free(self):
+        t = mk("a", input_mb=100.0, location="node-00")
+        assert t.transfer_time("node-00", 1000.0) == 0.0
+
+    def test_remote_pays(self):
+        t = mk("a", input_mb=100.0, location="node-00")
+        assert t.transfer_time("node-01", 50.0) == pytest.approx(2.0)
+
+    def test_no_input_is_free(self):
+        assert mk("a").transfer_time("anywhere", 50.0) == 0.0
+
+    def test_input_without_location_rejected(self):
+        with pytest.raises(ValueError, match="input_location"):
+            mk("a", input_mb=10.0, location=None)
+
+    def test_negative_input_rejected(self):
+        with pytest.raises(ValueError):
+            Task(task_id="a", job_id="J", size_mi=1.0, input_mb=-1.0,
+                 input_location="n")
+
+
+class TestWithRandomInputs:
+    def test_only_roots_get_inputs(self, cluster):
+        job = Job.from_tasks("J", layered_random_dag("J", 30, rng=1), deadline=1e9)
+        [decorated] = with_random_inputs([job], cluster, rng=2, fraction=1.0)
+        for tid, task in decorated.tasks.items():
+            if not task.is_root:
+                assert task.input_mb == 0.0
+            else:
+                assert task.input_mb > 0.0
+                assert task.input_location in cluster
+
+    def test_fraction_zero_changes_nothing(self, cluster):
+        job = Job.from_tasks("J", layered_random_dag("J", 20, rng=1), deadline=1e9)
+        [decorated] = with_random_inputs([job], cluster, rng=2, fraction=0.0)
+        assert all(t.input_mb == 0.0 for t in decorated.tasks.values())
+
+    def test_structure_preserved(self, cluster):
+        job = Job.from_tasks("J", layered_random_dag("J", 25, rng=3), deadline=1e9)
+        [decorated] = with_random_inputs([job], cluster, rng=4, fraction=0.7)
+        assert decorated.num_tasks == job.num_tasks
+        assert decorated.deadline == job.deadline
+        for tid in job.tasks:
+            assert decorated.tasks[tid].parents == job.tasks[tid].parents
+
+    def test_deterministic(self, cluster):
+        job = Job.from_tasks("J", layered_random_dag("J", 25, rng=3), deadline=1e9)
+        a = with_random_inputs([job], cluster, rng=4)
+        b = with_random_inputs([job], cluster, rng=4)
+        assert [(t.input_mb, t.input_location) for t in a[0].tasks.values()] == [
+            (t.input_mb, t.input_location) for t in b[0].tasks.values()
+        ]
+
+    def test_validation(self, cluster):
+        job = Job.from_tasks("J", [mk("a")], deadline=1e9)
+        with pytest.raises(ValueError):
+            with_random_inputs([job], cluster, fraction=1.5)
+        with pytest.raises(ValueError):
+            with_random_inputs([job], cluster, input_mb_range=(10.0, 5.0))
+
+
+class TestLocalityAwarePlacement:
+    def test_aware_planner_goes_local(self, cluster):
+        # Input pinned to node-01; both nodes otherwise identical.
+        job = Job.from_tasks(
+            "J", [mk("a", input_mb=5000.0, location="node-01")], deadline=1e9
+        )
+        plan = HeuristicScheduler(cluster).schedule([job])
+        assert plan.assignments["a"].node_id == "node-01"
+        assert locality_fraction([job], plan) == 1.0
+
+    def test_blind_planner_ignores_inputs(self, cluster):
+        job = Job.from_tasks(
+            "J", [mk("a", input_mb=5000.0, location="node-01")], deadline=1e9
+        )
+        plan = HeuristicScheduler(cluster, locality_aware=False).schedule([job])
+        # Blind EFT ties break to node-00 — the remote node.
+        assert plan.assignments["a"].node_id == "node-00"
+        assert locality_fraction([job], plan) == 0.0
+
+    def test_locality_fraction_vacuous(self, cluster):
+        job = Job.from_tasks("J", [mk("a")], deadline=1e9)
+        plan = HeuristicScheduler(cluster).schedule([job])
+        assert locality_fraction([job], plan) == 1.0
+
+
+class TestEngineTransferCharging:
+    def _run(self, location: str, locality_aware: bool):
+        cluster = Cluster([
+            NodeSpec(node_id="n0", cpu_size=1.0, mem_size=1.0, mips_per_unit=500.0,
+                     bandwidth_capacity=100.0),
+            NodeSpec(node_id="n1", cpu_size=1.0, mem_size=1.0, mips_per_unit=500.0,
+                     bandwidth_capacity=100.0),
+        ])
+        task = Task(task_id="a", job_id="J", size_mi=1000.0,
+                    demand=ResourceVector(cpu=1.0, mem=0.5),
+                    input_mb=500.0, input_location=location)
+        job = Job.from_tasks("J", [task], deadline=1e6)
+        eng = SimEngine(
+            cluster, [job],
+            HeuristicScheduler(cluster, locality_aware=locality_aware),
+            sim_config=SimConfig(epoch=1.0, scheduling_period=10.0),
+        )
+        return eng.run()
+
+    def test_remote_placement_pays_transfer(self):
+        # Blind planner puts the task on n0 while data lives on n1:
+        # 500 MB / 100 MB/s = 5 s transfer + 2 s execution.
+        m = self._run("n1", locality_aware=False)
+        assert m.total_transfer_time == pytest.approx(5.0)
+        assert m.makespan == pytest.approx(7.0, abs=0.01)
+
+    def test_local_placement_is_free(self):
+        m = self._run("n1", locality_aware=True)
+        assert m.total_transfer_time == 0.0
+        assert m.makespan == pytest.approx(2.0, abs=0.01)

@@ -1,0 +1,128 @@
+"""Coverage for error paths and cross-feature interactions not exercised
+elsewhere: scheduler-contract violations, baseline policies under faults,
+figure metric completeness, and CLI fig7/fig8 paths."""
+
+import pytest
+
+from repro.baselines import SRPTPreemption
+from repro.cluster import Cluster, NodeSpec, ResourceVector, uniform_cluster
+from repro.config import SimConfig
+from repro.core import HeuristicScheduler, Schedule, TaskAssignment
+from repro.dag import Job, Task, layered_random_dag
+from repro.sim import FaultEvent, FaultKind, SimEngine, SimulationError
+
+
+def mk(tid: str, size=2000.0) -> Task:
+    return Task(task_id=tid, job_id="J", size_mi=size,
+                demand=ResourceVector(cpu=1.0, mem=0.5))
+
+
+class TestSchedulerContract:
+    def test_incomplete_plan_rejected(self):
+        """A scheduler that forgets a task is a bug the engine must name."""
+
+        class Forgetful:
+            respects_dependencies = True
+
+            def schedule(self, jobs):
+                job = jobs[0]
+                tid = next(iter(job.tasks))
+                return Schedule({tid: TaskAssignment(tid, "n0", 0.0, 1.0)})
+
+        cl = Cluster([NodeSpec(node_id="n0", cpu_size=4.0, mem_size=4.0,
+                               mips_per_unit=250.0)])
+        job = Job.from_tasks("J", [mk("a"), mk("b")], deadline=1e6)
+        eng = SimEngine(cl, [job], Forgetful(),
+                        sim_config=SimConfig(epoch=1.0, scheduling_period=10.0))
+        with pytest.raises(SimulationError, match="unassigned"):
+            eng.run()
+
+    def test_unknown_node_in_plan_fails_loudly(self):
+        class WrongNode:
+            respects_dependencies = True
+
+            def schedule(self, jobs):
+                return Schedule({
+                    tid: TaskAssignment(tid, "ghost", 0.0, 1.0)
+                    for job in jobs for tid in job.tasks
+                })
+
+        cl = Cluster([NodeSpec(node_id="n0", cpu_size=4.0, mem_size=4.0,
+                               mips_per_unit=250.0)])
+        job = Job.from_tasks("J", [mk("a")], deadline=1e6)
+        eng = SimEngine(cl, [job], WrongNode(),
+                        sim_config=SimConfig(epoch=1.0, scheduling_period=10.0))
+        with pytest.raises(KeyError):
+            eng.run()
+
+
+class TestBaselinesUnderFaults:
+    def test_srpt_with_failures_terminates(self):
+        """No-checkpoint preemption + node failures is the nastiest combo;
+        every task must still complete."""
+        cl = uniform_cluster(3, cpu_size=2.0, mem_size=2.0, mips_per_unit=500.0)
+        tasks = layered_random_dag("J", 12, rng=5)
+        job = Job.from_tasks("J", tasks, deadline=1e9)
+        faults = [
+            FaultEvent(2.0, "node-00", FaultKind.FAILURE),
+            FaultEvent(20.0, "node-00", FaultKind.RECOVERY),
+            FaultEvent(5.0, "node-01", FaultKind.SLOWDOWN, 0.4),
+            FaultEvent(25.0, "node-01", FaultKind.RESTORE),
+        ]
+        eng = SimEngine(
+            cl, [job], HeuristicScheduler(cl), preemption=SRPTPreemption(),
+            sim_config=SimConfig(epoch=1.0, scheduling_period=10.0),
+            faults=faults,
+        )
+        m = eng.run()
+        assert m.tasks_completed == 12
+        assert m.num_node_failures == 1
+
+
+class TestFigureMetricCompleteness:
+    def test_fig6_contains_all_series_metrics(self):
+        from repro.experiments import fig6_fig7_preemption
+
+        fig = fig6_fig7_preemption("cluster", job_counts=(4,), scale=100.0, seed=3)
+        for method in fig.methods():
+            for metric in (
+                "makespan", "throughput_tasks_per_ms", "throughput_jobs_per_s",
+                "avg_job_waiting", "num_preemptions", "num_disorders",
+            ):
+                assert metric in fig.series[method], (method, metric)
+
+
+class TestCliRemainingPaths:
+    def test_fig7_tiny(self, capsys):
+        from repro.cli import main
+
+        rc = main(["fig7", "--jobs", "3", "--scale", "100"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Number of preemptions" in out
+
+    def test_fig8_tiny(self, capsys):
+        from repro.cli import main
+
+        rc = main(["fig8", "--jobs", "4", "--scale", "120"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Real cluster" in out and "Amazon EC2" in out
+
+
+class TestAnalysisOnPreemptionRun:
+    def test_report_after_preemptive_run(self):
+        from repro.core import DSPPreemption
+        from repro.experiments import analysis_report
+
+        cl = uniform_cluster(1, cpu_size=1.0, mem_size=1.0, mips_per_unit=500.0)
+        job = Job.from_tasks(
+            "J", [mk("a", size=5000.0), mk("b", size=500.0)], deadline=1e6
+        )
+        eng = SimEngine(
+            cl, [job], HeuristicScheduler(cl), preemption=DSPPreemption(),
+            sim_config=SimConfig(epoch=0.5, scheduling_period=10.0),
+        )
+        eng.run()
+        text = analysis_report(eng)
+        assert "fairness" in text

@@ -1,0 +1,201 @@
+"""Tests for the dependency-aware priority (Eq. 12–13)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DSPConfig
+from repro.core import PriorityEvaluator, leaf_priority
+from repro.dag import Task, layered_random_dag, paper_figure2_dag, paper_figure3_dag
+
+
+def mk(tid: str, parents=()) -> Task:
+    return Task(task_id=tid, job_id="J", size_mi=1000.0, parents=tuple(parents))
+
+
+def const_signals(tasks, remaining=10.0, waiting=0.0, allowable=0.0):
+    ids = list(tasks)
+    return (
+        {t: remaining for t in ids},
+        {t: waiting for t in ids},
+        {t: allowable for t in ids},
+    )
+
+
+class TestLeafPriority:
+    def test_eq13_formula(self):
+        cfg = DSPConfig()
+        # P = 0.5/t_rem + 0.3 t_w + 0.2 t_a
+        p = leaf_priority(cfg, remaining=2.0, waiting=10.0, allowable=5.0)
+        assert p == pytest.approx(0.5 / 2.0 + 0.3 * 10.0 + 0.2 * 5.0)
+
+    def test_shorter_remaining_higher_priority(self):
+        cfg = DSPConfig()
+        assert leaf_priority(cfg, 1.0, 0.0, 0.0) > leaf_priority(cfg, 10.0, 0.0, 0.0)
+
+    def test_longer_waiting_higher_priority(self):
+        cfg = DSPConfig()
+        assert leaf_priority(cfg, 5.0, 20.0, 0.0) > leaf_priority(cfg, 5.0, 1.0, 0.0)
+
+    def test_zero_remaining_finite(self):
+        p = leaf_priority(DSPConfig(), 0.0, 0.0, 0.0)
+        assert p > 0 and p < float("inf")
+
+    def test_negative_allowable_lowers(self):
+        cfg = DSPConfig()
+        assert leaf_priority(cfg, 5.0, 0.0, -10.0) < leaf_priority(cfg, 5.0, 0.0, 0.0)
+
+    def test_negative_remaining_rejected(self):
+        with pytest.raises(ValueError):
+            leaf_priority(DSPConfig(), -1.0, 0.0, 0.0)
+
+    @given(
+        r=st.floats(min_value=0.01, max_value=1e4),
+        w=st.floats(min_value=0.0, max_value=1e4),
+        a=st.floats(min_value=-1e4, max_value=1e4),
+    )
+    def test_monotonicity_properties(self, r, w, a):
+        cfg = DSPConfig()
+        base = leaf_priority(cfg, r, w, a)
+        assert leaf_priority(cfg, r, w + 1.0, a) > base          # waiting up
+        assert leaf_priority(cfg, r + 1.0, w, a) < base          # remaining up
+        assert leaf_priority(cfg, r, w, a + 1.0) > base          # slack up
+
+
+class TestEq12Recursion:
+    def test_parent_sums_children(self):
+        tasks = {t.task_id: t for t in [mk("p"), mk("c1", ["p"]), mk("c2", ["p"])]}
+        cfg = DSPConfig(gamma=0.5)
+        ev = PriorityEvaluator(cfg, tasks)
+        rem, wait, allow = const_signals(tasks, remaining=10.0)
+        pri = ev.compute(rem, wait, allow)
+        leaf = leaf_priority(cfg, 10.0, 0.0, 0.0)
+        assert pri["c1"] == pytest.approx(leaf)
+        assert pri["p"] == pytest.approx(1.5 * (pri["c1"] + pri["c2"]))
+
+    def test_two_level_recursion(self):
+        tasks = {
+            t.task_id: t
+            for t in [mk("r"), mk("m", ["r"]), mk("l1", ["m"]), mk("l2", ["m"])]
+        }
+        cfg = DSPConfig(gamma=0.5)
+        ev = PriorityEvaluator(cfg, tasks)
+        pri = ev.compute(*const_signals(tasks))
+        assert pri["m"] == pytest.approx(1.5 * (pri["l1"] + pri["l2"]))
+        assert pri["r"] == pytest.approx(1.5 * pri["m"])
+
+    def test_more_dependents_higher_priority(self):
+        tasks = {
+            t.task_id: t
+            for t in [
+                mk("few"), mk("f1", ["few"]),
+                mk("many"), mk("m1", ["many"]), mk("m2", ["many"]), mk("m3", ["many"]),
+            ]
+        }
+        ev = PriorityEvaluator(DSPConfig(), tasks)
+        pri = ev.compute(*const_signals(tasks))
+        assert pri["many"] > pri["few"]
+
+    def test_completed_children_excluded(self):
+        tasks = {t.task_id: t for t in [mk("p"), mk("c1", ["p"]), mk("c2", ["p"])]}
+        ev = PriorityEvaluator(DSPConfig(), tasks)
+        rem, wait, allow = const_signals(tasks)
+        full = ev.compute(rem, wait, allow)
+        partial = ev.compute(rem, wait, allow, completed=["c2"])
+        assert partial["p"] < full["p"]
+        assert "c2" not in partial
+
+    def test_all_children_completed_makes_leaf(self):
+        tasks = {t.task_id: t for t in [mk("p"), mk("c", ["p"])]}
+        cfg = DSPConfig()
+        ev = PriorityEvaluator(cfg, tasks)
+        rem, wait, allow = const_signals(tasks, remaining=4.0)
+        pri = ev.compute(rem, wait, allow, completed=["c"])
+        assert pri["p"] == pytest.approx(leaf_priority(cfg, 4.0, 0.0, 0.0))
+
+
+class TestPaperFigureOrdering:
+    def test_fig3_t11_highest(self):
+        """The Fig. 3 argument: T11 > T6 > T1 despite equal direct fan-out."""
+        tasks = {t.task_id: t for t in paper_figure3_dag()}
+        ev = PriorityEvaluator(DSPConfig(), tasks)
+        pri = ev.compute(*const_signals(tasks))
+        t1, t6, t11 = pri["fig3.T0001"], pri["fig3.T0006"], pri["fig3.T0011"]
+        assert t11 > t6 > t1
+
+    def test_fig2_root_highest(self):
+        """Fig. 2: T1 gates everything, so it must outrank all others."""
+        tasks = {t.task_id: t for t in paper_figure2_dag()}
+        ev = PriorityEvaluator(DSPConfig(), tasks)
+        pri = ev.compute(*const_signals(tasks))
+        t1 = pri["fig2.T0001"]
+        assert all(t1 > v for k, v in pri.items() if k != "fig2.T0001")
+
+    def test_fig2_middle_above_leaves(self):
+        tasks = {t.task_id: t for t in paper_figure2_dag()}
+        ev = PriorityEvaluator(DSPConfig(), tasks)
+        pri = ev.compute(*const_signals(tasks))
+        assert pri["fig2.T0002"] > pri["fig2.T0004"]
+        assert pri["fig2.T0003"] > pri["fig2.T0006"]
+
+
+class TestComputeFor:
+    def test_matches_full_compute(self):
+        tasks = {t.task_id: t for t in layered_random_dag("J", 40, rng=8)}
+        ev = PriorityEvaluator(DSPConfig(), tasks)
+        rem, wait, allow = const_signals(tasks, remaining=7.0, waiting=3.0)
+        full = ev.compute(rem, wait, allow)
+        lazy = ev.compute_for(
+            list(tasks),
+            remaining_fn=rem.__getitem__,
+            waiting_fn=wait.__getitem__,
+            allowable_fn=allow.__getitem__,
+            completed_fn=lambda t: False,
+        )
+        for tid in tasks:
+            assert lazy[tid] == pytest.approx(full[tid])
+
+    def test_subset_only_touches_descendants(self):
+        tasks = {t.task_id: t for t in [mk("a"), mk("b", ["a"]), mk("z")]}
+        ev = PriorityEvaluator(DSPConfig(), tasks)
+        seen = []
+
+        def rem(t):
+            seen.append(t)
+            return 1.0
+
+        ev.compute_for(["z"], rem, lambda t: 0.0, lambda t: 0.0, lambda t: False)
+        assert seen == ["z"]  # a, b never evaluated
+
+    def test_completed_respected(self):
+        tasks = {t.task_id: t for t in [mk("p"), mk("c", ["p"])]}
+        cfg = DSPConfig()
+        ev = PriorityEvaluator(cfg, tasks)
+        out = ev.compute_for(
+            ["p"],
+            remaining_fn=lambda t: 4.0,
+            waiting_fn=lambda t: 0.0,
+            allowable_fn=lambda t: 0.0,
+            completed_fn=lambda t: t == "c",
+        )
+        assert out["p"] == pytest.approx(leaf_priority(cfg, 4.0, 0.0, 0.0))
+
+
+class TestGammaEffect:
+    def test_higher_gamma_boosts_ancestors_more(self):
+        tasks = {t.task_id: t for t in [mk("p"), mk("c", ["p"])]}
+        rem, wait, allow = const_signals(tasks)
+        lo = PriorityEvaluator(DSPConfig(gamma=0.1), tasks).compute(rem, wait, allow)
+        hi = PriorityEvaluator(DSPConfig(gamma=0.9), tasks).compute(rem, wait, allow)
+        assert hi["p"] / hi["c"] > lo["p"] / lo["c"]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_parents_outrank_single_child(self, seed):
+        """With uniform leaf signals, any parent outranks each child
+        individually (gamma + 1 > 1 and sums are non-negative)."""
+        tasks = {t.task_id: t for t in layered_random_dag("J", 25, rng=seed)}
+        ev = PriorityEvaluator(DSPConfig(), tasks)
+        pri = ev.compute(*const_signals(tasks, remaining=5.0, waiting=1.0, allowable=2.0))
+        for tid in tasks:
+            for child in ev.children_of(tid):
+                assert pri[tid] > pri[child] * 1.0 or pri[tid] >= pri[child]

@@ -1,0 +1,172 @@
+"""Property-based tests on cross-module invariants.
+
+These are the suite's safety net: for *any* small random workload, every
+policy must terminate with all tasks completed, schedules must satisfy
+precedence, and conservation laws (waits non-negative, work accounted)
+must hold.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import ResourceVector, uniform_cluster
+from repro.config import DSPConfig, SimConfig
+from repro.core import DSPPreemption, DSPScheduler, HeuristicScheduler
+from repro.baselines import AmoebaPreemption, NatjamPreemption, SRPTPreemption
+from repro.dag import Job, layered_random_dag
+from repro.sim import NullPreemption, SimEngine
+
+SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def random_jobs(seed: int, num_jobs: int, tasks_per_job: int) -> list[Job]:
+    jobs = []
+    for j in range(num_jobs):
+        jid = f"J{j}"
+        tasks = layered_random_dag(
+            jid, tasks_per_job, rng=seed * 101 + j,
+            size_sampler=lambda g: float(g.uniform(200.0, 3000.0)),
+            demand_sampler=lambda g: ResourceVector(
+                cpu=float(g.uniform(0.2, 1.5)),
+                mem=float(g.uniform(0.2, 1.5)),
+                disk=0.02, bandwidth=0.02,
+            ),
+        )
+        jobs.append(Job.from_tasks(jid, tasks, deadline=1e9, arrival_time=float(j)))
+    return jobs
+
+
+def run(jobs, policy, aware=None, seed_nodes=2):
+    cluster = uniform_cluster(seed_nodes, cpu_size=2.0, mem_size=2.0, mips_per_unit=500.0)
+    engine = SimEngine(
+        cluster,
+        jobs,
+        HeuristicScheduler(cluster),
+        preemption=policy,
+        sim_config=SimConfig(epoch=1.0, scheduling_period=30.0),
+        dependency_aware_dispatch=aware,
+    )
+    return engine, engine.run()
+
+
+class TestEngineTermination:
+    @SETTINGS
+    @given(seed=st.integers(0, 5000), n=st.integers(1, 4), t=st.integers(1, 12))
+    def test_null_policy_completes_everything(self, seed, n, t):
+        jobs = random_jobs(seed, n, t)
+        _, m = run(jobs, NullPreemption())
+        assert m.tasks_completed == sum(len(j) for j in jobs)
+        assert m.num_preemptions == 0
+
+    @SETTINGS
+    @given(seed=st.integers(0, 5000), n=st.integers(1, 3), t=st.integers(1, 10))
+    def test_dsp_policy_completes_everything(self, seed, n, t):
+        jobs = random_jobs(seed, n, t)
+        _, m = run(jobs, DSPPreemption(DSPConfig()))
+        assert m.tasks_completed == sum(len(j) for j in jobs)
+        assert m.num_disorders == 0
+
+    @SETTINGS
+    @given(seed=st.integers(0, 5000), n=st.integers(1, 3), t=st.integers(1, 10))
+    def test_srpt_no_checkpoint_still_terminates(self, seed, n, t):
+        jobs = random_jobs(seed, n, t)
+        _, m = run(jobs, SRPTPreemption(DSPConfig()))
+        assert m.tasks_completed == sum(len(j) for j in jobs)
+
+    @SETTINGS
+    @given(seed=st.integers(0, 5000), n=st.integers(1, 3), t=st.integers(1, 10))
+    def test_amoeba_natjam_terminate(self, seed, n, t):
+        jobs = random_jobs(seed, n, t)
+        for policy in (AmoebaPreemption(), NatjamPreemption()):
+            _, m = run(jobs, policy)
+            assert m.tasks_completed == sum(len(j) for j in jobs)
+
+
+class TestExecutionOrderInvariant:
+    @SETTINGS
+    @given(seed=st.integers(0, 5000), t=st.integers(2, 15))
+    def test_dependency_aware_completion_order(self, seed, t):
+        """With aware dispatch, every task completes after its parents."""
+        jobs = random_jobs(seed, 1, t)
+        engine, _ = run(jobs, DSPPreemption(DSPConfig()))
+        completed = {
+            tid: rt.completed_at for tid, rt in engine._tasks.items()
+        }
+        for job in jobs:
+            for tid, task in job.tasks.items():
+                for p in task.parents:
+                    # Parent completion <= child completion - child exec time.
+                    assert completed[p] <= completed[tid]
+
+
+class TestWaitConservation:
+    @SETTINGS
+    @given(seed=st.integers(0, 5000), t=st.integers(1, 12))
+    def test_waits_nonnegative_and_bounded(self, seed, t):
+        jobs = random_jobs(seed, 1, t)
+        _, m = run(jobs, NullPreemption())
+        assert m.avg_job_waiting >= 0.0
+        assert m.avg_task_waiting <= m.sim_end_time
+
+
+class TestSchedulerFeasibility:
+    @SETTINGS
+    @given(seed=st.integers(0, 5000), n=st.integers(1, 3), t=st.integers(1, 15))
+    def test_dsp_scheduler_plan_respects_precedence(self, seed, n, t):
+        cluster = uniform_cluster(2, cpu_size=2.0, mem_size=2.0, mips_per_unit=500.0)
+        jobs = random_jobs(seed, n, t)
+        plan = DSPScheduler(cluster, ilp_task_limit=0).schedule(jobs)
+        for job in jobs:
+            for tid, task in job.tasks.items():
+                for p in task.parents:
+                    assert plan.assignments[tid].start >= plan.assignments[p].finish - 1e-9
+                assert plan.assignments[tid].start >= job.arrival_time - 1e-9
+
+
+class TestMakespanBounds:
+    @SETTINGS
+    @given(seed=st.integers(0, 5000), n=st.integers(1, 3), t=st.integers(1, 12))
+    def test_no_policy_beats_the_lower_bound(self, seed, n, t):
+        """Physics check: no simulated makespan undercuts the theoretical
+        lower bound (critical path / capacity / per-dimension)."""
+        from repro.cluster import uniform_cluster
+        from repro.experiments import makespan_lower_bound
+
+        jobs = random_jobs(seed, n, t)
+        cluster = uniform_cluster(2, cpu_size=2.0, mem_size=2.0, mips_per_unit=500.0)
+        for policy in (NullPreemption(), DSPPreemption(DSPConfig()), SRPTPreemption()):
+            engine = SimEngine(
+                cluster, jobs, HeuristicScheduler(cluster),
+                preemption=policy,
+                sim_config=SimConfig(epoch=1.0, scheduling_period=30.0),
+            )
+            m = engine.run()
+            assert m.makespan >= makespan_lower_bound(jobs, cluster) - 1e-6
+
+
+class TestFaultTermination:
+    @SETTINGS
+    @given(seed=st.integers(0, 2000), t=st.integers(2, 10))
+    def test_random_faults_never_lose_tasks(self, seed, t):
+        """Under any random failure/straggler plan, every task completes."""
+        from repro.cluster import uniform_cluster
+        from repro.sim import random_fault_plan
+
+        jobs = random_jobs(seed, 2, t)
+        cluster = uniform_cluster(3, cpu_size=2.0, mem_size=2.0, mips_per_unit=500.0)
+        plan = random_fault_plan(
+            cluster, horizon=200.0, rng=seed, mtbf=60.0, mttr=20.0,
+            straggler_rate=0.5, straggler_duration=30.0,
+        )
+        engine = SimEngine(
+            cluster, jobs, HeuristicScheduler(cluster),
+            preemption=DSPPreemption(DSPConfig()),
+            sim_config=SimConfig(epoch=1.0, scheduling_period=30.0),
+            faults=plan,
+        )
+        m = engine.run()
+        assert m.tasks_completed == sum(len(j) for j in jobs)

@@ -1,0 +1,93 @@
+"""Tests for ResourceVector."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cluster import ResourceVector, ZERO_RESOURCES
+
+nonneg = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+vectors = st.builds(ResourceVector, cpu=nonneg, mem=nonneg, disk=nonneg, bandwidth=nonneg)
+
+
+class TestConstruction:
+    def test_defaults_zero(self):
+        v = ResourceVector()
+        assert v.as_tuple() == (0.0, 0.0, 0.0, 0.0)
+
+    @pytest.mark.parametrize("dim", ["cpu", "mem", "disk", "bandwidth"])
+    def test_negative_rejected(self, dim):
+        with pytest.raises(ValueError, match=dim):
+            ResourceVector(**{dim: -1.0})
+
+    def test_zero_constant(self):
+        assert ZERO_RESOURCES.is_zero()
+
+    def test_immutable(self):
+        with pytest.raises(Exception):
+            ResourceVector().cpu = 1.0  # type: ignore[misc]
+
+
+class TestArithmetic:
+    def test_add(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(10, 20, 30, 40)
+        assert (a + b).as_tuple() == (11, 22, 33, 44)
+
+    def test_sub_clamps_at_zero(self):
+        a = ResourceVector(1, 1, 1, 1)
+        b = ResourceVector(2, 0.5, 2, 0.5)
+        assert (a - b).as_tuple() == (0.0, 0.5, 0.0, 0.5)
+
+    def test_scalar_mul(self):
+        assert (ResourceVector(1, 2, 3, 4) * 2).as_tuple() == (2, 4, 6, 8)
+
+    def test_rmul(self):
+        assert (3 * ResourceVector(1, 0, 0, 0)).cpu == 3
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceVector(1, 1, 1, 1) * -1
+
+
+class TestComparisons:
+    def test_fits_within_true(self):
+        assert ResourceVector(1, 1, 1, 1).fits_within(ResourceVector(2, 2, 2, 2))
+
+    def test_fits_within_equal(self):
+        v = ResourceVector(2, 2, 2, 2)
+        assert v.fits_within(v)
+
+    def test_fits_within_single_dim_fails(self):
+        assert not ResourceVector(3, 1, 1, 1).fits_within(ResourceVector(2, 2, 2, 2))
+
+    def test_dot(self):
+        a = ResourceVector(1, 2, 3, 4)
+        b = ResourceVector(4, 3, 2, 1)
+        assert a.dot(b) == pytest.approx(4 + 6 + 6 + 4)
+
+    def test_norm1(self):
+        assert ResourceVector(1, 2, 3, 4).norm1() == 10
+
+    def test_iter_order(self):
+        assert list(ResourceVector(1, 2, 3, 4)) == [1, 2, 3, 4]
+
+
+class TestProperties:
+    @given(vectors, vectors)
+    def test_add_commutes(self, a, b):
+        assert (a + b).as_tuple() == (b + a).as_tuple()
+
+    @given(vectors, vectors)
+    def test_subtract_then_fits(self, a, b):
+        # After giving back what was taken, the original demand fits again.
+        total = a + b
+        free = total - a
+        assert b.fits_within(free + a)
+
+    @given(vectors)
+    def test_dot_with_zero_is_zero(self, v):
+        assert v.dot(ZERO_RESOURCES) == 0.0
+
+    @given(vectors)
+    def test_fits_within_self_plus_anything(self, v):
+        assert v.fits_within(v + ResourceVector(1, 1, 1, 1))

@@ -1,0 +1,141 @@
+"""Tests for results persistence (JSON) and multi-trial aggregation."""
+
+import pytest
+
+from repro.experiments import (
+    FigureSeries,
+    TrialAggregate,
+    aggregate_trials,
+    figure_from_json,
+    figure_to_json,
+    load_figure,
+    metrics_from_dict,
+    metrics_to_dict,
+    order_stability,
+    save_figure,
+)
+from repro.sim.metrics import MetricsCollector
+
+
+def make_fig(figure="figX", values=(1.0, 2.0)) -> FigureSeries:
+    return FigureSeries(
+        figure=figure,
+        x_label="jobs",
+        x=(10, 20),
+        series={
+            "DSP": {"makespan": values},
+            "SRPT": {"makespan": tuple(v * 2 for v in values)},
+        },
+        meta={"nodes": 4},
+    )
+
+
+class TestFigureJson:
+    def test_roundtrip(self):
+        fig = make_fig()
+        back = figure_from_json(figure_to_json(fig))
+        assert back.figure == fig.figure
+        assert back.x == fig.x
+        assert back.series["DSP"]["makespan"] == (1.0, 2.0)
+        assert back.meta["nodes"] == 4
+
+    def test_file_roundtrip(self, tmp_path):
+        fig = make_fig()
+        path = save_figure(fig, tmp_path / "fig.json")
+        back = load_figure(path)
+        assert back.series == {
+            m: dict(per) for m, per in fig.series.items()
+        } or back.series["DSP"]["makespan"] == fig.series["DSP"]["makespan"]
+
+    def test_schema_version_checked(self):
+        with pytest.raises(ValueError, match="schema"):
+            figure_from_json('{"schema": 999}')
+
+    def test_json_is_stable(self):
+        assert figure_to_json(make_fig()) == figure_to_json(make_fig())
+
+
+class TestMetricsDict:
+    def _metrics(self):
+        mc = MetricsCollector()
+        mc.register_job("J", 0.0, 10.0)
+        mc.register_task("t", "J")
+        mc.record_task_completion("t", 5.0)
+        mc.record_job_completion("J", 5.0)
+        return mc.finalize(5.0)
+
+    def test_roundtrip(self):
+        m = self._metrics()
+        back = metrics_from_dict(metrics_to_dict(m))
+        assert back == m
+
+    def test_unknown_field_rejected(self):
+        payload = metrics_to_dict(self._metrics())
+        payload["bogus"] = 1
+        with pytest.raises(ValueError, match="unknown"):
+            metrics_from_dict(payload)
+
+    def test_missing_field_rejected(self):
+        payload = metrics_to_dict(self._metrics())
+        del payload["makespan"]
+        with pytest.raises(ValueError, match="missing"):
+            metrics_from_dict(payload)
+
+
+class TestAggregateTrials:
+    def test_mean_and_std(self):
+        def runner(seed: int) -> FigureSeries:
+            return make_fig(values=(float(seed), float(seed) * 2))
+
+        agg = aggregate_trials(runner, seeds=[1, 3])
+        assert isinstance(agg, TrialAggregate)
+        assert agg.num_trials == 2
+        assert agg.mean_of("DSP", "makespan") == (2.0, 4.0)
+        assert agg.std_of("DSP", "makespan") == (1.0, 2.0)
+        assert agg.mean.meta["trials"] == 2
+
+    def test_empty_seeds_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_trials(lambda s: make_fig(), seeds=[])
+
+    def test_structure_mismatch_rejected(self):
+        figs = {
+            1: make_fig(),
+            2: FigureSeries(
+                figure="figX", x_label="jobs", x=(10, 30),
+                series={"DSP": {"makespan": (1.0, 2.0)}},
+            ),
+        }
+        with pytest.raises(ValueError, match="mismatched"):
+            aggregate_trials(lambda s: figs[s], seeds=[1, 2])
+
+    def test_real_runner_smoke(self):
+        from repro.experiments import fig5_makespan
+
+        agg = aggregate_trials(
+            lambda seed: fig5_makespan("cluster", job_counts=(4,), scale=100.0, seed=seed),
+            seeds=[1, 2],
+        )
+        assert len(agg.mean_of("DSP", "makespan")) == 1
+
+
+class TestOrderStability:
+    def test_always_holds(self):
+        figs = [make_fig() for _ in range(3)]
+        assert order_stability(figs, "makespan", ["DSP", "SRPT"]) == 1.0
+
+    def test_never_holds(self):
+        figs = [make_fig()]
+        assert order_stability(figs, "makespan", ["SRPT", "DSP"]) == 0.0
+
+    def test_tolerance_counts_ties(self):
+        fig = FigureSeries(
+            figure="f", x_label="x", x=(1, 2),
+            series={"a": {"m": (1.02, 1.0)}, "b": {"m": (1.0, 1.0)}},
+        )
+        assert order_stability([fig], "m", ["a", "b"]) == 0.5
+        assert order_stability([fig], "m", ["a", "b"], tolerance=0.05) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            order_stability([], "m", ["a"])

@@ -1,0 +1,135 @@
+"""Tests for Schedule / TaskAssignment / verify_schedule."""
+
+import pytest
+
+from repro.cluster import uniform_cluster
+from repro.core import Schedule, TaskAssignment, verify_schedule
+from repro.dag import Job, Task
+
+
+def mk(tid: str, parents=(), size=1000.0) -> Task:
+    return Task(task_id=tid, job_id="J", size_mi=size, parents=tuple(parents))
+
+
+def asg(tid: str, node: str, start: float, finish: float) -> TaskAssignment:
+    return TaskAssignment(task_id=tid, node_id=node, start=start, finish=finish)
+
+
+@pytest.fixture
+def cluster():
+    return uniform_cluster(2, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+
+
+@pytest.fixture
+def chain_job() -> Job:
+    return Job.from_tasks("J", [mk("a"), mk("b", ["a"])], deadline=100.0)
+
+
+class TestTaskAssignment:
+    def test_duration(self):
+        assert asg("a", "n", 1.0, 3.5).duration == pytest.approx(2.5)
+
+    def test_finish_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            asg("a", "n", 5.0, 4.0)
+
+
+class TestSchedule:
+    def test_makespan_spans_first_start_to_last_finish(self):
+        s = Schedule({
+            "a": asg("a", "n", 2.0, 5.0),
+            "b": asg("b", "n", 5.0, 9.0),
+        })
+        assert s.makespan == pytest.approx(7.0)
+
+    def test_empty_makespan_zero(self):
+        assert Schedule({}).makespan == 0.0
+
+    def test_key_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Schedule({"x": asg("a", "n", 0.0, 1.0)})
+
+    def test_lookups(self):
+        s = Schedule({"a": asg("a", "n1", 0.0, 1.0)})
+        assert s.node_of("a") == "n1"
+        assert s.start_of("a") == 0.0
+        assert "a" in s and "b" not in s
+        assert len(s) == 1
+
+    def test_tasks_on_sorted_by_start(self):
+        s = Schedule({
+            "a": asg("a", "n", 5.0, 6.0),
+            "b": asg("b", "n", 1.0, 2.0),
+            "c": asg("c", "m", 0.0, 1.0),
+        })
+        assert [a.task_id for a in s.tasks_on("n")] == ["b", "a"]
+
+
+class TestVerifySchedule:
+    def test_feasible_schedule_passes(self, cluster, chain_job):
+        s = Schedule({
+            "a": asg("a", "node-00", 0.0, 1.0),
+            "b": asg("b", "node-00", 1.0, 2.0),
+        })
+        assert verify_schedule(s, [chain_job], cluster) == []
+
+    def test_unassigned_task_flagged(self, cluster, chain_job):
+        s = Schedule({"a": asg("a", "node-00", 0.0, 1.0)})
+        violations = verify_schedule(s, [chain_job], cluster)
+        assert any("unassigned" in v for v in violations)
+
+    def test_unknown_node_flagged(self, cluster, chain_job):
+        s = Schedule({
+            "a": asg("a", "ghost", 0.0, 1.0),
+            "b": asg("b", "node-00", 1.0, 2.0),
+        })
+        assert any("unknown node" in v for v in verify_schedule(s, [chain_job], cluster))
+
+    def test_precedence_violation_flagged(self, cluster, chain_job):
+        s = Schedule({
+            "a": asg("a", "node-00", 0.0, 2.0),
+            "b": asg("b", "node-01", 1.0, 3.0),  # starts before a finishes
+        })
+        assert any("precedence" in v for v in verify_schedule(s, [chain_job], cluster))
+
+    def test_overlap_violation_flagged(self, cluster):
+        job = Job.from_tasks("J", [mk("a"), mk("b")], deadline=100.0)
+        s = Schedule({
+            "a": asg("a", "node-00", 0.0, 2.0),
+            "b": asg("b", "node-00", 1.0, 3.0),  # overlaps on same node
+        })
+        assert any("concurrent" in v for v in verify_schedule(s, [job], cluster))
+
+    def test_overlap_ok_with_lanes(self, cluster):
+        job = Job.from_tasks("J", [mk("a"), mk("b")], deadline=100.0)
+        s = Schedule({
+            "a": asg("a", "node-00", 0.0, 2.0),
+            "b": asg("b", "node-00", 1.0, 3.0),
+        })
+        v = verify_schedule(
+            s, [job], cluster, unit_capacity=False, node_lanes={"node-00": 2, "node-01": 2}
+        )
+        assert v == []
+
+    def test_deadline_violation_flagged(self, cluster):
+        job = Job.from_tasks("J", [mk("a")], deadline=1.0)
+        s = Schedule({"a": asg("a", "node-00", 0.0, 5.0)})
+        assert any("deadline" in v for v in verify_schedule(s, [job], cluster))
+
+    def test_deadline_check_optional(self, cluster):
+        job = Job.from_tasks("J", [mk("a")], deadline=1.0)
+        s = Schedule({"a": asg("a", "node-00", 0.0, 5.0)})
+        assert verify_schedule(s, [job], cluster, check_deadlines=False) == []
+
+    def test_start_before_arrival_flagged(self, cluster):
+        job = Job.from_tasks("J", [mk("a")], deadline=200.0, arrival_time=100.0)
+        s = Schedule({"a": asg("a", "node-00", 50.0, 51.0)})
+        assert any("arrives" in v for v in verify_schedule(s, [job], cluster))
+
+    def test_unknown_assignment_flagged(self, cluster, chain_job):
+        s = Schedule({
+            "a": asg("a", "node-00", 0.0, 1.0),
+            "b": asg("b", "node-00", 1.0, 2.0),
+            "zz": asg("zz", "node-00", 2.0, 3.0),
+        })
+        assert any("unknown task" in v for v in verify_schedule(s, [chain_job], cluster))

@@ -1,0 +1,70 @@
+"""Tests for 2D parameter-sensitivity grids and heatmap rendering."""
+
+import pytest
+
+from repro.experiments import GridResult, heatmap, sweep_grid
+from repro.sim.metrics import MetricsCollector
+
+
+def tiny_grid() -> GridResult:
+    def metrics(makespan):
+        mc = MetricsCollector()
+        mc.register_job("J", 0.0, 1e9)
+        mc.register_task("t", "J")
+        mc.record_task_completion("t", makespan)
+        mc.record_job_completion("J", makespan)
+        return mc.finalize(makespan)
+
+    cells = {
+        (0.1, 1.5): metrics(10.0),
+        (0.1, 3.0): metrics(20.0),
+        (0.9, 1.5): metrics(30.0),
+        (0.9, 3.0): metrics(40.0),
+    }
+    return GridResult(
+        row_param="gamma", col_param="rho",
+        row_values=(0.1, 0.9), col_values=(1.5, 3.0), cells=cells,
+    )
+
+
+class TestGridResult:
+    def test_metric_matrix(self):
+        grid = tiny_grid()
+        assert grid.metric("makespan") == [[10.0, 20.0], [30.0, 40.0]]
+
+
+class TestHeatmap:
+    def test_renders_values_and_shades(self):
+        out = heatmap(tiny_grid(), "makespan")
+        assert "gamma" in out and "rho" in out
+        assert "10" in out and "40" in out
+        assert "@" in out  # the max cell gets the darkest shade
+
+    def test_invert(self):
+        normal = heatmap(tiny_grid(), "makespan")
+        inverted = heatmap(tiny_grid(), "makespan", invert=True)
+        assert normal != inverted
+
+    def test_flat_grid_ok(self):
+        grid = tiny_grid()
+        out = heatmap(grid, "num_preemptions")  # all zero
+        assert "num_preemptions" in out
+
+
+class TestSweepGrid:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="unknown parameter"):
+            sweep_grid("nope", (1.0,), "rho", (1.5,))
+        with pytest.raises(ValueError, match="must differ"):
+            sweep_grid("rho", (1.5,), "rho", (2.0,))
+
+    def test_small_real_grid(self):
+        grid = sweep_grid(
+            "gamma", (0.2, 0.8), "rho", (1.5, 4.0),
+            num_jobs=4, scale=100.0, seed=3,
+        )
+        assert len(grid.cells) == 4
+        for m in grid.cells.values():
+            assert m.tasks_completed > 0
+        text = heatmap(grid, "num_preemptions")
+        assert "gamma" in text

@@ -1,0 +1,73 @@
+"""Tests for the Task model and TaskState."""
+
+import pytest
+
+from repro.dag import Task, TaskState
+from repro.cluster import ResourceVector
+
+
+class TestTaskValidation:
+    def test_minimal_task(self):
+        t = Task(task_id="a", job_id="j", size_mi=10.0)
+        assert t.is_root
+
+    def test_empty_task_id_rejected(self):
+        with pytest.raises(ValueError, match="task_id"):
+            Task(task_id="", job_id="j", size_mi=1.0)
+
+    def test_empty_job_id_rejected(self):
+        with pytest.raises(ValueError, match="job_id"):
+            Task(task_id="a", job_id="", size_mi=1.0)
+
+    @pytest.mark.parametrize("size", [0.0, -5.0])
+    def test_nonpositive_size_rejected(self, size):
+        with pytest.raises(ValueError, match="size_mi"):
+            Task(task_id="a", job_id="j", size_mi=size)
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ValueError, match="cannot depend on itself"):
+            Task(task_id="a", job_id="j", size_mi=1.0, parents=("a",))
+
+    def test_duplicate_parents_rejected(self):
+        with pytest.raises(ValueError, match="duplicate parents"):
+            Task(task_id="a", job_id="j", size_mi=1.0, parents=("b", "b"))
+
+    def test_is_root_false_with_parents(self):
+        t = Task(task_id="a", job_id="j", size_mi=1.0, parents=("b",))
+        assert not t.is_root
+
+    def test_frozen(self):
+        t = Task(task_id="a", job_id="j", size_mi=1.0)
+        with pytest.raises(Exception):
+            t.size_mi = 2.0  # type: ignore[misc]
+
+
+class TestExecutionTime:
+    def test_eq2(self):
+        # t = l / g(k): 1000 MI at 500 MIPS = 2 s.
+        t = Task(task_id="a", job_id="j", size_mi=1000.0)
+        assert t.execution_time(500.0) == pytest.approx(2.0)
+
+    def test_faster_node_shorter_time(self):
+        t = Task(task_id="a", job_id="j", size_mi=1000.0)
+        assert t.execution_time(2000.0) < t.execution_time(1000.0)
+
+    def test_zero_rate_rejected(self):
+        t = Task(task_id="a", job_id="j", size_mi=1000.0)
+        with pytest.raises(ValueError):
+            t.execution_time(0.0)
+
+
+class TestTaskState:
+    def test_only_completed_is_terminal(self):
+        assert TaskState.COMPLETED.is_terminal()
+        for state in TaskState:
+            if state is not TaskState.COMPLETED:
+                assert not state.is_terminal()
+
+    def test_all_states_present(self):
+        names = {s.name for s in TaskState}
+        assert names == {
+            "PENDING", "RUNNABLE", "QUEUED", "RUNNING",
+            "STALLED", "PREEMPTED", "COMPLETED",
+        }

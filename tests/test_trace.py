@@ -1,0 +1,109 @@
+"""Tests for the synthetic Google-trace substrate (records + generator)."""
+
+import numpy as np
+import pytest
+
+from repro.trace import GoogleTraceGenerator, TraceTaskRecord
+
+
+class TestTraceTaskRecord:
+    def test_duration(self):
+        r = TraceTaskRecord("j", 0, 10.0, 25.0, 0.5, 0.5)
+        assert r.duration == pytest.approx(15.0)
+
+    def test_end_after_start_required(self):
+        with pytest.raises(ValueError):
+            TraceTaskRecord("j", 0, 10.0, 10.0, 0.5, 0.5)
+
+    @pytest.mark.parametrize("cpu", [0.0, 1.5, -0.1])
+    def test_cpu_bounds(self, cpu):
+        with pytest.raises(ValueError):
+            TraceTaskRecord("j", 0, 0.0, 1.0, cpu, 0.5)
+
+    @pytest.mark.parametrize("mem", [0.0, 2.0])
+    def test_mem_bounds(self, mem):
+        with pytest.raises(ValueError):
+            TraceTaskRecord("j", 0, 0.0, 1.0, 0.5, mem)
+
+    def test_overlap_true(self):
+        a = TraceTaskRecord("j", 0, 0.0, 10.0, 0.5, 0.5)
+        b = TraceTaskRecord("j", 1, 5.0, 15.0, 0.5, 0.5)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_overlap_false_disjoint(self):
+        a = TraceTaskRecord("j", 0, 0.0, 10.0, 0.5, 0.5)
+        b = TraceTaskRecord("j", 1, 10.0, 20.0, 0.5, 0.5)
+        # Touching endpoints do not overlap: the §V rule creates an edge.
+        assert not a.overlaps(b)
+
+    def test_overlap_containment(self):
+        a = TraceTaskRecord("j", 0, 0.0, 100.0, 0.5, 0.5)
+        b = TraceTaskRecord("j", 1, 10.0, 20.0, 0.5, 0.5)
+        assert a.overlaps(b)
+
+
+class TestGoogleTraceGenerator:
+    def test_deterministic(self):
+        a = GoogleTraceGenerator(rng=7).job_records("j", 20)
+        b = GoogleTraceGenerator(rng=7).job_records("j", 20)
+        assert [(r.start_time, r.end_time, r.cpu) for r in a] == [
+            (r.start_time, r.end_time, r.cpu) for r in b
+        ]
+
+    def test_durations_clipped(self):
+        gen = GoogleTraceGenerator(rng=0, min_duration=5.0, max_duration=50.0)
+        durations = [gen.sample_duration() for _ in range(500)]
+        assert min(durations) >= 5.0
+        assert max(durations) <= 50.0
+
+    def test_duration_heavy_tail(self):
+        gen = GoogleTraceGenerator(rng=0)
+        durations = np.array([gen.sample_duration() for _ in range(3000)])
+        # Lognormal: mean well above median.
+        assert durations.mean() > np.median(durations) * 1.2
+
+    def test_median_near_target(self):
+        gen = GoogleTraceGenerator(rng=0, median_duration=100.0)
+        durations = np.array([gen.sample_duration() for _ in range(4000)])
+        assert 70.0 < np.median(durations) < 140.0
+
+    def test_cpu_mem_in_unit_interval(self):
+        gen = GoogleTraceGenerator(rng=0)
+        for _ in range(200):
+            assert 0.0 < gen.sample_cpu() <= 1.0
+            assert 0.0 < gen.sample_mem() <= 1.0
+
+    def test_cpu_concentrated_low(self):
+        gen = GoogleTraceGenerator(rng=0)
+        vals = np.array([gen.sample_cpu() for _ in range(2000)])
+        # Beta(2, 8): mean 0.2, most mass below 0.5.
+        assert vals.mean() < 0.3
+        assert (vals < 0.5).mean() > 0.9
+
+    def test_job_records_indices(self):
+        records = GoogleTraceGenerator(rng=1).job_records("jobX", 15)
+        assert [r.task_index for r in records] == list(range(15))
+        assert all(r.job_id == "jobX" for r in records)
+
+    def test_job_records_staggered_starts(self):
+        records = GoogleTraceGenerator(rng=1).job_records("j", 30)
+        starts = [r.start_time for r in records]
+        assert starts == sorted(starts)
+        assert starts[-1] > starts[0]
+
+    def test_job_start_offset(self):
+        records = GoogleTraceGenerator(rng=1).job_records("j", 5, job_start=500.0)
+        assert min(r.start_time for r in records) >= 500.0
+
+    def test_trace_multiple_jobs(self):
+        trace = GoogleTraceGenerator(rng=2).trace([("a", 5), ("b", 7)])
+        assert sum(1 for r in trace if r.job_id == "a") == 5
+        assert sum(1 for r in trace if r.job_id == "b") == 7
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GoogleTraceGenerator(median_duration=0.0)
+        with pytest.raises(ValueError):
+            GoogleTraceGenerator(min_duration=10.0, max_duration=5.0)
+        with pytest.raises(ValueError):
+            GoogleTraceGenerator().job_records("j", 0)

@@ -1,0 +1,63 @@
+"""Tests for trace CSV persistence."""
+
+import pytest
+
+from repro.trace import (
+    GoogleTraceGenerator,
+    TraceTaskRecord,
+    read_trace_csv,
+    records_from_csv_string,
+    records_to_csv_string,
+    write_trace_csv,
+)
+
+
+@pytest.fixture
+def records():
+    return GoogleTraceGenerator(rng=11).trace([("a", 8), ("b", 5)])
+
+
+class TestFileRoundTrip:
+    def test_roundtrip_exact(self, records, tmp_path):
+        path = tmp_path / "trace.csv"
+        n = write_trace_csv(records, path)
+        assert n == len(records)
+        back = read_trace_csv(path)
+        assert back == records  # bit-exact floats via repr
+
+    def test_empty_roundtrip(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        write_trace_csv([], path)
+        assert read_trace_csv(path) == []
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            read_trace_csv(tmp_path / "nope.csv")
+
+
+class TestStringRoundTrip:
+    def test_roundtrip(self, records):
+        text = records_to_csv_string(records)
+        assert records_from_csv_string(text) == records
+
+    def test_header_present(self, records):
+        text = records_to_csv_string(records)
+        assert text.splitlines()[0] == "job_id,task_index,start_time,end_time,cpu,mem"
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ValueError, match="header"):
+            records_from_csv_string("a,b,c\n1,2,3\n")
+
+    def test_wrong_column_count_rejected(self):
+        text = "job_id,task_index,start_time,end_time,cpu,mem\nj,0,1\n"
+        with pytest.raises(ValueError, match="columns"):
+            records_from_csv_string(text)
+
+    def test_empty_string(self):
+        assert records_from_csv_string("") == []
+
+    def test_values_parse_back_to_types(self):
+        r = TraceTaskRecord("j", 3, 1.5, 2.75, 0.125, 0.5)
+        back = records_from_csv_string(records_to_csv_string([r]))[0]
+        assert isinstance(back.task_index, int)
+        assert back.start_time == 1.5 and back.cpu == 0.125

@@ -1,0 +1,138 @@
+"""Tests for execution trace recording and Gantt rendering."""
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, ResourceVector, uniform_cluster
+from repro.config import SimConfig
+from repro.core import HeuristicScheduler
+from repro.dag import Job, Task, chain_dag
+from repro.sim import SimEngine, TraceLog, TraceSegment, gantt_chart
+
+
+class TestTraceSegment:
+    def test_valid(self):
+        s = TraceSegment("t", "n", 0.0, 5.0, "run", overhead=1.0)
+        assert s.duration == 5.0
+
+    def test_end_before_start_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSegment("t", "n", 5.0, 4.0, "run")
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            TraceSegment("t", "n", 0.0, 1.0, "sleep")
+
+    def test_overhead_must_fit(self):
+        with pytest.raises(ValueError):
+            TraceSegment("t", "n", 0.0, 1.0, "run", overhead=2.0)
+
+
+class TestTraceLog:
+    def test_open_close(self):
+        log = TraceLog()
+        log.open_segment("t", "n", 0.0, "run")
+        log.close_segment("t", 3.0)
+        assert len(log.segments) == 1
+        assert log.segments[0].end == 3.0
+
+    def test_double_open_rejected(self):
+        log = TraceLog()
+        log.open_segment("t", "n", 0.0, "run")
+        with pytest.raises(RuntimeError):
+            log.open_segment("t", "n", 1.0, "run")
+
+    def test_close_without_open_is_noop(self):
+        log = TraceLog()
+        log.close_segment("ghost", 1.0)
+        assert log.segments == ()
+
+    def test_queries(self):
+        log = TraceLog()
+        log.open_segment("a", "n1", 0.0, "run")
+        log.close_segment("a", 2.0)
+        log.open_segment("b", "n1", 2.0, "stall")
+        log.close_segment("b", 5.0)
+        log.open_segment("a", "n2", 3.0, "run")
+        log.close_segment("a", 4.0)
+        assert [s.task_id for s in log.for_node("n1")] == ["a", "b"]
+        assert [s.node_id for s in log.for_task("a")] == ["n1", "n2"]
+        assert log.busy_time("n1") == pytest.approx(5.0)
+
+
+class TestEngineRecording:
+    def test_chain_trace_segments(self):
+        cluster = uniform_cluster(1, cpu_size=2.0, mem_size=2.0, mips_per_unit=500.0)
+        job = Job.from_tasks("J", chain_dag("J", 3, size_mi=1000.0), deadline=1e6)
+        engine = SimEngine(
+            cluster, [job], HeuristicScheduler(cluster),
+            sim_config=SimConfig(epoch=1.0, scheduling_period=10.0),
+            record_trace=True,
+        )
+        engine.run()
+        assert engine.trace is not None
+        segs = engine.trace.segments
+        assert len(segs) == 3  # one run segment per task, no preemptions
+        assert all(s.kind == "run" for s in segs)
+        # Chain: segments strictly sequential.
+        ordered = sorted(segs, key=lambda s: s.start)
+        for a, b in zip(ordered, ordered[1:]):
+            assert b.start >= a.end - 1e-9
+
+    def test_trace_off_by_default(self):
+        cluster = uniform_cluster(1, cpu_size=2.0, mem_size=2.0)
+        job = Job.from_tasks("J", chain_dag("J", 2), deadline=1e9)
+        engine = SimEngine(cluster, [job], HeuristicScheduler(cluster))
+        assert engine.trace is None
+
+    def test_stall_segments_recorded(self):
+        from tests.test_engine import FixedScheduler
+        from repro.core import Schedule, TaskAssignment
+
+        cluster = Cluster([
+            NodeSpec(node_id=f"n{i}", cpu_size=1.0, mem_size=1.0, mips_per_unit=500.0)
+            for i in range(2)
+        ])
+        a = Task(task_id="a", job_id="J", size_mi=4000.0,
+                 demand=ResourceVector(cpu=1.0, mem=0.5))
+        b = Task(task_id="b", job_id="J", size_mi=500.0,
+                 demand=ResourceVector(cpu=1.0, mem=0.5), parents=("a",))
+        job = Job.from_tasks("J", [a, b], deadline=1e6)
+        plan = Schedule({
+            "a": TaskAssignment("a", "n0", 0.0, 8.0),
+            "b": TaskAssignment("b", "n1", 0.5, 1.5),  # optimistic
+        })
+        engine = SimEngine(
+            cluster, [job], FixedScheduler(plan),
+            sim_config=SimConfig(epoch=0.5, scheduling_period=10.0),
+            dependency_aware_dispatch=False,
+            record_trace=True,
+        )
+        engine.run()
+        kinds = {s.kind for s in engine.trace.segments}
+        assert "stall" in kinds and "run" in kinds
+
+
+class TestGanttChart:
+    def _log(self):
+        log = TraceLog()
+        log.open_segment("a", "n1", 0.0, "run")
+        log.close_segment("a", 10.0)
+        log.open_segment("b", "n2", 5.0, "stall")
+        log.close_segment("b", 15.0)
+        return log
+
+    def test_renders_lanes(self):
+        out = gantt_chart(self._log(), ["n1", "n2"])
+        assert "n1 |" in out and "n2 |" in out
+        assert "#" in out  # the stall mark
+
+    def test_empty(self):
+        assert gantt_chart(TraceLog(), ["n1"]) == "(empty trace)"
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            gantt_chart(self._log(), ["n1"], width=5)
+
+    def test_time_window(self):
+        out = gantt_chart(self._log(), ["n1"], t_min=0.0, t_max=100.0)
+        assert "100.0" in out

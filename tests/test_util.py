@@ -1,0 +1,110 @@
+"""Unit tests for repro._util."""
+
+import numpy as np
+import pytest
+
+from repro._util import (
+    EPS,
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    ensure_rng,
+    isclose,
+    pairwise_mean_gap,
+    weighted_mean,
+)
+
+
+class TestEnsureRng:
+    def test_from_int_seed_is_deterministic(self):
+        a = ensure_rng(42).random(5)
+        b = ensure_rng(42).random(5)
+        assert np.allclose(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert ensure_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_different_seeds_differ(self):
+        assert not np.allclose(ensure_rng(1).random(5), ensure_rng(2).random(5))
+
+
+class TestChecks:
+    def test_check_positive_accepts(self):
+        assert check_positive(0.1, "x") == 0.1
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            check_positive(0.0, "x")
+
+    def test_check_positive_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive(-1.0, "x")
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative(0.0, "x") == 0.0
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            check_non_negative(-0.001, "x")
+
+    def test_check_fraction_bounds(self):
+        assert check_fraction(0.0, "f") == 0.0
+        assert check_fraction(1.0, "f") == 1.0
+        with pytest.raises(ValueError):
+            check_fraction(1.0001, "f")
+        with pytest.raises(ValueError):
+            check_fraction(-0.0001, "f")
+
+
+class TestWeightedMean:
+    def test_basic(self):
+        assert weighted_mean([1.0, 3.0], [1.0, 1.0]) == pytest.approx(2.0)
+
+    def test_weights_apply(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            weighted_mean([], [])
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_weights_raise(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0, 2.0], [0.0, 0.0])
+
+
+class TestPairwiseMeanGap:
+    def test_uniform_gaps(self):
+        assert pairwise_mean_gap([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+
+    def test_mixed_gaps(self):
+        # gaps 1 and 3 -> mean 2
+        assert pairwise_mean_gap([0.0, 1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single_value_is_zero(self):
+        assert pairwise_mean_gap([5.0]) == 0.0
+
+    def test_empty_is_zero(self):
+        assert pairwise_mean_gap([]) == 0.0
+
+    def test_identical_values_zero(self):
+        assert pairwise_mean_gap([2.0, 2.0, 2.0]) == 0.0
+
+    def test_descending_input_rejected(self):
+        with pytest.raises(ValueError):
+            pairwise_mean_gap([3.0, 1.0])
+
+
+class TestIsclose:
+    def test_within_eps(self):
+        assert isclose(1.0, 1.0 + EPS / 2)
+
+    def test_outside_eps(self):
+        assert not isclose(1.0, 1.0 + 10 * EPS)

@@ -1,0 +1,60 @@
+"""Tests for workload/cluster validation."""
+
+import pytest
+
+from repro.cluster import ResourceVector, uniform_cluster
+from repro.dag import Job, Task
+from repro.trace import ValidationReport, WorkloadSpec, Workload, validate_workload
+from repro.experiments import build_workload_for_cluster
+
+
+def wl(jobs) -> Workload:
+    return Workload(jobs=tuple(jobs), spec=WorkloadSpec(num_jobs=len(jobs)))
+
+
+def mk(tid: str, cpu=1.0, size=1000.0, input_loc=None, input_mb=0.0) -> Task:
+    return Task(task_id=tid, job_id="J", size_mi=size,
+                demand=ResourceVector(cpu=cpu, mem=0.5),
+                input_mb=input_mb, input_location=input_loc)
+
+
+@pytest.fixture
+def cluster():
+    return uniform_cluster(2, cpu_size=4.0, mem_size=4.0, mips_per_unit=250.0)
+
+
+class TestValidateWorkload:
+    def test_clean_workload_ok(self, cluster):
+        w = build_workload_for_cluster(3, cluster, scale=80.0, seed=1)
+        report = validate_workload(w, cluster)
+        assert report.ok, str(report)
+
+    def test_oversized_demand_is_error(self, cluster):
+        job = Job.from_tasks("J", [mk("a", cpu=100.0)], deadline=1e6)
+        report = validate_workload(wl([job]), cluster)
+        assert not report.ok
+        assert any("fits no node" in e for e in report.errors)
+
+    def test_impossible_deadline_is_error(self, cluster):
+        # 1000 MI at 1000 MIPS = 1 s minimum; deadline gives 0.5 s.
+        job = Job.from_tasks("J", [mk("a")], deadline=0.5)
+        report = validate_workload(wl([job]), cluster)
+        assert any("critical path" in e for e in report.errors)
+
+    def test_tight_deadline_is_warning(self, cluster):
+        job = Job.from_tasks("J", [mk("a")], deadline=1.2)  # cp = 1 s
+        report = validate_workload(wl([job]), cluster)
+        assert report.ok
+        assert any("tight" in w for w in report.warnings)
+
+    def test_unknown_input_location_is_warning(self, cluster):
+        job = Job.from_tasks(
+            "J", [mk("a", input_loc="ghost", input_mb=10.0)], deadline=1e6
+        )
+        report = validate_workload(wl([job]), cluster)
+        assert any("unknown node" in w for w in report.warnings)
+
+    def test_report_str(self, cluster):
+        job = Job.from_tasks("J", [mk("a", cpu=100.0)], deadline=1e6)
+        text = str(validate_workload(wl([job]), cluster))
+        assert "ERROR" in text
