@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.config import SimConfig
+from repro.config import ResilienceConfig, SimConfig
 from repro.core import DSPSystem
 from repro.experiments import build_workload_for_cluster, cluster_profile, default_config
 from repro.sim import FaultEvent, FaultKind, SimEngine, random_fault_plan
@@ -21,11 +21,11 @@ from repro.sim import FaultEvent, FaultKind, SimEngine, random_fault_plan
 SIM = SimConfig(epoch=30.0, scheduling_period=300.0)
 
 
-def _run(cluster, workload, config, faults):
+def _run(cluster, workload, config, faults, resilience=None):
     system = DSPSystem.build(cluster, config)
     engine = SimEngine(
         cluster, workload.jobs, system.scheduler, preemption=system.preemption,
-        dsp_config=config, sim_config=SIM, faults=faults,
+        dsp_config=config, sim_config=SIM, faults=faults, resilience=resilience,
     )
     return engine.run()
 
@@ -46,7 +46,7 @@ def test_failure_pressure_sweep(benchmark, setup):
 
     def run():
         baseline = _run(cluster, workload, config, None)
-        rows = [("fault-free", baseline.makespan, 0, 0)]
+        rows = [("fault-free", baseline.makespan, 0, 0, 0.0)]
         for mtbf in (8000.0, 3000.0):
             plan = random_fault_plan(
                 cluster, horizon=baseline.makespan * 2, rng=3,
@@ -54,16 +54,52 @@ def test_failure_pressure_sweep(benchmark, setup):
             )
             m = _run(cluster, workload, config, plan)
             rows.append((f"mtbf={mtbf:.0f}s", m.makespan,
-                         m.num_node_failures, m.num_task_reassignments))
+                         m.num_node_failures, m.num_task_reassignments,
+                         m.lost_work_mi))
             assert m.tasks_completed == workload.num_tasks
             # Graceful degradation: bounded blow-up even under heavy faults.
             assert m.makespan < 3.0 * baseline.makespan
         print()
-        for label, mk, fails, moved in rows:
+        for label, mk, fails, moved, lost in rows:
             print(f"  {label:16s} makespan={mk:9.1f}  failures={fails:3d}  "
-                  f"reassigned={moved:4d}")
+                  f"reassigned={moved:4d}  lost={lost/1e6:7.2f}M MI")
         # More failure pressure should not make things faster.
         assert rows[-1][1] >= rows[0][1] * 0.95
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.benchmark(group="faults")
+def test_resilience_on_vs_off(benchmark, setup):
+    """The resilience layer under transient task-failure pressure: same
+    seed-fixed plan, with and without retries/speculation/quarantine."""
+    cluster, config, workload = setup
+    resilience = ResilienceConfig(
+        max_attempts=12, backoff_base=5.0, backoff_cap=60.0,
+        timeout_factor=20.0, health_alpha=0.6,
+        quarantine_threshold=0.5, quarantine_duration=600.0,
+    )
+
+    def run():
+        baseline = _run(cluster, workload, config, None)
+        plan = random_fault_plan(
+            cluster, horizon=baseline.makespan * 2, rng=3,
+            mtbf=3000.0, mttr=300.0, task_fail_rate=4.0,
+        )
+        off = _run(cluster, workload, config, plan)
+        on = _run(cluster, workload, config, plan, resilience=resilience)
+        print()
+        for label, m in (("resilience-off", off), ("resilience-on", on)):
+            print(f"  {label:15s} makespan={m.makespan:9.1f}  "
+                  f"lost={m.lost_work_mi/1e6:7.2f}M MI  "
+                  f"task-fails={m.num_task_failures:3d}  "
+                  f"retries={m.num_retries:3d}  "
+                  f"quarantines={m.num_quarantines:3d}  "
+                  f"spec={m.num_speculative_launches}/{m.num_speculative_wins}")
+        assert off.tasks_completed == workload.num_tasks
+        assert on.tasks_completed == workload.num_tasks
+        # The acceptance bar: strictly less work destroyed with the layer on.
+        assert on.lost_work_mi < off.lost_work_mi
 
     benchmark.pedantic(run, rounds=1, iterations=1)
 

@@ -11,13 +11,14 @@ Public entry points:
 * :mod:`repro.experiments` — figure-reproduction harnesses
 """
 
-from .config import DSPConfig, SimConfig
+from .config import DSPConfig, ResilienceConfig, SimConfig
 from .locality import locality_fraction, with_random_inputs
 
 __version__ = "1.0.0"
 
 __all__ = [
     "DSPConfig",
+    "ResilienceConfig",
     "SimConfig",
     "locality_fraction",
     "with_random_inputs",

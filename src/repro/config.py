@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from ._util import check_fraction, check_non_negative, check_positive
 
-__all__ = ["DSPConfig", "SimConfig"]
+__all__ = ["DSPConfig", "SimConfig", "ResilienceConfig"]
 
 
 @dataclass(frozen=True)
@@ -158,5 +158,85 @@ class SimConfig:
             raise ValueError("epoch must not exceed scheduling_period")
 
     def replace(self, **changes) -> "SimConfig":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Parameters of the dependency-aware resilience layer (§VI future work).
+
+    Passed to :class:`~repro.sim.engine.SimEngine` via its ``resilience``
+    argument; ``None`` (the default) disables the layer entirely, in which
+    case a failed attempt is retried immediately with no backoff, no
+    speculation runs, and no node is ever quarantined.
+
+    Attributes
+    ----------
+    max_attempts:
+        Per-task attempt budget.  Every transient failure (TASK_FAIL fault
+        or timeout kill) consumes one attempt; exhausting the budget aborts
+        the run with :class:`~repro.sim.resilience.AttemptBudgetExhausted`
+        — a task
+        that cannot hold an attempt under the configured backoff is a
+        configuration problem, not something to paper over silently.
+    backoff_base, backoff_cap:
+        Capped exponential backoff between attempts (seconds): attempt
+        *k*'s retry waits ``min(cap, base * 2**(k-1))`` before it may be
+        dispatched again.  Retries released in the same epoch are ranked
+        by the DSP priority (Eq. 12–13) so the task blocking the most
+        dependents recovers first.
+    timeout_factor:
+        A running attempt is killed (and retried) once its elapsed wall
+        time exceeds ``timeout_factor`` times the execution time expected
+        when it started.  0 disables timeouts.
+    speculation_threshold:
+        Launch a speculative copy of a running attempt when its observed
+        progress rate falls below this fraction of the mean alive-node
+        rate.  The copy lands on the healthiest eligible node; the first
+        finisher wins and the loser is cancelled.  0 disables speculation.
+    health_alpha:
+        EWMA smoothing factor of the per-node health score in (0, 1]; a
+        failure/timeout/straggle observation moves the score toward 1 by
+        ``alpha``, a successful completion decays it by ``1 - alpha``.
+    quarantine_threshold:
+        Health score at or above which a node is quarantined: its queued
+        backlog is drained to healthy nodes and it receives no new
+        dispatches (running tasks finish out).  Values > 1 disable
+        quarantining.  The last healthy node is never quarantined.
+    quarantine_duration:
+        Probation length (seconds).  A quarantined node is re-admitted
+        after this long, or immediately on its RECOVERY fault event,
+        whichever comes first; either way its health score resets.
+    """
+
+    max_attempts: int = 5
+    backoff_base: float = 1.0
+    backoff_cap: float = 60.0
+    timeout_factor: float = 6.0
+    speculation_threshold: float = 0.5
+    health_alpha: float = 0.4
+    quarantine_threshold: float = 0.75
+    quarantine_duration: float = 900.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts!r}")
+        check_non_negative(self.backoff_base, "backoff_base")
+        check_non_negative(self.backoff_cap, "backoff_cap")
+        if self.backoff_cap < self.backoff_base:
+            raise ValueError("backoff_cap must be >= backoff_base")
+        check_non_negative(self.timeout_factor, "timeout_factor")
+        if self.timeout_factor != 0.0 and self.timeout_factor <= 1.0:
+            raise ValueError(
+                f"timeout_factor must be 0 (off) or > 1, got {self.timeout_factor!r}"
+            )
+        check_fraction(self.speculation_threshold, "speculation_threshold")
+        if not 0.0 < self.health_alpha <= 1.0:
+            raise ValueError(f"health_alpha must be in (0, 1], got {self.health_alpha!r}")
+        check_positive(self.quarantine_threshold, "quarantine_threshold")
+        check_positive(self.quarantine_duration, "quarantine_duration")
+
+    def replace(self, **changes) -> "ResilienceConfig":
         """Return a copy with *changes* applied."""
         return dataclasses.replace(self, **changes)

@@ -14,6 +14,11 @@ from .policy import (
     PreemptionPolicy,
     TaskView,
 )
+from .resilience import (
+    AttemptBudgetExhausted,
+    ResilienceManager,
+    SpeculativeAttempt,
+)
 from .engine import (
     SchedulerLike,
     SimContext,
@@ -42,6 +47,9 @@ __all__ = [
     "PreemptionDecision",
     "PreemptionPolicy",
     "TaskView",
+    "AttemptBudgetExhausted",
+    "ResilienceManager",
+    "SpeculativeAttempt",
     "SchedulerLike",
     "SimContext",
     "SimEngine",

@@ -37,7 +37,7 @@ from typing import Any, Mapping, Protocol, Sequence
 
 from .._util import EPS
 from ..cluster.cluster import Cluster
-from ..config import DSPConfig, SimConfig
+from ..config import DSPConfig, ResilienceConfig, SimConfig
 from ..dag.job import Job
 from ..dag.task import Task, TaskState
 from .checkpoint import retained_work_mi
@@ -46,6 +46,7 @@ from .faults import FaultEvent, FaultKind, validate_fault_plan
 from .executor import NodeRuntime, TaskRuntime
 from .metrics import MetricsCollector, RunMetrics
 from .policy import NodeView, NullPreemption, PreemptionDecision, PreemptionPolicy, TaskView
+from .resilience import ResilienceManager
 from .tracelog import TraceLog
 
 __all__ = [
@@ -171,7 +172,17 @@ class SimEngine:
         Optional fault-injection plan (:mod:`repro.sim.faults`): node
         failures suspend and reassign everything on the node (work rolls
         back to the last checkpoint), stragglers re-time in-flight tasks
-        at the degraded rate.  Validated against the cluster up front.
+        at the degraded rate, TASK_FAIL kills the longest-running attempt
+        on the node (the stint's progress is lost).  Validated against the
+        cluster up front.
+    resilience:
+        Optional :class:`~repro.config.ResilienceConfig` activating the
+        dependency-aware resilience layer (:mod:`repro.sim.resilience`):
+        retry backoff ranked by DSP priority, per-task timeouts,
+        speculative re-execution of stragglers and node-health quarantine.
+        ``None`` (default) keeps the bare fault model: a failed attempt is
+        re-queued and retried immediately, stragglers run to completion in
+        place, and no node is ever quarantined.
     record_trace:
         When True, every run/stall segment is recorded in
         :attr:`trace` (a :class:`~repro.sim.tracelog.TraceLog`) for Gantt
@@ -193,6 +204,7 @@ class SimEngine:
         view_queue_limit: int = 32,
         stall_timeout: float = 120.0,
         faults: Sequence[FaultEvent] | None = None,
+        resilience: ResilienceConfig | None = None,
         record_trace: bool = False,
     ):
         if not jobs:
@@ -292,6 +304,9 @@ class SimEngine:
         self._finished = False
         self._epoch_scheduled = False
         self._dispatched_this_tick = False
+        self._resilience: ResilienceManager | None = (
+            ResilienceManager(self, resilience) if resilience is not None else None
+        )
 
         attach = getattr(self._policy, "attach", None)
         if callable(attach):
@@ -329,6 +344,9 @@ class SimEngine:
             elif ev.kind is EventKind.TASK_FINISH:
                 tid, version = ev.payload
                 self._on_finish(tid, version)
+            elif ev.kind is EventKind.SPEC_FINISH:
+                tid, version = ev.payload
+                self._on_spec_finish(tid, version)
             elif ev.kind is EventKind.FAULT:
                 self._on_fault(ev.payload)
             if self._completed_tasks == len(self._tasks):
@@ -387,6 +405,8 @@ class SimEngine:
             return
         self._dispatched_this_tick = False
         self._evict_timed_out_stalls()
+        if self._resilience is not None:
+            self._resilience.on_epoch()
         if not isinstance(self._policy, NullPreemption):
             for node_id in sorted(self._nodes):
                 node = self._nodes[node_id]
@@ -405,13 +425,28 @@ class SimEngine:
         if rt.finish_version != version or rt.state is not TaskState.RUNNING:
             return  # stale event from before a preemption
         node = self._nodes[rt.node_id]
-        rt.work_done_mi = rt.task.size_mi
-        rt.state = TaskState.COMPLETED
-        rt.completed_at = self.now
         if self.trace is not None:
             self.trace.close_segment(task_id, self.now)
         node.running.discard(task_id)
         node.release(rt.task.demand)
+        wake: set[str] = {node.node_id}
+        if self._resilience is not None:
+            # The original beat its speculative copy (if any): cancel it.
+            spec_node = self._resilience.cancel_spec(task_id)
+            if spec_node is not None:
+                wake.add(spec_node)
+            self._resilience.on_task_complete(node.node_id)
+        self._finalize_completion(rt, wake)
+
+    def _finalize_completion(self, rt: TaskRuntime, wake: set[str]) -> None:
+        """Shared completion tail for the original attempt and speculative
+        wins: mark done, account, unblock children, wake *wake* nodes."""
+        task_id = rt.task.task_id
+        rt.work_done_mi = rt.task.size_mi
+        rt.state = TaskState.COMPLETED
+        rt.completed_at = self.now
+        rt.run_start = None
+        rt.stint_started_at = None
         self._completed_tasks += 1
         latency = (
             self.now - rt.first_enqueued_at
@@ -425,7 +460,6 @@ class SimEngine:
         if self._job_remaining[jid] == 0:
             self.metrics.record_job_completion(jid, self.now)
 
-        wake: set[str] = {node.node_id}
         for child in self._children.get(task_id, ()):
             crt = self._tasks[child]
             crt.unfinished_parents -= 1
@@ -439,6 +473,49 @@ class SimEngine:
         for nid in wake:
             self._dispatch(self._nodes[nid])
 
+    def _on_spec_finish(self, task_id: str, version: int) -> None:
+        """A speculative copy finished: if still current, it wins — tear
+        down the original attempt wherever it is and complete the task
+        exactly once (the no-double-completion invariant)."""
+        if self._resilience is None:
+            return
+        spec = self._resilience.pop_spec_if_current(task_id, version)
+        if spec is None:
+            return  # stale: copy was cancelled or re-timed since
+        rt = self._tasks[task_id]
+        spec_node = self._nodes[spec.node_id]
+        wasted = 0.0
+        if rt.state is TaskState.RUNNING:
+            node = self._nodes[rt.node_id]
+            wasted = rt.progress_seconds(self.now) * node.rate
+            if self.trace is not None:
+                self.trace.close_segment(task_id, self.now)
+            rt.finish_version += 1  # invalidate the loser's finish event
+            node.running.discard(task_id)
+            node.release(rt.task.demand)
+        elif rt.state is TaskState.STALLED:
+            node = self._nodes[rt.node_id]
+            self._end_stall(rt)
+            if self.trace is not None:
+                self.trace.close_segment(task_id, self.now)
+            node.running.discard(task_id)
+            node.release(rt.task.demand)
+        elif rt.state is TaskState.QUEUED:
+            # The original failed/was preempted meanwhile and sits in a
+            # queue (possibly gated by backoff); the copy completes for it.
+            node = self._nodes[rt.node_id]
+            node.dequeue(task_id, rt.planned_start)
+            if rt.queued_since is not None:
+                wait = self.now - rt.queued_since
+                rt.total_wait += wait
+                self.metrics.record_wait(task_id, wait)
+                rt.queued_since = None
+        spec_node.release(rt.task.demand)
+        self.metrics.record_speculative_win()
+        self.metrics.record_speculative_waste(wasted)
+        self._resilience.on_task_complete(spec_node.node_id)
+        self._finalize_completion(rt, {spec_node.node_id})
+
     # ------------------------------------------------------------- dispatch
     def _dispatch(self, node: NodeRuntime) -> None:
         """Start queued tasks that fit, in planned-start order.
@@ -448,8 +525,14 @@ class SimEngine:
         parents are unfinished — a disorder)."""
         if not node.alive or node.queue_length == 0:
             return
+        if self._resilience is not None and self._resilience.is_quarantined(
+            node.node_id
+        ):
+            return
         for tid in node.queued_ids():
             rt = self._tasks[tid]
+            if self.now + EPS < rt.retry_not_before:
+                continue  # retry still serving its backoff
             if not rt.is_runnable:
                 if self._dependency_aware or rt.stall_banned:
                     continue
@@ -462,6 +545,11 @@ class SimEngine:
         """Move a queued task onto the node (RUNNING, or STALLED when its
         parents are unfinished — counted as a disorder)."""
         node.dequeue(rt.task.task_id, rt.planned_start)
+        if rt.retry_not_before > 0:
+            # This dispatch is a retry of a failed attempt coming off its
+            # backoff gate (immediate when the resilience layer is off).
+            rt.retry_not_before = 0.0
+            self.metrics.record_retry()
         if rt.queued_since is not None:
             wait = self.now - rt.queued_since
             rt.total_wait += wait
@@ -503,6 +591,8 @@ class SimEngine:
                 rt.task.task_id, node.node_id, self.now, "run", rt.current_recovery
             )
         busy = rt.current_recovery + (rt.task.size_mi - rt.work_done_mi) / node.rate
+        rt.stint_started_at = self.now
+        rt.current_expected_busy = busy
         self._events.push(
             self.now + busy, EventKind.TASK_FINISH, (rt.task.task_id, rt.finish_version)
         )
@@ -536,6 +626,12 @@ class SimEngine:
             return
         if pre.state is not TaskState.QUEUED or pre.node_id != node.node_id:
             return
+        if self.now + EPS < pre.retry_not_before:
+            return  # retry still serving its backoff
+        if self._resilience is not None and self._resilience.is_quarantined(
+            node.node_id
+        ):
+            return  # quarantined nodes receive no new dispatches
         if not vic.occupies_resources or vic.node_id != node.node_id:
             return
         if vic.preempt_count >= self._max_preemptions:
@@ -564,17 +660,19 @@ class SimEngine:
             self.trace.close_segment(rt.task.task_id, self.now)
         if rt.state is TaskState.RUNNING:
             progressed = rt.progress_seconds(self.now) * node.rate
-            rt.work_done_mi = min(rt.task.size_mi, rt.work_done_mi + progressed)
+            accrued = min(rt.task.size_mi, rt.work_done_mi + progressed)
             if not self._policy.uses_checkpointing:
                 rt.work_done_mi = 0.0  # no checkpoint: restart from scratch
             else:
                 # Resume from the most recent checkpoint ([29]): with the
                 # default interval of 0 this retains everything.
                 rt.work_done_mi = retained_work_mi(
-                    rt.work_done_mi, node.rate, self._dsp_config.checkpoint_interval
+                    accrued, node.rate, self._dsp_config.checkpoint_interval
                 )
+            self.metrics.record_lost_work(accrued - rt.work_done_mi)
             rt.finish_version += 1  # invalidate the in-flight finish event
             rt.run_start = None
+            rt.stint_started_at = None
             rt.current_recovery = 0.0
         elif rt.state is TaskState.STALLED:
             self._end_stall(rt)
@@ -618,39 +716,118 @@ class SimEngine:
         node = self._nodes.get(fault.node_id)
         if node is None:
             return
+        self.metrics.record_fault(fault.kind.value)
         if fault.kind is FaultKind.FAILURE:
             self._fail_node(node)
         elif fault.kind is FaultKind.RECOVERY:
             node.alive = True
             node.rate = node.base_rate
+            if self._resilience is not None:
+                self._resilience.on_node_recovered(node.node_id)
+            # Backlog may have parked on nodes that died while no node was
+            # alive to take it; the revived node must drain it or the run
+            # deadlocks waiting for recoveries that never come.
+            alive = [n for n in self._nodes.values() if n.alive]
+            moved = 0
+            for dead in self._nodes.values():
+                if dead.alive or dead.queue_length == 0:
+                    continue
+                moved += self._reassign_backlog(dead, alive)
+            if moved:
+                self.metrics.record_reassignment(moved)
+                for n in alive:
+                    if n is not node:
+                        self._dispatch(n)
             self._dispatch(node)
         elif fault.kind is FaultKind.SLOWDOWN:
             self._retime_node(node, node.base_rate * fault.factor)
         elif fault.kind is FaultKind.RESTORE:
             self._retime_node(node, node.base_rate)
+        elif fault.kind is FaultKind.TASK_FAIL:
+            self._task_fail(node)
+
+    def _task_fail(self, node: NodeRuntime) -> None:
+        """Transient task failure on *node*: kill its longest-running
+        attempt (no-op when the node is down, idle or only stalling —
+        which is exactly how a quarantined node dodges further losses)."""
+        if not node.alive:
+            return
+        victims = [
+            rt
+            for tid in node.running
+            if (rt := self._tasks[tid]).state is TaskState.RUNNING
+        ]
+        if not victims:
+            return
+        victim = min(
+            victims, key=lambda rt: (rt.stint_started_at, rt.task.task_id)
+        )
+        self._fail_attempt(victim, node)
+
+    def _fail_attempt(self, rt: TaskRuntime, node: NodeRuntime) -> None:
+        """One running attempt dies: its stint's progress is lost (earlier
+        checkpointed work survives), the task re-queues for retry.  With
+        the resilience layer the retry is gated by exponential backoff and
+        charged against the attempt budget; without it the task is
+        dispatchable again immediately."""
+        lost = rt.progress_seconds(self.now) * node.rate
+        if self.trace is not None:
+            self.trace.close_segment(rt.task.task_id, self.now)
+        rt.finish_version += 1  # invalidate the in-flight finish event
+        rt.run_start = None
+        rt.stint_started_at = None
+        rt.current_recovery = 0.0
+        node.running.discard(rt.task.task_id)
+        node.release(rt.task.demand)
+        rt.state = TaskState.QUEUED
+        rt.queued_since = self.now
+        rt.recovery_due = self._dsp_config.recovery_time + self._dsp_config.sigma
+        rt.attempts += 1
+        rt.retry_not_before = self.now  # marker: next dispatch is a retry
+        node.enqueue(rt.task.task_id, rt.planned_start)
+        self.metrics.record_task_failure(lost)
+        if self._resilience is not None:
+            self._resilience.on_attempt_failure(rt, node)
 
     def _fail_node(self, node: NodeRuntime) -> None:
         """Node crash: suspend everything on it (work rolls back to the
         last checkpoint) and reassign its backlog to alive nodes."""
         self.metrics.record_node_failure()
+        if self._resilience is not None:
+            self._resilience.on_node_failed(node)
         for tid in sorted(node.running):
             self._suspend(self._tasks[tid], node, cause="failure")
         node.alive = False
         alive = [n for n in self._nodes.values() if n.alive]
         if not alive:
             return  # tasks park on the dead node until a recovery
-        moved = 0
-        for tid in node.queued_ids():
-            rt = self._tasks[tid]
-            target = min(alive, key=lambda n: (n.queue_length, n.node_id))
-            node.dequeue(tid, rt.planned_start)
-            rt.node_id = target.node_id
-            target.enqueue(tid, rt.planned_start)
-            moved += 1
+        moved = self._reassign_backlog(node, alive)
         if moved:
             self.metrics.record_reassignment(moved)
         for n in alive:
             self._dispatch(n)
+
+    def _reassign_backlog(
+        self, source: NodeRuntime, alive: list[NodeRuntime]
+    ) -> int:
+        """Move *source*'s queued backlog onto the least-loaded alive nodes
+        (quarantined nodes only as a last resort).  Returns tasks moved."""
+        targets = alive
+        if self._resilience is not None:
+            healthy = [
+                n for n in alive if not self._resilience.is_quarantined(n.node_id)
+            ]
+            if healthy:
+                targets = healthy
+        moved = 0
+        for tid in source.queued_ids():
+            rt = self._tasks[tid]
+            target = min(targets, key=lambda n: (n.queue_length, n.node_id))
+            source.dequeue(tid, rt.planned_start)
+            rt.node_id = target.node_id
+            target.enqueue(tid, rt.planned_start)
+            moved += 1
+        return moved
 
     def _retime_node(self, node: NodeRuntime, new_rate: float) -> None:
         """Straggler onset/recovery: change the node's rate and re-time its
@@ -676,6 +853,12 @@ class SimEngine:
             self._events.push(
                 self.now + busy, EventKind.TASK_FINISH, (tid, rt.finish_version)
             )
+        if self._resilience is not None:
+            # Speculative copies on this node re-time too.  Note the
+            # timeout clock (stint_started_at / current_expected_busy) is
+            # deliberately NOT reset: an attempt re-timed slower still
+            # counts its elapsed time against the original expectation.
+            self._resilience.on_node_retimed(node, old_rate)
 
     # ----------------------------------------------------------------- views
     def _remaining_time(self, task_id: str) -> float:
@@ -750,6 +933,8 @@ class SimEngine:
             return
         if self._pending_faults:
             return  # a recovery/restore may still unblock the queue
+        if self._resilience is not None and self._resilience.has_pending(self.now):
+            return  # a backoff, speculation or quarantine release is due
         queued = sum(node.queue_length for node in self._nodes.values())
         if queued and self._completed_tasks < len(self._tasks):
             raise SimulationStuck(

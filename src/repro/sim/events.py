@@ -30,6 +30,7 @@ class EventKind(enum.Enum):
     EPOCH_TICK = "epoch_tick"
     TASK_FINISH = "task_finish"
     FAULT = "fault"
+    SPEC_FINISH = "spec_finish"  # a speculative copy's finish (resilience)
 
 
 @dataclass(frozen=True, slots=True)

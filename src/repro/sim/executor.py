@@ -54,6 +54,11 @@ class TaskRuntime:
     first_enqueued_at: float | None = None
     stall_banned: bool = False
     fetched_on: str | None = None
+    # Resilience-layer bookkeeping (see repro.sim.resilience).
+    attempts: int = 0              # failed attempts so far (TASK_FAIL/timeout)
+    retry_not_before: float = 0.0  # backoff gate: not dispatchable before this
+    current_expected_busy: float = 0.0  # busy time expected at stint start
+    stint_started_at: float | None = None  # unlike run_start, survives re-times
 
     # -- progress accounting ----------------------------------------------
     def progress_seconds(self, now: float) -> float:

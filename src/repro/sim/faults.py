@@ -12,6 +12,11 @@ fault model the engine executes:
 * **SLOWDOWN** — a straggler: the node's processing rate is multiplied by
   ``factor`` (< 1); in-flight tasks are re-timed at the new rate.
 * **RESTORE** — the straggler recovers its nominal rate.
+* **TASK_FAIL** — a *transient task failure*: the longest-running attempt
+  on the node dies (think executor OOM or JVM crash), losing its current
+  stint's progress, while the node itself stays up.  The resilience layer
+  (:mod:`repro.sim.resilience`) retries the task with backoff; without it
+  the engine re-queues the task immediately.
 
 Faults are injected as a pre-built plan (deterministic experiments) —
 either hand-written or drawn from :func:`random_fault_plan`'s
@@ -26,19 +31,20 @@ from typing import Sequence
 
 import numpy as np
 
-from .._util import check_positive, ensure_rng
+from .._util import check_non_negative, check_positive, ensure_rng
 from ..cluster.cluster import Cluster
 
 __all__ = ["FaultKind", "FaultEvent", "random_fault_plan", "validate_fault_plan"]
 
 
 class FaultKind(enum.Enum):
-    """The four fault-model events."""
+    """The five fault-model events."""
 
     FAILURE = "failure"
     RECOVERY = "recovery"
     SLOWDOWN = "slowdown"
     RESTORE = "restore"
+    TASK_FAIL = "task_fail"
 
 
 @dataclass(frozen=True, slots=True)
@@ -96,6 +102,9 @@ def validate_fault_plan(
             if current != "slow":
                 problems.append(f"t={ev.time}: {ev.node_id} restores while {current}")
             state[ev.node_id] = "up"
+        elif ev.kind is FaultKind.TASK_FAIL:
+            if current == "down":
+                problems.append(f"t={ev.time}: task fails on down node {ev.node_id}")
     return problems
 
 
@@ -109,58 +118,64 @@ def random_fault_plan(
     straggler_rate: float = 0.0,
     straggler_duration: float = 600.0,
     straggler_factor: float = 0.3,
+    task_fail_rate: float = 0.0,
 ) -> list[FaultEvent]:
-    """Draw a failure/straggler plan from an exponential MTBF/MTTR model.
+    """Draw a failure/straggler/task-failure plan from an exponential model.
 
     Per node, failures arrive with mean time between failures *mtbf* and
     are repaired after an exponential *mttr*; independently, stragglers
     (rate slowdowns to *straggler_factor*) arrive at *straggler_rate*
-    events per *mtbf* and last *straggler_duration* on average.  Events
-    beyond *horizon* are dropped; the plan always validates.
+    events per *mtbf* and last *straggler_duration* on average, and
+    transient task failures (TASK_FAIL) arrive at *task_fail_rate* events
+    per *mtbf*.  Stragglers are kept only when fully inside an "up"
+    stretch; task failures only while the node is up.  Events beyond
+    *horizon* are dropped; the plan always validates.
     """
     check_positive(horizon, "horizon")
     check_positive(mtbf, "mtbf")
     check_positive(mttr, "mttr")
+    check_non_negative(task_fail_rate, "task_fail_rate")
     gen = ensure_rng(rng)
     plan: list[FaultEvent] = []
     for node in cluster:
+        # Failure/recovery process first; remember this node's down windows
+        # (fail, repair) so the independent straggler and task-failure
+        # processes below can test overlap in O(windows) instead of
+        # re-walking the whole plan per candidate.
+        down_windows: list[tuple[float, float]] = []
         t = float(gen.exponential(mtbf))
         while t < horizon:
             plan.append(FaultEvent(t, node.node_id, FaultKind.FAILURE))
             up = t + float(gen.exponential(mttr))
             if up >= horizon:
+                down_windows.append((t, float("inf")))
                 break
             plan.append(FaultEvent(up, node.node_id, FaultKind.RECOVERY))
+            down_windows.append((t, up))
             t = up + float(gen.exponential(mtbf))
+
+        def overlaps_down(start: float, end: float) -> bool:
+            return any(f <= end and r >= start for f, r in down_windows)
+
         if straggler_rate > 0:
             t = float(gen.exponential(mtbf / straggler_rate))
             while t < horizon:
                 end = t + float(gen.exponential(straggler_duration))
-                # Avoid interleaving with this node's failure windows: keep
-                # only stragglers fully inside an "up" stretch.
-                overlaps = any(
-                    ev.node_id == node.node_id
-                    and ev.kind in (FaultKind.FAILURE, FaultKind.RECOVERY)
-                    and t <= ev.time <= end
-                    for ev in plan
-                )
-                down = any(
-                    ev.node_id == node.node_id and ev.kind is FaultKind.FAILURE
-                    and ev.time <= t
-                    and not any(
-                        r.node_id == node.node_id
-                        and r.kind is FaultKind.RECOVERY
-                        and ev.time < r.time <= t
-                        for r in plan
-                    )
-                    for ev in plan
-                )
-                if not overlaps and not down and end < horizon:
+                # Keep only stragglers fully inside an "up" stretch.
+                if end < horizon and not overlaps_down(t, end):
                     plan.append(
                         FaultEvent(t, node.node_id, FaultKind.SLOWDOWN, straggler_factor)
                     )
                     plan.append(FaultEvent(end, node.node_id, FaultKind.RESTORE))
                 t = end + float(gen.exponential(mtbf / straggler_rate))
+        if task_fail_rate > 0:
+            t = float(gen.exponential(mtbf / task_fail_rate))
+            while t < horizon:
+                if not overlaps_down(t, t):
+                    plan.append(FaultEvent(t, node.node_id, FaultKind.TASK_FAIL))
+                t += float(gen.exponential(mtbf / task_fail_rate))
     plan.sort(key=lambda e: (e.time, e.node_id))
-    assert validate_fault_plan(plan, cluster) == []
+    problems = validate_fault_plan(plan, cluster)
+    if problems:
+        raise RuntimeError(f"random_fault_plan produced an invalid plan: {problems[:3]}")
     return plan

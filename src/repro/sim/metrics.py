@@ -44,6 +44,14 @@ class RunMetrics:
     total_stalled_time: float
     total_transfer_time: float
     sim_end_time: float
+    num_task_failures: int = 0
+    num_retries: int = 0
+    num_speculative_launches: int = 0
+    num_speculative_wins: int = 0
+    num_quarantines: int = 0
+    lost_work_mi: float = 0.0
+    speculative_waste_mi: float = 0.0
+    fault_counts: Mapping[str, int] = field(default_factory=dict)
 
     @property
     def throughput_tasks_per_ms(self) -> float:
@@ -61,8 +69,13 @@ class RunMetrics:
         return self.jobs_within_deadline / self.makespan
 
     def as_dict(self) -> dict[str, float]:
-        """Flat dict for tabular reports."""
-        return {
+        """Flat dict for tabular reports.
+
+        Fault accounting is flattened: ``lost_work_mi`` (MI destroyed by
+        failures and checkpoint-lossy preemptions), the resilience
+        counters, and one ``faults_<kind>`` entry per injected fault kind.
+        """
+        out = {
             "makespan": self.makespan,
             "tasks_completed": float(self.tasks_completed),
             "jobs_completed": float(self.jobs_completed),
@@ -80,7 +93,17 @@ class RunMetrics:
             "total_context_switch_time": self.total_context_switch_time,
             "total_stalled_time": self.total_stalled_time,
             "total_transfer_time": self.total_transfer_time,
+            "num_task_failures": float(self.num_task_failures),
+            "num_retries": float(self.num_retries),
+            "num_speculative_launches": float(self.num_speculative_launches),
+            "num_speculative_wins": float(self.num_speculative_wins),
+            "num_quarantines": float(self.num_quarantines),
+            "lost_work_mi": self.lost_work_mi,
+            "speculative_waste_mi": self.speculative_waste_mi,
         }
+        for kind, count in sorted(self.fault_counts.items()):
+            out[f"faults_{kind}"] = float(count)
+        return out
 
 
 class MetricsCollector:
@@ -104,6 +127,14 @@ class MetricsCollector:
         self.total_context_switch_time: float = 0.0
         self.total_stalled_time: float = 0.0
         self.total_transfer_time: float = 0.0
+        self.num_task_failures: int = 0
+        self.num_retries: int = 0
+        self.num_speculative_launches: int = 0
+        self.num_speculative_wins: int = 0
+        self.num_quarantines: int = 0
+        self.lost_work_mi: float = 0.0
+        self.speculative_waste_mi: float = 0.0
+        self.fault_counts: dict[str, int] = {}
         self._task_waits: dict[str, float] = {}
         self._task_completions: dict[str, float] = {}
         self._job_of_task: dict[str, str] = {}
@@ -142,6 +173,41 @@ class MetricsCollector:
         """A node failed (fault injection)."""
         self.num_node_failures += 1
 
+    def record_fault(self, kind: str) -> None:
+        """An injected fault event of *kind* was applied."""
+        self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+
+    def record_lost_work(self, mi: float) -> None:
+        """Completed work (MI) was destroyed by a failure or a
+        checkpoint-lossy preemption."""
+        self.lost_work_mi += max(0.0, mi)
+
+    def record_task_failure(self, lost_mi: float) -> None:
+        """A running attempt died (TASK_FAIL fault or timeout kill),
+        destroying *lost_mi* of its progress."""
+        self.num_task_failures += 1
+        self.record_lost_work(lost_mi)
+
+    def record_retry(self) -> None:
+        """A failed task was re-dispatched by the resilience layer."""
+        self.num_retries += 1
+
+    def record_speculative_launch(self) -> None:
+        """A speculative copy of a straggling attempt was started."""
+        self.num_speculative_launches += 1
+
+    def record_speculative_win(self) -> None:
+        """A speculative copy finished before the original attempt."""
+        self.num_speculative_wins += 1
+
+    def record_speculative_waste(self, mi: float) -> None:
+        """Work (MI) discarded when a speculation loser was cancelled."""
+        self.speculative_waste_mi += max(0.0, mi)
+
+    def record_quarantine(self) -> None:
+        """A node was quarantined by the health tracker."""
+        self.num_quarantines += 1
+
     def record_reassignment(self, count: int = 1) -> None:
         """Tasks were moved off a failed node."""
         self.num_task_reassignments += count
@@ -164,7 +230,11 @@ class MetricsCollector:
         self, task_id: str, time: float, latency: float | None = None
     ) -> None:
         """A task finished at *time*; *latency* (enqueue→completion) is
-        retained when sampling is enabled."""
+        retained when sampling is enabled.  Double completion (e.g. a
+        speculative copy finishing after its original already won) is an
+        engine bug and raises."""
+        if task_id in self._task_completions:
+            raise ValueError(f"task {task_id!r} completed twice")
         self._task_completions[task_id] = time
         if self._collect_samples and latency is not None:
             if latency < 0:
@@ -225,4 +295,12 @@ class MetricsCollector:
             total_stalled_time=self.total_stalled_time,
             total_transfer_time=self.total_transfer_time,
             sim_end_time=sim_end_time,
+            num_task_failures=self.num_task_failures,
+            num_retries=self.num_retries,
+            num_speculative_launches=self.num_speculative_launches,
+            num_speculative_wins=self.num_speculative_wins,
+            num_quarantines=self.num_quarantines,
+            lost_work_mi=self.lost_work_mi,
+            speculative_waste_mi=self.speculative_waste_mi,
+            fault_counts=dict(self.fault_counts),
         )

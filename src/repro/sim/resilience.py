@@ -1,0 +1,455 @@
+"""Dependency-aware resilience layer: retries, speculation, quarantine.
+
+The paper's §VI names fault handling as the open problem ("handle node
+failures/crashes or straggler[s]").  The engine's fault model
+(:mod:`repro.sim.faults`) injects the *events*; this module supplies the
+*recovery policy* around them, wired into :class:`~repro.sim.engine.SimEngine`
+through its ``resilience`` argument:
+
+* **Retry with capped exponential backoff.**  A transient attempt failure
+  (``FaultKind.TASK_FAIL`` or a timeout kill) re-queues the task but gates
+  its re-dispatch behind ``min(cap, base * 2**(attempts-1))`` seconds.  When
+  several retries become eligible in the same epoch they are dispatched in
+  descending DSP priority (Eq. 12–13) — the task blocking the most
+  dependents recovers first, the DAGPS/Graphene "do the hard stuff first"
+  ordering applied to recovery instead of admission.
+* **Per-task timeouts.**  An attempt whose wall time exceeds
+  ``timeout_factor`` times the busy time expected when its stint began is
+  killed and retried; the expectation is *not* refreshed when the node's
+  rate degrades, so stragglers the speculation path misses are eventually
+  reclaimed.
+* **Speculative re-execution.**  When a running attempt's observed progress
+  rate (its node's rate) falls below ``speculation_threshold`` times the
+  mean alive-node rate, a copy is launched on the healthiest eligible node
+  from the task's last checkpoint.  First finisher wins; the loser is
+  cancelled through the engine's ``finish_version`` staleness machinery
+  (primary) or the speculative version counter (copy), so a task can never
+  complete twice.
+* **Node health and quarantine.**  Every failure/timeout/straggle
+  observation on a node pushes an EWMA health score toward 1; completions
+  decay it.  At ``quarantine_threshold`` the node is quarantined: its
+  queued backlog drains to healthy nodes and it receives no new dispatches
+  (running work finishes out) until its RECOVERY fault event or the
+  probation window ``quarantine_duration`` elapses.  The last healthy node
+  is never quarantined.
+
+The manager is an engine-internal collaborator: it mutates runtime state
+through the engine's private structures on purpose — it is the part of the
+engine that happens to live in its own module, not an external client.
+Policies (:mod:`repro.sim.policy`) remain snapshot-based and unaware of it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from .._util import EPS
+from ..config import ResilienceConfig
+from ..dag.task import TaskState
+from .events import EventKind
+from .executor import NodeRuntime, TaskRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from .engine import SimEngine
+
+__all__ = ["ResilienceManager", "SpeculativeAttempt", "AttemptBudgetExhausted"]
+
+#: Floor applied to remaining time before taking its reciprocal (mirrors
+#: :data:`repro.core.priority._REMAINING_FLOOR`).
+_REMAINING_FLOOR = 1e-6
+
+
+class AttemptBudgetExhausted(RuntimeError):
+    """A task failed more times than :attr:`ResilienceConfig.max_attempts`
+    allows — the run is aborted rather than silently degraded."""
+
+
+@dataclass
+class SpeculativeAttempt:
+    """One in-flight speculative copy of a task.
+
+    ``work_mi``/``started_at``/``recovery`` follow the same stint model as
+    :class:`~repro.sim.executor.TaskRuntime`: the copy pays ``recovery``
+    seconds (context switch + input transfer), then accrues work at its
+    node's rate on top of ``work_mi``; a node re-time folds progress into
+    ``work_mi`` and restarts the stint.  ``version`` invalidates stale
+    SPEC_FINISH events exactly like the primary's ``finish_version``.
+    """
+
+    task_id: str
+    node_id: str
+    started_at: float
+    version: int
+    recovery: float
+    work_mi: float
+    base_work_mi: float
+
+
+class ResilienceManager:
+    """Engine-side coordinator of retries, speculation and quarantine.
+
+    Constructed by :class:`~repro.sim.engine.SimEngine` when a
+    :class:`~repro.config.ResilienceConfig` is supplied; never used
+    standalone.
+    """
+
+    def __init__(self, engine: "SimEngine", config: ResilienceConfig):
+        self._engine = engine
+        self._cfg = config
+        self._health: dict[str, float] = {
+            node_id: 0.0 for node_id in engine._nodes
+        }
+        self._quarantined: dict[str, float] = {}  # node_id -> release time
+        self._specs: dict[str, SpeculativeAttempt] = {}
+        self._spec_versions: dict[str, int] = {}
+
+    # ----------------------------------------------------------- inspection
+    @property
+    def config(self) -> ResilienceConfig:
+        return self._cfg
+
+    def is_quarantined(self, node_id: str) -> bool:
+        """True while *node_id* must not receive new dispatches."""
+        return node_id in self._quarantined
+
+    def health_score(self, node_id: str) -> float:
+        """Current EWMA badness score of *node_id* (0 = healthy)."""
+        return self._health[node_id]
+
+    def current_spec(self, task_id: str) -> SpeculativeAttempt | None:
+        """The in-flight speculative copy of *task_id*, if any."""
+        return self._specs.get(task_id)
+
+    def has_pending(self, now: float) -> bool:
+        """Whether the layer still owns future progress the engine's
+        deadlock detector must wait for: an in-flight speculative copy, a
+        retry gated behind backoff, or a quarantine that will release."""
+        if self._specs or self._quarantined:
+            return True
+        return any(
+            rt.state is TaskState.QUEUED and rt.retry_not_before > now + EPS
+            for rt in self._engine._tasks.values()
+        )
+
+    # ------------------------------------------------------------ lifecycle
+    def on_attempt_failure(self, rt: TaskRuntime, node: NodeRuntime) -> None:
+        """A running attempt of *rt* died on *node* (already re-queued by
+        the engine): charge the attempt budget, arm the backoff gate and
+        update the node's health."""
+        if rt.attempts >= self._cfg.max_attempts:
+            raise AttemptBudgetExhausted(
+                f"task {rt.task.task_id} failed {rt.attempts} times, "
+                f"exhausting its attempt budget of {self._cfg.max_attempts}"
+            )
+        backoff = min(
+            self._cfg.backoff_cap,
+            self._cfg.backoff_base * 2.0 ** (rt.attempts - 1),
+        )
+        rt.retry_not_before = self._engine.now + backoff
+        self._observe(node.node_id, bad=True)
+
+    def on_task_complete(self, node_id: str) -> None:
+        """A task finished on *node_id*: decay its badness score."""
+        self._observe(node_id, bad=False)
+
+    def on_node_failed(self, node: NodeRuntime) -> None:
+        """*node* crashed: cancel any speculative copies running on it."""
+        for tid in [t for t, s in self._specs.items() if s.node_id == node.node_id]:
+            self.cancel_spec(tid)
+
+    def on_node_recovered(self, node_id: str) -> None:
+        """*node_id*'s RECOVERY fault arrived: lift its quarantine and
+        forget its history — it returns as a fresh node."""
+        self._quarantined.pop(node_id, None)
+        self._health[node_id] = 0.0
+
+    def on_node_retimed(self, node: NodeRuntime, old_rate: float) -> None:
+        """*node*'s rate changed: re-time the speculative copies on it."""
+        engine = self._engine
+        now = engine.now
+        for spec in self._specs.values():
+            if spec.node_id != node.node_id:
+                continue
+            elapsed = now - spec.started_at
+            unpaid = max(0.0, spec.recovery - elapsed)
+            progressed = max(0.0, elapsed - spec.recovery) * old_rate
+            size = engine._tasks[spec.task_id].task.size_mi
+            spec.work_mi = min(size, spec.work_mi + progressed)
+            spec.started_at = now
+            spec.recovery = unpaid
+            spec.version = self._next_spec_version(spec.task_id)
+            busy = unpaid + (size - spec.work_mi) / node.rate
+            engine._events.push(
+                now + busy, EventKind.SPEC_FINISH, (spec.task_id, spec.version)
+            )
+
+    def cancel_spec(self, task_id: str) -> str | None:
+        """Cancel the in-flight copy of *task_id* (its original finished
+        first, or its node crashed).  Releases the copy's capacity, records
+        the discarded work, and returns the copy's node id (None when no
+        copy was in flight)."""
+        spec = self._specs.pop(task_id, None)
+        if spec is None:
+            return None
+        engine = self._engine
+        node = engine._nodes[spec.node_id]
+        elapsed = engine.now - spec.started_at
+        progressed = max(0.0, elapsed - spec.recovery) * node.rate
+        waste = (spec.work_mi - spec.base_work_mi) + progressed
+        self._next_spec_version(task_id)  # invalidate the SPEC_FINISH event
+        node.release(engine._tasks[task_id].task.demand)
+        engine.metrics.record_speculative_waste(waste)
+        return spec.node_id
+
+    def pop_spec_if_current(self, task_id: str, version: int) -> SpeculativeAttempt | None:
+        """Claim the winning copy for a SPEC_FINISH event, or None when the
+        event is stale (copy cancelled/re-timed since it was scheduled)."""
+        spec = self._specs.get(task_id)
+        if spec is None or spec.version != version:
+            return None
+        del self._specs[task_id]
+        return spec
+
+    # ---------------------------------------------------------- epoch sweep
+    def on_epoch(self) -> None:
+        """Per-epoch sweep: release expired quarantines, kill timed-out
+        attempts, launch speculative copies, dispatch eligible retries in
+        DSP-priority order."""
+        self._release_expired_quarantines()
+        self._kill_timed_out_attempts()
+        self._launch_speculations()
+        self._dispatch_retries()
+
+    def _release_expired_quarantines(self) -> None:
+        engine = self._engine
+        for node_id, until in list(self._quarantined.items()):
+            if engine.now + EPS >= until:
+                self._quarantined.pop(node_id)
+                self._health[node_id] = 0.0  # probation served; clean slate
+                engine._dispatch(engine._nodes[node_id])
+
+    def _kill_timed_out_attempts(self) -> None:
+        if self._cfg.timeout_factor <= 0:
+            return
+        engine = self._engine
+        for node in engine._nodes.values():
+            if not node.alive or not node.running:
+                continue
+            for tid in sorted(node.running):
+                rt = engine._tasks[tid]
+                if rt.state is not TaskState.RUNNING or rt.stint_started_at is None:
+                    continue
+                elapsed = engine.now - rt.stint_started_at
+                if elapsed > self._cfg.timeout_factor * max(
+                    rt.current_expected_busy, EPS
+                ):
+                    engine._fail_attempt(rt, node)
+
+    def _launch_speculations(self) -> None:
+        if self._cfg.speculation_threshold <= 0:
+            return
+        engine = self._engine
+        alive = [n for n in engine._nodes.values() if n.alive]
+        if len(alive) < 2:
+            return
+        mean_rate = sum(n.rate for n in alive) / len(alive)
+        cutoff = self._cfg.speculation_threshold * mean_rate
+        for node in sorted(alive, key=lambda n: n.node_id):
+            if node.rate >= cutoff or not node.running:
+                continue
+            for tid in sorted(node.running):
+                rt = engine._tasks[tid]
+                if rt.state is not TaskState.RUNNING or tid in self._specs:
+                    continue
+                # Copying a nearly-done task cannot pay for its recovery
+                # prefix; require at least one epoch of work at mean rate.
+                remaining_mi = rt.task.size_mi - rt.work_done_at(engine.now, node.rate)
+                if remaining_mi / mean_rate <= engine._sim_config.epoch:
+                    continue
+                target = self._pick_speculation_target(rt, node, alive)
+                if target is not None:
+                    self._launch_spec(rt, node, target)
+
+    def _pick_speculation_target(
+        self, rt: TaskRuntime, primary: NodeRuntime, alive: list[NodeRuntime]
+    ) -> NodeRuntime | None:
+        candidates = [
+            n
+            for n in alive
+            if n.node_id != primary.node_id
+            and n.node_id not in self._quarantined
+            and n.fits(rt.task.demand)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: (self._health[n.node_id], n.node_id))
+
+    def _launch_spec(
+        self, rt: TaskRuntime, primary: NodeRuntime, target: NodeRuntime
+    ) -> None:
+        engine = self._engine
+        tid = rt.task.task_id
+        dsp = engine._dsp_config
+        recovery = dsp.recovery_time + dsp.sigma
+        if rt.task.input_mb > 0 and rt.fetched_on != target.node_id:
+            transfer = rt.task.transfer_time(
+                target.node_id, target.spec.bandwidth_capacity
+            )
+            engine.metrics.record_transfer(transfer)
+            recovery += transfer
+        target.allocate(rt.task.demand)
+        version = self._next_spec_version(tid)
+        spec = SpeculativeAttempt(
+            task_id=tid,
+            node_id=target.node_id,
+            started_at=engine.now,
+            version=version,
+            recovery=recovery,
+            work_mi=rt.work_done_mi,
+            base_work_mi=rt.work_done_mi,
+        )
+        self._specs[tid] = spec
+        busy = recovery + (rt.task.size_mi - spec.work_mi) / target.rate
+        engine._events.push(
+            engine.now + busy, EventKind.SPEC_FINISH, (tid, version)
+        )
+        engine.metrics.record_speculative_launch()
+        # A straggling attempt is a badness observation against its node.
+        self._observe(primary.node_id, bad=True)
+
+    def _dispatch_retries(self) -> None:
+        """Dispatch backoff-expired retries, highest DSP priority first.
+
+        Each eligible retry is re-homed to the healthiest node that can
+        hold it right now; tasks that fit nowhere stay queued and fall back
+        to the engine's normal dispatch path."""
+        engine = self._engine
+        now = engine.now
+        eligible = [
+            rt
+            for rt in engine._tasks.values()
+            if rt.state is TaskState.QUEUED
+            and rt.attempts > 0
+            and rt.retry_not_before > 0
+            and rt.retry_not_before <= now + EPS
+            and rt.is_runnable
+        ]
+        if not eligible:
+            return
+        ranked = self._priority_order(rt.task.task_id for rt in eligible)
+        for tid in ranked:
+            rt = engine._tasks[tid]
+            target = self._pick_retry_target(rt)
+            if target is None:
+                continue
+            if target.node_id != rt.node_id:
+                engine._nodes[rt.node_id].dequeue(tid, rt.planned_start)
+                rt.node_id = target.node_id
+                target.enqueue(tid, rt.planned_start)
+            engine._start_task(rt, target)
+
+    def _pick_retry_target(self, rt: TaskRuntime) -> NodeRuntime | None:
+        candidates = [
+            n
+            for n in self._engine._nodes.values()
+            if n.alive
+            and n.node_id not in self._quarantined
+            and n.fits(rt.task.demand)
+        ]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda n: (self._health[n.node_id], n.node_id))
+
+    def _priority_order(self, task_ids: Iterable[str]) -> list[str]:
+        """Rank *task_ids* by descending DSP priority (Eq. 12–13).
+
+        Mirrors :class:`repro.core.priority.PriorityEvaluator.compute_for`
+        over the engine's live signals.  Re-implemented here because the
+        simulator layer must not import :mod:`repro.core` (the scheduler is
+        a *client* of the simulator — see docs/architecture.md)."""
+        engine = self._engine
+        dsp = engine._dsp_config
+        now = engine.now
+        gamma1 = dsp.gamma + 1.0
+        memo: dict[str, float] = {}
+
+        def leaf(tid: str) -> float:
+            rt = engine._tasks[tid]
+            remaining = engine._remaining_time(tid)
+            waiting = rt.waiting_time_at(now)
+            allowable = rt.deadline - now - remaining
+            return (
+                dsp.omega_remaining / max(remaining, _REMAINING_FLOOR)
+                + dsp.omega_waiting * waiting
+                + dsp.omega_allowable * allowable
+            )
+
+        def score(root: str) -> float:
+            stack: list[tuple[str, bool]] = [(root, False)]
+            while stack:
+                cur, expanded = stack.pop()
+                if cur in memo:
+                    continue
+                live = [
+                    c
+                    for c in engine._children.get(cur, ())
+                    if engine._tasks[c].state is not TaskState.COMPLETED
+                ]
+                if expanded or not live:
+                    memo[cur] = (
+                        gamma1 * sum(memo[c] for c in live) if live else leaf(cur)
+                    )
+                else:
+                    stack.append((cur, True))
+                    stack.extend((c, False) for c in live if c not in memo)
+            return memo[root]
+
+        return sorted(task_ids, key=lambda tid: (-score(tid), tid))
+
+    # -------------------------------------------------------------- health
+    def _observe(self, node_id: str, *, bad: bool) -> None:
+        alpha = self._cfg.health_alpha
+        score = self._health[node_id] * (1.0 - alpha)
+        if bad:
+            score += alpha
+        self._health[node_id] = score
+        if bad:
+            self._maybe_quarantine(node_id)
+
+    def _maybe_quarantine(self, node_id: str) -> None:
+        if (
+            node_id in self._quarantined
+            or self._health[node_id] < self._cfg.quarantine_threshold
+        ):
+            return
+        engine = self._engine
+        node = engine._nodes[node_id]
+        healthy = [
+            n
+            for n in engine._nodes.values()
+            if n.alive and n.node_id not in self._quarantined and n.node_id != node_id
+        ]
+        if not healthy:
+            return  # never quarantine the last usable node
+        self._quarantined[node_id] = engine.now + self._cfg.quarantine_duration
+        engine.metrics.record_quarantine()
+        # Drain the queued backlog to healthy nodes so it does not sit out
+        # the probation; running/stalled work finishes out in place.
+        moved = 0
+        for tid in node.queued_ids():
+            rt = engine._tasks[tid]
+            target = min(healthy, key=lambda n: (n.queue_length, n.node_id))
+            node.dequeue(tid, rt.planned_start)
+            rt.node_id = target.node_id
+            target.enqueue(tid, rt.planned_start)
+            moved += 1
+        if moved:
+            engine.metrics.record_reassignment(moved)
+        for n in healthy:
+            engine._dispatch(n)
+
+    def _next_spec_version(self, task_id: str) -> int:
+        version = self._spec_versions.get(task_id, 0) + 1
+        self._spec_versions[task_id] = version
+        return version

@@ -38,6 +38,7 @@ class TestExamples:
             "preemption_deadlines.py",
             "trace_workflow.py",
             "fault_tolerance.py",
+            "resilience.py",
             "timeline_debug.py",
         } <= present
 
@@ -75,3 +76,10 @@ class TestExamples:
         assert result.returncode == 0, result.stderr
         assert "deadline rescue" in result.stdout
         assert "PP ablation" in result.stdout
+
+    def test_resilience(self):
+        result = run_example("resilience.py")
+        assert result.returncode == 0, result.stderr
+        assert "resilience ON" in result.stdout
+        assert "quarantines" in result.stdout
+        assert "speculative wins" in result.stdout

@@ -168,3 +168,118 @@ class TestEngineFaultHandling:
         faults = [FaultEvent(3.0, "n0", FaultKind.FAILURE)]
         m = run(cl, [job], faults)
         assert m.num_preemptions == 0
+
+
+class TestRandomPlanTaskFail:
+    def test_task_fail_rate_generates_events(self):
+        cl = one_lane(3)
+        plan = random_fault_plan(
+            cl, 20_000.0, rng=7, mtbf=2000.0, mttr=100.0, task_fail_rate=2.0,
+        )
+        kinds = {ev.kind for ev in plan}
+        assert FaultKind.TASK_FAIL in kinds
+        assert validate_fault_plan(plan, cl) == []
+
+    def test_task_fail_rate_zero_is_default(self):
+        cl = one_lane(3)
+        a = random_fault_plan(cl, 10_000.0, rng=5, mtbf=2000.0, mttr=100.0)
+        b = random_fault_plan(
+            cl, 10_000.0, rng=5, mtbf=2000.0, mttr=100.0, task_fail_rate=0.0,
+        )
+        assert a == b
+        assert all(ev.kind is not FaultKind.TASK_FAIL for ev in a)
+
+    def test_task_fail_on_down_node_rejected(self):
+        cl = one_lane(1)
+        plan = [
+            FaultEvent(1.0, "n0", FaultKind.FAILURE),
+            FaultEvent(2.0, "n0", FaultKind.TASK_FAIL),
+        ]
+        assert any("down node" in p for p in validate_fault_plan(plan, cl))
+
+    def test_bad_knobs_raise_runtime_error_not_assert(self):
+        # The terminal self-check raises RuntimeError (never a bare assert,
+        # which -O would strip).
+        cl = one_lane(2)
+        with pytest.raises((ValueError, RuntimeError)):
+            random_fault_plan(cl, 10_000.0, rng=1, mtbf=-5.0, mttr=100.0)
+
+
+class TestFaultAccounting:
+    def test_fault_counts_and_lost_work_exposed(self):
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(4)], deadline=1e6)
+        faults = [FaultEvent(3.0, "n0", FaultKind.TASK_FAIL)]
+        m = run(cl, [job], faults)
+        assert m.tasks_completed == 4
+        assert m.num_task_failures == 1
+        assert m.lost_work_mi > 0.0
+        assert m.fault_counts == {"task_fail": 1}
+        d = m.as_dict()
+        assert d["num_task_failures"] == 1
+        assert d["lost_work_mi"] == pytest.approx(m.lost_work_mi)
+        assert d["faults_task_fail"] == 1
+
+    def test_node_failure_lost_work_in_as_dict(self):
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(4)], deadline=1e6)
+        faults = [FaultEvent(3.0, "n0", FaultKind.FAILURE),
+                  FaultEvent(15.0, "n0", FaultKind.RECOVERY)]
+        m = run(cl, [job], faults)
+        d = m.as_dict()
+        assert d["faults_failure"] == 1
+        assert d["faults_recovery"] == 1
+        assert "lost_work_mi" in d
+
+
+class TestFaultEdgeCases:
+    def test_failure_while_all_nodes_down_drains_on_recovery(self):
+        # n0 dies, its backlog moves to n1; then n1 dies too with no alive
+        # node to take the parked tasks.  When only n0 recovers, the
+        # backlog stranded on the still-dead n1 must drain onto n0.
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk(f"t{i}", size=2000.0) for i in range(4)],
+                             deadline=1e6)
+        faults = [FaultEvent(1.0, "n0", FaultKind.FAILURE),
+                  FaultEvent(2.0, "n1", FaultKind.FAILURE),
+                  FaultEvent(30.0, "n0", FaultKind.RECOVERY)]
+        m = run(cl, [job], faults)
+        assert m.tasks_completed == 4
+        assert m.makespan >= 30.0
+
+    def test_slowdown_on_empty_queue_node_is_noop(self):
+        # n1 is too small to ever host the task, so it sits with an empty
+        # queue; slowing it down must not disturb the run.
+        cl = Cluster([
+            NodeSpec(node_id="n0", cpu_size=1.0, mem_size=1.0,
+                     mips_per_unit=500.0),
+            NodeSpec(node_id="n1", cpu_size=0.5, mem_size=0.25,
+                     mips_per_unit=500.0),
+        ])
+        job = Job.from_tasks("J", [mk("t0", size=2000.0)], deadline=1e6)
+        faults = [FaultEvent(0.5, "n1", FaultKind.SLOWDOWN, factor=0.5),
+                  FaultEvent(2.0, "n1", FaultKind.RESTORE)]
+        faulty = run(cl, [job], faults)
+        clean = run(cl, [job], None)
+        assert faulty.tasks_completed == 1
+        assert faulty.makespan == pytest.approx(clean.makespan, abs=1e-6)
+
+    def test_failure_mid_stall_requeues_task(self):
+        # Dependency-unaware dispatch stalls the child on the node while
+        # its slowed parent drags on; the node then fails mid-stall.  The
+        # stalled child must be re-queued and eventually complete, not
+        # leak its slot.
+        cl = Cluster([NodeSpec(node_id="n0", cpu_size=2.0, mem_size=2.0,
+                               mips_per_unit=500.0)])
+        parent = mk("t0", size=5000.0)                     # 10 s clean
+        child = Task(task_id="t1", job_id="J", size_mi=1000.0,
+                     demand=ResourceVector(cpu=1.0, mem=0.5),
+                     parents=("t0",))
+        job = Job.from_tasks("J", [parent, child], deadline=1e6)
+        faults = [FaultEvent(1.0, "n0", FaultKind.SLOWDOWN, factor=0.1),
+                  FaultEvent(15.0, "n0", FaultKind.FAILURE),
+                  FaultEvent(30.0, "n0", FaultKind.RECOVERY)]
+        m = run(cl, [job], faults, dependency_aware_dispatch=False)
+        assert m.tasks_completed == 2
+        assert m.num_disorders >= 1     # the child did stall
+        assert m.makespan > 30.0        # and finished after the recovery
