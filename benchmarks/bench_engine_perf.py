@@ -6,13 +6,20 @@ regression) is visible:
 
 * end-to-end run throughput in simulated-tasks per wall-second;
 * offline planning throughput (heuristic list scheduler) in tasks/s;
-* epoch cost with a non-trivial preemption policy attached.
+* epoch cost with a non-trivial preemption policy attached;
+* the kernel hot path at fig-8 scale — epoch ticks per wall-second with
+  the incremental view cache on vs off (results must be identical; the
+  numbers land in ``BENCH_engine.json`` at the repo root).
 
 Unlike the figure benches these use multiple rounds — the point *is* the
 timing distribution.
 """
 
 from __future__ import annotations
+
+import json
+import pathlib
+import time
 
 import pytest
 
@@ -27,6 +34,12 @@ WORKLOAD = build_workload_for_cluster(
     10, CLUSTER, scale=30.0, seed=41, config=CONFIG, demand_fraction=0.8
 )
 SIM = SimConfig(epoch=60.0, scheduling_period=300.0)
+
+#: Fig-8's smallest sweep point (50 jobs at scale 40) — big enough that
+#: epoch handling dominates, small enough for a multi-round benchmark.
+FIG8_JOBS = 50
+FIG8_SCALE = 40.0
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
 @pytest.mark.benchmark(group="perf")
@@ -56,6 +69,76 @@ def test_perf_end_to_end_null_policy(benchmark):
 
     m = benchmark.pedantic(run, rounds=3, iterations=1)
     assert m.tasks_completed == WORKLOAD.num_tasks
+
+
+def _fig8_hot_path(views_cache: bool):
+    """One DSP-preemption run at fig-8 scale; returns (metrics dict,
+    epoch ticks observed on the bus, wall seconds)."""
+    from repro.sim import EpochTick, SimEngine
+
+    workload = build_workload_for_cluster(
+        FIG8_JOBS, CLUSTER, scale=FIG8_SCALE, seed=7,
+        config=CONFIG, demand_fraction=0.8,
+    )
+    engine = SimEngine(
+        CLUSTER, workload.jobs,
+        DSPScheduler(CLUSTER, CONFIG, ilp_task_limit=0),
+        preemption=DSPPreemption(CONFIG), dsp_config=CONFIG,
+        sim_config=SIM.replace(views_cache=views_cache),
+    )
+    ticks = 0
+
+    def count(_ev):
+        nonlocal ticks
+        ticks += 1
+
+    engine.runtime.bus.subscribe(EpochTick, count)
+    t0 = time.perf_counter()
+    metrics = engine.run()
+    wall = time.perf_counter() - t0
+    assert metrics.tasks_completed == workload.num_tasks
+    return metrics.as_dict(), ticks, wall, engine.runtime.views.rebuilds
+
+
+@pytest.mark.benchmark(group="perf")
+def test_perf_kernel_hot_path_views_cache(benchmark):
+    """Epoch ticks per wall-second at fig-8 scale, view cache on vs off.
+
+    The cache is a pure memoization: both runs must produce identical
+    RunMetrics and identical tick counts.  Wall-clock numbers (for the
+    tracked record, not an assertion — single-digit-percent swings are
+    noise at this scale) are persisted to BENCH_engine.json.
+    """
+    cached = benchmark.pedantic(
+        lambda: _fig8_hot_path(views_cache=True), rounds=3, iterations=1
+    )
+    uncached = _fig8_hot_path(views_cache=False)
+
+    m_on, ticks_on, wall_on, rebuilds_on = cached
+    m_off, ticks_off, wall_off, rebuilds_off = uncached
+    assert m_on == m_off, "views_cache changed simulation results"
+    assert ticks_on == ticks_off
+    assert rebuilds_on > 0  # the cache actually engaged...
+    assert rebuilds_off == 0  # ...and the disabled path never builds
+
+    BENCH_JSON.write_text(json.dumps({
+        "benchmark": "kernel_hot_path",
+        "scale": {"jobs": FIG8_JOBS, "workload_scale": FIG8_SCALE,
+                  "epoch_s": SIM.epoch},
+        "views_cache_on": {
+            "epoch_ticks": ticks_on,
+            "wall_s": round(wall_on, 4),
+            "epoch_ticks_per_s": round(ticks_on / wall_on, 2),
+            "view_rebuilds": rebuilds_on,
+        },
+        "views_cache_off": {
+            "epoch_ticks": ticks_off,
+            "wall_s": round(wall_off, 4),
+            "epoch_ticks_per_s": round(ticks_off / wall_off, 2),
+            "view_rebuilds": rebuilds_off,
+        },
+        "results_identical": True,
+    }, indent=2) + "\n")
 
 
 @pytest.mark.benchmark(group="perf")

@@ -1,0 +1,88 @@
+"""Regenerate the kernel-parity golden snapshot.
+
+Runs the seed-fixed fig-5/fig-6 method sweeps at a reduced scale and
+stores every run's ``RunMetrics.as_dict()`` in
+``tests/data/golden_engine_metrics.json``.  The parity suite
+(``tests/test_kernel.py``) replays the same configs against the current
+engine and requires exact equality, so the snapshot must only ever be
+regenerated *deliberately* — after a change that is supposed to alter
+simulation results — never to paper over an accidental behaviour drift.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_golden_metrics.py
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+from repro.experiments.figures import cluster_profile, default_config, default_sim_config
+from repro.experiments.harness import (
+    PREEMPTION_NAMES,
+    SCHEDULER_NAMES,
+    build_workload_for_cluster,
+    make_preemption_policies,
+    make_schedulers,
+    run_preemption,
+    run_scheduling,
+)
+
+#: The snapshot's run recipe — shared verbatim with tests/test_kernel.py.
+GOLDEN_PROFILE = "cluster"
+GOLDEN_NODE_SCALE = 2.0
+GOLDEN_NUM_JOBS = 6
+GOLDEN_SCALE = 10.0
+GOLDEN_SEED = 7
+GOLDEN_DEMAND_FRACTION = 0.8
+
+
+def golden_runs() -> dict[str, dict[str, float]]:
+    """Execute the snapshot recipe and return {run key: as_dict()}."""
+    cluster = cluster_profile(GOLDEN_PROFILE, GOLDEN_NODE_SCALE)
+    cfg = default_config()
+    sim = default_sim_config()
+    workload = build_workload_for_cluster(
+        GOLDEN_NUM_JOBS,
+        cluster,
+        scale=GOLDEN_SCALE,
+        seed=GOLDEN_SEED + GOLDEN_NUM_JOBS,
+        config=cfg,
+        demand_fraction=GOLDEN_DEMAND_FRACTION,
+    )
+    out: dict[str, dict[str, float]] = {}
+    for name in SCHEDULER_NAMES:
+        scheduler = make_schedulers(cluster, cfg)[name]
+        metrics = run_scheduling(workload, cluster, scheduler, config=cfg, sim_config=sim)
+        out[f"fig5/{name}"] = metrics.as_dict()
+    for name in PREEMPTION_NAMES:
+        policy = make_preemption_policies(cfg)[name]
+        metrics = run_preemption(workload, cluster, policy, config=cfg, sim_config=sim)
+        out[f"fig6/{name}"] = metrics.as_dict()
+    return out
+
+
+def main() -> int:
+    target = pathlib.Path(__file__).resolve().parent.parent / "tests" / "data"
+    target.mkdir(parents=True, exist_ok=True)
+    path = target / "golden_engine_metrics.json"
+    payload = {
+        "recipe": {
+            "profile": GOLDEN_PROFILE,
+            "node_scale": GOLDEN_NODE_SCALE,
+            "num_jobs": GOLDEN_NUM_JOBS,
+            "scale": GOLDEN_SCALE,
+            "seed": GOLDEN_SEED,
+            "demand_fraction": GOLDEN_DEMAND_FRACTION,
+        },
+        "runs": golden_runs(),
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {path} ({len(payload['runs'])} runs)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

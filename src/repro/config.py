@@ -143,12 +143,20 @@ class SimConfig:
         When True, the metrics collector retains per-task latency samples
         (queue wait + execution span per task) for distributional reports;
         memory-heavier, so off by default.
+    views_cache:
+        When True (default), the engine's :class:`~repro.sim.views.ViewCache`
+        reuses each node's structural snapshot content (static task
+        attributes, ancestor∩running dependency sets) across epoch ticks,
+        rebuilding only nodes whose running-set membership changed.  False
+        recomputes everything per tick — identical behaviour, only slower
+        (a debugging/benchmark knob).
     """
 
     epoch: float = 5.0
     scheduling_period: float = 300.0
     horizon: float = 10_000_000.0
     collect_task_samples: bool = False
+    views_cache: bool = True
 
     def __post_init__(self) -> None:
         check_positive(self.epoch, "epoch")

@@ -1,11 +1,44 @@
-"""Discrete-event cluster simulator: events, runtimes, metrics, the engine
-and the preemption-policy interface."""
+"""Discrete-event cluster simulator: the event kernel, pluggable
+subsystems, runtimes, metrics, the engine facade and the
+preemption-policy interface."""
 
 from .checkpoint import checkpoint_count, lost_work_mi, retained_work_mi
 from .events import Event, EventKind, EventQueue
 from .faults import FaultEvent, FaultKind, random_fault_plan, validate_fault_plan
+from .kernel import (
+    BacklogReassigned,
+    BusEvent,
+    EpochTick,
+    EventBus,
+    FaultInjected,
+    JobArrived,
+    Kernel,
+    NodeFailed,
+    NodeQuarantined,
+    NodeRecovered,
+    NodeRetimed,
+    RetryDispatched,
+    RoundTick,
+    SimulationError,
+    SimulationStuck,
+    SpeculationLaunched,
+    SpeculationWaste,
+    SpeculationWon,
+    TaskAttemptFailed,
+    TaskFinished,
+    TaskPreempted,
+    TaskRetimed,
+    TaskStallEnded,
+    TaskStallEvicted,
+    TaskStalled,
+    TaskStarted,
+    TaskSuspended,
+    TaskWaitAccrued,
+    TransferStarted,
+)
 from .metrics import MetricsCollector, RunMetrics
 from .executor import NodeRuntime, TaskRuntime
+from .state import SimRuntime, SimState, build_state
 from .tracelog import TraceLog, TraceSegment, gantt_chart
 from .policy import (
     NodeView,
@@ -14,6 +47,10 @@ from .policy import (
     PreemptionPolicy,
     TaskView,
 )
+from .views import ViewCache
+from .dispatch import DispatchSubsystem
+from .preemption_exec import PreemptionExecutor
+from .fault_sub import FaultSubsystem
 from .resilience import (
     AttemptBudgetExhausted,
     ResilienceManager,
@@ -23,8 +60,6 @@ from .engine import (
     SchedulerLike,
     SimContext,
     SimEngine,
-    SimulationError,
-    SimulationStuck,
 )
 
 __all__ = [
@@ -38,6 +73,42 @@ __all__ = [
     "Event",
     "EventKind",
     "EventQueue",
+    # kernel + bus
+    "BusEvent",
+    "EventBus",
+    "Kernel",
+    "JobArrived",
+    "RoundTick",
+    "EpochTick",
+    "TaskStarted",
+    "TaskStalled",
+    "TaskStallEnded",
+    "TaskStallEvicted",
+    "TaskWaitAccrued",
+    "TaskFinished",
+    "TaskPreempted",
+    "TaskSuspended",
+    "TaskAttemptFailed",
+    "TaskRetimed",
+    "TransferStarted",
+    "RetryDispatched",
+    "FaultInjected",
+    "NodeFailed",
+    "NodeRecovered",
+    "NodeRetimed",
+    "NodeQuarantined",
+    "BacklogReassigned",
+    "SpeculationLaunched",
+    "SpeculationWon",
+    "SpeculationWaste",
+    # state + subsystems
+    "SimState",
+    "SimRuntime",
+    "build_state",
+    "DispatchSubsystem",
+    "PreemptionExecutor",
+    "FaultSubsystem",
+    "ViewCache",
     "MetricsCollector",
     "RunMetrics",
     "NodeRuntime",

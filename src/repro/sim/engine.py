@@ -1,4 +1,4 @@
-"""Discrete-event cluster simulator.
+"""Discrete-event cluster simulator — the assembly facade.
 
 The engine replays a workload (jobs of DAG tasks) on a cluster under
 
@@ -10,6 +10,25 @@ The engine replays a workload (jobs of DAG tasks) on a cluster under
 * an **online preemption policy** — evaluated on every epoch tick
   (§IV-B), producing (preempting, victim) pairs the engine validates and
   applies.
+
+Since the kernel/subsystem refactor this module is a thin *facade*: it
+validates arguments, builds the shared :class:`~repro.sim.state.SimState`,
+and wires the :class:`~repro.sim.kernel.Kernel` + subsystems together
+(see ``docs/architecture.md``, "Kernel & subsystems"):
+
+========================  ====================================================
+module                    responsibility
+========================  ====================================================
+:mod:`~repro.sim.kernel`       timed-event loop + synchronous event bus
+:mod:`~repro.sim.state`        world state, validation, the wiring hub
+:mod:`~repro.sim.dispatch`     rounds, queue→node dispatch, completion
+:mod:`~repro.sim.preemption_exec`  epoch tick, decision validation, suspend
+:mod:`~repro.sim.fault_sub`    applying injected faults to live state
+:mod:`~repro.sim.views`        incremental NodeView/TaskView snapshots
+:mod:`~repro.sim.resilience`   retries, speculation, quarantine (optional)
+:mod:`~repro.sim.metrics`      bus subscriber accumulating RunMetrics
+:mod:`~repro.sim.tracelog`     bus subscriber recording Gantt segments
+========================  ====================================================
 
 Behavioural contract (DESIGN.md §4):
 
@@ -35,19 +54,23 @@ from __future__ import annotations
 
 from typing import Any, Mapping, Protocol, Sequence
 
-from .._util import EPS
 from ..cluster.cluster import Cluster
 from ..config import DSPConfig, ResilienceConfig, SimConfig
 from ..dag.job import Job
 from ..dag.task import Task, TaskState
-from .checkpoint import retained_work_mi
-from .events import EventKind, EventQueue
-from .faults import FaultEvent, FaultKind, validate_fault_plan
+from .dispatch import DispatchSubsystem
+from .events import EventKind
+from .fault_sub import FaultSubsystem
+from .faults import FaultEvent, validate_fault_plan
 from .executor import NodeRuntime, TaskRuntime
+from .kernel import EventBus, Kernel, SimulationError, SimulationStuck
 from .metrics import MetricsCollector, RunMetrics
-from .policy import NodeView, NullPreemption, PreemptionDecision, PreemptionPolicy, TaskView
+from .policy import NullPreemption, PreemptionPolicy
+from .preemption_exec import PreemptionExecutor
 from .resilience import ResilienceManager
+from .state import SimRuntime, build_state
 from .tracelog import TraceLog
+from .views import ViewCache
 
 __all__ = [
     "SimEngine",
@@ -56,15 +79,6 @@ __all__ = [
     "SchedulerLike",
     "SimContext",
 ]
-
-
-class SimulationError(RuntimeError):
-    """Base class for simulation failures."""
-
-
-class SimulationStuck(SimulationError):
-    """No task can ever be dispatched again yet work remains — a deadlock
-    (e.g. a task demand exceeding every node's total capacity)."""
 
 
 class SchedulerLike(Protocol):
@@ -85,47 +99,47 @@ class SimContext:
     runtime state, not just the node snapshot it is deciding for.
     """
 
-    def __init__(self, engine: "SimEngine"):
-        self._engine = engine
+    def __init__(self, runtime: SimRuntime):
+        self._rt = runtime
 
     @property
     def tasks(self) -> Mapping[str, Task]:
         """All static tasks keyed by id."""
-        return self._engine._static_tasks
+        return self._rt.state.static_tasks
 
     @property
     def children(self) -> Mapping[str, tuple[str, ...]]:
         """Direct dependents of every task."""
-        return self._engine._children
+        return self._rt.state.children
 
     @property
     def dsp_config(self) -> DSPConfig:
-        return self._engine._dsp_config
+        return self._rt.dsp_config
 
     @property
     def epoch(self) -> float:
-        return self._engine._sim_config.epoch
+        return self._rt.sim_config.epoch
 
     def now(self) -> float:
         """Current simulation clock."""
-        return self._engine.now
+        return self._rt.now
 
     def is_completed(self, task_id: str) -> bool:
         """Whether *task_id* has finished."""
-        return self._engine._tasks[task_id].state is TaskState.COMPLETED
+        return self._rt.state.tasks[task_id].state is TaskState.COMPLETED
 
     def remaining_time(self, task_id: str) -> float:
         """Live :math:`t^{rem}` of a task at the engine's assigned rate."""
-        return self._engine._remaining_time(task_id)
+        return self._rt.state.remaining_time(task_id, self._rt.now)
 
     def waiting_time(self, task_id: str) -> float:
         """Live :math:`t^w` of a task."""
-        return self._engine._tasks[task_id].waiting_time_at(self._engine.now)
+        return self._rt.state.tasks[task_id].waiting_time_at(self._rt.now)
 
     def allowable_wait(self, task_id: str) -> float:
         """Live :math:`t^a` of a task against its level deadline."""
-        rt = self._engine._tasks[task_id]
-        return rt.deadline - self._engine.now - self._engine._remaining_time(task_id)
+        rt = self._rt.state.tasks[task_id]
+        return rt.deadline - self._rt.now - self.remaining_time(task_id)
 
 
 class SimEngine:
@@ -141,7 +155,8 @@ class SimEngine:
         Online policy evaluated per epoch; defaults to
         :class:`~repro.sim.policy.NullPreemption`.
     dsp_config, sim_config:
-        Parameter sets (Table II and run cadence).
+        Parameter sets (Table II and run cadence).  ``sim_config.views_cache``
+        selects the incremental snapshot cache (on by default).
     task_deadlines:
         Optional per-task absolute deadlines (the §IV-B level rule,
         computed by :func:`repro.core.levels.task_deadlines`); defaults to
@@ -207,32 +222,15 @@ class SimEngine:
         resilience: ResilienceConfig | None = None,
         record_trace: bool = False,
     ):
-        if not jobs:
-            raise ValueError("SimEngine needs at least one job")
-        self._cluster = cluster
-        self._jobs: dict[str, Job] = {}
-        for job in jobs:
-            if job.job_id in self._jobs:
-                raise ValueError(f"duplicate job id {job.job_id!r}")
-            self._jobs[job.job_id] = job
-        self._scheduler = scheduler
-        self._policy = preemption if preemption is not None else NullPreemption()
-        self._dsp_config = dsp_config or DSPConfig()
-        self._sim_config = sim_config or SimConfig()
-        self._dependency_aware = (
-            self._policy.respects_dependencies
-            if dependency_aware_dispatch is None
-            else dependency_aware_dispatch
-        )
+        policy = preemption if preemption is not None else NullPreemption()
+        dsp_config = dsp_config or DSPConfig()
+        sim_config = sim_config or SimConfig()
         if max_preemptions_per_task < 1:
             raise ValueError("max_preemptions_per_task must be >= 1")
-        self._max_preemptions = max_preemptions_per_task
         if view_queue_limit < 1:
             raise ValueError("view_queue_limit must be >= 1")
-        self._view_queue_limit = view_queue_limit
         if stall_timeout <= 0:
             raise ValueError("stall_timeout must be > 0")
-        self._stall_timeout = stall_timeout
         self._fault_plan: list[FaultEvent] = sorted(
             faults or (), key=lambda e: (e.time, e.node_id)
         )
@@ -240,703 +238,142 @@ class SimEngine:
             problems = validate_fault_plan(self._fault_plan, cluster)
             if problems:
                 raise ValueError(f"invalid fault plan: {problems[:3]}")
-        self._pending_faults = len(self._fault_plan)
-        self.trace: TraceLog | None = TraceLog() if record_trace else None
 
-        # Static structures.
-        self._static_tasks: dict[str, Task] = {}
-        self._children: dict[str, tuple[str, ...]] = {}
-        self._job_of: dict[str, str] = {}
-        for job in self._jobs.values():
-            for tid, task in job.tasks.items():
-                if tid in self._static_tasks:
-                    raise ValueError(f"duplicate task id {tid!r} across jobs")
-                self._static_tasks[tid] = task
-                self._job_of[tid] = job.job_id
-            self._children.update(job.children)
-
-        # Full ancestor sets, precomputed once: condition C2 checks become a
-        # set intersection instead of a per-epoch graph walk.
-        self._ancestors: dict[str, frozenset[str]] = {}
-        for job in self._jobs.values():
-            for tid in job.topo_order:
-                anc: set[str] = set()
-                for p in job.tasks[tid].parents:
-                    anc.add(p)
-                    anc |= self._ancestors[p]
-                self._ancestors[tid] = frozenset(anc)
-
-        # Runtime structures.
-        self._tasks: dict[str, TaskRuntime] = {}
-        deadlines = dict(task_deadlines or {})
-        smallest = min((n.capacity for n in cluster), key=lambda c: c.norm1())
-        for job in self._jobs.values():
-            for tid, task in job.tasks.items():
-                if not task.demand.fits_within(smallest) and not any(
-                    task.demand.fits_within(n.capacity) for n in cluster
-                ):
-                    raise SimulationStuck(
-                        f"task {tid} demand {task.demand} exceeds every node's capacity"
-                    )
-                self._tasks[tid] = TaskRuntime(
-                    task=task,
-                    deadline=deadlines.get(tid, job.deadline),
-                    unfinished_parents=len(task.parents),
-                )
-        self._nodes: dict[str, NodeRuntime] = {
-            n.node_id: NodeRuntime(
-                n, n.processing_rate(self._dsp_config.theta_cpu, self._dsp_config.theta_mem)
-            )
-            for n in cluster
-        }
-        self._job_remaining: dict[str, int] = {
-            jid: len(job.tasks) for jid, job in self._jobs.items()
-        }
-
-        self.now: float = 0.0
-        self._events = EventQueue()
-        self.metrics = MetricsCollector(
-            collect_samples=self._sim_config.collect_task_samples
+        state = build_state(cluster, jobs, dsp_config, task_deadlines)
+        state.pending_faults = len(self._fault_plan)
+        bus = EventBus()
+        kernel = Kernel(bus, horizon=sim_config.horizon)
+        rt = SimRuntime(
+            state,
+            kernel,
+            bus,
+            dsp_config,
+            sim_config,
+            scheduler,
+            policy,
+            dependency_aware=(
+                policy.respects_dependencies
+                if dependency_aware_dispatch is None
+                else dependency_aware_dispatch
+            ),
+            max_preemptions=max_preemptions_per_task,
+            view_queue_limit=view_queue_limit,
+            stall_timeout=stall_timeout,
         )
-        self._unscheduled: list[str] = []  # job ids arrived but not yet planned
-        self._arrived: set[str] = set()
-        self._completed_tasks = 0
+        self._rt = rt
+
+        # Subsystems (each holds the runtime and finds its peers there).
+        rt.dispatch = DispatchSubsystem(rt)
+        rt.preemption = PreemptionExecutor(rt)
+        rt.faults = FaultSubsystem(rt)
+        rt.views = ViewCache(
+            state,
+            epoch=sim_config.epoch,
+            queue_limit=view_queue_limit,
+            max_preemptions=max_preemptions_per_task,
+            enabled=sim_config.views_cache,
+        )
+        rt.metrics = MetricsCollector(
+            collect_samples=sim_config.collect_task_samples
+        )
+        rt.trace = TraceLog() if record_trace else None
+        rt.resilience = (
+            ResilienceManager(rt, resilience) if resilience is not None else None
+        )
+
+        # Timed-event handlers: exactly one subsystem per EventKind.
+        kernel.on(EventKind.JOB_ARRIVAL, rt.dispatch.on_arrival)
+        kernel.on(EventKind.SCHEDULING_ROUND, rt.dispatch.on_round)
+        kernel.on(EventKind.EPOCH_TICK, rt.preemption.on_epoch)
+        kernel.on(EventKind.TASK_FINISH, rt.dispatch.on_finish)
+        kernel.on(EventKind.FAULT, rt.faults.on_fault)
+        # EventKind.SPEC_FINISH is registered by the resilience layer below
+        # — no other subsystem ever schedules it.
+
+        # Bus subscribers, in canonical order (docs/architecture.md): view
+        # invalidation first, then accounting (metrics, trace), then the
+        # resilience layer (which may mutate state or abort the run).
+        rt.views.attach(bus)
+        rt.metrics.attach(bus)
+        if rt.trace is not None:
+            rt.trace.attach(bus)
+        if rt.resilience is not None:
+            rt.resilience.attach(bus, kernel)
+
         self._finished = False
-        self._epoch_scheduled = False
-        self._dispatched_this_tick = False
-        self._resilience: ResilienceManager | None = (
-            ResilienceManager(self, resilience) if resilience is not None else None
-        )
-
-        attach = getattr(self._policy, "attach", None)
+        attach = getattr(policy, "attach", None)
         if callable(attach):
-            attach(SimContext(self))
+            attach(SimContext(rt))
+
+    # ----------------------------------------------------------- accessors
+    @property
+    def now(self) -> float:
+        """Current simulation clock."""
+        return self._rt.now
+
+    @property
+    def metrics(self) -> MetricsCollector:
+        """The run's metrics accumulator (finalized by :meth:`run`)."""
+        return self._rt.metrics
+
+    @property
+    def trace(self) -> TraceLog | None:
+        """The execution trace (None unless ``record_trace=True``)."""
+        return self._rt.trace
+
+    @property
+    def runtime(self) -> SimRuntime:
+        """The wiring hub — state, kernel, bus and subsystems.  Tests and
+        experiments subscribe listeners via ``engine.runtime.bus``."""
+        return self._rt
+
+    # Internal structures a few analysis/test helpers reach into; kept as
+    # properties so the pre-refactor attribute names keep working.
+    @property
+    def _tasks(self) -> dict[str, TaskRuntime]:
+        return self._rt.state.tasks
+
+    @property
+    def _nodes(self) -> dict[str, NodeRuntime]:
+        return self._rt.state.nodes
+
+    @property
+    def _jobs(self) -> dict[str, Job]:
+        return self._rt.state.jobs
+
+    @property
+    def _resilience(self) -> ResilienceManager | None:
+        return self._rt.resilience
 
     # ------------------------------------------------------------------ run
     def run(self) -> RunMetrics:
         """Execute to completion and return the run's metrics."""
         if self._finished:
             raise SimulationError("engine instances are single-use; build a new one")
-        for job in self._jobs.values():
-            self.metrics.register_job(job.job_id, job.arrival_time, job.deadline)
+        rt = self._rt
+        state = rt.state
+        for job in state.jobs.values():
+            rt.metrics.register_job(job.job_id, job.arrival_time, job.deadline)
             for tid in job.tasks:
-                self.metrics.register_task(tid, job.job_id)
-            self._events.push(job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id)
-        first_arrival = min(j.arrival_time for j in self._jobs.values())
-        self._events.push(first_arrival, EventKind.SCHEDULING_ROUND, None)
+                rt.metrics.register_task(tid, job.job_id)
+            rt.kernel.schedule(job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id)
+        first_arrival = min(j.arrival_time for j in state.jobs.values())
+        rt.kernel.schedule(first_arrival, EventKind.SCHEDULING_ROUND, None)
         for fault in self._fault_plan:
-            self._events.push(fault.time, EventKind.FAULT, fault)
+            rt.kernel.schedule(fault.time, EventKind.FAULT, fault)
 
-        while self._events:
-            ev = self._events.pop()
-            if ev.time > self._sim_config.horizon:
-                raise SimulationError(
-                    f"simulation exceeded horizon {self._sim_config.horizon}s "
-                    f"({self._completed_tasks}/{len(self._tasks)} tasks done)"
-                )
-            self.now = max(self.now, ev.time)
-            if ev.kind is EventKind.JOB_ARRIVAL:
-                self._on_arrival(ev.payload)
-            elif ev.kind is EventKind.SCHEDULING_ROUND:
-                self._on_round()
-            elif ev.kind is EventKind.EPOCH_TICK:
-                self._on_epoch()
-            elif ev.kind is EventKind.TASK_FINISH:
-                tid, version = ev.payload
-                self._on_finish(tid, version)
-            elif ev.kind is EventKind.SPEC_FINISH:
-                tid, version = ev.payload
-                self._on_spec_finish(tid, version)
-            elif ev.kind is EventKind.FAULT:
-                self._on_fault(ev.payload)
-            if self._completed_tasks == len(self._tasks):
-                break
+        rt.kernel.run(
+            until=state.all_done,
+            describe=lambda: (
+                f"{state.completed_tasks}/{len(state.tasks)} tasks done"
+            ),
+        )
 
-        if self._completed_tasks != len(self._tasks):
-            unfinished = [
-                tid for tid, rt in self._tasks.items() if rt.state is not TaskState.COMPLETED
-            ]
+        if not state.all_done():
+            unfinished = state.unfinished_task_ids()
             raise SimulationStuck(
                 f"event queue drained with {len(unfinished)} unfinished tasks "
                 f"(first: {sorted(unfinished)[:3]})"
             )
         self._finished = True
-        return self.metrics.finalize(self.now)
-
-    # ------------------------------------------------------------- handlers
-    def _on_arrival(self, job_id: str) -> None:
-        self._arrived.add(job_id)
-        self._unscheduled.append(job_id)
-
-    def _on_round(self) -> None:
-        batch = [self._jobs[jid] for jid in self._unscheduled]
-        self._unscheduled.clear()
-        if batch:
-            plan = self._scheduler.schedule(batch)
-            for tid, assignment in plan.assignments.items():
-                rt = self._tasks[tid]
-                if rt.node_id is not None:
-                    raise SimulationError(f"task {tid} scheduled twice")
-                rt.node_id = assignment.node_id
-                rt.planned_start = float(assignment.start)
-                rt.state = TaskState.QUEUED
-                rt.queued_since = self.now
-                rt.first_enqueued_at = self.now
-                self._nodes[assignment.node_id].enqueue(tid, rt.planned_start)
-            missing = [tid for j in batch for tid in j.tasks if self._tasks[tid].node_id is None]
-            if missing:
-                raise SimulationError(
-                    f"scheduler left tasks unassigned: {sorted(missing)[:3]}"
-                )
-            for node in self._nodes.values():
-                self._dispatch(node)
-            self._ensure_epoch_tick()
-        # Next round while any job is still to arrive or be planned.
-        if len(self._arrived) < len(self._jobs) or self._unscheduled:
-            self._events.push(
-                self.now + self._sim_config.scheduling_period,
-                EventKind.SCHEDULING_ROUND,
-                None,
-            )
-
-    def _on_epoch(self) -> None:
-        self._epoch_scheduled = False
-        if self._completed_tasks == len(self._tasks):
-            return
-        self._dispatched_this_tick = False
-        self._evict_timed_out_stalls()
-        if self._resilience is not None:
-            self._resilience.on_epoch()
-        if not isinstance(self._policy, NullPreemption):
-            for node_id in sorted(self._nodes):
-                node = self._nodes[node_id]
-                if not node.alive or node.queue_length == 0:
-                    continue  # dead or nothing waiting => nothing to do
-                view = self._build_view(node)
-                for decision in self._policy.select_preemptions(view):
-                    self._apply_preemption(decision, node)
-        for node in self._nodes.values():
-            self._dispatch(node)
-        self._check_progress()
-        self._ensure_epoch_tick()
-
-    def _on_finish(self, task_id: str, version: int) -> None:
-        rt = self._tasks[task_id]
-        if rt.finish_version != version or rt.state is not TaskState.RUNNING:
-            return  # stale event from before a preemption
-        node = self._nodes[rt.node_id]
-        if self.trace is not None:
-            self.trace.close_segment(task_id, self.now)
-        node.running.discard(task_id)
-        node.release(rt.task.demand)
-        wake: set[str] = {node.node_id}
-        if self._resilience is not None:
-            # The original beat its speculative copy (if any): cancel it.
-            spec_node = self._resilience.cancel_spec(task_id)
-            if spec_node is not None:
-                wake.add(spec_node)
-            self._resilience.on_task_complete(node.node_id)
-        self._finalize_completion(rt, wake)
-
-    def _finalize_completion(self, rt: TaskRuntime, wake: set[str]) -> None:
-        """Shared completion tail for the original attempt and speculative
-        wins: mark done, account, unblock children, wake *wake* nodes."""
-        task_id = rt.task.task_id
-        rt.work_done_mi = rt.task.size_mi
-        rt.state = TaskState.COMPLETED
-        rt.completed_at = self.now
-        rt.run_start = None
-        rt.stint_started_at = None
-        self._completed_tasks += 1
-        latency = (
-            self.now - rt.first_enqueued_at
-            if rt.first_enqueued_at is not None
-            else None
-        )
-        self.metrics.record_task_completion(task_id, self.now, latency=latency)
-
-        jid = self._job_of[task_id]
-        self._job_remaining[jid] -= 1
-        if self._job_remaining[jid] == 0:
-            self.metrics.record_job_completion(jid, self.now)
-
-        for child in self._children.get(task_id, ()):
-            crt = self._tasks[child]
-            crt.unfinished_parents -= 1
-            if crt.unfinished_parents == 0:
-                if crt.state is TaskState.STALLED:
-                    self._activate_stalled(crt)
-                elif crt.state is TaskState.QUEUED and crt.node_id is not None:
-                    # A child on another node just became runnable; wake that
-                    # node now rather than at its next epoch tick.
-                    wake.add(crt.node_id)
-        for nid in wake:
-            self._dispatch(self._nodes[nid])
-
-    def _on_spec_finish(self, task_id: str, version: int) -> None:
-        """A speculative copy finished: if still current, it wins — tear
-        down the original attempt wherever it is and complete the task
-        exactly once (the no-double-completion invariant)."""
-        if self._resilience is None:
-            return
-        spec = self._resilience.pop_spec_if_current(task_id, version)
-        if spec is None:
-            return  # stale: copy was cancelled or re-timed since
-        rt = self._tasks[task_id]
-        spec_node = self._nodes[spec.node_id]
-        wasted = 0.0
-        if rt.state is TaskState.RUNNING:
-            node = self._nodes[rt.node_id]
-            wasted = rt.progress_seconds(self.now) * node.rate
-            if self.trace is not None:
-                self.trace.close_segment(task_id, self.now)
-            rt.finish_version += 1  # invalidate the loser's finish event
-            node.running.discard(task_id)
-            node.release(rt.task.demand)
-        elif rt.state is TaskState.STALLED:
-            node = self._nodes[rt.node_id]
-            self._end_stall(rt)
-            if self.trace is not None:
-                self.trace.close_segment(task_id, self.now)
-            node.running.discard(task_id)
-            node.release(rt.task.demand)
-        elif rt.state is TaskState.QUEUED:
-            # The original failed/was preempted meanwhile and sits in a
-            # queue (possibly gated by backoff); the copy completes for it.
-            node = self._nodes[rt.node_id]
-            node.dequeue(task_id, rt.planned_start)
-            if rt.queued_since is not None:
-                wait = self.now - rt.queued_since
-                rt.total_wait += wait
-                self.metrics.record_wait(task_id, wait)
-                rt.queued_since = None
-        spec_node.release(rt.task.demand)
-        self.metrics.record_speculative_win()
-        self.metrics.record_speculative_waste(wasted)
-        self._resilience.on_task_complete(spec_node.node_id)
-        self._finalize_completion(rt, {spec_node.node_id})
-
-    # ------------------------------------------------------------- dispatch
-    def _dispatch(self, node: NodeRuntime) -> None:
-        """Start queued tasks that fit, in planned-start order.
-
-        Dependency-aware runs start only runnable tasks; unaware runs also
-        start tasks whose planned start has passed (stalling them when
-        parents are unfinished — a disorder)."""
-        if not node.alive or node.queue_length == 0:
-            return
-        if self._resilience is not None and self._resilience.is_quarantined(
-            node.node_id
-        ):
-            return
-        for tid in node.queued_ids():
-            rt = self._tasks[tid]
-            if self.now + EPS < rt.retry_not_before:
-                continue  # retry still serving its backoff
-            if not rt.is_runnable:
-                if self._dependency_aware or rt.stall_banned:
-                    continue
-                if self.now + EPS < rt.planned_start:
-                    continue
-            if node.fits(rt.task.demand):
-                self._start_task(rt, node)
-
-    def _start_task(self, rt: TaskRuntime, node: NodeRuntime) -> None:
-        """Move a queued task onto the node (RUNNING, or STALLED when its
-        parents are unfinished — counted as a disorder)."""
-        node.dequeue(rt.task.task_id, rt.planned_start)
-        if rt.retry_not_before > 0:
-            # This dispatch is a retry of a failed attempt coming off its
-            # backoff gate (immediate when the resilience layer is off).
-            rt.retry_not_before = 0.0
-            self.metrics.record_retry()
-        if rt.queued_since is not None:
-            wait = self.now - rt.queued_since
-            rt.total_wait += wait
-            self.metrics.record_wait(rt.task.task_id, wait)
-            rt.queued_since = None
-        if rt.first_dispatched_at is None:
-            rt.first_dispatched_at = self.now
-        node.allocate(rt.task.demand)
-        node.running.add(rt.task.task_id)
-        self._dispatched_this_tick = True
-        if rt.is_runnable:
-            self._begin_running(rt, node)
-        else:
-            rt.state = TaskState.STALLED
-            rt.stall_start = self.now
-            self.metrics.record_disorder()
-            if self.trace is not None:
-                self.trace.open_segment(
-                    rt.task.task_id, node.node_id, self.now, "stall"
-                )
-
-    def _begin_running(self, rt: TaskRuntime, node: NodeRuntime) -> None:
-        rt.state = TaskState.RUNNING
-        rt.run_start = self.now
-        transfer = 0.0
-        if rt.task.input_mb > 0 and rt.fetched_on != node.node_id:
-            # §VI locality: fetch the input before executing (paid once per
-            # node; a re-dispatch on the same node reuses the local copy).
-            transfer = rt.task.transfer_time(
-                node.node_id, node.spec.bandwidth_capacity
-            )
-            rt.fetched_on = node.node_id
-            self.metrics.record_transfer(transfer)
-        rt.current_recovery = rt.recovery_due + transfer
-        rt.recovery_due = 0.0
-        rt.finish_version += 1
-        if self.trace is not None:
-            self.trace.open_segment(
-                rt.task.task_id, node.node_id, self.now, "run", rt.current_recovery
-            )
-        busy = rt.current_recovery + (rt.task.size_mi - rt.work_done_mi) / node.rate
-        rt.stint_started_at = self.now
-        rt.current_expected_busy = busy
-        self._events.push(
-            self.now + busy, EventKind.TASK_FINISH, (rt.task.task_id, rt.finish_version)
-        )
-
-    def _end_stall(self, rt: TaskRuntime) -> None:
-        """Close a stall stint: charge it as wasted capacity AND as waiting
-        time — a stalled task occupies a slot but is not executing, so the
-        paper's waiting-time metric keeps accruing."""
-        if rt.stall_start is None:
-            return
-        stalled = self.now - rt.stall_start
-        rt.stall_start = None
-        self.metrics.record_stall(stalled)
-        rt.total_wait += stalled
-        self.metrics.record_wait(rt.task.task_id, stalled)
-
-    def _activate_stalled(self, rt: TaskRuntime) -> None:
-        """A stalled task's last parent completed: begin real execution."""
-        node = self._nodes[rt.node_id]
-        self._end_stall(rt)
-        if self.trace is not None:
-            self.trace.close_segment(rt.task.task_id, self.now)
-        self._begin_running(rt, node)
-
-    # ----------------------------------------------------------- preemption
-    def _apply_preemption(self, decision: PreemptionDecision, node: NodeRuntime) -> None:
-        """Validate and apply one (preempting, victim) pair on *node*."""
-        pre = self._tasks.get(decision.preempting_task_id)
-        vic = self._tasks.get(decision.victim_task_id)
-        if pre is None or vic is None:
-            return
-        if pre.state is not TaskState.QUEUED or pre.node_id != node.node_id:
-            return
-        if self.now + EPS < pre.retry_not_before:
-            return  # retry still serving its backoff
-        if self._resilience is not None and self._resilience.is_quarantined(
-            node.node_id
-        ):
-            return  # quarantined nodes receive no new dispatches
-        if not vic.occupies_resources or vic.node_id != node.node_id:
-            return
-        if vic.preempt_count >= self._max_preemptions:
-            return
-        if not pre.is_runnable and (self._dependency_aware or pre.stall_banned):
-            return  # would only stall; aware policies never ask for this
-        freed = node.free + vic.task.demand
-        if not pre.task.demand.fits_within(freed):
-            return
-        self._suspend(vic, node)
-        self._start_task(pre, node)
-
-    def _suspend(
-        self, rt: TaskRuntime, node: NodeRuntime, *, cause: str = "preemption"
-    ) -> None:
-        """Evict a running/stalled task back to the queue.
-
-        ``cause`` selects the accounting: ``"preemption"`` (a policy
-        decision — counts toward Fig. 6d and the preemption cap),
-        ``"stall"`` (the engine kicked a timed-out stalled task — counted
-        separately, bans the task from blind re-dispatch) or ``"failure"``
-        (node fault — no context-switch charge; the reassignment counter
-        covers it).
-        """
-        if self.trace is not None:
-            self.trace.close_segment(rt.task.task_id, self.now)
-        if rt.state is TaskState.RUNNING:
-            progressed = rt.progress_seconds(self.now) * node.rate
-            accrued = min(rt.task.size_mi, rt.work_done_mi + progressed)
-            if not self._policy.uses_checkpointing:
-                rt.work_done_mi = 0.0  # no checkpoint: restart from scratch
-            else:
-                # Resume from the most recent checkpoint ([29]): with the
-                # default interval of 0 this retains everything.
-                rt.work_done_mi = retained_work_mi(
-                    accrued, node.rate, self._dsp_config.checkpoint_interval
-                )
-            self.metrics.record_lost_work(accrued - rt.work_done_mi)
-            rt.finish_version += 1  # invalidate the in-flight finish event
-            rt.run_start = None
-            rt.stint_started_at = None
-            rt.current_recovery = 0.0
-        elif rt.state is TaskState.STALLED:
-            self._end_stall(rt)
-        node.running.discard(rt.task.task_id)
-        node.release(rt.task.demand)
-        rt.state = TaskState.QUEUED
-        rt.queued_since = self.now
-        rt.recovery_due = self._dsp_config.recovery_time + self._dsp_config.sigma
-        node.enqueue(rt.task.task_id, rt.planned_start)
-        if cause == "stall":
-            rt.stall_banned = True
-            self.metrics.record_stall_eviction(
-                self._dsp_config.recovery_time + self._dsp_config.sigma
-            )
-        elif cause == "failure":
-            pass  # accounted via record_node_failure/record_reassignment
-        else:
-            rt.preempt_count += 1
-            self.metrics.record_preemption(
-                self._dsp_config.recovery_time + self._dsp_config.sigma
-            )
-
-    def _evict_timed_out_stalls(self) -> None:
-        """Kick stalled tasks whose stall exceeded the timeout, freeing the
-        capacity their ancestors may be waiting for (deadlock breaker)."""
-        for node in self._nodes.values():
-            if not node.running:
-                continue
-            for tid in sorted(node.running):
-                rt = self._tasks[tid]
-                if (
-                    rt.state is TaskState.STALLED
-                    and rt.stall_start is not None
-                    and self.now - rt.stall_start >= self._stall_timeout
-                ):
-                    self._suspend(rt, node, cause="stall")
-
-    # --------------------------------------------------------------- faults
-    def _on_fault(self, fault: FaultEvent) -> None:
-        self._pending_faults -= 1
-        node = self._nodes.get(fault.node_id)
-        if node is None:
-            return
-        self.metrics.record_fault(fault.kind.value)
-        if fault.kind is FaultKind.FAILURE:
-            self._fail_node(node)
-        elif fault.kind is FaultKind.RECOVERY:
-            node.alive = True
-            node.rate = node.base_rate
-            if self._resilience is not None:
-                self._resilience.on_node_recovered(node.node_id)
-            # Backlog may have parked on nodes that died while no node was
-            # alive to take it; the revived node must drain it or the run
-            # deadlocks waiting for recoveries that never come.
-            alive = [n for n in self._nodes.values() if n.alive]
-            moved = 0
-            for dead in self._nodes.values():
-                if dead.alive or dead.queue_length == 0:
-                    continue
-                moved += self._reassign_backlog(dead, alive)
-            if moved:
-                self.metrics.record_reassignment(moved)
-                for n in alive:
-                    if n is not node:
-                        self._dispatch(n)
-            self._dispatch(node)
-        elif fault.kind is FaultKind.SLOWDOWN:
-            self._retime_node(node, node.base_rate * fault.factor)
-        elif fault.kind is FaultKind.RESTORE:
-            self._retime_node(node, node.base_rate)
-        elif fault.kind is FaultKind.TASK_FAIL:
-            self._task_fail(node)
-
-    def _task_fail(self, node: NodeRuntime) -> None:
-        """Transient task failure on *node*: kill its longest-running
-        attempt (no-op when the node is down, idle or only stalling —
-        which is exactly how a quarantined node dodges further losses)."""
-        if not node.alive:
-            return
-        victims = [
-            rt
-            for tid in node.running
-            if (rt := self._tasks[tid]).state is TaskState.RUNNING
-        ]
-        if not victims:
-            return
-        victim = min(
-            victims, key=lambda rt: (rt.stint_started_at, rt.task.task_id)
-        )
-        self._fail_attempt(victim, node)
-
-    def _fail_attempt(self, rt: TaskRuntime, node: NodeRuntime) -> None:
-        """One running attempt dies: its stint's progress is lost (earlier
-        checkpointed work survives), the task re-queues for retry.  With
-        the resilience layer the retry is gated by exponential backoff and
-        charged against the attempt budget; without it the task is
-        dispatchable again immediately."""
-        lost = rt.progress_seconds(self.now) * node.rate
-        if self.trace is not None:
-            self.trace.close_segment(rt.task.task_id, self.now)
-        rt.finish_version += 1  # invalidate the in-flight finish event
-        rt.run_start = None
-        rt.stint_started_at = None
-        rt.current_recovery = 0.0
-        node.running.discard(rt.task.task_id)
-        node.release(rt.task.demand)
-        rt.state = TaskState.QUEUED
-        rt.queued_since = self.now
-        rt.recovery_due = self._dsp_config.recovery_time + self._dsp_config.sigma
-        rt.attempts += 1
-        rt.retry_not_before = self.now  # marker: next dispatch is a retry
-        node.enqueue(rt.task.task_id, rt.planned_start)
-        self.metrics.record_task_failure(lost)
-        if self._resilience is not None:
-            self._resilience.on_attempt_failure(rt, node)
-
-    def _fail_node(self, node: NodeRuntime) -> None:
-        """Node crash: suspend everything on it (work rolls back to the
-        last checkpoint) and reassign its backlog to alive nodes."""
-        self.metrics.record_node_failure()
-        if self._resilience is not None:
-            self._resilience.on_node_failed(node)
-        for tid in sorted(node.running):
-            self._suspend(self._tasks[tid], node, cause="failure")
-        node.alive = False
-        alive = [n for n in self._nodes.values() if n.alive]
-        if not alive:
-            return  # tasks park on the dead node until a recovery
-        moved = self._reassign_backlog(node, alive)
-        if moved:
-            self.metrics.record_reassignment(moved)
-        for n in alive:
-            self._dispatch(n)
-
-    def _reassign_backlog(
-        self, source: NodeRuntime, alive: list[NodeRuntime]
-    ) -> int:
-        """Move *source*'s queued backlog onto the least-loaded alive nodes
-        (quarantined nodes only as a last resort).  Returns tasks moved."""
-        targets = alive
-        if self._resilience is not None:
-            healthy = [
-                n for n in alive if not self._resilience.is_quarantined(n.node_id)
-            ]
-            if healthy:
-                targets = healthy
-        moved = 0
-        for tid in source.queued_ids():
-            rt = self._tasks[tid]
-            target = min(targets, key=lambda n: (n.queue_length, n.node_id))
-            source.dequeue(tid, rt.planned_start)
-            rt.node_id = target.node_id
-            target.enqueue(tid, rt.planned_start)
-            moved += 1
-        return moved
-
-    def _retime_node(self, node: NodeRuntime, new_rate: float) -> None:
-        """Straggler onset/recovery: change the node's rate and re-time its
-        in-flight tasks at the new speed."""
-        if abs(new_rate - node.rate) < EPS:
-            return
-        old_rate = node.rate
-        node.rate = new_rate
-        for tid in sorted(node.running):
-            rt = self._tasks[tid]
-            if rt.state is not TaskState.RUNNING or rt.run_start is None:
-                continue  # stalled tasks make no progress; nothing to re-time
-            unpaid = max(0.0, rt.current_recovery - (self.now - rt.run_start))
-            progressed = rt.progress_seconds(self.now) * old_rate
-            rt.work_done_mi = min(rt.task.size_mi, rt.work_done_mi + progressed)
-            rt.run_start = self.now
-            rt.current_recovery = unpaid
-            rt.finish_version += 1
-            if self.trace is not None:
-                self.trace.close_segment(tid, self.now)
-                self.trace.open_segment(tid, node.node_id, self.now, "run", unpaid)
-            busy = unpaid + (rt.task.size_mi - rt.work_done_mi) / new_rate
-            self._events.push(
-                self.now + busy, EventKind.TASK_FINISH, (tid, rt.finish_version)
-            )
-        if self._resilience is not None:
-            # Speculative copies on this node re-time too.  Note the
-            # timeout clock (stint_started_at / current_expected_busy) is
-            # deliberately NOT reset: an attempt re-timed slower still
-            # counts its elapsed time against the original expectation.
-            self._resilience.on_node_retimed(node, old_rate)
-
-    # ----------------------------------------------------------------- views
-    def _remaining_time(self, task_id: str) -> float:
-        rt = self._tasks[task_id]
-        node = self._nodes[rt.node_id] if rt.node_id else None
-        rate = node.rate if node else self._mean_rate()
-        return rt.remaining_time_at(self.now, rate)
-
-    def _mean_rate(self) -> float:
-        return sum(n.rate for n in self._nodes.values()) / len(self._nodes)
-
-    def _ancestors_in(self, task_id: str, pool: set[str]) -> frozenset[str]:
-        """Ancestors of *task_id* that appear in *pool* (precomputed sets)."""
-        return frozenset(self._ancestors[task_id] & pool)
-
-    def _task_view(self, rt: TaskRuntime, node: NodeRuntime, running_pool: set[str]) -> TaskView:
-        remaining = rt.remaining_time_at(self.now, node.rate)
-        return TaskView(
-            task_id=rt.task.task_id,
-            job_id=rt.task.job_id,
-            remaining_time=remaining,
-            waiting_time=rt.waiting_time_at(self.now),
-            stint_waiting_time=rt.stint_waiting_at(self.now),
-            overdue_waiting_time=rt.overdue_waiting_at(self.now),
-            allowable_wait=rt.deadline - self.now - remaining,
-            is_runnable=rt.is_runnable,
-            is_running=rt.occupies_resources,
-            is_preemptable=(
-                rt.occupies_resources and rt.preempt_count < self._max_preemptions
-            ),
-            resource_footprint=rt.task.demand.norm1(),
-            job_weight=self._jobs[rt.task.job_id].weight,
-            job_deadline=self._jobs[rt.task.job_id].deadline,
-            depends_on_running=self._ancestors_in(rt.task.task_id, running_pool),
-        )
-
-    def _build_view(self, node: NodeRuntime) -> NodeView:
-        running_pool = set(node.running)
-        running = tuple(
-            self._task_view(self._tasks[tid], node, running_pool)
-            for tid in sorted(node.running)
-        )
-        waiting = tuple(
-            self._task_view(self._tasks[tid], node, running_pool)
-            for tid in node.queued_ids()[: self._view_queue_limit]
-        )
-        return NodeView(
-            node_id=node.node_id,
-            now=self.now,
-            epoch=self._sim_config.epoch,
-            running=running,
-            waiting=waiting,
-        )
-
-    # ------------------------------------------------------------- plumbing
-    def _ensure_epoch_tick(self) -> None:
-        if not self._epoch_scheduled and self._completed_tasks < len(self._tasks):
-            self._events.push(
-                self.now + self._sim_config.epoch, EventKind.EPOCH_TICK, None
-            )
-            self._epoch_scheduled = True
-
-    def _check_progress(self) -> None:
-        """Deadlock detector: if nothing is running, nothing was dispatched
-        this tick, and no arrival/round/finish event is pending, queued
-        work can never start."""
-        if self._dispatched_this_tick:
-            return
-        if any(node.running for node in self._nodes.values()):
-            return
-        if len(self._arrived) < len(self._jobs) or self._unscheduled:
-            return
-        if self._pending_faults:
-            return  # a recovery/restore may still unblock the queue
-        if self._resilience is not None and self._resilience.has_pending(self.now):
-            return  # a backoff, speculation or quarantine release is due
-        queued = sum(node.queue_length for node in self._nodes.values())
-        if queued and self._completed_tasks < len(self._tasks):
-            raise SimulationStuck(
-                f"{queued} tasks queued but none dispatchable and nothing running"
-            )
+        return rt.metrics.finalize(rt.now)

@@ -14,7 +14,6 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
-from .._util import EPS
 from ..cluster.node import NodeSpec
 from ..cluster.resources import ResourceVector
 from ..dag.task import Task, TaskState

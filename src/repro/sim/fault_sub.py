@@ -1,0 +1,196 @@
+"""Fault subsystem: applying injected fault events to the running world.
+
+:mod:`repro.sim.faults` defines the fault *plan* (what happens to which
+node, when); this subsystem executes it — node crashes suspend and
+reassign, recoveries drain stranded backlog, stragglers re-time in-flight
+work, transient TASK_FAILs kill the longest-running attempt.  Recovery
+*policy* (backoff, speculation, quarantine) is not here: the resilience
+layer subscribes to this module's bus events (``NodeFailed``,
+``NodeRecovered``, ``NodeRetimed``, ``TaskAttemptFailed``) and acts on
+them, so runs without a :class:`~repro.config.ResilienceConfig` simply
+have nobody listening.
+"""
+
+from __future__ import annotations
+
+from .._util import EPS
+from ..dag.task import TaskState
+from .events import EventKind
+from .executor import NodeRuntime, TaskRuntime
+from .faults import FaultEvent, FaultKind
+from .kernel import (
+    BacklogReassigned,
+    FaultInjected,
+    NodeFailed,
+    NodeRecovered,
+    NodeRetimed,
+    TaskAttemptFailed,
+    TaskRetimed,
+)
+from .state import SimRuntime
+
+__all__ = ["FaultSubsystem"]
+
+
+class FaultSubsystem:
+    """Executes the fault plan against live state."""
+
+    def __init__(self, runtime: SimRuntime) -> None:
+        self._rt = runtime
+
+    def on_fault(self, fault: FaultEvent) -> None:
+        rt = self._rt
+        rt.state.pending_faults -= 1
+        node = rt.state.nodes.get(fault.node_id)
+        if node is None:
+            return
+        rt.bus.emit(FaultInjected(rt.now, fault.node_id, fault.kind.value))
+        if fault.kind is FaultKind.FAILURE:
+            self._fail_node(node)
+        elif fault.kind is FaultKind.RECOVERY:
+            self._recover_node(node)
+        elif fault.kind is FaultKind.SLOWDOWN:
+            self.retime_node(node, node.base_rate * fault.factor)
+        elif fault.kind is FaultKind.RESTORE:
+            self.retime_node(node, node.base_rate)
+        elif fault.kind is FaultKind.TASK_FAIL:
+            self._task_fail(node)
+
+    # --------------------------------------------------------------- crashes
+    def _fail_node(self, node: NodeRuntime) -> None:
+        """Node crash: suspend everything on it (work rolls back to the
+        last checkpoint) and reassign its backlog to alive nodes."""
+        rt = self._rt
+        rt.bus.emit(NodeFailed(rt.now, node.node_id))
+        for tid in sorted(node.running):
+            rt.preemption.suspend(rt.state.tasks[tid], node, cause="failure")
+        node.alive = False
+        alive = [n for n in rt.state.nodes.values() if n.alive]
+        if not alive:
+            return  # tasks park on the dead node until a recovery
+        self.reassign_backlog(node, alive)
+        for n in alive:
+            rt.dispatch.dispatch(n)
+
+    def _recover_node(self, node: NodeRuntime) -> None:
+        rt = self._rt
+        node.alive = True
+        node.rate = node.base_rate
+        rt.bus.emit(NodeRecovered(rt.now, node.node_id))
+        # Backlog may have parked on nodes that died while no node was
+        # alive to take it; the revived node must drain it or the run
+        # deadlocks waiting for recoveries that never come.
+        alive = [n for n in rt.state.nodes.values() if n.alive]
+        moved = 0
+        for dead in rt.state.nodes.values():
+            if dead.alive or dead.queue_length == 0:
+                continue
+            moved += self.reassign_backlog(dead, alive)
+        if moved:
+            for n in alive:
+                if n is not node:
+                    rt.dispatch.dispatch(n)
+        rt.dispatch.dispatch(node)
+
+    def reassign_backlog(
+        self, source: NodeRuntime, alive: list[NodeRuntime]
+    ) -> int:
+        """Move *source*'s queued backlog onto the least-loaded alive nodes
+        (gated nodes — e.g. quarantined — only as a last resort).  Returns
+        tasks moved."""
+        rt = self._rt
+        gates = rt.state.dispatch_gates
+        targets = alive
+        ungated = [
+            n for n in alive if not any(gate(n.node_id) for gate in gates)
+        ]
+        if ungated:
+            targets = ungated
+        moved = 0
+        for tid in source.queued_ids():
+            task = rt.state.tasks[tid]
+            target = min(targets, key=lambda n: (n.queue_length, n.node_id))
+            source.dequeue(tid, task.planned_start)
+            task.node_id = target.node_id
+            target.enqueue(tid, task.planned_start)
+            moved += 1
+        if moved:
+            rt.bus.emit(BacklogReassigned(rt.now, source.node_id, moved))
+        return moved
+
+    # ------------------------------------------------------------ stragglers
+    def retime_node(self, node: NodeRuntime, new_rate: float) -> None:
+        """Straggler onset/recovery: change the node's rate and re-time its
+        in-flight tasks at the new speed."""
+        rt = self._rt
+        if abs(new_rate - node.rate) < EPS:
+            return
+        now = rt.now
+        old_rate = node.rate
+        node.rate = new_rate
+        for tid in sorted(node.running):
+            task = rt.state.tasks[tid]
+            if task.state is not TaskState.RUNNING or task.run_start is None:
+                continue  # stalled tasks make no progress; nothing to re-time
+            unpaid = max(0.0, task.current_recovery - (now - task.run_start))
+            progressed = task.progress_seconds(now) * old_rate
+            task.work_done_mi = min(
+                task.task.size_mi, task.work_done_mi + progressed
+            )
+            task.run_start = now
+            task.current_recovery = unpaid
+            task.finish_version += 1
+            rt.bus.emit(TaskRetimed(now, tid, node.node_id, unpaid))
+            busy = unpaid + (task.task.size_mi - task.work_done_mi) / new_rate
+            rt.kernel.schedule(
+                now + busy, EventKind.TASK_FINISH, (tid, task.finish_version)
+            )
+        # Subscribers (e.g. resilience) re-time their own in-flight work —
+        # speculative copies on this node — off this event.  The timeout
+        # clock (stint_started_at / current_expected_busy) is deliberately
+        # NOT reset: an attempt re-timed slower still counts its elapsed
+        # time against the original expectation.
+        rt.bus.emit(NodeRetimed(now, node.node_id, old_rate, new_rate))
+
+    # ---------------------------------------------------------- task failure
+    def _task_fail(self, node: NodeRuntime) -> None:
+        """Transient task failure on *node*: kill its longest-running
+        attempt (no-op when the node is down, idle or only stalling —
+        which is exactly how a quarantined node dodges further losses)."""
+        rt = self._rt
+        if not node.alive:
+            return
+        victims = [
+            task
+            for tid in node.running
+            if (task := rt.state.tasks[tid]).state is TaskState.RUNNING
+        ]
+        if not victims:
+            return
+        victim = min(
+            victims, key=lambda task: (task.stint_started_at, task.task.task_id)
+        )
+        self.fail_attempt(victim, node)
+
+    def fail_attempt(self, task: TaskRuntime, node: NodeRuntime) -> None:
+        """One running attempt dies: its stint's progress is lost (earlier
+        checkpointed work survives), the task re-queues for retry.  With
+        the resilience layer the retry is gated by exponential backoff and
+        charged against the attempt budget; without it the task is
+        dispatchable again immediately."""
+        rt = self._rt
+        now = rt.now
+        lost = task.progress_seconds(now) * node.rate
+        task.finish_version += 1  # invalidate the in-flight finish event
+        task.run_start = None
+        task.stint_started_at = None
+        task.current_recovery = 0.0
+        node.running.discard(task.task.task_id)
+        node.release(task.task.demand)
+        task.state = TaskState.QUEUED
+        task.queued_since = now
+        task.recovery_due = rt.dsp_config.recovery_time + rt.dsp_config.sigma
+        task.attempts += 1
+        task.retry_not_before = now  # marker: next dispatch is a retry
+        node.enqueue(task.task.task_id, task.planned_start)
+        rt.bus.emit(TaskAttemptFailed(now, task.task.task_id, node.node_id, lost))

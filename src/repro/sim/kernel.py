@@ -1,0 +1,404 @@
+"""Event kernel: the time-ordered loop and the synchronous event bus.
+
+The simulator is layered as a small deterministic *kernel* plus pluggable
+subsystems (dispatch, preemption execution, fault handling, resilience)
+— the shape of Dask's ``distributed`` scheduler, where one event core
+drives policy/bookkeeping plugins so measured differences stay
+attributable to the policies alone.
+
+Two event planes live here:
+
+* **Timed events** (:class:`~repro.sim.events.EventKind`) sit in the
+  kernel's time heap and *drive* the simulation: the kernel pops the
+  earliest, advances the clock and invokes the one registered handler.
+* **Bus events** (:class:`BusEvent` subclasses) are synchronous
+  *notifications* of things that already happened — a task started,
+  stalled, finished, was preempted.  Subsystems and observers subscribe;
+  the emitter never knows who is listening.  This is the observability
+  seam: metrics, tracing and resilience attach here instead of being
+  hard-coded call sites, and any test or experiment can subscribe a
+  listener instead of monkeypatching engine internals.
+
+Determinism guarantees (relied on by the byte-identical-replay tests):
+
+* timed events are ordered by ``(time, insertion sequence)``;
+* bus subscribers for one event type run in subscription order;
+* wildcard (:meth:`EventBus.subscribe_all`) subscribers run after the
+  type-specific ones, again in subscription order;
+* emission is synchronous and re-entrant — a handler may emit further
+  events, which complete before the outer emission returns to its caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from .events import EventKind, EventQueue
+
+__all__ = [
+    "SimulationError",
+    "SimulationStuck",
+    "BusEvent",
+    "JobArrived",
+    "RoundTick",
+    "EpochTick",
+    "TaskStarted",
+    "TaskStalled",
+    "TaskStallEnded",
+    "TaskStallEvicted",
+    "TaskWaitAccrued",
+    "TaskFinished",
+    "TaskPreempted",
+    "TaskSuspended",
+    "TaskAttemptFailed",
+    "TaskRetimed",
+    "TransferStarted",
+    "RetryDispatched",
+    "FaultInjected",
+    "NodeFailed",
+    "NodeRecovered",
+    "NodeRetimed",
+    "NodeQuarantined",
+    "BacklogReassigned",
+    "SpeculationLaunched",
+    "SpeculationWon",
+    "SpeculationWaste",
+    "EventBus",
+    "Kernel",
+]
+
+
+class SimulationError(RuntimeError):
+    """Base class for simulation failures."""
+
+
+class SimulationStuck(SimulationError):
+    """No task can ever be dispatched again yet work remains — a deadlock
+    (e.g. a task demand exceeding every node's total capacity)."""
+
+
+# --------------------------------------------------------------------- events
+@dataclass(frozen=True, slots=True)
+class BusEvent:
+    """Base of every bus notification; ``time`` is the simulation clock."""
+
+    time: float
+
+
+@dataclass(frozen=True, slots=True)
+class JobArrived(BusEvent):
+    """A job entered the system (its tasks await the next round)."""
+
+    job_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class RoundTick(BusEvent):
+    """A scheduling round planned a batch of newly-arrived jobs."""
+
+    num_jobs: int
+    num_tasks: int
+
+
+@dataclass(frozen=True, slots=True)
+class EpochTick(BusEvent):
+    """An online-preemption epoch boundary (§IV-B).  Emitted after the
+    stall-timeout sweep and *before* the policy sweep, so epoch-driven
+    subsystems (e.g. resilience) act on a settled node state."""
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStarted(BusEvent):
+    """A task began real execution on a node (``recovery`` seconds of
+    context-switch/transfer prefix are paid first)."""
+
+    task_id: str
+    node_id: str
+    recovery: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStalled(BusEvent):
+    """A dependency-blind dispatch put a task on a node before its parents
+    finished — a *disorder*; the task holds capacity without progressing."""
+
+    task_id: str
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStallEnded(BusEvent):
+    """A stall stint closed (activation, eviction or suspension) after
+    ``stalled`` seconds of wasted capacity."""
+
+    task_id: str
+    node_id: str
+    stalled: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskStallEvicted(BusEvent):
+    """The engine kicked a timed-out stalled task back to the queue (the
+    deadlock breaker; not a policy preemption)."""
+
+    task_id: str
+    node_id: str
+    cost: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskWaitAccrued(BusEvent):
+    """A task closed a queued-wait stint of ``seconds``."""
+
+    task_id: str
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskFinished(BusEvent):
+    """A task completed — exactly once, on ``node_id`` (the speculative
+    copy's node when ``speculative``).  ``job_completed`` marks the job's
+    last task; ``latency`` is enqueue→completion (None when the task was
+    never enqueued)."""
+
+    task_id: str
+    node_id: str
+    job_id: str
+    latency: float | None
+    speculative: bool
+    job_completed: bool
+
+
+@dataclass(frozen=True, slots=True)
+class TaskPreempted(BusEvent):
+    """A policy decision evicted a running/stalled task; ``cost`` is the
+    context-switch charge (t_r + σ), ``lost_mi`` the work destroyed by a
+    lossy checkpoint."""
+
+    task_id: str
+    node_id: str
+    cost: float
+    lost_mi: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskSuspended(BusEvent):
+    """A node failure suspended a task (no context-switch charge; the
+    reassignment accounting covers it)."""
+
+    task_id: str
+    node_id: str
+    lost_mi: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskAttemptFailed(BusEvent):
+    """A running attempt died (TASK_FAIL fault or timeout kill), losing
+    its stint's ``lost_mi`` of progress."""
+
+    task_id: str
+    node_id: str
+    lost_mi: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskRetimed(BusEvent):
+    """A node rate change re-timed an in-flight task; ``unpaid`` recovery
+    seconds carry into the new stint."""
+
+    task_id: str
+    node_id: str
+    unpaid: float
+
+
+@dataclass(frozen=True, slots=True)
+class TransferStarted(BusEvent):
+    """An input fetch (§VI locality) delayed a task start by ``seconds``."""
+
+    task_id: str
+    node_id: str
+    seconds: float
+
+
+@dataclass(frozen=True, slots=True)
+class RetryDispatched(BusEvent):
+    """A previously-failed task came off its backoff gate and dispatched."""
+
+    task_id: str
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(BusEvent):
+    """An injected fault event was applied to a node."""
+
+    node_id: str
+    kind: str
+
+
+@dataclass(frozen=True, slots=True)
+class NodeFailed(BusEvent):
+    """A node crashed; its tasks are about to be suspended/reassigned."""
+
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRecovered(BusEvent):
+    """A failed node returned, empty, at full rate."""
+
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class NodeRetimed(BusEvent):
+    """A node's processing rate changed (straggler onset/recovery);
+    per-task :class:`TaskRetimed` events have already been emitted."""
+
+    node_id: str
+    old_rate: float
+    new_rate: float
+
+
+@dataclass(frozen=True, slots=True)
+class NodeQuarantined(BusEvent):
+    """The health tracker quarantined a node."""
+
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class BacklogReassigned(BusEvent):
+    """``count`` queued tasks moved off ``source`` to other nodes."""
+
+    source: str
+    count: int
+
+
+@dataclass(frozen=True, slots=True)
+class SpeculationLaunched(BusEvent):
+    """A speculative copy of a straggling attempt started on ``node_id``."""
+
+    task_id: str
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class SpeculationWon(BusEvent):
+    """A speculative copy finished before the original attempt."""
+
+    task_id: str
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class SpeculationWaste(BusEvent):
+    """``mi`` of speculative-copy work was discarded (loser cancelled)."""
+
+    task_id: str
+    mi: float
+
+
+# ------------------------------------------------------------------------ bus
+class EventBus:
+    """Synchronous, typed publish/subscribe with deterministic ordering.
+
+    Handlers subscribe per concrete event type (no subclass dispatch —
+    the taxonomy is flat on purpose) and run in subscription order;
+    wildcard handlers run after the type-specific ones.  ``emit`` returns
+    only after every handler has run, so a subscriber-raised exception
+    propagates to the emitter (used by the resilience layer's
+    attempt-budget abort).
+    """
+
+    def __init__(self) -> None:
+        self._subs: dict[type, list[Callable[[Any], None]]] = {}
+        self._wildcard: list[Callable[[Any], None]] = []
+
+    def subscribe(
+        self,
+        event_types: type | Iterable[type],
+        handler: Callable[[Any], None],
+    ) -> None:
+        """Register *handler* for one or several concrete event types."""
+        if isinstance(event_types, type):
+            event_types = (event_types,)
+        for etype in event_types:
+            if not (isinstance(etype, type) and issubclass(etype, BusEvent)):
+                raise TypeError(f"not a BusEvent type: {etype!r}")
+            self._subs.setdefault(etype, []).append(handler)
+
+    def subscribe_all(self, handler: Callable[[Any], None]) -> None:
+        """Register *handler* for every emission (after type-specific
+        subscribers) — the hook for stream recorders and debuggers."""
+        self._wildcard.append(handler)
+
+    def emit(self, event: BusEvent) -> None:
+        """Deliver *event* to its subscribers, in deterministic order."""
+        for handler in self._subs.get(type(event), ()):
+            handler(event)
+        for handler in self._wildcard:
+            handler(event)
+
+
+# --------------------------------------------------------------------- kernel
+class Kernel:
+    """The deterministic event core: a clock, a time heap, one handler per
+    :class:`~repro.sim.events.EventKind`, and the bus.
+
+    The kernel knows nothing about scheduling, preemption or faults — it
+    pops the earliest timed event, advances ``now`` monotonically and
+    invokes the registered handler with the event's payload.  Subsystems
+    register themselves via :meth:`on` at wiring time.
+    """
+
+    def __init__(self, bus: EventBus, horizon: float) -> None:
+        self.bus = bus
+        self.now: float = 0.0
+        self._horizon = horizon
+        self._queue = EventQueue()
+        self._handlers: dict[EventKind, Callable[[Any], None]] = {}
+
+    @property
+    def horizon(self) -> float:
+        return self._horizon
+
+    def on(self, kind: EventKind, handler: Callable[[Any], None]) -> None:
+        """Register the handler for *kind* (exactly one per kind)."""
+        if kind in self._handlers:
+            raise ValueError(f"handler already registered for {kind}")
+        self._handlers[kind] = handler
+
+    def schedule(self, time: float, kind: EventKind, payload: Any = None) -> None:
+        """Push a timed event onto the heap."""
+        self._queue.push(time, kind, payload)
+
+    def pending(self) -> int:
+        """Number of timed events still in the heap."""
+        return len(self._queue)
+
+    def run(
+        self,
+        *,
+        until: Callable[[], bool],
+        describe: Callable[[], str] = lambda: "",
+    ) -> None:
+        """Drain the heap until *until*() turns true or events run out.
+
+        Raises :class:`SimulationError` when the clock passes the horizon
+        or an event arrives with no registered handler (a wiring bug).
+        """
+        while self._queue:
+            ev = self._queue.pop()
+            if ev.time > self._horizon:
+                raise SimulationError(
+                    f"simulation exceeded horizon {self._horizon}s ({describe()})"
+                )
+            self.now = max(self.now, ev.time)
+            handler = self._handlers.get(ev.kind)
+            if handler is None:
+                raise SimulationError(f"no handler registered for {ev.kind}")
+            handler(ev.payload)
+            if until():
+                break

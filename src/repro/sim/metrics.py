@@ -19,7 +19,10 @@ accumulates exactly the quantities the paper's evaluation plots:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import kernel as _k
 
 __all__ = ["MetricsCollector", "RunMetrics"]
 
@@ -141,6 +144,91 @@ class MetricsCollector:
         self._job_arrivals: dict[str, float] = {}
         self._job_deadlines: dict[str, float] = {}
         self._job_completions: dict[str, float] = {}
+
+    # -- bus wiring --------------------------------------------------------
+    def attach(self, bus: "_k.EventBus") -> None:
+        """Subscribe this collector to an engine's event bus.
+
+        The collector is an ordinary bus subscriber: every ``record_*``
+        call below is driven by exactly one event type, so the mapping here
+        *is* the metrics taxonomy.  Job/task registration stays explicit
+        (the engine registers the workload before the first event fires).
+        """
+        from . import kernel as k
+
+        bus.subscribe(k.TaskWaitAccrued, self._on_wait)
+        bus.subscribe(k.TaskStallEnded, self._on_stall_ended)
+        bus.subscribe(k.RetryDispatched, self._on_retry)
+        bus.subscribe(k.TaskStalled, self._on_disorder)
+        bus.subscribe(k.TaskPreempted, self._on_preempted)
+        bus.subscribe(k.TaskSuspended, self._on_suspended)
+        bus.subscribe(k.TaskStallEvicted, self._on_stall_evicted)
+        bus.subscribe(k.TaskAttemptFailed, self._on_attempt_failed)
+        bus.subscribe(k.TaskFinished, self._on_finished)
+        bus.subscribe(k.TransferStarted, self._on_transfer)
+        bus.subscribe(k.FaultInjected, self._on_fault)
+        bus.subscribe(k.NodeFailed, self._on_node_failed)
+        bus.subscribe(k.BacklogReassigned, self._on_reassigned)
+        bus.subscribe(k.SpeculationLaunched, self._on_spec_launch)
+        bus.subscribe(k.SpeculationWon, self._on_spec_win)
+        bus.subscribe(k.SpeculationWaste, self._on_spec_waste)
+        bus.subscribe(k.NodeQuarantined, self._on_quarantine)
+
+    def _on_wait(self, ev: "_k.TaskWaitAccrued") -> None:
+        self.record_wait(ev.task_id, ev.seconds)
+
+    def _on_stall_ended(self, ev: "_k.TaskStallEnded") -> None:
+        # A stall is wasted capacity AND waiting time (see DispatchSubsystem).
+        self.record_stall(ev.stalled)
+        self.record_wait(ev.task_id, ev.stalled)
+
+    def _on_retry(self, ev: "_k.RetryDispatched") -> None:
+        self.record_retry()
+
+    def _on_disorder(self, ev: "_k.TaskStalled") -> None:
+        self.record_disorder()
+
+    def _on_preempted(self, ev: "_k.TaskPreempted") -> None:
+        self.record_preemption(ev.cost)
+        self.record_lost_work(ev.lost_mi)
+
+    def _on_suspended(self, ev: "_k.TaskSuspended") -> None:
+        self.record_lost_work(ev.lost_mi)
+
+    def _on_stall_evicted(self, ev: "_k.TaskStallEvicted") -> None:
+        self.record_stall_eviction(ev.cost)
+
+    def _on_attempt_failed(self, ev: "_k.TaskAttemptFailed") -> None:
+        self.record_task_failure(ev.lost_mi)
+
+    def _on_finished(self, ev: "_k.TaskFinished") -> None:
+        self.record_task_completion(ev.task_id, ev.time, latency=ev.latency)
+        if ev.job_completed:
+            self.record_job_completion(ev.job_id, ev.time)
+
+    def _on_transfer(self, ev: "_k.TransferStarted") -> None:
+        self.record_transfer(ev.seconds)
+
+    def _on_fault(self, ev: "_k.FaultInjected") -> None:
+        self.record_fault(ev.kind)
+
+    def _on_node_failed(self, ev: "_k.NodeFailed") -> None:
+        self.record_node_failure()
+
+    def _on_reassigned(self, ev: "_k.BacklogReassigned") -> None:
+        self.record_reassignment(ev.count)
+
+    def _on_spec_launch(self, ev: "_k.SpeculationLaunched") -> None:
+        self.record_speculative_launch()
+
+    def _on_spec_win(self, ev: "_k.SpeculationWon") -> None:
+        self.record_speculative_win()
+
+    def _on_spec_waste(self, ev: "_k.SpeculationWaste") -> None:
+        self.record_speculative_waste(ev.mi)
+
+    def _on_quarantine(self, ev: "_k.NodeQuarantined") -> None:
+        self.record_quarantine()
 
     # -- registration ------------------------------------------------------
     def register_job(self, job_id: str, arrival: float, deadline: float) -> None:

@@ -132,6 +132,9 @@ class PreemptionPolicy(abc.ABC):
     respects_dependencies: bool = True
     #: Whether preempted tasks resume from their last checkpoint.
     uses_checkpointing: bool = True
+    #: True for policies that never preempt — lets the engine skip the
+    #: per-node snapshot/sweep entirely without type-checking the policy.
+    is_noop: bool = False
     #: Human-readable policy name used in reports.
     name: str = "base"
 
@@ -155,6 +158,7 @@ class NullPreemption(PreemptionPolicy):
 
     respects_dependencies = True
     uses_checkpointing = True
+    is_noop = True
     name = "none"
 
     def select_preemptions(self, view: NodeView) -> Sequence[PreemptionDecision]:

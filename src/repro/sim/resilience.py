@@ -3,8 +3,9 @@
 The paper's §VI names fault handling as the open problem ("handle node
 failures/crashes or straggler[s]").  The engine's fault model
 (:mod:`repro.sim.faults`) injects the *events*; this module supplies the
-*recovery policy* around them, wired into :class:`~repro.sim.engine.SimEngine`
-through its ``resilience`` argument:
+*recovery policy* around them, activated by passing a
+:class:`~repro.config.ResilienceConfig` to
+:class:`~repro.sim.engine.SimEngine`:
 
 * **Retry with capped exponential backoff.**  A transient attempt failure
   (``FaultKind.TASK_FAIL`` or a timeout kill) re-queues the task but gates
@@ -33,25 +34,29 @@ through its ``resilience`` argument:
   probation window ``quarantine_duration`` elapses.  The last healthy node
   is never quarantined.
 
-The manager is an engine-internal collaborator: it mutates runtime state
-through the engine's private structures on purpose — it is the part of the
-engine that happens to live in its own module, not an external client.
-Policies (:mod:`repro.sim.policy`) remain snapshot-based and unaware of it.
+Architecturally the manager is a *pluggable subsystem*: :meth:`attach`
+subscribes it to the engine's event bus (``EpochTick``, ``TaskFinished``,
+``TaskAttemptFailed``, ``NodeFailed``, ``NodeRecovered``, ``NodeRetimed``),
+registers the ``SPEC_FINISH`` timed-event handler on the kernel, and
+installs its quarantine check / pending-work predicate into the engine's
+``dispatch_gates`` / ``progress_holds`` extension points.  The core loop
+contains no resilience-specific branches; runs without a config simply
+never construct (or attach) this class.  Policies (:mod:`repro.sim.policy`)
+remain snapshot-based and unaware of it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Iterable
+from typing import Iterable
 
 from .._util import EPS
 from ..config import ResilienceConfig
 from ..dag.task import TaskState
 from .events import EventKind
 from .executor import NodeRuntime, TaskRuntime
-
-if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
-    from .engine import SimEngine
+from . import kernel as k
+from .state import SimRuntime
 
 __all__ = ["ResilienceManager", "SpeculativeAttempt", "AttemptBudgetExhausted"]
 
@@ -87,22 +92,36 @@ class SpeculativeAttempt:
 
 
 class ResilienceManager:
-    """Engine-side coordinator of retries, speculation and quarantine.
+    """Bus-driven coordinator of retries, speculation and quarantine.
 
-    Constructed by :class:`~repro.sim.engine.SimEngine` when a
-    :class:`~repro.config.ResilienceConfig` is supplied; never used
+    Constructed (and attached) by :class:`~repro.sim.engine.SimEngine`
+    when a :class:`~repro.config.ResilienceConfig` is supplied; never used
     standalone.
     """
 
-    def __init__(self, engine: "SimEngine", config: ResilienceConfig):
-        self._engine = engine
+    def __init__(self, runtime: SimRuntime, config: ResilienceConfig):
+        self._rt = runtime
         self._cfg = config
         self._health: dict[str, float] = {
-            node_id: 0.0 for node_id in engine._nodes
+            node_id: 0.0 for node_id in runtime.state.nodes
         }
         self._quarantined: dict[str, float] = {}  # node_id -> release time
         self._specs: dict[str, SpeculativeAttempt] = {}
         self._spec_versions: dict[str, int] = {}
+
+    # -------------------------------------------------------------- wiring
+    def attach(self, bus: k.EventBus, kernel: k.Kernel) -> None:
+        """Plug into the engine: bus subscriptions, the SPEC_FINISH timed
+        handler, and the dispatch-gate / progress-hold extension points."""
+        bus.subscribe(k.EpochTick, self._on_epoch_event)
+        bus.subscribe(k.TaskFinished, self._on_task_finished)
+        bus.subscribe(k.TaskAttemptFailed, self._on_attempt_failed)
+        bus.subscribe(k.NodeFailed, self._on_node_failed)
+        bus.subscribe(k.NodeRecovered, self._on_node_recovered)
+        bus.subscribe(k.NodeRetimed, self._on_node_retimed)
+        kernel.on(EventKind.SPEC_FINISH, self._on_spec_finish)
+        self._rt.state.dispatch_gates.append(self.is_quarantined)
+        self._rt.state.progress_holds.append(self.has_pending)
 
     # ----------------------------------------------------------- inspection
     @property
@@ -129,61 +148,72 @@ class ResilienceManager:
             return True
         return any(
             rt.state is TaskState.QUEUED and rt.retry_not_before > now + EPS
-            for rt in self._engine._tasks.values()
+            for rt in self._rt.state.tasks.values()
         )
 
-    # ------------------------------------------------------------ lifecycle
-    def on_attempt_failure(self, rt: TaskRuntime, node: NodeRuntime) -> None:
-        """A running attempt of *rt* died on *node* (already re-queued by
-        the engine): charge the attempt budget, arm the backoff gate and
-        update the node's health."""
-        if rt.attempts >= self._cfg.max_attempts:
+    # ------------------------------------------------------- bus reactions
+    def _on_task_finished(self, ev: k.TaskFinished) -> None:
+        """A task completed on ``ev.node_id``: the winner's node earns a
+        health decay; a primary win also cancels the now-redundant copy
+        (whose node is woken once the completion's wake set drains)."""
+        if not ev.speculative:
+            spec_node = self.cancel_spec(ev.task_id)
+            if spec_node is not None:
+                self._rt.dispatch.request_wake(spec_node)
+        self._observe(ev.node_id, bad=False)
+
+    def _on_attempt_failed(self, ev: k.TaskAttemptFailed) -> None:
+        """A running attempt of ``ev.task_id`` died (already re-queued by
+        the fault subsystem): charge the attempt budget, arm the backoff
+        gate and update the node's health."""
+        task = self._rt.state.tasks[ev.task_id]
+        if task.attempts >= self._cfg.max_attempts:
             raise AttemptBudgetExhausted(
-                f"task {rt.task.task_id} failed {rt.attempts} times, "
+                f"task {ev.task_id} failed {task.attempts} times, "
                 f"exhausting its attempt budget of {self._cfg.max_attempts}"
             )
         backoff = min(
             self._cfg.backoff_cap,
-            self._cfg.backoff_base * 2.0 ** (rt.attempts - 1),
+            self._cfg.backoff_base * 2.0 ** (task.attempts - 1),
         )
-        rt.retry_not_before = self._engine.now + backoff
-        self._observe(node.node_id, bad=True)
+        task.retry_not_before = self._rt.now + backoff
+        self._observe(ev.node_id, bad=True)
 
-    def on_task_complete(self, node_id: str) -> None:
-        """A task finished on *node_id*: decay its badness score."""
-        self._observe(node_id, bad=False)
-
-    def on_node_failed(self, node: NodeRuntime) -> None:
-        """*node* crashed: cancel any speculative copies running on it."""
-        for tid in [t for t, s in self._specs.items() if s.node_id == node.node_id]:
+    def _on_node_failed(self, ev: k.NodeFailed) -> None:
+        """A node crashed: cancel any speculative copies running on it."""
+        for tid in [
+            t for t, s in self._specs.items() if s.node_id == ev.node_id
+        ]:
             self.cancel_spec(tid)
 
-    def on_node_recovered(self, node_id: str) -> None:
-        """*node_id*'s RECOVERY fault arrived: lift its quarantine and
-        forget its history — it returns as a fresh node."""
-        self._quarantined.pop(node_id, None)
-        self._health[node_id] = 0.0
+    def _on_node_recovered(self, ev: k.NodeRecovered) -> None:
+        """A RECOVERY fault arrived: lift the node's quarantine and forget
+        its history — it returns as a fresh node."""
+        self._quarantined.pop(ev.node_id, None)
+        self._health[ev.node_id] = 0.0
 
-    def on_node_retimed(self, node: NodeRuntime, old_rate: float) -> None:
-        """*node*'s rate changed: re-time the speculative copies on it."""
-        engine = self._engine
-        now = engine.now
+    def _on_node_retimed(self, ev: k.NodeRetimed) -> None:
+        """A node's rate changed: re-time the speculative copies on it."""
+        rt = self._rt
+        now = rt.now
+        node = rt.state.nodes[ev.node_id]
         for spec in self._specs.values():
-            if spec.node_id != node.node_id:
+            if spec.node_id != ev.node_id:
                 continue
             elapsed = now - spec.started_at
             unpaid = max(0.0, spec.recovery - elapsed)
-            progressed = max(0.0, elapsed - spec.recovery) * old_rate
-            size = engine._tasks[spec.task_id].task.size_mi
+            progressed = max(0.0, elapsed - spec.recovery) * ev.old_rate
+            size = rt.state.tasks[spec.task_id].task.size_mi
             spec.work_mi = min(size, spec.work_mi + progressed)
             spec.started_at = now
             spec.recovery = unpaid
             spec.version = self._next_spec_version(spec.task_id)
             busy = unpaid + (size - spec.work_mi) / node.rate
-            engine._events.push(
+            rt.kernel.schedule(
                 now + busy, EventKind.SPEC_FINISH, (spec.task_id, spec.version)
             )
 
+    # --------------------------------------------------- speculation plumbing
     def cancel_spec(self, task_id: str) -> str | None:
         """Cancel the in-flight copy of *task_id* (its original finished
         first, or its node crashed).  Releases the copy's capacity, records
@@ -192,17 +222,19 @@ class ResilienceManager:
         spec = self._specs.pop(task_id, None)
         if spec is None:
             return None
-        engine = self._engine
-        node = engine._nodes[spec.node_id]
-        elapsed = engine.now - spec.started_at
+        rt = self._rt
+        node = rt.state.nodes[spec.node_id]
+        elapsed = rt.now - spec.started_at
         progressed = max(0.0, elapsed - spec.recovery) * node.rate
         waste = (spec.work_mi - spec.base_work_mi) + progressed
         self._next_spec_version(task_id)  # invalidate the SPEC_FINISH event
-        node.release(engine._tasks[task_id].task.demand)
-        engine.metrics.record_speculative_waste(waste)
+        node.release(rt.state.tasks[task_id].task.demand)
+        rt.bus.emit(k.SpeculationWaste(rt.now, task_id, waste))
         return spec.node_id
 
-    def pop_spec_if_current(self, task_id: str, version: int) -> SpeculativeAttempt | None:
+    def pop_spec_if_current(
+        self, task_id: str, version: int
+    ) -> SpeculativeAttempt | None:
         """Claim the winning copy for a SPEC_FINISH event, or None when the
         event is stale (copy cancelled/re-timed since it was scheduled)."""
         spec = self._specs.get(task_id)
@@ -211,8 +243,55 @@ class ResilienceManager:
         del self._specs[task_id]
         return spec
 
+    def _on_spec_finish(self, payload: tuple[str, int]) -> None:
+        """A speculative copy finished: if still current, it wins — tear
+        down the original attempt wherever it is and complete the task
+        exactly once (the no-double-completion invariant)."""
+        task_id, version = payload
+        spec = self.pop_spec_if_current(task_id, version)
+        if spec is None:
+            return  # stale: copy was cancelled or re-timed since
+        rt = self._rt
+        state = rt.state
+        now = rt.now
+        task = state.tasks[task_id]
+        spec_node = state.nodes[spec.node_id]
+        wasted = 0.0
+        if task.state is TaskState.RUNNING:
+            node = state.nodes[task.node_id]
+            wasted = task.progress_seconds(now) * node.rate
+            task.finish_version += 1  # invalidate the loser's finish event
+            node.running.discard(task_id)
+            node.release(task.task.demand)
+            # The teardown changes the node's running set outside the bus
+            # taxonomy (no Task* eviction event fires for the loser), so
+            # invalidate its view snapshot explicitly.
+            rt.views.mark_dirty(node.node_id)
+        elif task.state is TaskState.STALLED:
+            node = state.nodes[task.node_id]
+            rt.dispatch.end_stall(task)
+            node.running.discard(task_id)
+            node.release(task.task.demand)
+            rt.views.mark_dirty(node.node_id)
+        elif task.state is TaskState.QUEUED:
+            # The original failed/was preempted meanwhile and sits in a
+            # queue (possibly gated by backoff); the copy completes for it.
+            node = state.nodes[task.node_id]
+            node.dequeue(task_id, task.planned_start)
+            if task.queued_since is not None:
+                wait = now - task.queued_since
+                task.total_wait += wait
+                task.queued_since = None
+                rt.bus.emit(k.TaskWaitAccrued(now, task_id, wait))
+        spec_node.release(task.task.demand)
+        rt.bus.emit(k.SpeculationWon(now, task_id, spec_node.node_id))
+        rt.bus.emit(k.SpeculationWaste(now, task_id, wasted))
+        rt.dispatch.finalize_completion(
+            task, spec_node.node_id, {spec_node.node_id}, speculative=True
+        )
+
     # ---------------------------------------------------------- epoch sweep
-    def on_epoch(self) -> None:
+    def _on_epoch_event(self, _ev: k.EpochTick) -> None:
         """Per-epoch sweep: release expired quarantines, kill timed-out
         attempts, launch speculative copies, dispatch eligible retries in
         DSP-priority order."""
@@ -222,35 +301,38 @@ class ResilienceManager:
         self._dispatch_retries()
 
     def _release_expired_quarantines(self) -> None:
-        engine = self._engine
+        rt = self._rt
         for node_id, until in list(self._quarantined.items()):
-            if engine.now + EPS >= until:
+            if rt.now + EPS >= until:
                 self._quarantined.pop(node_id)
                 self._health[node_id] = 0.0  # probation served; clean slate
-                engine._dispatch(engine._nodes[node_id])
+                rt.dispatch.dispatch(rt.state.nodes[node_id])
 
     def _kill_timed_out_attempts(self) -> None:
         if self._cfg.timeout_factor <= 0:
             return
-        engine = self._engine
-        for node in engine._nodes.values():
+        rt = self._rt
+        for node in rt.state.nodes.values():
             if not node.alive or not node.running:
                 continue
             for tid in sorted(node.running):
-                rt = engine._tasks[tid]
-                if rt.state is not TaskState.RUNNING or rt.stint_started_at is None:
-                    continue
-                elapsed = engine.now - rt.stint_started_at
-                if elapsed > self._cfg.timeout_factor * max(
-                    rt.current_expected_busy, EPS
+                task = rt.state.tasks[tid]
+                if (
+                    task.state is not TaskState.RUNNING
+                    or task.stint_started_at is None
                 ):
-                    engine._fail_attempt(rt, node)
+                    continue
+                elapsed = rt.now - task.stint_started_at
+                if elapsed > self._cfg.timeout_factor * max(
+                    task.current_expected_busy, EPS
+                ):
+                    rt.faults.fail_attempt(task, node)
 
     def _launch_speculations(self) -> None:
         if self._cfg.speculation_threshold <= 0:
             return
-        engine = self._engine
-        alive = [n for n in engine._nodes.values() if n.alive]
+        rt = self._rt
+        alive = [n for n in rt.state.nodes.values() if n.alive]
         if len(alive) < 2:
             return
         mean_rate = sum(n.rate for n in alive) / len(alive)
@@ -259,62 +341,62 @@ class ResilienceManager:
             if node.rate >= cutoff or not node.running:
                 continue
             for tid in sorted(node.running):
-                rt = engine._tasks[tid]
-                if rt.state is not TaskState.RUNNING or tid in self._specs:
+                task = rt.state.tasks[tid]
+                if task.state is not TaskState.RUNNING or tid in self._specs:
                     continue
                 # Copying a nearly-done task cannot pay for its recovery
                 # prefix; require at least one epoch of work at mean rate.
-                remaining_mi = rt.task.size_mi - rt.work_done_at(engine.now, node.rate)
-                if remaining_mi / mean_rate <= engine._sim_config.epoch:
+                remaining_mi = task.task.size_mi - task.work_done_at(
+                    rt.now, node.rate
+                )
+                if remaining_mi / mean_rate <= rt.sim_config.epoch:
                     continue
-                target = self._pick_speculation_target(rt, node, alive)
+                target = self._pick_speculation_target(task, node, alive)
                 if target is not None:
-                    self._launch_spec(rt, node, target)
+                    self._launch_spec(task, node, target)
 
     def _pick_speculation_target(
-        self, rt: TaskRuntime, primary: NodeRuntime, alive: list[NodeRuntime]
+        self, task: TaskRuntime, primary: NodeRuntime, alive: list[NodeRuntime]
     ) -> NodeRuntime | None:
         candidates = [
             n
             for n in alive
             if n.node_id != primary.node_id
             and n.node_id not in self._quarantined
-            and n.fits(rt.task.demand)
+            and n.fits(task.task.demand)
         ]
         if not candidates:
             return None
         return min(candidates, key=lambda n: (self._health[n.node_id], n.node_id))
 
     def _launch_spec(
-        self, rt: TaskRuntime, primary: NodeRuntime, target: NodeRuntime
+        self, task: TaskRuntime, primary: NodeRuntime, target: NodeRuntime
     ) -> None:
-        engine = self._engine
-        tid = rt.task.task_id
-        dsp = engine._dsp_config
+        rt = self._rt
+        tid = task.task.task_id
+        dsp = rt.dsp_config
         recovery = dsp.recovery_time + dsp.sigma
-        if rt.task.input_mb > 0 and rt.fetched_on != target.node_id:
-            transfer = rt.task.transfer_time(
+        if task.task.input_mb > 0 and task.fetched_on != target.node_id:
+            transfer = task.task.transfer_time(
                 target.node_id, target.spec.bandwidth_capacity
             )
-            engine.metrics.record_transfer(transfer)
+            rt.bus.emit(k.TransferStarted(rt.now, tid, target.node_id, transfer))
             recovery += transfer
-        target.allocate(rt.task.demand)
+        target.allocate(task.task.demand)
         version = self._next_spec_version(tid)
         spec = SpeculativeAttempt(
             task_id=tid,
             node_id=target.node_id,
-            started_at=engine.now,
+            started_at=rt.now,
             version=version,
             recovery=recovery,
-            work_mi=rt.work_done_mi,
-            base_work_mi=rt.work_done_mi,
+            work_mi=task.work_done_mi,
+            base_work_mi=task.work_done_mi,
         )
         self._specs[tid] = spec
-        busy = recovery + (rt.task.size_mi - spec.work_mi) / target.rate
-        engine._events.push(
-            engine.now + busy, EventKind.SPEC_FINISH, (tid, version)
-        )
-        engine.metrics.record_speculative_launch()
+        busy = recovery + (task.task.size_mi - spec.work_mi) / target.rate
+        rt.kernel.schedule(rt.now + busy, EventKind.SPEC_FINISH, (tid, version))
+        rt.bus.emit(k.SpeculationLaunched(rt.now, tid, target.node_id))
         # A straggling attempt is a badness observation against its node.
         self._observe(primary.node_id, bad=True)
 
@@ -324,38 +406,38 @@ class ResilienceManager:
         Each eligible retry is re-homed to the healthiest node that can
         hold it right now; tasks that fit nowhere stay queued and fall back
         to the engine's normal dispatch path."""
-        engine = self._engine
-        now = engine.now
+        rt = self._rt
+        now = rt.now
         eligible = [
-            rt
-            for rt in engine._tasks.values()
-            if rt.state is TaskState.QUEUED
-            and rt.attempts > 0
-            and rt.retry_not_before > 0
-            and rt.retry_not_before <= now + EPS
-            and rt.is_runnable
+            task
+            for task in rt.state.tasks.values()
+            if task.state is TaskState.QUEUED
+            and task.attempts > 0
+            and task.retry_not_before > 0
+            and task.retry_not_before <= now + EPS
+            and task.is_runnable
         ]
         if not eligible:
             return
-        ranked = self._priority_order(rt.task.task_id for rt in eligible)
+        ranked = self._priority_order(task.task.task_id for task in eligible)
         for tid in ranked:
-            rt = engine._tasks[tid]
-            target = self._pick_retry_target(rt)
+            task = rt.state.tasks[tid]
+            target = self._pick_retry_target(task)
             if target is None:
                 continue
-            if target.node_id != rt.node_id:
-                engine._nodes[rt.node_id].dequeue(tid, rt.planned_start)
-                rt.node_id = target.node_id
-                target.enqueue(tid, rt.planned_start)
-            engine._start_task(rt, target)
+            if target.node_id != task.node_id:
+                rt.state.nodes[task.node_id].dequeue(tid, task.planned_start)
+                task.node_id = target.node_id
+                target.enqueue(tid, task.planned_start)
+            rt.dispatch.start_task(task, target)
 
-    def _pick_retry_target(self, rt: TaskRuntime) -> NodeRuntime | None:
+    def _pick_retry_target(self, task: TaskRuntime) -> NodeRuntime | None:
         candidates = [
             n
-            for n in self._engine._nodes.values()
+            for n in self._rt.state.nodes.values()
             if n.alive
             and n.node_id not in self._quarantined
-            and n.fits(rt.task.demand)
+            and n.fits(task.task.demand)
         ]
         if not candidates:
             return None
@@ -368,17 +450,18 @@ class ResilienceManager:
         over the engine's live signals.  Re-implemented here because the
         simulator layer must not import :mod:`repro.core` (the scheduler is
         a *client* of the simulator — see docs/architecture.md)."""
-        engine = self._engine
-        dsp = engine._dsp_config
-        now = engine.now
+        rt = self._rt
+        state = rt.state
+        dsp = rt.dsp_config
+        now = rt.now
         gamma1 = dsp.gamma + 1.0
         memo: dict[str, float] = {}
 
         def leaf(tid: str) -> float:
-            rt = engine._tasks[tid]
-            remaining = engine._remaining_time(tid)
-            waiting = rt.waiting_time_at(now)
-            allowable = rt.deadline - now - remaining
+            task = state.tasks[tid]
+            remaining = state.remaining_time(tid, now)
+            waiting = task.waiting_time_at(now)
+            allowable = task.deadline - now - remaining
             return (
                 dsp.omega_remaining / max(remaining, _REMAINING_FLOOR)
                 + dsp.omega_waiting * waiting
@@ -393,8 +476,8 @@ class ResilienceManager:
                     continue
                 live = [
                     c
-                    for c in engine._children.get(cur, ())
-                    if engine._tasks[c].state is not TaskState.COMPLETED
+                    for c in state.children.get(cur, ())
+                    if state.tasks[c].state is not TaskState.COMPLETED
                 ]
                 if expanded or not live:
                     memo[cur] = (
@@ -423,31 +506,24 @@ class ResilienceManager:
             or self._health[node_id] < self._cfg.quarantine_threshold
         ):
             return
-        engine = self._engine
-        node = engine._nodes[node_id]
+        rt = self._rt
+        node = rt.state.nodes[node_id]
         healthy = [
             n
-            for n in engine._nodes.values()
-            if n.alive and n.node_id not in self._quarantined and n.node_id != node_id
+            for n in rt.state.nodes.values()
+            if n.alive
+            and n.node_id not in self._quarantined
+            and n.node_id != node_id
         ]
         if not healthy:
             return  # never quarantine the last usable node
-        self._quarantined[node_id] = engine.now + self._cfg.quarantine_duration
-        engine.metrics.record_quarantine()
+        self._quarantined[node_id] = rt.now + self._cfg.quarantine_duration
+        rt.bus.emit(k.NodeQuarantined(rt.now, node_id))
         # Drain the queued backlog to healthy nodes so it does not sit out
         # the probation; running/stalled work finishes out in place.
-        moved = 0
-        for tid in node.queued_ids():
-            rt = engine._tasks[tid]
-            target = min(healthy, key=lambda n: (n.queue_length, n.node_id))
-            node.dequeue(tid, rt.planned_start)
-            rt.node_id = target.node_id
-            target.enqueue(tid, rt.planned_start)
-            moved += 1
-        if moved:
-            engine.metrics.record_reassignment(moved)
+        rt.faults.reassign_backlog(node, healthy)
         for n in healthy:
-            engine._dispatch(n)
+            rt.dispatch.dispatch(n)
 
     def _next_spec_version(self, task_id: str) -> int:
         version = self._spec_versions.get(task_id, 0) + 1

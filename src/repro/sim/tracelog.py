@@ -16,7 +16,10 @@ Segment kinds:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import kernel as _k
 
 __all__ = ["TraceSegment", "TraceLog", "gantt_chart"]
 
@@ -51,6 +54,48 @@ class TraceLog:
     def __init__(self) -> None:
         self._segments: list[TraceSegment] = []
         self._open: dict[str, tuple[str, float, str, float]] = {}
+
+    # -- bus wiring --------------------------------------------------------
+    def attach(self, bus: "_k.EventBus") -> None:
+        """Subscribe this log to an engine's event bus.
+
+        Opens a segment when a task starts occupying a node (``run`` on
+        :class:`~repro.sim.kernel.TaskStarted`, ``stall`` on
+        :class:`~repro.sim.kernel.TaskStalled`) and closes it on any event
+        that ends the occupancy.  ``close_segment`` is a no-op when nothing
+        is open, so events that can follow an already-closed segment (e.g.
+        ``TaskFinished`` after a ``TaskStallEnded``) need no special-casing.
+        """
+        from . import kernel as k
+
+        bus.subscribe(k.TaskStarted, self._on_started)
+        bus.subscribe(k.TaskStalled, self._on_stalled)
+        bus.subscribe(
+            (
+                k.TaskStallEnded,
+                k.TaskFinished,
+                k.TaskPreempted,
+                k.TaskStallEvicted,
+                k.TaskSuspended,
+                k.TaskAttemptFailed,
+            ),
+            self._on_closed,
+        )
+        bus.subscribe(k.TaskRetimed, self._on_retimed)
+
+    def _on_started(self, ev: "_k.TaskStarted") -> None:
+        self.open_segment(ev.task_id, ev.node_id, ev.time, "run", ev.recovery)
+
+    def _on_stalled(self, ev: "_k.TaskStalled") -> None:
+        self.open_segment(ev.task_id, ev.node_id, ev.time, "stall")
+
+    def _on_closed(self, ev: "_k.BusEvent") -> None:
+        self.close_segment(ev.task_id, ev.time)  # type: ignore[attr-defined]
+
+    def _on_retimed(self, ev: "_k.TaskRetimed") -> None:
+        # A rate change splits the run into two segments at the boundary.
+        self.close_segment(ev.task_id, ev.time)
+        self.open_segment(ev.task_id, ev.node_id, ev.time, "run", ev.unpaid)
 
     # -- recording (engine-facing) -----------------------------------------
     def open_segment(

@@ -1,0 +1,175 @@
+"""Incremental NodeView/TaskView snapshot building.
+
+Every epoch tick the preemption executor snapshots each contended node
+for the policy.  The snapshot has two kinds of content:
+
+* **time-varying signals** (remaining/waiting/allowable times) — cheap
+  arithmetic that *must* be recomputed every tick because policy
+  decisions depend on the current clock;
+* **structural content** — each task's static footprint/job attributes
+  and its ``depends_on_running`` set (ancestors within the node's running
+  pool, condition C2).  The old engine re-derived these per task per
+  tick; at fig-8 scale the ancestor intersections dominate the epoch
+  hot path.
+
+:class:`ViewCache` memoizes the structural content and rebuilds it only
+for *dirty* nodes — nodes whose running-set membership changed since the
+last build.  Dirtiness is tracked by subscribing to the event bus (the
+same seam metrics and tracing use), so the cache never needs hooks inside
+the dispatch/preemption code paths.  Ancestor closures themselves are
+memoized once at init in :class:`~repro.sim.state.SimState` and shared
+with every other consumer (C2 checks, the resilience layer's dispatch
+ranking, policy contexts).
+
+``SimConfig.views_cache=False`` switches to always-recompute — behaviour
+is identical (the parity benchmark asserts it), only slower.
+"""
+
+from __future__ import annotations
+
+from .kernel import (
+    EventBus,
+    TaskAttemptFailed,
+    TaskFinished,
+    TaskPreempted,
+    TaskStallEvicted,
+    TaskStalled,
+    TaskStarted,
+    TaskSuspended,
+)
+from .executor import NodeRuntime, TaskRuntime
+from .policy import NodeView, TaskView
+from .state import SimState
+
+__all__ = ["ViewCache"]
+
+#: Bus events after which a node's running-set membership may differ.
+_MEMBERSHIP_EVENTS = (
+    TaskStarted,
+    TaskStalled,
+    TaskFinished,
+    TaskPreempted,
+    TaskStallEvicted,
+    TaskSuspended,
+    TaskAttemptFailed,
+)
+
+
+class ViewCache:
+    """Builds per-node snapshots, reusing structural state across epochs."""
+
+    def __init__(
+        self,
+        state: SimState,
+        *,
+        epoch: float,
+        queue_limit: int,
+        max_preemptions: int,
+        enabled: bool = True,
+    ) -> None:
+        self._state = state
+        self._epoch = epoch
+        self._queue_limit = queue_limit
+        self._max_preemptions = max_preemptions
+        self._enabled = enabled
+        # node_id -> (running pool at build time, task_id -> closure & pool)
+        self._deps: dict[str, tuple[frozenset[str], dict[str, frozenset[str]]]] = {}
+        self._dirty: set[str] = set()
+        # Static per-task attributes, computed once.
+        self._static: dict[str, tuple[float, float, float]] = {}
+        for tid, task in state.static_tasks.items():
+            job = state.jobs[task.job_id]
+            self._static[tid] = (task.demand.norm1(), job.weight, job.deadline)
+        self.rebuilds = 0  # dirty-node structural rebuilds (observability)
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def attach(self, bus: EventBus) -> None:
+        """Subscribe the dirty-tracking to membership-changing events."""
+        bus.subscribe(_MEMBERSHIP_EVENTS, self._on_membership_event)
+
+    def _on_membership_event(self, event) -> None:
+        self._dirty.add(event.node_id)
+
+    def mark_dirty(self, node_id: str) -> None:
+        """Invalidate a node whose running set changed outside the event
+        taxonomy (e.g. a speculative-win teardown on the loser's node)."""
+        self._dirty.add(node_id)
+
+    # ------------------------------------------------------------- building
+    def _node_deps(self, node: NodeRuntime) -> dict[str, frozenset[str]]:
+        """The (pool-dependent) dependency map for *node*, rebuilt only
+        when the node is dirty; per-task entries fill lazily."""
+        nid = node.node_id
+        cached = self._deps.get(nid)
+        if cached is None or nid in self._dirty:
+            self._dirty.discard(nid)
+            self.rebuilds += 1
+            pool = frozenset(node.running)
+            entry = (pool, {})
+            self._deps[nid] = entry
+            return entry[1]
+        return cached[1]
+
+    def _depends_on_running(
+        self, task_id: str, node: NodeRuntime, deps: dict[str, frozenset[str]] | None
+    ) -> frozenset[str]:
+        if deps is None:  # cache disabled: recompute per call
+            return frozenset(self._state.ancestors[task_id] & node.running)
+        got = deps.get(task_id)
+        if got is None:
+            got = deps[task_id] = frozenset(
+                self._state.ancestors[task_id] & self._deps[node.node_id][0]
+            )
+        return got
+
+    def _task_view(
+        self,
+        rt: TaskRuntime,
+        node: NodeRuntime,
+        now: float,
+        deps: dict[str, frozenset[str]] | None,
+    ) -> TaskView:
+        task_id = rt.task.task_id
+        remaining = rt.remaining_time_at(now, node.rate)
+        footprint, weight, job_deadline = self._static[task_id]
+        return TaskView(
+            task_id=task_id,
+            job_id=rt.task.job_id,
+            remaining_time=remaining,
+            waiting_time=rt.waiting_time_at(now),
+            stint_waiting_time=rt.stint_waiting_at(now),
+            overdue_waiting_time=rt.overdue_waiting_at(now),
+            allowable_wait=rt.deadline - now - remaining,
+            is_runnable=rt.is_runnable,
+            is_running=rt.occupies_resources,
+            is_preemptable=(
+                rt.occupies_resources and rt.preempt_count < self._max_preemptions
+            ),
+            resource_footprint=footprint,
+            job_weight=weight,
+            job_deadline=job_deadline,
+            depends_on_running=self._depends_on_running(task_id, node, deps),
+        )
+
+    def build(self, node: NodeRuntime, now: float) -> NodeView:
+        """Snapshot *node* at *now* for the preemption policy."""
+        tasks = self._state.tasks
+        deps = self._node_deps(node) if self._enabled else None
+        running = tuple(
+            self._task_view(tasks[tid], node, now, deps)
+            for tid in sorted(node.running)
+        )
+        waiting = tuple(
+            self._task_view(tasks[tid], node, now, deps)
+            for tid in node.queued_ids()[: self._queue_limit]
+        )
+        return NodeView(
+            node_id=node.node_id,
+            now=now,
+            epoch=self._epoch,
+            running=running,
+            waiting=waiting,
+        )

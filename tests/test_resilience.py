@@ -18,6 +18,8 @@ from repro.sim import (
     FaultEvent,
     FaultKind,
     SimEngine,
+    TaskStalled,
+    TaskStarted,
     random_fault_plan,
 )
 
@@ -44,15 +46,16 @@ def run(cluster, jobs, faults, resilience=None, engine_cls=SimEngine, **kw):
 
 
 class RecordingEngine(SimEngine):
-    """SimEngine that logs every (time, task, node) dispatch."""
+    """SimEngine that logs every (time, task, node) dispatch by
+    subscribing to the event bus (no engine internals involved)."""
 
     def __init__(self, *args, **kwargs):
         super().__init__(*args, **kwargs)
         self.starts: list[tuple[float, str, str]] = []
-
-    def _start_task(self, rt, node):
-        self.starts.append((self.now, rt.task.task_id, node.node_id))
-        super()._start_task(rt, node)
+        self.runtime.bus.subscribe(
+            (TaskStarted, TaskStalled),
+            lambda ev: self.starts.append((ev.time, ev.task_id, ev.node_id)),
+        )
 
 
 class TestResilienceConfig:
