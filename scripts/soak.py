@@ -1,0 +1,354 @@
+#!/usr/bin/env python
+"""Seeded randomized soak harness with fault-plan minimization.
+
+Runs N simulator cases — random small workloads crossed with chaos
+scenarios (:mod:`repro.sim.chaos`), scheduling/preemption policies and
+resilience on/off — with runtime invariant checking in ``strict`` mode
+(:mod:`repro.sim.invariants`).  Every case is fully determined by
+``(base_seed, case_index)``, so any failure reproduces from the command
+line.
+
+When a case fails (invariant violation or simulator error), the harness
+bisects the fault plan down to a minimal reproducing plan (classic
+removal-only ddmin; candidate plans are re-normalized so they stay
+valid) and writes a JSON repro artifact with the case parameters, the
+error, and the minimized plan.
+
+Usage::
+
+    PYTHONPATH=src python scripts/soak.py --runs 50 --seed 0 --out soak_failures
+
+Exit status is non-zero iff at least one case failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import pathlib
+import sys
+from dataclasses import dataclass
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.baselines.fcfs import FCFSScheduler
+from repro.baselines.srpt import SRPTPreemption
+from repro.cluster.machine_specs import uniform_cluster
+from repro.config import ChaosConfig, DSPConfig, ResilienceConfig, SimConfig
+from repro.core.preemption import DSPPreemption
+from repro.core.scheduler import DSPScheduler
+from repro.experiments.harness import (
+    build_workload_for_cluster,
+    compute_level_deadlines,
+)
+from repro.sim import (
+    AttemptBudgetExhausted,
+    FaultEvent,
+    InvariantViolation,
+    NullPreemption,
+    SimEngine,
+    SimulationError,
+    chaos_plan,
+    normalize_plan,
+    plan_to_json,
+)
+
+# --------------------------------------------------------------- case grid
+
+#: Chaos scenario mixes, keyed by name.  Timescales are matched to the
+#: soak workloads (makespans of a few thousand seconds on 4-8 nodes).
+SCENARIOS: dict[str, ChaosConfig] = {
+    "none": ChaosConfig(),
+    "correlated": ChaosConfig(domains=2, domain_mtbf=2500.0, domain_mttr=120.0),
+    "bursts": ChaosConfig(
+        burst_mtbf=4000.0,
+        burst_mttr=120.0,
+        burst_factor=8.0,
+        burst_every=1200.0,
+        burst_duration=300.0,
+    ),
+    "straggler_wave": ChaosConfig(
+        wave_every=800.0, wave_fraction=0.4, wave_duration=300.0, wave_factor=0.3
+    ),
+    "task_fail_storm": ChaosConfig(
+        storm_every=900.0, storm_duration=300.0, storm_task_fails=5.0
+    ),
+    "partitions": ChaosConfig(partition_mtbf=2500.0, partition_duration=120.0),
+    "mixed": ChaosConfig(
+        domains=2,
+        domain_mtbf=5000.0,
+        domain_mttr=120.0,
+        wave_every=1500.0,
+        wave_fraction=0.3,
+        wave_duration=200.0,
+        wave_factor=0.4,
+        storm_every=1800.0,
+        storm_duration=200.0,
+        storm_task_fails=3.0,
+        partition_mtbf=5000.0,
+        partition_duration=100.0,
+    ),
+}
+
+SCENARIO_NAMES = tuple(SCENARIOS)
+POLICY_NAMES = ("dsp", "fcfs", "srpt")
+
+#: Generous budgets: the soak asserts invariants, not retry economics, so
+#: a budget abort under heavy injected chaos would only add noise.
+SOAK_RESILIENCE = ResilienceConfig(
+    max_attempts=50,
+    backoff_base=1.0,
+    backoff_cap=30.0,
+    timeout_factor=20.0,
+    speculation_threshold=0.5,
+    quarantine_threshold=0.75,
+    quarantine_duration=300.0,
+)
+
+#: Horizon chaos events are drawn over; roughly the makespan scale of the
+#: soak workloads under faults.
+FAULT_HORIZON = 6000.0
+
+
+@dataclass(frozen=True)
+class SoakCase:
+    """One fully-seeded soak configuration."""
+
+    index: int
+    base_seed: int
+    scenario: str
+    policy: str
+    resilient: bool
+    num_nodes: int
+    num_jobs: int
+
+    def describe(self) -> dict:
+        return {
+            "index": self.index,
+            "base_seed": self.base_seed,
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "resilient": self.resilient,
+            "num_nodes": self.num_nodes,
+            "num_jobs": self.num_jobs,
+        }
+
+
+def build_case(index: int, base_seed: int) -> SoakCase:
+    """Deterministic case for *index*: the scenario/policy/resilience axes
+    cycle at coprime periods (7, 3, 2) so 42 consecutive indices cover
+    every combination."""
+    return SoakCase(
+        index=index,
+        base_seed=base_seed,
+        scenario=SCENARIO_NAMES[index % len(SCENARIO_NAMES)],
+        policy=POLICY_NAMES[index % len(POLICY_NAMES)],
+        resilient=index % 2 == 0,
+        num_nodes=4 + 2 * (index % 3),
+        num_jobs=2 + index % 2,
+    )
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Result of one engine run: ``ok``, ``abort`` (attempt budget — a
+    tuning artifact, not a correctness failure) or ``fail``."""
+
+    status: str
+    error_type: str | None = None
+    invariant: str | None = None
+    message: str | None = None
+
+    def signature(self) -> tuple[str | None, str | None]:
+        return (self.error_type, self.invariant)
+
+
+def execute(case: SoakCase, workload, cluster, plan: list[FaultEvent]) -> Outcome:
+    """Run one simulation for *case* under *plan* and classify the result."""
+    cfg = DSPConfig()
+    sim = SimConfig(invariants="strict")
+    deadlines = None
+    if case.policy == "dsp":
+        scheduler = DSPScheduler(cluster, cfg, ilp_task_limit=0)
+        policy = DSPPreemption(cfg)
+        deadlines = compute_level_deadlines(workload, cluster, cfg)
+    elif case.policy == "srpt":
+        scheduler = DSPScheduler(cluster, cfg, ilp_task_limit=0)
+        policy = SRPTPreemption(cfg)
+        deadlines = compute_level_deadlines(workload, cluster, cfg)
+    else:
+        scheduler = FCFSScheduler(cluster, cfg)
+        policy = NullPreemption()
+    engine = SimEngine(
+        cluster,
+        workload.jobs,
+        scheduler,
+        preemption=policy,
+        dsp_config=cfg,
+        sim_config=sim,
+        task_deadlines=deadlines,
+        dependency_aware_dispatch=policy.respects_dependencies,
+        faults=plan,
+        resilience=SOAK_RESILIENCE if case.resilient else None,
+    )
+    try:
+        engine.run()
+    except AttemptBudgetExhausted as exc:
+        return Outcome("abort", type(exc).__name__, None, str(exc))
+    except InvariantViolation as exc:
+        return Outcome("fail", "InvariantViolation", exc.name, str(exc))
+    except SimulationError as exc:
+        return Outcome("fail", type(exc).__name__, None, str(exc))
+    return Outcome("ok")
+
+
+def case_inputs(case: SoakCase):
+    """Build the (workload, cluster, plan) triple for *case*.  Everything
+    derives from ``default_rng([base_seed, index])`` so a case replays
+    bit-identically."""
+    rng = np.random.default_rng([case.base_seed, case.index])
+    cluster = uniform_cluster(case.num_nodes)
+    workload = build_workload_for_cluster(
+        case.num_jobs, cluster, seed=rng, scale=8.0
+    )
+    plan = chaos_plan(cluster, FAULT_HORIZON, SCENARIOS[case.scenario], rng=rng)
+    return workload, cluster, plan
+
+
+# ------------------------------------------------------------ minimization
+
+
+def minimize_plan(plan, reproduces, *, max_runs: int = 400):
+    """Removal-only ddmin: shrink *plan* to a (1-minimal up to chunking)
+    sublist for which ``reproduces(candidate)`` still holds.
+
+    ``reproduces`` must accept a candidate event list and return bool; it
+    is responsible for any re-normalization the candidate needs.  Returns
+    *plan* unchanged when the failure does not reproduce on the full plan
+    (non-determinism guard).  ``max_runs`` bounds the number of candidate
+    executions so soak never stalls on a pathological case.
+    """
+    runs = 0
+
+    def check(candidate) -> bool:
+        nonlocal runs
+        if runs >= max_runs:
+            return False
+        runs += 1
+        return reproduces(candidate)
+
+    current = list(plan)
+    if not check(current):
+        return current
+    if check([]):
+        return []
+    n = 2
+    while len(current) >= 2 and runs < max_runs:
+        chunk = math.ceil(len(current) / n)
+        shrunk = False
+        for i in range(0, len(current), chunk):
+            candidate = current[:i] + current[i + chunk :]
+            if len(candidate) < len(current) and check(candidate):
+                current = candidate
+                n = max(2, n - 1)
+                shrunk = True
+                break
+        if not shrunk:
+            if n >= len(current):
+                break
+            n = min(len(current), n * 2)
+    return current
+
+
+def minimize_case(case: SoakCase, failure: Outcome) -> list[FaultEvent]:
+    """Shrink *case*'s fault plan to a minimal plan reproducing *failure*
+    (same exception class, same invariant name)."""
+    workload, cluster, plan = case_inputs(case)
+    signature = failure.signature()
+
+    def reproduces(candidate) -> bool:
+        normalized = normalize_plan(candidate, cluster, keep_alive=False)
+        outcome = execute(case, workload, cluster, normalized)
+        return outcome.status == "fail" and outcome.signature() == signature
+
+    minimal = minimize_plan(plan, reproduces)
+    return normalize_plan(minimal, cluster, keep_alive=False)
+
+
+def write_artifact(
+    out_dir: pathlib.Path, case: SoakCase, failure: Outcome, plan: list[FaultEvent]
+) -> pathlib.Path:
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"repro_case_{case.index:04d}.json"
+    artifact = {
+        "case": case.describe(),
+        "error": {
+            "type": failure.error_type,
+            "invariant": failure.invariant,
+            "message": failure.message,
+        },
+        "minimized_plan": plan_to_json(plan),
+    }
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    return path
+
+
+# -------------------------------------------------------------------- main
+
+
+def run_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
+    failures = 0
+    aborts = 0
+    for index in range(runs):
+        case = build_case(index, base_seed)
+        workload, cluster, plan = case_inputs(case)
+        outcome = execute(case, workload, cluster, plan)
+        tag = (
+            f"[{index + 1:3d}/{runs}] {case.scenario:>15s} x {case.policy:<4s} "
+            f"res={'on ' if case.resilient else 'off'} "
+            f"nodes={case.num_nodes} jobs={case.num_jobs} "
+            f"plan={len(plan):3d}ev"
+        )
+        if outcome.status == "ok":
+            print(f"{tag} ok")
+            continue
+        if outcome.status == "abort":
+            aborts += 1
+            print(f"{tag} ABORT ({outcome.message})")
+            continue
+        failures += 1
+        print(f"{tag} FAIL {outcome.error_type} ({outcome.invariant})")
+        minimal = minimize_case(case, outcome)
+        path = write_artifact(out_dir, case, outcome, minimal)
+        print(
+            f"      minimized {len(plan)} -> {len(minimal)} events; "
+            f"repro written to {path}"
+        )
+    print(
+        f"soak: {runs} runs, {failures} failures, {aborts} aborts "
+        f"(seed={base_seed})"
+    )
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--runs", type=int, default=50, help="number of cases")
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--out",
+        type=pathlib.Path,
+        default=pathlib.Path("soak_failures"),
+        help="directory for repro artifacts",
+    )
+    args = parser.parse_args(argv)
+    if args.runs < 1:
+        parser.error("--runs must be >= 1")
+    return run_soak(args.runs, args.seed, args.out)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

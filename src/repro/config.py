@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 
 from ._util import check_fraction, check_non_negative, check_positive
 
-__all__ = ["DSPConfig", "SimConfig", "ResilienceConfig"]
+__all__ = ["DSPConfig", "SimConfig", "ResilienceConfig", "ChaosConfig"]
 
 
 @dataclass(frozen=True)
@@ -150,6 +150,13 @@ class SimConfig:
         rebuilding only nodes whose running-set membership changed.  False
         recomputes everything per tick — identical behaviour, only slower
         (a debugging/benchmark knob).
+    invariants:
+        Runtime invariant checking (:mod:`repro.sim.invariants`).
+        ``"off"`` (default) attaches nothing — zero overhead, byte-identical
+        runs.  ``"record"`` attaches the checker and collects violations for
+        post-run inspection; ``"strict"`` raises
+        :class:`~repro.sim.invariants.InvariantViolation` (with the
+        offending event and recent event history) at the first violation.
     """
 
     epoch: float = 5.0
@@ -157,6 +164,7 @@ class SimConfig:
     horizon: float = 10_000_000.0
     collect_task_samples: bool = False
     views_cache: bool = True
+    invariants: str = "off"
 
     def __post_init__(self) -> None:
         check_positive(self.epoch, "epoch")
@@ -164,6 +172,11 @@ class SimConfig:
         check_positive(self.horizon, "horizon")
         if self.epoch > self.scheduling_period:
             raise ValueError("epoch must not exceed scheduling_period")
+        if self.invariants not in ("off", "record", "strict"):
+            raise ValueError(
+                "invariants must be 'off', 'record' or 'strict', "
+                f"got {self.invariants!r}"
+            )
 
     def replace(self, **changes) -> "SimConfig":
         """Return a copy with *changes* applied."""
@@ -246,5 +259,96 @@ class ResilienceConfig:
         check_positive(self.quarantine_duration, "quarantine_duration")
 
     def replace(self, **changes) -> "ResilienceConfig":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Knobs of the composable chaos scenarios (:mod:`repro.sim.chaos`).
+
+    Each knob group drives one :class:`~repro.sim.chaos.ChaosScenario`;
+    a group whose gate knob is 0 is disabled, so the default config
+    generates an empty fault plan.  :func:`repro.sim.chaos.chaos_plan`
+    compiles the enabled scenarios into one validated fault plan.
+
+    Attributes
+    ----------
+    domains:
+        Number of correlated failure domains (racks/zones).  Nodes are
+        assigned round-robin; one failure draw takes the *whole* domain
+        down at the same instant (``domain_mtbf``/``domain_mttr`` are the
+        per-domain exponential means).  0 disables correlated failures.
+    burst_mtbf:
+        Baseline per-node MTBF (seconds) of the Markov-modulated failure
+        process.  During a burst window the failure rate is multiplied by
+        ``burst_factor``; windows open every ``burst_every`` seconds and
+        last ``burst_duration`` on average (all exponential).  0 disables
+        bursts.
+    wave_every:
+        Mean seconds between straggler waves; each wave slows a random
+        ``wave_fraction`` of nodes to ``wave_factor`` of their rate for
+        ``wave_duration`` seconds.  0 disables waves.
+    storm_every:
+        Mean seconds between task-failure storms; each storm injects
+        ``storm_task_fails`` TASK_FAIL events (Poisson-distributed count)
+        on random nodes over ``storm_duration`` seconds.  0 disables
+        storms.
+    partition_mtbf:
+        Per-node mean time between network partitions (seconds); each
+        partition heals after an exponential ``partition_duration``.
+        0 disables partitions.
+    keep_alive:
+        When True (default), the compiled plan never takes the last
+        available node away: failure/partition events that would leave
+        zero reachable nodes are dropped during normalization.
+    """
+
+    domains: int = 0
+    domain_mtbf: float = 7200.0
+    domain_mttr: float = 300.0
+    burst_mtbf: float = 0.0
+    burst_mttr: float = 300.0
+    burst_factor: float = 8.0
+    burst_every: float = 14400.0
+    burst_duration: float = 600.0
+    wave_every: float = 0.0
+    wave_fraction: float = 0.3
+    wave_duration: float = 600.0
+    wave_factor: float = 0.4
+    storm_every: float = 0.0
+    storm_duration: float = 300.0
+    storm_task_fails: float = 8.0
+    partition_mtbf: float = 0.0
+    partition_duration: float = 120.0
+    keep_alive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.domains < 0:
+            raise ValueError(f"domains must be >= 0, got {self.domains!r}")
+        check_positive(self.domain_mtbf, "domain_mtbf")
+        check_positive(self.domain_mttr, "domain_mttr")
+        check_non_negative(self.burst_mtbf, "burst_mtbf")
+        check_positive(self.burst_mttr, "burst_mttr")
+        if self.burst_factor < 1.0:
+            raise ValueError(
+                f"burst_factor must be >= 1, got {self.burst_factor!r}"
+            )
+        check_positive(self.burst_every, "burst_every")
+        check_positive(self.burst_duration, "burst_duration")
+        check_non_negative(self.wave_every, "wave_every")
+        check_fraction(self.wave_fraction, "wave_fraction")
+        check_positive(self.wave_duration, "wave_duration")
+        if not 0.0 < self.wave_factor < 1.0:
+            raise ValueError(
+                f"wave_factor must be in (0, 1), got {self.wave_factor!r}"
+            )
+        check_non_negative(self.storm_every, "storm_every")
+        check_positive(self.storm_duration, "storm_duration")
+        check_non_negative(self.storm_task_fails, "storm_task_fails")
+        check_non_negative(self.partition_mtbf, "partition_mtbf")
+        check_positive(self.partition_duration, "partition_duration")
+
+    def replace(self, **changes) -> "ChaosConfig":
         """Return a copy with *changes* applied."""
         return dataclasses.replace(self, **changes)

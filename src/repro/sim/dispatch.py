@@ -105,7 +105,7 @@ class DispatchSubsystem:
         start tasks whose planned start has passed (stalling them when
         parents are unfinished — a disorder)."""
         rt = self._rt
-        if not node.alive or node.queue_length == 0:
+        if not node.available or node.queue_length == 0:
             return
         if any(gate(node.node_id) for gate in rt.state.dispatch_gates):
             return
@@ -199,8 +199,14 @@ class DispatchSubsystem:
         )
 
     def activate_stalled(self, task: TaskRuntime) -> None:
-        """A stalled task's last parent completed: begin real execution."""
+        """A stalled task's last parent completed: begin real execution.
+
+        Deferred while the node is partitioned — the activation command
+        cannot reach it; the heal handler re-activates stalled runnable
+        tasks once the node is reachable again."""
         node = self._rt.state.nodes[task.node_id]
+        if node.partitioned:
+            return
         self.end_stall(task)
         self.begin_running(task, node)
 

@@ -28,6 +28,8 @@ module                    responsibility
 :mod:`~repro.sim.resilience`   retries, speculation, quarantine (optional)
 :mod:`~repro.sim.metrics`      bus subscriber accumulating RunMetrics
 :mod:`~repro.sim.tracelog`     bus subscriber recording Gantt segments
+:mod:`~repro.sim.invariants`   runtime invariant checking (optional)
+:mod:`~repro.sim.chaos`        composable chaos scenarios → fault plans
 ========================  ====================================================
 
 Behavioural contract (DESIGN.md §4):
@@ -61,8 +63,9 @@ from ..dag.task import Task, TaskState
 from .dispatch import DispatchSubsystem
 from .events import EventKind
 from .fault_sub import FaultSubsystem
-from .faults import FaultEvent, validate_fault_plan
+from .faults import FaultEvent, fault_sort_key, validate_fault_plan
 from .executor import NodeRuntime, TaskRuntime
+from .invariants import InvariantChecker
 from .kernel import EventBus, Kernel, SimulationError, SimulationStuck
 from .metrics import MetricsCollector, RunMetrics
 from .policy import NullPreemption, PreemptionPolicy
@@ -232,7 +235,7 @@ class SimEngine:
         if stall_timeout <= 0:
             raise ValueError("stall_timeout must be > 0")
         self._fault_plan: list[FaultEvent] = sorted(
-            faults or (), key=lambda e: (e.time, e.node_id)
+            faults or (), key=fault_sort_key
         )
         if self._fault_plan:
             problems = validate_fault_plan(self._fault_plan, cluster)
@@ -292,13 +295,22 @@ class SimEngine:
 
         # Bus subscribers, in canonical order (docs/architecture.md): view
         # invalidation first, then accounting (metrics, trace), then the
-        # resilience layer (which may mutate state or abort the run).
+        # resilience layer (which may mutate state or abort the run), and
+        # the invariant checker last — it must observe the world *after*
+        # every other subscriber has reacted to the same event.
         rt.views.attach(bus)
         rt.metrics.attach(bus)
         if rt.trace is not None:
             rt.trace.attach(bus)
         if rt.resilience is not None:
             rt.resilience.attach(bus, kernel)
+        rt.invariants = (
+            InvariantChecker(rt, mode=sim_config.invariants)
+            if sim_config.invariants != "off"
+            else None
+        )
+        if rt.invariants is not None:
+            rt.invariants.attach(bus)
 
         self._finished = False
         attach = getattr(policy, "attach", None)
@@ -320,6 +332,12 @@ class SimEngine:
     def trace(self) -> TraceLog | None:
         """The execution trace (None unless ``record_trace=True``)."""
         return self._rt.trace
+
+    @property
+    def invariants(self) -> InvariantChecker | None:
+        """The invariant checker (None unless ``sim_config.invariants`` is
+        ``"record"`` or ``"strict"``)."""
+        return self._rt.invariants
 
     @property
     def runtime(self) -> SimRuntime:
@@ -376,4 +394,7 @@ class SimEngine:
                 f"(first: {sorted(unfinished)[:3]})"
             )
         self._finished = True
-        return rt.metrics.finalize(rt.now)
+        metrics = rt.metrics.finalize(rt.now)
+        if rt.invariants is not None:
+            rt.invariants.verify_run(metrics)
+        return metrics

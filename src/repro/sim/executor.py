@@ -126,6 +126,8 @@ class NodeRuntime:
         self.rate = rate
         self.base_rate = rate  # nominal rate; `rate` drops during stragglers
         self.alive = True      # False while failed (fault injection)
+        self.partitioned = False  # True while unreachable (PARTITION fault)
+        self.partitioned_at: float | None = None  # when the partition began
         self.free: ResourceVector = spec.capacity
         self.running: set[str] = set()
         self._queue: list[tuple[float, str]] = []  # (planned_start, task_id)
@@ -133,6 +135,12 @@ class NodeRuntime:
     @property
     def node_id(self) -> str:
         return self.spec.node_id
+
+    @property
+    def available(self) -> bool:
+        """True when the node can accept and make progress on work
+        (alive and reachable)."""
+        return self.alive and not self.partitioned
 
     # -- queue ops (ascending planned start, Fig. 4) -----------------------
     def enqueue(self, task_id: str, planned_start: float) -> None:

@@ -22,9 +22,13 @@ from .kernel import (
     BacklogReassigned,
     FaultInjected,
     NodeFailed,
+    NodeHealed,
+    NodePartitioned,
     NodeRecovered,
     NodeRetimed,
     TaskAttemptFailed,
+    TaskPaused,
+    TaskResumed,
     TaskRetimed,
 )
 from .state import SimRuntime
@@ -55,12 +59,23 @@ class FaultSubsystem:
             self.retime_node(node, node.base_rate)
         elif fault.kind is FaultKind.TASK_FAIL:
             self._task_fail(node)
+        elif fault.kind is FaultKind.PARTITION:
+            self._partition_node(node)
+        elif fault.kind is FaultKind.HEAL:
+            self._heal_node(node)
 
     # --------------------------------------------------------------- crashes
     def _fail_node(self, node: NodeRuntime) -> None:
         """Node crash: suspend everything on it (work rolls back to the
         last checkpoint) and reassign its backlog to alive nodes."""
         rt = self._rt
+        if node.partitioned:
+            # A partitioned node can crash outright; the partition state is
+            # subsumed by the failure (paused work was folded into
+            # work_done_mi at partition time, so the suspends below charge
+            # it exactly as a direct crash would).
+            node.partitioned = False
+            node.partitioned_at = None
         rt.bus.emit(NodeFailed(rt.now, node.node_id))
         for tid in sorted(node.running):
             rt.preemption.suspend(rt.state.tasks[tid], node, cause="failure")
@@ -96,16 +111,22 @@ class FaultSubsystem:
         self, source: NodeRuntime, alive: list[NodeRuntime]
     ) -> int:
         """Move *source*'s queued backlog onto the least-loaded alive nodes
-        (gated nodes — e.g. quarantined — only as a last resort).  Returns
-        tasks moved."""
+        (partitioned or gated nodes — e.g. quarantined — only as a last
+        resort).  Returns tasks moved."""
         rt = self._rt
         gates = rt.state.dispatch_gates
         targets = alive
-        ungated = [
-            n for n in alive if not any(gate(n.node_id) for gate in gates)
-        ]
-        if ungated:
-            targets = ungated
+        for tier in (
+            [
+                n
+                for n in alive
+                if n.available and not any(gate(n.node_id) for gate in gates)
+            ],
+            [n for n in alive if n.available],
+        ):
+            if tier:
+                targets = tier
+                break
         moved = 0
         for tid in source.queued_ids():
             task = rt.state.tasks[tid]
@@ -152,13 +173,76 @@ class FaultSubsystem:
         # time against the original expectation.
         rt.bus.emit(NodeRetimed(now, node.node_id, old_rate, new_rate))
 
+    # ------------------------------------------------------------ partitions
+    def _partition_node(self, node: NodeRuntime) -> None:
+        """Network partition: the node is up but unreachable.  No new work
+        is dispatched to it and every running attempt pauses in place —
+        capacity stays held, progress stops — until the matching HEAL.
+        Progress so far is folded into ``work_done_mi`` (nothing is lost;
+        a partition is not a crash) and the pending finish event is
+        invalidated."""
+        rt = self._rt
+        now = rt.now
+        node.partitioned = True
+        node.partitioned_at = now
+        rt.bus.emit(NodePartitioned(now, node.node_id))
+        for tid in sorted(node.running):
+            task = rt.state.tasks[tid]
+            if task.state is not TaskState.RUNNING or task.run_start is None:
+                continue  # stalled tasks were not progressing anyway
+            unpaid = max(0.0, task.current_recovery - (now - task.run_start))
+            progressed = task.progress_seconds(now) * node.rate
+            task.work_done_mi = min(
+                task.task.size_mi, task.work_done_mi + progressed
+            )
+            task.run_start = None
+            task.current_recovery = unpaid
+            task.finish_version += 1  # invalidate the in-flight finish event
+            rt.bus.emit(TaskPaused(now, tid, node.node_id))
+
+    def _heal_node(self, node: NodeRuntime) -> None:
+        """Partition heals: paused attempts resume exactly where they left
+        off (the pause shifts the resilience timeout clock rather than
+        counting against it), stalled tasks whose parents finished during
+        the partition start for real, and the queue is re-dispatched."""
+        rt = self._rt
+        now = rt.now
+        started = node.partitioned_at if node.partitioned_at is not None else now
+        paused_for = now - started
+        node.partitioned = False
+        node.partitioned_at = None
+        for tid in sorted(node.running):
+            task = rt.state.tasks[tid]
+            if task.state is TaskState.RUNNING and task.run_start is None:
+                task.run_start = now
+                if task.stint_started_at is not None:
+                    task.stint_started_at += paused_for
+                task.finish_version += 1
+                busy = task.current_recovery + (
+                    task.task.size_mi - task.work_done_mi
+                ) / node.rate
+                rt.kernel.schedule(
+                    now + busy, EventKind.TASK_FINISH, (tid, task.finish_version)
+                )
+                rt.bus.emit(
+                    TaskResumed(now, tid, node.node_id, task.current_recovery)
+                )
+            elif task.state is TaskState.STALLED and task.is_runnable:
+                # Its last parent finished during the partition; the stall
+                # could not end then (node unreachable) — start it now.
+                rt.dispatch.activate_stalled(task)
+        rt.bus.emit(NodeHealed(now, node.node_id))
+        rt.dispatch.dispatch(node)
+
     # ---------------------------------------------------------- task failure
     def _task_fail(self, node: NodeRuntime) -> None:
         """Transient task failure on *node*: kill its longest-running
         attempt (no-op when the node is down, idle or only stalling —
-        which is exactly how a quarantined node dodges further losses)."""
+        which is exactly how a quarantined node dodges further losses).
+        Partitioned nodes are skipped too: their attempts are paused, not
+        executing, so there is no running stint to kill."""
         rt = self._rt
-        if not node.alive:
+        if not node.available:
             return
         victims = [
             task

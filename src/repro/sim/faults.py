@@ -17,10 +17,14 @@ fault model the engine executes:
   stint's progress, while the node itself stays up.  The resilience layer
   (:mod:`repro.sim.resilience`) retries the task with backoff; without it
   the engine re-queues the task immediately.
+* **PARTITION** — a *network partition*: the node is up but unreachable.
+  No new work can be dispatched to it and its running tasks pause in
+  place (capacity held, no progress) until the matching **HEAL**, which
+  restores reachability and resumes the paused work.
 
 Faults are injected as a pre-built plan (deterministic experiments) —
-either hand-written or drawn from :func:`random_fault_plan`'s
-MTBF/MTTR model.
+hand-written, drawn from :func:`random_fault_plan`'s MTBF/MTTR model, or
+compiled from the composable chaos scenarios of :mod:`repro.sim.chaos`.
 """
 
 from __future__ import annotations
@@ -34,17 +38,51 @@ import numpy as np
 from .._util import check_non_negative, check_positive, ensure_rng
 from ..cluster.cluster import Cluster
 
-__all__ = ["FaultKind", "FaultEvent", "random_fault_plan", "validate_fault_plan"]
+__all__ = [
+    "FaultKind",
+    "FaultEvent",
+    "fault_sort_key",
+    "random_fault_plan",
+    "validate_fault_plan",
+]
 
 
 class FaultKind(enum.Enum):
-    """The five fault-model events."""
+    """The seven fault-model events."""
 
     FAILURE = "failure"
     RECOVERY = "recovery"
     SLOWDOWN = "slowdown"
     RESTORE = "restore"
     TASK_FAIL = "task_fail"
+    PARTITION = "partition"
+    HEAL = "heal"
+
+
+#: Deterministic rank of fault kinds *within* one (time, node) slot.
+#: Restorative transitions sort before degrading ones, so a zero-width
+#: window (e.g. RECOVERY and FAILURE at the same instant) always reads as
+#: "recover, then fail again" — without this, same-timestamp order depended
+#: on input list order and validation verdicts could flip between runs.
+_KIND_RANK = {
+    FaultKind.RECOVERY: 0,
+    FaultKind.HEAL: 1,
+    FaultKind.RESTORE: 2,
+    FaultKind.SLOWDOWN: 3,
+    FaultKind.PARTITION: 4,
+    FaultKind.FAILURE: 5,
+    FaultKind.TASK_FAIL: 6,
+}
+
+
+def fault_sort_key(ev: "FaultEvent") -> tuple[float, str, int]:
+    """Canonical total order of fault events: time, node, then kind rank.
+
+    Every consumer of a fault plan (validation, the engine's schedule, the
+    chaos normalizer) sorts with this key so same-timestamp events resolve
+    identically everywhere.
+    """
+    return (ev.time, ev.node_id, _KIND_RANK[ev.kind])
 
 
 @dataclass(frozen=True, slots=True)
@@ -77,11 +115,14 @@ def validate_fault_plan(
     """Sanity-check a fault plan; returns human-readable problems.
 
     Checks node existence and per-node event alternation (no double
-    failure without recovery, no restore without slowdown, …).
+    failure without recovery, no restore without slowdown, no heal
+    without partition, …) over the canonical :func:`fault_sort_key`
+    order, so same-timestamp events yield one verdict regardless of the
+    input list's order.
     """
     problems: list[str] = []
     state: dict[str, str] = {}
-    for ev in sorted(plan, key=lambda e: (e.time, e.node_id)):
+    for ev in sorted(plan, key=fault_sort_key):
         if ev.node_id not in cluster:
             problems.append(f"t={ev.time}: unknown node {ev.node_id!r}")
             continue
@@ -103,8 +144,20 @@ def validate_fault_plan(
                 problems.append(f"t={ev.time}: {ev.node_id} restores while {current}")
             state[ev.node_id] = "up"
         elif ev.kind is FaultKind.TASK_FAIL:
-            if current == "down":
-                problems.append(f"t={ev.time}: task fails on down node {ev.node_id}")
+            if current in ("down", "partitioned"):
+                problems.append(
+                    f"t={ev.time}: task fails on {current} node {ev.node_id}"
+                )
+        elif ev.kind is FaultKind.PARTITION:
+            if current != "up":
+                problems.append(
+                    f"t={ev.time}: {ev.node_id} partitions while {current}"
+                )
+            state[ev.node_id] = "partitioned"
+        elif ev.kind is FaultKind.HEAL:
+            if current != "partitioned":
+                problems.append(f"t={ev.time}: {ev.node_id} heals while {current}")
+            state[ev.node_id] = "up"
     return problems
 
 
@@ -174,7 +227,7 @@ def random_fault_plan(
                 if not overlaps_down(t, t):
                     plan.append(FaultEvent(t, node.node_id, FaultKind.TASK_FAIL))
                 t += float(gen.exponential(mtbf / task_fail_rate))
-    plan.sort(key=lambda e: (e.time, e.node_id))
+    plan.sort(key=fault_sort_key)
     problems = validate_fault_plan(plan, cluster)
     if problems:
         raise RuntimeError(f"random_fault_plan produced an invalid plan: {problems[:3]}")

@@ -53,12 +53,16 @@ __all__ = [
     "TaskSuspended",
     "TaskAttemptFailed",
     "TaskRetimed",
+    "TaskPaused",
+    "TaskResumed",
     "TransferStarted",
     "RetryDispatched",
     "FaultInjected",
     "NodeFailed",
     "NodeRecovered",
     "NodeRetimed",
+    "NodePartitioned",
+    "NodeHealed",
     "NodeQuarantined",
     "BacklogReassigned",
     "SpeculationLaunched",
@@ -174,12 +178,14 @@ class TaskFinished(BusEvent):
 class TaskPreempted(BusEvent):
     """A policy decision evicted a running/stalled task; ``cost`` is the
     context-switch charge (t_r + σ), ``lost_mi`` the work destroyed by a
-    lossy checkpoint."""
+    lossy checkpoint.  ``preempted_by`` names the preempting task (empty
+    for legacy emitters) — the invariant checker's C2 audit keys on it."""
 
     task_id: str
     node_id: str
     cost: float
     lost_mi: float
+    preempted_by: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -206,6 +212,26 @@ class TaskAttemptFailed(BusEvent):
 class TaskRetimed(BusEvent):
     """A node rate change re-timed an in-flight task; ``unpaid`` recovery
     seconds carry into the new stint."""
+
+    task_id: str
+    node_id: str
+    unpaid: float
+
+
+@dataclass(frozen=True, slots=True)
+class TaskPaused(BusEvent):
+    """A network partition paused a running task in place: it keeps its
+    node capacity but makes no progress (work to date is folded into the
+    task's checkpointed total) until the node heals."""
+
+    task_id: str
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class TaskResumed(BusEvent):
+    """A healed partition resumed a paused task; ``unpaid`` recovery
+    seconds carry into the resumed stint."""
 
     task_id: str
     node_id: str
@@ -259,6 +285,22 @@ class NodeRetimed(BusEvent):
     node_id: str
     old_rate: float
     new_rate: float
+
+
+@dataclass(frozen=True, slots=True)
+class NodePartitioned(BusEvent):
+    """A node became unreachable (up but partitioned): dispatch to it is
+    gated and its running work pauses until the matching HEAL."""
+
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class NodeHealed(BusEvent):
+    """A partitioned node became reachable again; its paused tasks have
+    already been resumed (per-task :class:`TaskResumed` events)."""
+
+    node_id: str
 
 
 @dataclass(frozen=True, slots=True)

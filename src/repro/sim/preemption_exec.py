@@ -50,8 +50,8 @@ class PreemptionExecutor:
         if not rt.policy.is_noop:
             for node_id in sorted(state.nodes):
                 node = state.nodes[node_id]
-                if not node.alive or node.queue_length == 0:
-                    continue  # dead or nothing waiting => nothing to do
+                if not node.available or node.queue_length == 0:
+                    continue  # unreachable or nothing waiting => nothing to do
                 view = rt.views.build(node, rt.now)
                 for decision in rt.policy.select_preemptions(view):
                     self.apply(decision, node)
@@ -93,11 +93,16 @@ class PreemptionExecutor:
         freed = node.free + vic.task.demand
         if not pre.task.demand.fits_within(freed):
             return
-        self.suspend(vic, node)
+        self.suspend(vic, node, by=pre.task.task_id)
         rt.dispatch.start_task(pre, node)
 
     def suspend(
-        self, task: TaskRuntime, node: NodeRuntime, *, cause: str = "preemption"
+        self,
+        task: TaskRuntime,
+        node: NodeRuntime,
+        *,
+        cause: str = "preemption",
+        by: str | None = None,
     ) -> None:
         """Evict a running/stalled task back to the queue.
 
@@ -106,7 +111,9 @@ class PreemptionExecutor:
         ``"stall"`` (the engine kicked a timed-out stalled task — counted
         separately, bans the task from blind re-dispatch) or ``"failure"``
         (node fault — no context-switch charge; the reassignment counter
-        covers it).
+        covers it).  ``by`` names the preempting task on ``"preemption"``
+        suspends so auditors (the invariant checker's C2 rule) can see who
+        evicted whom.
         """
         rt = self._rt
         now = rt.now
@@ -148,7 +155,9 @@ class PreemptionExecutor:
         else:
             task.preempt_count += 1
             rt.bus.emit(
-                TaskPreempted(now, task.task.task_id, node.node_id, cost, lost)
+                TaskPreempted(
+                    now, task.task.task_id, node.node_id, cost, lost, by or ""
+                )
             )
 
     def _evict_timed_out_stalls(self) -> None:
@@ -156,8 +165,8 @@ class PreemptionExecutor:
         capacity their ancestors may be waiting for (deadlock breaker)."""
         rt = self._rt
         for node in rt.state.nodes.values():
-            if not node.running:
-                continue
+            if node.partitioned or not node.running:
+                continue  # an unreachable node can't be told to evict
             for tid in sorted(node.running):
                 task = rt.state.tasks[tid]
                 if (

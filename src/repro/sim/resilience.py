@@ -36,7 +36,8 @@ failures/crashes or straggler[s]").  The engine's fault model
 
 Architecturally the manager is a *pluggable subsystem*: :meth:`attach`
 subscribes it to the engine's event bus (``EpochTick``, ``TaskFinished``,
-``TaskAttemptFailed``, ``NodeFailed``, ``NodeRecovered``, ``NodeRetimed``),
+``TaskAttemptFailed``, ``NodeFailed``, ``NodePartitioned``,
+``NodeRecovered``, ``NodeRetimed``),
 registers the ``SPEC_FINISH`` timed-event handler on the kernel, and
 installs its quarantine check / pending-work predicate into the engine's
 ``dispatch_gates`` / ``progress_holds`` extension points.  The core loop
@@ -117,6 +118,7 @@ class ResilienceManager:
         bus.subscribe(k.TaskFinished, self._on_task_finished)
         bus.subscribe(k.TaskAttemptFailed, self._on_attempt_failed)
         bus.subscribe(k.NodeFailed, self._on_node_failed)
+        bus.subscribe(k.NodePartitioned, self._on_node_partitioned)
         bus.subscribe(k.NodeRecovered, self._on_node_recovered)
         bus.subscribe(k.NodeRetimed, self._on_node_retimed)
         kernel.on(EventKind.SPEC_FINISH, self._on_spec_finish)
@@ -181,6 +183,17 @@ class ResilienceManager:
 
     def _on_node_failed(self, ev: k.NodeFailed) -> None:
         """A node crashed: cancel any speculative copies running on it."""
+        for tid in [
+            t for t, s in self._specs.items() if s.node_id == ev.node_id
+        ]:
+            self.cancel_spec(tid)
+
+    def _on_node_partitioned(self, ev: k.NodePartitioned) -> None:
+        """A node became unreachable: cancel speculative copies on it — a
+        copy that cannot deliver its result is dead weight, and the primary
+        may straggle again after the heal and earn a fresh copy.  (Like a
+        crash, the partition itself is not a health observation; the
+        EWMA tracks per-attempt outcomes, not fault injections.)"""
         for tid in [
             t for t, s in self._specs.items() if s.node_id == ev.node_id
         ]:
@@ -313,7 +326,10 @@ class ResilienceManager:
             return
         rt = self._rt
         for node in rt.state.nodes.values():
-            if not node.alive or not node.running:
+            # Partitioned nodes are skipped: their attempts are paused (and
+            # the heal handler shifts the stint clock by the pause), so an
+            # in-partition sweep would kill attempts for time they never had.
+            if not node.available or not node.running:
                 continue
             for tid in sorted(node.running):
                 task = rt.state.tasks[tid]
@@ -332,7 +348,7 @@ class ResilienceManager:
         if self._cfg.speculation_threshold <= 0:
             return
         rt = self._rt
-        alive = [n for n in rt.state.nodes.values() if n.alive]
+        alive = [n for n in rt.state.nodes.values() if n.available]
         if len(alive) < 2:
             return
         mean_rate = sum(n.rate for n in alive) / len(alive)
@@ -435,7 +451,7 @@ class ResilienceManager:
         candidates = [
             n
             for n in self._rt.state.nodes.values()
-            if n.alive
+            if n.available
             and n.node_id not in self._quarantined
             and n.fits(task.task.demand)
         ]
@@ -511,7 +527,7 @@ class ResilienceManager:
         healthy = [
             n
             for n in rt.state.nodes.values()
-            if n.alive
+            if n.available
             and n.node_id not in self._quarantined
             and n.node_id != node_id
         ]

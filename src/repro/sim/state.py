@@ -37,6 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .dispatch import DispatchSubsystem
     from .engine import SchedulerLike
     from .fault_sub import FaultSubsystem
+    from .invariants import InvariantChecker
     from .metrics import MetricsCollector
     from .preemption_exec import PreemptionExecutor
     from .resilience import ResilienceManager
@@ -211,6 +212,7 @@ class SimRuntime:
         self.resilience: "ResilienceManager | None" = None
         self.metrics: "MetricsCollector" = None  # type: ignore[assignment]
         self.trace: "TraceLog | None" = None
+        self.invariants: "InvariantChecker | None" = None
 
     @property
     def now(self) -> float:

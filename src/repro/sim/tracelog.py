@@ -78,10 +78,12 @@ class TraceLog:
                 k.TaskStallEvicted,
                 k.TaskSuspended,
                 k.TaskAttemptFailed,
+                k.TaskPaused,
             ),
             self._on_closed,
         )
         bus.subscribe(k.TaskRetimed, self._on_retimed)
+        bus.subscribe(k.TaskResumed, self._on_resumed)
 
     def _on_started(self, ev: "_k.TaskStarted") -> None:
         self.open_segment(ev.task_id, ev.node_id, ev.time, "run", ev.recovery)
@@ -95,6 +97,11 @@ class TraceLog:
     def _on_retimed(self, ev: "_k.TaskRetimed") -> None:
         # A rate change splits the run into two segments at the boundary.
         self.close_segment(ev.task_id, ev.time)
+        self.open_segment(ev.task_id, ev.node_id, ev.time, "run", ev.unpaid)
+
+    def _on_resumed(self, ev: "_k.TaskResumed") -> None:
+        # A partition heal: the pause gap (closed by TaskPaused) stays
+        # blank in the lane; the resumed stint is a fresh run segment.
         self.open_segment(ev.task_id, ev.node_id, ev.time, "run", ev.unpaid)
 
     # -- recording (engine-facing) -----------------------------------------

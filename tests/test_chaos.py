@@ -1,0 +1,186 @@
+"""Tests for the composable chaos scenarios (:mod:`repro.sim.chaos`):
+generator determinism and shape, plan normalization, keep-alive, config
+compilation and JSON round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import Cluster, NodeSpec
+from repro.config import ChaosConfig
+from repro.sim import (
+    CorrelatedFailureDomains,
+    FailureBursts,
+    FaultEvent,
+    FaultKind,
+    Partitions,
+    StragglerWave,
+    TaskFailStorm,
+    chaos_plan,
+    compile_plan,
+    fault_sort_key,
+    normalize_plan,
+    plan_from_json,
+    plan_to_json,
+    scenarios_from_config,
+    validate_fault_plan,
+)
+
+
+def one_lane(n: int) -> Cluster:
+    return Cluster([
+        NodeSpec(node_id=f"n{i}", cpu_size=1.0, mem_size=1.0, mips_per_unit=500.0)
+        for i in range(n)
+    ])
+
+
+HORIZON = 20_000.0
+
+
+class TestScenarioGeneration:
+    @pytest.mark.parametrize("scenario", [
+        CorrelatedFailureDomains(domains=2, mtbf=3000.0, mttr=200.0),
+        FailureBursts(mtbf=3000.0, mttr=200.0, factor=8.0,
+                      burst_every=6000.0, burst_duration=600.0),
+        StragglerWave(wave_every=2000.0, fraction=0.5, duration=400.0,
+                      factor=0.4),
+        TaskFailStorm(storm_every=2500.0, duration=300.0, task_fails=6.0),
+        Partitions(mtbf=3000.0, duration=150.0),
+    ])
+    def test_deterministic_and_valid(self, scenario):
+        cl = one_lane(4)
+        a = scenario.generate(cl, HORIZON, np.random.default_rng(7))
+        b = scenario.generate(cl, HORIZON, np.random.default_rng(7))
+        assert a == b
+        assert a, "scenario produced no events at these timescales"
+        plan = normalize_plan(a, cl)
+        assert validate_fault_plan(plan, cl) == []
+
+    def test_correlated_domains_fail_together(self):
+        cl = one_lane(6)
+        scenario = CorrelatedFailureDomains(domains=2, mtbf=2000.0, mttr=100.0)
+        plan = scenario.generate(cl, HORIZON, np.random.default_rng(3))
+        failures = [ev for ev in plan if ev.kind is FaultKind.FAILURE]
+        assert failures
+        by_time: dict[float, set[str]] = {}
+        for ev in failures:
+            by_time.setdefault(ev.time, set()).add(ev.node_id)
+        # Round-robin over 2 domains: every failure instant takes down a
+        # whole 3-node domain (all-even or all-odd indices).
+        domains = ({"n0", "n2", "n4"}, {"n1", "n3", "n5"})
+        for nodes in by_time.values():
+            assert nodes in domains
+
+    def test_windows_are_closed_within_horizon(self):
+        # Scenarios never strand a node: every FAILURE/SLOWDOWN/PARTITION
+        # has its closing event inside the horizon.
+        cl = one_lane(4)
+        for scenario in (CorrelatedFailureDomains(domains=2, mtbf=1500.0,
+                                                  mttr=400.0),
+                         Partitions(mtbf=1500.0, duration=400.0)):
+            plan = scenario.generate(cl, HORIZON, np.random.default_rng(11))
+            opens = {FaultKind.FAILURE: 0, FaultKind.PARTITION: 0}
+            for ev in sorted(plan, key=fault_sort_key):
+                if ev.kind in opens:
+                    opens[ev.kind] += 1
+                elif ev.kind is FaultKind.RECOVERY:
+                    opens[FaultKind.FAILURE] -= 1
+                elif ev.kind is FaultKind.HEAL:
+                    opens[FaultKind.PARTITION] -= 1
+            assert all(v == 0 for v in opens.values()), plan
+
+    def test_straggler_wave_slows_a_fraction(self):
+        cl = one_lane(10)
+        scenario = StragglerWave(wave_every=5000.0, fraction=0.3,
+                                 duration=300.0, factor=0.4)
+        plan = scenario.generate(cl, HORIZON, np.random.default_rng(1))
+        slowdowns = [ev for ev in plan if ev.kind is FaultKind.SLOWDOWN]
+        assert slowdowns
+        assert all(ev.factor == 0.4 for ev in slowdowns)
+        by_time: dict[float, int] = {}
+        for ev in slowdowns:
+            by_time[ev.time] = by_time.get(ev.time, 0) + 1
+        assert all(n == 3 for n in by_time.values())  # 30% of 10 nodes
+
+
+class TestNormalize:
+    def test_drops_illegal_transitions(self):
+        cl = one_lane(2)
+        events = [
+            FaultEvent(1.0, "n0", FaultKind.FAILURE),
+            FaultEvent(2.0, "n0", FaultKind.FAILURE),   # double-failure
+            FaultEvent(3.0, "n0", FaultKind.RECOVERY),
+            FaultEvent(4.0, "n1", FaultKind.HEAL),      # heal w/o partition
+            FaultEvent(5.0, "n1", FaultKind.RESTORE),   # restore w/o slowdown
+        ]
+        plan = normalize_plan(events, cl)
+        assert validate_fault_plan(plan, cl) == []
+        assert [ev.kind for ev in plan] == [FaultKind.FAILURE, FaultKind.RECOVERY]
+
+    def test_keep_alive_preserves_last_node(self):
+        cl = one_lane(2)
+        events = [
+            FaultEvent(1.0, "n0", FaultKind.FAILURE),
+            FaultEvent(2.0, "n1", FaultKind.PARTITION),  # would leave 0 nodes
+            FaultEvent(10.0, "n1", FaultKind.HEAL),
+            FaultEvent(20.0, "n0", FaultKind.RECOVERY),
+        ]
+        plan = normalize_plan(events, cl, keep_alive=True)
+        assert validate_fault_plan(plan, cl) == []
+        assert all(ev.kind not in (FaultKind.PARTITION, FaultKind.HEAL)
+                   for ev in plan)
+
+    def test_keep_alive_off_allows_dark_cluster(self):
+        cl = one_lane(2)
+        events = [
+            FaultEvent(1.0, "n0", FaultKind.FAILURE),
+            FaultEvent(2.0, "n1", FaultKind.FAILURE),
+            FaultEvent(10.0, "n0", FaultKind.RECOVERY),
+            FaultEvent(11.0, "n1", FaultKind.RECOVERY),
+        ]
+        plan = normalize_plan(events, cl, keep_alive=False)
+        assert len(plan) == 4
+
+
+class TestCompile:
+    def test_compile_merges_and_validates(self):
+        cl = one_lane(4)
+        plan = compile_plan(
+            [CorrelatedFailureDomains(domains=2, mtbf=3000.0, mttr=200.0),
+             StragglerWave(wave_every=2000.0, fraction=0.5, duration=300.0,
+                           factor=0.5)],
+            cl, HORIZON, rng=np.random.default_rng(5),
+        )
+        assert validate_fault_plan(plan, cl) == []
+        kinds = {ev.kind for ev in plan}
+        assert FaultKind.FAILURE in kinds and FaultKind.SLOWDOWN in kinds
+        assert plan == sorted(plan, key=fault_sort_key)
+
+    def test_default_config_yields_empty_plan(self):
+        cl = one_lane(2)
+        assert scenarios_from_config(ChaosConfig()) == []
+        assert chaos_plan(cl, HORIZON, ChaosConfig(), rng=1) == []
+
+    def test_chaos_plan_from_config(self):
+        cl = one_lane(4)
+        cfg = ChaosConfig(domains=2, domain_mtbf=3000.0, domain_mttr=200.0,
+                          partition_mtbf=3000.0, partition_duration=150.0)
+        plan = chaos_plan(cl, HORIZON, cfg, rng=9)
+        assert validate_fault_plan(plan, cl) == []
+        kinds = {ev.kind for ev in plan}
+        assert FaultKind.PARTITION in kinds
+        assert plan == chaos_plan(cl, HORIZON, cfg, rng=9)  # seeded
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_exact(self):
+        cl = one_lane(4)
+        cfg = ChaosConfig(domains=2, domain_mtbf=2500.0, domain_mttr=200.0,
+                          wave_every=2000.0, storm_every=2500.0,
+                          partition_mtbf=3000.0)
+        plan = chaos_plan(cl, HORIZON, cfg, rng=13)
+        assert plan
+        assert plan_from_json(plan_to_json(plan)) == plan
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises((KeyError, ValueError)):
+            plan_from_json([{"time": 1.0, "node_id": "n0", "kind": "meteor"}])

@@ -283,3 +283,127 @@ class TestFaultEdgeCases:
         assert m.tasks_completed == 2
         assert m.num_disorders >= 1     # the child did stall
         assert m.makespan > 30.0        # and finished after the recovery
+
+
+class TestSameTimestampTiebreak:
+    """Regression: a plan with a RECOVERY and a FAILURE at the same
+    instant on the same node used to validate or fail depending on input
+    order.  :func:`fault_sort_key` now ranks restorative kinds before
+    degrading ones at equal timestamps, so the instantaneous
+    down -> up -> down sequence is unambiguous."""
+
+    BOUNCE = [
+        FaultEvent(1.0, "n0", FaultKind.FAILURE),
+        FaultEvent(5.0, "n0", FaultKind.RECOVERY),
+        FaultEvent(5.0, "n0", FaultKind.FAILURE),   # re-fails at the instant
+        FaultEvent(9.0, "n0", FaultKind.RECOVERY),  # it recovers
+    ]
+
+    def test_validates_in_any_input_order(self):
+        from repro.sim import fault_sort_key
+
+        cl = one_lane(2)
+        assert validate_fault_plan(self.BOUNCE, cl) == []
+        assert validate_fault_plan(list(reversed(self.BOUNCE)), cl) == []
+        ordered = sorted(reversed(self.BOUNCE), key=fault_sort_key)
+        assert [ev.kind for ev in ordered] == [
+            FaultKind.FAILURE, FaultKind.RECOVERY,
+            FaultKind.FAILURE, FaultKind.RECOVERY,
+        ]
+
+    def test_restorative_ranked_before_degrading(self):
+        from repro.sim import fault_sort_key
+
+        same_time = [
+            FaultEvent(3.0, "n0", FaultKind.TASK_FAIL),
+            FaultEvent(3.0, "n0", FaultKind.FAILURE),
+            FaultEvent(3.0, "n0", FaultKind.PARTITION),
+            FaultEvent(3.0, "n0", FaultKind.HEAL),
+            FaultEvent(3.0, "n0", FaultKind.RECOVERY),
+        ]
+        ordered = sorted(same_time, key=fault_sort_key)
+        assert [ev.kind for ev in ordered] == [
+            FaultKind.RECOVERY, FaultKind.HEAL, FaultKind.PARTITION,
+            FaultKind.FAILURE, FaultKind.TASK_FAIL,
+        ]
+
+    def test_random_plan_emits_sorted_output(self):
+        from repro.sim import fault_sort_key
+
+        cl = one_lane(3)
+        plan = random_fault_plan(cl, 20_000.0, rng=2, mtbf=1500.0, mttr=200.0,
+                                 task_fail_rate=1.0)
+        assert plan == sorted(plan, key=fault_sort_key)
+
+
+class TestPartitionValidation:
+    def test_good_partition_plan(self):
+        cl = one_lane(2)
+        plan = [FaultEvent(1.0, "n0", FaultKind.PARTITION),
+                FaultEvent(5.0, "n0", FaultKind.HEAL)]
+        assert validate_fault_plan(plan, cl) == []
+
+    def test_heal_without_partition_rejected(self):
+        cl = one_lane(1)
+        plan = [FaultEvent(1.0, "n0", FaultKind.HEAL)]
+        assert validate_fault_plan(plan, cl) != []
+
+    def test_double_partition_rejected(self):
+        cl = one_lane(1)
+        plan = [FaultEvent(1.0, "n0", FaultKind.PARTITION),
+                FaultEvent(2.0, "n0", FaultKind.PARTITION)]
+        assert validate_fault_plan(plan, cl) != []
+
+    def test_task_fail_while_partitioned_rejected(self):
+        cl = one_lane(1)
+        plan = [FaultEvent(1.0, "n0", FaultKind.PARTITION),
+                FaultEvent(2.0, "n0", FaultKind.TASK_FAIL)]
+        assert validate_fault_plan(plan, cl) != []
+
+    def test_failure_consumes_partition(self):
+        # A partitioned node may crash outright; RECOVERY (not HEAL)
+        # then brings it back.
+        cl = one_lane(1)
+        plan = [FaultEvent(1.0, "n0", FaultKind.PARTITION),
+                FaultEvent(2.0, "n0", FaultKind.FAILURE),
+                FaultEvent(5.0, "n0", FaultKind.RECOVERY)]
+        assert validate_fault_plan(plan, cl) == []
+
+
+class TestEnginePartition:
+    def test_partition_pauses_and_heal_resumes_exactly(self):
+        # 5000 MI at 500 MIPS = 10 s of work; unreachable during [2, 5]
+        # contributes nothing, so the task finishes at exactly 13 s.
+        cl = one_lane(1)
+        job = Job.from_tasks("J", [mk("t0", size=5000.0)], deadline=1e6)
+        faults = [FaultEvent(2.0, "n0", FaultKind.PARTITION),
+                  FaultEvent(5.0, "n0", FaultKind.HEAL)]
+        m = run(cl, [job], faults)
+        assert m.tasks_completed == 1
+        assert m.makespan == pytest.approx(13.0, abs=1e-6)
+        assert m.fault_counts.get("partition") == 1
+        assert m.fault_counts.get("heal") == 1
+
+    def test_partition_is_not_a_failure(self):
+        # Unlike a crash, a partition loses no in-flight work and counts
+        # no node failure or reassignment.
+        cl = one_lane(1)
+        job = Job.from_tasks("J", [mk("t0", size=5000.0)], deadline=1e6)
+        faults = [FaultEvent(2.0, "n0", FaultKind.PARTITION),
+                  FaultEvent(5.0, "n0", FaultKind.HEAL)]
+        m = run(cl, [job], faults)
+        assert m.num_node_failures == 0
+        assert m.num_task_reassignments == 0
+        assert m.lost_work_mi == 0.0
+
+    def test_no_dispatch_while_partitioned(self):
+        # Two sequential tasks on one node; the partition opens after the
+        # first finishes, so the second may only start at the heal.
+        cl = one_lane(1)
+        job = Job.from_tasks("J", [mk("t0", size=1000.0),   # 2 s
+                                   mk("t1", size=1000.0)], deadline=1e6)
+        faults = [FaultEvent(2.0, "n0", FaultKind.PARTITION),
+                  FaultEvent(10.0, "n0", FaultKind.HEAL)]
+        m = run(cl, [job], faults)
+        assert m.tasks_completed == 2
+        assert m.makespan == pytest.approx(12.0, abs=1e-6)

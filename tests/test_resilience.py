@@ -270,3 +270,76 @@ class TestAcceptanceSweep:
         assert m.num_retries == 0
         assert m.num_speculative_launches == 0
         assert m.num_quarantines == 0
+
+
+class TestChaosInteractions:
+    """Resilience layer crossed with the chaos fault kinds, run under
+    strict runtime invariants so any illegal dispatch/preemption the
+    interaction produced would raise, not pass silently."""
+
+    @staticmethod
+    def run_strict(cluster, jobs, faults, resilience, engine_cls=SimEngine,
+                   **kw):
+        eng = engine_cls(
+            cluster, jobs, HeuristicScheduler(cluster),
+            sim_config=SimConfig(epoch=1.0, scheduling_period=10.0,
+                                 invariants="strict"),
+            faults=faults, resilience=resilience, **kw,
+        )
+        return eng, eng.run()
+
+    def test_quarantine_release_while_partitioned(self):
+        # Three task failures quarantine n0 at t=7; its probation expires
+        # at t=17 while the node sits partitioned in [10, 25].  The
+        # release must not dispatch to the unreachable node — n0 may only
+        # receive work again after the heal.
+        cl = one_lane(3)
+        job = Job.from_tasks("J", [mk(f"t{i}", size=10000.0) for i in range(9)],
+                             deadline=1e6)
+        faults = [FaultEvent(2.0, "n0", FaultKind.TASK_FAIL),
+                  FaultEvent(4.5, "n0", FaultKind.TASK_FAIL),
+                  FaultEvent(7.0, "n0", FaultKind.TASK_FAIL),
+                  FaultEvent(10.0, "n0", FaultKind.PARTITION),
+                  FaultEvent(25.0, "n0", FaultKind.HEAL)]
+        res = ResilienceConfig(quarantine_duration=10.0,
+                               speculation_threshold=0.0)
+        eng, m = self.run_strict(cl, [job], faults, res,
+                                 engine_cls=RecordingEngine)
+        assert m.tasks_completed == 9
+        assert m.num_quarantines == 1
+        assert not eng._resilience.is_quarantined("n0")
+        n0_starts = [t for t, _, nid in eng.starts if nid == "n0"]
+        assert all(t <= 7.0 or t >= 25.0 for t in n0_starts), n0_starts
+
+    def test_speculation_target_dies_mid_attempt(self):
+        # n0 starts straggling at t=2, a copy speculates onto n1, then n1
+        # crashes before the copy can finish.  The copy must be cancelled
+        # (no win, no double completion) and the straggling original
+        # carries the task to completion.
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk("t0", size=10000.0)], deadline=1e6)
+        faults = [FaultEvent(2.0, "n0", FaultKind.SLOWDOWN, factor=0.2),
+                  FaultEvent(10.0, "n1", FaultKind.FAILURE)]
+        eng, m = self.run_strict(cl, [job], faults, ResilienceConfig())
+        assert m.tasks_completed == 1
+        assert m.num_speculative_launches >= 1
+        assert m.num_speculative_wins == 0
+        assert eng._resilience.current_spec("t0") is None
+        # The original ground on at 0.2x: 2 s clean + 9000 MI at 100 MIPS.
+        assert m.makespan == pytest.approx(92.0, abs=1.0)
+
+    def test_speculation_target_partitioned_mid_attempt(self):
+        # Same setup but n1 partitions instead of crashing.  The copy is
+        # cancelled at the partition; after the heal the still-straggling
+        # original is free to speculate again and the run completes
+        # cleanly either way.
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk("t0", size=10000.0)], deadline=1e6)
+        faults = [FaultEvent(2.0, "n0", FaultKind.SLOWDOWN, factor=0.2),
+                  FaultEvent(10.0, "n1", FaultKind.PARTITION),
+                  FaultEvent(40.0, "n1", FaultKind.HEAL)]
+        eng, m = self.run_strict(cl, [job], faults, ResilienceConfig())
+        assert m.tasks_completed == 1
+        assert m.num_speculative_launches >= 1
+        assert m.num_speculative_wins <= m.num_speculative_launches
+        assert eng._resilience.current_spec("t0") is None

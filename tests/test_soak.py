@@ -1,0 +1,134 @@
+"""Tests for the soak harness (``scripts/soak.py``): the case grid,
+end-to-end clean cases, the ddmin plan minimizer (a deliberately broken
+policy must shrink to a tiny repro), and the JSON artifact shape."""
+
+import json
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "scripts"))
+
+import soak  # noqa: E402
+from repro.cluster import uniform_cluster  # noqa: E402
+from repro.config import SimConfig  # noqa: E402
+from repro.core import HeuristicScheduler  # noqa: E402
+from repro.sim import (  # noqa: E402
+    FaultEvent,
+    FaultKind,
+    InvariantViolation,
+    SimEngine,
+    chaos_plan,
+    normalize_plan,
+    validate_fault_plan,
+)
+from tests.test_invariants import C2Violator, chain_job, one_lane  # noqa: E402
+
+
+class TestCaseGrid:
+    def test_42_cases_cover_every_combination(self):
+        combos = {
+            (c.scenario, c.policy, c.resilient)
+            for c in (soak.build_case(i, 0) for i in range(42))
+        }
+        assert len(combos) == (
+            len(soak.SCENARIO_NAMES) * len(soak.POLICY_NAMES) * 2
+        )
+
+    def test_cases_are_seed_deterministic(self):
+        case = soak.build_case(3, 7)
+        w1, cl1, p1 = soak.case_inputs(case)
+        w2, cl2, p2 = soak.case_inputs(case)
+        assert p1 == p2
+        assert [j.job_id for j in w1.jobs] == [j.job_id for j in w2.jobs]
+
+    @pytest.mark.parametrize("index", [0, 3, 5])
+    def test_clean_cases_pass(self, index):
+        case = soak.build_case(index, 0)
+        workload, cluster, plan = soak.case_inputs(case)
+        assert validate_fault_plan(plan, cluster) == []
+        outcome = soak.execute(case, workload, cluster, plan)
+        assert outcome.status == "ok", outcome
+
+
+class TestMinimizer:
+    def test_minimize_plain_list(self):
+        # Failure reproduces iff the candidate still contains 7; ddmin
+        # must strip everything else.
+        plan = list(range(20))
+        assert soak.minimize_plan(plan, lambda c: 7 in c) == [7]
+
+    def test_non_reproducing_failure_returned_unchanged(self):
+        plan = list(range(5))
+        assert soak.minimize_plan(plan, lambda c: False) == plan
+
+    def test_policy_bug_minimizes_to_tiny_repro(self):
+        # A C2-violating policy fails regardless of the fault plan, so
+        # the 30+-event chaos plan must collapse to <= 5 events (here: 0).
+        cluster = one_lane(2)
+        job = chain_job()
+        cfg = soak.SCENARIOS["mixed"]
+        plan = chaos_plan(cluster, 20_000.0, cfg, rng=4)
+        assert len(plan) > 5
+
+        def run_with(candidate) -> bool:
+            eng = SimEngine(
+                cluster, [job], HeuristicScheduler(cluster),
+                preemption=C2Violator(),
+                sim_config=SimConfig(epoch=1.0, scheduling_period=10.0,
+                                     invariants="strict"),
+                faults=normalize_plan(candidate, cluster, keep_alive=False),
+                dependency_aware_dispatch=False,
+            )
+            try:
+                eng.run()
+            except InvariantViolation as exc:
+                return exc.name == "c2-dependency-preemption"
+            return False
+
+        minimal = soak.minimize_plan(plan, run_with)
+        assert len(minimal) <= 5
+
+    def test_fault_dependent_failure_keeps_culprit(self):
+        # Synthetic oracle standing in for a fault-triggered bug: the
+        # failure needs the n0 FAILURE/RECOVERY pair.  ddmin must keep
+        # both and drop the noise.
+        plan = [
+            FaultEvent(1.0, "n1", FaultKind.SLOWDOWN, factor=0.5),
+            FaultEvent(2.0, "n0", FaultKind.FAILURE),
+            FaultEvent(3.0, "n1", FaultKind.RESTORE),
+            FaultEvent(4.0, "n1", FaultKind.TASK_FAIL),
+            FaultEvent(5.0, "n0", FaultKind.RECOVERY),
+            FaultEvent(6.0, "n1", FaultKind.TASK_FAIL),
+        ]
+
+        def reproduces(candidate) -> bool:
+            kinds = [(ev.node_id, ev.kind) for ev in candidate]
+            return (("n0", FaultKind.FAILURE) in kinds
+                    and ("n0", FaultKind.RECOVERY) in kinds)
+
+        minimal = soak.minimize_plan(plan, reproduces)
+        assert len(minimal) == 2
+        assert {ev.kind for ev in minimal} == {FaultKind.FAILURE,
+                                               FaultKind.RECOVERY}
+
+
+class TestArtifact:
+    def test_artifact_shape(self, tmp_path):
+        case = soak.build_case(5, 0)
+        failure = soak.Outcome("fail", "InvariantViolation",
+                               "c2-dependency-preemption", "boom")
+        cluster = uniform_cluster(case.num_nodes)
+        plan = chaos_plan(cluster, 5000.0, soak.SCENARIOS["partitions"], rng=1)
+        path = soak.write_artifact(tmp_path, case, failure, plan)
+        artifact = json.loads(path.read_text())
+        assert artifact["case"]["index"] == 5
+        assert artifact["case"]["scenario"] == case.scenario
+        assert artifact["error"]["type"] == "InvariantViolation"
+        assert artifact["error"]["invariant"] == "c2-dependency-preemption"
+        assert len(artifact["minimized_plan"]) == len(plan)
+        # The serialized plan round-trips through the fault-plan JSON
+        # schema used by plan_from_json.
+        from repro.sim import plan_from_json
+        assert plan_from_json(artifact["minimized_plan"]) == plan
