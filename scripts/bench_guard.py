@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""CI benchmark-regression guard for the engine hot path.
+
+Re-runs the exact ``benchmarks/bench_engine_perf.py`` fig-8 recipe (fixed
+seeds, one warm-up run excluded, best-of-N) and fails when the measured
+incremental ``epoch_ticks_per_s`` drops more than ``--tolerance`` (default
+20%) below the committed ``BENCH_engine.json`` baseline.  It also
+re-checks the correctness side of the bargain: incremental and recompute
+runs must produce identical metrics, and the baseline file must record
+``results_identical: true``.
+
+The tolerance absorbs runner-to-runner noise; a real regression from an
+algorithmic change (e.g. breaking the priority-index memo) costs far more
+than 20%.  Refresh the baseline by re-running::
+
+    PYTHONPATH=src python -m pytest \
+        benchmarks/bench_engine_perf.py::test_perf_kernel_hot_path_incremental
+
+on a quiet machine and committing the regenerated BENCH_engine.json.
+
+Exit codes: 0 ok, 1 regression/identity failure, 2 missing/invalid baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "benchmarks"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=REPO / "BENCH_engine.json",
+        help="committed baseline JSON (default: repo-root BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional drop below baseline (default 0.20)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="measured rounds per mode, best taken (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        baseline = json.loads(args.baseline.read_text())
+        base_rate = baseline["incremental"]["epoch_ticks_per_s"]
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"bench-guard: unusable baseline {args.baseline}: {exc}")
+        return 2
+    if not baseline.get("results_identical"):
+        print("bench-guard: baseline was recorded without results_identical")
+        return 2
+
+    from bench_engine_perf import measure_hot_path
+
+    results = measure_hot_path(rounds=args.rounds)
+    inc, rec = results["incremental"], results["recompute"]
+    if inc["metrics"] != rec["metrics"] or inc["ticks"] != rec["ticks"]:
+        print("bench-guard: FAIL — incremental core changed simulation results")
+        return 1
+
+    rate = inc["ticks"] / inc["wall"]
+    floor = base_rate * (1.0 - args.tolerance)
+    verdict = "ok" if rate >= floor else "FAIL"
+    print(
+        f"bench-guard: {verdict} — measured {rate:.1f} epoch ticks/s "
+        f"(baseline {base_rate:.1f}, floor {floor:.1f}, "
+        f"speedup over recompute {rate / (rec['ticks'] / rec['wall']):.2f}x)"
+    )
+    return 0 if rate >= floor else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,7 +17,14 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..config import DSPConfig
-from ..sim.policy import NodeView, PreemptionDecision, PreemptionPolicy, TaskView
+from ..sim.policy import (
+    NodeView,
+    PreemptionDecision,
+    PreemptionPolicy,
+    TaskView,
+    greedy_claim,
+    preemptable_victims,
+)
 
 __all__ = ["AmoebaPreemption"]
 
@@ -40,23 +47,13 @@ class AmoebaPreemption(PreemptionPolicy):
     def select_preemptions(self, view: NodeView) -> Sequence[PreemptionDecision]:
         if not view.waiting or not view.running:
             return ()
-        victims = [r for r in view.running if r.is_preemptable]
-        victims.sort(key=self.victim_key)
+        victims = preemptable_victims(view, key=self.victim_key)
         # Waiting tasks by shortest remaining time (the throughput move).
         waiting = sorted(
             view.waiting, key=lambda w: (w.remaining_time, w.task_id)
         )
-        decisions: list[PreemptionDecision] = []
-        vi = 0
-        for w in waiting:
-            if vi >= len(victims):
-                break
-            victim = victims[vi]
-            if w.remaining_time < victim.remaining_time:
-                decisions.append(
-                    PreemptionDecision(
-                        preempting_task_id=w.task_id, victim_task_id=victim.task_id
-                    )
-                )
-                vi += 1
-        return decisions
+        return greedy_claim(
+            waiting,
+            victims,
+            accepts=lambda w, v: w.remaining_time < v.remaining_time,
+        )

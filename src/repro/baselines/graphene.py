@@ -31,6 +31,7 @@ from ..cluster.cluster import Cluster
 from ..config import DSPConfig
 from ..core.lanes import LaneTimelines
 from ..core.schedule import Schedule, TaskAssignment
+from ..dag.graph import batch_children
 from ..dag.job import Job
 from ..dag.task import Task
 
@@ -129,10 +130,7 @@ class GrapheneLiteScheduler:
         finish: dict[str, float] = {}
         assignments: dict[str, TaskAssignment] = {}
         unplaced_parents = {tid: len(all_tasks[tid].parents) for tid in topo}
-        children: dict[str, list[str]] = {tid: [] for tid in topo}
-        for tid, task in all_tasks.items():
-            for p in task.parents:
-                children[p].append(tid)
+        children = batch_children(jobs)
         ready = [tid for tid in topo if unplaced_parents[tid] == 0]
 
         def wave_key(tid: str) -> tuple[int, float, str]:

@@ -19,7 +19,14 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..config import DSPConfig
-from ..sim.policy import NodeView, PreemptionDecision, PreemptionPolicy, TaskView
+from ..sim.policy import (
+    NodeView,
+    PreemptionDecision,
+    PreemptionPolicy,
+    TaskView,
+    greedy_claim,
+    preemptable_victims,
+)
 
 __all__ = ["NatjamPreemption", "PRODUCTION_WEIGHT"]
 
@@ -51,29 +58,18 @@ class NatjamPreemption(PreemptionPolicy):
     def select_preemptions(self, view: NodeView) -> Sequence[PreemptionDecision]:
         if not view.waiting or not view.running:
             return ()
-        victims = [
-            r
-            for r in view.running
-            if r.is_preemptable and not self.is_production(r)
-        ]
+        victims = preemptable_victims(
+            view,
+            key=self.eviction_key,
+            eligible=lambda r: not self.is_production(r),
+        )
         if not victims:
             return ()
-        victims.sort(key=self.eviction_key)
         # Arriving production tasks claim resources; earliest-deadline
-        # production work goes first.
+        # production work goes first.  Claims are unconditional — class
+        # beats every runtime signal in Natjam's model.
         claimants = sorted(
             (w for w in view.waiting if self.is_production(w)),
             key=lambda w: (w.job_deadline, w.remaining_time, w.task_id),
         )
-        decisions: list[PreemptionDecision] = []
-        vi = 0
-        for w in claimants:
-            if vi >= len(victims):
-                break
-            decisions.append(
-                PreemptionDecision(
-                    preempting_task_id=w.task_id, victim_task_id=victims[vi].task_id
-                )
-            )
-            vi += 1
-        return decisions
+        return greedy_claim(claimants, victims)

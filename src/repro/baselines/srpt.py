@@ -21,7 +21,14 @@ from __future__ import annotations
 from typing import Sequence
 
 from ..config import DSPConfig
-from ..sim.policy import NodeView, PreemptionDecision, PreemptionPolicy, TaskView
+from ..sim.policy import (
+    NodeView,
+    PreemptionDecision,
+    PreemptionPolicy,
+    TaskView,
+    greedy_claim,
+    preemptable_victims,
+)
 
 __all__ = ["SRPTPreemption"]
 
@@ -50,22 +57,13 @@ class SRPTPreemption(PreemptionPolicy):
     def select_preemptions(self, view: NodeView) -> Sequence[PreemptionDecision]:
         if not view.waiting or not view.running:
             return ()
-        victims = [r for r in view.running if r.is_preemptable]
-        victims.sort(key=lambda r: (self.priority(r), r.task_id))  # lowest first
+        # Lowest-priority victims first; highest-priority claimants first.
+        victims = preemptable_victims(
+            view, key=lambda r: (self.priority(r), r.task_id)
+        )
         waiting = sorted(
             view.waiting, key=lambda w: (-self.priority(w), w.task_id)
         )
-        decisions: list[PreemptionDecision] = []
-        vi = 0
-        for w in waiting:
-            if vi >= len(victims):
-                break
-            victim = victims[vi]
-            if self.priority(w) > self.priority(victim):
-                decisions.append(
-                    PreemptionDecision(
-                        preempting_task_id=w.task_id, victim_task_id=victim.task_id
-                    )
-                )
-                vi += 1
-        return decisions
+        return greedy_claim(
+            waiting, victims, accepts=lambda w, v: self.priority(w) > self.priority(v)
+        )

@@ -38,6 +38,7 @@ import numpy as np
 from ..cluster.cluster import Cluster
 from ..config import DSPConfig
 from ..core.schedule import Schedule, TaskAssignment
+from ..dag.graph import batch_children
 from ..dag.job import Job
 from ..dag.task import Task
 
@@ -115,11 +116,7 @@ class TetrisScheduler:
         # parents are planned AND the plan time reaches their max finish.
         unplanned_parents = np.array([len(t.parents) for t in tasks])
         parents_finish = np.zeros(T)  # max planned finish over parents
-        children: dict[int, list[int]] = {i: [] for i in range(T)}
-        for t in tasks:
-            i = index[t.task_id]
-            for p in t.parents:
-                children[index[p]].append(i)
+        children = batch_children(jobs)
 
         assignments: dict[str, TaskAssignment] = {}
         now = max(self._now, float(releases.min()))
@@ -157,7 +154,8 @@ class TetrisScheduler:
                     )
                     unscheduled[i] = False
                     remaining -= 1
-                    for c in children[i]:
+                    for child_id in children[task.task_id]:
+                        c = index[child_id]
                         unplanned_parents[c] -= 1
                         parents_finish[c] = max(parents_finish[c], end)
                     packed_any = True

@@ -150,6 +150,14 @@ class SimConfig:
         rebuilding only nodes whose running-set membership changed.  False
         recomputes everything per tick — identical behaviour, only slower
         (a debugging/benchmark knob).
+    sched_index:
+        When True (default), the engine maintains the incremental
+        Eq. 12–13 priority index (:mod:`repro.sim.sched_core`) as a bus
+        subscriber and policies/resilience score through it; False drops
+        the index and every consumer falls back to its stateless
+        evaluator.  Results are identical either way (asserted by
+        ``tests/test_sched_core.py``) — like ``views_cache``, a pure
+        performance/debugging knob.
     invariants:
         Runtime invariant checking (:mod:`repro.sim.invariants`).
         ``"off"`` (default) attaches nothing — zero overhead, byte-identical
@@ -164,6 +172,7 @@ class SimConfig:
     horizon: float = 10_000_000.0
     collect_task_samples: bool = False
     views_cache: bool = True
+    sched_index: bool = True
     invariants: str = "off"
 
     def __post_init__(self) -> None:

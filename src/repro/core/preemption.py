@@ -29,10 +29,17 @@ Only running tasks whose allowable waiting time exceeds the epoch length
 are *preemptable* — evicting anything tighter would make it miss its own
 deadline (§IV-B).
 
-Priorities come from Eq. 12–13 via
-:class:`~repro.core.priority.PriorityEvaluator`, evaluated lazily over the
-descendant subgraphs of the tasks in the snapshot with live signals from
-the engine's :class:`~repro.sim.engine.SimContext`.
+Priorities come from Eq. 12–13.  When the engine exposes its incremental
+:class:`~repro.sim.sched_core.PriorityIndex` (``SimConfig.sched_index``,
+on by default) and that index scores with the same parameters as this
+policy's config, scores are read from it — the index memoizes across
+nodes and epochs and only re-walks invalidated ancestor chains.
+Otherwise (index disabled, or a policy configured with different
+weights than the engine) the policy falls back to its own stateless
+:class:`~repro.core.priority.PriorityEvaluator`, evaluated lazily over
+the descendant subgraphs of the tasks in the snapshot with live signals
+from the engine's :class:`~repro.sim.engine.SimContext`.  Both paths
+produce bit-identical scores (asserted by ``tests/test_sched_core.py``).
 """
 
 from __future__ import annotations
@@ -65,24 +72,34 @@ class DSPPreemption(PreemptionPolicy):
         self._config = config or DSPConfig()
         self.name = "DSP" if self._config.use_pp else "DSPW/oPP"
         self._evaluator: PriorityEvaluator | None = None
+        self._index = None
         self._ctx = None
 
     # -- engine handshake ---------------------------------------------------
     def attach(self, ctx) -> None:
-        """Receive the engine facade; build the Eq. 12 evaluator over the
-        full static task set."""
+        """Receive the engine facade; adopt the engine's incremental
+        priority index when it scores with this policy's parameters (see
+        module docstring), and build the stateless Eq. 12 evaluator over
+        the full static task set as the fallback."""
         self._ctx = ctx
         self._evaluator = PriorityEvaluator(self._config, ctx.tasks)
+        index = getattr(ctx, "priority_index", None)
+        self._index = (
+            index if index is not None and index.scores_like(self._config) else None
+        )
 
     # -- decision logic -------------------------------------------------------
     def _priorities(self, view: NodeView) -> dict[str, float]:
-        """Eq. 12–13 scores for every task in the snapshot, with live
+        """Eq. 12–13 scores for every task in the snapshot — from the
+        shared incremental index when adopted, else recomputed with live
         signals pulled from the engine context."""
         assert self._evaluator is not None and self._ctx is not None, (
             "DSPPreemption used before attach()"
         )
-        ctx = self._ctx
         wanted = [t.task_id for t in view.running] + [t.task_id for t in view.waiting]
+        if self._index is not None:
+            return self._index.priorities(wanted)
+        ctx = self._ctx
         return self._evaluator.compute_for(
             wanted,
             remaining_fn=ctx.remaining_time,
@@ -107,6 +124,15 @@ class DSPPreemption(PreemptionPolicy):
             return ()
         available = list(preemptable)
 
+        # The PP scale (mean neighbour gap of the snapshot's sorted
+        # priorities) is a property of the whole snapshot, not of one
+        # candidate pair — compute it once per node per epoch.
+        mean_gap = (
+            pairwise_mean_gap(sorted(priority.values()))
+            if self._config.use_pp
+            else 0.0
+        )
+
         decisions: list[PreemptionDecision] = []
         decided: set[str] = set()
 
@@ -121,7 +147,7 @@ class DSPPreemption(PreemptionPolicy):
                 if require_c1:
                     if gap <= 0:
                         return False  # sorted: every later victim is higher
-                    if require_pp and not self._pp_allows(gap, priority):
+                    if require_pp and not self._pp_allows(gap, mean_gap):
                         # PP rejects this victim; a higher-priority victim
                         # has an even smaller gap, so stop scanning.
                         return False
@@ -160,13 +186,13 @@ class DSPPreemption(PreemptionPolicy):
 
         return decisions
 
-    def _pp_allows(self, gap: float, priority: dict[str, float]) -> bool:
+    def _pp_allows(self, gap: float, mean_gap: float) -> bool:
         """Normalized-priority check: gap / mean-neighbour-gap > ρ.
 
-        With fewer than two distinct priorities the scale is undefined; any
-        strictly positive gap is then allowed (matching DSPW/oPP).
+        With fewer than two distinct priorities the scale is undefined
+        (*mean_gap* <= 0); any strictly positive gap is then allowed
+        (matching DSPW/oPP).
         """
-        mean_gap = pairwise_mean_gap(sorted(priority.values()))
         if mean_gap <= 0.0:
             return gap > 0.0
         return gap / mean_gap > self._config.rho

@@ -22,7 +22,14 @@ are excluded from :math:`S_{ij}`.
 
 The evaluator is stateless across epochs; each call re-evaluates from the
 caller-supplied runtime signals, memoizing over a reverse topological order
-so the recursion costs O(V + E) per epoch.
+so the recursion costs O(V + E) per epoch.  It is the *reference*
+implementation and the documented fallback: the engine's hot path scores
+through the incremental, event-invalidated index in
+:mod:`repro.sim.sched_core` (``SimConfig.sched_index``), which produces
+bit-identical results and keeps :meth:`PriorityEvaluator.compute` /
+:meth:`PriorityEvaluator.compute_for` as the public stateless API for
+examples, ablation benches and policies configured with non-engine
+parameters (see ``docs/api.md``).
 """
 
 from __future__ import annotations
@@ -158,30 +165,33 @@ class PriorityEvaluator:
             cached = memo.get(tid)
             if cached is not None:
                 return cached
-            # Iterative post-order DFS to avoid recursion limits on deep DAGs.
-            stack: list[tuple[str, bool]] = [(tid, False)]
+            # Iterative post-order DFS to avoid recursion limits on deep
+            # DAGs.  The live-children list rides on the expansion frame,
+            # so it is filtered exactly once per visited node (a plain
+            # (node, expanded) flag would rebuild it on the fold visit).
+            stack: list[tuple[str, list[str] | None]] = [(tid, None)]
             while stack:
-                cur, expanded = stack.pop()
+                cur, live = stack.pop()
+                if live is not None:
+                    memo[cur] = gamma1 * sum(memo[c] for c in live)
+                    continue
                 if cur in memo:
                     continue
                 live = [
                     c for c in self._children[cur] if not completed_fn(c)
                 ]
-                if expanded or not live:
-                    if live:
-                        memo[cur] = gamma1 * sum(memo[c] for c in live)
-                    else:
-                        memo[cur] = leaf_priority(
-                            self._config,
-                            remaining_fn(cur),
-                            waiting_fn(cur),
-                            allowable_fn(cur),
-                        )
-                else:
-                    stack.append((cur, True))
+                if live:
+                    stack.append((cur, live))
                     for c in live:
                         if c not in memo:
-                            stack.append((c, False))
+                            stack.append((c, None))
+                else:
+                    memo[cur] = leaf_priority(
+                        self._config,
+                        remaining_fn(cur),
+                        waiting_fn(cur),
+                        allowable_fn(cur),
+                    )
             return memo[tid]
 
         return {tid: score(tid) for tid in task_ids}

@@ -18,14 +18,18 @@ detection and topological orders.
 from __future__ import annotations
 
 from collections import defaultdict, deque
-from typing import Iterable, Mapping, Sequence
+from typing import TYPE_CHECKING, Iterable, Mapping, Sequence
 
 import networkx as nx
 
 from .task import Task
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .job import Job
+
 __all__ = [
     "build_children_map",
+    "batch_children",
     "validate_acyclic",
     "topological_order",
     "compute_levels",
@@ -72,6 +76,23 @@ def build_children_map(tasks: Mapping[str, Task]) -> dict[str, tuple[str, ...]]:
                 )
             children[parent].append(task.task_id)
     return {tid: tuple(sorted(kids)) for tid, kids in children.items()}
+
+
+def batch_children(jobs: Iterable["Job"]) -> dict[str, tuple[str, ...]]:
+    """Union of the jobs' children maps — the dependent relation of one
+    scheduling batch.
+
+    Cross-job dependency edges do not exist, so merging the per-job maps
+    is exact.  Offline schedulers should call this once per scheduling
+    round instead of re-inverting every task's parent list:
+    :attr:`repro.dag.job.Job.children` is a cached property, so each
+    job's map is derived once per process and a round costs one dict
+    update per job.
+    """
+    children: dict[str, tuple[str, ...]] = {}
+    for job in jobs:
+        children.update(job.children)
+    return children
 
 
 def validate_acyclic(tasks: Mapping[str, Task]) -> None:

@@ -71,6 +71,7 @@ from .metrics import MetricsCollector, RunMetrics
 from .policy import NullPreemption, PreemptionPolicy
 from .preemption_exec import PreemptionExecutor
 from .resilience import ResilienceManager
+from .sched_core import PriorityIndex
 from .state import SimRuntime, build_state
 from .tracelog import TraceLog
 from .views import ViewCache
@@ -122,6 +123,16 @@ class SimContext:
     @property
     def epoch(self) -> float:
         return self._rt.sim_config.epoch
+
+    @property
+    def priority_index(self) -> PriorityIndex | None:
+        """The engine's incremental Eq. 12–13 priority index
+        (:mod:`repro.sim.sched_core`), or ``None`` when
+        ``SimConfig.sched_index`` is off.  A policy should adopt it only
+        after checking :meth:`~repro.sim.sched_core.PriorityIndex.scores_like`
+        against its own config, falling back to a stateless evaluator
+        otherwise."""
+        return self._rt.sched
 
     def now(self) -> float:
         """Current simulation clock."""
@@ -276,6 +287,7 @@ class SimEngine:
             max_preemptions=max_preemptions_per_task,
             enabled=sim_config.views_cache,
         )
+        rt.sched = PriorityIndex(rt) if sim_config.sched_index else None
         rt.metrics = MetricsCollector(
             collect_samples=sim_config.collect_task_samples
         )
@@ -294,11 +306,15 @@ class SimEngine:
         # — no other subsystem ever schedules it.
 
         # Bus subscribers, in canonical order (docs/architecture.md): view
-        # invalidation first, then accounting (metrics, trace), then the
+        # invalidation first, then the scheduling-core index (its
+        # invalidations must land before any later subscriber scores
+        # through it), then accounting (metrics, trace), then the
         # resilience layer (which may mutate state or abort the run), and
         # the invariant checker last — it must observe the world *after*
         # every other subscriber has reacted to the same event.
         rt.views.attach(bus)
+        if rt.sched is not None:
+            rt.sched.attach(bus)
         rt.metrics.attach(bus)
         if rt.trace is not None:
             rt.trace.attach(bus)

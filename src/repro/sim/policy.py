@@ -12,13 +12,21 @@ Keeping the interface snapshot-based means DSP and all four baselines
 differ *only* in their decision logic — dispatch, bookkeeping and metric
 accounting are shared, so measured differences are attributable to the
 policies alone (the property the paper's §V-B comparison needs).
+
+The baseline preemption strategies (SRPT, Amoeba, Natjam) additionally
+share one decision *shape* — sort the preemptable running set by a
+victim-preference key, sort the claimants, then greedily pair claimants
+against the cheapest victim under an acceptance predicate —
+so that substrate lives here too (:func:`preemptable_victims`,
+:func:`greedy_claim`) and each baseline contributes only its keys and
+predicate.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 __all__ = [
     "TaskView",
@@ -26,6 +34,8 @@ __all__ = [
     "PreemptionDecision",
     "PreemptionPolicy",
     "NullPreemption",
+    "preemptable_victims",
+    "greedy_claim",
 ]
 
 
@@ -114,6 +124,55 @@ class PreemptionDecision:
 
     preempting_task_id: str
     victim_task_id: str
+
+
+def preemptable_victims(
+    view: NodeView,
+    key: Callable[[TaskView], object],
+    eligible: Callable[[TaskView], bool] | None = None,
+) -> list[TaskView]:
+    """The snapshot's preemptable running tasks, cheapest victim first.
+
+    *key* orders victims by the policy's eviction preference (include the
+    task id as the final tiebreak for determinism); *eligible* optionally
+    narrows the pool further (e.g. Natjam's research-only rule).
+    """
+    victims = [
+        r
+        for r in view.running
+        if r.is_preemptable and (eligible is None or eligible(r))
+    ]
+    victims.sort(key=key)
+    return victims
+
+
+def greedy_claim(
+    claimants: Sequence[TaskView],
+    victims: Sequence[TaskView],
+    accepts: Callable[[TaskView, TaskView], bool] | None = None,
+) -> list[PreemptionDecision]:
+    """Greedily pair *claimants* (in order) against the cheapest unclaimed
+    victim.
+
+    A victim is consumed only when *accepts*(claimant, victim) holds
+    (``None`` accepts unconditionally); a rejected claimant does **not**
+    consume the victim — the next claimant is tried against the same one.
+    """
+    decisions: list[PreemptionDecision] = []
+    vi = 0
+    for claimant in claimants:
+        if vi >= len(victims):
+            break
+        victim = victims[vi]
+        if accepts is None or accepts(claimant, victim):
+            decisions.append(
+                PreemptionDecision(
+                    preempting_task_id=claimant.task_id,
+                    victim_task_id=victim.task_id,
+                )
+            )
+            vi += 1
+    return decisions
 
 
 class PreemptionPolicy(abc.ABC):

@@ -52,6 +52,11 @@ class PreemptionExecutor:
                 node = state.nodes[node_id]
                 if not node.available or node.queue_length == 0:
                     continue  # unreachable or nothing waiting => nothing to do
+                if not node.running:
+                    # No occupant => no valid victim: apply() would reject
+                    # every pair, so skip the snapshot entirely (free
+                    # capacity is the dispatcher's job below).
+                    continue
                 view = rt.views.build(node, rt.now)
                 for decision in rt.policy.select_preemptions(view):
                     self.apply(decision, node)

@@ -109,6 +109,10 @@ class ResilienceManager:
         self._quarantined: dict[str, float] = {}  # node_id -> release time
         self._specs: dict[str, SpeculativeAttempt] = {}
         self._spec_versions: dict[str, int] = {}
+        # Insertion-order children lists for the stateless priority
+        # fallback (built lazily; must match the sched-core index's
+        # summation order so sched_index on/off rank identically).
+        self._children: dict[str, list[str]] | None = None
 
     # -------------------------------------------------------------- wiring
     def attach(self, bus: k.EventBus, kernel: k.Kernel) -> None:
@@ -462,16 +466,32 @@ class ResilienceManager:
     def _priority_order(self, task_ids: Iterable[str]) -> list[str]:
         """Rank *task_ids* by descending DSP priority (Eq. 12–13).
 
-        Mirrors :class:`repro.core.priority.PriorityEvaluator.compute_for`
-        over the engine's live signals.  Re-implemented here because the
-        simulator layer must not import :mod:`repro.core` (the scheduler is
-        a *client* of the simulator — see docs/architecture.md)."""
+        Scored through the engine's shared incremental index
+        (:mod:`repro.sim.sched_core`) when ``SimConfig.sched_index`` is
+        on; otherwise by a local stateless evaluation mirroring
+        :meth:`repro.core.priority.PriorityEvaluator.compute_for` over
+        the engine's live signals (re-implemented because the simulator
+        layer must not import :mod:`repro.core` — the scheduler is a
+        *client* of the simulator, see docs/architecture.md).  The
+        fallback sums children in the same insertion order as the index,
+        so both paths rank identically bit-for-bit."""
         rt = self._rt
+        if rt.sched is not None:
+            ids = list(task_ids)
+            scores = rt.sched.priorities(ids)
+            return sorted(ids, key=lambda tid: (-scores[tid], tid))
         state = rt.state
         dsp = rt.dsp_config
         now = rt.now
         gamma1 = dsp.gamma + 1.0
         memo: dict[str, float] = {}
+        children = self._children
+        if children is None:
+            children = {tid: [] for tid in state.static_tasks}
+            for task in state.static_tasks.values():
+                for parent in task.parents:
+                    children[parent].append(task.task_id)
+            self._children = children
 
         def leaf(tid: str) -> float:
             task = state.tasks[tid]
@@ -485,23 +505,24 @@ class ResilienceManager:
             )
 
         def score(root: str) -> float:
-            stack: list[tuple[str, bool]] = [(root, False)]
+            stack: list[tuple[str, list[str] | None]] = [(root, None)]
             while stack:
-                cur, expanded = stack.pop()
+                cur, live = stack.pop()
+                if live is not None:
+                    memo[cur] = gamma1 * sum(memo[c] for c in live)
+                    continue
                 if cur in memo:
                     continue
                 live = [
                     c
-                    for c in state.children.get(cur, ())
+                    for c in children[cur]
                     if state.tasks[c].state is not TaskState.COMPLETED
                 ]
-                if expanded or not live:
-                    memo[cur] = (
-                        gamma1 * sum(memo[c] for c in live) if live else leaf(cur)
-                    )
+                if live:
+                    stack.append((cur, live))
+                    stack.extend((c, None) for c in live if c not in memo)
                 else:
-                    stack.append((cur, True))
-                    stack.extend((c, False) for c in live if c not in memo)
+                    memo[cur] = leaf(cur)
             return memo[root]
 
         return sorted(task_ids, key=lambda tid: (-score(tid), tid))

@@ -1,0 +1,254 @@
+"""Incremental scheduling core: the stateful Eq. 12–13 priority index.
+
+The stateless :class:`repro.core.priority.PriorityEvaluator` re-scores a
+task's whole descendant subgraph every time it is asked, and every
+consumer (the DSP policy per node view, the resilience layer per retry
+sweep) asks separately — at fig-8 scale the same subgraphs are walked
+many times per epoch tick with identical inputs.  This module keeps one
+shared, *stateful* index instead:
+
+* **Live-dependent lists.**  Eq. 12 sums over a task's non-completed
+  dependents.  Dependencies mean a child can never complete before its
+  parents have, so the live set only ever shrinks — the index maintains
+  per-task live-dependent lists and removes a task from its parents'
+  lists on ``TaskFinished``, instead of re-filtering the full children
+  map on every evaluation.
+* **A per-tick score memo with event-driven invalidation.**  Within one
+  simulation instant every consumer sees the same runtime signals, so
+  scores memoize across consumers and across nodes.  The memo is dropped
+  whenever the clock advances, and *between* queries at the same instant
+  it is kept correct by subscribing to the kernel
+  :class:`~repro.sim.kernel.EventBus` (the same seam views, metrics and
+  resilience use): a task-bearing event invalidates that task **and its
+  ancestor chain** (the only scores its change can reach — Eq. 12 flows
+  from dependents up to ancestors), a world-shifting event (node rate
+  change, backlog re-homing, a scheduling round) drops the whole memo.
+* **Single-pass signals.**  A leaf's allowable waiting time re-uses the
+  remaining time already computed for its reciprocal term instead of
+  recomputing it, and the cluster mean rate (consulted for unassigned
+  tasks) is cached per memo generation.
+
+Bit-exactness contract: scores are produced by the *same* float
+operations in the *same* order as ``PriorityEvaluator.compute`` /
+``compute_for`` — the live lists replicate the evaluator's
+insertion-order children construction (NOT the sorted
+``SimState.children`` tuples; float addition is not associative, so the
+summation order matters), and the leaf blend uses the same expression
+shape as :func:`repro.core.priority.leaf_priority`.  The property test
+in ``tests/test_sched_core.py`` asserts exact equality against the
+stateless evaluator after every bus event of seeded runs.
+
+This module lives in the simulator layer and therefore must not import
+:mod:`repro.core`; the DSP policy reaches the index through
+:attr:`repro.sim.engine.SimContext.priority_index` at attach time, and
+verifies with :meth:`PriorityIndex.scores_like` that its own config
+produces the same scores before adopting it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from . import kernel as k
+from .state import SimRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import DSPConfig
+
+__all__ = ["PriorityIndex"]
+
+#: Floor applied to remaining time before taking its reciprocal (mirrors
+#: :data:`repro.core.priority._REMAINING_FLOOR`).
+_REMAINING_FLOOR = 1e-6
+
+#: Events that change one task's runtime signals or stint state: the
+#: task's own score and every score that aggregates it (its ancestor
+#: chain, Eq. 12) are invalidated; everything else stays memoized.
+_TASK_EVENTS = (
+    k.TaskStarted,
+    k.TaskStalled,
+    k.TaskStallEnded,
+    k.TaskStallEvicted,
+    k.TaskWaitAccrued,
+    k.TaskPreempted,
+    k.TaskSuspended,
+    k.TaskAttemptFailed,
+    k.TaskPaused,
+    k.TaskResumed,
+    k.TransferStarted,
+    k.RetryDispatched,
+    k.SpeculationWon,
+)
+
+#: Events after which whole-world signals may have shifted — node rates
+#: (mean-rate consumers), queue re-homing (per-task rate lookups) or a
+#: scheduling round planning a fresh batch: drop the entire memo.
+#: ``TaskRetimed`` lives here, not with the task events: it only fires
+#: after ``retime_node`` changed the *node's* rate, which moves the
+#: scores of every task assigned to that node — queued ones included,
+#: which a per-chain invalidation would miss.
+_WORLD_EVENTS = (
+    k.RoundTick,
+    k.FaultInjected,
+    k.NodeFailed,
+    k.NodeRecovered,
+    k.NodeRetimed,
+    k.TaskRetimed,
+    k.NodePartitioned,
+    k.NodeHealed,
+    k.NodeQuarantined,
+    k.BacklogReassigned,
+)
+
+
+class PriorityIndex:
+    """Shared incremental Eq. 12–13 score index over one run's task set.
+
+    Constructed by :class:`~repro.sim.engine.SimEngine` when
+    ``SimConfig.sched_index`` is on (the default) and attached to the bus
+    directly after the view cache; ``None`` on the runtime otherwise.
+    Consumers call :meth:`priorities` with the task ids they need — the
+    memo fills lazily and is shared by every consumer at one instant.
+    """
+
+    def __init__(self, runtime: SimRuntime) -> None:
+        self._rt = runtime
+        state = runtime.state
+        cfg = runtime.dsp_config
+        self._gamma1 = cfg.gamma + 1.0
+        self._w_rem = cfg.omega_remaining
+        self._w_wait = cfg.omega_waiting
+        self._w_allow = cfg.omega_allowable
+        # Live dependents per task, in the evaluator's insertion order
+        # (see module docstring: summation order must match bit-for-bit).
+        live: dict[str, list[str]] = {tid: [] for tid in state.static_tasks}
+        for task in state.static_tasks.values():
+            for parent in task.parents:
+                live[parent].append(task.task_id)
+        self._live = live
+        self._ancestors = state.ancestors
+        self._memo: dict[str, float] = {}
+        self._memo_now: float | None = None
+        self._mean_rate: float | None = None
+        # Observability counters (asserted by the perf bench).
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.clears = 0
+
+    # -------------------------------------------------------------- wiring
+    def attach(self, bus: k.EventBus) -> None:
+        """Subscribe the invalidation handlers (fourth first-class
+        subscriber, between the view cache and the metrics collector)."""
+        bus.subscribe(k.TaskFinished, self._on_finished)
+        bus.subscribe(_TASK_EVENTS, self._on_task_event)
+        bus.subscribe(_WORLD_EVENTS, self._on_world_event)
+
+    def scores_like(self, config: "DSPConfig") -> bool:
+        """True when *config* parameterizes Eq. 12–13 identically to the
+        engine config this index scores with — the guard a policy checks
+        before substituting the index for its own evaluator."""
+        cfg = self._rt.dsp_config
+        return (
+            config.gamma == cfg.gamma
+            and config.omega_remaining == cfg.omega_remaining
+            and config.omega_waiting == cfg.omega_waiting
+            and config.omega_allowable == cfg.omega_allowable
+        )
+
+    # -------------------------------------------------------- invalidation
+    def _on_task_event(self, event) -> None:
+        if self._memo:
+            self._invalidate(event.task_id)
+
+    def _on_world_event(self, _event) -> None:
+        if self._memo:
+            self._memo.clear()
+            self.clears += 1
+        self._mean_rate = None
+
+    def _on_finished(self, event: k.TaskFinished) -> None:
+        tid = event.task_id
+        for parent in self._rt.state.static_tasks[tid].parents:
+            kids = self._live[parent]
+            if tid in kids:
+                kids.remove(tid)
+        if self._memo:
+            self._invalidate(tid)
+
+    def _invalidate(self, task_id: str) -> None:
+        memo = self._memo
+        memo.pop(task_id, None)
+        for anc in self._ancestors[task_id]:
+            memo.pop(anc, None)
+        self.invalidations += 1
+
+    # ------------------------------------------------------------- scoring
+    def priorities(self, task_ids: Iterable[str]) -> dict[str, float]:
+        """Eq. 12–13 scores of *task_ids* (non-completed tasks) at the
+        current simulation instant."""
+        now = self._rt.now
+        if now != self._memo_now:
+            self._memo.clear()
+            self._memo_now = now
+            self._mean_rate = None
+        memo = self._memo
+        out: dict[str, float] = {}
+        for tid in task_ids:
+            score = memo.get(tid)
+            if score is None:
+                score = self._score(tid, now)
+                self.misses += 1
+            else:
+                self.hits += 1
+            out[tid] = score
+        return out
+
+    def _score(self, root: str, now: float) -> float:
+        """Iterative post-order DFS over the live-descendant subgraph.
+
+        A ``(task, None)`` frame expands; a ``(task, live)`` frame folds
+        the (already-memoized) dependents — the live list rides on the
+        frame so it is looked up exactly once per node visit.
+        """
+        memo = self._memo
+        live_map = self._live
+        gamma1 = self._gamma1
+        stack: list[tuple[str, list[str] | None]] = [(root, None)]
+        while stack:
+            cur, pending = stack.pop()
+            if pending is not None:
+                memo[cur] = gamma1 * sum(memo[c] for c in pending)
+                continue
+            if cur in memo:
+                continue
+            live = live_map[cur]
+            if live:
+                stack.append((cur, live))
+                for child in live:
+                    if child not in memo:
+                        stack.append((child, None))
+            else:
+                memo[cur] = self._leaf(cur, now)
+        return memo[root]
+
+    def _leaf(self, task_id: str, now: float) -> float:
+        """Eq. 13 with the remaining time computed once and re-used for
+        the allowable-wait term (same float ops as
+        :func:`repro.core.priority.leaf_priority` over
+        ``SimContext``-sourced signals)."""
+        state = self._rt.state
+        task = state.tasks[task_id]
+        node = state.nodes[task.node_id] if task.node_id else None
+        if node is not None:
+            rate = node.rate
+        else:
+            rate = self._mean_rate
+            if rate is None:
+                rate = self._mean_rate = state.mean_rate()
+        remaining = task.remaining_time_at(now, rate)
+        return (
+            self._w_rem / max(remaining, _REMAINING_FLOOR)
+            + self._w_wait * task.waiting_time_at(now)
+            + self._w_allow * (task.deadline - now - remaining)
+        )

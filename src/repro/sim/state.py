@@ -41,6 +41,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .metrics import MetricsCollector
     from .preemption_exec import PreemptionExecutor
     from .resilience import ResilienceManager
+    from .sched_core import PriorityIndex
     from .tracelog import TraceLog
     from .views import ViewCache
 
@@ -209,6 +210,7 @@ class SimRuntime:
         self.preemption: "PreemptionExecutor" = None  # type: ignore[assignment]
         self.faults: "FaultSubsystem" = None  # type: ignore[assignment]
         self.views: "ViewCache" = None  # type: ignore[assignment]
+        self.sched: "PriorityIndex | None" = None
         self.resilience: "ResilienceManager | None" = None
         self.metrics: "MetricsCollector" = None  # type: ignore[assignment]
         self.trace: "TraceLog | None" = None

@@ -14,12 +14,16 @@ for the policy.  The snapshot has two kinds of content:
 
 :class:`ViewCache` memoizes the structural content and rebuilds it only
 for *dirty* nodes — nodes whose running-set membership changed since the
-last build.  Dirtiness is tracked by subscribing to the event bus (the
-same seam metrics and tracing use), so the cache never needs hooks inside
-the dispatch/preemption code paths.  Ancestor closures themselves are
-memoized once at init in :class:`~repro.sim.state.SimState` and shared
-with every other consumer (C2 checks, the resilience layer's dispatch
-ranking, policy contexts).
+last build.  The per-node entry carries everything membership determines:
+the frozen running pool, the lazily-filled ``ancestors ∩ pool``
+dependency map, and the sorted snapshot order of the running set, so a
+clean node's epoch cost is pure signal arithmetic (no sorting, no set
+intersections).  Dirtiness is tracked by subscribing to the event bus
+(the same seam metrics and tracing use), so the cache never needs hooks
+inside the dispatch/preemption code paths.  Ancestor closures themselves
+are memoized once at init in :class:`~repro.sim.state.SimState` and
+shared with every other consumer (C2 checks, the resilience layer's
+dispatch ranking, policy contexts).
 
 ``SimConfig.views_cache=False`` switches to always-recompute — behaviour
 is identical (the parity benchmark asserts it), only slower.
@@ -72,8 +76,12 @@ class ViewCache:
         self._queue_limit = queue_limit
         self._max_preemptions = max_preemptions
         self._enabled = enabled
-        # node_id -> (running pool at build time, task_id -> closure & pool)
-        self._deps: dict[str, tuple[frozenset[str], dict[str, frozenset[str]]]] = {}
+        # node_id -> (running pool at build time,
+        #             task_id -> ancestors ∩ pool (lazily filled),
+        #             sorted running order at build time)
+        self._deps: dict[
+            str, tuple[frozenset[str], dict[str, frozenset[str]], list[str]]
+        ] = {}
         self._dirty: set[str] = set()
         # Static per-task attributes, computed once.
         self._static: dict[str, tuple[float, float, float]] = {}
@@ -99,30 +107,33 @@ class ViewCache:
         self._dirty.add(node_id)
 
     # ------------------------------------------------------------- building
-    def _node_deps(self, node: NodeRuntime) -> dict[str, frozenset[str]]:
-        """The (pool-dependent) dependency map for *node*, rebuilt only
-        when the node is dirty; per-task entries fill lazily."""
+    def _node_entry(
+        self, node: NodeRuntime
+    ) -> tuple[frozenset[str], dict[str, frozenset[str]], list[str]]:
+        """The structural entry for *node* — (frozen running pool,
+        lazily-filled dependency map, sorted running order) — rebuilt only
+        when the node is dirty."""
         nid = node.node_id
-        cached = self._deps.get(nid)
-        if cached is None or nid in self._dirty:
+        entry = self._deps.get(nid)
+        if entry is None or nid in self._dirty:
             self._dirty.discard(nid)
             self.rebuilds += 1
-            pool = frozenset(node.running)
-            entry = (pool, {})
+            entry = (frozenset(node.running), {}, sorted(node.running))
             self._deps[nid] = entry
-            return entry[1]
-        return cached[1]
+        return entry
 
     def _depends_on_running(
-        self, task_id: str, node: NodeRuntime, deps: dict[str, frozenset[str]] | None
+        self,
+        task_id: str,
+        node: NodeRuntime,
+        deps: dict[str, frozenset[str]] | None,
+        pool: frozenset[str] | None,
     ) -> frozenset[str]:
         if deps is None:  # cache disabled: recompute per call
             return frozenset(self._state.ancestors[task_id] & node.running)
         got = deps.get(task_id)
         if got is None:
-            got = deps[task_id] = frozenset(
-                self._state.ancestors[task_id] & self._deps[node.node_id][0]
-            )
+            got = deps[task_id] = frozenset(self._state.ancestors[task_id] & pool)
         return got
 
     def _task_view(
@@ -131,6 +142,7 @@ class ViewCache:
         node: NodeRuntime,
         now: float,
         deps: dict[str, frozenset[str]] | None,
+        pool: frozenset[str] | None,
     ) -> TaskView:
         task_id = rt.task.task_id
         remaining = rt.remaining_time_at(now, node.rate)
@@ -151,19 +163,21 @@ class ViewCache:
             resource_footprint=footprint,
             job_weight=weight,
             job_deadline=job_deadline,
-            depends_on_running=self._depends_on_running(task_id, node, deps),
+            depends_on_running=self._depends_on_running(task_id, node, deps, pool),
         )
 
     def build(self, node: NodeRuntime, now: float) -> NodeView:
         """Snapshot *node* at *now* for the preemption policy."""
         tasks = self._state.tasks
-        deps = self._node_deps(node) if self._enabled else None
+        if self._enabled:
+            pool, deps, ordered = self._node_entry(node)
+        else:
+            pool, deps, ordered = None, None, sorted(node.running)
         running = tuple(
-            self._task_view(tasks[tid], node, now, deps)
-            for tid in sorted(node.running)
+            self._task_view(tasks[tid], node, now, deps, pool) for tid in ordered
         )
         waiting = tuple(
-            self._task_view(tasks[tid], node, now, deps)
+            self._task_view(tasks[tid], node, now, deps, pool)
             for tid in node.queued_ids()[: self._queue_limit]
         )
         return NodeView(

@@ -1,0 +1,313 @@
+"""Incremental scheduling core (``sim/sched_core.py``): exactness + parity.
+
+Three layers of assurance for the stateful priority index:
+
+* **Property test** — seeded runs (random layered DAG workloads × random
+  fault/preemption event streams under DSP + resilience) with a wildcard
+  bus hook that, after *every* bus event, compares the index's scores for
+  all live tasks against a fresh stateless
+  :meth:`repro.core.priority.PriorityEvaluator.compute` — exact float
+  equality, no tolerance.  This is the empirical proof that the
+  event-driven invalidation catalog covers every mutation path.
+* **Knob parity** — ``SimConfig.sched_index`` on/off produce a
+  byte-identical event stream, trace and metrics on a faulty resilient
+  run (the knob is a pure performance switch, like ``views_cache``).
+* **Adoption guard** — a :class:`~repro.core.preemption.DSPPreemption`
+  configured with different Eq. 12–13 parameters than the engine must
+  *not* adopt the engine's index, and one with matching parameters must.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, ResourceVector
+from repro.config import DSPConfig, ResilienceConfig, SimConfig
+from repro.core import HeuristicScheduler
+from repro.core.preemption import DSPPreemption
+from repro.core.priority import PriorityEvaluator
+from repro.dag import Job, Task
+from repro.dag.task import TaskState
+from repro.experiments.harness import (
+    build_workload_for_cluster,
+    compute_level_deadlines,
+)
+from repro.sim import PriorityIndex, SimEngine, random_fault_plan
+
+
+def _small_cluster(n: int = 4) -> Cluster:
+    return Cluster([
+        NodeSpec(node_id=f"n{i}", cpu_size=2.0, mem_size=2.0, mips_per_unit=400.0)
+        for i in range(n)
+    ])
+
+
+def _diamond_jobs() -> list[Job]:
+    jobs = []
+    for j in range(3):
+        tasks = [
+            Task(
+                task_id=f"J{j}.a", job_id=f"J{j}", size_mi=8000.0,
+                demand=ResourceVector(cpu=1.0, mem=0.5),
+            ),
+            Task(
+                task_id=f"J{j}.b", job_id=f"J{j}", size_mi=6000.0,
+                demand=ResourceVector(cpu=1.0, mem=0.5),
+            ),
+            Task(
+                task_id=f"J{j}.c", job_id=f"J{j}", size_mi=4000.0,
+                demand=ResourceVector(cpu=1.0, mem=0.5),
+                parents=(f"J{j}.a", f"J{j}.b"),
+            ),
+        ]
+        jobs.append(Job.from_tasks(f"J{j}", tasks, deadline=1e6))
+    return jobs
+
+
+def _faulty_engine(seed: int, cfg: DSPConfig, **engine_kwargs) -> SimEngine:
+    """A seed-fixed DSP run over a random layered workload with node
+    failures, stragglers, task kills and the resilience layer active —
+    the densest event stream the simulator produces."""
+    cluster = _small_cluster()
+    workload = build_workload_for_cluster(
+        3, cluster, scale=10.0, seed=seed, config=cfg, demand_fraction=0.8
+    )
+    deadlines = compute_level_deadlines(workload, cluster, cfg)
+    faults = random_fault_plan(
+        cluster, horizon=400.0, rng=seed, mtbf=120.0, mttr=40.0,
+        straggler_rate=0.5, task_fail_rate=0.5,
+    )
+    return SimEngine(
+        cluster,
+        workload.jobs,
+        HeuristicScheduler(cluster),
+        preemption=DSPPreemption(cfg),
+        dsp_config=cfg,
+        sim_config=engine_kwargs.pop(
+            "sim_config", SimConfig(epoch=2.0, scheduling_period=20.0)
+        ),
+        task_deadlines=deadlines,
+        faults=faults,
+        resilience=ResilienceConfig(max_attempts=12),
+        **engine_kwargs,
+    )
+
+
+# --------------------------------------------------- index-vs-stateless
+class TestIndexMatchesStateless:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_exact_after_every_event(self, seed: int):
+        """After every bus event, index scores == a fresh stateless
+        evaluation over live signals, bit for bit."""
+        cfg = DSPConfig()
+        engine = _faulty_engine(seed, cfg)
+        rt = engine.runtime
+        state = rt.state
+        index = rt.sched
+        assert isinstance(index, PriorityIndex)
+        evaluator = PriorityEvaluator(cfg, state.static_tasks)
+        checks = 0
+
+        def check(_event) -> None:
+            nonlocal checks
+            now = rt.now
+            completed = [
+                tid
+                for tid, task in state.tasks.items()
+                if task.state is TaskState.COMPLETED
+            ]
+            done = set(completed)
+            live = [tid for tid in state.tasks if tid not in done]
+            if not live:
+                return
+            remaining = {tid: state.remaining_time(tid, now) for tid in live}
+            waiting = {
+                tid: state.tasks[tid].waiting_time_at(now) for tid in live
+            }
+            allowable = {
+                tid: state.tasks[tid].deadline - now - remaining[tid]
+                for tid in live
+            }
+            expected = evaluator.compute(
+                remaining, waiting, allowable, completed=completed
+            )
+            got = index.priorities(live)
+            assert got == expected  # exact float equality
+            checks += 1
+
+        # Wildcard subscribers run after every typed subscriber of the
+        # same event, so the hook always observes post-invalidation state.
+        rt.bus.subscribe_all(check)
+        engine.run()
+        assert checks > 100, "run produced too few events to be meaningful"
+        assert index.invalidations > 0
+        assert index.clears > 0
+        assert index.hits > 0
+
+    def test_exact_on_handcrafted_diamond(self):
+        """Same property on the hand-built diamond workload (shared
+        parents, exercised by the kernel determinism suite)."""
+        cfg = DSPConfig()
+        cluster = _small_cluster()
+        faults = random_fault_plan(
+            cluster, horizon=400.0, rng=11, mtbf=120.0, mttr=40.0,
+            straggler_rate=0.5, task_fail_rate=0.5,
+        )
+        engine = SimEngine(
+            cluster,
+            _diamond_jobs(),
+            HeuristicScheduler(cluster),
+            preemption=DSPPreemption(cfg),
+            dsp_config=cfg,
+            sim_config=SimConfig(epoch=2.0, scheduling_period=20.0),
+            faults=faults,
+            resilience=ResilienceConfig(),
+        )
+        rt = engine.runtime
+        evaluator = PriorityEvaluator(cfg, rt.state.static_tasks)
+        checks = 0
+
+        def check(_event) -> None:
+            nonlocal checks
+            now = rt.now
+            state = rt.state
+            completed = [
+                tid
+                for tid, task in state.tasks.items()
+                if task.state is TaskState.COMPLETED
+            ]
+            done = set(completed)
+            live = [tid for tid in state.tasks if tid not in done]
+            if not live:
+                return
+            expected = evaluator.compute(
+                {tid: state.remaining_time(tid, now) for tid in live},
+                {tid: state.tasks[tid].waiting_time_at(now) for tid in live},
+                {
+                    tid: state.tasks[tid].deadline
+                    - now
+                    - state.remaining_time(tid, now)
+                    for tid in live
+                },
+                completed=completed,
+            )
+            assert rt.sched.priorities(live) == expected
+            checks += 1
+
+        rt.bus.subscribe_all(check)
+        engine.run()
+        assert checks > 0
+
+
+# ------------------------------------------------------------ knob parity
+def _recorded_run(seed: int, sched_index: bool):
+    engine = _faulty_engine(
+        seed,
+        DSPConfig(),
+        sim_config=SimConfig(
+            epoch=2.0, scheduling_period=20.0, sched_index=sched_index
+        ),
+        record_trace=True,
+    )
+    stream: list[str] = []
+    engine.runtime.bus.subscribe_all(lambda ev: stream.append(repr(ev)))
+    metrics = engine.run()
+    return stream, engine.trace.segments, metrics.as_dict()
+
+
+class TestSchedIndexKnob:
+    def test_on_off_byte_identical(self):
+        s_on, t_on, m_on = _recorded_run(7, sched_index=True)
+        s_off, t_off, m_off = _recorded_run(7, sched_index=False)
+        assert "\n".join(s_on) == "\n".join(s_off)
+        assert t_on == t_off
+        assert m_on == m_off
+
+    def test_default_on_and_off_wiring(self):
+        on = _faulty_engine(0, DSPConfig())
+        assert isinstance(on.runtime.sched, PriorityIndex)
+        off = _faulty_engine(
+            0,
+            DSPConfig(),
+            sim_config=SimConfig(
+                epoch=2.0, scheduling_period=20.0, sched_index=False
+            ),
+        )
+        assert off.runtime.sched is None
+
+
+# -------------------------------------------------------- adoption guard
+class TestPolicyAdoption:
+    def test_matching_config_adopts_index(self):
+        cfg = DSPConfig()
+        engine = _faulty_engine(0, cfg)
+        policy = engine.runtime.policy
+        assert policy._index is engine.runtime.sched
+
+    def test_mismatched_config_falls_back(self):
+        """A policy scoring with different omegas than the engine keeps
+        its stateless evaluator (the index would give wrong scores)."""
+        engine_cfg = DSPConfig()
+        policy_cfg = DSPConfig(
+            omega_remaining=0.2, omega_waiting=0.3, omega_allowable=0.5
+        )
+        cluster = _small_cluster()
+        engine = SimEngine(
+            cluster,
+            _diamond_jobs(),
+            HeuristicScheduler(cluster),
+            preemption=DSPPreemption(policy_cfg),
+            dsp_config=engine_cfg,
+            sim_config=SimConfig(epoch=2.0, scheduling_period=20.0),
+        )
+        policy = engine.runtime.policy
+        assert policy._index is None
+        assert policy._evaluator is not None
+        engine.run()  # still completes on the fallback path
+
+    def test_index_disabled_falls_back(self):
+        engine = _faulty_engine(
+            0,
+            DSPConfig(),
+            sim_config=SimConfig(
+                epoch=2.0, scheduling_period=20.0, sched_index=False
+            ),
+        )
+        assert engine.runtime.policy._index is None
+        engine.run()
+
+
+# ------------------------------------- stateless fallback self-consistency
+class TestComputeForFallback:
+    def test_compute_for_matches_compute(self):
+        """Regression guard for the single-pass DFS rewrite: the lazy
+        per-subgraph entry point must agree exactly with the full pass,
+        including with completed tasks pruned from the live sets."""
+        cfg = DSPConfig()
+        cluster = _small_cluster()
+        workload = build_workload_for_cluster(
+            3, cluster, scale=10.0, seed=3, config=cfg, demand_fraction=0.8
+        )
+        tasks = {
+            tid: task for job in workload.jobs for tid, task in job.tasks.items()
+        }
+        evaluator = PriorityEvaluator(cfg, tasks)
+        ids = sorted(tasks)
+        # Mark every third task with no incomplete parents as completed.
+        completed: set[str] = set()
+        for i, tid in enumerate(ids):
+            if i % 3 == 0 and all(p in completed for p in tasks[tid].parents):
+                completed.add(tid)
+        live = [tid for tid in ids if tid not in completed]
+        remaining = {tid: 5.0 + (i % 7) for i, tid in enumerate(live)}
+        waiting = {tid: float(i % 5) for i, tid in enumerate(live)}
+        allowable = {tid: 50.0 - (i % 11) for i, tid in enumerate(live)}
+        full = evaluator.compute(remaining, waiting, allowable, completed)
+        lazy = evaluator.compute_for(
+            live,
+            remaining_fn=remaining.__getitem__,
+            waiting_fn=waiting.__getitem__,
+            allowable_fn=allowable.__getitem__,
+            completed_fn=completed.__contains__,
+        )
+        assert lazy == full
