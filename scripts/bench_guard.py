@@ -9,6 +9,11 @@ re-checks the correctness side of the bargain: incremental and recompute
 runs must produce identical metrics, and the baseline file must record
 ``results_identical: true``.
 
+A second check bounds the durability layer: the same recipe runs
+journal-off vs journal-on, and the guard fails if write-ahead journaling
+costs more than ``--journal-tolerance`` (default 10%) of epoch ticks/s —
+journaling must stay a cheap observer, never a tax on the hot path.
+
 The tolerance absorbs runner-to-runner noise; a real regression from an
 algorithmic change (e.g. breaking the priority-index memo) costs far more
 than 20%.  Refresh the baseline by re-running::
@@ -47,6 +52,13 @@ def main(argv: list[str] | None = None) -> int:
         "--rounds", type=int, default=3,
         help="measured rounds per mode, best taken (default 3)",
     )
+    parser.add_argument(
+        "--journal-tolerance", type=float, default=0.10,
+        help=(
+            "max fractional epoch-ticks/s cost of write-ahead journaling "
+            "vs journal-off (default 0.10)"
+        ),
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -59,7 +71,7 @@ def main(argv: list[str] | None = None) -> int:
         print("bench-guard: baseline was recorded without results_identical")
         return 2
 
-    from bench_engine_perf import measure_hot_path
+    from bench_engine_perf import measure_hot_path, measure_journal_overhead
 
     results = measure_hot_path(rounds=args.rounds)
     inc, rec = results["incremental"], results["recompute"]
@@ -75,7 +87,26 @@ def main(argv: list[str] | None = None) -> int:
         f"(baseline {base_rate:.1f}, floor {floor:.1f}, "
         f"speedup over recompute {rate / (rec['ticks'] / rec['wall']):.2f}x)"
     )
-    return 0 if rate >= floor else 1
+    if rate < floor:
+        return 1
+
+    # Durability cost: write-ahead journaling must stay a cheap observer.
+    # (Paired-median estimator; see measure_journal_overhead's docstring.)
+    journal = measure_journal_overhead()
+    j_off, j_on = journal["off"], journal["on"]
+    off_rate = j_off["ticks"] / j_off["wall"]
+    on_rate = j_on["ticks"] / j_on["wall"]
+    overhead = journal["overhead_fraction"]
+    base_overhead = baseline.get("journal", {}).get("overhead_fraction")
+    verdict = "ok" if overhead <= args.journal_tolerance else "FAIL"
+    print(
+        f"bench-guard: {verdict} — journaling costs {overhead:.1%} of epoch "
+        f"ticks/s ({off_rate:.1f} -> {on_rate:.1f}, cap "
+        f"{args.journal_tolerance:.0%}"
+        + (f", baseline {base_overhead:.1%}" if base_overhead is not None else "")
+        + f", {j_on['journal_bytes']} journal bytes)"
+    )
+    return 0 if overhead <= args.journal_tolerance else 1
 
 
 if __name__ == "__main__":

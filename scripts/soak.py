@@ -14,9 +14,18 @@ removal-only ddmin; candidate plans are re-normalized so they stay
 valid) and writes a JSON repro artifact with the case parameters, the
 error, and the minimized plan.
 
+``--crash-recovery`` switches to kill-and-resume mode: each case runs
+uninterrupted (journal + snapshots + trace), is then crashed at a seeded
+random event index — every fifth case mid-snapshot-write via an injected
+I/O fault — recovered from the latest valid snapshot plus journal
+truncation, and golden-compared **byte-for-byte** (journal, trace,
+``RunMetrics``) against the uninterrupted run.  Mismatches copy both
+journals next to the repro artifact.
+
 Usage::
 
     PYTHONPATH=src python scripts/soak.py --runs 50 --seed 0 --out soak_failures
+    PYTHONPATH=src python scripts/soak.py --crash-recovery --runs 21 --seed 0
 
 Exit status is non-zero iff at least one case failed.
 """
@@ -26,8 +35,11 @@ from __future__ import annotations
 import argparse
 import json
 import math
+import os
 import pathlib
+import shutil
 import sys
+import tempfile
 from dataclasses import dataclass
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
@@ -37,7 +49,13 @@ import numpy as np
 from repro.baselines.fcfs import FCFSScheduler
 from repro.baselines.srpt import SRPTPreemption
 from repro.cluster.machine_specs import uniform_cluster
-from repro.config import ChaosConfig, DSPConfig, ResilienceConfig, SimConfig
+from repro.config import (
+    ChaosConfig,
+    DSPConfig,
+    ResilienceConfig,
+    SimConfig,
+    SnapshotConfig,
+)
 from repro.core.preemption import DSPPreemption
 from repro.core.scheduler import DSPScheduler
 from repro.experiments.harness import (
@@ -50,8 +68,11 @@ from repro.sim import (
     InvariantViolation,
     NullPreemption,
     SimEngine,
+    SimulatedCrash,
     SimulationError,
     chaos_plan,
+    inject_crash,
+    latest_valid_snapshot,
     normalize_plan,
     plan_to_json,
 )
@@ -166,8 +187,12 @@ class Outcome:
         return (self.error_type, self.invariant)
 
 
-def execute(case: SoakCase, workload, cluster, plan: list[FaultEvent]) -> Outcome:
-    """Run one simulation for *case* under *plan* and classify the result."""
+def engine_args(case: SoakCase, workload, cluster, plan: list[FaultEvent]):
+    """Fresh ``(scheduler, kwargs)`` reconstructing *case*'s engine —
+    called once per engine build because schedulers carry cross-round
+    state.  :meth:`SimEngine.restore` takes the same pair, which is what
+    keeps the crash-recovery path honest: recovery rebuilds the engine
+    exactly the way the crashed process did."""
     cfg = DSPConfig()
     sim = SimConfig(invariants="strict")
     deadlines = None
@@ -182,10 +207,7 @@ def execute(case: SoakCase, workload, cluster, plan: list[FaultEvent]) -> Outcom
     else:
         scheduler = FCFSScheduler(cluster, cfg)
         policy = NullPreemption()
-    engine = SimEngine(
-        cluster,
-        workload.jobs,
-        scheduler,
+    kwargs = dict(
         preemption=policy,
         dsp_config=cfg,
         sim_config=sim,
@@ -194,6 +216,13 @@ def execute(case: SoakCase, workload, cluster, plan: list[FaultEvent]) -> Outcom
         faults=plan,
         resilience=SOAK_RESILIENCE if case.resilient else None,
     )
+    return scheduler, kwargs
+
+
+def execute(case: SoakCase, workload, cluster, plan: list[FaultEvent]) -> Outcome:
+    """Run one simulation for *case* under *plan* and classify the result."""
+    scheduler, kwargs = engine_args(case, workload, cluster, plan)
+    engine = SimEngine(cluster, workload.jobs, scheduler, **kwargs)
     try:
         engine.run()
     except AttemptBudgetExhausted as exc:
@@ -216,6 +245,191 @@ def case_inputs(case: SoakCase):
     )
     plan = chaos_plan(cluster, FAULT_HORIZON, SCENARIOS[case.scenario], rng=rng)
     return workload, cluster, plan
+
+
+# --------------------------------------------------------- crash recovery
+
+#: Snapshot cadence for crash-recovery cases: small enough that most
+#: crashes land past at least one snapshot, large enough to exercise a
+#: real replay suffix.
+CRASH_SNAPSHOT_EVERY = 40
+
+
+def run_one_crash_case(
+    case: SoakCase, workload, cluster, plan: list[FaultEvent], out_dir: pathlib.Path
+) -> Outcome:
+    """Golden crash-recovery parity check for one case.
+
+    1. Run the case uninterrupted with journal + trace + rotated
+       snapshots → reference journal bytes, trace and ``RunMetrics``.
+    2. Run it again and kill the engine at a seeded random event pop
+       (every fifth case instead injects an I/O fault *mid-snapshot-write*,
+       which also proves the atomic-rename protocol: the torn write
+       must not destroy older snapshots).
+    3. Recover: load the latest valid snapshot (or start over when the
+       crash predates the first one), reopen the journal at the
+       snapshot's offset, and run to completion.
+    4. The recovered run must match the reference **byte-for-byte**:
+       journal, trace, and ``RunMetrics.as_dict()``.
+
+    On mismatch the journals are copied next to the repro artifact for
+    post-mortem diffing (``repro journal <file>``).
+    """
+    rng = np.random.default_rng([case.base_seed, case.index, 0xC4A5])
+    with tempfile.TemporaryDirectory() as tmp_str:
+        tmp = pathlib.Path(tmp_str)
+
+        def durability(root: pathlib.Path) -> dict:
+            return dict(
+                record_trace=True,
+                journal=root / "run.journal",
+                snapshots=SnapshotConfig(
+                    directory=str(root / "snaps"),
+                    every_events=CRASH_SNAPSHOT_EVERY,
+                ),
+            )
+
+        # 1. Uninterrupted reference.
+        scheduler, kwargs = engine_args(case, workload, cluster, plan)
+        reference = SimEngine(
+            cluster, workload.jobs, scheduler, **kwargs, **durability(tmp / "ref")
+        )
+        try:
+            ref_metrics = reference.run().as_dict()
+        except AttemptBudgetExhausted as exc:
+            return Outcome("abort", type(exc).__name__, None, str(exc))
+        except InvariantViolation as exc:
+            return Outcome("fail", "InvariantViolation", exc.name, str(exc))
+        except SimulationError as exc:
+            return Outcome("fail", type(exc).__name__, None, str(exc))
+        ref_journal = (tmp / "ref" / "run.journal").read_bytes()
+        ref_trace = reference.trace.snapshot_state()
+        pops_total = reference.runtime.kernel.pops
+
+        # 2. Crash run.
+        crash_dir = tmp / "crash"
+        scheduler, kwargs = engine_args(case, workload, cluster, plan)
+        crashing = SimEngine(
+            cluster, workload.jobs, scheduler, **kwargs, **durability(crash_dir)
+        )
+        mid_write = case.index % 5 == 0
+        if mid_write:
+            def io_fault() -> None:
+                raise SimulatedCrash("injected I/O fault mid-snapshot-write")
+
+            crashing.snapshots.io_fault = io_fault
+            crash_at = f"first snapshot write (pop ~{CRASH_SNAPSHOT_EVERY})"
+        else:
+            at_pop = int(rng.integers(1, pops_total + 1))
+            inject_crash(crashing, at_pop)
+            crash_at = f"pop {at_pop}/{pops_total}"
+        try:
+            crashing.run()
+            return Outcome(
+                "fail", "CrashRecovery", None, "injected crash never fired"
+            )
+        except SimulatedCrash:
+            pass
+        except AttemptBudgetExhausted as exc:
+            return Outcome("abort", type(exc).__name__, None, str(exc))
+
+        # 3. Recover.
+        scheduler, kwargs = engine_args(case, workload, cluster, plan)
+        found = latest_valid_snapshot(crash_dir / "snaps")
+        if found is not None:
+            _, data = found
+            recovered = SimEngine.restore(
+                data,
+                cluster,
+                workload.jobs,
+                scheduler,
+                **kwargs,
+                **durability(crash_dir),
+            )
+        else:
+            # Crash predated the first durable snapshot: recovery is a
+            # fresh start; the journal reopens truncated to nothing.
+            recovered = SimEngine(
+                cluster, workload.jobs, scheduler, **kwargs, **durability(crash_dir)
+            )
+        try:
+            rec_metrics = recovered.run().as_dict()
+        except (AttemptBudgetExhausted, InvariantViolation, SimulationError) as exc:
+            return Outcome(
+                "fail",
+                "CrashRecovery",
+                getattr(exc, "name", None),
+                f"recovered run raised {type(exc).__name__} "
+                f"(crash at {crash_at}): {exc}",
+            )
+
+        # 4. Golden parity.
+        rec_journal = (crash_dir / "run.journal").read_bytes()
+        mismatches = []
+        if rec_metrics != ref_metrics:
+            diff_keys = sorted(
+                key
+                for key in set(ref_metrics) | set(rec_metrics)
+                if ref_metrics.get(key) != rec_metrics.get(key)
+            )
+            mismatches.append(f"metrics differ on {diff_keys[:6]}")
+        if rec_journal != ref_journal:
+            prefix = os.path.commonprefix([rec_journal, ref_journal])
+            mismatches.append(
+                f"journal diverges at byte {len(prefix)} "
+                f"({len(ref_journal)} vs {len(rec_journal)} bytes)"
+            )
+        if recovered.trace.snapshot_state() != ref_trace:
+            mismatches.append("trace segments differ")
+        if mismatches:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            stem = f"crash_case_{case.index:04d}"
+            shutil.copy(tmp / "ref" / "run.journal", out_dir / f"{stem}.ref.journal")
+            shutil.copy(crash_dir / "run.journal", out_dir / f"{stem}.rec.journal")
+            return Outcome(
+                "fail",
+                "CrashRecovery",
+                None,
+                f"crash at {crash_at}: " + "; ".join(mismatches),
+            )
+    return Outcome("ok")
+
+
+def run_crash_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
+    """Crash-recovery sweep over the same case grid as the plain soak
+    (chaos scenarios x policies x resilience on/off)."""
+    failures = 0
+    aborts = 0
+    for index in range(runs):
+        case = build_case(index, base_seed)
+        workload, cluster, plan = case_inputs(case)
+        outcome = run_one_crash_case(case, workload, cluster, plan, out_dir)
+        tag = (
+            f"[{index + 1:3d}/{runs}] {case.scenario:>15s} x {case.policy:<4s} "
+            f"res={'on ' if case.resilient else 'off'} "
+            f"nodes={case.num_nodes} jobs={case.num_jobs} "
+            f"plan={len(plan):3d}ev"
+        )
+        if outcome.status == "ok":
+            print(f"{tag} ok")
+        elif outcome.status == "abort":
+            aborts += 1
+            print(f"{tag} ABORT ({outcome.message})")
+        else:
+            failures += 1
+            print(f"{tag} FAIL {outcome.error_type}: {outcome.message}")
+            if outcome.error_type != "CrashRecovery":
+                minimal = minimize_case(case, outcome)
+                path = write_artifact(out_dir, case, outcome, minimal)
+                print(f"      repro written to {path}")
+            else:
+                path = write_artifact(out_dir, case, outcome, [])
+                print(f"      journals + repro written to {path.parent}")
+    print(
+        f"crash-recovery soak: {runs} runs, {failures} failures, "
+        f"{aborts} aborts (seed={base_seed})"
+    )
+    return 1 if failures else 0
 
 
 # ------------------------------------------------------------ minimization
@@ -344,9 +558,21 @@ def main(argv: list[str] | None = None) -> int:
         default=pathlib.Path("soak_failures"),
         help="directory for repro artifacts",
     )
+    parser.add_argument(
+        "--crash-recovery",
+        action="store_true",
+        help=(
+            "kill-and-resume mode: every case is run uninterrupted, "
+            "crashed at a seeded random event (or mid-snapshot-write), "
+            "recovered from the latest valid snapshot + journal, and "
+            "golden-compared byte-for-byte against the uninterrupted run"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.runs < 1:
         parser.error("--runs must be >= 1")
+    if args.crash_recovery:
+        return run_crash_soak(args.runs, args.seed, args.out)
     return run_soak(args.runs, args.seed, args.out)
 
 

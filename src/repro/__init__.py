@@ -11,7 +11,7 @@ Public entry points:
 * :mod:`repro.experiments` — figure-reproduction harnesses
 """
 
-from .config import DSPConfig, ResilienceConfig, SimConfig
+from .config import DSPConfig, ResilienceConfig, SimConfig, SnapshotConfig
 from .locality import locality_fraction, with_random_inputs
 
 __version__ = "1.0.0"
@@ -20,6 +20,7 @@ __all__ = [
     "DSPConfig",
     "ResilienceConfig",
     "SimConfig",
+    "SnapshotConfig",
     "locality_fraction",
     "with_random_inputs",
     "__version__",

@@ -43,6 +43,14 @@ class FCFSScheduler:
         """Forget previously planned batches."""
         self._timelines.reset()
 
+    def snapshot_state(self) -> dict:
+        """Cross-round planner state (run snapshot protocol)."""
+        return {"timelines": self._timelines.snapshot_state()}
+
+    def restore_state(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._timelines.restore_state(data["timelines"])
+
     def schedule(self, jobs: Sequence[Job]) -> Schedule:
         """Place jobs strictly in arrival order (ties by id), tasks in
         topological order — no rank, no packing objective."""

@@ -18,6 +18,13 @@ One custom run, any scheduler × preemption policy::
 
     python -m repro run --scheduler DSP --policy SRPT --jobs 30
 
+Durable run — snapshots every 500 events plus a write-ahead journal,
+resumable after a crash with the same flags plus ``--resume``::
+
+    python -m repro run --snapshot-every 500 --journal run.journal
+    python -m repro run --snapshot-every 500 --journal run.journal --resume
+    python -m repro journal run.journal
+
 Parameter ablation::
 
     python -m repro ablate --param rho
@@ -124,6 +131,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--gantt", action="store_true",
         help="record the execution trace and print per-node Gantt lanes",
     )
+    spr.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="N",
+        help="write a rotated full-state snapshot every N events",
+    )
+    spr.add_argument(
+        "--snapshot-seconds", type=float, default=0.0, metavar="S",
+        help="write a rotated full-state snapshot every S sim-seconds",
+    )
+    spr.add_argument(
+        "--snapshot-dir", type=str, default="snapshots", metavar="DIR",
+        help="directory for rotated snapshots (default ./snapshots)",
+    )
+    spr.add_argument(
+        "--journal", type=str, default=None, metavar="FILE",
+        help="write a CRC-framed write-ahead journal of every event",
+    )
+    spr.add_argument(
+        "--resume", action="store_true",
+        help=(
+            "resume from the latest valid snapshot in --snapshot-dir "
+            "(the flags must rebuild the crashed run's configuration; "
+            "a --journal file is reopened at the snapshot's offset)"
+        ),
+    )
+
+    spj = sub.add_parser(
+        "journal", help="post-mortem inspection of a run journal"
+    )
+    spj.add_argument("file", type=str, help="journal file to summarize")
+    spj.add_argument(
+        "--tail", type=int, default=10,
+        help="how many trailing records to print (default 10)",
+    )
 
     spa = sub.add_parser("ablate", help="parameter-sensitivity sweep for DSP")
     spa.add_argument("--param", choices=sorted(DEFAULT_SWEEPS), required=True)
@@ -197,8 +237,17 @@ def main(argv: Sequence[str] | None = None) -> int:
             if args.policy == "none"
             else make_preemption_policies(cfg)[args.policy]
         )
-        engine = SimEngine(
-            cluster, jobs, scheduler, preemption=policy, dsp_config=cfg,
+        snapshots = None
+        if args.snapshot_every > 0 or args.snapshot_seconds > 0:
+            from .config import SnapshotConfig
+
+            snapshots = SnapshotConfig(
+                directory=args.snapshot_dir,
+                every_events=args.snapshot_every,
+                every_sim_seconds=args.snapshot_seconds,
+            )
+        kwargs = dict(
+            preemption=policy, dsp_config=cfg,
             sim_config=sim,
             task_deadlines=compute_level_deadlines(workload, cluster, cfg),
             dependency_aware_dispatch=(
@@ -208,7 +257,29 @@ def main(argv: Sequence[str] | None = None) -> int:
             ),
             faults=faults,
             record_trace=args.gantt,
+            snapshots=snapshots,
+            journal=args.journal,
         )
+        if args.resume:
+            from .sim import latest_valid_snapshot
+
+            found = latest_valid_snapshot(args.snapshot_dir)
+            if found is None:
+                print(
+                    f"no valid snapshot under {args.snapshot_dir}; "
+                    "starting from scratch"
+                )
+                engine = SimEngine(cluster, jobs, scheduler, **kwargs)
+            else:
+                path, data = found
+                print(
+                    f"resuming from {path} "
+                    f"(event #{data['kernel']['pops']}, "
+                    f"t={data['kernel']['now']:g}s)"
+                )
+                engine = SimEngine.restore(data, cluster, jobs, scheduler, **kwargs)
+        else:
+            engine = SimEngine(cluster, jobs, scheduler, **kwargs)
         metrics = engine.run()
         for key, value in sorted(metrics.as_dict().items()):
             print(f"{key:28s} {value:.6g}")
@@ -220,6 +291,19 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             print()
             print(gantt_chart(engine.trace, [n.node_id for n in cluster]))
+    elif args.command == "journal":
+        from .sim import JournalCorrupt, read_journal, summarize_journal
+
+        try:
+            records, valid_bytes = read_journal(args.file)
+        except FileNotFoundError:
+            print(f"journal not found: {args.file}", file=sys.stderr)
+            return 1
+        except JournalCorrupt as exc:
+            print(f"corrupt journal: {exc}", file=sys.stderr)
+            return 1
+        print(summarize_journal(records, tail=args.tail))
+        print(f"valid prefix: {valid_bytes} bytes")
     elif args.command == "ablate":
         values = tuple(args.values) if args.values else DEFAULT_SWEEPS[args.param]
         results = sweep_parameter(args.param, values, num_jobs=args.jobs, seed=args.seed)

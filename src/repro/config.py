@@ -15,7 +15,13 @@ from dataclasses import dataclass, field
 
 from ._util import check_fraction, check_non_negative, check_positive
 
-__all__ = ["DSPConfig", "SimConfig", "ResilienceConfig", "ChaosConfig"]
+__all__ = [
+    "DSPConfig",
+    "SimConfig",
+    "ResilienceConfig",
+    "ChaosConfig",
+    "SnapshotConfig",
+]
 
 
 @dataclass(frozen=True)
@@ -268,6 +274,55 @@ class ResilienceConfig:
         check_positive(self.quarantine_duration, "quarantine_duration")
 
     def replace(self, **changes) -> "ResilienceConfig":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class SnapshotConfig:
+    """Cadence and retention of automatic run snapshots
+    (:mod:`repro.sim.snapshot`).
+
+    Passed to :class:`~repro.sim.engine.SimEngine` via its ``snapshots``
+    argument; ``None`` (the default) disables automatic snapshotting —
+    :meth:`~repro.sim.engine.SimEngine.snapshot` stays available for
+    explicit captures either way.  Snapshots are taken only at *settled*
+    points (after a timed event's handler has fully run), so a restored
+    run continues bit-identically.
+
+    Attributes
+    ----------
+    directory:
+        Where rotated snapshot files (``snapshot-NNNNNN.json``) land.
+        Created on first write.
+    every_events:
+        Take a snapshot every N timed-event pops (0 disables the
+        event-count trigger).
+    every_sim_seconds:
+        Take a snapshot whenever this much *simulated* time has passed
+        since the last one (0 disables the sim-time trigger).  Both
+        triggers may be active at once; either firing writes a snapshot.
+    keep:
+        How many rotated snapshot files to retain (oldest deleted first).
+    """
+
+    directory: str = "snapshots"
+    every_events: int = 0
+    every_sim_seconds: float = 0.0
+    keep: int = 3
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise ValueError("snapshot directory must be non-empty")
+        if self.every_events < 0:
+            raise ValueError(
+                f"every_events must be >= 0, got {self.every_events!r}"
+            )
+        check_non_negative(self.every_sim_seconds, "every_sim_seconds")
+        if self.keep < 1:
+            raise ValueError(f"keep must be >= 1, got {self.keep!r}")
+
+    def replace(self, **changes) -> "SnapshotConfig":
         """Return a copy with *changes* applied."""
         return dataclasses.replace(self, **changes)
 

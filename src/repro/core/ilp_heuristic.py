@@ -93,6 +93,15 @@ class HeuristicScheduler:
         """Forget all previously planned batches (fresh lane timelines)."""
         self._timelines.reset()
 
+    def snapshot_state(self) -> dict:
+        """Cross-round planner state (run snapshot protocol): only the
+        lane timelines accumulate between batches."""
+        return {"timelines": self._timelines.snapshot_state()}
+
+    def restore_state(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._timelines.restore_state(data["timelines"])
+
     # -- static priorities -------------------------------------------------
     def upward_rank(self, jobs: Sequence[Job]) -> dict[str, float]:
         """Dependency-aware list rank: estimated execution time plus the

@@ -87,6 +87,35 @@ class LaneTimelines:
         else:
             self._free = None
 
+    # ------------------------------------------------------- snapshot state
+    def snapshot_state(self) -> dict:
+        """Serializable planned-occupancy state (run snapshot protocol).
+
+        Lanes are heaps, but only their *value multiset* is observable
+        (``nsmallest`` / pop-k-push-k), so the sorted list is a canonical
+        form that restores to identical planning decisions.
+        """
+        return {
+            "fixed": dict(self._fixed) if self._fixed is not None else None,
+            "lanes": dict(self.lanes) if self._free is not None else None,
+            "free": (
+                {nid: sorted(h) for nid, h in self._free.items()}
+                if self._free is not None
+                else None
+            ),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._fixed = dict(data["fixed"]) if data["fixed"] is not None else None
+        if data["free"] is None:
+            self._free = None
+        else:
+            self.lanes = dict(data["lanes"])
+            self._free = {nid: list(vals) for nid, vals in data["free"].items()}
+            for h in self._free.values():
+                heapq.heapify(h)
+
     def ensure_sized(self, jobs: Sequence[Job]) -> None:
         """Size the lanes from *jobs* if not already sized."""
         if self._free is None:

@@ -73,6 +73,20 @@ class DSPScheduler:
         self._heuristic.reset()
         self.last_used = "none"
 
+    def snapshot_state(self) -> dict:
+        """Cross-round planner state (run snapshot protocol).  The ILP
+        path is stateless per batch; only the heuristic's lane timelines
+        (and the diagnostic ``last_used``) persist."""
+        return {
+            "heuristic": self._heuristic.snapshot_state(),
+            "last_used": self.last_used,
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._heuristic.restore_state(data["heuristic"])
+        self.last_used = data["last_used"]
+
     def schedule(self, jobs: Sequence[Job]) -> Schedule:
         """Plan one batch: exact when tiny, heuristic otherwise."""
         num_tasks = sum(j.num_tasks for j in jobs)

@@ -63,7 +63,15 @@ def checkpoint_count(work_done_mi: float, rate_mips: float, interval: float) -> 
     quantum = interval * rate_mips
     if quantum <= 1e-12:
         return 0
-    return int(math.floor(work_done_mi / quantum))
+    # Same one-ulp hazard as retained_work_mi: floor(w/q) can land one
+    # boundary too high when w/q rounds up to an integer, which would
+    # claim a checkpoint *past* the completed work.  Clamp so that
+    # count * quantum <= work always holds (and count stays consistent
+    # with the boundary retained_work_mi snaps to).
+    count = int(math.floor(work_done_mi / quantum))
+    if count * quantum > work_done_mi:
+        count -= 1
+    return max(count, 0)
 
 
 def lost_work_mi(work_done_mi: float, rate_mips: float, interval: float) -> float:

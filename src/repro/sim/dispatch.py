@@ -61,7 +61,9 @@ class DispatchSubsystem:
             for tid, assignment in plan.assignments.items():
                 task = state.tasks[tid]
                 if task.node_id is not None:
-                    raise SimulationError(f"task {tid} scheduled twice")
+                    raise SimulationError(
+                        f"task {tid} scheduled twice ({rt.kernel.position()})"
+                    )
                 task.node_id = assignment.node_id
                 task.planned_start = float(assignment.start)
                 task.state = TaskState.QUEUED
@@ -76,7 +78,8 @@ class DispatchSubsystem:
             ]
             if missing:
                 raise SimulationError(
-                    f"scheduler left tasks unassigned: {sorted(missing)[:3]}"
+                    f"scheduler left tasks unassigned: {sorted(missing)[:3]} "
+                    f"({rt.kernel.position()})"
                 )
             rt.bus.emit(
                 RoundTick(rt.now, len(batch), sum(len(j.tasks) for j in batch))

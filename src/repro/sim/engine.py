@@ -54,10 +54,11 @@ Behavioural contract (DESIGN.md §4):
 
 from __future__ import annotations
 
+import os
 from typing import Any, Mapping, Protocol, Sequence
 
 from ..cluster.cluster import Cluster
-from ..config import DSPConfig, ResilienceConfig, SimConfig
+from ..config import DSPConfig, ResilienceConfig, SimConfig, SnapshotConfig
 from ..dag.job import Job
 from ..dag.task import Task, TaskState
 from .dispatch import DispatchSubsystem
@@ -66,12 +67,14 @@ from .fault_sub import FaultSubsystem
 from .faults import FaultEvent, fault_sort_key, validate_fault_plan
 from .executor import NodeRuntime, TaskRuntime
 from .invariants import InvariantChecker
+from .journal import JournalRecorder
 from .kernel import EventBus, Kernel, SimulationError, SimulationStuck
 from .metrics import MetricsCollector, RunMetrics
 from .policy import NullPreemption, PreemptionPolicy
 from .preemption_exec import PreemptionExecutor
 from .resilience import ResilienceManager
 from .sched_core import PriorityIndex
+from .snapshot import SnapshotManager, load_snapshot, restore_into, snapshot_engine
 from .state import SimRuntime, build_state
 from .tracelog import TraceLog
 from .views import ViewCache
@@ -217,6 +220,17 @@ class SimEngine:
         :attr:`trace` (a :class:`~repro.sim.tracelog.TraceLog`) for Gantt
         rendering and timeline debugging.  Off by default — long runs
         record millions of segments.
+    snapshots:
+        Optional :class:`~repro.config.SnapshotConfig` enabling automatic
+        rotated full-state snapshots (:mod:`repro.sim.snapshot`) on the
+        configured cadence; :meth:`snapshot` works regardless.
+    journal:
+        Optional path: write-ahead run journal (:mod:`repro.sim.journal`)
+        of every timed-event pop and bus event, CRC-framed JSONL with
+        batched fsync.  Recovery = latest valid snapshot + deterministic
+        re-execution; the journal is the post-mortem record and the
+        byte-identical parity witness (a crashed-and-resumed run rewrites
+        the suffix past the snapshot's offset identically).
     """
 
     def __init__(
@@ -235,6 +249,8 @@ class SimEngine:
         faults: Sequence[FaultEvent] | None = None,
         resilience: ResilienceConfig | None = None,
         record_trace: bool = False,
+        snapshots: SnapshotConfig | None = None,
+        journal: str | os.PathLike | None = None,
     ):
         policy = preemption if preemption is not None else NullPreemption()
         dsp_config = dsp_config or DSPConfig()
@@ -328,6 +344,18 @@ class SimEngine:
         if rt.invariants is not None:
             rt.invariants.attach(bus)
 
+        # Durability layer, attached after every behavioral subscriber so
+        # recording observes the run without perturbing it.  The journal's
+        # pop observer is first in the kernel's observer list — its
+        # write-ahead record exists before any later observer (e.g. an
+        # injected crash) can fire.
+        self._journal = (
+            JournalRecorder(kernel, bus, journal) if journal is not None else None
+        )
+        self._snapshots = (
+            SnapshotManager(self, snapshots) if snapshots is not None else None
+        )
+        self._restored = False
         self._finished = False
         attach = getattr(policy, "attach", None)
         if callable(attach):
@@ -361,6 +389,63 @@ class SimEngine:
         experiments subscribe listeners via ``engine.runtime.bus``."""
         return self._rt
 
+    @property
+    def journal(self) -> JournalRecorder | None:
+        """The write-ahead journal recorder (None unless ``journal=`` given)."""
+        return self._journal
+
+    @property
+    def snapshots(self) -> SnapshotManager | None:
+        """The automatic snapshot manager (None unless ``snapshots=`` given)."""
+        return self._snapshots
+
+    # ----------------------------------------------------- snapshot/restore
+    def snapshot(self) -> dict:
+        """Serialize the complete live run to a pure-JSON dict (see
+        :mod:`repro.sim.snapshot`).  Valid at any settled point: before
+        :meth:`run`, after it raises, or from a kernel settle observer —
+        never from inside an event handler."""
+        return snapshot_engine(self)
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: dict | str | os.PathLike,
+        cluster: Cluster,
+        jobs: Sequence[Job],
+        scheduler: SchedulerLike,
+        **kwargs: Any,
+    ) -> "SimEngine":
+        """Rebuild a crashed run from *snapshot* (a dict, or a path to a
+        snapshot file) and the run's original construction arguments.
+
+        *kwargs* must reconstruct the engine exactly as the crashed one
+        was built (policy, configs, fault plan, …) — checked against the
+        snapshot's fingerprint.  A ``journal=`` path is reopened at the
+        snapshot's recorded offset (truncating any post-snapshot suffix),
+        so deterministic re-execution rewrites it byte-identically; every
+        other kwarg is passed through to the constructor.  The returned
+        engine continues with :meth:`run`.
+        """
+        if isinstance(snapshot, (str, os.PathLike)):
+            snapshot = load_snapshot(snapshot)
+        journal = kwargs.pop("journal", None)
+        engine = cls(cluster, jobs, scheduler, **kwargs)
+        restore_into(engine, snapshot)
+        if journal is not None:
+            offset = snapshot.get("journal_offset")
+            engine._journal = JournalRecorder(
+                engine._rt.kernel,
+                engine._rt.bus,
+                journal,
+                truncate_at=offset,
+            )
+        if engine._snapshots is not None:
+            engine._snapshots.resume_baseline(
+                engine._rt.kernel.pops, engine._rt.kernel.now
+            )
+        return engine
+
     # Internal structures a few analysis/test helpers reach into; kept as
     # properties so the pre-refactor attribute names keep working.
     @property
@@ -386,28 +471,38 @@ class SimEngine:
             raise SimulationError("engine instances are single-use; build a new one")
         rt = self._rt
         state = rt.state
-        for job in state.jobs.values():
-            rt.metrics.register_job(job.job_id, job.arrival_time, job.deadline)
-            for tid in job.tasks:
-                rt.metrics.register_task(tid, job.job_id)
-            rt.kernel.schedule(job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id)
-        first_arrival = min(j.arrival_time for j in state.jobs.values())
-        rt.kernel.schedule(first_arrival, EventKind.SCHEDULING_ROUND, None)
-        for fault in self._fault_plan:
-            rt.kernel.schedule(fault.time, EventKind.FAULT, fault)
+        if not self._restored:
+            # A restored run carries its seed events (and registered
+            # jobs/tasks) inside the snapshot — re-seeding would duplicate
+            # every arrival.
+            for job in state.jobs.values():
+                rt.metrics.register_job(job.job_id, job.arrival_time, job.deadline)
+                for tid in job.tasks:
+                    rt.metrics.register_task(tid, job.job_id)
+                rt.kernel.schedule(
+                    job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id
+                )
+            first_arrival = min(j.arrival_time for j in state.jobs.values())
+            rt.kernel.schedule(first_arrival, EventKind.SCHEDULING_ROUND, None)
+            for fault in self._fault_plan:
+                rt.kernel.schedule(fault.time, EventKind.FAULT, fault)
 
-        rt.kernel.run(
-            until=state.all_done,
-            describe=lambda: (
-                f"{state.completed_tasks}/{len(state.tasks)} tasks done"
-            ),
-        )
+        try:
+            rt.kernel.run(
+                until=state.all_done,
+                describe=lambda: (
+                    f"{state.completed_tasks}/{len(state.tasks)} tasks done"
+                ),
+            )
+        finally:
+            if self._journal is not None:
+                self._journal.flush()
 
         if not state.all_done():
             unfinished = state.unfinished_task_ids()
             raise SimulationStuck(
                 f"event queue drained with {len(unfinished)} unfinished tasks "
-                f"(first: {sorted(unfinished)[:3]})"
+                f"(first: {sorted(unfinished)[:3]}; {rt.kernel.position()})"
             )
         self._finished = True
         metrics = rt.metrics.finalize(rt.now)

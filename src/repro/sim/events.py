@@ -10,9 +10,8 @@ from __future__ import annotations
 
 import enum
 import heapq
-import itertools
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Iterable
 
 __all__ = ["EventKind", "Event", "EventQueue"]
 
@@ -48,13 +47,14 @@ class EventQueue:
 
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, Event]] = []
-        self._counter = itertools.count()
+        self._next_seq = 0
 
     def push(self, time: float, kind: EventKind, payload: Any = None) -> Event:
         """Schedule an event; returns it (useful for logging/tests)."""
         if time < 0:
             raise ValueError(f"cannot schedule event at negative time {time}")
-        seq = next(self._counter)
+        seq = self._next_seq
+        self._next_seq += 1
         ev = Event(time=time, seq=seq, kind=kind, payload=payload)
         heapq.heappush(self._heap, (time, seq, ev))
         return ev
@@ -72,3 +72,28 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+    # ------------------------------------------------------- serialization
+    @property
+    def next_seq(self) -> int:
+        """The sequence number the next push will receive."""
+        return self._next_seq
+
+    def entries(self) -> list[Event]:
+        """Pending events in pop order.
+
+        ``(time, seq)`` is a total order, so the sorted view pops
+        identically to the live heap regardless of its internal
+        arrangement — which makes it the canonical serialized form.
+        """
+        return [item[2] for item in sorted(self._heap, key=lambda e: e[:2])]
+
+    def restore(self, events: Iterable[Event], next_seq: int) -> None:
+        """Replace the queue contents (snapshot restore path)."""
+        self._heap = [(ev.time, ev.seq, ev) for ev in events]
+        heapq.heapify(self._heap)
+        if self._heap and next_seq <= max(item[1] for item in self._heap):
+            raise ValueError(
+                f"next_seq {next_seq} collides with a pending event sequence"
+            )
+        self._next_seq = next_seq

@@ -128,6 +128,56 @@ class InvariantChecker:
         bus.subscribe((k.TaskSuspended, k.TaskAttemptFailed), self._on_lossy)
         bus.subscribe_all(self._on_any)
 
+    # ------------------------------------------------- snapshot / restore
+    def snapshot_state(self) -> dict:
+        """Serializable shadow state (run snapshot protocol).
+
+        The checker audits against its *own* bus-observed shadow
+        (finished set, event counts, clock) — losing it across a resume
+        would make :meth:`verify_run` reject a perfectly healthy run, so
+        it snapshots alongside the world state.  Events in the ring
+        buffer and recorded violations ride the generic bus-event codec.
+        """
+        from .journal import encode_bus_event
+
+        return {
+            "finished": sorted(self._finished),
+            "counts": dict(self._counts),
+            "last_time": self._last_time,
+            "stall_closed_at": dict(self._stall_closed_at),
+            "history": [encode_bus_event(ev) for ev in self._history],
+            "violations": [
+                [
+                    v.name,
+                    v.time,
+                    v.detail,
+                    encode_bus_event(v.event) if v.event is not None else None,
+                ]
+                for v in self._violations
+            ],
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        from .journal import decode_bus_event
+
+        self._finished = set(data["finished"])
+        self._counts = dict(data["counts"])
+        self._last_time = data["last_time"]
+        self._stall_closed_at = dict(data["stall_closed_at"])
+        self._history = deque(
+            (decode_bus_event(ev) for ev in data["history"]), maxlen=_HISTORY
+        )
+        self._violations = [
+            Violation(
+                name,
+                time,
+                detail,
+                decode_bus_event(event) if event is not None else None,
+            )
+            for name, time, detail, event in data["violations"]
+        ]
+
     # ---------------------------------------------------------- inspection
     @property
     def violations(self) -> tuple[Violation, ...]:

@@ -401,10 +401,36 @@ class Kernel:
         self._horizon = horizon
         self._queue = EventQueue()
         self._handlers: dict[EventKind, Callable[[Any], None]] = {}
+        #: Observers invoked on every pop *before* its handler runs (the
+        #: write-ahead seam: the journal records the pop here) and after
+        #: the handler returned and the world settled (the snapshot seam).
+        self.pop_observers: list[Callable[[Any], None]] = []
+        self.settle_observers: list[Callable[[Any], None]] = []
+        #: Last popped timed event and total pop count — error context and
+        #: the snapshot cadence counter.
+        self.last_event = None
+        self.pops: int = 0
 
     @property
     def horizon(self) -> float:
         return self._horizon
+
+    @property
+    def queue(self) -> EventQueue:
+        """The timed-event heap (snapshot/restore needs direct access)."""
+        return self._queue
+
+    def position(self) -> str:
+        """Human-readable 'where are we' string for error messages: the
+        current sim time plus the last-popped timed event."""
+        where = f"t={self.now:g}"
+        ev = self.last_event
+        if ev is None:
+            return f"{where}, before the first event"
+        desc = f"event #{self.pops} {ev.kind.value}@{ev.time:g}"
+        if ev.payload is not None:
+            desc += f" payload={ev.payload!r}"
+        return f"{where}, last popped {desc}"
 
     def on(self, kind: EventKind, handler: Callable[[Any], None]) -> None:
         """Register the handler for *kind* (exactly one per kind)."""
@@ -435,12 +461,21 @@ class Kernel:
             ev = self._queue.pop()
             if ev.time > self._horizon:
                 raise SimulationError(
-                    f"simulation exceeded horizon {self._horizon}s ({describe()})"
+                    f"simulation exceeded horizon {self._horizon}s"
+                    f" ({describe()}; {self.position()})"
                 )
             self.now = max(self.now, ev.time)
+            self.last_event = ev
+            self.pops += 1
+            for observer in self.pop_observers:
+                observer(ev)
             handler = self._handlers.get(ev.kind)
             if handler is None:
-                raise SimulationError(f"no handler registered for {ev.kind}")
+                raise SimulationError(
+                    f"no handler registered for {ev.kind} ({self.position()})"
+                )
             handler(ev.payload)
+            for observer in self.settle_observers:
+                observer(ev)
             if until():
                 break

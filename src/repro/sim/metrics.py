@@ -230,6 +230,57 @@ class MetricsCollector:
     def _on_quarantine(self, ev: "_k.NodeQuarantined") -> None:
         self.record_quarantine()
 
+    # -- snapshot / restore ------------------------------------------------
+    #: Scalar accumulators (the dict fields are listed in snapshot_state).
+    _SCALAR_FIELDS = (
+        "num_preemptions",
+        "num_disorders",
+        "num_stall_evictions",
+        "num_node_failures",
+        "num_task_reassignments",
+        "total_context_switch_time",
+        "total_stalled_time",
+        "total_transfer_time",
+        "num_task_failures",
+        "num_retries",
+        "num_speculative_launches",
+        "num_speculative_wins",
+        "num_quarantines",
+        "lost_work_mi",
+        "speculative_waste_mi",
+    )
+    _DICT_FIELDS = (
+        "_latency_samples",
+        "fault_counts",
+        "_task_waits",
+        "_task_completions",
+        "_job_of_task",
+        "_job_arrivals",
+        "_job_deadlines",
+        "_job_completions",
+    )
+
+    def snapshot_state(self) -> dict:
+        """Serializable accumulator state (run snapshot protocol).
+
+        Dict fields round-trip through JSON objects, which preserve
+        insertion order — that matters: :meth:`finalize` sums waits and
+        per-job means in iteration order, so a restored run must iterate
+        identically to reproduce bit-identical averages.
+        """
+        out: dict = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
+        out["dicts"] = {
+            name: dict(getattr(self, name)) for name in self._DICT_FIELDS
+        }
+        return out
+
+    def restore_state(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        for name in self._SCALAR_FIELDS:
+            setattr(self, name, data[name])
+        for name in self._DICT_FIELDS:
+            setattr(self, name, dict(data["dicts"][name]))
+
     # -- registration ------------------------------------------------------
     def register_job(self, job_id: str, arrival: float, deadline: float) -> None:
         """Declare a job before its tasks report anything."""

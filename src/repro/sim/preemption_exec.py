@@ -201,5 +201,6 @@ class PreemptionExecutor:
         queued = sum(node.queue_length for node in state.nodes.values())
         if queued and not state.all_done():
             raise SimulationStuck(
-                f"{queued} tasks queued but none dispatchable and nothing running"
+                f"{queued} tasks queued but none dispatchable and nothing "
+                f"running ({rt.kernel.position()})"
             )

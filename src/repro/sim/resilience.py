@@ -157,6 +157,45 @@ class ResilienceManager:
             for rt in self._rt.state.tasks.values()
         )
 
+    # ------------------------------------------------- snapshot / restore
+    def snapshot_state(self) -> dict:
+        """Serializable layer state (run snapshot protocol).
+
+        ``_quarantined`` and ``_specs`` round-trip through JSON objects,
+        which preserve insertion order — release sweeps and re-time loops
+        iterate these dicts, so order is behavior-affecting.  The lazy
+        ``_children`` fallback map is derived from static structure and
+        rebuilds identically on demand.
+        """
+        return {
+            "health": dict(self._health),
+            "quarantined": dict(self._quarantined),
+            "specs": {
+                tid: [
+                    s.task_id,
+                    s.node_id,
+                    s.started_at,
+                    s.version,
+                    s.recovery,
+                    s.work_mi,
+                    s.base_work_mi,
+                ]
+                for tid, s in self._specs.items()
+            },
+            "spec_versions": dict(self._spec_versions),
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._health = dict(data["health"])
+        self._quarantined = dict(data["quarantined"])
+        self._specs = {
+            tid: SpeculativeAttempt(*fields)
+            for tid, fields in data["specs"].items()
+        }
+        self._spec_versions = dict(data["spec_versions"])
+        self._children = None
+
     # ------------------------------------------------------- bus reactions
     def _on_task_finished(self, ev: k.TaskFinished) -> None:
         """A task completed on ``ev.node_id``: the winner's node earns a

@@ -125,6 +125,32 @@ class TraceLog:
             TraceSegment(task_id, node_id, start, end, kind, overhead)
         )
 
+    # -- snapshot / restore ------------------------------------------------
+    def snapshot_state(self) -> dict:
+        """Serializable trace state (run snapshot protocol): the closed
+        segments plus every still-open occupancy, so a restored run keeps
+        splitting/closing them exactly where the original would."""
+        return {
+            "segments": [
+                [s.task_id, s.node_id, s.start, s.end, s.kind, s.overhead]
+                for s in self._segments
+            ],
+            "open": {
+                tid: list(opened) for tid, opened in self._open.items()
+            },
+        }
+
+    def restore_state(self, data: dict) -> None:
+        """Inverse of :meth:`snapshot_state`."""
+        self._segments = [
+            TraceSegment(tid, nid, start, end, kind, overhead)
+            for tid, nid, start, end, kind, overhead in data["segments"]
+        ]
+        self._open = {
+            tid: (nid, start, kind, overhead)
+            for tid, (nid, start, kind, overhead) in data["open"].items()
+        }
+
     # -- queries -----------------------------------------------------------
     @property
     def segments(self) -> tuple[TraceSegment, ...]:

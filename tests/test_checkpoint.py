@@ -42,6 +42,48 @@ class TestCounts:
         assert lost_work_mi(2500.0, 100.0, 10.0) == pytest.approx(500.0)
         assert lost_work_mi(2500.0, 100.0, 0.0) == 0.0
 
+    def test_count_one_ulp_boundary_clamp(self):
+        """When floor(work/quantum) * quantum floats one ulp *above* the
+        work, the naive count claims a checkpoint past the completed
+        work.  The clamp (the count-side twin of retained_work_mi's)
+        must keep count * quantum <= work."""
+        # 390 * 0.07 == 27.300000000000004 > 27.3 in IEEE arithmetic.
+        work, rate, interval = 27.3, 1.0, 0.07
+        quantum = rate * interval
+        import math
+        assert math.floor(work / quantum) * quantum > work  # the hazard
+        count = checkpoint_count(work, rate, interval)
+        assert count * quantum <= work
+        # Retained snaps the *value* down to the work; the count stays
+        # within one boundary of it.
+        kept = retained_work_mi(work, rate, interval)
+        assert 0.0 <= kept - count * quantum <= quantum
+
+
+class TestCountBoundaryProperty:
+    @given(
+        work=st.floats(min_value=0.0, max_value=1e6),
+        rate=st.floats(min_value=1.0, max_value=1e4),
+        interval=st.floats(min_value=1e-6, max_value=1e3),
+    )
+    def test_count_consistent_with_retained(self, work, rate, interval):
+        """count is the index of the boundary retained_work_mi snaps to:
+        count * quantum never exceeds the work, matches the retained
+        work away from the clamp, and is within one quantum of it."""
+        quantum = rate * interval
+        count = checkpoint_count(work, rate, interval)
+        kept = retained_work_mi(work, rate, interval)
+        assert count >= 0
+        assert count * quantum <= work
+        if kept == count * quantum:
+            # The common (unclamped) case: exact agreement.
+            pass
+        else:
+            # Either side may have clamped by one ulp; they can differ
+            # by at most one boundary.
+            assert abs(kept - count * quantum) <= quantum
+        assert work - count * quantum <= quantum * (1 + 1e-9) + 1e-9
+
 
 class TestProperties:
     @given(

@@ -40,6 +40,7 @@ class TestExamples:
             "fault_tolerance.py",
             "resilience.py",
             "timeline_debug.py",
+            "durable_run.py",
         } <= present
 
     def test_quickstart(self):
@@ -83,3 +84,12 @@ class TestExamples:
         assert "resilience ON" in result.stdout
         assert "quarantines" in result.stdout
         assert "speculative wins" in result.stdout
+
+    def test_durable_run(self):
+        result = run_example("durable_run.py")
+        assert result.returncode == 0, result.stderr
+        assert "crashed run" in result.stdout
+        assert "recovering" in result.stdout
+        # The example's own asserts verify metric/journal identity; the
+        # printed line is the user-visible witness.
+        assert "journal byte-identical" in result.stdout

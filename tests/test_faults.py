@@ -407,3 +407,119 @@ class TestEnginePartition:
         m = run(cl, [job], faults)
         assert m.tasks_completed == 2
         assert m.makespan == pytest.approx(12.0, abs=1e-6)
+
+
+class TestSnapshotRestoreUnderFaults:
+    """Resume-under-chaos parity: a snapshot taken *inside* an open fault
+    window must carry the window across the round trip — the restored run
+    keeps the paused/stalled clock exclusions and lands on the same
+    metrics and journal bytes as the uninterrupted run."""
+
+    @staticmethod
+    def _durable(root, every=1):
+        from repro.config import SnapshotConfig
+        return dict(
+            journal=root / "run.journal",
+            snapshots=SnapshotConfig(
+                directory=str(root / "snaps"), every_events=every, keep=10_000
+            ),
+        )
+
+    def test_restore_inside_open_partition_window(self, tmp_path):
+        from repro.dag.task import TaskState
+        from repro.sim import SimEngine, load_snapshot
+
+        cl = one_lane(1)
+        job = Job.from_tasks("J", [mk("t0", size=5000.0)], deadline=1e6)
+        faults = [FaultEvent(2.0, "n0", FaultKind.PARTITION),
+                  FaultEvent(5.0, "n0", FaultKind.HEAL)]
+        sim = SimConfig(epoch=1.0, scheduling_period=10.0)
+
+        def build(root):
+            return SimEngine(cl, [job], HeuristicScheduler(cl), sim_config=sim,
+                             faults=faults, **self._durable(root))
+
+        ref_root = tmp_path / "ref"
+        reference = build(ref_root)
+        ref_metrics = reference.run().as_dict()
+        ref_journal = (ref_root / "run.journal").read_bytes()
+        assert ref_metrics["makespan"] == pytest.approx(13.0, abs=1e-6)
+
+        # Pick a snapshot taken while the partition is open.
+        inside = [
+            data
+            for p in sorted((ref_root / "snaps").iterdir())
+            for data in [load_snapshot(p)]
+            if data["nodes"]["n0"]["partitioned"]
+        ]
+        assert inside, "no snapshot landed inside the partition window"
+        data = inside[len(inside) // 2]
+
+        work = tmp_path / "work"
+        work.mkdir()
+        (work / "run.journal").write_bytes(ref_journal)
+        resumed = SimEngine.restore(
+            data, cl, [job], HeuristicScheduler(cl), sim_config=sim,
+            faults=faults, **self._durable(work),
+        )
+        # The open window survived the round trip.
+        node = resumed.runtime.state.nodes["n0"]
+        assert node.partitioned and node.partitioned_at == pytest.approx(2.0)
+        task = resumed.runtime.state.tasks["t0"]
+        assert task.state is TaskState.RUNNING
+        # The paused-clock exclusion survives: the run still completes at
+        # exactly 13 s (10 s of work + the 3 s unreachable window), with
+        # metrics and journal bytes identical to the uninterrupted run.
+        assert resumed.run().as_dict() == ref_metrics
+        assert (work / "run.journal").read_bytes() == ref_journal
+
+    def test_restore_mid_stall_keeps_stall_clock(self, tmp_path):
+        from repro.dag.task import TaskState
+        from repro.sim import SimEngine, load_snapshot
+
+        cl = Cluster([NodeSpec(node_id="n0", cpu_size=2.0, mem_size=2.0,
+                               mips_per_unit=500.0)])
+        parent = mk("t0", size=5000.0)                      # 10 s clean
+        child = Task(task_id="t1", job_id="J", size_mi=1000.0,
+                     demand=ResourceVector(cpu=1.0, mem=0.5),
+                     parents=("t0",))
+        job = Job.from_tasks("J", [parent, child], deadline=1e6)
+        faults = [FaultEvent(1.0, "n0", FaultKind.SLOWDOWN, factor=0.1),
+                  FaultEvent(40.0, "n0", FaultKind.RESTORE)]
+        sim = SimConfig(epoch=1.0, scheduling_period=10.0)
+
+        def build(root):
+            return SimEngine(cl, [job], HeuristicScheduler(cl), sim_config=sim,
+                             faults=faults, dependency_aware_dispatch=False,
+                             **self._durable(root))
+
+        ref_root = tmp_path / "ref"
+        reference = build(ref_root)
+        ref_metrics = reference.run().as_dict()
+        ref_journal = (ref_root / "run.journal").read_bytes()
+        assert ref_metrics["num_disorders"] >= 1
+        assert ref_metrics["total_stalled_time"] > 0
+
+        # Pick a snapshot taken while the child is stalled on the node.
+        stalled = [
+            data
+            for p in sorted((ref_root / "snaps").iterdir())
+            for data in [load_snapshot(p)]
+            if data["tasks"]["t1"]["state"] == "stalled"
+        ]
+        assert stalled, "no snapshot landed mid-stall"
+        data = stalled[len(stalled) // 2]
+
+        work = tmp_path / "work"
+        work.mkdir()
+        (work / "run.journal").write_bytes(ref_journal)
+        resumed = SimEngine.restore(
+            data, cl, [job], HeuristicScheduler(cl), sim_config=sim,
+            faults=faults, dependency_aware_dispatch=False,
+            **self._durable(work),
+        )
+        task = resumed.runtime.state.tasks["t1"]
+        assert task.state is TaskState.STALLED
+        assert task.stall_start is not None  # the stall clock survived
+        assert resumed.run().as_dict() == ref_metrics
+        assert (work / "run.journal").read_bytes() == ref_journal

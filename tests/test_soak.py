@@ -132,3 +132,38 @@ class TestArtifact:
         # schema used by plan_from_json.
         from repro.sim import plan_from_json
         assert plan_from_json(artifact["minimized_plan"]) == plan
+
+
+class TestCrashRecoveryMode:
+    def test_crash_case_parity(self, tmp_path):
+        """One chaos case through the full kill-and-resume pipeline:
+        reference run, injected crash, snapshot+journal recovery, and
+        the byte-for-byte golden comparison."""
+        case = soak.build_case(1, 0)  # correlated x fcfs, resilience off
+        workload, cluster, plan = soak.case_inputs(case)
+        outcome = soak.run_one_crash_case(
+            case, workload, cluster, plan, tmp_path
+        )
+        assert outcome.status == "ok", outcome
+
+    def test_mid_snapshot_write_case_parity(self, tmp_path):
+        """Index % 5 == 0 cases crash via an injected I/O fault mid-
+        snapshot-write, so recovery starts from before the torn write."""
+        case = soak.build_case(0, 0)
+        workload, cluster, plan = soak.case_inputs(case)
+        assert case.index % 5 == 0
+        outcome = soak.run_one_crash_case(
+            case, workload, cluster, plan, tmp_path
+        )
+        assert outcome.status == "ok", outcome
+
+    def test_cli_flag_wires_crash_mode(self, tmp_path, capsys, monkeypatch):
+        calls = {}
+
+        def fake(runs, seed, out):
+            calls["args"] = (runs, seed, out)
+            return 0
+
+        monkeypatch.setattr(soak, "run_crash_soak", fake)
+        assert soak.main(["--crash-recovery", "--runs", "3", "--seed", "9"]) == 0
+        assert calls["args"][0] == 3 and calls["args"][1] == 9
