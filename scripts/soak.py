@@ -22,10 +22,22 @@ truncation, and golden-compared **byte-for-byte** (journal, trace,
 ``RunMetrics``) against the uninterrupted run.  Mismatches copy both
 journals next to the repro artifact.
 
+``--service`` soaks the scheduler-as-a-service frontend instead: each
+case starts an inproc :class:`~repro.service.ServiceFrontend` over a
+chaos-injected streaming engine and slams it with dozens of concurrent
+clients across weighted tenants (submissions with retry-on-backpressure,
+plus a status prober).  The harness asserts the service contract — every
+request answered, and **zero acknowledged-job loss**: the set of
+``ok``-acknowledged jobs equals the set of jobs the engine completed,
+even with nodes failing and tasks being killed mid-run.  Failures write
+a JSON artifact with the case, reply histogram and final stats, plus the
+engine/admission journals for post-mortem.
+
 Usage::
 
     PYTHONPATH=src python scripts/soak.py --runs 50 --seed 0 --out soak_failures
     PYTHONPATH=src python scripts/soak.py --crash-recovery --runs 21 --seed 0
+    PYTHONPATH=src python scripts/soak.py --service --runs 10 --seed 0
 
 Exit status is non-zero iff at least one case failed.
 """
@@ -33,6 +45,7 @@ Exit status is non-zero iff at least one case failed.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import math
 import os
@@ -53,9 +66,12 @@ from repro.config import (
     ChaosConfig,
     DSPConfig,
     ResilienceConfig,
+    ServiceConfig,
     SimConfig,
     SnapshotConfig,
+    TenantQuota,
 )
+from repro.core.ilp_heuristic import HeuristicScheduler
 from repro.core.preemption import DSPPreemption
 from repro.core.scheduler import DSPScheduler
 from repro.experiments.harness import (
@@ -76,6 +92,7 @@ from repro.sim import (
     normalize_plan,
     plan_to_json,
 )
+from repro.service import ServiceClient, ServiceCore, ServiceFrontend
 
 # --------------------------------------------------------------- case grid
 
@@ -432,6 +449,249 @@ def run_crash_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
     return 1 if failures else 0
 
 
+# ------------------------------------------------------------- service soak
+
+#: Chaos mixes for service cases, rescaled to the service workloads'
+#: busy window (task runtimes of tens of sim-seconds, makespans of a few
+#: hundred) so injected faults actually land while work is in flight.
+SERVICE_SCENARIOS: dict[str, ChaosConfig] = {
+    "none": ChaosConfig(),
+    "correlated": ChaosConfig(domains=2, domain_mtbf=250.0, domain_mttr=20.0),
+    "straggler_wave": ChaosConfig(
+        wave_every=90.0, wave_fraction=0.4, wave_duration=30.0, wave_factor=0.3
+    ),
+    "task_fail_storm": ChaosConfig(
+        storm_every=100.0, storm_duration=30.0, storm_task_fails=3.0
+    ),
+    "partitions": ChaosConfig(partition_mtbf=250.0, partition_duration=15.0),
+}
+SERVICE_SCENARIO_NAMES = tuple(SERVICE_SCENARIOS)
+SERVICE_TENANTS = (("ads", 4.0), ("etl", 2.0), ("adhoc", 1.0))
+SERVICE_FAULT_HORIZON = 400.0
+
+
+@dataclass(frozen=True)
+class ServiceCase:
+    """One fully-seeded service soak configuration."""
+
+    index: int
+    base_seed: int
+    scenario: str
+    num_nodes: int
+    num_clients: int
+    admission_per_cycle: int
+    pump_events: int
+
+    def describe(self) -> dict:
+        return {
+            "index": self.index,
+            "base_seed": self.base_seed,
+            "scenario": self.scenario,
+            "num_nodes": self.num_nodes,
+            "num_clients": self.num_clients,
+            "admission_per_cycle": self.admission_per_cycle,
+            "pump_events": self.pump_events,
+        }
+
+
+def build_service_case(index: int, base_seed: int) -> ServiceCase:
+    """Deterministic service case: axes cycle at coprime periods (5, 3, 4)
+    so 60 consecutive indices cover every combination."""
+    return ServiceCase(
+        index=index,
+        base_seed=base_seed,
+        scenario=SERVICE_SCENARIO_NAMES[index % len(SERVICE_SCENARIO_NAMES)],
+        num_nodes=4 + 2 * (index % 3),
+        num_clients=24 + 12 * (index % 4),
+        admission_per_cycle=(4, 8, 16, 32)[index % 4],
+        pump_events=(64, 128, 256)[index % 3],
+    )
+
+
+def service_job_spec(rng, job_id: str) -> dict:
+    """A seeded random job: a short chain with occasional extra fan-in
+    edges, sized so tasks run tens of sim-seconds (chaos can land on them)."""
+    ntasks = int(rng.integers(1, 5))
+    tasks = []
+    for t in range(ntasks):
+        parents = [f"t{t - 1}"] if t else []
+        if t >= 2 and rng.random() < 0.3:
+            parents.append(f"t{t - 2}")
+        tasks.append(
+            {
+                "task_id": f"t{t}",
+                "size_mi": float(rng.uniform(2000.0, 8000.0)),
+                "demand": {
+                    "cpu": float(rng.uniform(0.5, 1.5)),
+                    "mem": float(rng.uniform(0.5, 1.5)),
+                },
+                "parents": parents,
+            }
+        )
+    return {"job_id": job_id, "deadline": 1e6, "tasks": tasks}
+
+
+async def _drive_service_case(
+    case: ServiceCase, core: ServiceCore, rng
+) -> tuple[list[str], dict]:
+    """Start the frontend, run the client fleet, drain; returns the
+    terminal reply status per client and the final stats body."""
+    frontend = ServiceFrontend(core)
+    address = await frontend.start(f"inproc://soak-service-{case.index}")
+    specs = [
+        (
+            SERVICE_TENANTS[i % len(SERVICE_TENANTS)][0],
+            service_job_spec(rng, f"job{i}"),
+        )
+        for i in range(case.num_clients)
+    ]
+
+    async def one_client(tenant: str, spec: dict) -> str:
+        async with await ServiceClient.connect(address) as client:
+            for _attempt in range(300):
+                r = await client.submit_job(tenant, spec)
+                if r["status"] == "retry":
+                    await asyncio.sleep(0.001 * r.get("retry_after", 1.0))
+                    continue
+                return r["status"]
+            return "gave-up"
+
+    probing = True
+
+    async def prober() -> int:
+        answered = 0
+        async with await ServiceClient.connect(address) as probe:
+            while probing:
+                st = await probe.status()
+                assert st["status"] == "ok"
+                answered += 1
+                await asyncio.sleep(0.005)
+        return answered
+
+    probe_task = asyncio.ensure_future(prober())
+    outcomes = await asyncio.gather(
+        *[one_client(tenant, spec) for tenant, spec in specs]
+    )
+    probing = False
+    await probe_task
+    stats = await frontend.drain_and_stop()
+    return list(outcomes), stats
+
+
+def run_one_service_case(
+    case: ServiceCase, out_dir: pathlib.Path
+) -> Outcome:
+    """One service soak case: chaos-injected streaming engine behind the
+    inproc frontend, a concurrent client fleet, then the contract checks."""
+    rng = np.random.default_rng([case.base_seed, case.index, 0x5E4C])
+    cluster = uniform_cluster(case.num_nodes)
+    plan = chaos_plan(
+        cluster, SERVICE_FAULT_HORIZON, SERVICE_SCENARIOS[case.scenario], rng=rng
+    )
+    cfg = ServiceConfig(
+        cycle_period=1.0,
+        pump_events=case.pump_events,
+        admission_per_cycle=case.admission_per_cycle,
+        max_total_pending=4 * case.num_clients,
+        request_deadline=0.0,
+        snapshot_every_cycles=8,
+        quotas=tuple(
+            (name, TenantQuota(rate=200.0, burst=100, max_pending=256, share=share))
+            for name, share in SERVICE_TENANTS
+        ),
+    )
+    with tempfile.TemporaryDirectory() as tmp_str:
+        data_dir = pathlib.Path(tmp_str) / "svc"
+        core = ServiceCore(
+            cluster,
+            HeuristicScheduler(cluster, DSPConfig()),
+            cfg,
+            data_dir=data_dir,
+            engine_kwargs=dict(
+                faults=plan,
+                resilience=SOAK_RESILIENCE,
+                sim_config=SimConfig(invariants="strict"),
+            ),
+        )
+        try:
+            outcomes, stats = asyncio.run(_drive_service_case(case, core, rng))
+        except (InvariantViolation, SimulationError, AssertionError) as exc:
+            name = getattr(exc, "name", None)
+            _write_service_artifact(
+                out_dir, case, {"error": f"{type(exc).__name__}: {exc}"}, data_dir
+            )
+            return Outcome("fail", type(exc).__name__, name, str(exc))
+
+        counts = {s: outcomes.count(s) for s in sorted(set(outcomes))}
+        engine = stats["engine"]
+        problems = []
+        if len(outcomes) != case.num_clients:
+            problems.append(
+                f"{case.num_clients - len(outcomes)} clients never answered"
+            )
+        if counts.get("gave-up"):
+            problems.append(f"{counts['gave-up']} clients gave up retrying")
+        acked = counts.get("ok", 0)
+        if engine["jobs"] != acked:
+            problems.append(
+                f"acknowledged-job loss: {acked} acked but engine holds "
+                f"{engine['jobs']} jobs"
+            )
+        if engine["tasks_done"] != engine["tasks_total"]:
+            problems.append(
+                f"drain left {engine['tasks_total'] - engine['tasks_done']} "
+                "tasks unfinished"
+            )
+        if problems:
+            _write_service_artifact(
+                out_dir,
+                case,
+                {"problems": problems, "replies": counts, "stats": stats},
+                data_dir,
+            )
+            return Outcome("fail", "ServiceContract", None, "; ".join(problems))
+        return Outcome(
+            "ok", message=f"{acked} acked / {counts.get('shed', 0)} shed"
+        )
+
+
+def _write_service_artifact(
+    out_dir: pathlib.Path, case: ServiceCase, detail: dict, data_dir: pathlib.Path
+) -> pathlib.Path:
+    """JSON artifact plus the engine/admission journals for post-mortem."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    stem = f"service_case_{case.index:04d}"
+    for journal in ("engine.jsonl", "admissions.jsonl"):
+        src = data_dir / journal
+        if src.exists():
+            shutil.copy(src, out_dir / f"{stem}.{journal}")
+    path = out_dir / f"{stem}.json"
+    path.write_text(json.dumps({"case": case.describe(), **detail}, indent=2) + "\n")
+    return path
+
+
+def run_service_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
+    """Service-frontend sweep: chaos scenarios x fleet sizes x admission
+    and pump rates, each checked against the zero-acked-loss contract."""
+    failures = 0
+    for index in range(runs):
+        case = build_service_case(index, base_seed)
+        outcome = run_one_service_case(case, out_dir)
+        tag = (
+            f"[{index + 1:3d}/{runs}] {case.scenario:>15s} "
+            f"nodes={case.num_nodes} clients={case.num_clients} "
+            f"adm={case.admission_per_cycle:2d}/cyc pump={case.pump_events:3d}"
+        )
+        if outcome.status == "ok":
+            print(f"{tag} ok ({outcome.message})")
+        else:
+            failures += 1
+            print(f"{tag} FAIL {outcome.error_type}: {outcome.message}")
+            print(f"      artifact + journals written to {out_dir}")
+    print(f"service soak: {runs} runs, {failures} failures (seed={base_seed})")
+    return 1 if failures else 0
+
+
 # ------------------------------------------------------------ minimization
 
 
@@ -568,9 +828,23 @@ def main(argv: list[str] | None = None) -> int:
             "golden-compared byte-for-byte against the uninterrupted run"
         ),
     )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help=(
+            "service mode: each case starts an inproc service frontend "
+            "over a chaos-injected streaming engine, slams it with "
+            "concurrent multi-tenant clients, and asserts zero "
+            "acknowledged-job loss (artifacts + journals on failure)"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.runs < 1:
         parser.error("--runs must be >= 1")
+    if args.crash_recovery and args.service:
+        parser.error("--crash-recovery and --service are mutually exclusive")
+    if args.service:
+        return run_service_soak(args.runs, args.seed, args.out)
     if args.crash_recovery:
         return run_crash_soak(args.runs, args.seed, args.out)
     return run_soak(args.runs, args.seed, args.out)

@@ -11,7 +11,14 @@ Public entry points:
 * :mod:`repro.experiments` — figure-reproduction harnesses
 """
 
-from .config import DSPConfig, ResilienceConfig, SimConfig, SnapshotConfig
+from .config import (
+    DSPConfig,
+    ResilienceConfig,
+    ServiceConfig,
+    SimConfig,
+    SnapshotConfig,
+    TenantQuota,
+)
 from .locality import locality_fraction, with_random_inputs
 
 __version__ = "1.0.0"
@@ -21,6 +28,8 @@ __all__ = [
     "ResilienceConfig",
     "SimConfig",
     "SnapshotConfig",
+    "ServiceConfig",
+    "TenantQuota",
     "locality_fraction",
     "with_random_inputs",
     "__version__",

@@ -165,6 +165,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="how many trailing records to print (default 10)",
     )
 
+    sps = sub.add_parser(
+        "serve",
+        help="run the multi-tenant scheduler service (submit jobs over TCP)",
+    )
+    sps.add_argument(
+        "--listen", type=str, default="tcp://127.0.0.1:7571", metavar="ADDR",
+        help="address to bind: tcp://host:port or inproc://name "
+        "(default tcp://127.0.0.1:7571; port 0 picks an ephemeral port)",
+    )
+    sps.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="DSP")
+    sps.add_argument("--profile", choices=("cluster", "ec2"), default="cluster")
+    sps.add_argument("--node-scale", type=float, default=5.0)
+    sps.add_argument(
+        "--data-dir", type=str, default=None, metavar="DIR",
+        help="durability root (admission journal, engine journal, "
+        "snapshots); omit for an ephemeral in-memory service",
+    )
+    sps.add_argument(
+        "--resume", action="store_true",
+        help="recover from --data-dir after a crash (requires --data-dir)",
+    )
+    sps.add_argument(
+        "--cycle-period", type=float, default=1.0, metavar="S",
+        help="virtual seconds per service cycle (default 1.0)",
+    )
+    sps.add_argument(
+        "--pump-events", type=int, default=256, metavar="N",
+        help="max engine events per cycle (default 256)",
+    )
+    sps.add_argument(
+        "--admission-per-cycle", type=int, default=64, metavar="N",
+        help="max jobs admitted per cycle (default 64)",
+    )
+    sps.add_argument(
+        "--max-pending", type=int, default=1024, metavar="N",
+        help="global pending cap before load shedding (default 1024)",
+    )
+    sps.add_argument(
+        "--request-deadline", type=float, default=30.0, metavar="S",
+        help="virtual seconds a submission may wait before timing out",
+    )
+    sps.add_argument(
+        "--snapshot-every-cycles", type=int, default=16, metavar="N",
+        help="service snapshot cadence in cycles; 0 disables (default 16)",
+    )
+    sps.add_argument(
+        "--cycle-interval", type=float, default=0.05, metavar="S",
+        help="wall seconds between cycles when work is pending (default 0.05)",
+    )
+
     spa = sub.add_parser("ablate", help="parameter-sensitivity sweep for DSP")
     spa.add_argument("--param", choices=sorted(DEFAULT_SWEEPS), required=True)
     spa.add_argument("--values", type=float, nargs="+", default=None)
@@ -184,37 +234,35 @@ def _maybe_save(fig, args) -> None:
         print(f"\nsaved: {path}")
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+def _run(args) -> int:
+    """The ``repro run`` command body (extracted so the signal-handler
+    teardown in the ``finally`` covers every exit path)."""
+    import signal
 
-    if args.command == "fig5":
-        fig = fig5_makespan(
-            args.profile, args.jobs, scale=args.scale,
-            node_scale=args.node_scale, seed=args.seed,
-        )
-        print(figure_report(fig, ("makespan",)))
-        _maybe_save(fig, args)
-    elif args.command in ("fig6", "fig7"):
-        profile = "cluster" if args.command == "fig6" else "ec2"
-        fig = fig6_fig7_preemption(
-            profile, args.jobs, scale=args.scale,
-            node_scale=args.node_scale, seed=args.seed,
-        )
-        print(figure_report(fig, _FIG6_METRICS))
-        _maybe_save(fig, args)
-    elif args.command == "fig8":
-        fig = fig8_scalability(
-            args.jobs, scale=max(args.scale, 40.0),
-            node_scale=args.node_scale, seed=args.seed,
-        )
-        print(figure_report(fig, _FIG8_METRICS))
-        _maybe_save(fig, args)
-    elif args.command == "run":
-        from .experiments import analysis_report, compute_level_deadlines
-        from .locality import with_random_inputs
-        from .sim import NullPreemption, SimEngine, random_fault_plan
+    from .experiments import analysis_report, compute_level_deadlines
+    from .locality import with_random_inputs
+    from .sim import NullPreemption, SimEngine, random_fault_plan
 
+    # Graceful shutdown: SIGTERM/SIGINT stop the kernel at the next
+    # settled point, where the full state is snapshot-safe.  Handlers
+    # go in before the (potentially slow) setup so an early signal is
+    # latched rather than killing the process mid-construction.
+    caught: dict[str, int] = {}
+    live: dict[str, SimEngine] = {}
+
+    def _graceful(signum, _frame):
+        caught["sig"] = signum
+        if "engine" in live:
+            live["engine"].request_stop()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _graceful)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+
+    try:
         cluster = cluster_profile(args.profile, args.node_scale)
         cfg = default_config()
         sim = default_sim_config()
@@ -261,26 +309,75 @@ def main(argv: Sequence[str] | None = None) -> int:
             journal=args.journal,
         )
         if args.resume:
-            from .sim import latest_valid_snapshot
+            import os
 
+            from .sim import SnapshotError, latest_valid_snapshot
+
+            if not os.path.isdir(args.snapshot_dir):
+                print(
+                    f"error: --resume: snapshot directory "
+                    f"{args.snapshot_dir!r} does not exist\n"
+                    "hint: pass the --snapshot-dir the crashed run used, "
+                    "or drop --resume to start fresh",
+                    file=sys.stderr,
+                )
+                return 1
             found = latest_valid_snapshot(args.snapshot_dir)
             if found is None:
                 print(
-                    f"no valid snapshot under {args.snapshot_dir}; "
-                    "starting from scratch"
+                    f"error: --resume: no valid snapshot under "
+                    f"{args.snapshot_dir!r} (empty, torn or corrupt)\n"
+                    "hint: a run only writes snapshots when started with "
+                    "--snapshot-every/--snapshot-seconds; drop --resume to "
+                    "start fresh",
+                    file=sys.stderr,
                 )
-                engine = SimEngine(cluster, jobs, scheduler, **kwargs)
-            else:
-                path, data = found
-                print(
-                    f"resuming from {path} "
-                    f"(event #{data['kernel']['pops']}, "
-                    f"t={data['kernel']['now']:g}s)"
-                )
+                return 1
+            path, data = found
+            print(
+                f"resuming from {path} "
+                f"(event #{data['kernel']['pops']}, "
+                f"t={data['kernel']['now']:g}s)"
+            )
+            try:
                 engine = SimEngine.restore(data, cluster, jobs, scheduler, **kwargs)
+            except SnapshotError as exc:
+                print(
+                    f"error: --resume: snapshot {path} does not match this "
+                    f"run configuration:\n  {exc}\n"
+                    "hint: rerun with exactly the flags the crashed run used "
+                    "(scheduler, policy, jobs, seeds, faults)",
+                    file=sys.stderr,
+                )
+                return 1
         else:
             engine = SimEngine(cluster, jobs, scheduler, **kwargs)
-        metrics = engine.run()
+
+        from .sim import SimulationInterrupted
+
+        live["engine"] = engine
+        if caught:
+            engine.request_stop()
+        try:
+            metrics = engine.run()
+        except SimulationInterrupted as exc:
+            signum = caught.get("sig", signal.SIGTERM)
+            print(f"\n{signal.Signals(signum).name}: {exc}")
+            if engine.snapshots is not None:
+                print(f"final snapshot: {engine.snapshots.take()}")
+            elif args.snapshot_every or args.snapshot_seconds:
+                pass  # pragma: no cover - snapshots implies the manager
+            else:
+                print(
+                    "state not persisted (start with --snapshot-every/"
+                    "--snapshot-seconds to make interrupted runs resumable)"
+                )
+            if engine.journal is not None:
+                engine.journal.close()
+                print(f"journal flushed: {engine.journal.path}")
+            if engine.snapshots is not None:
+                print("resume with the same flags plus --resume")
+            return 128 + signum
         for key, value in sorted(metrics.as_dict().items()):
             print(f"{key:28s} {value:.6g}")
         if args.analyze:
@@ -291,7 +388,102 @@ def main(argv: Sequence[str] | None = None) -> int:
 
             print()
             print(gantt_chart(engine.trace, [n.node_id for n in cluster]))
+        return 0
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
+def _serve(args) -> int:
+    """The ``repro serve`` command: run the scheduler service until
+    SIGTERM/SIGINT, then drain gracefully (snapshot + journal flush)."""
+    import asyncio
+    import signal
+
+    from .config import ServiceConfig
+    from .service import ServiceCore, ServiceFrontend
+
+    if args.resume and not args.data_dir:
+        print("error: --resume requires --data-dir", file=sys.stderr)
+        return 1
+
+    cluster = cluster_profile(args.profile, args.node_scale)
+    cfg = default_config()
+    scheduler = make_schedulers(cluster, cfg)[args.scheduler]
+    service_cfg = ServiceConfig(
+        cycle_period=args.cycle_period,
+        pump_events=args.pump_events,
+        admission_per_cycle=args.admission_per_cycle,
+        max_total_pending=args.max_pending,
+        request_deadline=args.request_deadline,
+        snapshot_every_cycles=args.snapshot_every_cycles if args.data_dir else 0,
+    )
+    if args.resume:
+        core = ServiceCore.recover(
+            cluster, scheduler, service_cfg, data_dir=args.data_dir
+        )
+        print(
+            f"recovered from {args.data_dir} "
+            f"(cycle {core.cycle}, {len(core.engine.runtime.state.jobs)} jobs)"
+        )
+    else:
+        core = ServiceCore(
+            cluster, scheduler, service_cfg, data_dir=args.data_dir
+        )
+    frontend = ServiceFrontend(core, cycle_interval=args.cycle_interval)
+
+    async def _main() -> None:
+        bound = await frontend.start(args.listen)
+        print(f"serving on {bound}  (SIGTERM/SIGINT drains and exits)")
+        stop = asyncio.Event()
+        loop = asyncio.get_event_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        await stop.wait()
+        print("draining: rejecting pending, finishing admitted backlog ...")
+        stats = await frontend.drain_and_stop()
+        engine = stats.get("engine", {})
+        print(
+            f"drained at cycle {stats.get('cycle')}: "
+            f"{engine.get('tasks_done')}/{engine.get('tasks_total')} tasks, "
+            f"{engine.get('jobs')} jobs"
+        )
+
+    asyncio.run(_main())
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "fig5":
+        fig = fig5_makespan(
+            args.profile, args.jobs, scale=args.scale,
+            node_scale=args.node_scale, seed=args.seed,
+        )
+        print(figure_report(fig, ("makespan",)))
+        _maybe_save(fig, args)
+    elif args.command in ("fig6", "fig7"):
+        profile = "cluster" if args.command == "fig6" else "ec2"
+        fig = fig6_fig7_preemption(
+            profile, args.jobs, scale=args.scale,
+            node_scale=args.node_scale, seed=args.seed,
+        )
+        print(figure_report(fig, _FIG6_METRICS))
+        _maybe_save(fig, args)
+    elif args.command == "fig8":
+        fig = fig8_scalability(
+            args.jobs, scale=max(args.scale, 40.0),
+            node_scale=args.node_scale, seed=args.seed,
+        )
+        print(figure_report(fig, _FIG8_METRICS))
+        _maybe_save(fig, args)
+    elif args.command == "run":
+        return _run(args)
     elif args.command == "journal":
+        import os
+
         from .sim import JournalCorrupt, read_journal, summarize_journal
 
         try:
@@ -304,6 +496,15 @@ def main(argv: Sequence[str] | None = None) -> int:
             return 1
         print(summarize_journal(records, tail=args.tail))
         print(f"valid prefix: {valid_bytes} bytes")
+        total = os.path.getsize(args.file)
+        if total > valid_bytes:
+            print(
+                f"WARNING: torn tail — {total - valid_bytes} byte(s) "
+                f"dropped at offset {valid_bytes} (crash mid-append; "
+                "resume truncates and rewrites them)"
+            )
+    elif args.command == "serve":
+        return _serve(args)
     elif args.command == "ablate":
         values = tuple(args.values) if args.values else DEFAULT_SWEEPS[args.param]
         results = sweep_parameter(args.param, values, num_jobs=args.jobs, seed=args.seed)

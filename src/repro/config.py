@@ -21,6 +21,8 @@ __all__ = [
     "ResilienceConfig",
     "ChaosConfig",
     "SnapshotConfig",
+    "TenantQuota",
+    "ServiceConfig",
 ]
 
 
@@ -414,5 +416,149 @@ class ChaosConfig:
         check_positive(self.partition_duration, "partition_duration")
 
     def replace(self, **changes) -> "ChaosConfig":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant admission limits enforced by the service frontend
+    (:mod:`repro.service.admission`).
+
+    Attributes
+    ----------
+    rate:
+        Token-bucket refill rate — sustained admissions per (virtual)
+        second this tenant may submit.
+    burst:
+        Token-bucket capacity — how many submissions the tenant may land
+        back-to-back after idling.
+    max_pending:
+        Bound on the tenant's pending queue (accepted-but-not-yet-admitted
+        jobs).  A submission arriving at a full queue gets a backpressure
+        (``retry``) reply instead of unbounded buffering.
+    share:
+        Fairness weight.  Admission drains pending queues by deficit
+        round-robin over shares, and the shed order under overload drops
+        tenants furthest *over* their fair share first.
+    """
+
+    rate: float = 10.0
+    burst: int = 20
+    max_pending: int = 64
+    share: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.rate, "rate")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst!r}")
+        if self.max_pending < 1:
+            raise ValueError(f"max_pending must be >= 1, got {self.max_pending!r}")
+        check_positive(self.share, "share")
+
+    def replace(self, **changes) -> "TenantQuota":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of the scheduler-as-a-service frontend (:mod:`repro.service`).
+
+    The service advances in fixed *cycles*: each cycle admits at most
+    ``admission_per_cycle`` pending jobs (fairness-ordered), durably
+    journals and acknowledges them as one group commit, then pumps the
+    streaming engine by at most ``pump_events`` event pops.  All rates
+    and deadlines are measured on the service's virtual clock
+    (``cycle × cycle_period``) so tests and crash-recovery replay are
+    deterministic; the TCP frontend simply drives cycles in real time.
+
+    Attributes
+    ----------
+    cycle_period:
+        Virtual seconds per service cycle — the token-refill and
+        per-request-deadline clock granularity, and the simulated time
+        injected jobs arrive on.
+    pump_events:
+        Maximum kernel event pops executed per cycle.  Bounds how long a
+        cycle can starve request handling — the degradation guarantee
+        that ``status`` stays answerable under any backlog.
+    admission_per_cycle:
+        Maximum jobs admitted (journaled + acknowledged) per cycle — the
+        group-commit batch bound.
+    max_total_pending:
+        Global cap on accepted-but-unadmitted jobs across all tenants.
+        Above ``shed_threshold × max_total_pending`` the controller sheds
+        new submissions from tenants over their fair share; at the cap it
+        sheds every new submission (``status``/``stats`` always answer).
+    shed_threshold:
+        Fraction of ``max_total_pending`` at which over-share shedding
+        begins.
+    request_deadline:
+        Virtual seconds a pending submission may wait before it is
+        answered ``timeout`` and dropped (0 disables expiry).
+    retry_after:
+        Suggested client backoff (virtual seconds) carried in
+        backpressure (``retry``) replies.
+    default_quota:
+        Quota applied to tenants without an explicit entry in ``quotas``.
+    quotas:
+        Per-tenant overrides as ``(tenant, TenantQuota)`` pairs (a tuple,
+        keeping the config hashable/frozen).
+    snapshot_every_cycles:
+        Write a service snapshot every N cycles (0 disables; ``drain``
+        and SIGTERM always snapshot).
+    """
+
+    cycle_period: float = 1.0
+    pump_events: int = 256
+    admission_per_cycle: int = 64
+    max_total_pending: int = 1024
+    shed_threshold: float = 0.9
+    request_deadline: float = 30.0
+    retry_after: float = 1.0
+    default_quota: TenantQuota = field(default_factory=TenantQuota)
+    quotas: tuple[tuple[str, TenantQuota], ...] = ()
+    snapshot_every_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive(self.cycle_period, "cycle_period")
+        if self.pump_events < 1:
+            raise ValueError(f"pump_events must be >= 1, got {self.pump_events!r}")
+        if self.admission_per_cycle < 1:
+            raise ValueError(
+                f"admission_per_cycle must be >= 1, got {self.admission_per_cycle!r}"
+            )
+        if self.max_total_pending < 1:
+            raise ValueError(
+                f"max_total_pending must be >= 1, got {self.max_total_pending!r}"
+            )
+        check_fraction(self.shed_threshold, "shed_threshold")
+        check_non_negative(self.request_deadline, "request_deadline")
+        check_positive(self.retry_after, "retry_after")
+        seen = set()
+        for entry in self.quotas:
+            tenant, quota = entry
+            if not isinstance(tenant, str) or not tenant:
+                raise ValueError(f"tenant name must be a non-empty str: {tenant!r}")
+            if not isinstance(quota, TenantQuota):
+                raise ValueError(f"quota for {tenant!r} must be a TenantQuota")
+            if tenant in seen:
+                raise ValueError(f"duplicate quota entry for tenant {tenant!r}")
+            seen.add(tenant)
+        if self.snapshot_every_cycles < 0:
+            raise ValueError(
+                "snapshot_every_cycles must be >= 0, "
+                f"got {self.snapshot_every_cycles!r}"
+            )
+
+    def quota_for(self, tenant: str) -> TenantQuota:
+        """The quota governing *tenant* (explicit entry or the default)."""
+        for name, quota in self.quotas:
+            if name == tenant:
+                return quota
+        return self.default_quota
+
+    def replace(self, **changes) -> "ServiceConfig":
         """Return a copy with *changes* applied."""
         return dataclasses.replace(self, **changes)

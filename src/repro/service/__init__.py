@@ -1,0 +1,45 @@
+"""Scheduler-as-a-service: a multi-tenant frontend over the simulator.
+
+Layers, bottom-up:
+
+- :mod:`~repro.service.protocol` — length-prefixed JSON frames, the op
+  set, and job-spec decoding (tenant-namespaced, validated).
+- :mod:`~repro.service.comm` — the transport abstraction; importing this
+  package registers the ``inproc`` (deterministic tests) and ``tcp``
+  (real sockets) backends.
+- :mod:`~repro.service.admission` — token buckets, bounded tenant
+  queues, load shedding, deficit-weighted fair admission.
+- :mod:`~repro.service.core` — the synchronous cycle engine: group-commit
+  acknowledgements, service snapshots, kill-9 recovery.
+- :mod:`~repro.service.frontend` / :mod:`~repro.service.client` — the
+  asyncio server loop and a request/reply client helper.
+"""
+
+from . import inproc as _inproc  # noqa: F401  (registers the backend)
+from . import tcp as _tcp  # noqa: F401  (registers the backend)
+from .admission import AdmissionController, TokenBucket
+from .client import ServiceClient
+from .comm import Comm, CommClosedError, Listener, connect, listen
+from .core import ServiceCore, ServiceSnapshotError, Ticket
+from .frontend import ServiceFrontend
+from .protocol import MAX_FRAME, OPS, ProtocolError, decode_job_spec, job_name
+
+__all__ = [
+    "AdmissionController",
+    "TokenBucket",
+    "ServiceClient",
+    "Comm",
+    "CommClosedError",
+    "Listener",
+    "connect",
+    "listen",
+    "ServiceCore",
+    "ServiceSnapshotError",
+    "Ticket",
+    "ServiceFrontend",
+    "MAX_FRAME",
+    "OPS",
+    "ProtocolError",
+    "decode_job_spec",
+    "job_name",
+]

@@ -1,0 +1,263 @@
+"""Admission control: token buckets, bounded tenant queues, fair drain.
+
+The controller is *clock-agnostic and synchronous*: every entry point
+takes ``now`` (the service's virtual clock, ``cycle × cycle_period``),
+so its decisions are a pure function of the request sequence — the
+property the crash-recovery golden tests lean on.
+
+A submission passes through three gates, answered immediately:
+
+1. **Load shedding** (global).  Above ``shed_threshold × max_total_pending``
+   total queued jobs, submissions from tenants *over their fair share*
+   (pending > share-proportional slice of the global cap) are shed; at
+   the cap, every new submission is shed.  Shedding answers ``shed`` —
+   nothing is silently dropped, and reads (`status`/`stats`) are never
+   shed (they don't pass through this module at all).
+2. **Backpressure** (per tenant).  A full tenant queue answers ``retry``
+   with the configured ``retry_after`` instead of buffering unboundedly.
+3. **Rate limiting** (per tenant).  The token bucket answers ``retry``
+   with the exact time until a token accrues.
+
+Accepted submissions wait in their tenant's bounded FIFO until
+:meth:`AdmissionController.drain` picks the cycle's admission batch by
+deficit-weighted round robin over ``TenantQuota.share`` (tenant order is
+sorted-name, so the batch is deterministic).  Entries whose per-request
+deadline passes first are expired with a ``timeout`` answer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from ..config import ServiceConfig, TenantQuota
+
+__all__ = ["TokenBucket", "Pending", "TenantState", "AdmissionController"]
+
+
+class TokenBucket:
+    """Deterministic token bucket on an external clock."""
+
+    def __init__(self, rate: float, burst: int, now: float = 0.0) -> None:
+        self.rate = rate
+        self.burst = float(burst)
+        self.tokens = float(burst)
+        self._last = now
+
+    def _refill(self, now: float) -> None:
+        if now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+            self._last = now
+
+    def peek(self, now: float) -> bool:
+        """Whether a token is available at *now* (no consumption)."""
+        self._refill(now)
+        return self.tokens >= 1.0
+
+    def take(self, now: float) -> float:
+        """Consume one token; returns 0.0 on success, else the seconds
+        until the next token accrues (nothing consumed)."""
+        self._refill(now)
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+@dataclass
+class Pending:
+    """One accepted-but-unadmitted submission, parked in a tenant queue.
+
+    ``payload`` is whatever the caller wants back at admission time (the
+    service core stores its reply ticket there).
+    """
+
+    job_id: str
+    enqueued: float
+    payload: Any = None
+
+
+@dataclass
+class TenantState:
+    """Live accounting of one tenant."""
+
+    name: str
+    quota: TenantQuota
+    bucket: TokenBucket
+    pending: deque = field(default_factory=deque)
+    deficit: float = 0.0
+    # Monotonic counters (surfaced by `stats`).
+    submitted: int = 0
+    admitted: int = 0
+    shed: int = 0
+    retried: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    cancelled: int = 0
+
+
+class AdmissionController:
+    """Gatekeeper between raw submissions and the streaming engine."""
+
+    def __init__(self, config: ServiceConfig, now: float = 0.0) -> None:
+        self._config = config
+        self._start = now
+        self._tenants: dict[str, TenantState] = {}
+        self.total_pending = 0
+
+    # ------------------------------------------------------------- tenants
+    def tenant(self, name: str) -> TenantState:
+        state = self._tenants.get(name)
+        if state is None:
+            quota = self._config.quota_for(name)
+            state = TenantState(
+                name=name,
+                quota=quota,
+                bucket=TokenBucket(quota.rate, quota.burst, self._start),
+            )
+            self._tenants[name] = state
+        return state
+
+    def tenants(self) -> list[TenantState]:
+        """All known tenants in deterministic (sorted-name) order."""
+        return [self._tenants[name] for name in sorted(self._tenants)]
+
+    def _total_share(self) -> float:
+        return sum(t.quota.share for t in self._tenants.values()) or 1.0
+
+    def fair_slice(self, state: TenantState) -> float:
+        """*state*'s share-proportional slice of the global pending cap."""
+        return (
+            state.quota.share / self._total_share()
+        ) * self._config.max_total_pending
+
+    # ------------------------------------------------------------- enqueue
+    def offer(
+        self, tenant: str, job_id: str, payload: Any, now: float
+    ) -> tuple[str, float]:
+        """Gate one submission.  Returns ``(verdict, retry_after)`` where
+        verdict is ``"queued"``, ``"shed"`` or ``"retry"`` — on
+        ``"queued"`` the entry is parked and will be answered at
+        admission, expiry or cancellation."""
+        cfg = self._config
+        state = self.tenant(tenant)
+        state.submitted += 1
+
+        if self.total_pending >= cfg.max_total_pending:
+            state.shed += 1
+            return "shed", cfg.retry_after
+        saturated = self.total_pending >= cfg.shed_threshold * cfg.max_total_pending
+        if saturated and len(state.pending) > self.fair_slice(state):
+            state.shed += 1
+            return "shed", cfg.retry_after
+
+        if len(state.pending) >= state.quota.max_pending:
+            state.retried += 1
+            return "retry", cfg.retry_after
+
+        wait = state.bucket.take(now)
+        if wait > 0.0:
+            state.retried += 1
+            return "retry", max(wait, 0.001)
+
+        state.pending.append(Pending(job_id=job_id, enqueued=now, payload=payload))
+        self.total_pending += 1
+        return "queued", 0.0
+
+    def cancel(self, tenant: str, job_id: str) -> Pending | None:
+        """Remove a pending entry by id (None when not pending)."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            return None
+        for entry in state.pending:
+            if entry.job_id == job_id:
+                state.pending.remove(entry)
+                state.cancelled += 1
+                self.total_pending -= 1
+                return entry
+        return None
+
+    def find(self, tenant: str, job_id: str) -> Pending | None:
+        """The pending entry for *job_id*, if any (read-only)."""
+        state = self._tenants.get(tenant)
+        if state is None:
+            return None
+        for entry in state.pending:
+            if entry.job_id == job_id:
+                return entry
+        return None
+
+    # --------------------------------------------------------------- drain
+    def expire(self, now: float) -> list[tuple[TenantState, Pending]]:
+        """Drop entries whose per-request deadline has passed."""
+        deadline = self._config.request_deadline
+        if deadline <= 0:
+            return []
+        expired: list[tuple[TenantState, Pending]] = []
+        for state in self.tenants():
+            while state.pending and now - state.pending[0].enqueued >= deadline:
+                entry = state.pending.popleft()
+                state.timeouts += 1
+                self.total_pending -= 1
+                expired.append((state, entry))
+        return expired
+
+    def drain(self, limit: int) -> list[tuple[TenantState, Pending]]:
+        """Pick this cycle's admission batch (at most *limit* entries) by
+        deficit-weighted round robin over tenant shares."""
+        batch: list[tuple[TenantState, Pending]] = []
+        active = [t for t in self.tenants() if t.pending]
+        if not active or limit <= 0:
+            return batch
+        # Normalize so the *smallest* active share earns one admission per
+        # round — larger shares proportionally more.
+        min_share = min(t.quota.share for t in active)
+        while len(batch) < limit:
+            progressed = False
+            for state in active:
+                if not state.pending:
+                    continue
+                state.deficit += state.quota.share / min_share
+                while state.deficit >= 1.0 and state.pending and len(batch) < limit:
+                    state.deficit -= 1.0
+                    entry = state.pending.popleft()
+                    state.admitted += 1
+                    self.total_pending -= 1
+                    batch.append((state, entry))
+                    progressed = True
+            if not progressed:
+                break
+        # Idle deficits don't accumulate into future bursts.
+        for state in active:
+            if not state.pending:
+                state.deficit = 0.0
+        return batch
+
+    # --------------------------------------------------------------- stats
+    def iter_pending(self) -> Iterator[tuple[TenantState, Pending]]:
+        for state in self.tenants():
+            for entry in state.pending:
+                yield state, entry
+
+    def stats(self) -> dict:
+        """Per-tenant counters plus global pending occupancy."""
+        return {
+            "total_pending": self.total_pending,
+            "max_total_pending": self._config.max_total_pending,
+            "tenants": {
+                t.name: {
+                    "submitted": t.submitted,
+                    "admitted": t.admitted,
+                    "pending": len(t.pending),
+                    "shed": t.shed,
+                    "retried": t.retried,
+                    "rejected": t.rejected,
+                    "timeouts": t.timeouts,
+                    "cancelled": t.cancelled,
+                    "share": t.quota.share,
+                    "tokens": round(t.bucket.tokens, 6),
+                }
+                for t in self.tenants()
+            },
+        }

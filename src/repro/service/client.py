@@ -1,0 +1,64 @@
+"""Thin request/reply client over any comm transport.
+
+One :class:`ServiceClient` wraps one connection and speaks the service
+protocol sequentially (send a request, await its reply).  Concurrency is
+per-connection: spawn one client per concurrent submitter, exactly like
+the examples and the soak harness do.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .comm import Comm, connect
+
+__all__ = ["ServiceClient"]
+
+_req_ids = itertools.count(1)
+
+
+class ServiceClient:
+    """Convenience wrapper: ``op`` methods returning decoded replies."""
+
+    def __init__(self, comm: Comm) -> None:
+        self._comm = comm
+
+    @classmethod
+    async def connect(cls, address: str) -> "ServiceClient":
+        return cls(await connect(address))
+
+    async def request(self, body: dict) -> dict:
+        body.setdefault("req", next(_req_ids))
+        await self._comm.send(body)
+        return await self._comm.recv()
+
+    async def submit_job(self, tenant: str, job: dict) -> dict:
+        return await self.request(
+            {"op": "submit_job", "tenant": tenant, "job": job}
+        )
+
+    async def cancel(self, tenant: str, job_id: str) -> dict:
+        return await self.request(
+            {"op": "cancel", "tenant": tenant, "job_id": job_id}
+        )
+
+    async def status(self, tenant: str = "", job_id: str | None = None) -> dict:
+        body: dict = {"op": "status", "tenant": tenant}
+        if job_id is not None:
+            body["job_id"] = job_id
+        return await self.request(body)
+
+    async def stats(self) -> dict:
+        return await self.request({"op": "stats"})
+
+    async def drain(self) -> dict:
+        return await self.request({"op": "drain"})
+
+    async def close(self) -> None:
+        await self._comm.close()
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close()

@@ -1,0 +1,228 @@
+"""Wire protocol of the scheduler service: framing, ops, and the job codec.
+
+Every message — request or reply — is one JSON object in a length-prefixed
+frame: a 4-byte big-endian payload length followed by the UTF-8 JSON
+bytes.  Both transports (:mod:`repro.service.inproc`,
+:mod:`repro.service.tcp`) move these frames verbatim, so the codec is
+exercised identically in deterministic tests and over real sockets.
+
+Requests carry ``op`` (one of :data:`OPS`), a client-chosen ``req``
+correlation id echoed in the reply, the ``tenant`` name, and op-specific
+fields.  Replies carry ``status``:
+
+==========  ==================================================================
+status      meaning
+==========  ==================================================================
+``ok``      the request succeeded; for ``submit_job`` this is the durable
+            acknowledgement — the job is journaled and will survive a crash
+``retry``   backpressure: a bounded queue is full; retry after
+            ``retry_after`` seconds
+``shed``    load shedding: the server is over its saturation threshold and
+            dropped the submission (see the shed order in
+            ``docs/architecture.md``); retry after ``retry_after``
+``timeout``  the submission's per-request deadline expired before admission
+``rejected``  the request is permanently unacceptable (malformed spec,
+            duplicate id, undispatchable demand, cancelled, draining)
+``error``   the server could not parse/route the request at all
+==========  ==================================================================
+
+Job specs travel *tenant-relative*: the client's ``job_id``/``task_id``
+names are namespaced as ``tenant/job_id`` and ``tenant/job_id/task_id``
+on decode, so two tenants can both submit ``etl`` without colliding in
+the engine.  The wire ``deadline`` is relative to admission time; the
+server assigns the absolute deadline when the job's arrival time is
+fixed.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any
+
+from ..cluster.resources import ResourceVector
+from ..dag.job import Job
+from ..dag.task import Task
+
+__all__ = [
+    "OPS",
+    "ProtocolError",
+    "encode_frame",
+    "decode_frame",
+    "split_frames",
+    "reply",
+    "decode_job_spec",
+    "job_name",
+    "MAX_FRAME",
+]
+
+#: The closed set of request operations.
+OPS = ("submit_job", "cancel", "status", "stats", "drain")
+
+#: Upper bound on one frame's payload (a defence against a garbage length
+#: prefix allocating unbounded memory on either side).
+MAX_FRAME = 8 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+class ProtocolError(ValueError):
+    """A frame or message violates the protocol."""
+
+
+# ------------------------------------------------------------------- framing
+def encode_frame(message: dict) -> bytes:
+    """One message as a length-prefixed frame."""
+    payload = json.dumps(message, separators=(",", ":")).encode("utf-8")
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(f"frame of {len(payload)} bytes exceeds MAX_FRAME")
+    return _LEN.pack(len(payload)) + payload
+
+
+def decode_frame(frame: bytes) -> dict:
+    """Inverse of :func:`encode_frame` for one complete frame."""
+    if len(frame) < 4:
+        raise ProtocolError("short frame: missing length prefix")
+    (length,) = _LEN.unpack_from(frame)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds MAX_FRAME")
+    if len(frame) != 4 + length:
+        raise ProtocolError(
+            f"frame length mismatch: prefix says {length}, got {len(frame) - 4}"
+        )
+    try:
+        message = json.loads(frame[4:])
+    except ValueError as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload must be a JSON object")
+    return message
+
+
+def split_frames(buffer: bytes) -> tuple[list[dict], bytes]:
+    """Decode every complete frame in *buffer*; returns (messages, rest)."""
+    messages: list[dict] = []
+    pos = 0
+    while len(buffer) - pos >= 4:
+        (length,) = _LEN.unpack_from(buffer, pos)
+        if length > MAX_FRAME:
+            raise ProtocolError(f"frame length {length} exceeds MAX_FRAME")
+        if len(buffer) - pos - 4 < length:
+            break
+        messages.append(decode_frame(buffer[pos : pos + 4 + length]))
+        pos += 4 + length
+    return messages, buffer[pos:]
+
+
+def reply(request: dict, status: str, **fields: Any) -> dict:
+    """Build a reply carrying the request's correlation id (omitted when
+    the request carried none)."""
+    out: dict = {}
+    if "req" in request:
+        out["req"] = request["req"]
+    out["status"] = status
+    out.update(fields)
+    return out
+
+
+# ----------------------------------------------------------------- job codec
+def job_name(tenant: str, job_id: str) -> str:
+    """The engine-global (namespaced) name of a tenant's job."""
+    return f"{tenant}/{job_id}"
+
+
+def decode_job_spec(
+    tenant: str, spec: Any, *, arrival: float
+) -> tuple[Job, float]:
+    """Validate a wire job spec and build the namespaced engine Job.
+
+    Returns ``(job, relative_deadline)``.  Raises :class:`ProtocolError`
+    on any malformed field — the server turns that into a ``rejected``
+    reply, never a crash.
+    """
+    if not isinstance(spec, dict):
+        raise ProtocolError("job spec must be a JSON object")
+    job_id = spec.get("job_id")
+    if not isinstance(job_id, str) or not job_id or "/" in job_id:
+        raise ProtocolError(f"job_id must be a non-empty string without '/': {job_id!r}")
+    raw_tasks = spec.get("tasks")
+    if not isinstance(raw_tasks, list) or not raw_tasks:
+        raise ProtocolError("job spec needs a non-empty 'tasks' list")
+    rel_deadline = spec.get("deadline", 0.0)
+    if not isinstance(rel_deadline, (int, float)) or rel_deadline <= 0:
+        raise ProtocolError(f"deadline must be a positive number: {rel_deadline!r}")
+    weight = spec.get("weight", 0.0)
+    if not isinstance(weight, (int, float)) or weight < 0:
+        raise ProtocolError(f"weight must be a non-negative number: {weight!r}")
+
+    full_job = job_name(tenant, job_id)
+    local_ids = set()
+    for entry in raw_tasks:
+        if not isinstance(entry, dict):
+            raise ProtocolError("each task must be a JSON object")
+        tid = entry.get("task_id")
+        if not isinstance(tid, str) or not tid or "/" in tid:
+            raise ProtocolError(
+                f"task_id must be a non-empty string without '/': {tid!r}"
+            )
+        if tid in local_ids:
+            raise ProtocolError(f"duplicate task_id {tid!r} in job spec")
+        local_ids.add(tid)
+
+    tasks: list[Task] = []
+    for entry in raw_tasks:
+        tid = entry["task_id"]
+        size = entry.get("size_mi")
+        if not isinstance(size, (int, float)) or size <= 0:
+            raise ProtocolError(f"task {tid!r}: size_mi must be > 0, got {size!r}")
+        parents = entry.get("parents", [])
+        if not isinstance(parents, list):
+            raise ProtocolError(f"task {tid!r}: parents must be a list")
+        for parent in parents:
+            if parent not in local_ids:
+                raise ProtocolError(
+                    f"task {tid!r}: unknown parent {parent!r} (parents must "
+                    "name tasks of the same job)"
+                )
+        raw_demand = entry.get("demand", {})
+        if not isinstance(raw_demand, dict):
+            raise ProtocolError(f"task {tid!r}: demand must be a JSON object")
+        unknown = set(raw_demand) - {"cpu", "mem", "disk", "bandwidth"}
+        if unknown:
+            raise ProtocolError(
+                f"task {tid!r}: unknown demand dimensions {sorted(unknown)}"
+            )
+        try:
+            demand = ResourceVector(
+                cpu=float(raw_demand.get("cpu", 0.0)),
+                mem=float(raw_demand.get("mem", 0.0)),
+                disk=float(raw_demand.get("disk", 0.0)),
+                bandwidth=float(raw_demand.get("bandwidth", 0.0)),
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"task {tid!r}: bad demand ({exc})") from exc
+        try:
+            tasks.append(
+                Task(
+                    task_id=f"{full_job}/{tid}",
+                    job_id=full_job,
+                    size_mi=float(size),
+                    demand=demand,
+                    parents=tuple(f"{full_job}/{p}" for p in parents),
+                )
+            )
+        except (TypeError, ValueError) as exc:
+            raise ProtocolError(f"task {tid!r}: {exc}") from exc
+
+    try:
+        job = Job.from_tasks(
+            full_job,
+            tasks,
+            deadline=arrival + float(rel_deadline),
+            arrival_time=arrival,
+            weight=float(weight),
+        )
+        job.topo_order  # force cycle detection at decode time
+    except (TypeError, ValueError) as exc:
+        raise ProtocolError(f"invalid job spec: {exc}") from exc
+    return job, float(rel_deadline)

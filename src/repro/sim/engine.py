@@ -68,7 +68,13 @@ from .faults import FaultEvent, fault_sort_key, validate_fault_plan
 from .executor import NodeRuntime, TaskRuntime
 from .invariants import InvariantChecker
 from .journal import JournalRecorder
-from .kernel import EventBus, Kernel, SimulationError, SimulationStuck
+from .kernel import (
+    EventBus,
+    Kernel,
+    SimulationError,
+    SimulationInterrupted,
+    SimulationStuck,
+)
 from .metrics import MetricsCollector, RunMetrics
 from .policy import NullPreemption, PreemptionPolicy
 from .preemption_exec import PreemptionExecutor
@@ -231,6 +237,14 @@ class SimEngine:
         re-execution; the journal is the post-mortem record and the
         byte-identical parity witness (a crashed-and-resumed run rewrites
         the suffix past the snapshot's offset identically).
+    streaming:
+        Switch from batch to *streaming admission*: ``jobs`` may be empty,
+        work enters through :meth:`submit_job` at any settled point, and
+        the run advances through bounded :meth:`pump` slices instead of
+        the one-shot :meth:`run`.  This is the service frontend's mode —
+        determinism is preserved because submissions only land between
+        event pops and pump quanta are counted in pops, not wall time.
+        Call :meth:`finalize` for the metrics once drained.
     """
 
     def __init__(
@@ -251,6 +265,7 @@ class SimEngine:
         record_trace: bool = False,
         snapshots: SnapshotConfig | None = None,
         journal: str | os.PathLike | None = None,
+        streaming: bool = False,
     ):
         policy = preemption if preemption is not None else NullPreemption()
         dsp_config = dsp_config or DSPConfig()
@@ -269,7 +284,9 @@ class SimEngine:
             if problems:
                 raise ValueError(f"invalid fault plan: {problems[:3]}")
 
-        state = build_state(cluster, jobs, dsp_config, task_deadlines)
+        state = build_state(
+            cluster, jobs, dsp_config, task_deadlines, allow_empty=streaming
+        )
         state.pending_faults = len(self._fault_plan)
         bus = EventBus()
         kernel = Kernel(bus, horizon=sim_config.horizon)
@@ -357,6 +374,13 @@ class SimEngine:
         )
         self._restored = False
         self._finished = False
+        self._stop_requested = False
+        self._streaming = streaming
+        if streaming:
+            # Streaming runs have no one-shot seeding step, so the fault
+            # plan is armed here; arrivals enter via submit_job().
+            for fault in self._fault_plan:
+                kernel.schedule(fault.time, EventKind.FAULT, fault)
         attach = getattr(policy, "attach", None)
         if callable(attach):
             attach(SimContext(rt))
@@ -430,7 +454,19 @@ class SimEngine:
         if isinstance(snapshot, (str, os.PathLike)):
             snapshot = load_snapshot(snapshot)
         journal = kwargs.pop("journal", None)
-        engine = cls(cluster, jobs, scheduler, **kwargs)
+        if kwargs.get("streaming"):
+            # A streaming engine registers its workload through submit_job,
+            # so the restore target must be grown the same way: *jobs* (in
+            # original admission order) are submitted into an empty engine
+            # before the state overwrite — the seeded arrival events are
+            # discarded when restore_into replaces the heap, but the
+            # registered structures make the fingerprints comparable.
+            deadlines = kwargs.pop("task_deadlines", None)
+            engine = cls(cluster, [], scheduler, **kwargs)
+            for job in jobs:
+                engine.submit_job(job, deadlines)
+        else:
+            engine = cls(cluster, jobs, scheduler, **kwargs)
         restore_into(engine, snapshot)
         if journal is not None:
             offset = snapshot.get("journal_offset")
@@ -464,9 +500,102 @@ class SimEngine:
     def _resilience(self) -> ResilienceManager | None:
         return self._rt.resilience
 
+    # ------------------------------------------------------- streaming mode
+    def submit_job(
+        self,
+        job: Job,
+        task_deadlines: Mapping[str, float] | None = None,
+    ) -> None:
+        """Admit *job* into a live streaming run.
+
+        Valid at any settled point (between pump slices, never from inside
+        an event handler).  The job's ``arrival_time`` must not precede the
+        simulation clock; its JOB_ARRIVAL is scheduled at that time and a
+        scheduling round is armed if none is pending, so the next
+        :meth:`pump` will plan it.  Raises ``ValueError`` on id collisions
+        or a past arrival, :class:`SimulationStuck` on an undispatchable
+        demand — in every error case the engine state is unchanged, so a
+        service can reject the submission and keep running.
+        """
+        if not self._streaming:
+            raise SimulationError("submit_job requires streaming=True")
+        if self._finished:
+            raise SimulationError("engine already finalized")
+        rt = self._rt
+        if job.arrival_time < rt.kernel.now:
+            raise ValueError(
+                f"job {job.job_id!r} arrival {job.arrival_time:g} precedes "
+                f"the clock ({rt.kernel.now:g})"
+            )
+        rt.state.register_job(job, task_deadlines)
+        rt.views.register_job(job)
+        if rt.sched is not None:
+            rt.sched.register_job(job)
+        rt.metrics.register_job(job.job_id, job.arrival_time, job.deadline)
+        for tid in job.tasks:
+            rt.metrics.register_task(tid, job.job_id)
+        rt.kernel.schedule(job.arrival_time, EventKind.JOB_ARRIVAL, job.job_id)
+        if not rt.kernel.queue.has_kind(EventKind.SCHEDULING_ROUND):
+            rt.kernel.schedule(job.arrival_time, EventKind.SCHEDULING_ROUND, None)
+
+    def pump(self, max_pops: int | None = None) -> int:
+        """Advance a streaming run by at most *max_pops* event pops.
+
+        Returns the number of pops actually consumed (0 when the heap is
+        empty or all registered work is already done).  Unlike :meth:`run`,
+        draining the heap with unfinished work is *not* an error here —
+        the work may be waiting on a future submission's scheduling round.
+        """
+        if not self._streaming:
+            raise SimulationError("pump requires streaming=True")
+        if self._finished:
+            raise SimulationError("engine already finalized")
+        rt = self._rt
+        before = rt.kernel.pops
+        rt.kernel.run(
+            until=rt.state.all_done,
+            describe=lambda: (
+                f"{rt.state.completed_tasks}/{len(rt.state.tasks)} tasks done"
+            ),
+            max_pops=max_pops,
+        )
+        return rt.kernel.pops - before
+
+    def finalize(self) -> RunMetrics:
+        """Close a drained streaming run and return its metrics."""
+        if not self._streaming:
+            raise SimulationError("finalize requires streaming=True")
+        if self._finished:
+            raise SimulationError("engine already finalized")
+        rt = self._rt
+        if not rt.state.all_done():
+            unfinished = rt.state.unfinished_task_ids()
+            raise SimulationError(
+                f"finalize with {len(unfinished)} unfinished tasks "
+                f"(first: {sorted(unfinished)[:3]})"
+            )
+        if self._journal is not None:
+            self._journal.flush()
+        self._finished = True
+        metrics = rt.metrics.finalize(rt.now)
+        if rt.invariants is not None:
+            rt.invariants.verify_run(metrics)
+        return metrics
+
     # ------------------------------------------------------------------ run
+    def request_stop(self) -> None:
+        """Ask a batch run to stop at the next settled point (signal-safe:
+        only sets a flag).  :meth:`run` then raises
+        :class:`SimulationInterrupted` with the engine snapshot-safe."""
+        self._stop_requested = True
+
     def run(self) -> RunMetrics:
         """Execute to completion and return the run's metrics."""
+        if self._streaming:
+            raise SimulationError(
+                "streaming engines advance via submit_job()/pump(); "
+                "run() is the batch-mode entry point"
+            )
         if self._finished:
             raise SimulationError("engine instances are single-use; build a new one")
         rt = self._rt
@@ -489,7 +618,7 @@ class SimEngine:
 
         try:
             rt.kernel.run(
-                until=state.all_done,
+                until=lambda: state.all_done() or self._stop_requested,
                 describe=lambda: (
                     f"{state.completed_tasks}/{len(state.tasks)} tasks done"
                 ),
@@ -498,6 +627,12 @@ class SimEngine:
             if self._journal is not None:
                 self._journal.flush()
 
+        if self._stop_requested and not state.all_done():
+            raise SimulationInterrupted(
+                f"stopped at a settled point "
+                f"({state.completed_tasks}/{len(state.tasks)} tasks done, "
+                f"event #{rt.kernel.pops}, t={rt.kernel.now:g}s)"
+            )
         if not state.all_done():
             unfinished = state.unfinished_task_ids()
             raise SimulationStuck(

@@ -67,6 +67,11 @@ class EventQueue:
         """Time of the earliest event, or None when empty."""
         return self._heap[0][0] if self._heap else None
 
+    def has_kind(self, kind: EventKind) -> bool:
+        """True if any pending event is of *kind* (streaming engines use
+        this to decide whether a scheduling round is already armed)."""
+        return any(item[2].kind is kind for item in self._heap)
+
     def __len__(self) -> int:
         return len(self._heap)
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import logging
 import math
 import os
 import zlib
@@ -52,6 +53,9 @@ __all__ = [
     "encode_bus_event",
     "decode_bus_event",
 ]
+
+
+logger = logging.getLogger(__name__)
 
 
 class JournalCorrupt(RuntimeError):
@@ -336,11 +340,13 @@ def read_journal(path: str | os.PathLike) -> tuple[list[dict], int]:
     """Read a journal, tolerating a torn tail.
 
     Returns ``(records, valid_bytes)`` where *valid_bytes* is the byte
-    length of the valid prefix.  A torn/truncated final record is
-    dropped silently (that is what a crash mid-write leaves behind); an
-    invalid record with *further* records after it raises
-    :class:`JournalCorrupt` — that is real corruption, not a crash
-    artifact.
+    length of the valid prefix.  A torn/truncated final record is dropped
+    — that is what a crash mid-write leaves behind — with one structured
+    warning (logger ``repro.sim.journal``, the truncation offset and the
+    number of bytes dropped in both the message and ``extra`` fields, so
+    log aggregators can key on them).  An invalid record with *further*
+    records after it raises :class:`JournalCorrupt` — that is real
+    corruption, not a crash artifact.
     """
     data = Path(path).read_bytes()
     records: list[dict] = []
@@ -356,7 +362,20 @@ def read_journal(path: str | os.PathLike) -> tuple[list[dict], int]:
                     f"invalid journal record at byte {pos} of {path}"
                     " with further records after it"
                 )
-            break  # torn tail — tolerated
+            # Torn tail — tolerated, but never silently: the offset is the
+            # fact an operator needs to correlate with the snapshot's
+            # journal_offset and the fsync cadence.
+            logger.warning(
+                "journal %s has a torn tail: dropped %d byte(s) at offset %d"
+                " (valid prefix: %d records)",
+                path, len(data) - pos, pos, len(records),
+                extra={
+                    "journal_path": str(path),
+                    "torn_offset": pos,
+                    "torn_bytes": len(data) - pos,
+                },
+            )
+            break
         records.append(record)
         pos = nl + 1
     return records, pos

@@ -82,6 +82,12 @@ class SimulationStuck(SimulationError):
     (e.g. a task demand exceeding every node's total capacity)."""
 
 
+class SimulationInterrupted(SimulationError):
+    """The run stopped cooperatively (``SimEngine.request_stop``) at a
+    settled point with work remaining — the engine is snapshot-safe and
+    the run is resumable."""
+
+
 # --------------------------------------------------------------------- events
 @dataclass(frozen=True, slots=True)
 class BusEvent:
@@ -451,13 +457,24 @@ class Kernel:
         *,
         until: Callable[[], bool],
         describe: Callable[[], str] = lambda: "",
+        max_pops: int | None = None,
     ) -> None:
         """Drain the heap until *until*() turns true or events run out.
+
+        ``max_pops`` bounds this call to at most that many event pops —
+        the streaming engine's pump quantum: the service layer interleaves
+        admissions with bounded slices of simulation work, and because the
+        bound counts pops (not wall time) the slice boundaries are
+        deterministic and replayable.
 
         Raises :class:`SimulationError` when the clock passes the horizon
         or an event arrives with no registered handler (a wiring bug).
         """
+        popped = 0
         while self._queue:
+            if max_pops is not None and popped >= max_pops:
+                break
+            popped += 1
             ev = self._queue.pop()
             if ev.time > self._horizon:
                 raise SimulationError(

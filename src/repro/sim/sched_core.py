@@ -144,6 +144,22 @@ class PriorityIndex:
         bus.subscribe(_TASK_EVENTS, self._on_task_event)
         bus.subscribe(_WORLD_EVENTS, self._on_world_event)
 
+    def register_job(self, job) -> None:
+        """Extend the live-dependent lists with a streaming-admitted job.
+
+        New jobs are self-contained DAGs (their tasks' parents live in the
+        same job), so registration is purely additive: fresh live lists in
+        the same insertion order the constructor would have produced, and
+        no existing memo entry can be affected (no old task gains a new
+        dependent).  ``self._ancestors`` is the shared ``state.ancestors``
+        dict, already extended by ``SimState.register_job``."""
+        live = self._live
+        for tid in job.tasks:
+            live[tid] = []
+        for task in job.tasks.values():
+            for parent in task.parents:
+                live[parent].append(task.task_id)
+
     def scores_like(self, config: "DSPConfig") -> bool:
         """True when *config* parameterizes Eq. 12–13 identically to the
         engine config this index scores with — the guard a policy checks

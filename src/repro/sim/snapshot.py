@@ -117,6 +117,7 @@ def _fingerprint(engine: "SimEngine") -> dict:
         "sched_index": rt.sched is not None,
         "invariants": rt.sim_config.invariants,
         "collect_samples": rt.sim_config.collect_task_samples,
+        "streaming": getattr(engine, "_streaming", False),
     }
 
 

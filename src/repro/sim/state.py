@@ -49,7 +49,15 @@ __all__ = ["SimState", "SimRuntime", "build_state"]
 
 
 class SimState:
-    """World-state of one simulation run (static structure + runtimes)."""
+    """World-state of one simulation run (static structure + runtimes).
+
+    Jobs enter either up front (:func:`build_state` registers the whole
+    batch workload) or one at a time through :meth:`register_job` — the
+    streaming-admission path the service frontend uses.  Registration is
+    strictly additive: existing runtimes, counters and memoized closures
+    are never touched, so a job can be admitted between timed events of a
+    live run.
+    """
 
     def __init__(
         self,
@@ -65,8 +73,8 @@ class SimState:
         self.static_tasks = static_tasks
         self.children = children
         self.job_of = job_of
-        #: Full ancestor closure per task, memoized once at init — C2
-        #: checks and view building become set intersections instead of
+        #: Full ancestor closure per task, memoized once at registration —
+        #: C2 checks and view building become set intersections instead of
         #: per-epoch graph walks.
         self.ancestors = ancestors
         self.tasks = tasks
@@ -82,6 +90,56 @@ class SimState:
         self.dispatched_this_tick = False
         self.dispatch_gates: list[Callable[[str], bool]] = []
         self.progress_holds: list[Callable[[float], bool]] = []
+        #: Node capacity vectors, for admission-time demand validation
+        #: (set by :func:`build_state`).
+        self.capacities: tuple = ()
+
+    # ------------------------------------------------------------ admission
+    def register_job(
+        self,
+        job: Job,
+        task_deadlines: Mapping[str, float] | None = None,
+    ) -> None:
+        """Add *job* to the world state (streaming admission).
+
+        Validates exactly what :func:`build_state` validates for the batch
+        path — duplicate job/task ids, undispatchable demands — and builds
+        the same derived structures (children map, memoized ancestor
+        closures, task runtimes).  Raises ``ValueError`` on id collisions
+        and :class:`~repro.sim.kernel.SimulationStuck` when a task demand
+        exceeds every node's capacity.
+        """
+        if job.job_id in self.jobs:
+            raise ValueError(f"duplicate job id {job.job_id!r}")
+        for tid in job.tasks:
+            if tid in self.static_tasks:
+                raise ValueError(f"duplicate task id {tid!r} across jobs")
+        deadlines = task_deadlines or {}
+        for tid, task in job.tasks.items():
+            if self.capacities and not any(
+                task.demand.fits_within(cap) for cap in self.capacities
+            ):
+                raise SimulationStuck(
+                    f"task {tid} demand {task.demand} exceeds every node's capacity"
+                )
+        self.jobs[job.job_id] = job
+        self.job_remaining[job.job_id] = len(job.tasks)
+        for tid, task in job.tasks.items():
+            self.static_tasks[tid] = task
+            self.job_of[tid] = job.job_id
+        self.children.update(job.children)
+        for tid in job.topo_order:
+            anc: set[str] = set()
+            for p in job.tasks[tid].parents:
+                anc.add(p)
+                anc |= self.ancestors[p]
+            self.ancestors[tid] = frozenset(anc)
+        for tid, task in job.tasks.items():
+            self.tasks[tid] = TaskRuntime(
+                task=task,
+                deadline=deadlines.get(tid, job.deadline),
+                unfinished_parents=len(task.parents),
+            )
 
     # ----------------------------------------------------------- queries
     def all_done(self) -> bool:
@@ -114,14 +172,17 @@ def build_state(
     jobs: Sequence[Job],
     dsp_config: DSPConfig,
     task_deadlines: Mapping[str, float] | None,
+    *,
+    allow_empty: bool = False,
 ) -> SimState:
     """Validate the workload against the cluster and build a SimState.
 
     Raises ``ValueError`` on duplicate job/task ids and
     :class:`~repro.sim.kernel.SimulationStuck` when a task demand exceeds
-    every node's capacity (it could never dispatch).
+    every node's capacity (it could never dispatch).  ``allow_empty``
+    permits a jobless state for streaming engines that admit work later.
     """
-    if not jobs:
+    if not jobs and not allow_empty:
         raise ValueError("SimEngine needs at least one job")
     by_id: dict[str, Job] = {}
     for job in jobs:
@@ -172,7 +233,9 @@ def build_state(
         )
         for n in cluster
     }
-    return SimState(by_id, static_tasks, children, job_of, ancestors, tasks, nodes)
+    state = SimState(by_id, static_tasks, children, job_of, ancestors, tasks, nodes)
+    state.capacities = tuple(n.capacity for n in cluster)
+    return state
 
 
 class SimRuntime:

@@ -94,6 +94,12 @@ class ViewCache:
     def enabled(self) -> bool:
         return self._enabled
 
+    def register_job(self, job) -> None:
+        """Add the static attributes of a streaming-admitted job's tasks
+        (mirrors the constructor's precomputation)."""
+        for tid, task in job.tasks.items():
+            self._static[tid] = (task.demand.norm1(), job.weight, job.deadline)
+
     def attach(self, bus: EventBus) -> None:
         """Subscribe the dirty-tracking to membership-changing events."""
         bus.subscribe(_MEMBERSHIP_EVENTS, self._on_membership_event)

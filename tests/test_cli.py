@@ -100,3 +100,163 @@ class TestGanttFlag:
         assert rc == 0
         out = capsys.readouterr().out
         assert "t=[" in out  # the chart's time axis header
+
+
+class TestResumeFailurePaths:
+    """--resume must fail fast with an actionable message, never a
+    traceback and never a silent fresh start."""
+
+    ARGS = ["run", "--jobs", "3", "--scale", "100", "--resume"]
+
+    def test_missing_snapshot_dir(self, capsys, tmp_path):
+        rc = main(self.ARGS + ["--snapshot-dir", str(tmp_path / "nope")])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "does not exist" in err and "hint:" in err
+
+    def test_empty_snapshot_dir(self, capsys, tmp_path):
+        (tmp_path / "snaps").mkdir()
+        rc = main(self.ARGS + ["--snapshot-dir", str(tmp_path / "snaps")])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "no valid snapshot" in err
+
+    def test_corrupt_snapshot_is_skipped_with_clear_error(self, capsys, tmp_path):
+        snaps = tmp_path / "snaps"
+        snaps.mkdir()
+        (snaps / "snapshot-00000050.json").write_text("{ not json")
+        rc = main(self.ARGS + ["--snapshot-dir", str(snaps)])
+        assert rc == 1
+        assert "no valid snapshot" in capsys.readouterr().err
+
+    def test_fingerprint_mismatch(self, capsys, tmp_path):
+        snaps = tmp_path / "snaps"
+        rc = main([
+            "run", "--jobs", "3", "--scale", "100",
+            "--snapshot-every", "20", "--snapshot-dir", str(snaps),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        rc = main([
+            "run", "--jobs", "4", "--scale", "100", "--resume",
+            "--snapshot-dir", str(snaps),
+        ])
+        assert rc == 1
+        err = capsys.readouterr().err
+        assert "does not match this run configuration" in err
+        assert "hint:" in err
+
+
+class TestJournalTornTail:
+    def test_warning_printed_with_offset(self, capsys, tmp_path):
+        journal = tmp_path / "run.journal"
+        rc = main([
+            "run", "--jobs", "3", "--scale", "100",
+            "--journal", str(journal),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+        data = journal.read_bytes()
+        journal.write_bytes(data[:-5])  # crash mid-append
+        rc = main(["journal", str(journal), "--tail", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "torn tail" in out
+        assert "offset" in out
+
+    def test_intact_journal_has_no_warning(self, capsys, tmp_path):
+        journal = tmp_path / "run.journal"
+        main(["run", "--jobs", "3", "--scale", "100", "--journal", str(journal)])
+        capsys.readouterr()
+        rc = main(["journal", str(journal), "--tail", "2"])
+        assert rc == 0
+        assert "torn tail" not in capsys.readouterr().out
+
+
+class TestGracefulInterrupt:
+    """SIGTERM/SIGINT stop `repro run` at a settled point, leaving a
+    resumable snapshot + flushed journal (tested via the cooperative
+    request_stop seam the signal handler uses)."""
+
+    def test_request_stop_raises_interrupted(self):
+        from repro.experiments import (
+            build_workload_for_cluster,
+            cluster_profile,
+            default_config,
+            make_schedulers,
+        )
+        from repro.sim import SimEngine, SimulationInterrupted
+
+        cluster = cluster_profile("cluster", 5.0)
+        cfg = default_config()
+        workload = build_workload_for_cluster(3, cluster, scale=100, seed=7, config=cfg)
+        scheduler = make_schedulers(cluster, cfg)["DSP"]
+        engine = SimEngine(cluster, list(workload.jobs), scheduler, dsp_config=cfg)
+        engine.request_stop()
+        with pytest.raises(SimulationInterrupted):
+            engine.run()
+        # The engine is at a settled point: snapshot-safe.
+        snap = engine.snapshot()
+        assert snap["kernel"]["pops"] >= 1
+
+    def test_sigterm_mid_run_then_resume(self, capsys, tmp_path):
+        import os
+        import signal
+        import threading
+
+        snaps = tmp_path / "snaps"
+        journal = tmp_path / "run.journal"
+        base = [
+            "run", "--jobs", "40", "--scale", "8", "--snapshot-every", "200",
+            "--snapshot-dir", str(snaps), "--journal", str(journal),
+        ]
+        timer = threading.Timer(
+            0.3, lambda: os.kill(os.getpid(), signal.SIGTERM)
+        )
+        timer.start()
+        try:
+            rc = main(base)
+        finally:
+            timer.cancel()
+        out = capsys.readouterr().out
+        if rc == 0:
+            pytest.skip("run finished before the signal landed")
+        assert rc == 128 + signal.SIGTERM
+        assert "SIGTERM" in out and "final snapshot" in out
+        rc = main(base + ["--resume"])
+        assert rc == 0
+        assert "resuming from" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.listen.startswith("tcp://")
+        assert args.scheduler == "DSP"
+
+    def test_resume_requires_data_dir(self, capsys):
+        rc = main(["serve", "--resume"])
+        assert rc == 1
+        assert "--resume requires --data-dir" in capsys.readouterr().err
+
+    def test_serve_drains_on_sigterm(self, capsys, tmp_path):
+        import os
+        import signal
+        import threading
+
+        timer = threading.Timer(
+            1.0, lambda: os.kill(os.getpid(), signal.SIGTERM)
+        )
+        timer.start()
+        try:
+            rc = main([
+                "serve", "--listen", "inproc://cli-serve-test",
+                "--data-dir", str(tmp_path / "svc"),
+            ])
+        finally:
+            timer.cancel()
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving on inproc://cli-serve-test" in out
+        assert "drained at cycle" in out
+        assert (tmp_path / "svc" / "snapshots").is_dir()

@@ -41,6 +41,7 @@ class TestExamples:
             "resilience.py",
             "timeline_debug.py",
             "durable_run.py",
+            "service_run.py",
         } <= present
 
     def test_quickstart(self):
@@ -92,4 +93,12 @@ class TestExamples:
         assert "recovering" in result.stdout
         # The example's own asserts verify metric/journal identity; the
         # printed line is the user-visible witness.
+        assert "journal byte-identical" in result.stdout
+
+    def test_service_run(self):
+        result = run_example("service_run.py")
+        assert result.returncode == 0, result.stderr
+        assert "zero acknowledged-job loss" in result.stdout
+        assert "per-tenant fairness" in result.stdout
+        assert "status answered" in result.stdout
         assert "journal byte-identical" in result.stdout
