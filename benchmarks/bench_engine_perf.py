@@ -8,14 +8,19 @@ regression) is visible:
 * offline planning throughput (heuristic list scheduler) in tasks/s;
 * epoch cost with a non-trivial preemption policy attached;
 * the kernel hot path at fig-8 scale — epoch ticks per wall-second with
-  the incremental scheduling core (priority index + delta-driven view
-  cache) on vs the always-recompute path (results must be identical;
-  the numbers land in ``BENCH_engine.json`` at the repo root, and
-  ``scripts/bench_guard.py`` re-runs the same recipe in CI to catch
-  regressions against that committed baseline).
+  the incremental scheduling core (struct-of-arrays array core +
+  delta-driven view cache) on vs the always-recompute object path
+  (results must be identical; the numbers land in ``BENCH_engine.json``
+  at the repo root, and ``scripts/bench_guard.py`` re-runs the same
+  recipe in CI to catch regressions against that committed baseline).
 
 Unlike the figure benches these use multiple rounds — the point *is* the
 timing distribution.
+
+Run directly for a human-readable summary (including the score-cache hit
+rate), or with ``--profile`` for a cProfile breakdown of the epoch loop::
+
+    PYTHONPATH=src python benchmarks/bench_engine_perf.py [--profile]
 """
 
 from __future__ import annotations
@@ -42,6 +47,12 @@ SIM = SimConfig(epoch=60.0, scheduling_period=300.0)
 #: epoch handling dominates, small enough for a multi-round benchmark.
 FIG8_JOBS = 50
 FIG8_SCALE = 40.0
+#: The hot-path recipe ticks the epoch loop at 5 s (vs the end-to-end
+#: benches' 60 s) so the measured wall time is dominated by the code the
+#: bench is about — per-tick scheduling work — rather than by the fixed
+#: per-run costs (scheduling rounds, arrival/finish handling) that are
+#: identical on both sides and would otherwise cap the observable ratio.
+FIG8_SIM = SimConfig(epoch=5.0, scheduling_period=300.0)
 BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_engine.json"
 
 
@@ -78,13 +89,13 @@ def _fig8_hot_path(incremental: bool, journal_path=None):
     """One DSP-preemption run at fig-8 scale.
 
     *incremental* toggles the whole incremental scheduling core at once
-    (``sched_index`` + ``views_cache``) against the always-recompute
-    path; *journal_path* additionally enables the write-ahead run
-    journal (the durability overhead the guard bounds).  Returns
-    (metrics dict, epoch ticks observed on the bus, wall seconds, view
-    rebuilds, index-or-None).  This is the recipe
-    ``scripts/bench_guard.py`` imports — keep it deterministic (fixed
-    seed, no warm-up inside).
+    (``array_core`` + ``sched_index`` + ``views_cache``) against the
+    always-recompute object path; *journal_path* additionally enables
+    the write-ahead run journal (the durability overhead the guard
+    bounds).  Returns (metrics dict, epoch ticks observed on the bus,
+    wall seconds, view rebuilds, scoring-seam-or-None).  This is the
+    recipe ``scripts/bench_guard.py`` imports — keep it deterministic
+    (fixed seed, no warm-up inside).
     """
     from repro.sim import EpochTick, SimEngine
 
@@ -96,7 +107,11 @@ def _fig8_hot_path(incremental: bool, journal_path=None):
         CLUSTER, workload.jobs,
         DSPScheduler(CLUSTER, CONFIG, ilp_task_limit=0),
         preemption=DSPPreemption(CONFIG), dsp_config=CONFIG,
-        sim_config=SIM.replace(views_cache=incremental, sched_index=incremental),
+        sim_config=FIG8_SIM.replace(
+            views_cache=incremental,
+            sched_index=incremental,
+            array_core=incremental,
+        ),
         journal=journal_path,
     )
     ticks = 0
@@ -238,7 +253,7 @@ def test_perf_kernel_hot_path_incremental():
     BENCH_JSON.write_text(json.dumps({
         "benchmark": "kernel_hot_path",
         "scale": {"jobs": FIG8_JOBS, "workload_scale": FIG8_SCALE,
-                  "epoch_s": SIM.epoch},
+                  "epoch_s": FIG8_SIM.epoch},
         "protocol": {"rounds": 3, "warmup_runs": 1, "stat": "best"},
         "incremental": {
             "epoch_ticks": inc["ticks"],
@@ -247,6 +262,7 @@ def test_perf_kernel_hot_path_incremental():
             "view_rebuilds": inc["rebuilds"],
             "index_hits": index.hits,
             "index_misses": index.misses,
+            "index_hit_rate": round(index.stats()["hit_rate"], 4),
         },
         "recompute": {
             "epoch_ticks": rec["ticks"],
@@ -284,3 +300,50 @@ def test_perf_end_to_end_dsp_policy(benchmark):
 
     m = benchmark.pedantic(run, rounds=3, iterations=1)
     assert m.tasks_completed == WORKLOAD.num_tasks
+
+
+def _profile_hot_path() -> None:
+    """cProfile the incremental hot path (one warmed run), top 25 by
+    cumulative time — the first stop when the speedup guard trips."""
+    import cProfile
+    import pstats
+
+    _fig8_hot_path(incremental=True)  # warm-up
+    profiler = cProfile.Profile()
+    profiler.enable()
+    _fig8_hot_path(incremental=True)
+    profiler.disable()
+    pstats.Stats(profiler).sort_stats("cumulative").print_stats(25)
+
+
+def _print_summary() -> None:
+    results = measure_hot_path(rounds=3)
+    inc, rec = results["incremental"], results["recompute"]
+    per_s = lambda r: r["ticks"] / r["wall"]  # noqa: E731
+    stats = inc["index"].stats()
+    print(f"kernel hot path ({FIG8_JOBS} jobs, scale {FIG8_SCALE}, "
+          f"epoch {FIG8_SIM.epoch:g}s):")
+    print(f"  incremental: {inc['ticks']} ticks in {inc['wall']:.3f}s "
+          f"({per_s(inc):.1f} ticks/s)")
+    print(f"  recompute:   {rec['ticks']} ticks in {rec['wall']:.3f}s "
+          f"({per_s(rec):.1f} ticks/s)")
+    print(f"  speedup: {per_s(inc) / per_s(rec):.2f}x  "
+          f"(results identical: {inc['metrics'] == rec['metrics']})")
+    print(f"  score cache: {stats['hits']} hits / {stats['misses']} misses "
+          f"(hit rate {stats['hit_rate']:.1%})")
+
+
+if __name__ == "__main__":
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Kernel hot-path benchmark (see module docstring)."
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="cProfile the incremental hot path instead of timing it",
+    )
+    if parser.parse_args().profile:
+        _profile_hot_path()
+    else:
+        _print_summary()

@@ -9,7 +9,13 @@ re-checks the correctness side of the bargain: incremental and recompute
 runs must produce identical metrics, and the baseline file must record
 ``results_identical: true``.
 
-A second check bounds the durability layer: the same recipe runs
+A second check guards the array core's reason to exist: the measured
+incremental-vs-recompute speedup must stay above ``--speedup-floor``
+(default 4.0x; the committed baseline records ~6.8x, so the floor only
+trips when the struct-of-arrays path stops paying for itself, not on
+runner noise).
+
+A third check bounds the durability layer: the same recipe runs
 journal-off vs journal-on, and the guard fails if write-ahead journaling
 costs more than ``--journal-tolerance`` (default 10%) of epoch ticks/s —
 journaling must stay a cheap observer, never a tax on the hot path.
@@ -53,6 +59,13 @@ def main(argv: list[str] | None = None) -> int:
         help="measured rounds per mode, best taken (default 3)",
     )
     parser.add_argument(
+        "--speedup-floor", type=float, default=4.0,
+        help=(
+            "minimum incremental-vs-recompute epoch-ticks/s ratio "
+            "(default 4.0)"
+        ),
+    )
+    parser.add_argument(
         "--journal-tolerance", type=float, default=0.10,
         help=(
             "max fractional epoch-ticks/s cost of write-ahead journaling "
@@ -81,13 +94,32 @@ def main(argv: list[str] | None = None) -> int:
 
     rate = inc["ticks"] / inc["wall"]
     floor = base_rate * (1.0 - args.tolerance)
+    speedup = rate / (rec["ticks"] / rec["wall"])
     verdict = "ok" if rate >= floor else "FAIL"
     print(
         f"bench-guard: {verdict} — measured {rate:.1f} epoch ticks/s "
         f"(baseline {base_rate:.1f}, floor {floor:.1f}, "
-        f"speedup over recompute {rate / (rec['ticks'] / rec['wall']):.2f}x)"
+        f"speedup over recompute {speedup:.2f}x)"
     )
     if rate < floor:
+        return 1
+
+    # The array core must keep earning its keep against always-recompute.
+    base_speedup = baseline.get("speedup")
+    verdict = "ok" if speedup >= args.speedup_floor else "FAIL"
+    stats = inc["index"].stats() if inc["index"] is not None else {}
+    print(
+        f"bench-guard: {verdict} — incremental speedup {speedup:.2f}x "
+        f"(floor {args.speedup_floor:.1f}x"
+        + (f", baseline {base_speedup:.2f}x" if base_speedup is not None else "")
+        + (
+            f", score-cache hit rate {stats['hit_rate']:.1%}"
+            if stats
+            else ""
+        )
+        + ")"
+    )
+    if speedup < args.speedup_floor:
         return 1
 
     # Durability cost: write-ahead journaling must stay a cheap observer.

@@ -11,6 +11,7 @@ scheduler, preemption engine and simulator so a run is fully described by
 from __future__ import annotations
 
 import dataclasses
+import os
 from dataclasses import dataclass, field
 
 from ._util import check_fraction, check_non_negative, check_positive
@@ -165,7 +166,22 @@ class SimConfig:
         the index and every consumer falls back to its stateless
         evaluator.  Results are identical either way (asserted by
         ``tests/test_sched_core.py``) — like ``views_cache``, a pure
-        performance/debugging knob.
+        performance/debugging knob.  Superseded by ``array_core``: while
+        the array core is on it takes the scoring seam and this knob is
+        inert.
+    array_core:
+        When True (default), the engine maintains the struct-of-arrays
+        state mirror (:mod:`repro.sim.arraycore`) as a bus subscriber:
+        priority scoring runs as vectorized Eq. 12–13 passes, and the
+        dispatcher's queue scan, the stall-timeout sweep and TaskView
+        signal assembly run as numpy masks over the mirror instead of
+        Python loops over runtime objects.  False falls back to the
+        object-model hot path (``sched_index``/``views_cache`` then
+        apply as before).  Results are byte-identical either way
+        (asserted by ``tests/test_sched_core.py``); the default honours
+        the ``REPRO_ARRAY_CORE`` environment variable (``0``/``false``/
+        ``off`` disable) so CI can run the object path without touching
+        call sites.
     invariants:
         Runtime invariant checking (:mod:`repro.sim.invariants`).
         ``"off"`` (default) attaches nothing — zero overhead, byte-identical
@@ -181,6 +197,11 @@ class SimConfig:
     collect_task_samples: bool = False
     views_cache: bool = True
     sched_index: bool = True
+    array_core: bool = field(
+        default_factory=lambda: os.environ.get(
+            "REPRO_ARRAY_CORE", "1"
+        ).lower() not in ("0", "false", "off")
+    )
     invariants: str = "off"
 
     def __post_init__(self) -> None:

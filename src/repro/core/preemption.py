@@ -49,7 +49,13 @@ from typing import Sequence
 
 from .._util import pairwise_mean_gap
 from ..config import DSPConfig
-from ..sim.policy import NodeView, PreemptionDecision, PreemptionPolicy, TaskView
+from ..sim.policy import (
+    NodeView,
+    PreemptionDecision,
+    PreemptionPolicy,
+    TaskView,
+    preemptable_victims,
+)
 from .priority import PriorityEvaluator
 
 __all__ = ["DSPPreemption"]
@@ -73,20 +79,28 @@ class DSPPreemption(PreemptionPolicy):
         self.name = "DSP" if self._config.use_pp else "DSPW/oPP"
         self._evaluator: PriorityEvaluator | None = None
         self._index = None
+        self._core = None
         self._ctx = None
 
     # -- engine handshake ---------------------------------------------------
     def attach(self, ctx) -> None:
         """Receive the engine facade; adopt the engine's incremental
-        priority index when it scores with this policy's parameters (see
+        scoring seam when it scores with this policy's parameters (see
         module docstring), and build the stateless Eq. 12 evaluator over
-        the full static task set as the fallback."""
+        the full static task set as the fallback.  When the adopted seam
+        is the struct-of-arrays :class:`~repro.sim.arraycore.ArrayCore`,
+        the epoch victim scan additionally runs straight off its columns
+        (:meth:`select_preemptions_from_core`) — no ``TaskView``
+        materialization at all."""
+        from ..sim.arraycore import ArrayCore
+
         self._ctx = ctx
         self._evaluator = PriorityEvaluator(self._config, ctx.tasks)
         index = getattr(ctx, "priority_index", None)
         self._index = (
             index if index is not None and index.scores_like(self._config) else None
         )
+        self._core = self._index if isinstance(self._index, ArrayCore) else None
 
     # -- decision logic -------------------------------------------------------
     def _priorities(self, view: NodeView) -> dict[str, float]:
@@ -113,16 +127,15 @@ class DSPPreemption(PreemptionPolicy):
             return ()
         priority = self._priorities(view)
 
-        # Preemptable running tasks, ascending priority (Algorithm 1 line 2).
-        preemptable = [
-            r
-            for r in view.running
-            if r.is_preemptable and r.allowable_wait > view.epoch
-        ]
-        preemptable.sort(key=lambda r: (priority[r.task_id], r.task_id))
-        if not preemptable:
+        # Preemptable running tasks, ascending priority (Algorithm 1 line 2),
+        # through the same victim-scan substrate the baselines use.
+        available = preemptable_victims(
+            view,
+            key=lambda r: (priority[r.task_id], r.task_id),
+            eligible=lambda r: r.allowable_wait > view.epoch,
+        )
+        if not available:
             return ()
-        available = list(preemptable)
 
         # The PP scale (mean neighbour gap of the snapshot's sorted
         # priorities) is a property of the whole snapshot, not of one
@@ -184,6 +197,106 @@ class DSPPreemption(PreemptionPolicy):
                 continue
             take_victim(waiting, require_c1=True, require_pp=self._config.use_pp)
 
+        return decisions
+
+    # -- array fast path ------------------------------------------------------
+    def select_preemptions_from_core(
+        self, runtime, node
+    ) -> Sequence[PreemptionDecision] | None:
+        """Algorithm 1 straight off the adopted array core's columns.
+
+        Behaviourally identical to :meth:`select_preemptions` over a
+        freshly built :class:`~repro.sim.policy.NodeView` — same visit
+        order (the view cache's ``node_order``), same signals (one
+        ``view_signals`` pass), same score generation — but skips
+        materializing ``TaskView`` objects entirely, which dominates the
+        snapshot path's epoch cost.  The byte-identical ``array_core``
+        on/off parity test in ``tests/test_sched_core.py`` holds the two
+        paths together.
+
+        Returns ``None`` when this policy has not adopted the engine's
+        array core (different scoring parameters, or the engine runs the
+        priority index / recompute path) — the caller then falls back to
+        the snapshot protocol.
+        """
+        core = self._core
+        if core is None:
+            return None
+        ordered, queued = runtime.views.node_order(node)
+        if not queued or not ordered:
+            return ()
+        now = runtime.now
+        ids = ordered + queued
+        rows = core.rows_of(ids)
+        overdue, allowable, runnable, preemptable = core.scan_signals(
+            rows, now, node.rate, runtime.max_preemptions
+        )
+        scores = core.scores_at(rows, now)
+        n_run = len(ordered)
+        epoch = runtime.sim_config.epoch
+
+        # Preemptable running tasks, ascending (score, id) — the same
+        # order preemptable_victims() yields on the snapshot path.
+        available = sorted(
+            (scores[i], ordered[i])
+            for i in range(n_run)
+            if preemptable[i] and allowable[i] > epoch
+        )
+        if not available:
+            return ()
+        # The PP scale is a pure function of the snapshot's scores;
+        # computing it lazily (first PP check that needs it) decides
+        # identically to the snapshot path's eager computation.
+        mean_gap: float | None = None
+        ancestors = runtime.state.ancestors
+        decisions: list[PreemptionDecision] = []
+        decided: set[str] = set()
+
+        def take_victim(wid: str, p_wait: float, require_c1: bool, require_pp: bool) -> bool:
+            nonlocal mean_gap
+            anc = ancestors[wid]
+            for idx, (p_run, vid) in enumerate(available):
+                if vid in anc:
+                    continue  # C2: never evict an ancestor
+                gap = p_wait - p_run
+                if require_c1:
+                    if gap <= 0:
+                        return False
+                    if require_pp:
+                        if mean_gap is None:
+                            mean_gap = pairwise_mean_gap(sorted(scores))
+                        if not self._pp_allows(gap, mean_gap):
+                            return False
+                decisions.append(
+                    PreemptionDecision(
+                        preempting_task_id=wid, victim_task_id=vid
+                    )
+                )
+                del available[idx]
+                decided.add(wid)
+                return True
+            return False
+
+        epsilon, tau = self._config.epsilon, self._config.tau
+        for i in range(n_run, len(ids)):
+            if not available:
+                break
+            wid = ids[i]
+            if wid in decided or not runnable[i]:
+                continue
+            if allowable[i] <= epsilon or overdue[i] >= tau:
+                take_victim(wid, scores[i], require_c1=False, require_pp=False)
+
+        head = max(1, math.ceil(self._config.delta * len(queued)))
+        for i in range(n_run, n_run + min(head, len(queued))):
+            if not available:
+                break
+            wid = ids[i]
+            if wid in decided or not runnable[i]:
+                continue
+            take_victim(
+                wid, scores[i], require_c1=True, require_pp=self._config.use_pp
+            )
         return decisions
 
     def _pp_allows(self, gap: float, mean_gap: float) -> bool:

@@ -1,0 +1,747 @@
+"""Array-backed kernel core: a struct-of-arrays mirror of live state.
+
+The object model (:class:`~repro.sim.executor.TaskRuntime` /
+:class:`~repro.sim.executor.NodeRuntime`) stays the authoritative API
+surface — subsystems mutate it exactly as before.  This module maintains
+a *mirror* of the hot-path signals in dense numpy columns, keyed by a
+dense integer row id per task, and rewrites the three per-epoch inner
+loops against it:
+
+* **priority scoring** — Eq. 12–13 evaluated for the whole live task set
+  in one vectorized pass per (clock, version) generation, replacing the
+  per-task memo walk of :class:`~repro.sim.sched_core.PriorityIndex`;
+* **victim/eligibility scans** — the dispatcher's queue scan and the
+  stall-timeout sweep become boolean masks over the columns instead of
+  Python loops over runtime objects;
+* **view assembly** — :class:`~repro.sim.views.ViewCache` computes every
+  ``TaskView`` signal for a node in one vectorized shot.
+
+Consistency model
+-----------------
+The mirror is a first-class bus subscriber, attached in the scheduling-
+core slot (directly after the view cache).  Every task-bearing event
+re-reads the touched :class:`TaskRuntime` into its row — the mirror never
+duplicates mutation logic, it only *copies* fields the mutators already
+wrote before emitting, so a missed formula cannot diverge, only a missed
+event can (and the after-every-event exact-equality harness in
+``tests/test_sched_core.py`` exists to catch exactly that).  World-
+shifting events (scheduling rounds, faults, backlog re-homing) trigger a
+full resync — they are rare and may move state without per-task events.
+``TaskFinished`` additionally mirrors the two *post-emit* mutations the
+completion path performs (decrementing children's unfinished-parent
+counts and the parents' live-dependent counts), because consumers may
+query between the emit and the mutation.
+
+Bit-exactness contract
+----------------------
+Scores and view signals are produced by the same float operations in the
+same order as the scalar code (`TaskRuntime.remaining_time_at` and
+friends, ``PriorityEvaluator.compute``).  numpy elementwise binary
+float64 ops are IEEE-754 correctly rounded — identical to CPython scalar
+ops — so the only ordering hazard is reduction: Eq. 12 sums live-
+dependent scores *sequentially in insertion order*, which ``np.sum``'s
+pairwise reduction would break.  The aggregation below therefore
+accumulates column-by-column over a padded child matrix
+(``acc = acc + where(child_live, score[child], 0.0)``), reproducing
+Python's left-associated ``0 + s1 + s2 + …`` exactly: masked slots add
+``+0.0``, and ``x + 0.0 == x`` bitwise for every x the partial sums can
+reach (they start at ``+0.0`` and no Eq. 13 leaf is ``-0.0``, so no
+partial sum is ever ``-0.0``).
+
+Rows and retirement
+-------------------
+Rows come from :class:`DenseIds` — a dense allocator with a LIFO free
+list.  Rows are retired per *job* (on ``TaskFinished.job_completed``),
+not per task: DAGs are self-contained per job, so retiring whole jobs
+guarantees no live task's static-children references can dangle into a
+reused row.  The height-level aggregation structures are rebuilt lazily
+on the next scoring pass after a registration; retirement alone does not
+dirty them (a freed row's parents belong to the same completed job, so
+stale level entries only ever write garbage into rows nothing reads).
+
+On snapshot restore the mirror is rebuilt from the restored object state
+and *asserted* against an independent derivation, exactly like the
+priority index (see :meth:`ArrayCore.rebuild_and_assert`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+import numpy as np
+
+from .._util import EPS
+from ..dag.task import TaskState
+from . import kernel as k
+from .sched_core import _REMAINING_FLOOR, _TASK_EVENTS, _WORLD_EVENTS
+from .state import SimRuntime
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..config import DSPConfig
+    from .executor import NodeRuntime
+
+__all__ = ["ArrayCore", "DenseIds"]
+
+# TaskState -> small-int codes for the state column.
+_STATE_CODE = {state: i for i, state in enumerate(TaskState)}
+_QUEUED = _STATE_CODE[TaskState.QUEUED]
+_RUNNING = _STATE_CODE[TaskState.RUNNING]
+_STALLED = _STATE_CODE[TaskState.STALLED]
+_COMPLETED = _STATE_CODE[TaskState.COMPLETED]
+
+_NAN = float("nan")
+
+
+class DenseIds:
+    """Dense integer id allocator with LIFO free-list reuse.
+
+    ``alloc`` returns the most recently freed id when one exists,
+    otherwise extends the dense range by one.  ``capacity`` is the high
+    -water mark — every id ever returned is ``< capacity``, so arrays
+    sized to it index safely.
+    """
+
+    __slots__ = ("_next", "_free")
+
+    def __init__(self) -> None:
+        self._next = 0
+        self._free: list[int] = []
+
+    def alloc(self) -> int:
+        if self._free:
+            return self._free.pop()
+        nxt = self._next
+        self._next = nxt + 1
+        return nxt
+
+    def free(self, ident: int) -> None:
+        self._free.append(ident)
+
+    @property
+    def capacity(self) -> int:
+        """High-water mark: ids ever handed out are in ``[0, capacity)``."""
+        return self._next
+
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+
+class ArrayCore:
+    """Struct-of-arrays mirror + vectorized Eq. 12–13 scoring.
+
+    Exposes the same consumer protocol as
+    :class:`~repro.sim.sched_core.PriorityIndex` (``priorities``,
+    ``scores_like``, ``register_job``, ``attach``, the observability
+    counters and ``stats()``), so ``SimRuntime.sched`` can hold either
+    and every consumer — the DSP policy, the resilience retry ranking,
+    the snapshot counters — works unchanged.
+    """
+
+    def __init__(self, runtime: SimRuntime) -> None:
+        self._rt = runtime
+        cfg = runtime.dsp_config
+        self._gamma1 = cfg.gamma + 1.0
+        self._w_rem = cfg.omega_remaining
+        self._w_wait = cfg.omega_waiting
+        self._w_allow = cfg.omega_allowable
+
+        self._ids = DenseIds()
+        self._row_of: dict[str, int] = {}
+        self._id_of: list[str | None] = []
+
+        cap = max(16, len(runtime.state.static_tasks))
+        self._cap = cap
+        # float64 columns (NaN encodes the object model's None).
+        self._size = np.zeros(cap)
+        self._work = np.zeros(cap)
+        self._run_start = np.full(cap, _NAN)
+        self._cur_recovery = np.zeros(cap)
+        self._recovery_due = np.zeros(cap)
+        self._queued_since = np.full(cap, _NAN)
+        self._total_wait = np.zeros(cap)
+        self._deadline = np.zeros(cap)
+        self._planned = np.full(cap, np.inf)
+        self._stall_start = np.full(cap, _NAN)
+        # int/bool columns.
+        self._state = np.full(cap, _COMPLETED, dtype=np.int8)
+        self._node = np.full(cap, -1, dtype=np.int32)
+        self._unfinished = np.zeros(cap, dtype=np.int32)
+        self._live_deps = np.zeros(cap, dtype=np.int32)
+        self._preempt_count = np.zeros(cap, dtype=np.int32)
+        self._banned = np.zeros(cap, dtype=bool)
+
+        # Static DAG structure, by row: children in the evaluator's
+        # insertion order, and static height (max distance to a sink).
+        self._child_rows: list[list[int]] = [[] for _ in range(cap)]
+        self._height: list[int] = [0] * cap
+        self._levels: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._levels_dirty = True
+
+        # Node columns (fixed cluster: positions never change).
+        self._node_pos = {nid: i for i, nid in enumerate(runtime.state.nodes)}
+        self._node_list = list(runtime.state.nodes.values())
+        self._node_rate = np.zeros(len(self._node_list))
+
+        # Score cache, valid for one (clock, version) generation.
+        self._scores: np.ndarray | None = None
+        self._scores_now: float | None = None
+        self._scores_version = -1
+        self._version = 0
+
+        # Observability counters (same attribute names as PriorityIndex —
+        # the snapshot layer reads them duck-typed).
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+        self.clears = 0
+        self.passes = 0  # vectorized scoring passes
+
+        for job in runtime.state.jobs.values():
+            self.register_job(job)
+
+    # -------------------------------------------------------------- wiring
+    def attach(self, bus: k.EventBus) -> None:
+        """Subscribe the mirror maintenance (scheduling-core bus slot,
+        directly after the view cache)."""
+        bus.subscribe(k.TaskFinished, self._on_finished)
+        bus.subscribe(_TASK_EVENTS, self._on_task_event)
+        # TaskStallEnded is not in the index's taxonomy (it is always
+        # followed by a covered event) but syncing on it keeps the mirror
+        # current at every intermediate instant.
+        bus.subscribe(k.TaskStallEnded, self._on_task_event)
+        bus.subscribe(_WORLD_EVENTS, self._on_world_event)
+
+    def register_job(self, job) -> None:
+        """Allocate rows for a (batch- or streaming-admitted) job's tasks
+        and wire its static structure.  Jobs are self-contained DAGs, so
+        registration is purely additive."""
+        rows: dict[str, int] = {}
+        for tid in job.tasks:
+            row = self._ids.alloc()
+            if row >= self._cap:
+                self._grow()
+            rows[tid] = row
+            self._row_of[tid] = row
+            if row == len(self._id_of):
+                self._id_of.append(tid)
+            else:
+                self._id_of[row] = tid
+        # Children in the same insertion order the stateless evaluator
+        # (and PriorityIndex) build: iterate tasks, append to each parent.
+        for task in job.tasks.values():
+            for parent in task.parents:
+                self._child_rows[rows[parent]].append(rows[task.task_id])
+        # Static heights via reverse topological order.
+        heights: dict[str, int] = {}
+        for tid in reversed(job.topo_order):
+            kids = self._child_rows[rows[tid]]
+            heights[tid] = (
+                1 + max(self._height[r] for r in kids) if kids else 0
+            )
+            self._height[rows[tid]] = heights[tid]
+        state = self._rt.state
+        for tid in job.tasks:
+            row = rows[tid]
+            self._sync_row(row, state.tasks[tid])
+            self._live_deps[row] = len(self._child_rows[row])
+        self._levels_dirty = True
+        self._version += 1
+
+    def scores_like(self, config: "DSPConfig") -> bool:
+        """True when *config* parameterizes Eq. 12–13 identically to the
+        engine config this core scores with (the policy adoption guard —
+        same contract as :meth:`PriorityIndex.scores_like`)."""
+        cfg = self._rt.dsp_config
+        return (
+            config.gamma == cfg.gamma
+            and config.omega_remaining == cfg.omega_remaining
+            and config.omega_waiting == cfg.omega_waiting
+            and config.omega_allowable == cfg.omega_allowable
+        )
+
+    def stats(self) -> dict:
+        """Counter snapshot, including the cache hit rate."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "clears": self.clears,
+            "passes": self.passes,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
+    # ------------------------------------------------------------- growth
+    def _grow(self) -> None:
+        new_cap = self._cap * 2
+        grown = new_cap - self._cap
+
+        def ext(arr: np.ndarray, fill) -> np.ndarray:
+            return np.concatenate(
+                [arr, np.full(grown, fill, dtype=arr.dtype)]
+            )
+
+        self._size = ext(self._size, 0.0)
+        self._work = ext(self._work, 0.0)
+        self._run_start = ext(self._run_start, _NAN)
+        self._cur_recovery = ext(self._cur_recovery, 0.0)
+        self._recovery_due = ext(self._recovery_due, 0.0)
+        self._queued_since = ext(self._queued_since, _NAN)
+        self._total_wait = ext(self._total_wait, 0.0)
+        self._deadline = ext(self._deadline, 0.0)
+        self._planned = ext(self._planned, np.inf)
+        self._stall_start = ext(self._stall_start, _NAN)
+        self._state = ext(self._state, _COMPLETED)
+        self._node = ext(self._node, -1)
+        self._unfinished = ext(self._unfinished, 0)
+        self._live_deps = ext(self._live_deps, 0)
+        self._preempt_count = ext(self._preempt_count, 0)
+        self._banned = ext(self._banned, False)
+        self._child_rows.extend([] for _ in range(grown))
+        self._height.extend([0] * grown)
+        self._cap = new_cap
+
+    # ------------------------------------------------------- row sync
+    def _sync_row(self, row: int, t) -> None:
+        """Copy one TaskRuntime's mirrored fields into its row."""
+        self._size[row] = t.task.size_mi
+        self._work[row] = t.work_done_mi
+        self._run_start[row] = _NAN if t.run_start is None else t.run_start
+        self._cur_recovery[row] = t.current_recovery
+        self._recovery_due[row] = t.recovery_due
+        self._queued_since[row] = (
+            _NAN if t.queued_since is None else t.queued_since
+        )
+        self._total_wait[row] = t.total_wait
+        self._deadline[row] = t.deadline
+        self._planned[row] = t.planned_start
+        self._stall_start[row] = (
+            _NAN if t.stall_start is None else t.stall_start
+        )
+        self._state[row] = _STATE_CODE[t.state]
+        self._node[row] = (
+            -1 if t.node_id is None else self._node_pos[t.node_id]
+        )
+        self._unfinished[row] = t.unfinished_parents
+        self._preempt_count[row] = t.preempt_count
+        self._banned[row] = t.stall_banned
+
+    def _sync_task(self, task_id: str) -> None:
+        row = self._row_of.get(task_id)
+        if row is None:
+            return  # retired with its job (e.g. a late speculation event)
+        self._sync_row(row, self._rt.state.tasks[task_id])
+
+    def _on_task_event(self, event) -> None:
+        self._sync_task(event.task_id)
+        self._version += 1
+        self.invalidations += 1
+
+    def _on_world_event(self, _event) -> None:
+        self.resync()
+        self.clears += 1
+
+    def _on_finished(self, event: k.TaskFinished) -> None:
+        tid = event.task_id
+        row = self._row_of.get(tid)
+        state = self._rt.state
+        if row is not None:
+            self._sync_row(row, state.tasks[tid])
+        # Mirror the two mutations the completion path performs *after*
+        # emitting TaskFinished (see DispatchSubsystem.finalize_completion):
+        # children lose an unfinished parent, parents lose a live dependent.
+        row_of = self._row_of
+        for child in state.children.get(tid, ()):
+            crow = row_of.get(child)
+            if crow is not None:
+                self._unfinished[crow] -= 1
+        for parent in state.static_tasks[tid].parents:
+            prow = row_of.get(parent)
+            if prow is not None:
+                self._live_deps[prow] -= 1
+        self._version += 1
+        self.invalidations += 1
+        if event.job_completed:
+            self._retire_job(event.job_id)
+
+    def _retire_job(self, job_id: str) -> None:
+        """Free the rows of a fully-completed job (LIFO reuse for
+        streaming admission).  Level structures are left stale on
+        purpose — see the module docstring."""
+        for tid in self._rt.state.jobs[job_id].tasks:
+            row = self._row_of.pop(tid, None)
+            if row is None:
+                continue
+            self._id_of[row] = None
+            self._child_rows[row] = []
+            self._height[row] = 0
+            self._size[row] = 0.0
+            self._work[row] = 0.0
+            self._run_start[row] = _NAN
+            self._cur_recovery[row] = 0.0
+            self._recovery_due[row] = 0.0
+            self._queued_since[row] = _NAN
+            self._total_wait[row] = 0.0
+            self._deadline[row] = 0.0
+            self._planned[row] = np.inf
+            self._stall_start[row] = _NAN
+            self._state[row] = _COMPLETED
+            self._node[row] = -1
+            self._unfinished[row] = 0
+            self._live_deps[row] = 0
+            self._preempt_count[row] = 0
+            self._banned[row] = False
+            self._ids.free(row)
+        self._version += 1
+
+    def resync(self) -> None:
+        """Full mirror refresh from the authoritative object model."""
+        tasks = self._rt.state.tasks
+        for tid, row in self._row_of.items():
+            self._sync_row(row, tasks[tid])
+        self._version += 1
+
+    # ------------------------------------------------------------- scoring
+    def _ensure_scores(self, now: float) -> bool:
+        """Make the score vector current for (*now*, mirror version);
+        True when a recompute pass ran (a cache miss generation)."""
+        if (
+            self._scores is None
+            or now != self._scores_now
+            or self._version != self._scores_version
+        ):
+            self._recompute(now)
+            return True
+        return False
+
+    def priorities(self, task_ids: Iterable[str]) -> dict[str, float]:
+        """Eq. 12–13 scores of *task_ids* (non-completed tasks) at the
+        current simulation instant."""
+        now = self._rt.now
+        fresh = self._ensure_scores(now)
+        ids = list(task_ids)
+        row_of = self._row_of
+        rows = [row_of[tid] for tid in ids]
+        vals = self._scores[rows].tolist()
+        if fresh:
+            self.misses += len(ids)
+        else:
+            self.hits += len(ids)
+        return dict(zip(ids, vals))
+
+    def rows_of(self, task_ids: Iterable[str]) -> list[int]:
+        """Row indices of *task_ids* (must all be live)."""
+        row_of = self._row_of
+        return [row_of[tid] for tid in task_ids]
+
+    def scores_at(self, rows: list[int], now: float) -> list[float]:
+        """Eq. 12–13 scores of *rows* at *now* as plain Python floats —
+        the positional-list twin of :meth:`priorities` for callers that
+        already hold row indices (the adopted-policy victim scan)."""
+        if self._ensure_scores(now):
+            self.misses += len(rows)
+        else:
+            self.hits += len(rows)
+        return self._scores.take(rows).tolist()
+
+    def _recompute(self, now: float) -> None:
+        n = self._ids.capacity
+        state = self._state[:n]
+        live = state != _COMPLETED
+
+        scores = self._leaf_scores(now, n)
+        if self._levels_dirty:
+            self._rebuild_levels()
+        for rows, ppos, crow in self._levels:
+            # Edge-list fold: one bincount per level.  bincount's C loop
+            # accumulates strictly in input order, and each parent's
+            # edges are laid out contiguously in child insertion order,
+            # so every parent's sum is the same sequential
+            # ((0+c1)+c2)+... the evaluator computes (dead children add
+            # +0.0; bit-exact, see module docstring).
+            live_child = live.take(crow)
+            weights = np.where(live_child, scores.take(crow), 0.0)
+            acc = np.bincount(ppos, weights=weights, minlength=len(rows))
+            has_live = (
+                np.bincount(ppos, weights=live_child, minlength=len(rows))
+                > 0
+            )
+            scores[rows] = np.where(
+                has_live, self._gamma1 * acc, scores.take(rows)
+            )
+        self._scores = scores
+        self._scores_now = now
+        self._scores_version = self._version
+        self.passes += 1
+
+    def _leaf_scores(self, now: float, n: int) -> np.ndarray:
+        """Vectorized Eq. 13 over the first *n* rows (garbage on
+        completed/free rows, never read)."""
+        remaining = self._remaining(now, n, self._rates(n))
+        waiting = self._waiting(now, n)
+        allowable = self._deadline[:n] - now - remaining
+        return (
+            self._w_rem / np.maximum(remaining, _REMAINING_FLOOR)
+            + self._w_wait * waiting
+            + self._w_allow * allowable
+        )
+
+    def _rates(self, n: int) -> np.ndarray:
+        """Per-row processing rate: the assigned node's current rate, or
+        the cluster mean for unassigned tasks.  Node rates are re-read
+        from the objects on every pass (cheap: the cluster is small) so
+        re-times never leave the mirror stale."""
+        for i, node in enumerate(self._node_list):
+            self._node_rate[i] = node.rate
+        # Sequential Python sum in node insertion order — matches
+        # SimState.mean_rate() bit-for-bit (np.sum pairwise-reduces).
+        mean = sum(self._node_rate.tolist()) / len(self._node_list)
+        nd = self._node[:n]
+        # The -1 of unassigned rows wraps to the last node; np.where
+        # discards those lanes.
+        return np.where(nd >= 0, self._node_rate.take(nd), mean)
+
+    def _remaining(self, now: float, n: int, rate: np.ndarray) -> np.ndarray:
+        """Vectorized ``TaskRuntime.remaining_time_at`` (same ops, same
+        order; the unselected branch may produce NaN, discarded by the
+        final ``where``)."""
+        size = self._size[:n]
+        work = self._work[:n]
+        run_start = self._run_start[:n]
+        cur_rec = self._cur_recovery[:n]
+        running = (self._state[:n] == _RUNNING) & ~np.isnan(run_start)
+        elapsed = now - run_start
+        unpaid = np.maximum(0.0, cur_rec - elapsed)
+        prog = np.maximum(0.0, elapsed - cur_rec)
+        work_r = np.minimum(size, work + prog * rate)
+        rem_r = unpaid + np.maximum(0.0, size - work_r) / rate
+        work_n = np.minimum(size, work)
+        rem_n = self._recovery_due[:n] + np.maximum(0.0, size - work_n) / rate
+        return np.where(running, rem_r, rem_n)
+
+    def _waiting(self, now: float, n: int) -> np.ndarray:
+        """Vectorized ``TaskRuntime.waiting_time_at``."""
+        qs = self._queued_since[:n]
+        stint = np.where(np.isnan(qs), 0.0, np.maximum(0.0, now - qs))
+        return self._total_wait[:n] + stint
+
+    def _rebuild_levels(self) -> None:
+        """Group aggregating rows by static height into flat edge lists,
+        ascending height so every child score is final before its parents
+        fold it."""
+        by_height: dict[int, list[int]] = {}
+        for tid, row in self._row_of.items():
+            if self._child_rows[row]:
+                by_height.setdefault(self._height[row], []).append(row)
+        levels = []
+        for height in sorted(by_height):
+            rows = by_height[height]
+            # Flat edge list, parents contiguous, children in insertion
+            # order — the order the bincount fold accumulates in.
+            epos: list[int] = []
+            erow: list[int] = []
+            for i, r in enumerate(rows):
+                for c in self._child_rows[r]:
+                    epos.append(i)
+                    erow.append(c)
+            levels.append((
+                np.asarray(rows, dtype=np.intp),
+                np.asarray(epos, dtype=np.intp),
+                np.asarray(erow, dtype=np.intp),
+            ))
+        self._levels = levels
+        self._levels_dirty = False
+
+    # --------------------------------------------------- epoch-loop scans
+    def dispatch_candidates(
+        self, node: "NodeRuntime", now: float, dependency_aware: bool
+    ) -> list[str]:
+        """Queued tasks on *node* that pass the dispatcher's state checks
+        (runnable; or, dependency-unaware, unbanned with a passed planned
+        start), in queue order — ``(planned_start, task_id)`` ascending,
+        the exact ``NodeRuntime`` bisect order.  The per-task retry gate
+        and capacity check stay with the caller (they read live object
+        state that changes mid-loop)."""
+        n = self._ids.capacity
+        pos = self._node_pos[node.node_id]
+        mask = (self._state[:n] == _QUEUED) & (self._node[:n] == pos)
+        if dependency_aware:
+            mask &= self._unfinished[:n] == 0
+        else:
+            gate = now + EPS
+            mask &= (self._unfinished[:n] == 0) | (
+                ~self._banned[:n] & (gate >= self._planned[:n])
+            )
+        rows = np.nonzero(mask)[0]
+        if not len(rows):
+            return []
+        planned = self._planned.take(rows).tolist()
+        id_of = self._id_of
+        cand = sorted(
+            (planned[i], id_of[r]) for i, r in enumerate(rows.tolist())
+        )
+        return [tid for _, tid in cand]
+
+    def stall_timeout_candidates(
+        self, now: float, timeout: float
+    ) -> list[str]:
+        """Stalled tasks whose stall stint reached *timeout*, ordered as
+        the object-path sweep visits them: node insertion order, then
+        sorted task id.  Callers re-verify each against live state before
+        suspending (handlers of an earlier eviction may have moved a
+        later candidate)."""
+        n = self._ids.capacity
+        ss = self._stall_start[:n]
+        with np.errstate(invalid="ignore"):
+            mask = (
+                (self._state[:n] == _STALLED)
+                & ~np.isnan(ss)
+                & (now - ss >= timeout)
+            )
+        rows = np.nonzero(mask)[0]
+        if not len(rows):
+            return []
+        id_of = self._id_of
+        nd = self._node[rows].tolist()
+        ordered = sorted(
+            (nd[i], id_of[r]) for i, r in enumerate(rows.tolist())
+        )
+        return [tid for _, tid in ordered]
+
+    def _remaining_at(
+        self, idx: np.ndarray, state: np.ndarray, now: float, rate: float
+    ) -> np.ndarray:
+        """Per-row ``TaskRuntime.remaining_time_at`` for a gathered row
+        subset (same ops and order as the full-array :meth:`_remaining`,
+        with the node's scalar rate)."""
+        size = self._size.take(idx)
+        work = self._work.take(idx)
+        run_start = self._run_start.take(idx)
+        cur_rec = self._cur_recovery.take(idx)
+        running = (state == _RUNNING) & ~np.isnan(run_start)
+        elapsed = now - run_start
+        unpaid = np.maximum(0.0, cur_rec - elapsed)
+        prog = np.maximum(0.0, elapsed - cur_rec)
+        work_r = np.minimum(size, work + prog * rate)
+        rem_r = unpaid + np.maximum(0.0, size - work_r) / rate
+        work_n = np.minimum(size, work)
+        rem_n = self._recovery_due.take(idx) + np.maximum(0.0, size - work_n) / rate
+        return np.where(running, rem_r, rem_n)
+
+    def scan_signals(
+        self,
+        rows: list[int],
+        now: float,
+        rate: float,
+        max_preemptions: int,
+    ) -> tuple[list, ...]:
+        """The victim-scan subset of :meth:`view_signals` — (overdue,
+        allowable, is_runnable, is_preemptable) only, identical float ops
+        — for policies that run Algorithm 1 straight off the columns and
+        never touch the waiting/stint signals."""
+        idx = np.asarray(rows, dtype=np.intp)
+        state = self._state.take(idx)
+        remaining = self._remaining_at(idx, state, now, rate)
+        qs = self._queued_since.take(idx)
+        queued = ~np.isnan(qs)
+        baseline = np.maximum(qs, self._planned.take(idx))
+        overdue = np.where(queued, np.maximum(0.0, now - baseline), 0.0)
+        allowable = self._deadline.take(idx) - now - remaining
+        runnable = self._unfinished.take(idx) == 0
+        occupies = (state == _RUNNING) | (state == _STALLED)
+        preemptable = occupies & (self._preempt_count.take(idx) < max_preemptions)
+        return (
+            overdue.tolist(),
+            allowable.tolist(),
+            runnable.tolist(),
+            preemptable.tolist(),
+        )
+
+    def view_signals(
+        self,
+        rows: list[int],
+        now: float,
+        rate: float,
+        max_preemptions: int,
+    ) -> tuple[list, ...]:
+        """Every TaskView signal for *rows* (tasks of one node) in one
+        vectorized shot: (remaining, waiting, stint, overdue, allowable,
+        is_runnable, occupies, is_preemptable) as plain Python lists."""
+        idx = np.asarray(rows, dtype=np.intp)
+        state = self._state.take(idx)
+        remaining = self._remaining_at(idx, state, now, rate)
+
+        qs = self._queued_since.take(idx)
+        queued = ~np.isnan(qs)
+        stint = np.where(queued, np.maximum(0.0, now - qs), 0.0)
+        waiting = self._total_wait.take(idx) + stint
+        baseline = np.maximum(qs, self._planned.take(idx))
+        overdue = np.where(queued, np.maximum(0.0, now - baseline), 0.0)
+        allowable = self._deadline.take(idx) - now - remaining
+
+        runnable = self._unfinished.take(idx) == 0
+        occupies = (state == _RUNNING) | (state == _STALLED)
+        preemptable = occupies & (self._preempt_count.take(idx) < max_preemptions)
+        return (
+            remaining.tolist(),
+            waiting.tolist(),
+            stint.tolist(),
+            overdue.tolist(),
+            allowable.tolist(),
+            runnable.tolist(),
+            occupies.tolist(),
+            preemptable.tolist(),
+        )
+
+    # --------------------------------------------------- snapshot/restore
+    def rebuild_and_assert(self) -> None:
+        """Rebuild the mirror from restored object state and assert it
+        against an independent derivation (the snapshot-restore contract,
+        mirroring the priority index's rebuild).
+
+        Raises ``repro.sim.snapshot.SnapshotError`` on any mismatch —
+        a wrong row mapping or a live-dependent count that disagrees with
+        the restored task states.
+        """
+        from .snapshot import SnapshotError  # local: avoid import cycle
+
+        state = self._rt.state
+        # Row mapping must be a bijection over registered, un-retired tasks.
+        for tid, row in self._row_of.items():
+            if not 0 <= row < self._ids.capacity or self._id_of[row] != tid:
+                raise SnapshotError(
+                    f"array-core rebuild mismatch: task {tid!r} maps to row "
+                    f"{row} but the row maps back to {self._id_of[row]!r}"
+                )
+        self.resync()
+        # Live-dependent counts: re-derive from scratch and assert against
+        # the incrementally-maintained column.
+        for tid, row in self._row_of.items():
+            expect = sum(
+                1
+                for crow in self._child_rows[row]
+                if self._state[crow] != _COMPLETED
+            )
+            self._live_deps[row] = expect
+            tobj = state.tasks[tid]
+            derived = sum(
+                1
+                for child in state.children.get(tid, ())
+                if state.tasks[child].state is not TaskState.COMPLETED
+                and child in self._row_of
+            )
+            if expect != derived:
+                raise SnapshotError(
+                    f"array-core rebuild mismatch: task {tid!r} live-dependent "
+                    f"count {expect} != derived {derived}"
+                )
+            if self._unfinished[row] != tobj.unfinished_parents:
+                raise SnapshotError(
+                    f"array-core rebuild mismatch: task {tid!r} "
+                    f"unfinished-parent count diverged"
+                )
+        self._levels_dirty = True
+        self._scores = None
+        self._scores_now = None
+        self._scores_version = -1

@@ -113,6 +113,21 @@ class DispatchSubsystem:
         if any(gate(node.node_id) for gate in rt.state.dispatch_gates):
             return
         now = rt.now
+        if rt.array is not None:
+            # Vectorized candidate scan over the array mirror: same
+            # predicates, same (planned_start, task_id) order as the
+            # queue walk below.  The retry gate and the capacity check
+            # stay per-candidate — they read live state that changes as
+            # earlier candidates start.
+            for tid in rt.array.dispatch_candidates(
+                node, now, rt.dependency_aware
+            ):
+                task = rt.state.tasks[tid]
+                if now + EPS < task.retry_not_before:
+                    continue  # retry still serving its backoff
+                if node.fits(task.task.demand):
+                    self.start_task(task, node)
+            return
         for tid in node.queued_ids():
             task = rt.state.tasks[tid]
             if now + EPS < task.retry_not_before:

@@ -61,6 +61,7 @@ from ..cluster.cluster import Cluster
 from ..config import DSPConfig, ResilienceConfig, SimConfig, SnapshotConfig
 from ..dag.job import Job
 from ..dag.task import Task, TaskState
+from .arraycore import ArrayCore
 from .dispatch import DispatchSubsystem
 from .events import EventKind
 from .fault_sub import FaultSubsystem
@@ -134,13 +135,15 @@ class SimContext:
         return self._rt.sim_config.epoch
 
     @property
-    def priority_index(self) -> PriorityIndex | None:
-        """The engine's incremental Eq. 12–13 priority index
-        (:mod:`repro.sim.sched_core`), or ``None`` when
-        ``SimConfig.sched_index`` is off.  A policy should adopt it only
-        after checking :meth:`~repro.sim.sched_core.PriorityIndex.scores_like`
-        against its own config, falling back to a stateless evaluator
-        otherwise."""
+    def priority_index(self) -> "PriorityIndex | ArrayCore | None":
+        """The engine's incremental Eq. 12–13 scoring seam — the
+        vectorized :class:`~repro.sim.arraycore.ArrayCore` when
+        ``SimConfig.array_core`` is on, the
+        :class:`~repro.sim.sched_core.PriorityIndex` when only
+        ``sched_index`` is on, ``None`` otherwise.  Both expose the same
+        protocol; a policy should adopt the seam only after checking
+        ``scores_like`` against its own config, falling back to a
+        stateless evaluator otherwise."""
         return self._rt.sched
 
     def now(self) -> float:
@@ -313,14 +316,23 @@ class SimEngine:
         rt.dispatch = DispatchSubsystem(rt)
         rt.preemption = PreemptionExecutor(rt)
         rt.faults = FaultSubsystem(rt)
+        # The scoring seam: the array core supersedes the priority index
+        # when on (it exposes the same consumer protocol); with it off
+        # the object path is wired exactly as before.
+        if sim_config.array_core:
+            rt.array = ArrayCore(rt)
+            rt.sched = rt.array
+        else:
+            rt.array = None
+            rt.sched = PriorityIndex(rt) if sim_config.sched_index else None
         rt.views = ViewCache(
             state,
             epoch=sim_config.epoch,
             queue_limit=view_queue_limit,
             max_preemptions=max_preemptions_per_task,
             enabled=sim_config.views_cache,
+            core=rt.array,
         )
-        rt.sched = PriorityIndex(rt) if sim_config.sched_index else None
         rt.metrics = MetricsCollector(
             collect_samples=sim_config.collect_task_samples
         )

@@ -155,9 +155,10 @@ class NodeRuntime:
             return
         raise ValueError(f"task {task_id!r} not queued on {self.node_id!r}")
 
-    def queued_ids(self) -> list[str]:
-        """Queue content in order (copy)."""
-        return [tid for _, tid in self._queue]
+    def queued_ids(self, limit: int | None = None) -> list[str]:
+        """Queue content in order (copy), optionally just the head."""
+        queue = self._queue if limit is None else self._queue[:limit]
+        return [tid for _, tid in queue]
 
     @property
     def queue_length(self) -> int:

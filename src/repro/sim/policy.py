@@ -13,13 +13,17 @@ differ *only* in their decision logic — dispatch, bookkeeping and metric
 accounting are shared, so measured differences are attributable to the
 policies alone (the property the paper's §V-B comparison needs).
 
-The baseline preemption strategies (SRPT, Amoeba, Natjam) additionally
-share one decision *shape* — sort the preemptable running set by a
-victim-preference key, sort the claimants, then greedily pair claimants
-against the cheapest victim under an acceptance predicate —
-so that substrate lives here too (:func:`preemptable_victims`,
-:func:`greedy_claim`) and each baseline contributes only its keys and
-predicate.
+Every strategy — DSP included — opens with the same victim scan: filter
+the running set down to preemptable members (optionally narrowed by a
+policy rule such as "allowable wait exceeds the epoch"), then sort by a
+victim-preference key.  That substrate lives here as
+:func:`preemptable_victims`.  The baselines (SRPT, Amoeba, Natjam)
+additionally share the greedy pairing of claimants against the cheapest
+victim under an acceptance predicate (:func:`greedy_claim`), so each
+baseline contributes only its keys and predicate.  When the engine runs
+with ``SimConfig.array_core`` on, the snapshots handed to these scans
+are assembled from the vectorized array mirror — same ``TaskView``
+values, so policy code is oblivious to the switch.
 """
 
 from __future__ import annotations

@@ -48,6 +48,10 @@ class PreemptionExecutor:
         self._evict_timed_out_stalls()
         rt.bus.emit(EpochTick(rt.now))
         if not rt.policy.is_noop:
+            # Policies that adopted the array core can scan its columns
+            # directly, skipping snapshot materialization; a None return
+            # means "not adopted" and falls back to the view protocol.
+            scan = getattr(rt.policy, "select_preemptions_from_core", None)
             for node_id in sorted(state.nodes):
                 node = state.nodes[node_id]
                 if not node.available or node.queue_length == 0:
@@ -57,8 +61,11 @@ class PreemptionExecutor:
                     # every pair, so skip the snapshot entirely (free
                     # capacity is the dispatcher's job below).
                     continue
-                view = rt.views.build(node, rt.now)
-                for decision in rt.policy.select_preemptions(view):
+                decisions = scan(rt, node) if scan is not None else None
+                if decisions is None:
+                    view = rt.views.build(node, rt.now)
+                    decisions = rt.policy.select_preemptions(view)
+                for decision in decisions:
                     self.apply(decision, node)
         for node in state.nodes.values():
             rt.dispatch.dispatch(node)
@@ -169,6 +176,28 @@ class PreemptionExecutor:
         """Kick stalled tasks whose stall exceeded the timeout, freeing the
         capacity their ancestors may be waiting for (deadlock breaker)."""
         rt = self._rt
+        if rt.array is not None:
+            # Vectorized sweep: one mask over the mirror instead of a
+            # per-node walk of every running set (almost always empty —
+            # dependency-aware dispatch never stalls).  Candidates come
+            # back in the object walk's visit order (node insertion
+            # order, then sorted task id) and are re-verified against
+            # live state, mirroring the walk's at-visit-time checks.
+            for tid in rt.array.stall_timeout_candidates(
+                rt.now, rt.stall_timeout
+            ):
+                task = rt.state.tasks[tid]
+                if task.state is not TaskState.STALLED or task.node_id is None:
+                    continue
+                node = rt.state.nodes[task.node_id]
+                if node.partitioned:
+                    continue
+                if (
+                    task.stall_start is not None
+                    and rt.now - task.stall_start >= rt.stall_timeout
+                ):
+                    self.suspend(task, node, cause="stall")
+            return
         for node in rt.state.nodes.values():
             if node.partitioned or not node.running:
                 continue  # an unreachable node can't be told to evict

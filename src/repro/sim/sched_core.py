@@ -199,6 +199,19 @@ class PriorityIndex:
             memo.pop(anc, None)
         self.invalidations += 1
 
+    def stats(self) -> dict:
+        """Counter snapshot, including the memo hit rate (same shape as
+        :meth:`repro.sim.arraycore.ArrayCore.stats`, minus the
+        vector-pass counter that has no memo-walk equivalent)."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "clears": self.clears,
+            "hit_rate": self.hits / total if total else 0.0,
+        }
+
     # ------------------------------------------------------------- scoring
     def priorities(self, task_ids: Iterable[str]) -> dict[str, float]:
         """Eq. 12–13 scores of *task_ids* (non-completed tasks) at the

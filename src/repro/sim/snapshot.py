@@ -347,9 +347,14 @@ def restore_into(engine: "SimEngine", data: dict) -> None:
     rt.views._dirty.clear()
     rt.views.rebuilds = data["views_rebuilds"]
 
-    # Priority index: rebuilt, not serialized — then asserted equivalent.
+    # Scoring seam: rebuilt, not serialized — then asserted equivalent.
+    # The array core re-derives its mirror from the restored objects; the
+    # priority index re-derives its live-dependent lists.
+    if rt.array is not None:
+        rt.array.rebuild_and_assert()
     if rt.sched is not None:
-        _rebuild_priority_index(engine)
+        if rt.array is None:
+            _rebuild_priority_index(engine)
         counters = data["index_counters"]
         rt.sched.hits = counters["hits"]
         rt.sched.misses = counters["misses"]

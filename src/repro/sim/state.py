@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .fault_sub import FaultSubsystem
     from .invariants import InvariantChecker
     from .metrics import MetricsCollector
+    from .arraycore import ArrayCore
     from .preemption_exec import PreemptionExecutor
     from .resilience import ResilienceManager
     from .sched_core import PriorityIndex
@@ -273,7 +274,15 @@ class SimRuntime:
         self.preemption: "PreemptionExecutor" = None  # type: ignore[assignment]
         self.faults: "FaultSubsystem" = None  # type: ignore[assignment]
         self.views: "ViewCache" = None  # type: ignore[assignment]
-        self.sched: "PriorityIndex | None" = None
+        #: The scoring seam: the array core when ``SimConfig.array_core``
+        #: is on, the priority index when only ``sched_index`` is on,
+        #: ``None`` when both are off.  Consumers duck-type against the
+        #: shared protocol (``priorities``/``scores_like``/``stats``).
+        self.sched: "PriorityIndex | ArrayCore | None" = None
+        #: The struct-of-arrays mirror when ``SimConfig.array_core`` is on
+        #: (the same object as ``sched`` then), else ``None`` — the hot
+        #: loops check this to pick the vectorized path.
+        self.array: "ArrayCore | None" = None
         self.resilience: "ResilienceManager | None" = None
         self.metrics: "MetricsCollector" = None  # type: ignore[assignment]
         self.trace: "TraceLog | None" = None

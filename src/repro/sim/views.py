@@ -27,9 +27,20 @@ dispatch ranking, policy contexts).
 
 ``SimConfig.views_cache=False`` switches to always-recompute — behaviour
 is identical (the parity benchmark asserts it), only slower.
+
+When the engine runs with ``SimConfig.array_core`` on, the per-task
+signal arithmetic moves off the runtime objects entirely: the cache asks
+the :class:`~repro.sim.arraycore.ArrayCore` mirror for every signal of a
+node's tasks in one vectorized shot and only assembles the (unchanged)
+``TaskView`` objects here.  Structural memoization (dirty tracking, the
+``ancestors ∩ pool`` maps) is identical on both paths, and the values
+are bit-identical (same float ops in the same order — see the array-core
+module docstring).
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 from .kernel import (
     EventBus,
@@ -44,6 +55,9 @@ from .kernel import (
 from .executor import NodeRuntime, TaskRuntime
 from .policy import NodeView, TaskView
 from .state import SimState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .arraycore import ArrayCore
 
 __all__ = ["ViewCache"]
 
@@ -70,12 +84,14 @@ class ViewCache:
         queue_limit: int,
         max_preemptions: int,
         enabled: bool = True,
+        core: "ArrayCore | None" = None,
     ) -> None:
         self._state = state
         self._epoch = epoch
         self._queue_limit = queue_limit
         self._max_preemptions = max_preemptions
         self._enabled = enabled
+        self._core = core
         # node_id -> (running pool at build time,
         #             task_id -> ancestors ∩ pool (lazily filled),
         #             sorted running order at build time)
@@ -172,20 +188,40 @@ class ViewCache:
             depends_on_running=self._depends_on_running(task_id, node, deps, pool),
         )
 
+    def node_order(self, node: NodeRuntime) -> tuple[list[str], list[str]]:
+        """The snapshot ordering :meth:`build` would use — (sorted running
+        order from the structural cache, queue head under the view queue
+        limit) — without materializing any ``TaskView``.  Array-adopted
+        policies scan the core's columns directly over these ids; sharing
+        this entry point keeps their visit order (and the dirty-tracking
+        bookkeeping) identical to the snapshot path."""
+        if self._enabled:
+            _pool, _deps, ordered = self._node_entry(node)
+        else:
+            ordered = sorted(node.running)
+        return ordered, node.queued_ids(self._queue_limit)
+
     def build(self, node: NodeRuntime, now: float) -> NodeView:
         """Snapshot *node* at *now* for the preemption policy."""
-        tasks = self._state.tasks
         if self._enabled:
             pool, deps, ordered = self._node_entry(node)
         else:
             pool, deps, ordered = None, None, sorted(node.running)
-        running = tuple(
-            self._task_view(tasks[tid], node, now, deps, pool) for tid in ordered
-        )
-        waiting = tuple(
-            self._task_view(tasks[tid], node, now, deps, pool)
-            for tid in node.queued_ids()[: self._queue_limit]
-        )
+        queued = node.queued_ids()[: self._queue_limit]
+        if self._core is not None:
+            running, waiting = self._views_from_core(
+                node, now, ordered, queued, deps, pool
+            )
+        else:
+            tasks = self._state.tasks
+            running = tuple(
+                self._task_view(tasks[tid], node, now, deps, pool)
+                for tid in ordered
+            )
+            waiting = tuple(
+                self._task_view(tasks[tid], node, now, deps, pool)
+                for tid in queued
+            )
         return NodeView(
             node_id=node.node_id,
             now=now,
@@ -193,3 +229,55 @@ class ViewCache:
             running=running,
             waiting=waiting,
         )
+
+    def _views_from_core(
+        self,
+        node: NodeRuntime,
+        now: float,
+        ordered: list[str],
+        queued: list[str],
+        deps: dict[str, frozenset[str]] | None,
+        pool: frozenset[str] | None,
+    ) -> tuple[tuple[TaskView, ...], tuple[TaskView, ...]]:
+        """Assemble both view tuples from one vectorized signal pass over
+        the array mirror (bit-identical values to :meth:`_task_view`)."""
+        core = self._core
+        ids = ordered + queued
+        if not ids:
+            return (), ()
+        rows = [core._row_of[tid] for tid in ids]
+        (
+            remaining,
+            waiting_t,
+            stint,
+            overdue,
+            allowable,
+            runnable,
+            occupies,
+            preemptable,
+        ) = core.view_signals(rows, now, node.rate, self._max_preemptions)
+        static = self._static
+        job_of = self._state.job_of
+        views = [
+            TaskView(
+                task_id=tid,
+                job_id=job_of[tid],
+                remaining_time=remaining[i],
+                waiting_time=waiting_t[i],
+                stint_waiting_time=stint[i],
+                overdue_waiting_time=overdue[i],
+                allowable_wait=allowable[i],
+                is_runnable=runnable[i],
+                is_running=occupies[i],
+                is_preemptable=preemptable[i],
+                resource_footprint=static[tid][0],
+                job_weight=static[tid][1],
+                job_deadline=static[tid][2],
+                depends_on_running=self._depends_on_running(
+                    tid, node, deps, pool
+                ),
+            )
+            for i, tid in enumerate(ids)
+        ]
+        split = len(ordered)
+        return tuple(views[:split]), tuple(views[split:])

@@ -1,20 +1,26 @@
-"""Incremental scheduling core (``sim/sched_core.py``): exactness + parity.
+"""Incremental scheduling cores (``sim/sched_core.py`` and
+``sim/arraycore.py``): exactness + parity.
 
-Three layers of assurance for the stateful priority index:
+Three layers of assurance, each parametrized over both scoring seams —
+the per-task memoizing :class:`~repro.sim.sched_core.PriorityIndex`
+(``SimConfig.sched_index``) and the struct-of-arrays
+:class:`~repro.sim.arraycore.ArrayCore` (``SimConfig.array_core``):
 
 * **Property test** — seeded runs (random layered DAG workloads × random
   fault/preemption event streams under DSP + resilience) with a wildcard
-  bus hook that, after *every* bus event, compares the index's scores for
+  bus hook that, after *every* bus event, compares the seam's scores for
   all live tasks against a fresh stateless
   :meth:`repro.core.priority.PriorityEvaluator.compute` — exact float
   equality, no tolerance.  This is the empirical proof that the
-  event-driven invalidation catalog covers every mutation path.
-* **Knob parity** — ``SimConfig.sched_index`` on/off produce a
+  event-driven invalidation/mirroring catalog covers every mutation path.
+* **Knob parity** — ``sched_index`` and ``array_core`` on/off produce a
   byte-identical event stream, trace and metrics on a faulty resilient
-  run (the knob is a pure performance switch, like ``views_cache``).
+  run (the knobs are pure performance switches, like ``views_cache``),
+  and a crash/restore with either seam replays to identical results (the
+  restore path rebuilds the seam from objects and asserts equivalence).
 * **Adoption guard** — a :class:`~repro.core.preemption.DSPPreemption`
   configured with different Eq. 12–13 parameters than the engine must
-  *not* adopt the engine's index, and one with matching parameters must.
+  *not* adopt the engine's seam, and one with matching parameters must.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from __future__ import annotations
 import pytest
 
 from repro.cluster import Cluster, NodeSpec, ResourceVector
-from repro.config import DSPConfig, ResilienceConfig, SimConfig
+from repro.config import DSPConfig, ResilienceConfig, SimConfig, SnapshotConfig
 from repro.core import HeuristicScheduler
 from repro.core.preemption import DSPPreemption
 from repro.core.priority import PriorityEvaluator
@@ -32,7 +38,15 @@ from repro.experiments.harness import (
     build_workload_for_cluster,
     compute_level_deadlines,
 )
-from repro.sim import PriorityIndex, SimEngine, random_fault_plan
+from repro.sim import (
+    PriorityIndex,
+    SimEngine,
+    SimulatedCrash,
+    inject_crash,
+    latest_valid_snapshot,
+    random_fault_plan,
+)
+from repro.sim.arraycore import ArrayCore
 
 
 def _small_cluster(n: int = 4) -> Cluster:
@@ -64,10 +78,21 @@ def _diamond_jobs() -> list[Job]:
     return jobs
 
 
-def _faulty_engine(seed: int, cfg: DSPConfig, **engine_kwargs) -> SimEngine:
-    """A seed-fixed DSP run over a random layered workload with node
-    failures, stragglers, task kills and the resilience layer active —
-    the densest event stream the simulator produces."""
+def _sim_cfg(*, array_core: bool = True, sched_index: bool = True) -> SimConfig:
+    """Explicit knobs so tests are immune to the ``REPRO_ARRAY_CORE``
+    environment default (the CI matrix runs one leg with it off)."""
+    return SimConfig(
+        epoch=2.0,
+        scheduling_period=20.0,
+        array_core=array_core,
+        sched_index=sched_index,
+    )
+
+
+def _chaos_inputs(seed: int, cfg: DSPConfig):
+    """Workload/cluster/deadlines/faults for a seed-fixed chaos run (shared
+    by the engine builder and the restore test, which must rebuild the same
+    inputs for the recovered engine)."""
     cluster = _small_cluster()
     workload = build_workload_for_cluster(
         3, cluster, scale=10.0, seed=seed, config=cfg, demand_fraction=0.8
@@ -77,15 +102,21 @@ def _faulty_engine(seed: int, cfg: DSPConfig, **engine_kwargs) -> SimEngine:
         cluster, horizon=400.0, rng=seed, mtbf=120.0, mttr=40.0,
         straggler_rate=0.5, task_fail_rate=0.5,
     )
+    return cluster, workload, deadlines, faults
+
+
+def _faulty_engine(seed: int, cfg: DSPConfig, **engine_kwargs) -> SimEngine:
+    """A seed-fixed DSP run over a random layered workload with node
+    failures, stragglers, task kills and the resilience layer active —
+    the densest event stream the simulator produces."""
+    cluster, workload, deadlines, faults = _chaos_inputs(seed, cfg)
     return SimEngine(
         cluster,
         workload.jobs,
         HeuristicScheduler(cluster),
         preemption=DSPPreemption(cfg),
         dsp_config=cfg,
-        sim_config=engine_kwargs.pop(
-            "sim_config", SimConfig(epoch=2.0, scheduling_period=20.0)
-        ),
+        sim_config=engine_kwargs.pop("sim_config", _sim_cfg()),
         task_deadlines=deadlines,
         faults=faults,
         resilience=ResilienceConfig(max_attempts=12),
@@ -95,16 +126,20 @@ def _faulty_engine(seed: int, cfg: DSPConfig, **engine_kwargs) -> SimEngine:
 
 # --------------------------------------------------- index-vs-stateless
 class TestIndexMatchesStateless:
+    @pytest.mark.parametrize("array_core", [True, False])
     @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
-    def test_exact_after_every_event(self, seed: int):
-        """After every bus event, index scores == a fresh stateless
-        evaluation over live signals, bit for bit."""
+    def test_exact_after_every_event(self, seed: int, array_core: bool):
+        """After every bus event, the scoring seam (ArrayCore or
+        PriorityIndex) == a fresh stateless evaluation over live signals,
+        bit for bit."""
         cfg = DSPConfig()
-        engine = _faulty_engine(seed, cfg)
+        engine = _faulty_engine(
+            seed, cfg, sim_config=_sim_cfg(array_core=array_core)
+        )
         rt = engine.runtime
         state = rt.state
         index = rt.sched
-        assert isinstance(index, PriorityIndex)
+        assert isinstance(index, ArrayCore if array_core else PriorityIndex)
         evaluator = PriorityEvaluator(cfg, state.static_tasks)
         checks = 0
 
@@ -144,7 +179,8 @@ class TestIndexMatchesStateless:
         assert index.clears > 0
         assert index.hits > 0
 
-    def test_exact_on_handcrafted_diamond(self):
+    @pytest.mark.parametrize("array_core", [True, False])
+    def test_exact_on_handcrafted_diamond(self, array_core: bool):
         """Same property on the hand-built diamond workload (shared
         parents, exercised by the kernel determinism suite)."""
         cfg = DSPConfig()
@@ -159,7 +195,7 @@ class TestIndexMatchesStateless:
             HeuristicScheduler(cluster),
             preemption=DSPPreemption(cfg),
             dsp_config=cfg,
-            sim_config=SimConfig(epoch=2.0, scheduling_period=20.0),
+            sim_config=_sim_cfg(array_core=array_core),
             faults=faults,
             resilience=ResilienceConfig(),
         )
@@ -200,13 +236,11 @@ class TestIndexMatchesStateless:
 
 
 # ------------------------------------------------------------ knob parity
-def _recorded_run(seed: int, sched_index: bool):
+def _recorded_run(seed: int, *, sched_index: bool = True, array_core: bool):
     engine = _faulty_engine(
         seed,
         DSPConfig(),
-        sim_config=SimConfig(
-            epoch=2.0, scheduling_period=20.0, sched_index=sched_index
-        ),
+        sim_config=_sim_cfg(array_core=array_core, sched_index=sched_index),
         record_trace=True,
     )
     stream: list[str] = []
@@ -215,38 +249,137 @@ def _recorded_run(seed: int, sched_index: bool):
     return stream, engine.trace.segments, metrics.as_dict()
 
 
-class TestSchedIndexKnob:
-    def test_on_off_byte_identical(self):
-        s_on, t_on, m_on = _recorded_run(7, sched_index=True)
-        s_off, t_off, m_off = _recorded_run(7, sched_index=False)
+class TestCoreKnobs:
+    def test_sched_index_on_off_byte_identical(self):
+        s_on, t_on, m_on = _recorded_run(7, sched_index=True, array_core=False)
+        s_off, t_off, m_off = _recorded_run(
+            7, sched_index=False, array_core=False
+        )
         assert "\n".join(s_on) == "\n".join(s_off)
         assert t_on == t_off
         assert m_on == m_off
 
-    def test_default_on_and_off_wiring(self):
-        on = _faulty_engine(0, DSPConfig())
-        assert isinstance(on.runtime.sched, PriorityIndex)
+    def test_array_core_on_off_byte_identical(self):
+        """The headline acceptance property: the vectorized array path and
+        the object path produce the same simulation, byte for byte."""
+        s_on, t_on, m_on = _recorded_run(7, array_core=True)
+        s_off, t_off, m_off = _recorded_run(7, array_core=False)
+        assert "\n".join(s_on) == "\n".join(s_off)
+        assert t_on == t_off
+        assert m_on == m_off
+
+    def test_knob_wiring(self):
+        arr = _faulty_engine(0, DSPConfig(), sim_config=_sim_cfg())
+        assert isinstance(arr.runtime.sched, ArrayCore)
+        assert arr.runtime.array is arr.runtime.sched
+        idx = _faulty_engine(
+            0, DSPConfig(), sim_config=_sim_cfg(array_core=False)
+        )
+        assert isinstance(idx.runtime.sched, PriorityIndex)
+        assert idx.runtime.array is None
         off = _faulty_engine(
             0,
             DSPConfig(),
-            sim_config=SimConfig(
-                epoch=2.0, scheduling_period=20.0, sched_index=False
-            ),
+            sim_config=_sim_cfg(array_core=False, sched_index=False),
         )
         assert off.runtime.sched is None
+        assert off.runtime.array is None
+
+    def test_array_core_default_follows_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_ARRAY_CORE", raising=False)
+        assert SimConfig().array_core is True
+        monkeypatch.setenv("REPRO_ARRAY_CORE", "0")
+        assert SimConfig().array_core is False
+        monkeypatch.setenv("REPRO_ARRAY_CORE", "1")
+        assert SimConfig().array_core is True
+
+
+# ------------------------------------------------- crash/restore rebuild
+class TestRestoreRebuild:
+    @pytest.mark.parametrize("array_core", [True, False])
+    def test_crash_resume_rebuilds_seam(self, tmp_path, array_core: bool):
+        """A run crashed mid-flight and recovered from the latest snapshot
+        replays to identical metrics and a byte-identical journal; the
+        restore path rebuilds the scoring seam from restored objects and
+        asserts it equivalent (``rebuild_and_assert`` for the array core,
+        ``_rebuild_priority_index`` for the index)."""
+        cfg = DSPConfig()
+        seed = 5
+
+        def build(path, **kw):
+            cluster, workload, deadlines, faults = _chaos_inputs(seed, cfg)
+            return SimEngine(
+                cluster,
+                workload.jobs,
+                HeuristicScheduler(cluster),
+                preemption=DSPPreemption(cfg),
+                dsp_config=cfg,
+                sim_config=_sim_cfg(array_core=array_core),
+                task_deadlines=deadlines,
+                faults=faults,
+                resilience=ResilienceConfig(max_attempts=12),
+                journal=path / "run.journal",
+                snapshots=SnapshotConfig(
+                    directory=str(path / "snaps"), every_events=200
+                ),
+                **kw,
+            )
+
+        ref = build(tmp_path / "ref")
+        ref_metrics = ref.run().as_dict()
+        total = ref.runtime.kernel.pops
+
+        crashed = build(tmp_path / "rec")
+        inject_crash(crashed, at_pop=total // 2)
+        with pytest.raises(SimulatedCrash):
+            crashed.run()
+        found = latest_valid_snapshot(tmp_path / "rec" / "snaps")
+        assert found is not None
+        _, data = found
+
+        cluster, workload, deadlines, faults = _chaos_inputs(seed, cfg)
+        resumed = SimEngine.restore(
+            data,
+            cluster,
+            workload.jobs,
+            HeuristicScheduler(cluster),
+            preemption=DSPPreemption(cfg),
+            dsp_config=cfg,
+            sim_config=_sim_cfg(array_core=array_core),
+            task_deadlines=deadlines,
+            faults=faults,
+            resilience=ResilienceConfig(max_attempts=12),
+            journal=tmp_path / "rec" / "run.journal",
+            snapshots=SnapshotConfig(
+                directory=str(tmp_path / "rec" / "snaps"), every_events=200
+            ),
+        )
+        assert (resumed.runtime.array is not None) is array_core
+        assert resumed.run().as_dict() == ref_metrics
+        ref_journal = (tmp_path / "ref" / "run.journal").read_bytes()
+        rec_journal = (tmp_path / "rec" / "run.journal").read_bytes()
+        assert rec_journal == ref_journal
 
 
 # -------------------------------------------------------- adoption guard
 class TestPolicyAdoption:
-    def test_matching_config_adopts_index(self):
+    @pytest.mark.parametrize("array_core", [True, False])
+    def test_matching_config_adopts_seam(self, array_core: bool):
         cfg = DSPConfig()
-        engine = _faulty_engine(0, cfg)
+        engine = _faulty_engine(
+            0, cfg, sim_config=_sim_cfg(array_core=array_core)
+        )
         policy = engine.runtime.policy
         assert policy._index is engine.runtime.sched
+        assert isinstance(
+            policy._index, ArrayCore if array_core else PriorityIndex
+        )
 
-    def test_mismatched_config_falls_back(self):
+    @pytest.mark.parametrize("array_core", [True, False])
+    def test_mismatched_config_falls_back(self, array_core: bool):
         """A policy scoring with different omegas than the engine keeps
-        its stateless evaluator (the index would give wrong scores)."""
+        its stateless evaluator (the engine's seam would give wrong
+        scores)."""
         engine_cfg = DSPConfig()
         policy_cfg = DSPConfig(
             omega_remaining=0.2, omega_waiting=0.3, omega_allowable=0.5
@@ -258,20 +391,18 @@ class TestPolicyAdoption:
             HeuristicScheduler(cluster),
             preemption=DSPPreemption(policy_cfg),
             dsp_config=engine_cfg,
-            sim_config=SimConfig(epoch=2.0, scheduling_period=20.0),
+            sim_config=_sim_cfg(array_core=array_core),
         )
         policy = engine.runtime.policy
         assert policy._index is None
         assert policy._evaluator is not None
         engine.run()  # still completes on the fallback path
 
-    def test_index_disabled_falls_back(self):
+    def test_seams_disabled_falls_back(self):
         engine = _faulty_engine(
             0,
             DSPConfig(),
-            sim_config=SimConfig(
-                epoch=2.0, scheduling_period=20.0, sched_index=False
-            ),
+            sim_config=_sim_cfg(array_core=False, sched_index=False),
         )
         assert engine.runtime.policy._index is None
         engine.run()
