@@ -29,6 +29,13 @@ than 20%.  Refresh the baseline by re-running::
 
 on a quiet machine and committing the regenerated BENCH_engine.json.
 
+With ``--rss-ceiling MB`` the guard instead checks the *streaming replay*
+record (``BENCH_replay.json``, produced by ``scripts/bench_replay.py``):
+the recorded peak RSS must stay under the ceiling, and the replay must
+actually have streamed past its admission window (a task count at or
+below ``max_live_tasks`` proves nothing about retirement).  This mode
+reads the record only — CI runs the replay first, then the guard.
+
 Exit codes: 0 ok, 1 regression/identity failure, 2 missing/invalid baseline.
 """
 
@@ -42,6 +49,31 @@ import sys
 REPO = pathlib.Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO / "src"))
 sys.path.insert(0, str(REPO / "benchmarks"))
+
+
+def check_replay_rss(record_path: pathlib.Path, ceiling_mb: float) -> int:
+    """Bounded-memory check over a ``bench_replay.py`` record."""
+    try:
+        record = json.loads(record_path.read_text())
+        peak_mb = record["peak_rss_bytes"] / (1024.0 * 1024.0)
+        tasks = record["tasks"]
+        window = record["max_live_tasks"]
+    except (OSError, KeyError, TypeError, ValueError) as exc:
+        print(f"bench-guard: unusable replay record {record_path}: {exc}")
+        return 2
+    if tasks <= window:
+        print(
+            f"bench-guard: replay record proves nothing — {tasks} tasks "
+            f"never exceeded the {window}-task window"
+        )
+        return 2
+    verdict = "ok" if peak_mb <= ceiling_mb else "FAIL"
+    print(
+        f"bench-guard: {verdict} — replay peaked at {peak_mb:.1f} MB RSS "
+        f"(ceiling {ceiling_mb:.0f} MB) over {tasks} tasks through a "
+        f"{window}-task window ({record.get('tasks_per_s', 0):.0f} tasks/s)"
+    )
+    return 0 if peak_mb <= ceiling_mb else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -72,7 +104,23 @@ def main(argv: list[str] | None = None) -> int:
             "vs journal-off (default 0.10)"
         ),
     )
+    parser.add_argument(
+        "--rss-ceiling", type=float, default=None, metavar="MB",
+        help=(
+            "check the streaming-replay record instead of the engine hot "
+            "path: fail if its recorded peak RSS exceeds this many MB"
+        ),
+    )
+    parser.add_argument(
+        "--replay-baseline", type=pathlib.Path,
+        default=REPO / "BENCH_replay.json",
+        help="replay record JSON for --rss-ceiling "
+        "(default: repo-root BENCH_replay.json)",
+    )
     args = parser.parse_args(argv)
+
+    if args.rss_ceiling is not None:
+        return check_replay_rss(args.replay_baseline, args.rss_ceiling)
 
     try:
         baseline = json.loads(args.baseline.read_text())

@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Streaming-replay benchmark: bounded-memory throughput baseline.
+
+Drives the real ``repro replay`` CLI path — a synthetic streaming source
+admitted through the :class:`~repro.sim.frontier.StreamingFrontier` with
+completed-job retirement on, write-ahead journal on, and the memory
+watchdog sampling (the ceiling is set far above any plausible peak, so
+the watchdog only *measures*; it never degrades the run) — and writes
+``BENCH_replay.json``::
+
+    {
+      "jobs": ..., "tasks": ...,          # workload size
+      "wall_seconds": ..., "tasks_per_s": ...,
+      "peak_rss_bytes": ..., "peak_rss_mb": ...,
+      "max_live_tasks": ...,              # the admission window bound
+      "frontier": {...},                  # admitted/shed counters
+      "skips": {...}                      # trace-mode only: reason buckets
+    }
+
+The point of the file is the *pairing*: a task count far above the live
+window next to a peak RSS that stayed flat proves retirement keeps a
+replay's footprint bounded by the window, not the trace.  CI re-runs a
+smaller replay and ``scripts/bench_guard.py --rss-ceiling`` fails the
+build if the recorded peak ever grows past the ceiling.
+
+Refresh the committed baseline (the 1M-task acceptance run) with::
+
+    PYTHONPATH=src python scripts/bench_replay.py --jobs 18000
+
+Exit codes: 0 ok, 1 replay failed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import tempfile
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+#: Watchdog ceiling used purely for peak-RSS *sampling* — far above any
+#: plausible footprint so the degradation ladder never engages and the
+#: run stays a pure function of (source, config).
+MEASURE_CEILING_MB = 16384
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=1800,
+        help="synthetic jobs to stream (~55 tasks each; default 1800, "
+        "about 100k tasks — the CI size.  18000 is the 1M-task baseline)",
+    )
+    parser.add_argument(
+        "--max-live-tasks", type=int, default=20000,
+        help="admission window bound (default 20000)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--out", type=pathlib.Path, default=REPO / "BENCH_replay.json",
+        help="output JSON (default: repo-root BENCH_replay.json)",
+    )
+    args = parser.parse_args(argv)
+
+    from repro.cli import main as cli_main
+
+    with tempfile.TemporaryDirectory() as tmp:
+        stats_path = pathlib.Path(tmp) / "stats.json"
+        rc = cli_main(
+            [
+                "replay",
+                "--synthetic", str(args.jobs),
+                "--seed", str(args.seed),
+                "--max-live-tasks", str(args.max_live_tasks),
+                "--rss-ceiling-mb", str(MEASURE_CEILING_MB),
+                "--journal", str(pathlib.Path(tmp) / "run.journal"),
+                "--snapshot-dir", str(pathlib.Path(tmp) / "snaps"),
+                "--stats-out", str(stats_path),
+            ]
+        )
+        if rc != 0:
+            print(f"bench-replay: FAIL — replay exited {rc}", file=sys.stderr)
+            return 1
+        stats = json.loads(stats_path.read_text())
+
+    tasks = int(stats["frontier"]["admitted_tasks"])
+    peak = int(stats["peak_rss_bytes"])
+    out = {
+        "jobs": args.jobs,
+        "tasks": tasks,
+        "seed": args.seed,
+        "wall_seconds": stats["wall_seconds"],
+        "tasks_per_s": stats["wall_tasks_per_s"],
+        "peak_rss_bytes": peak,
+        "peak_rss_mb": round(peak / (1024.0 * 1024.0), 1),
+        "max_live_tasks": args.max_live_tasks,
+        "frontier": stats["frontier"],
+    }
+    if "skips" in stats:
+        out["skips"] = stats["skips"]
+    args.out.write_text(json.dumps(out, indent=2) + "\n")
+    print(
+        f"bench-replay: {tasks} tasks in {out['wall_seconds']:.1f}s "
+        f"({out['tasks_per_s']:.0f} tasks/s), peak RSS {out['peak_rss_mb']} MB "
+        f"with a {args.max_live_tasks}-task window -> {args.out}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

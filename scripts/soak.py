@@ -33,11 +33,20 @@ even with nodes failing and tasks being killed mid-run.  Failures write
 a JSON artifact with the case, reply histogram and final stats, plus the
 engine/admission journals for post-mortem.
 
+``--replay`` soaks the bounded-memory streaming replay path: each case
+runs a :class:`~repro.sim.StreamingFrontier` over a synthetic source with
+completed-job retirement on, kills it at a seeded random event pop —
+usually landing mid-pump-slice, the hard resume case — resumes from the
+latest snapshot's engine state, source cursor and frontier position, and
+golden-compares the resumed journal and metrics byte-for-byte against
+the uninterrupted run.
+
 Usage::
 
     PYTHONPATH=src python scripts/soak.py --runs 50 --seed 0 --out soak_failures
     PYTHONPATH=src python scripts/soak.py --crash-recovery --runs 21 --seed 0
     PYTHONPATH=src python scripts/soak.py --service --runs 10 --seed 0
+    PYTHONPATH=src python scripts/soak.py --replay --runs 20 --seed 0
 
 Exit status is non-zero iff at least one case failed.
 """
@@ -65,6 +74,7 @@ from repro.cluster.machine_specs import uniform_cluster
 from repro.config import (
     ChaosConfig,
     DSPConfig,
+    FrontierConfig,
     ResilienceConfig,
     ServiceConfig,
     SimConfig,
@@ -77,6 +87,7 @@ from repro.core.scheduler import DSPScheduler
 from repro.experiments.harness import (
     build_workload_for_cluster,
     compute_level_deadlines,
+    workload_spec_for_cluster,
 )
 from repro.sim import (
     AttemptBudgetExhausted,
@@ -86,6 +97,8 @@ from repro.sim import (
     SimEngine,
     SimulatedCrash,
     SimulationError,
+    StreamingFrontier,
+    SyntheticSource,
     chaos_plan,
     inject_crash,
     latest_valid_snapshot,
@@ -445,6 +458,264 @@ def run_crash_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
     print(
         f"crash-recovery soak: {runs} runs, {failures} failures, "
         f"{aborts} aborts (seed={base_seed})"
+    )
+    return 1 if failures else 0
+
+
+# -------------------------------------------------------- replay kill soak
+
+
+@dataclass(frozen=True)
+class ReplayCase:
+    """One fully-seeded streaming-replay kill-and-resume configuration."""
+
+    index: int
+    base_seed: int
+    num_jobs: int
+    num_nodes: int
+    max_live_tasks: int
+    admit_batch: int
+    pump_pops: int
+    retire_batch: int
+
+    def describe(self) -> dict:
+        return {
+            "index": self.index,
+            "base_seed": self.base_seed,
+            "num_jobs": self.num_jobs,
+            "num_nodes": self.num_nodes,
+            "max_live_tasks": self.max_live_tasks,
+            "admit_batch": self.admit_batch,
+            "pump_pops": self.pump_pops,
+            "retire_batch": self.retire_batch,
+        }
+
+
+def build_replay_case(index: int, base_seed: int) -> ReplayCase:
+    """Deterministic replay case: window/batch/slice axes cycle at coprime
+    periods (3, 4, 5, 2) so 60 consecutive indices cover every combination
+    — slice sizes deliberately misalign with the snapshot cadence so
+    snapshots land mid-slice (the hard resume case)."""
+    return ReplayCase(
+        index=index,
+        base_seed=base_seed,
+        num_jobs=6 + 2 * (index % 3),
+        num_nodes=3 + index % 2,
+        max_live_tasks=(40, 80, 150)[index % 3],
+        admit_batch=(1, 2, 4, 8)[index % 4],
+        pump_pops=(32, 64, 96, 128, 256)[index % 5],
+        retire_batch=(1, 3)[index % 2],
+    )
+
+
+def _replay_build(
+    case: ReplayCase, cluster, spec, root: pathlib.Path, *, snapshots: bool
+):
+    """Fresh (engine, frontier) pair reconstructing *case*'s replay —
+    called once per leg because schedulers and sources carry state."""
+    sim = SimConfig(
+        invariants="strict",
+        retire_completed=True,
+        retire_batch=case.retire_batch,
+    )
+    engine = SimEngine(
+        cluster,
+        [],
+        HeuristicScheduler(cluster, DSPConfig()),
+        sim_config=sim,
+        streaming=True,
+        journal=root / "run.journal",
+        snapshots=(
+            SnapshotConfig(
+                directory=str(root / "snaps"),
+                every_events=CRASH_SNAPSHOT_EVERY,
+            )
+            if snapshots
+            else None
+        ),
+    )
+    frontier = StreamingFrontier(
+        engine,
+        SyntheticSource(spec, seed=case.base_seed * 1021 + case.index),
+        FrontierConfig(
+            max_live_tasks=case.max_live_tasks,
+            admit_batch=case.admit_batch,
+            pump_pops=case.pump_pops,
+        ),
+    )
+    return engine, frontier
+
+
+def run_one_replay_case(case: ReplayCase, out_dir: pathlib.Path) -> Outcome:
+    """Golden kill-and-resume parity for one streaming replay.
+
+    1. Reference frontier replay (journal, no snapshots) → journal bytes
+       and ``RunMetrics``.
+    2. Same replay with rotated snapshots, killed at a seeded random
+       event pop — usually mid-pump-slice, so resume must also restore
+       the admission loop's position, not just the engine.
+    3. Recover from the latest valid snapshot: the live window comes
+       from the snapshot's ``jobs_spec``, the source seeks via its
+       cursor, the frontier restores its counters and in-flight slice.
+    4. The resumed journal and metrics must match byte-for-byte — with
+       the watchdog off, a replay is a pure function of (source, config).
+    """
+    rng = np.random.default_rng([case.base_seed, case.index, 0xF40])
+    cluster = uniform_cluster(case.num_nodes)
+    spec = workload_spec_for_cluster(case.num_jobs, cluster, scale=60.0)
+    with tempfile.TemporaryDirectory() as tmp_str:
+        tmp = pathlib.Path(tmp_str)
+
+        # 1. Uninterrupted reference.
+        (tmp / "ref").mkdir()
+        engine, frontier = _replay_build(
+            case, cluster, spec, tmp / "ref", snapshots=False
+        )
+        try:
+            ref_metrics = frontier.run().as_dict()
+        except (InvariantViolation, SimulationError) as exc:
+            return Outcome(
+                "fail",
+                type(exc).__name__,
+                getattr(exc, "name", None),
+                str(exc),
+            )
+        engine.journal.close()
+        ref_journal = (tmp / "ref" / "run.journal").read_bytes()
+        pops_total = engine.runtime.kernel.pops
+
+        # 2. Kill mid-stream.
+        crash_dir = tmp / "crash"
+        crash_dir.mkdir()
+        engine, frontier = _replay_build(
+            case, cluster, spec, crash_dir, snapshots=True
+        )
+        at_pop = int(rng.integers(1, pops_total + 1))
+        inject_crash(engine, at_pop)
+        try:
+            frontier.run()
+            return Outcome(
+                "fail", "CrashRecovery", None, "injected crash never fired"
+            )
+        except SimulatedCrash:
+            pass
+        crash_at = f"pop {at_pop}/{pops_total}"
+
+        # 3. Recover.
+        found = latest_valid_snapshot(crash_dir / "snaps")
+        if found is not None:
+            _, data = found
+            sim = SimConfig(
+                invariants="strict",
+                retire_completed=True,
+                retire_batch=case.retire_batch,
+            )
+            recovered = SimEngine.restore(
+                data,
+                cluster,
+                [],
+                HeuristicScheduler(cluster, DSPConfig()),
+                sim_config=sim,
+                streaming=True,
+                journal=crash_dir / "run.journal",
+                snapshots=SnapshotConfig(
+                    directory=str(crash_dir / "snaps"),
+                    every_events=CRASH_SNAPSHOT_EVERY,
+                ),
+            )
+            resumed = StreamingFrontier(
+                recovered,
+                SyntheticSource(spec, seed=case.base_seed * 1021 + case.index),
+                FrontierConfig(
+                    max_live_tasks=case.max_live_tasks,
+                    admit_batch=case.admit_batch,
+                    pump_pops=case.pump_pops,
+                ),
+            )
+            resumed.restore_state(data.get("frontier"))
+        else:
+            # Crash predated the first snapshot: recovery restarts.
+            recovered, resumed = _replay_build(
+                case, cluster, spec, crash_dir, snapshots=True
+            )
+        try:
+            rec_metrics = resumed.run().as_dict()
+        except (InvariantViolation, SimulationError) as exc:
+            return Outcome(
+                "fail",
+                "CrashRecovery",
+                getattr(exc, "name", None),
+                f"resumed replay raised {type(exc).__name__} "
+                f"(kill at {crash_at}): {exc}",
+            )
+        recovered.journal.close()
+
+        # 4. Golden parity.
+        rec_journal = (crash_dir / "run.journal").read_bytes()
+        mismatches = []
+        if rec_metrics != ref_metrics:
+            diff_keys = sorted(
+                key
+                for key in set(ref_metrics) | set(rec_metrics)
+                if ref_metrics.get(key) != rec_metrics.get(key)
+            )
+            mismatches.append(f"metrics differ on {diff_keys[:6]}")
+        if rec_journal != ref_journal:
+            prefix = os.path.commonprefix([rec_journal, ref_journal])
+            mismatches.append(
+                f"journal diverges at byte {len(prefix)} "
+                f"({len(ref_journal)} vs {len(rec_journal)} bytes)"
+            )
+        if mismatches:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            stem = f"replay_case_{case.index:04d}"
+            shutil.copy(
+                tmp / "ref" / "run.journal", out_dir / f"{stem}.ref.journal"
+            )
+            shutil.copy(
+                crash_dir / "run.journal", out_dir / f"{stem}.rec.journal"
+            )
+            (out_dir / f"{stem}.json").write_text(
+                json.dumps(
+                    {
+                        "case": case.describe(),
+                        "crash_at": crash_at,
+                        "mismatches": mismatches,
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+            return Outcome(
+                "fail",
+                "CrashRecovery",
+                None,
+                f"kill at {crash_at}: " + "; ".join(mismatches),
+            )
+    return Outcome("ok")
+
+
+def run_replay_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
+    """Streaming-replay kill sweep over window/batch/slice combinations."""
+    failures = 0
+    for index in range(runs):
+        case = build_replay_case(index, base_seed)
+        outcome = run_one_replay_case(case, out_dir)
+        tag = (
+            f"[{index + 1:3d}/{runs}] jobs={case.num_jobs} "
+            f"nodes={case.num_nodes} window={case.max_live_tasks:3d} "
+            f"admit={case.admit_batch} pump={case.pump_pops:3d} "
+            f"retire={case.retire_batch}"
+        )
+        if outcome.status == "ok":
+            print(f"{tag} ok")
+        else:
+            failures += 1
+            print(f"{tag} FAIL {outcome.error_type}: {outcome.message}")
+            print(f"      journals + repro written to {out_dir}")
+    print(
+        f"replay kill soak: {runs} runs, {failures} failures "
+        f"(seed={base_seed})"
     )
     return 1 if failures else 0
 
@@ -838,11 +1109,26 @@ def main(argv: list[str] | None = None) -> int:
             "acknowledged-job loss (artifacts + journals on failure)"
         ),
     )
+    parser.add_argument(
+        "--replay",
+        action="store_true",
+        help=(
+            "streaming-replay kill mode: each case runs a bounded-window "
+            "frontier replay uninterrupted, kills it at a seeded random "
+            "event pop (usually mid-pump-slice), resumes from the latest "
+            "snapshot's engine + frontier cursor, and golden-compares "
+            "journal bytes and metrics against the uninterrupted run"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.runs < 1:
         parser.error("--runs must be >= 1")
-    if args.crash_recovery and args.service:
-        parser.error("--crash-recovery and --service are mutually exclusive")
+    if sum((args.crash_recovery, args.service, args.replay)) > 1:
+        parser.error(
+            "--crash-recovery, --service and --replay are mutually exclusive"
+        )
+    if args.replay:
+        return run_replay_soak(args.runs, args.seed, args.out)
     if args.service:
         return run_service_soak(args.runs, args.seed, args.out)
     if args.crash_recovery:

@@ -156,6 +156,95 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
 
+    spl = sub.add_parser(
+        "replay",
+        help="bounded-memory streaming replay of a large workload",
+        description=(
+            "Stream a workload through the engine one job at a time, "
+            "retiring completed jobs' state so memory tracks the live "
+            "window, not the trace size.  The workload is either a Google "
+            "task_events CSV (--trace) or the synthetic generator "
+            "(--synthetic N).  Preemption-free: replay measures "
+            "throughput and memory, not the §V-B policies."
+        ),
+    )
+    src = spl.add_mutually_exclusive_group(required=True)
+    src.add_argument(
+        "--trace", type=str, default=None, metavar="CSV",
+        help="stream jobs from a Google task_events CSV",
+    )
+    src.add_argument(
+        "--synthetic", type=int, default=None, metavar="N",
+        help="stream N jobs from the synthetic workload generator",
+    )
+    spl.add_argument("--scheduler", choices=SCHEDULER_NAMES, default="DSP")
+    spl.add_argument("--profile", choices=("cluster", "ec2"), default="cluster")
+    spl.add_argument("--node-scale", type=float, default=5.0)
+    spl.add_argument(
+        "--scale", type=float, default=20.0,
+        help="per-job task-count divisor for --synthetic (default 20)",
+    )
+    spl.add_argument("--seed", type=int, default=7)
+    spl.add_argument(
+        "--max-live-tasks", type=int, default=50_000, metavar="N",
+        help="admission window: live-task cap (default 50000)",
+    )
+    spl.add_argument(
+        "--admit-batch", type=int, default=32, metavar="N",
+        help="max jobs admitted per frontier round (default 32)",
+    )
+    spl.add_argument(
+        "--pump-pops", type=int, default=512, metavar="N",
+        help="max engine events per frontier round (default 512)",
+    )
+    spl.add_argument(
+        "--retire-batch", type=int, default=1, metavar="N",
+        help="completed jobs buffered before a retirement sweep (default 1)",
+    )
+    spl.add_argument(
+        "--rss-ceiling-mb", type=float, default=None, metavar="MB",
+        help="memory watchdog ceiling; over it admission pauses, then "
+        "retirement sweeps, then (with --spill) pending jobs shed",
+    )
+    spl.add_argument(
+        "--watchdog-interval", type=int, default=64, metavar="N",
+        help="frontier rounds between RSS samples (default 64)",
+    )
+    spl.add_argument(
+        "--resume-fraction", type=float, default=0.85, metavar="F",
+        help="admission resumes below F × ceiling (default 0.85)",
+    )
+    spl.add_argument(
+        "--spill", type=str, default=None, metavar="FILE.jsonl",
+        help="JSONL side file for jobs shed under memory pressure",
+    )
+    spl.add_argument(
+        "--journal", type=str, default=None, metavar="FILE",
+        help="write a CRC-framed write-ahead journal of every event",
+    )
+    spl.add_argument(
+        "--snapshot-every", type=int, default=0, metavar="N",
+        help="write a rotated full-state snapshot every N events",
+    )
+    spl.add_argument(
+        "--snapshot-seconds", type=float, default=0.0, metavar="S",
+        help="write a rotated full-state snapshot every S sim-seconds",
+    )
+    spl.add_argument(
+        "--snapshot-dir", type=str, default="snapshots", metavar="DIR",
+        help="directory for rotated snapshots (default ./snapshots)",
+    )
+    spl.add_argument(
+        "--resume", action="store_true",
+        help="continue a killed replay from the latest valid snapshot in "
+        "--snapshot-dir (same flags; the snapshot carries the source "
+        "cursor and the live window)",
+    )
+    spl.add_argument(
+        "--stats-out", type=str, default=None, metavar="FILE.json",
+        help="also dump metrics + frontier/memory/skip counters as JSON",
+    )
+
     spj = sub.add_parser(
         "journal", help="post-mortem inspection of a run journal"
     )
@@ -394,6 +483,210 @@ def _run(args) -> int:
             signal.signal(signum, handler)
 
 
+def _replay(args) -> int:
+    """The ``repro replay`` command body: a streaming frontier run with
+    completed-job retirement, mirroring ``_run``'s signal/resume plumbing."""
+    import dataclasses
+    import json
+    import signal
+    import time
+
+    from .config import FrontierConfig
+    from .experiments import workload_spec_for_cluster
+    from .sim import (
+        NullPreemption,
+        SimEngine,
+        SimulationInterrupted,
+        StreamingFrontier,
+        SyntheticSource,
+        TraceSource,
+    )
+
+    caught: dict[str, int] = {}
+    live: dict[str, SimEngine] = {}
+
+    def _graceful(signum, _frame):
+        caught["sig"] = signum
+        if "engine" in live:
+            live["engine"].request_stop()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, _graceful)
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
+
+    try:
+        cluster = cluster_profile(args.profile, args.node_scale)
+        cfg = default_config()
+        sim = dataclasses.replace(
+            default_sim_config(),
+            retire_completed=True,
+            retire_batch=args.retire_batch,
+        )
+        scheduler = make_schedulers(cluster, cfg)[args.scheduler]
+        # The spec calibrates demands/deadlines to the cluster for both
+        # sources; for --trace only its reference fields matter.
+        spec = workload_spec_for_cluster(
+            args.synthetic if args.synthetic is not None else 1,
+            cluster,
+            scale=args.scale,
+            config=cfg,
+        )
+        if args.trace is not None:
+            source = TraceSource(
+                args.trace,
+                deadline_slack=spec.deadline_slack,
+                reference_rate_mips=spec.reference_rate_mips,
+                reference_node_cpu=spec.reference_node_cpu,
+                reference_node_mem=spec.reference_node_mem,
+            )
+        else:
+            source = SyntheticSource(spec, seed=args.seed)
+        frontier_cfg = FrontierConfig(
+            max_live_tasks=args.max_live_tasks,
+            admit_batch=args.admit_batch,
+            pump_pops=args.pump_pops,
+            rss_ceiling_mb=args.rss_ceiling_mb,
+            watchdog_interval=args.watchdog_interval,
+            resume_fraction=args.resume_fraction,
+            spill_path=args.spill,
+        )
+        snapshots = None
+        if args.snapshot_every > 0 or args.snapshot_seconds > 0:
+            from .config import SnapshotConfig
+
+            snapshots = SnapshotConfig(
+                directory=args.snapshot_dir,
+                every_events=args.snapshot_every,
+                every_sim_seconds=args.snapshot_seconds,
+            )
+        kwargs = dict(
+            preemption=NullPreemption(),
+            dsp_config=cfg,
+            sim_config=sim,
+            dependency_aware_dispatch=getattr(
+                scheduler, "respects_dependencies", True
+            ),
+            streaming=True,
+            snapshots=snapshots,
+            journal=args.journal,
+        )
+        if args.resume:
+            import os
+
+            from .sim import SnapshotError, latest_valid_snapshot
+
+            if not os.path.isdir(args.snapshot_dir):
+                print(
+                    f"error: --resume: snapshot directory "
+                    f"{args.snapshot_dir!r} does not exist\n"
+                    "hint: pass the --snapshot-dir the killed replay used, "
+                    "or drop --resume to start fresh",
+                    file=sys.stderr,
+                )
+                return 1
+            found = latest_valid_snapshot(args.snapshot_dir)
+            if found is None:
+                print(
+                    f"error: --resume: no valid snapshot under "
+                    f"{args.snapshot_dir!r} (empty, torn or corrupt)\n"
+                    "hint: a replay only writes snapshots when started with "
+                    "--snapshot-every/--snapshot-seconds; drop --resume to "
+                    "start fresh",
+                    file=sys.stderr,
+                )
+                return 1
+            path, data = found
+            print(
+                f"resuming from {path} "
+                f"(event #{data['kernel']['pops']}, "
+                f"t={data['kernel']['now']:g}s)"
+            )
+            try:
+                # [] — the snapshot's own jobs_spec supplies the live window.
+                engine = SimEngine.restore(data, cluster, [], scheduler, **kwargs)
+            except SnapshotError as exc:
+                print(
+                    f"error: --resume: snapshot {path} does not match this "
+                    f"replay configuration:\n  {exc}\n"
+                    "hint: rerun with exactly the flags the killed replay "
+                    "used (scheduler, source, seeds, window)",
+                    file=sys.stderr,
+                )
+                return 1
+            frontier = StreamingFrontier(engine, source, frontier_cfg)
+            frontier.restore_state(data.get("frontier"))
+        else:
+            engine = SimEngine(cluster, [], scheduler, **kwargs)
+            frontier = StreamingFrontier(engine, source, frontier_cfg)
+
+        live["engine"] = engine
+        if caught:
+            engine.request_stop()
+        wall_start = time.perf_counter()
+        try:
+            metrics = frontier.run()
+        except SimulationInterrupted as exc:
+            signum = caught.get("sig", signal.SIGTERM)
+            print(f"\n{signal.Signals(signum).name}: {exc}")
+            if engine.snapshots is not None:
+                print(f"final snapshot: {engine.snapshots.take()}")
+            else:
+                print(
+                    "state not persisted (start with --snapshot-every/"
+                    "--snapshot-seconds to make killed replays resumable)"
+                )
+            if engine.journal is not None:
+                engine.journal.close()
+                print(f"journal flushed: {engine.journal.path}")
+            if engine.snapshots is not None:
+                print("resume with the same flags plus --resume")
+            return 128 + signum
+        wall = time.perf_counter() - wall_start
+
+        for key, value in sorted(metrics.as_dict().items()):
+            print(f"{key:28s} {value:.6g}")
+        tasks_done = metrics.tasks_completed
+        print(f"{'wall_seconds':28s} {wall:.6g}")
+        if wall > 0:
+            print(f"{'wall_tasks_per_s':28s} {tasks_done / wall:.6g}")
+        # The watchdog's peak only covers its sampling points (a short
+        # run may have none); floor it with an end-of-run reading.
+        from .sim.frontier import read_rss_bytes
+
+        peak_rss = read_rss_bytes()
+        if frontier.watchdog is not None:
+            peak_rss = max(peak_rss, frontier.watchdog.peak)
+            print(f"{'peak_rss_bytes':28s} {peak_rss:.6g}")
+        if args.stats_out:
+            stats = {
+                "metrics": metrics.as_dict(),
+                "wall_seconds": wall,
+                "wall_tasks_per_s": tasks_done / wall if wall > 0 else 0.0,
+                "peak_rss_bytes": peak_rss,
+                "frontier": {
+                    "admitted_jobs": frontier.admitted,
+                    "admitted_tasks": frontier.admitted_tasks,
+                    "shed_jobs": frontier.shed,
+                    "max_live_tasks": args.max_live_tasks,
+                },
+                "source": source.describe(),
+            }
+            if args.trace is not None:
+                stats["skips"] = source.stats.as_dict()
+                stats["reordered_jobs"] = source.reordered_jobs
+            with open(args.stats_out, "w", encoding="utf-8") as fh:
+                json.dump(stats, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+            print(f"\nstats saved: {args.stats_out}")
+        return 0
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+
+
 def _serve(args) -> int:
     """The ``repro serve`` command: run the scheduler service until
     SIGTERM/SIGINT, then drain gracefully (snapshot + journal flush)."""
@@ -481,6 +774,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _maybe_save(fig, args)
     elif args.command == "run":
         return _run(args)
+    elif args.command == "replay":
+        return _replay(args)
     elif args.command == "journal":
         import os
 

@@ -19,6 +19,7 @@ from ._util import check_fraction, check_non_negative, check_positive
 __all__ = [
     "DSPConfig",
     "SimConfig",
+    "FrontierConfig",
     "ResilienceConfig",
     "ChaosConfig",
     "SnapshotConfig",
@@ -189,6 +190,20 @@ class SimConfig:
         post-run inspection; ``"strict"`` raises
         :class:`~repro.sim.invariants.InvariantViolation` (with the
         offending event and recent event history) at the first violation.
+    retire_completed:
+        When True, the engine attaches a
+        :class:`~repro.sim.frontier.RetirementManager` that evicts each
+        fully-completed job's state end-to-end — `SimState` maps,
+        ArrayCore rows back onto the dense-id free list,
+        ViewCache/PriorityIndex entries — folding its per-task metrics
+        into compact aggregates, so a streaming replay over millions of
+        tasks holds only the live window.  Off by default: batch runs
+        keep full per-task metrics and exact legacy float-summation
+        order.
+    retire_batch:
+        Retire in batches of N completed jobs (sweeps run at settled
+        points, after the event that finished the Nth job).  1 retires
+        each job at the first settled point after it completes.
     """
 
     epoch: float = 5.0
@@ -203,6 +218,8 @@ class SimConfig:
         ).lower() not in ("0", "false", "off")
     )
     invariants: str = "off"
+    retire_completed: bool = False
+    retire_batch: int = 1
 
     def __post_init__(self) -> None:
         check_positive(self.epoch, "epoch")
@@ -215,8 +232,87 @@ class SimConfig:
                 "invariants must be 'off', 'record' or 'strict', "
                 f"got {self.invariants!r}"
             )
+        if self.retire_batch < 1:
+            raise ValueError(
+                f"retire_batch must be >= 1, got {self.retire_batch!r}"
+            )
 
     def replace(self, **changes) -> "SimConfig":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class FrontierConfig:
+    """Knobs of the streaming admission frontier and memory watchdog
+    (:mod:`repro.sim.frontier`).
+
+    The frontier admits jobs lazily from a workload source (synthetic
+    generator or trace file) into a streaming engine, keeping at most a
+    bounded live window of task state in memory; the watchdog samples
+    process RSS and walks a degradation ladder instead of letting an
+    unbounded replay OOM.
+
+    Attributes
+    ----------
+    max_live_tasks:
+        Admission window: a job is admitted only while the engine's live
+        task count plus the job's size stays at or under this bound.
+        This is the deterministic memory bound — it holds with the
+        watchdog off and is what crash-recovery parity relies on.
+    admit_batch:
+        Maximum jobs admitted per frontier step (bounds the work done
+        between event pumps).
+    pump_pops:
+        Maximum kernel event pops per frontier step once admission is
+        blocked (window full or source dry).
+    rss_ceiling_mb:
+        Memory-watchdog ceiling in MiB; ``None`` disables the watchdog.
+        Sampling real RSS is inherently wall-clock-dependent, so runs
+        that must resume bit-identically should rely on
+        ``max_live_tasks`` alone and leave this off.
+    watchdog_interval:
+        Sample RSS every N frontier steps (cheap /proc read; 0 is
+        rejected — disable via ``rss_ceiling_mb=None``).
+    resume_fraction:
+        Admission resumes once sampled RSS falls back under
+        ``resume_fraction × rss_ceiling_mb`` (hysteresis so the ladder
+        doesn't flap).
+    spill_path:
+        Where rung 3 (snapshot-and-shed) appends shed jobs as JSON
+        lines; ``None`` derives ``shed_jobs.jsonl`` next to the journal
+        or in the working directory.
+    """
+
+    max_live_tasks: int = 50_000
+    admit_batch: int = 32
+    pump_pops: int = 512
+    rss_ceiling_mb: float | None = None
+    watchdog_interval: int = 64
+    resume_fraction: float = 0.85
+    spill_path: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_live_tasks < 1:
+            raise ValueError(
+                f"max_live_tasks must be >= 1, got {self.max_live_tasks!r}"
+            )
+        if self.admit_batch < 1:
+            raise ValueError(f"admit_batch must be >= 1, got {self.admit_batch!r}")
+        if self.pump_pops < 1:
+            raise ValueError(f"pump_pops must be >= 1, got {self.pump_pops!r}")
+        if self.rss_ceiling_mb is not None:
+            check_positive(self.rss_ceiling_mb, "rss_ceiling_mb")
+        if self.watchdog_interval < 1:
+            raise ValueError(
+                f"watchdog_interval must be >= 1, got {self.watchdog_interval!r}"
+            )
+        if not 0.0 < self.resume_fraction < 1.0:
+            raise ValueError(
+                f"resume_fraction must be in (0, 1), got {self.resume_fraction!r}"
+            )
+
+    def replace(self, **changes) -> "FrontierConfig":
         """Return a copy with *changes* applied."""
         return dataclasses.replace(self, **changes)
 

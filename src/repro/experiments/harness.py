@@ -43,6 +43,7 @@ from ..trace.workload import Workload, WorkloadSpec, build_workload
 __all__ = [
     "SCHEDULER_NAMES",
     "PREEMPTION_NAMES",
+    "workload_spec_for_cluster",
     "build_workload_for_cluster",
     "make_schedulers",
     "make_extended_schedulers",
@@ -58,6 +59,39 @@ SCHEDULER_NAMES = ("DSP", "Aalo", "TetrisW/SimDep", "TetrisW/oDep")
 PREEMPTION_NAMES = ("DSP", "DSPW/oPP", "Natjam", "Amoeba", "SRPT")
 
 
+def workload_spec_for_cluster(
+    num_jobs: int,
+    cluster: Cluster,
+    *,
+    scale: float = 20.0,
+    deadline_slack: float = 4.0,
+    config: DSPConfig | None = None,
+    demand_fraction: float = 0.45,
+) -> WorkloadSpec:
+    """A :class:`WorkloadSpec` calibrated to *cluster*.
+
+    The reference rate becomes the cluster's mean g(k) (so deadline slack
+    is measured against achievable speed) and the reference node dims are
+    *demand_fraction* of the smallest node (so roughly
+    ``1/demand_fraction`` average tasks fit per node and nothing is
+    undispatchable).  The streaming replay path hands this spec to a
+    :class:`~repro.sim.frontier.SyntheticSource`; the batch path feeds it
+    through :func:`build_workload` below.
+    """
+    cfg = config or DSPConfig()
+    mean_rate = cluster.total_rate(cfg.theta_cpu, cfg.theta_mem) / len(cluster)
+    min_cpu = min(n.cpu_size for n in cluster)
+    min_mem = min(n.mem_size for n in cluster)
+    return WorkloadSpec(
+        num_jobs=num_jobs,
+        scale=scale,
+        deadline_slack=deadline_slack,
+        reference_rate_mips=mean_rate,
+        reference_node_cpu=min_cpu * demand_fraction,
+        reference_node_mem=min_mem * demand_fraction,
+    )
+
+
 def build_workload_for_cluster(
     num_jobs: int,
     cluster: Cluster,
@@ -68,25 +102,15 @@ def build_workload_for_cluster(
     config: DSPConfig | None = None,
     demand_fraction: float = 0.45,
 ) -> Workload:
-    """Workload whose demands and deadlines are calibrated to *cluster*.
-
-    The reference rate becomes the cluster's mean g(k) (so deadline slack
-    is measured against achievable speed) and the reference node dims are
-    *demand_fraction* of the smallest node (so roughly
-    ``1/demand_fraction`` average tasks fit per node and nothing is
-    undispatchable).
-    """
-    cfg = config or DSPConfig()
-    mean_rate = cluster.total_rate(cfg.theta_cpu, cfg.theta_mem) / len(cluster)
-    min_cpu = min(n.cpu_size for n in cluster)
-    min_mem = min(n.mem_size for n in cluster)
-    spec = WorkloadSpec(
-        num_jobs=num_jobs,
+    """Workload whose demands and deadlines are calibrated to *cluster*
+    (see :func:`workload_spec_for_cluster`)."""
+    spec = workload_spec_for_cluster(
+        num_jobs,
+        cluster,
         scale=scale,
         deadline_slack=deadline_slack,
-        reference_rate_mips=mean_rate,
-        reference_node_cpu=min_cpu * demand_fraction,
-        reference_node_mem=min_mem * demand_fraction,
+        config=config,
+        demand_fraction=demand_fraction,
     )
     return build_workload(spec, rng=seed)
 

@@ -369,7 +369,20 @@ class ArrayCore:
         """Free the rows of a fully-completed job (LIFO reuse for
         streaming admission).  Level structures are left stale on
         purpose — see the module docstring."""
-        for tid in self._rt.state.jobs[job_id].tasks:
+        self.retire_tasks(list(self._rt.state.jobs[job_id].tasks))
+
+    def retire_tasks(self, task_ids) -> None:
+        """Free the rows of *task_ids*, skipping rows already freed.
+
+        Normally a no-op: completion frees rows in-emit (see
+        :meth:`_on_finished`), before the settle-time
+        :class:`~repro.sim.frontier.RetirementManager` sweep reaches this
+        call.  The exception is resume — a snapshot taken with jobs
+        completed but not yet swept (``retire_batch`` > 1) resurrects
+        their rows on restore, and this call is what frees them when the
+        restored sweep finally runs."""
+        freed = False
+        for tid in task_ids:
             row = self._row_of.pop(tid, None)
             if row is None:
                 continue
@@ -393,7 +406,9 @@ class ArrayCore:
             self._preempt_count[row] = 0
             self._banned[row] = False
             self._ids.free(row)
-        self._version += 1
+            freed = True
+        if freed:
+            self._version += 1
 
     def resync(self) -> None:
         """Full mirror refresh from the authoritative object model."""

@@ -233,7 +233,9 @@ class DispatchSubsystem:
         """Handle a TASK_FINISH timed event (dropping stale versions)."""
         task_id, version = payload
         rt = self._rt
-        task = rt.state.tasks[task_id]
+        task = rt.state.tasks.get(task_id)
+        if task is None:
+            return  # stale event for a task already retired with its job
         if task.finish_version != version or task.state is not TaskState.RUNNING:
             return  # stale event from before a preemption
         node = rt.state.nodes[task.node_id]

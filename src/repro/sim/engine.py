@@ -373,6 +373,18 @@ class SimEngine:
         if rt.invariants is not None:
             rt.invariants.attach(bus)
 
+        # Completed-job retirement (streaming replays): attached after
+        # every behavioral subscriber — its TaskFinished handler only
+        # buffers job ids; the eviction runs from a settle observer, which
+        # must be registered *before* the snapshot manager's below so a
+        # due snapshot captures the post-retirement state.
+        self.retirement = None
+        if sim_config.retire_completed:
+            from .frontier import RetirementManager
+
+            self.retirement = RetirementManager(rt, batch=sim_config.retire_batch)
+            self.retirement.attach(bus, kernel)
+
         # Durability layer, attached after every behavioral subscriber so
         # recording observes the run without perturbing it.  The journal's
         # pop observer is first in the kernel's observer list — its
@@ -388,6 +400,13 @@ class SimEngine:
         self._finished = False
         self._stop_requested = False
         self._streaming = streaming
+        #: Optional hooks a :class:`~repro.sim.frontier.StreamingFrontier`
+        #: registers on itself: a snapshot-section provider (the source
+        #: cursor + staged job ride inside engine snapshots) and a
+        #: one-line position describer folded into progress/stuck
+        #: messages.
+        self.frontier_provider: Any = None
+        self.frontier_describe: Any = None
         if streaming:
             # Streaming runs have no one-shot seeding step, so the fault
             # plan is armed here; arrivals enter via submit_job().
@@ -473,7 +492,14 @@ class SimEngine:
             # before the state overwrite — the seeded arrival events are
             # discarded when restore_into replaces the heap, but the
             # registered structures make the fingerprints comparable.
+            # When the caller passes no jobs, the snapshot's own
+            # ``jobs_spec`` (the live window at capture — with retirement
+            # on, the only place those jobs still exist) supplies them.
             deadlines = kwargs.pop("task_deadlines", None)
+            if not jobs:
+                from ..dag.codec import job_from_dict
+
+                jobs = [job_from_dict(spec) for spec in snapshot.get("jobs_spec") or ()]
             engine = cls(cluster, [], scheduler, **kwargs)
             for job in jobs:
                 engine.submit_job(job, deadlines)
@@ -511,6 +537,22 @@ class SimEngine:
     @property
     def _resilience(self) -> ResilienceManager | None:
         return self._rt.resilience
+
+    def _progress(self) -> str:
+        """One-line run position for progress and error messages: live
+        completion, plus the retirement and frontier state when those
+        layers are active (a streaming replay's live counters alone are
+        meaningless without the retired/admitted context)."""
+        state = self._rt.state
+        msg = f"{state.completed_tasks}/{len(state.tasks)} live tasks done"
+        if state.retired_tasks:
+            msg += (
+                f", {state.retired_tasks} tasks retired "
+                f"in {state.retired_jobs} jobs"
+            )
+        if self.frontier_describe is not None:
+            msg += f"; {self.frontier_describe()}"
+        return msg
 
     # ------------------------------------------------------- streaming mode
     def submit_job(
@@ -566,9 +608,7 @@ class SimEngine:
         before = rt.kernel.pops
         rt.kernel.run(
             until=rt.state.all_done,
-            describe=lambda: (
-                f"{rt.state.completed_tasks}/{len(rt.state.tasks)} tasks done"
-            ),
+            describe=self._progress,
             max_pops=max_pops,
         )
         return rt.kernel.pops - before
@@ -584,8 +624,12 @@ class SimEngine:
             unfinished = rt.state.unfinished_task_ids()
             raise SimulationError(
                 f"finalize with {len(unfinished)} unfinished tasks "
-                f"(first: {sorted(unfinished)[:3]})"
+                f"(first: {sorted(unfinished)[:3]}; {self._progress()})"
             )
+        if self.retirement is not None:
+            # Evict the final completion batch (below the settle
+            # threshold) so the folded aggregates cover every job.
+            self.retirement.sweep()
         if self._journal is not None:
             self._journal.flush()
         self._finished = True
@@ -631,9 +675,7 @@ class SimEngine:
         try:
             rt.kernel.run(
                 until=lambda: state.all_done() or self._stop_requested,
-                describe=lambda: (
-                    f"{state.completed_tasks}/{len(state.tasks)} tasks done"
-                ),
+                describe=self._progress,
             )
         finally:
             if self._journal is not None:
@@ -641,16 +683,18 @@ class SimEngine:
 
         if self._stop_requested and not state.all_done():
             raise SimulationInterrupted(
-                f"stopped at a settled point "
-                f"({state.completed_tasks}/{len(state.tasks)} tasks done, "
+                f"stopped at a settled point ({self._progress()}, "
                 f"event #{rt.kernel.pops}, t={rt.kernel.now:g}s)"
             )
         if not state.all_done():
             unfinished = state.unfinished_task_ids()
             raise SimulationStuck(
                 f"event queue drained with {len(unfinished)} unfinished tasks "
-                f"(first: {sorted(unfinished)[:3]}; {rt.kernel.position()})"
+                f"(first: {sorted(unfinished)[:3]}; {rt.kernel.position()}; "
+                f"{self._progress()})"
             )
+        if self.retirement is not None:
+            self.retirement.sweep()
         self._finished = True
         metrics = rt.metrics.finalize(rt.now)
         if rt.invariants is not None:

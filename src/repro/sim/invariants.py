@@ -110,6 +110,7 @@ class InvariantChecker:
         self._strict = mode == "strict"
         self._violations: list[Violation] = []
         self._finished: set[str] = set()
+        self._retired_finished = 0
         self._counts: dict[str, int] = {}
         self._history: deque[k.BusEvent] = deque(maxlen=_HISTORY)
         self._last_time = 0.0
@@ -142,6 +143,7 @@ class InvariantChecker:
 
         return {
             "finished": sorted(self._finished),
+            "retired_finished": self._retired_finished,
             "counts": dict(self._counts),
             "last_time": self._last_time,
             "stall_closed_at": dict(self._stall_closed_at),
@@ -162,6 +164,7 @@ class InvariantChecker:
         from .journal import decode_bus_event
 
         self._finished = set(data["finished"])
+        self._retired_finished = data.get("retired_finished", 0)
         self._counts = dict(data["counts"])
         self._last_time = data["last_time"]
         self._stall_closed_at = dict(data["stall_closed_at"])
@@ -242,6 +245,17 @@ class InvariantChecker:
             return
         self._finished.add(ev.task_id)
         self._check_parents(ev, ev.task_id, "finishes")
+
+    def retire_tasks(self, task_ids) -> None:
+        """Forget retired tasks' finished-set entries, keeping their count
+        so :meth:`verify_run` still balances.  Safe because dependency
+        edges are intra-job and the whole job retires at once — no live
+        task's parent check can ever name a retired task."""
+        for tid in task_ids:
+            if tid in self._finished:
+                self._finished.discard(tid)
+                self._retired_finished += 1
+            self._stall_closed_at.pop(tid, None)
 
     def _on_preempted(self, ev: k.TaskPreempted) -> None:
         state = self._rt.state
@@ -348,7 +362,11 @@ class InvariantChecker:
         this checker's independent bus-observed event counts."""
         observed = self._counts
         pairs = [
-            ("tasks_completed", metrics.tasks_completed, len(self._finished)),
+            (
+                "tasks_completed",
+                metrics.tasks_completed,
+                len(self._finished) + self._retired_finished,
+            ),
             (
                 "num_preemptions",
                 metrics.num_preemptions,

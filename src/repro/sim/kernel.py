@@ -68,6 +68,10 @@ __all__ = [
     "SpeculationLaunched",
     "SpeculationWon",
     "SpeculationWaste",
+    "JobRetired",
+    "AdmissionPaused",
+    "AdmissionResumed",
+    "JobShed",
     "EventBus",
     "Kernel",
 ]
@@ -346,6 +350,43 @@ class SpeculationWaste(BusEvent):
 
     task_id: str
     mi: float
+
+
+@dataclass(frozen=True, slots=True)
+class JobRetired(BusEvent):
+    """A fully-completed job's state was evicted from the live window
+    (per-task metrics folded into aggregates, rows freed, maps pruned)."""
+
+    job_id: str
+    tasks: int
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionPaused(BusEvent):
+    """The streaming frontier stopped admitting jobs (degradation ladder
+    rung 1): ``reason`` is ``"rss"`` for a watchdog trip."""
+
+    reason: str
+    live_tasks: int
+    rss_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class AdmissionResumed(BusEvent):
+    """Frontier admission resumed after the pressure that paused it cleared."""
+
+    reason: str
+    live_tasks: int
+    rss_bytes: int
+
+
+@dataclass(frozen=True, slots=True)
+class JobShed(BusEvent):
+    """Degradation ladder rung 3: a not-yet-admitted job was spilled to
+    disk instead of entering the live window."""
+
+    job_id: str
+    tasks: int
 
 
 # ------------------------------------------------------------------------ bus

@@ -55,6 +55,12 @@ class RunMetrics:
     lost_work_mi: float = 0.0
     speculative_waste_mi: float = 0.0
     fault_counts: Mapping[str, int] = field(default_factory=dict)
+    #: Streaming-replay accounting (zero on batch runs; the as_dict keys
+    #: appear only when the frontier/retirement machinery was active, so
+    #: legacy golden comparisons are unaffected).
+    jobs_retired: int = 0
+    jobs_shed: int = 0
+    admission_pauses: int = 0
 
     @property
     def throughput_tasks_per_ms(self) -> float:
@@ -106,6 +112,10 @@ class RunMetrics:
         }
         for kind, count in sorted(self.fault_counts.items()):
             out[f"faults_{kind}"] = float(count)
+        if self.jobs_retired or self.jobs_shed or self.admission_pauses:
+            out["jobs_retired"] = float(self.jobs_retired)
+            out["jobs_shed"] = float(self.jobs_shed)
+            out["admission_pauses"] = float(self.admission_pauses)
         return out
 
 
@@ -144,6 +154,17 @@ class MetricsCollector:
         self._job_arrivals: dict[str, float] = {}
         self._job_deadlines: dict[str, float] = {}
         self._job_completions: dict[str, float] = {}
+        # Compact aggregates of retired jobs (see retire_job): the per-task
+        # dicts above hold only the live window on streaming runs.
+        self.jobs_retired: int = 0
+        self.jobs_shed: int = 0
+        self.admission_pauses: int = 0
+        self._retired_tasks: int = 0
+        self._retired_within_deadline: int = 0
+        self._retired_wait_sum: float = 0.0
+        self._retired_job_mean_sum: float = 0.0
+        self._retired_arrival_min: float | None = None
+        self._retired_completion_max: float | None = None
 
     # -- bus wiring --------------------------------------------------------
     def attach(self, bus: "_k.EventBus") -> None:
@@ -173,6 +194,8 @@ class MetricsCollector:
         bus.subscribe(k.SpeculationWon, self._on_spec_win)
         bus.subscribe(k.SpeculationWaste, self._on_spec_waste)
         bus.subscribe(k.NodeQuarantined, self._on_quarantine)
+        bus.subscribe(k.JobShed, self._on_job_shed)
+        bus.subscribe(k.AdmissionPaused, self._on_admission_paused)
 
     def _on_wait(self, ev: "_k.TaskWaitAccrued") -> None:
         self.record_wait(ev.task_id, ev.seconds)
@@ -230,6 +253,12 @@ class MetricsCollector:
     def _on_quarantine(self, ev: "_k.NodeQuarantined") -> None:
         self.record_quarantine()
 
+    def _on_job_shed(self, ev: "_k.JobShed") -> None:
+        self.jobs_shed += 1
+
+    def _on_admission_paused(self, ev: "_k.AdmissionPaused") -> None:
+        self.admission_pauses += 1
+
     # -- snapshot / restore ------------------------------------------------
     #: Scalar accumulators (the dict fields are listed in snapshot_state).
     _SCALAR_FIELDS = (
@@ -248,6 +277,19 @@ class MetricsCollector:
         "num_quarantines",
         "lost_work_mi",
         "speculative_waste_mi",
+    )
+    #: Retirement aggregates: restored with defaults so snapshots written
+    #: before retirement existed stay loadable.
+    _RETIRE_FIELDS = (
+        ("jobs_retired", 0),
+        ("jobs_shed", 0),
+        ("admission_pauses", 0),
+        ("_retired_tasks", 0),
+        ("_retired_within_deadline", 0),
+        ("_retired_wait_sum", 0.0),
+        ("_retired_job_mean_sum", 0.0),
+        ("_retired_arrival_min", None),
+        ("_retired_completion_max", None),
     )
     _DICT_FIELDS = (
         "_latency_samples",
@@ -269,6 +311,8 @@ class MetricsCollector:
         identically to reproduce bit-identical averages.
         """
         out: dict = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
+        for name, _default in self._RETIRE_FIELDS:
+            out[name] = getattr(self, name)
         out["dicts"] = {
             name: dict(getattr(self, name)) for name in self._DICT_FIELDS
         }
@@ -278,6 +322,8 @@ class MetricsCollector:
         """Inverse of :meth:`snapshot_state`."""
         for name in self._SCALAR_FIELDS:
             setattr(self, name, data[name])
+        for name, default in self._RETIRE_FIELDS:
+            setattr(self, name, data.get(name, default))
         for name in self._DICT_FIELDS:
             setattr(self, name, dict(data["dicts"][name]))
 
@@ -388,16 +434,83 @@ class MetricsCollector:
         """All tasks of *job_id* finished at *time*."""
         self._job_completions[job_id] = time
 
+    # -- retirement -------------------------------------------------------
+    def retire_job(self, job_id: str, task_ids) -> None:
+        """Fold a fully-completed job's per-task entries into the compact
+        retired aggregates and evict them from the live dicts.
+
+        The fold keeps exactly what :meth:`finalize` needs: task/job
+        counts, the within-deadline count, the wait sum (overall average),
+        the per-job mean-wait sum (mean-of-means average), and the
+        arrival-min/completion-max envelope (makespan).  Summation runs in
+        the given *task_ids* order — the job's task insertion order, which
+        is deterministic under event-driven retirement, so a resumed
+        streaming run reproduces the same floats.
+        """
+        completion = self._job_completions.pop(job_id, None)
+        if completion is None:
+            raise ValueError(f"retiring job {job_id!r} before it completed")
+        arrival = self._job_arrivals.pop(job_id, 0.0)
+        deadline = self._job_deadlines.pop(job_id, float("inf"))
+        wait_sum = 0.0
+        count = 0
+        for tid in task_ids:
+            if tid not in self._task_completions:
+                raise ValueError(
+                    f"retiring job {job_id!r} with unfinished task {tid!r}"
+                )
+            del self._task_completions[tid]
+            wait_sum += self._task_waits.pop(tid, 0.0)
+            self._job_of_task.pop(tid, None)
+            self._latency_samples.pop(tid, None)
+            count += 1
+        self.jobs_retired += 1
+        self._retired_tasks += count
+        self._retired_wait_sum += wait_sum
+        if count:
+            self._retired_job_mean_sum += wait_sum / count
+        if completion <= deadline:
+            self._retired_within_deadline += 1
+        if (
+            self._retired_arrival_min is None
+            or arrival < self._retired_arrival_min
+        ):
+            self._retired_arrival_min = arrival
+        if (
+            self._retired_completion_max is None
+            or completion > self._retired_completion_max
+        ):
+            self._retired_completion_max = completion
+
     # -- finalization -----------------------------------------------------
     def finalize(self, sim_end_time: float) -> RunMetrics:
-        """Freeze into a :class:`RunMetrics` at the end of a run."""
+        """Freeze into a :class:`RunMetrics` at the end of a run.
+
+        Retired aggregates merge retired-first, then the live window, so
+        two streaming runs that retired the same jobs in the same event
+        order produce bit-identical floats.  A batch run (nothing retired)
+        computes exactly the legacy expressions.
+        """
         arrivals = list(self._job_arrivals.values())
         start = min(arrivals) if arrivals else 0.0
+        if self._retired_arrival_min is not None:
+            start = (
+                min(self._retired_arrival_min, min(arrivals))
+                if arrivals
+                else self._retired_arrival_min
+            )
         completions = list(self._task_completions.values())
-        makespan = (max(completions) - start) if completions else 0.0
+        end = max(completions) if completions else None
+        if self._retired_completion_max is not None:
+            end = (
+                max(self._retired_completion_max, end)
+                if end is not None
+                else self._retired_completion_max
+            )
+        makespan = (end - start) if end is not None else 0.0
 
-        jobs_completed = len(self._job_completions)
-        within = sum(
+        jobs_completed = self.jobs_retired + len(self._job_completions)
+        within = self._retired_within_deadline + sum(
             1
             for jid, t in self._job_completions.items()
             if t <= self._job_deadlines.get(jid, float("inf"))
@@ -407,19 +520,23 @@ class MetricsCollector:
         # Mean task wait, overall and per job (mean of per-job means so a
         # 2000-task job does not drown the small jobs — matching the paper's
         # "average waiting time of jobs").
+        tasks_completed = self._retired_tasks + len(self._task_completions)
         waits = [self._task_waits[t] for t in self._task_completions]
-        avg_task_wait = sum(waits) / len(waits) if waits else 0.0
+        wait_sum = self._retired_wait_sum + sum(waits)
+        avg_task_wait = wait_sum / tasks_completed if tasks_completed else 0.0
         per_job: dict[str, list[float]] = {}
         for tid in self._task_completions:
             per_job.setdefault(self._job_of_task.get(tid, "?"), []).append(
                 self._task_waits[tid]
             )
         job_means = [sum(v) / len(v) for v in per_job.values()]
-        avg_job_wait = sum(job_means) / len(job_means) if job_means else 0.0
+        mean_sum = self._retired_job_mean_sum + sum(job_means)
+        num_jobs_waited = self.jobs_retired + len(job_means)
+        avg_job_wait = mean_sum / num_jobs_waited if num_jobs_waited else 0.0
 
         return RunMetrics(
             makespan=makespan,
-            tasks_completed=len(self._task_completions),
+            tasks_completed=tasks_completed,
             jobs_completed=jobs_completed,
             jobs_within_deadline=within,
             num_preemptions=self.num_preemptions,
@@ -442,4 +559,7 @@ class MetricsCollector:
             lost_work_mi=self.lost_work_mi,
             speculative_waste_mi=self.speculative_waste_mi,
             fault_counts=dict(self.fault_counts),
+            jobs_retired=self.jobs_retired,
+            jobs_shed=self.jobs_shed,
+            admission_pauses=self.admission_pauses,
         )

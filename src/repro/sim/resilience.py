@@ -196,6 +196,17 @@ class ResilienceManager:
         self._spec_versions = dict(data["spec_versions"])
         self._children = None
 
+    # ---------------------------------------------------------- retirement
+    def retire_tasks(self, task_ids) -> None:
+        """Drop per-task bookkeeping for a retired (fully-completed) job
+        and invalidate the lazy ``_children`` fallback map so it rebuilds
+        from the pruned static structure on next use.  Completed jobs can
+        hold no in-flight specs — the pops are belt-and-braces."""
+        for tid in task_ids:
+            self._specs.pop(tid, None)
+            self._spec_versions.pop(tid, None)
+        self._children = None
+
     # ------------------------------------------------------- bus reactions
     def _on_task_finished(self, ev: k.TaskFinished) -> None:
         """A task completed on ``ev.node_id``: the winner's node earns a

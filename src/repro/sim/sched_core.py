@@ -160,6 +160,19 @@ class PriorityIndex:
             for parent in task.parents:
                 live[parent].append(task.task_id)
 
+    def retire_tasks(self, task_ids: Iterable[str]) -> None:
+        """Drop retired tasks from the live lists and memo (the inverse of
+        :meth:`register_job`).  Retired tasks all completed, so they were
+        already removed from their parents' live lists by ``_on_finished``
+        — and the whole job retires together, so no *other* job's list can
+        still name them; only their own (empty) lists and stale memo
+        entries remain."""
+        live = self._live
+        memo = self._memo
+        for tid in task_ids:
+            live.pop(tid, None)
+            memo.pop(tid, None)
+
     def scores_like(self, config: "DSPConfig") -> bool:
         """True when *config* parameterizes Eq. 12–13 identically to the
         engine config this index scores with — the guard a policy checks

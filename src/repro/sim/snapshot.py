@@ -118,6 +118,7 @@ def _fingerprint(engine: "SimEngine") -> dict:
         "invariants": rt.sim_config.invariants,
         "collect_samples": rt.sim_config.collect_task_samples,
         "streaming": getattr(engine, "_streaming", False),
+        "retire": rt.sim_config.retire_completed,
     }
 
 
@@ -210,6 +211,8 @@ def snapshot_engine(engine: "SimEngine") -> dict:
             "pending_faults": state.pending_faults,
             "epoch_scheduled": state.epoch_scheduled,
             "dispatched_this_tick": state.dispatched_this_tick,
+            "retired_jobs": state.retired_jobs,
+            "retired_tasks": state.retired_tasks,
         },
         "tasks": tasks,
         "nodes": nodes,
@@ -235,6 +238,19 @@ def snapshot_engine(engine: "SimEngine") -> dict:
         ),
         "journal_offset": journal.offset if journal is not None else None,
     }
+    if getattr(engine, "_streaming", False):
+        # The live window of a streaming run exists nowhere outside the
+        # engine once retirement evicts completed jobs — embed it so
+        # restore can resubmit it in the original admission order.
+        from ..dag.codec import job_to_dict
+
+        data["jobs_spec"] = [job_to_dict(job) for job in state.jobs.values()]
+    retirement = getattr(engine, "retirement", None)
+    if retirement is not None:
+        data["retire"] = retirement.snapshot_state()
+    provider = getattr(engine, "frontier_provider", None)
+    if provider is not None:
+        data["frontier"] = provider()
     return data
 
 
@@ -303,6 +319,8 @@ def restore_into(engine: "SimEngine", data: dict) -> None:
     state.pending_faults = st["pending_faults"]
     state.epoch_scheduled = st["epoch_scheduled"]
     state.dispatched_this_tick = st["dispatched_this_tick"]
+    state.retired_jobs = st.get("retired_jobs", 0)
+    state.retired_tasks = st.get("retired_tasks", 0)
 
     # Task runtimes (static Task objects stay from build_state).
     for tid, entry in data["tasks"].items():
@@ -324,6 +342,9 @@ def restore_into(engine: "SimEngine", data: dict) -> None:
         node._queue = [(ps, tid) for ps, tid in entry["queue"]]
 
     # Subsystem accumulators.
+    retirement = getattr(engine, "retirement", None)
+    if retirement is not None:
+        retirement.restore_state(data.get("retire"))
     rt.metrics.restore_state(data["metrics"])
     if rt.trace is not None:
         rt.trace.restore_state(data["trace"])

@@ -86,6 +86,11 @@ class SimState:
         self.unscheduled: list[str] = []  # job ids arrived but not yet planned
         self.arrived: set[str] = set()
         self.completed_tasks = 0
+        #: Cumulative counts of state evicted by :meth:`retire_job` — the
+        #: live maps shrink, these only grow (progress accounting for
+        #: streaming replays).
+        self.retired_jobs = 0
+        self.retired_tasks = 0
         self.pending_faults = 0
         self.epoch_scheduled = False
         self.dispatched_this_tick = False
@@ -141,6 +146,38 @@ class SimState:
                 deadline=deadlines.get(tid, job.deadline),
                 unfinished_parents=len(task.parents),
             )
+
+    # ----------------------------------------------------------- retirement
+    def retire_job(self, job_id: str) -> tuple[str, ...]:
+        """Evict a fully-completed job's state from the live maps.
+
+        The inverse of :meth:`register_job`: pops the job and every one of
+        its tasks from ``jobs``/``static_tasks``/``children``/``job_of``/
+        ``ancestors``/``tasks``/``job_remaining``/``arrived`` and deducts
+        the tasks from ``completed_tasks`` so :meth:`all_done` keeps
+        meaning "every *live* task finished".  Cumulative progress moves
+        to ``retired_jobs``/``retired_tasks``.  Returns the retired task
+        ids (callers prune their own per-task structures with them).
+
+        Only call at a settled point (never inside a ``TaskFinished``
+        emission — handlers later in the subscription order still read
+        the maps) and only for jobs whose every task completed; the
+        :class:`~repro.sim.frontier.RetirementManager` enforces both.
+        """
+        job = self.jobs.pop(job_id)
+        tids = tuple(job.tasks)
+        for tid in tids:
+            del self.static_tasks[tid]
+            del self.tasks[tid]
+            del self.job_of[tid]
+            self.children.pop(tid, None)
+            self.ancestors.pop(tid, None)
+        self.job_remaining.pop(job_id, None)
+        self.arrived.discard(job_id)
+        self.completed_tasks -= len(tids)
+        self.retired_jobs += 1
+        self.retired_tasks += len(tids)
+        return tids
 
     # ----------------------------------------------------------- queries
     def all_done(self) -> bool:

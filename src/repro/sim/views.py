@@ -116,6 +116,14 @@ class ViewCache:
         for tid, task in job.tasks.items():
             self._static[tid] = (task.demand.norm1(), job.weight, job.deadline)
 
+    def retire_tasks(self, task_ids) -> None:
+        """Drop retired tasks' static attributes (the inverse of
+        :meth:`register_job`).  The per-node dependency maps need no
+        sweep: a completed task left every running pool, which marked its
+        node dirty, and dirty nodes rebuild their entries from scratch."""
+        for tid in task_ids:
+            self._static.pop(tid, None)
+
     def attach(self, bus: EventBus) -> None:
         """Subscribe the dirty-tracking to membership-changing events."""
         bus.subscribe(_MEMBERSHIP_EVENTS, self._on_membership_event)

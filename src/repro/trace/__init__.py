@@ -6,6 +6,8 @@ from .dependency_infer import infer_dependencies
 from .google_reader import (
     FINISH_EVENT,
     SCHEDULE_EVENT,
+    TraceSkipStats,
+    iter_task_events,
     read_task_events,
     read_task_events_csv,
 )
@@ -31,6 +33,8 @@ __all__ = [
     "infer_dependencies",
     "FINISH_EVENT",
     "SCHEDULE_EVENT",
+    "TraceSkipStats",
+    "iter_task_events",
     "read_task_events",
     "read_task_events_csv",
     "read_trace_csv",

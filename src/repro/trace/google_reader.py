@@ -13,20 +13,36 @@ The task_events schema (v2) columns used here::
 
 Event types: 1 = SCHEDULE (we take it as the start) and 4 = FINISH (the
 end).  Records lacking either endpoint, or with zero/missing resource
-requests, are dropped — matching how scheduling studies (the paper
+requests, are skipped — matching how scheduling studies (the paper
 included) pre-filter the trace.
+
+Parsing is a generator (:func:`iter_task_events`): records yield as soon
+as their FINISH row closes the pair, so a multi-gigabyte trace streams
+through the admission frontier without ever being materialized.  Skips
+are never silent — every dropped row lands in a reason bucket of the
+caller's :class:`TraceSkipStats`, so a replay can report exactly how much
+of the trace it quarantined and why.  :func:`read_task_events` keeps the
+old batch contract (full list, sorted by job/task) on top of the
+generator.
 """
 
 from __future__ import annotations
 
 import csv
-import io
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from .google_trace import TraceTaskRecord
 
-__all__ = ["read_task_events", "read_task_events_csv", "SCHEDULE_EVENT", "FINISH_EVENT"]
+__all__ = [
+    "TraceSkipStats",
+    "iter_task_events",
+    "read_task_events",
+    "read_task_events_csv",
+    "SCHEDULE_EVENT",
+    "FINISH_EVENT",
+]
 
 SCHEDULE_EVENT = 1
 FINISH_EVENT = 4
@@ -34,18 +50,84 @@ FINISH_EVENT = 4
 _MICROS = 1_000_000.0
 
 
-def read_task_events(rows: Iterable[list[str]]) -> list[TraceTaskRecord]:
-    """Parse task_events rows (already CSV-split) into trace records.
+@dataclass
+class TraceSkipStats:
+    """Reason-bucketed accounting of rows the reader could not use.
+
+    ``unpaired_schedule`` counts SCHEDULE rows still open when the input
+    ends (the trace was truncated, or the task never finished inside the
+    sampled window); it is filled by the generator's cleanup, so read it
+    only after iteration completes.
+    """
+
+    short_row: int = 0  #: fewer than 11 columns
+    bad_field: int = 0  #: timestamp/job/index/event type failed to parse
+    empty_job: int = 0  #: blank job-ID column
+    bad_resources: int = 0  #: CPU/mem request unparsable or outside (0, 1]
+    bad_timestamp: int = 0  #: FINISH at or before its SCHEDULE
+    unpaired_finish: int = 0  #: FINISH with no open SCHEDULE
+    unpaired_schedule: int = 0  #: SCHEDULE never closed by a FINISH
+    duplicate_schedule: int = 0  #: re-SCHEDULE replacing a still-open one
+    reads: int = 0  #: rows consumed (usable or not)
+    records: int = 0  #: records yielded
+
+    def total_skipped(self) -> int:
+        return (
+            self.short_row
+            + self.bad_field
+            + self.empty_job
+            + self.bad_resources
+            + self.bad_timestamp
+            + self.unpaired_finish
+            + self.unpaired_schedule
+            + self.duplicate_schedule
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "reads": self.reads,
+            "records": self.records,
+            "short_row": self.short_row,
+            "bad_field": self.bad_field,
+            "empty_job": self.empty_job,
+            "bad_resources": self.bad_resources,
+            "bad_timestamp": self.bad_timestamp,
+            "unpaired_finish": self.unpaired_finish,
+            "unpaired_schedule": self.unpaired_schedule,
+            "duplicate_schedule": self.duplicate_schedule,
+            "total_skipped": self.total_skipped(),
+        }
+
+    def merge(self, other: "TraceSkipStats") -> None:
+        """Fold *other*'s counts into this one (cross-resume accumulation)."""
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+
+
+_COUNTER_FIELDS = tuple(
+    f.name for f in TraceSkipStats.__dataclass_fields__.values()
+)
+
+
+def iter_task_events(
+    rows: Iterable[list[str]],
+    stats: TraceSkipStats | None = None,
+) -> Iterator[TraceTaskRecord]:
+    """Stream task_events rows (already CSV-split) into trace records.
 
     Pairs SCHEDULE and FINISH events per (job, task index); resource
-    requests are taken from the SCHEDULE event.  Unpaired or degenerate
-    entries are silently dropped (they are, in the real trace, evictions,
-    kills and re-schedules the paper's sampling also skips).
+    requests are taken from the SCHEDULE event.  Each record yields the
+    moment its FINISH row arrives, so memory is bounded by the number of
+    *open* (scheduled, unfinished) tasks, not the trace size.  Malformed
+    or unpaired rows are counted into *stats* instead of raising.
     """
+    if stats is None:
+        stats = TraceSkipStats()
     starts: dict[tuple[str, int], tuple[float, float, float]] = {}
-    records: list[TraceTaskRecord] = []
     for row in rows:
+        stats.reads += 1
         if len(row) < 11:
+            stats.short_row += 1
             continue
         try:
             timestamp = float(row[0]) / _MICROS
@@ -53,8 +135,10 @@ def read_task_events(rows: Iterable[list[str]]) -> list[TraceTaskRecord]:
             task_index = int(row[3])
             event_type = int(row[5])
         except (ValueError, IndexError):
+            stats.bad_field += 1
             continue
         if not job_id:
+            stats.empty_job += 1
             continue
         key = (job_id, task_index)
         if event_type == SCHEDULE_EVENT:
@@ -62,33 +146,51 @@ def read_task_events(rows: Iterable[list[str]]) -> list[TraceTaskRecord]:
                 cpu = float(row[9])
                 mem = float(row[10])
             except (ValueError, IndexError):
+                stats.bad_resources += 1
                 continue
             if not (0.0 < cpu <= 1.0 and 0.0 < mem <= 1.0):
+                stats.bad_resources += 1
                 continue
+            if key in starts:
+                stats.duplicate_schedule += 1
             starts[key] = (timestamp, cpu, mem)
         elif event_type == FINISH_EVENT:
             opened = starts.pop(key, None)
             if opened is None:
+                stats.unpaired_finish += 1
                 continue
             start, cpu, mem = opened
             if timestamp <= start:
+                stats.bad_timestamp += 1
                 continue
-            records.append(
-                TraceTaskRecord(
-                    job_id=f"g{job_id}",
-                    task_index=task_index,
-                    start_time=start,
-                    end_time=timestamp,
-                    cpu=cpu,
-                    mem=mem,
-                )
+            stats.records += 1
+            yield TraceTaskRecord(
+                job_id=f"g{job_id}",
+                task_index=task_index,
+                start_time=start,
+                end_time=timestamp,
+                cpu=cpu,
+                mem=mem,
             )
+    stats.unpaired_schedule += len(starts)
+
+
+def read_task_events(
+    rows: Iterable[list[str]],
+    stats: TraceSkipStats | None = None,
+) -> list[TraceTaskRecord]:
+    """Batch form of :func:`iter_task_events`: the full record list,
+    sorted by (job, task index) as the dependency-inference stage expects.
+    """
+    records = list(iter_task_events(rows, stats))
     records.sort(key=lambda r: (r.job_id, r.task_index))
     return records
 
 
-def read_task_events_csv(path: str | Path) -> list[TraceTaskRecord]:
+def read_task_events_csv(
+    path: str | Path, stats: TraceSkipStats | None = None
+) -> list[TraceTaskRecord]:
     """Read a task_events CSV file (optionally gzip-decompressed upstream)."""
     path = Path(path)
     with path.open("r", newline="") as fh:
-        return read_task_events(csv.reader(fh))
+        return read_task_events(csv.reader(fh), stats)

@@ -1,4 +1,5 @@
-"""Tests for trace CSV persistence."""
+"""Tests for trace CSV persistence and the streaming task_events reader's
+skip accounting."""
 
 import pytest
 
@@ -9,6 +10,11 @@ from repro.trace import (
     records_from_csv_string,
     records_to_csv_string,
     write_trace_csv,
+)
+from repro.trace.google_reader import (
+    TraceSkipStats,
+    iter_task_events,
+    read_task_events,
 )
 
 
@@ -61,3 +67,99 @@ class TestStringRoundTrip:
         back = records_from_csv_string(records_to_csv_string([r]))[0]
         assert isinstance(back.task_index, int)
         assert back.start_time == 1.5 and back.cpu == 0.125
+
+
+def _sched(ts, job, idx, cpu="0.5", mem="0.25"):
+    # task_events v2 layout: 0 timestamp, 2 job, 3 index, 5 event, 9-10 cpu/mem
+    return [str(ts), "", job, str(idx), "", "1", "", "", "", cpu, mem]
+
+
+def _finish(ts, job, idx):
+    return [str(ts), "", job, str(idx), "", "4", "", "", "", "", ""]
+
+
+class TestTraceSkipStats:
+    """Every dropped task_events row must land in a reason bucket — a
+    replay reports exactly how much of the trace it quarantined and why."""
+
+    def test_truncated_rows_bucketed(self):
+        stats = TraceSkipStats()
+        rows = [["1000000", "j"], [], _sched(1_000_000, "j1", 0),
+                _finish(2_000_000, "j1", 0)]
+        records = read_task_events(rows, stats)
+        assert len(records) == 1
+        assert stats.short_row == 2
+        assert stats.reads == 4 and stats.records == 1
+
+    def test_bad_timestamp_finish_before_schedule(self):
+        stats = TraceSkipStats()
+        rows = [_sched(5_000_000, "j1", 0), _finish(5_000_000, "j1", 0)]
+        assert read_task_events(rows, stats) == []
+        assert stats.bad_timestamp == 1
+
+    def test_missing_finish_counted_after_iteration(self):
+        stats = TraceSkipStats()
+        rows = [_sched(1_000_000, "j1", 0), _sched(2_000_000, "j1", 1),
+                _finish(3_000_000, "j1", 1)]
+        records = read_task_events(rows, stats)
+        assert [r.task_index for r in records] == [1]
+        # The open SCHEDULE only counts once the input ends.
+        assert stats.unpaired_schedule == 1
+
+    def test_finish_without_schedule(self):
+        stats = TraceSkipStats()
+        assert read_task_events([_finish(1_000_000, "j1", 0)], stats) == []
+        assert stats.unpaired_finish == 1
+
+    def test_unparsable_fields_and_empty_job(self):
+        stats = TraceSkipStats()
+        rows = [
+            _sched("not-a-number", "j1", 0),
+            _sched(1_000_000, "", 0),
+            _sched(2_000_000, "j1", 0, cpu="bogus"),
+            _sched(3_000_000, "j1", 0, cpu="1.5"),  # outside (0, 1]
+        ]
+        assert read_task_events(rows, stats) == []
+        assert stats.bad_field == 1
+        assert stats.empty_job == 1
+        assert stats.bad_resources == 2
+
+    def test_duplicate_schedule_keeps_latest(self):
+        stats = TraceSkipStats()
+        rows = [
+            _sched(1_000_000, "j1", 0, cpu="0.1"),
+            _sched(2_000_000, "j1", 0, cpu="0.9"),
+            _finish(3_000_000, "j1", 0),
+        ]
+        records = read_task_events(rows, stats)
+        assert stats.duplicate_schedule == 1
+        assert records[0].cpu == 0.9
+        assert records[0].start_time == pytest.approx(2.0)
+
+    def test_streaming_yields_on_finish(self):
+        """Records must yield the moment the FINISH row closes the pair —
+        memory is bounded by open tasks, not trace length."""
+        rows = iter(
+            [_sched(1_000_000, "j1", 0), _finish(2_000_000, "j1", 0),
+             _sched(3_000_000, "j1", 1), _finish(4_000_000, "j1", 1)]
+        )
+        gen = iter_task_events(rows)
+        first = next(gen)
+        assert first.task_index == 0
+        assert next(rows) == _sched(3_000_000, "j1", 1)  # nothing pre-read
+
+    def test_total_and_as_dict_consistent(self):
+        stats = TraceSkipStats()
+        rows = [["x"], _sched(1_000_000, "j1", 0),
+                _finish(500_000, "j1", 0), _finish(2_000_000, "j2", 0)]
+        read_task_events(rows, stats)
+        as_dict = stats.as_dict()
+        assert as_dict["total_skipped"] == stats.total_skipped() == 3
+        assert as_dict["reads"] == 4 and as_dict["records"] == 0
+
+    def test_merge_accumulates_across_resumes(self):
+        a = TraceSkipStats(short_row=2, reads=10, records=3)
+        b = TraceSkipStats(short_row=1, bad_timestamp=4, reads=5)
+        a.merge(b)
+        assert a.short_row == 3 and a.bad_timestamp == 4
+        assert a.reads == 15 and a.records == 3
