@@ -36,6 +36,14 @@ actually have streamed past its admission window (a task count at or
 below ``max_live_tasks`` proves nothing about retirement).  This mode
 reads the record only — CI runs the replay first, then the guard.
 
+By default the guard *discovers* every ``BENCH_*.json`` at the repo root
+and dispatches on record shape: an ``incremental`` key marks an engine
+hot-path baseline, a ``peak_rss_bytes`` key marks a streaming-replay
+record (checked against ``--replay-ceiling``, default 400 MB).  Adding a
+new baseline file is enough to put it under guard — no workflow edit.
+``--rss-ceiling`` keeps the legacy single-record mode for CI jobs that
+produce a fresh replay record in the same job.
+
 Exit codes: 0 ok, 1 regression/identity failure, 2 missing/invalid baseline.
 """
 
@@ -76,57 +84,33 @@ def check_replay_rss(record_path: pathlib.Path, ceiling_mb: float) -> int:
     return 0 if peak_mb <= ceiling_mb else 1
 
 
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument(
-        "--baseline", type=pathlib.Path, default=REPO / "BENCH_engine.json",
-        help="committed baseline JSON (default: repo-root BENCH_engine.json)",
-    )
-    parser.add_argument(
-        "--tolerance", type=float, default=0.20,
-        help="allowed fractional drop below baseline (default 0.20)",
-    )
-    parser.add_argument(
-        "--rounds", type=int, default=3,
-        help="measured rounds per mode, best taken (default 3)",
-    )
-    parser.add_argument(
-        "--speedup-floor", type=float, default=4.0,
-        help=(
-            "minimum incremental-vs-recompute epoch-ticks/s ratio "
-            "(default 4.0)"
-        ),
-    )
-    parser.add_argument(
-        "--journal-tolerance", type=float, default=0.10,
-        help=(
-            "max fractional epoch-ticks/s cost of write-ahead journaling "
-            "vs journal-off (default 0.10)"
-        ),
-    )
-    parser.add_argument(
-        "--rss-ceiling", type=float, default=None, metavar="MB",
-        help=(
-            "check the streaming-replay record instead of the engine hot "
-            "path: fail if its recorded peak RSS exceeds this many MB"
-        ),
-    )
-    parser.add_argument(
-        "--replay-baseline", type=pathlib.Path,
-        default=REPO / "BENCH_replay.json",
-        help="replay record JSON for --rss-ceiling "
-        "(default: repo-root BENCH_replay.json)",
-    )
-    args = parser.parse_args(argv)
-
-    if args.rss_ceiling is not None:
-        return check_replay_rss(args.replay_baseline, args.rss_ceiling)
-
+def classify_baseline(path: pathlib.Path) -> str:
+    """'engine', 'replay' or 'unknown', keyed on the record's shape."""
     try:
-        baseline = json.loads(args.baseline.read_text())
+        record = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return "unknown"
+    if not isinstance(record, dict):
+        return "unknown"
+    if "incremental" in record:
+        return "engine"
+    if "peak_rss_bytes" in record:
+        return "replay"
+    return "unknown"
+
+
+def discover_baselines(root: pathlib.Path) -> list[pathlib.Path]:
+    """All committed ``BENCH_*.json`` baselines, in stable name order."""
+    return sorted(root.glob("BENCH_*.json"))
+
+
+def check_engine(baseline_path: pathlib.Path, args) -> int:
+    """Hot-path regression + identity + speedup + journal-cost checks."""
+    try:
+        baseline = json.loads(baseline_path.read_text())
         base_rate = baseline["incremental"]["epoch_ticks_per_s"]
     except (OSError, KeyError, ValueError) as exc:
-        print(f"bench-guard: unusable baseline {args.baseline}: {exc}")
+        print(f"bench-guard: unusable baseline {baseline_path}: {exc}")
         return 2
     if not baseline.get("results_identical"):
         print("bench-guard: baseline was recorded without results_identical")
@@ -187,6 +171,84 @@ def main(argv: list[str] | None = None) -> int:
         + f", {j_on['journal_bytes']} journal bytes)"
     )
     return 0 if overhead <= args.journal_tolerance else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=REPO / "BENCH_engine.json",
+        help="committed baseline JSON (default: repo-root BENCH_engine.json)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=0.20,
+        help="allowed fractional drop below baseline (default 0.20)",
+    )
+    parser.add_argument(
+        "--rounds", type=int, default=3,
+        help="measured rounds per mode, best taken (default 3)",
+    )
+    parser.add_argument(
+        "--speedup-floor", type=float, default=4.0,
+        help=(
+            "minimum incremental-vs-recompute epoch-ticks/s ratio "
+            "(default 4.0)"
+        ),
+    )
+    parser.add_argument(
+        "--journal-tolerance", type=float, default=0.10,
+        help=(
+            "max fractional epoch-ticks/s cost of write-ahead journaling "
+            "vs journal-off (default 0.10)"
+        ),
+    )
+    parser.add_argument(
+        "--rss-ceiling", type=float, default=None, metavar="MB",
+        help=(
+            "check the streaming-replay record instead of the engine hot "
+            "path: fail if its recorded peak RSS exceeds this many MB"
+        ),
+    )
+    parser.add_argument(
+        "--replay-baseline", type=pathlib.Path,
+        default=REPO / "BENCH_replay.json",
+        help="replay record JSON for --rss-ceiling "
+        "(default: repo-root BENCH_replay.json)",
+    )
+    parser.add_argument(
+        "--replay-ceiling", type=float, default=400.0, metavar="MB",
+        help=(
+            "RSS ceiling applied to discovered replay baselines "
+            "(default 400 MB)"
+        ),
+    )
+    args = parser.parse_args(argv)
+
+    # Legacy single-record mode: check one freshly produced replay record.
+    if args.rss_ceiling is not None:
+        return check_replay_rss(args.replay_baseline, args.rss_ceiling)
+
+    baselines = discover_baselines(REPO)
+    if not baselines:
+        # Nothing committed — fall back to the classic engine check so a
+        # misconfigured checkout fails loudly rather than vacuously passing.
+        return check_engine(args.baseline, args)
+
+    worst = 0
+    for path in baselines:
+        kind = classify_baseline(path)
+        print(f"bench-guard: {path.name} -> {kind} check")
+        if kind == "engine":
+            rc = check_engine(path, args)
+        elif kind == "replay":
+            rc = check_replay_rss(path, args.replay_ceiling)
+        else:
+            print(
+                f"bench-guard: {path.name} has no recognizable baseline "
+                "shape (expected 'incremental' or 'peak_rss_bytes')"
+            )
+            rc = 2
+        worst = max(worst, rc)
+    return worst
 
 
 if __name__ == "__main__":

@@ -23,6 +23,12 @@ replay's footprint bounded by the window, not the trace.  CI re-runs a
 smaller replay and ``scripts/bench_guard.py --rss-ceiling`` fails the
 build if the recorded peak ever grows past the ceiling.
 
+The measurement body is the fabric runner ``replay_bench``
+(:mod:`repro.sweep.runners`); this script submits one spec through
+:func:`repro.sweep.run_grid`, so with ``--store`` a repeat invocation
+on unchanged code is a cache hit (useful when iterating on the guard,
+not the bench).
+
 Refresh the committed baseline (the 1M-task acceptance run) with::
 
     PYTHONPATH=src python scripts/bench_replay.py --jobs 18000
@@ -47,6 +53,46 @@ sys.path.insert(0, str(REPO / "src"))
 MEASURE_CEILING_MB = 16384
 
 
+def measure(jobs: int, max_live_tasks: int, seed: int) -> dict:
+    """Run one bounded-memory replay and return the bench record."""
+    from repro.cli import main as cli_main
+
+    with tempfile.TemporaryDirectory() as tmp:
+        stats_path = pathlib.Path(tmp) / "stats.json"
+        rc = cli_main(
+            [
+                "replay",
+                "--synthetic", str(jobs),
+                "--seed", str(seed),
+                "--max-live-tasks", str(max_live_tasks),
+                "--rss-ceiling-mb", str(MEASURE_CEILING_MB),
+                "--journal", str(pathlib.Path(tmp) / "run.journal"),
+                "--snapshot-dir", str(pathlib.Path(tmp) / "snaps"),
+                "--stats-out", str(stats_path),
+            ]
+        )
+        if rc != 0:
+            raise RuntimeError(f"replay exited {rc}")
+        stats = json.loads(stats_path.read_text())
+
+    tasks = int(stats["frontier"]["admitted_tasks"])
+    peak = int(stats["peak_rss_bytes"])
+    out = {
+        "jobs": jobs,
+        "tasks": tasks,
+        "seed": seed,
+        "wall_seconds": stats["wall_seconds"],
+        "tasks_per_s": stats["wall_tasks_per_s"],
+        "peak_rss_bytes": peak,
+        "peak_rss_mb": round(peak / (1024.0 * 1024.0), 1),
+        "max_live_tasks": max_live_tasks,
+        "frontier": stats["frontier"],
+    }
+    if "skips" in stats:
+        out["skips"] = stats["skips"]
+    return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -63,49 +109,38 @@ def main(argv: list[str] | None = None) -> int:
         "--out", type=pathlib.Path, default=REPO / "BENCH_replay.json",
         help="output JSON (default: repo-root BENCH_replay.json)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="optional sweep result store: identical re-runs on unchanged "
+        "code become cache hits (off by default — benches usually want "
+        "fresh wall-clock numbers)",
+    )
     args = parser.parse_args(argv)
 
-    from repro.cli import main as cli_main
+    from repro.sweep import RunSpec, SweepConfig, run_grid
 
-    with tempfile.TemporaryDirectory() as tmp:
-        stats_path = pathlib.Path(tmp) / "stats.json"
-        rc = cli_main(
-            [
-                "replay",
-                "--synthetic", str(args.jobs),
-                "--seed", str(args.seed),
-                "--max-live-tasks", str(args.max_live_tasks),
-                "--rss-ceiling-mb", str(MEASURE_CEILING_MB),
-                "--journal", str(pathlib.Path(tmp) / "run.journal"),
-                "--snapshot-dir", str(pathlib.Path(tmp) / "snaps"),
-                "--stats-out", str(stats_path),
-            ]
-        )
-        if rc != 0:
-            print(f"bench-replay: FAIL — replay exited {rc}", file=sys.stderr)
-            return 1
-        stats = json.loads(stats_path.read_text())
-
-    tasks = int(stats["frontier"]["admitted_tasks"])
-    peak = int(stats["peak_rss_bytes"])
-    out = {
-        "jobs": args.jobs,
-        "tasks": tasks,
-        "seed": args.seed,
-        "wall_seconds": stats["wall_seconds"],
-        "tasks_per_s": stats["wall_tasks_per_s"],
-        "peak_rss_bytes": peak,
-        "peak_rss_mb": round(peak / (1024.0 * 1024.0), 1),
-        "max_live_tasks": args.max_live_tasks,
-        "frontier": stats["frontier"],
-    }
-    if "skips" in stats:
-        out["skips"] = stats["skips"]
+    spec = RunSpec(
+        runner="replay_bench",
+        params={
+            "jobs": args.jobs,
+            "max_live_tasks": args.max_live_tasks,
+            "seed": args.seed,
+        },
+        label=f"replay_bench:{args.jobs}j",
+    )
+    report = run_grid([spec], SweepConfig(jobs=1, store=args.store))
+    record = report.records[0]
+    if record.status != "ok":
+        detail = (record.error or {}).get("message", record.status)
+        print(f"bench-replay: FAIL — {detail}", file=sys.stderr)
+        return 1
+    out = record.result
     args.out.write_text(json.dumps(out, indent=2) + "\n")
+    cached = " (cached)" if record.cached else ""
     print(
-        f"bench-replay: {tasks} tasks in {out['wall_seconds']:.1f}s "
+        f"bench-replay: {out['tasks']} tasks in {out['wall_seconds']:.1f}s "
         f"({out['tasks_per_s']:.0f} tasks/s), peak RSS {out['peak_rss_mb']} MB "
-        f"with a {args.max_live_tasks}-task window -> {args.out}"
+        f"with a {out['max_live_tasks']}-task window -> {args.out}{cached}"
     )
     return 0
 

@@ -68,32 +68,22 @@ sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
 import numpy as np
 
-from repro.baselines.fcfs import FCFSScheduler
-from repro.baselines.srpt import SRPTPreemption
 from repro.cluster.machine_specs import uniform_cluster
 from repro.config import (
     ChaosConfig,
     DSPConfig,
     FrontierConfig,
-    ResilienceConfig,
     ServiceConfig,
     SimConfig,
     SnapshotConfig,
     TenantQuota,
 )
 from repro.core.ilp_heuristic import HeuristicScheduler
-from repro.core.preemption import DSPPreemption
-from repro.core.scheduler import DSPScheduler
-from repro.experiments.harness import (
-    build_workload_for_cluster,
-    compute_level_deadlines,
-    workload_spec_for_cluster,
-)
+from repro.experiments.harness import workload_spec_for_cluster
 from repro.sim import (
     AttemptBudgetExhausted,
     FaultEvent,
     InvariantViolation,
-    NullPreemption,
     SimEngine,
     SimulatedCrash,
     SimulationError,
@@ -108,173 +98,64 @@ from repro.sim import (
 from repro.service import ServiceClient, ServiceCore, ServiceFrontend
 
 # --------------------------------------------------------------- case grid
+#
+# The seeded case model (scenario mixes, policy cycling, engine
+# construction, case execution) lives in repro.sweep.soakcases so the
+# sweep fabric can replay any case by RunKey; the names are re-exported
+# here because this script is their historical home and the test suite
+# imports them from it.
 
-#: Chaos scenario mixes, keyed by name.  Timescales are matched to the
-#: soak workloads (makespans of a few thousand seconds on 4-8 nodes).
-SCENARIOS: dict[str, ChaosConfig] = {
-    "none": ChaosConfig(),
-    "correlated": ChaosConfig(domains=2, domain_mtbf=2500.0, domain_mttr=120.0),
-    "bursts": ChaosConfig(
-        burst_mtbf=4000.0,
-        burst_mttr=120.0,
-        burst_factor=8.0,
-        burst_every=1200.0,
-        burst_duration=300.0,
-    ),
-    "straggler_wave": ChaosConfig(
-        wave_every=800.0, wave_fraction=0.4, wave_duration=300.0, wave_factor=0.3
-    ),
-    "task_fail_storm": ChaosConfig(
-        storm_every=900.0, storm_duration=300.0, storm_task_fails=5.0
-    ),
-    "partitions": ChaosConfig(partition_mtbf=2500.0, partition_duration=120.0),
-    "mixed": ChaosConfig(
-        domains=2,
-        domain_mtbf=5000.0,
-        domain_mttr=120.0,
-        wave_every=1500.0,
-        wave_fraction=0.3,
-        wave_duration=200.0,
-        wave_factor=0.4,
-        storm_every=1800.0,
-        storm_duration=200.0,
-        storm_task_fails=3.0,
-        partition_mtbf=5000.0,
-        partition_duration=100.0,
-    ),
-}
-
-SCENARIO_NAMES = tuple(SCENARIOS)
-POLICY_NAMES = ("dsp", "fcfs", "srpt")
-
-#: Generous budgets: the soak asserts invariants, not retry economics, so
-#: a budget abort under heavy injected chaos would only add noise.
-SOAK_RESILIENCE = ResilienceConfig(
-    max_attempts=50,
-    backoff_base=1.0,
-    backoff_cap=30.0,
-    timeout_factor=20.0,
-    speculation_threshold=0.5,
-    quarantine_threshold=0.75,
-    quarantine_duration=300.0,
+from repro.sweep import parallel_map  # noqa: E402
+from repro.sweep.soakcases import (  # noqa: E402, F401  (re-exports)
+    FAULT_HORIZON,
+    POLICY_NAMES,
+    SCENARIO_NAMES,
+    SCENARIOS,
+    SOAK_RESILIENCE,
+    Outcome,
+    SoakCase,
+    build_case,
+    case_inputs,
+    engine_args,
+    execute,
+    soak_run_key,
 )
 
-#: Horizon chaos events are drawn over; roughly the makespan scale of the
-#: soak workloads under faults.
-FAULT_HORIZON = 6000.0
+
+class OrderedReporter:
+    """Buffer out-of-order worker completions, handle them in case order.
+
+    The fabric's ``parallel_map`` fires ``on_complete`` in completion
+    order; soak output (and failure handling, which may run expensive
+    ddmin minimization) must happen in case order to stay byte-stable
+    with the serial harness.  ``handle(index, outcome)`` runs exactly
+    once per case, in index order.
+    """
+
+    def __init__(self, handle):
+        self._handle = handle
+        self._next = 0
+        self._buffered = {}
+
+    def add(self, index: int, outcome) -> None:
+        self._buffered[index] = outcome
+        while self._next in self._buffered:
+            self._handle(self._next, self._buffered.pop(self._next))
+            self._next += 1
 
 
-@dataclass(frozen=True)
-class SoakCase:
-    """One fully-seeded soak configuration."""
-
-    index: int
-    base_seed: int
-    scenario: str
-    policy: str
-    resilient: bool
-    num_nodes: int
-    num_jobs: int
-
-    def describe(self) -> dict:
-        return {
-            "index": self.index,
-            "base_seed": self.base_seed,
-            "scenario": self.scenario,
-            "policy": self.policy,
-            "resilient": self.resilient,
-            "num_nodes": self.num_nodes,
-            "num_jobs": self.num_jobs,
-        }
-
-
-def build_case(index: int, base_seed: int) -> SoakCase:
-    """Deterministic case for *index*: the scenario/policy/resilience axes
-    cycle at coprime periods (7, 3, 2) so 42 consecutive indices cover
-    every combination."""
-    return SoakCase(
-        index=index,
-        base_seed=base_seed,
-        scenario=SCENARIO_NAMES[index % len(SCENARIO_NAMES)],
-        policy=POLICY_NAMES[index % len(POLICY_NAMES)],
-        resilient=index % 2 == 0,
-        num_nodes=4 + 2 * (index % 3),
-        num_jobs=2 + index % 2,
-    )
-
-
-@dataclass(frozen=True)
-class Outcome:
-    """Result of one engine run: ``ok``, ``abort`` (attempt budget — a
-    tuning artifact, not a correctness failure) or ``fail``."""
-
-    status: str
-    error_type: str | None = None
-    invariant: str | None = None
-    message: str | None = None
-
-    def signature(self) -> tuple[str | None, str | None]:
-        return (self.error_type, self.invariant)
-
-
-def engine_args(case: SoakCase, workload, cluster, plan: list[FaultEvent]):
-    """Fresh ``(scheduler, kwargs)`` reconstructing *case*'s engine —
-    called once per engine build because schedulers carry cross-round
-    state.  :meth:`SimEngine.restore` takes the same pair, which is what
-    keeps the crash-recovery path honest: recovery rebuilds the engine
-    exactly the way the crashed process did."""
-    cfg = DSPConfig()
-    sim = SimConfig(invariants="strict")
-    deadlines = None
-    if case.policy == "dsp":
-        scheduler = DSPScheduler(cluster, cfg, ilp_task_limit=0)
-        policy = DSPPreemption(cfg)
-        deadlines = compute_level_deadlines(workload, cluster, cfg)
-    elif case.policy == "srpt":
-        scheduler = DSPScheduler(cluster, cfg, ilp_task_limit=0)
-        policy = SRPTPreemption(cfg)
-        deadlines = compute_level_deadlines(workload, cluster, cfg)
-    else:
-        scheduler = FCFSScheduler(cluster, cfg)
-        policy = NullPreemption()
-    kwargs = dict(
-        preemption=policy,
-        dsp_config=cfg,
-        sim_config=sim,
-        task_deadlines=deadlines,
-        dependency_aware_dispatch=policy.respects_dependencies,
-        faults=plan,
-        resilience=SOAK_RESILIENCE if case.resilient else None,
-    )
-    return scheduler, kwargs
-
-
-def execute(case: SoakCase, workload, cluster, plan: list[FaultEvent]) -> Outcome:
-    """Run one simulation for *case* under *plan* and classify the result."""
-    scheduler, kwargs = engine_args(case, workload, cluster, plan)
-    engine = SimEngine(cluster, workload.jobs, scheduler, **kwargs)
-    try:
-        engine.run()
-    except AttemptBudgetExhausted as exc:
-        return Outcome("abort", type(exc).__name__, None, str(exc))
-    except InvariantViolation as exc:
-        return Outcome("fail", "InvariantViolation", exc.name, str(exc))
-    except SimulationError as exc:
-        return Outcome("fail", type(exc).__name__, None, str(exc))
-    return Outcome("ok")
-
-
-def case_inputs(case: SoakCase):
-    """Build the (workload, cluster, plan) triple for *case*.  Everything
-    derives from ``default_rng([base_seed, index])`` so a case replays
-    bit-identically."""
-    rng = np.random.default_rng([case.base_seed, case.index])
-    cluster = uniform_cluster(case.num_nodes)
-    workload = build_workload_for_cluster(
-        case.num_jobs, cluster, seed=rng, scale=8.0
-    )
-    plan = chaos_plan(cluster, FAULT_HORIZON, SCENARIOS[case.scenario], rng=rng)
-    return workload, cluster, plan
+def _failure_outcome(outcome) -> Outcome:
+    """Fold a non-``ok`` fabric ``(status, payload)`` — a worker crash or
+    an interrupt — into a soak ``fail`` Outcome."""
+    status, payload = outcome[0], outcome[1]
+    if status == "error":
+        return Outcome(
+            "fail",
+            payload.get("type", "WorkerError"),
+            None,
+            payload.get("message"),
+        )
+    return Outcome("fail", "Interrupted", None, "run interrupted")
 
 
 # --------------------------------------------------------- crash recovery
@@ -425,20 +306,37 @@ def run_one_crash_case(
     return Outcome("ok")
 
 
-def run_crash_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
+def _crash_case_worker(item: tuple[int, int, str]):
+    index, base_seed, out_dir = item
+    case = build_case(index, base_seed)
+    workload, cluster, plan = case_inputs(case)
+    outcome = run_one_crash_case(
+        case, workload, cluster, plan, pathlib.Path(out_dir)
+    )
+    return case, len(plan), outcome
+
+
+def run_crash_soak(
+    runs: int, base_seed: int, out_dir: pathlib.Path, jobs: int = 1
+) -> int:
     """Crash-recovery sweep over the same case grid as the plain soak
     (chaos scenarios x policies x resilience on/off)."""
     failures = 0
     aborts = 0
-    for index in range(runs):
-        case = build_case(index, base_seed)
-        workload, cluster, plan = case_inputs(case)
-        outcome = run_one_crash_case(case, workload, cluster, plan, out_dir)
+
+    def handle(index: int, fabric) -> None:
+        nonlocal failures, aborts
+        if fabric[0] == "ok":
+            case, plan_len, outcome = fabric[1]
+        else:
+            case = build_case(index, base_seed)
+            plan_len = 0
+            outcome = _failure_outcome(fabric)
         tag = (
             f"[{index + 1:3d}/{runs}] {case.scenario:>15s} x {case.policy:<4s} "
             f"res={'on ' if case.resilient else 'off'} "
             f"nodes={case.num_nodes} jobs={case.num_jobs} "
-            f"plan={len(plan):3d}ev"
+            f"plan={plan_len:3d}ev"
         )
         if outcome.status == "ok":
             print(f"{tag} ok")
@@ -448,13 +346,25 @@ def run_crash_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
         else:
             failures += 1
             print(f"{tag} FAIL {outcome.error_type}: {outcome.message}")
-            if outcome.error_type != "CrashRecovery":
+            if fabric[0] == "ok" and outcome.error_type != "CrashRecovery":
                 minimal = minimize_case(case, outcome)
-                path = write_artifact(out_dir, case, outcome, minimal)
+                path = write_artifact(
+                    out_dir, case, outcome, minimal, mode="crash-recovery"
+                )
                 print(f"      repro written to {path}")
             else:
-                path = write_artifact(out_dir, case, outcome, [])
+                path = write_artifact(
+                    out_dir, case, outcome, [], mode="crash-recovery"
+                )
                 print(f"      journals + repro written to {path.parent}")
+
+    reporter = OrderedReporter(handle)
+    parallel_map(
+        _crash_case_worker,
+        [(index, base_seed, str(out_dir)) for index in range(runs)],
+        jobs=jobs,
+        on_complete=reporter.add,
+    )
     print(
         f"crash-recovery soak: {runs} runs, {failures} failures, "
         f"{aborts} aborts (seed={base_seed})"
@@ -681,6 +591,10 @@ def run_one_replay_case(case: ReplayCase, out_dir: pathlib.Path) -> Outcome:
                         "case": case.describe(),
                         "crash_at": crash_at,
                         "mismatches": mismatches,
+                        "run_key": soak_run_key(
+                            "replay", case.base_seed, case.index
+                        ).to_dict(),
+                        "rerun": _rerun_hint(out_dir / f"{stem}.json"),
                     },
                     indent=2,
                 )
@@ -695,12 +609,26 @@ def run_one_replay_case(case: ReplayCase, out_dir: pathlib.Path) -> Outcome:
     return Outcome("ok")
 
 
-def run_replay_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
+def _replay_case_worker(item: tuple[int, int, str]):
+    index, base_seed, out_dir = item
+    case = build_replay_case(index, base_seed)
+    outcome = run_one_replay_case(case, pathlib.Path(out_dir))
+    return case, outcome
+
+
+def run_replay_soak(
+    runs: int, base_seed: int, out_dir: pathlib.Path, jobs: int = 1
+) -> int:
     """Streaming-replay kill sweep over window/batch/slice combinations."""
     failures = 0
-    for index in range(runs):
-        case = build_replay_case(index, base_seed)
-        outcome = run_one_replay_case(case, out_dir)
+
+    def handle(index: int, fabric) -> None:
+        nonlocal failures
+        if fabric[0] == "ok":
+            case, outcome = fabric[1]
+        else:
+            case = build_replay_case(index, base_seed)
+            outcome = _failure_outcome(fabric)
         tag = (
             f"[{index + 1:3d}/{runs}] jobs={case.num_jobs} "
             f"nodes={case.num_nodes} window={case.max_live_tasks:3d} "
@@ -713,6 +641,14 @@ def run_replay_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
             failures += 1
             print(f"{tag} FAIL {outcome.error_type}: {outcome.message}")
             print(f"      journals + repro written to {out_dir}")
+
+    reporter = OrderedReporter(handle)
+    parallel_map(
+        _replay_case_worker,
+        [(index, base_seed, str(out_dir)) for index in range(runs)],
+        jobs=jobs,
+        on_complete=reporter.add,
+    )
     print(
         f"replay kill soak: {runs} runs, {failures} failures "
         f"(seed={base_seed})"
@@ -937,17 +873,37 @@ def _write_service_artifact(
         if src.exists():
             shutil.copy(src, out_dir / f"{stem}.{journal}")
     path = out_dir / f"{stem}.json"
-    path.write_text(json.dumps({"case": case.describe(), **detail}, indent=2) + "\n")
+    artifact = {
+        "case": case.describe(),
+        **detail,
+        "run_key": soak_run_key("service", case.base_seed, case.index).to_dict(),
+        "rerun": _rerun_hint(path),
+    }
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
     return path
 
 
-def run_service_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
+def _service_case_worker(item: tuple[int, int, str]):
+    index, base_seed, out_dir = item
+    case = build_service_case(index, base_seed)
+    outcome = run_one_service_case(case, pathlib.Path(out_dir))
+    return case, outcome
+
+
+def run_service_soak(
+    runs: int, base_seed: int, out_dir: pathlib.Path, jobs: int = 1
+) -> int:
     """Service-frontend sweep: chaos scenarios x fleet sizes x admission
     and pump rates, each checked against the zero-acked-loss contract."""
     failures = 0
-    for index in range(runs):
-        case = build_service_case(index, base_seed)
-        outcome = run_one_service_case(case, out_dir)
+
+    def handle(index: int, fabric) -> None:
+        nonlocal failures
+        if fabric[0] == "ok":
+            case, outcome = fabric[1]
+        else:
+            case = build_service_case(index, base_seed)
+            outcome = _failure_outcome(fabric)
         tag = (
             f"[{index + 1:3d}/{runs}] {case.scenario:>15s} "
             f"nodes={case.num_nodes} clients={case.num_clients} "
@@ -959,6 +915,14 @@ def run_service_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
             failures += 1
             print(f"{tag} FAIL {outcome.error_type}: {outcome.message}")
             print(f"      artifact + journals written to {out_dir}")
+
+    reporter = OrderedReporter(handle)
+    parallel_map(
+        _service_case_worker,
+        [(index, base_seed, str(out_dir)) for index in range(runs)],
+        jobs=jobs,
+        on_complete=reporter.add,
+    )
     print(f"service soak: {runs} runs, {failures} failures (seed={base_seed})")
     return 1 if failures else 0
 
@@ -1023,8 +987,18 @@ def minimize_case(case: SoakCase, failure: Outcome) -> list[FaultEvent]:
     return normalize_plan(minimal, cluster, keep_alive=False)
 
 
+def _rerun_hint(path: pathlib.Path) -> str:
+    """The one-liner replaying an artifact's case through the fabric."""
+    return f"PYTHONPATH=src python -m repro sweep --only {path}"
+
+
 def write_artifact(
-    out_dir: pathlib.Path, case: SoakCase, failure: Outcome, plan: list[FaultEvent]
+    out_dir: pathlib.Path,
+    case: SoakCase,
+    failure: Outcome,
+    plan: list[FaultEvent],
+    *,
+    mode: str = "plain",
 ) -> pathlib.Path:
     out_dir.mkdir(parents=True, exist_ok=True)
     path = out_dir / f"repro_case_{case.index:04d}.json"
@@ -1036,6 +1010,8 @@ def write_artifact(
             "message": failure.message,
         },
         "minimized_plan": plan_to_json(plan),
+        "run_key": soak_run_key(mode, case.base_seed, case.index).to_dict(),
+        "rerun": _rerun_hint(path),
     }
     path.write_text(json.dumps(artifact, indent=2) + "\n")
     return path
@@ -1044,34 +1020,64 @@ def write_artifact(
 # -------------------------------------------------------------------- main
 
 
-def run_soak(runs: int, base_seed: int, out_dir: pathlib.Path) -> int:
+def _plain_case_worker(item: tuple[int, int]):
+    index, base_seed = item
+    case = build_case(index, base_seed)
+    workload, cluster, plan = case_inputs(case)
+    outcome = execute(case, workload, cluster, plan)
+    return case, len(plan), outcome
+
+
+def run_soak(
+    runs: int, base_seed: int, out_dir: pathlib.Path, jobs: int = 1
+) -> int:
     failures = 0
     aborts = 0
-    for index in range(runs):
-        case = build_case(index, base_seed)
-        workload, cluster, plan = case_inputs(case)
-        outcome = execute(case, workload, cluster, plan)
+
+    def handle(index: int, fabric) -> None:
+        nonlocal failures, aborts
+        if fabric[0] == "ok":
+            case, plan_len, outcome = fabric[1]
+        else:
+            # Worker crash/interrupt: no simulator outcome to classify.
+            case = build_case(index, base_seed)
+            plan_len = 0
+            outcome = _failure_outcome(fabric)
         tag = (
             f"[{index + 1:3d}/{runs}] {case.scenario:>15s} x {case.policy:<4s} "
             f"res={'on ' if case.resilient else 'off'} "
             f"nodes={case.num_nodes} jobs={case.num_jobs} "
-            f"plan={len(plan):3d}ev"
+            f"plan={plan_len:3d}ev"
         )
         if outcome.status == "ok":
             print(f"{tag} ok")
-            continue
+            return
         if outcome.status == "abort":
             aborts += 1
             print(f"{tag} ABORT ({outcome.message})")
-            continue
+            return
         failures += 1
         print(f"{tag} FAIL {outcome.error_type} ({outcome.invariant})")
-        minimal = minimize_case(case, outcome)
-        path = write_artifact(out_dir, case, outcome, minimal)
-        print(
-            f"      minimized {len(plan)} -> {len(minimal)} events; "
-            f"repro written to {path}"
-        )
+        if fabric[0] == "ok":
+            # ddmin runs in the parent, in case order, while other
+            # workers keep draining the grid.
+            minimal = minimize_case(case, outcome)
+            path = write_artifact(out_dir, case, outcome, minimal)
+            print(
+                f"      minimized {plan_len} -> {len(minimal)} events; "
+                f"repro written to {path}"
+            )
+        else:
+            path = write_artifact(out_dir, case, outcome, [])
+            print(f"      worker died; repro written to {path}")
+
+    reporter = OrderedReporter(handle)
+    parallel_map(
+        _plain_case_worker,
+        [(index, base_seed) for index in range(runs)],
+        jobs=jobs,
+        on_complete=reporter.add,
+    )
     print(
         f"soak: {runs} runs, {failures} failures, {aborts} aborts "
         f"(seed={base_seed})"
@@ -1083,6 +1089,16 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--runs", type=int, default=50, help="number of cases")
     parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes via the sweep fabric executor (default 1 = "
+            "serial).  Cases are fully seeded, so parallel runs produce "
+            "the same outcomes and the same case-ordered output"
+        ),
+    )
     parser.add_argument(
         "--out",
         type=pathlib.Path,
@@ -1123,17 +1139,19 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     if args.runs < 1:
         parser.error("--runs must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
     if sum((args.crash_recovery, args.service, args.replay)) > 1:
         parser.error(
             "--crash-recovery, --service and --replay are mutually exclusive"
         )
     if args.replay:
-        return run_replay_soak(args.runs, args.seed, args.out)
+        return run_replay_soak(args.runs, args.seed, args.out, jobs=args.jobs)
     if args.service:
-        return run_service_soak(args.runs, args.seed, args.out)
+        return run_service_soak(args.runs, args.seed, args.out, jobs=args.jobs)
     if args.crash_recovery:
-        return run_crash_soak(args.runs, args.seed, args.out)
-    return run_soak(args.runs, args.seed, args.out)
+        return run_crash_soak(args.runs, args.seed, args.out, jobs=args.jobs)
+    return run_soak(args.runs, args.seed, args.out, jobs=args.jobs)
 
 
 if __name__ == "__main__":

@@ -93,6 +93,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--out", type=str, default=None, metavar="FILE.json",
             help="also save the sweep as JSON (reload with load_figure)",
         )
+        sp.add_argument(
+            "--parallel", type=int, default=1, metavar="N",
+            help="fan the grid out over N fabric worker processes "
+            "(default 1 = serial; results are byte-identical either way)",
+        )
+        sp.add_argument(
+            "--cache", type=str, default=None, metavar="DIR",
+            help="content-addressed result store: unchanged grid points "
+            "become cache hits on re-runs",
+        )
 
     sp5 = sub.add_parser("fig5", help="Fig. 5: makespan vs #jobs, 4 schedulers")
     sp5.add_argument("--profile", choices=("cluster", "ec2"), default="cluster")
@@ -309,6 +319,92 @@ def build_parser() -> argparse.ArgumentParser:
     spa.add_argument("--values", type=float, nargs="+", default=None)
     spa.add_argument("--jobs", type=int, default=30)
     spa.add_argument("--seed", type=int, default=7)
+
+    spw = sub.add_parser(
+        "sweep",
+        help="run a scheduler x seed grid through the parallel sweep "
+        "fabric (content-addressed caching, hit/miss accounting)",
+    )
+    spw.add_argument(
+        "--kind", choices=("scheduling", "preemption"), default="scheduling",
+        help="which runner each grid point uses (default scheduling)",
+    )
+    spw.add_argument(
+        "--methods", nargs="+", default=None, metavar="NAME",
+        help="method labels (default: every method for --kind)",
+    )
+    spw.add_argument(
+        "--seeds", type=int, nargs="+", default=[0, 1, 2, 3, 4],
+        help="workload seeds; the grid is methods x seeds (default 0..4)",
+    )
+    spw.add_argument(
+        "--num-jobs", type=int, default=12,
+        help="jobs per workload at each grid point (default 12)",
+    )
+    spw.add_argument(
+        "--profile", choices=("cluster", "ec2", "uniform"), default="cluster",
+    )
+    spw.add_argument(
+        "--nodes", type=int, default=4,
+        help="node count for --profile uniform (default 4)",
+    )
+    spw.add_argument("--node-scale", type=float, default=5.0)
+    spw.add_argument("--scale", type=float, default=20.0)
+    spw.add_argument("--demand-fraction", type=float, default=0.8)
+    spw.add_argument(
+        "--jobs", dest="workers", type=int, default=1, metavar="N",
+        help="fabric worker processes (default 1 = serial; parallel "
+        "results are byte-identical to serial)",
+    )
+    spw.add_argument(
+        "--store", default="sweep_store", metavar="DIR",
+        help="content-addressed result store (default sweep_store)",
+    )
+    spw.add_argument(
+        "--no-store", action="store_true", help="disable result caching"
+    )
+    spw.add_argument(
+        "--stats-dir", default=None, metavar="DIR",
+        help="per-run gzip JSONL stats directory "
+        "(default <store>/stats; see 'repro dash')",
+    )
+    spw.add_argument(
+        "--no-stats", action="store_true", help="disable per-run stats"
+    )
+    spw.add_argument(
+        "--refresh", action="store_true",
+        help="ignore cached results and recompute the whole grid",
+    )
+    spw.add_argument(
+        "--max-entries", type=int, default=0,
+        help="store eviction bound, oldest first (default 0 = unbounded)",
+    )
+    spw.add_argument(
+        "--out", default=None, metavar="FILE.json",
+        help="write the aggregated grid results (canonical JSON — "
+        "byte-identical across serial and parallel execution)",
+    )
+    spw.add_argument(
+        "--only", default=None, metavar="KEY",
+        help="run one spec instead of a grid: a RunKey digest prefix "
+        "resolved in --store, or a path to a JSON file bearing a "
+        "run_key (e.g. a soak repro artifact)",
+    )
+
+    spd = sub.add_parser(
+        "dash",
+        help="render utilization/queue/preemption-churn dashboards from "
+        "sweep run-stats files",
+    )
+    spd.add_argument(
+        "paths", nargs="+", metavar="PATH",
+        help="stats files (*.stats.jsonl.gz) or directories of them",
+    )
+    spd.add_argument(
+        "--out", default=None, metavar="FILE.html",
+        help="also write a static HTML dashboard (inline SVG, no deps)",
+    )
+    spd.add_argument("--title", default="repro dash")
 
     return p
 
@@ -746,6 +842,166 @@ def _serve(args) -> int:
     return 0
 
 
+def _sweep_specs(args) -> list:
+    """Build the methods x seeds grid of RunSpecs for ``repro sweep``."""
+    from .sweep import RunSpec
+
+    methods = args.methods
+    if methods is None:
+        methods = list(
+            SCHEDULER_NAMES if args.kind == "scheduling" else PREEMPTION_NAMES
+        )
+    specs = []
+    for method in methods:
+        for seed in args.seeds:
+            params = {
+                "profile": args.profile,
+                "num_jobs": args.num_jobs,
+                "method": method,
+                "scale": args.scale,
+                "seed": int(seed),
+                "demand_fraction": args.demand_fraction,
+            }
+            if args.profile == "uniform":
+                params["nodes"] = args.nodes
+            else:
+                params["node_scale"] = args.node_scale
+            specs.append(
+                RunSpec(
+                    runner=args.kind,
+                    params=params,
+                    label=f"{method}/seed{seed}",
+                )
+            )
+    return specs
+
+
+def _resolve_only(key: str, store_dir: str | None):
+    """Turn ``--only`` (digest prefix or artifact path) into a RunSpec."""
+    import json as _json
+    import os
+
+    from .sweep import ResultStore, RunSpec
+
+    if os.path.exists(key):
+        payload = _json.loads(open(key).read())
+        ref = payload.get("run_key", payload)
+        if "runner" not in ref or "params" not in ref:
+            raise ValueError(f"{key} carries no run_key (runner + params)")
+        return RunSpec(
+            runner=ref["runner"], params=dict(ref["params"]),
+            label=f"only:{os.path.basename(key)}", cache=False,
+        )
+    if store_dir:
+        entry = ResultStore(store_dir).find(key)
+        if entry is not None:
+            return RunSpec(
+                runner=entry["runner"], params=dict(entry["params"]),
+                label=f"only:{key}", cache=False,
+            )
+    raise ValueError(
+        f"--only {key!r}: not a file, and no unique store entry matches"
+    )
+
+
+def _sweep_cmd(args) -> int:
+    """The ``repro sweep`` command body."""
+    import json as _json
+
+    from .sweep import SweepConfig, run_grid
+
+    store = None if args.no_store else args.store
+    stats_dir = None if args.no_stats else (
+        args.stats_dir or (f"{store}/stats" if store else None)
+    )
+
+    if args.only is not None:
+        try:
+            specs = [_resolve_only(args.only, store)]
+        except (ValueError, OSError, KeyError) as exc:
+            print(f"sweep: {exc}", file=sys.stderr)
+            return 2
+    else:
+        specs = _sweep_specs(args)
+
+    def show(record) -> None:
+        if record.cached:
+            verdict = "hit "
+        elif record.status == "ok":
+            verdict = "run "
+        else:
+            verdict = record.status[:4].upper()
+        print(f"[{verdict}] {record.key.short} {record.spec.display()}")
+
+    report = run_grid(
+        specs,
+        SweepConfig(
+            jobs=args.workers,
+            store=store,
+            stats_dir=stats_dir,
+            refresh=args.refresh,
+            max_entries=args.max_entries,
+        ),
+        on_record=show,
+    )
+    for record in report.records:
+        if record.status == "error":
+            detail = (record.error or {}).get("message", "")
+            print(
+                f"sweep: {record.spec.display()} failed: {detail}",
+                file=sys.stderr,
+            )
+    print(report.format_accounting())
+
+    if args.out:
+        # Canonical aggregate: params + results only, in spec order — no
+        # paths, timestamps or completion order, so a parallel run's file
+        # is byte-identical to the serial one.
+        agg = {
+            "schema": 1,
+            "runs": [
+                {
+                    "label": record.spec.label,
+                    "digest": record.key.digest,
+                    "runner": record.spec.runner,
+                    "params": record.spec.params,
+                    "status": record.status,
+                    "result": record.result,
+                }
+                for record in report.records
+            ],
+        }
+        with open(args.out, "w") as fh:
+            _json.dump(agg, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"aggregate written to {args.out}")
+    elif args.only is not None and report.records[0].status == "ok":
+        print(_json.dumps(report.records[0].result, indent=2, sort_keys=True))
+    if stats_dir:
+        print(f"run stats in {stats_dir} (render with: repro dash {stats_dir})")
+    return 0 if report.ok else 1
+
+
+def _dash_cmd(args) -> int:
+    """The ``repro dash`` command body."""
+    from .sweep.dash import load_runs, render_html, render_terminal
+
+    try:
+        runs = load_runs(args.paths)
+    except OSError as exc:
+        print(f"dash: {exc}", file=sys.stderr)
+        return 2
+    if not runs:
+        print("dash: no stats files found", file=sys.stderr)
+        return 2
+    print(render_terminal(runs))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(render_html(runs, title=args.title))
+        print(f"dashboard written to {args.out}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -754,6 +1010,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         fig = fig5_makespan(
             args.profile, args.jobs, scale=args.scale,
             node_scale=args.node_scale, seed=args.seed,
+            parallel=args.parallel, store=args.cache,
         )
         print(figure_report(fig, ("makespan",)))
         _maybe_save(fig, args)
@@ -762,6 +1019,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         fig = fig6_fig7_preemption(
             profile, args.jobs, scale=args.scale,
             node_scale=args.node_scale, seed=args.seed,
+            parallel=args.parallel, store=args.cache,
         )
         print(figure_report(fig, _FIG6_METRICS))
         _maybe_save(fig, args)
@@ -769,9 +1027,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         fig = fig8_scalability(
             args.jobs, scale=max(args.scale, 40.0),
             node_scale=args.node_scale, seed=args.seed,
+            parallel=args.parallel, store=args.cache,
         )
         print(figure_report(fig, _FIG8_METRICS))
         _maybe_save(fig, args)
+    elif args.command == "sweep":
+        return _sweep_cmd(args)
+    elif args.command == "dash":
+        return _dash_cmd(args)
     elif args.command == "run":
         return _run(args)
     elif args.command == "replay":

@@ -21,18 +21,11 @@ from ..cluster.cluster import Cluster
 from ..cluster.machine_specs import ec2_cluster, palmetto_cluster
 from ..config import DSPConfig, SimConfig
 from ..sim.metrics import RunMetrics
-from .harness import (
-    PREEMPTION_NAMES,
-    SCHEDULER_NAMES,
-    build_workload_for_cluster,
-    make_preemption_policies,
-    make_schedulers,
-    run_preemption,
-    run_scheduling,
-)
+from .harness import PREEMPTION_NAMES, SCHEDULER_NAMES
 
 __all__ = [
     "FigureSeries",
+    "SweepRunError",
     "default_config",
     "default_sim_config",
     "cluster_profile",
@@ -117,19 +110,48 @@ def _metrics_row(m: RunMetrics) -> dict[str, float]:
     return {k: d[k] for k in _METRICS}
 
 
+class SweepRunError(RuntimeError):
+    """A grid point failed inside the sweep fabric; carries the worker
+    error record so the original traceback is not lost."""
+
+
 def _sweep(
     job_counts: Sequence[int],
     methods: Sequence[str],
-    run_one: Callable[[int, str], RunMetrics],
+    make_spec: Callable[[int, str], "RunSpec"],
+    *,
+    parallel: int = 1,
+    store: str | None = None,
+    stats_dir: str | None = None,
 ) -> dict[str, dict[str, tuple[float, ...]]]:
+    """Run the (job count x method) grid through the sweep fabric.
+
+    ``make_spec(n, method)`` names a registered runner + params for one
+    grid point.  ``parallel=1`` (the default, and what the figure tests
+    exercise) runs serially in-process; higher values fan out over
+    fork-isolated workers with byte-identical results.  With ``store``
+    set, unchanged grid points are cache hits.
+    """
+    from ..sweep import SweepConfig, run_grid
+
+    grid = [(n, method) for n in job_counts for method in methods]
+    specs = [make_spec(n, method) for n, method in grid]
+    report = run_grid(
+        specs,
+        SweepConfig(jobs=parallel, store=store, stats_dir=stats_dir),
+    )
     acc: dict[str, dict[str, list[float]]] = {
         m: {k: [] for k in _METRICS} for m in methods
     }
-    for n in job_counts:
-        for method in methods:
-            row = _metrics_row(run_one(n, method))
-            for k, v in row.items():
-                acc[method][k].append(v)
+    for (n, method), record in zip(grid, report.records):
+        if record.status != "ok":
+            detail = (record.error or {}).get("traceback") or record.status
+            raise SweepRunError(
+                f"sweep point {record.spec.display()} "
+                f"(n={n}, method={method!r}) failed:\n{detail}"
+            )
+        for k in _METRICS:
+            acc[method][k].append(record.result[k])
     return {
         m: {k: tuple(vs) for k, vs in per.items()} for m, per in acc.items()
     }
@@ -143,22 +165,35 @@ def fig5_makespan(
     node_scale: float = 5.0,
     seed: int = 7,
     demand_fraction: float = 0.8,
+    parallel: int = 1,
+    store: str | None = None,
+    stats_dir: str | None = None,
 ) -> FigureSeries:
     """Fig. 5(a)/(b): makespan vs number of jobs for the four scheduling
     methods, on the 'cluster' or 'ec2' profile."""
+    from ..sweep import RunSpec
+
     cluster = cluster_profile(profile, node_scale)
-    cfg = default_config()
-    sim = default_sim_config()
 
-    def run_one(n: int, method: str) -> RunMetrics:
-        workload = build_workload_for_cluster(
-            n, cluster, scale=scale, seed=seed + n, config=cfg,
-            demand_fraction=demand_fraction,
+    def make_spec(n: int, method: str) -> RunSpec:
+        return RunSpec(
+            runner="scheduling",
+            params={
+                "profile": profile,
+                "node_scale": node_scale,
+                "num_jobs": n,
+                "method": method,
+                "scale": scale,
+                "seed": seed + n,
+                "demand_fraction": demand_fraction,
+            },
+            label=f"fig5/{method}@{n}",
         )
-        scheduler = make_schedulers(cluster, cfg)[method]
-        return run_scheduling(workload, cluster, scheduler, config=cfg, sim_config=sim)
 
-    series = _sweep(job_counts, SCHEDULER_NAMES, run_one)
+    series = _sweep(
+        job_counts, SCHEDULER_NAMES, make_spec,
+        parallel=parallel, store=store, stats_dir=stats_dir,
+    )
     sub = "a" if profile == "cluster" else "b"
     return FigureSeries(
         figure=f"fig5{sub}",
@@ -183,26 +218,39 @@ def fig6_fig7_preemption(
     node_scale: float = 5.0,
     seed: int = 7,
     demand_fraction: float = 0.8,
+    parallel: int = 1,
+    store: str | None = None,
+    stats_dir: str | None = None,
 ) -> FigureSeries:
     """Figs. 6/7 (a–d): disorders, throughput, waiting time and preemption
     counts vs number of jobs for the five preemption methods.
 
     ``profile='cluster'`` reproduces Fig. 6, ``'ec2'`` Fig. 7.
     """
+    from ..sweep import RunSpec
+
     cluster = cluster_profile(profile, node_scale)
-    cfg = default_config()
-    sim = default_sim_config()
-
-    def run_one(n: int, method: str) -> RunMetrics:
-        workload = build_workload_for_cluster(
-            n, cluster, scale=scale, seed=seed + n, config=cfg,
-            demand_fraction=demand_fraction,
-        )
-        policy = make_preemption_policies(cfg)[method]
-        return run_preemption(workload, cluster, policy, config=cfg, sim_config=sim)
-
-    series = _sweep(job_counts, PREEMPTION_NAMES, run_one)
     fig = "fig6" if profile == "cluster" else "fig7"
+
+    def make_spec(n: int, method: str) -> RunSpec:
+        return RunSpec(
+            runner="preemption",
+            params={
+                "profile": profile,
+                "node_scale": node_scale,
+                "num_jobs": n,
+                "method": method,
+                "scale": scale,
+                "seed": seed + n,
+                "demand_fraction": demand_fraction,
+            },
+            label=f"{fig}/{method}@{n}",
+        )
+
+    series = _sweep(
+        job_counts, PREEMPTION_NAMES, make_spec,
+        parallel=parallel, store=store, stats_dir=stats_dir,
+    )
     return FigureSeries(
         figure=fig,
         x_label="number of jobs",
@@ -225,6 +273,9 @@ def fig8_scalability(
     node_scale: float = 5.0,
     seed: int = 7,
     demand_fraction: float = 0.8,
+    parallel: int = 1,
+    store: str | None = None,
+    stats_dir: str | None = None,
 ) -> FigureSeries:
     """Fig. 8(a)/(b): DSP's makespan and throughput as the job count grows
     large, on both cluster profiles.
@@ -233,24 +284,31 @@ def fig8_scalability(
     large sweeps stay laptop-sized; the scalability *trend* (sub-linear
     makespan growth, flattening throughput) is scale-invariant.
     """
-    cfg = default_config()
-    sim = default_sim_config()
+    from ..sweep import RunSpec
+
     series: dict[str, dict[str, tuple[float, ...]]] = {}
     for profile in ("cluster", "ec2"):
-        cluster = cluster_profile(profile, node_scale)
-
-        def run_one(n: int, method: str) -> RunMetrics:
-            workload = build_workload_for_cluster(
-                n, cluster, scale=scale, seed=seed + n, config=cfg,
-                demand_fraction=demand_fraction,
-            )
-            scheduler = make_schedulers(cluster, cfg)["DSP"]
-            return run_scheduling(
-                workload, cluster, scheduler, config=cfg, sim_config=sim
-            )
-
         label = "Real cluster" if profile == "cluster" else "Amazon EC2"
-        series[label] = _sweep(job_counts, (label,), lambda n, _m: run_one(n, "DSP"))[label]
+
+        def make_spec(n: int, _method: str, profile: str = profile) -> RunSpec:
+            return RunSpec(
+                runner="scheduling",
+                params={
+                    "profile": profile,
+                    "node_scale": node_scale,
+                    "num_jobs": n,
+                    "method": "DSP",
+                    "scale": scale,
+                    "seed": seed + n,
+                    "demand_fraction": demand_fraction,
+                },
+                label=f"fig8/{profile}@{n}",
+            )
+
+        series[label] = _sweep(
+            job_counts, (label,), make_spec,
+            parallel=parallel, store=store, stats_dir=stats_dir,
+        )[label]
     return FigureSeries(
         figure="fig8",
         x_label="number of jobs",

@@ -177,11 +177,15 @@ def run_scheduling(
     *,
     config: DSPConfig | None = None,
     sim_config: SimConfig | None = None,
+    observe: Callable[[SimEngine], None] | None = None,
 ) -> RunMetrics:
     """§V-A run: one scheduling method, no preemption.
 
     The dispatch discipline follows the scheduler's own semantics
     (TetrisW/oDep dispatches dependency-blind, everyone else runnable-only).
+    ``observe`` receives the constructed engine before it runs — the seam
+    external subscribers (e.g. the sweep fabric's StatsSampler) attach
+    through without the harness knowing about them.
     """
     reset = getattr(scheduler, "reset", None)
     if callable(reset):
@@ -195,6 +199,8 @@ def run_scheduling(
         sim_config=sim_config,
         dependency_aware_dispatch=getattr(scheduler, "respects_dependencies", True),
     )
+    if observe is not None:
+        observe(engine)
     return engine.run()
 
 
@@ -206,11 +212,13 @@ def run_preemption(
     config: DSPConfig | None = None,
     sim_config: SimConfig | None = None,
     max_preemptions_per_task: int = 25,
+    observe: Callable[[SimEngine], None] | None = None,
 ) -> RunMetrics:
     """§V-B run: DSP's initial schedule + one preemption policy.
 
     Per-task deadlines come from the level rule so DSP's urgency logic (and
     Natjam's deadline tie-break) see the quantities the paper defines.
+    ``observe`` is the same pre-run engine seam as in :func:`run_scheduling`.
     """
     cfg = config or DSPConfig()
     scheduler = DSPScheduler(cluster, cfg, ilp_task_limit=0)
@@ -225,4 +233,6 @@ def run_preemption(
         dependency_aware_dispatch=policy.respects_dependencies,
         max_preemptions_per_task=max_preemptions_per_task,
     )
+    if observe is not None:
+        observe(engine)
     return engine.run()

@@ -19,6 +19,8 @@ from .figures import FigureSeries
 __all__ = [
     "figure_to_json",
     "figure_from_json",
+    "figure_to_payload",
+    "figure_from_payload",
     "save_figure",
     "load_figure",
     "metrics_to_dict",
@@ -28,9 +30,9 @@ __all__ = [
 _SCHEMA_VERSION = 1
 
 
-def figure_to_json(fig: FigureSeries) -> str:
-    """Serialize a figure sweep to a JSON string."""
-    payload = {
+def figure_to_payload(fig: FigureSeries) -> dict[str, Any]:
+    """FigureSeries → plain JSON tree (what the sweep fabric stores)."""
+    return {
         "schema": _SCHEMA_VERSION,
         "figure": fig.figure,
         "x_label": fig.x_label,
@@ -41,12 +43,15 @@ def figure_to_json(fig: FigureSeries) -> str:
         },
         "meta": dict(fig.meta),
     }
-    return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def figure_from_json(text: str) -> FigureSeries:
-    """Inverse of :func:`figure_to_json`; validates the schema version."""
-    payload = json.loads(text)
+def figure_to_json(fig: FigureSeries) -> str:
+    """Serialize a figure sweep to a JSON string."""
+    return json.dumps(figure_to_payload(fig), indent=2, sort_keys=True)
+
+
+def figure_from_payload(payload: dict[str, Any]) -> FigureSeries:
+    """Inverse of :func:`figure_to_payload`; validates the schema version."""
     schema = payload.get("schema")
     if schema != _SCHEMA_VERSION:
         raise ValueError(f"unsupported results schema {schema!r}")
@@ -60,6 +65,11 @@ def figure_from_json(text: str) -> FigureSeries:
         },
         meta=payload.get("meta", {}),
     )
+
+
+def figure_from_json(text: str) -> FigureSeries:
+    """Inverse of :func:`figure_to_json`."""
+    return figure_from_payload(json.loads(text))
 
 
 def save_figure(fig: FigureSeries, path: str | Path) -> Path:

@@ -16,7 +16,12 @@ import numpy as np
 
 from .figures import FigureSeries
 
-__all__ = ["TrialAggregate", "aggregate_trials", "order_stability"]
+__all__ = [
+    "TrialAggregate",
+    "aggregate_trials",
+    "aggregate_figure_trials",
+    "order_stability",
+]
 
 
 class TrialAggregate:
@@ -48,6 +53,54 @@ def aggregate_trials(
     if not seeds:
         raise ValueError("aggregate_trials needs at least one seed")
     figs = [runner(seed) for seed in seeds]
+    return _aggregate(figs, seeds)
+
+
+def aggregate_figure_trials(
+    figure: str,
+    seeds: Sequence[int],
+    *,
+    parallel: int = 1,
+    store: str | None = None,
+    **figure_kwargs,
+) -> TrialAggregate:
+    """Fabric-routed :func:`aggregate_trials`: one ``figure`` runner spec
+    per seed through :func:`repro.sweep.run_grid`.
+
+    ``figure`` is ``fig5``/``fig6``/``fig7``/``fig8``;
+    ``figure_kwargs`` (``profile``, ``job_counts``, ``scale``, ...)
+    become run params.  ``parallel`` fans seeds out over worker
+    processes; ``store`` caches per-seed figures so adding one seed to
+    an aggregated sweep recomputes one run, not all of them.
+    """
+    from ..sweep import RunSpec, SweepConfig, run_grid
+    from .results_io import figure_from_payload
+
+    if not seeds:
+        raise ValueError("aggregate_figure_trials needs at least one seed")
+    specs = [
+        RunSpec(
+            runner="figure",
+            params={"figure": figure, "seed": int(seed), **figure_kwargs},
+            label=f"{figure}/seed{seed}",
+        )
+        for seed in seeds
+    ]
+    report = run_grid(specs, SweepConfig(jobs=parallel, store=store))
+    figs = []
+    for record in report.records:
+        if record.status != "ok":
+            detail = (record.error or {}).get("traceback") or record.status
+            raise RuntimeError(
+                f"trial {record.spec.display()} failed:\n{detail}"
+            )
+        figs.append(figure_from_payload(record.result))
+    return _aggregate(figs, seeds)
+
+
+def _aggregate(
+    figs: Sequence[FigureSeries], seeds: Sequence[int]
+) -> TrialAggregate:
     first = figs[0]
     for fig in figs[1:]:
         if fig.x != first.x or set(fig.series) != set(first.series):

@@ -1,0 +1,47 @@
+"""Parallel sweep fabric: run specs, executor, result store, run stats.
+
+Every evaluation artifact in this repo — the paper figures, the chaos
+soaks, the replay benches — is a sweep over a scheduler x cluster x
+chaos x seed grid.  This package gives those callers one substrate:
+
+* :mod:`repro.sweep.runspec` — a canonical, content-addressed
+  :class:`RunKey` for each grid point (runner name + canonical-JSON
+  params + code fingerprint) and the :class:`RunSpec` submitted to the
+  executor.
+* :mod:`repro.sweep.executor` — :func:`parallel_map` (fork-isolated
+  worker pool, deterministic result ordering, per-run crash quarantine,
+  SIGINT-safe drain) and :func:`run_grid` (cache-aware grid execution
+  with hit/miss accounting).
+* :mod:`repro.sweep.store` — the content-addressed :class:`ResultStore`
+  keyed by RunKey hash; re-running a grid computes only the delta.
+* :mod:`repro.sweep.stats` — :class:`StatsSampler`, a bus subscriber
+  that samples per-epoch utilization/queue/preemption-churn rows to
+  gzip JSONL, feeding the ``repro dash`` renderer in
+  :mod:`repro.sweep.dash`.
+* :mod:`repro.sweep.runners` — the registry of named runner functions
+  a RunSpec refers to ("scheduling", "preemption", "figure", "soak",
+  "replay_bench").
+
+Parallel execution is byte-identical to serial: workers receive the
+same specs, seeds derive from the spec alone, and aggregation happens
+in spec order regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from .executor import GridReport, RunRecord, SweepConfig, parallel_map, run_grid
+from .runspec import RunKey, RunSpec, canonical_json, code_fingerprint
+from .store import ResultStore
+
+__all__ = [
+    "GridReport",
+    "ResultStore",
+    "RunKey",
+    "RunRecord",
+    "RunSpec",
+    "SweepConfig",
+    "canonical_json",
+    "code_fingerprint",
+    "parallel_map",
+    "run_grid",
+]

@@ -1,0 +1,176 @@
+"""Run-stats dashboard: terminal panels and dependency-free HTML.
+
+Reads the gzip JSONL files written by
+:class:`~repro.sweep.stats.StatsSampler` and renders four panels —
+utilization, queue depth, preemption churn, frontier-window occupancy
+— either as unicode charts in the terminal (reusing the experiments'
+ascii plotter) or as a single static HTML file with inline SVG
+polylines (no JS frameworks, no external assets; ``file://`` safe).
+One dashboard can overlay many runs, e.g. every run of a sweep grid.
+"""
+
+from __future__ import annotations
+
+import html
+import pathlib
+from typing import Any, Sequence
+
+from ..experiments.ascii_plot import ascii_chart, sparkline
+from .stats import STATS_SUFFIX, read_stats
+
+#: panel title -> (sample field, y-axis label)
+PANELS: tuple[tuple[str, str, str], ...] = (
+    ("Utilization", "util_cpu", "CPU busy fraction (alive nodes)"),
+    ("Queue depth", "queued", "tasks queued on nodes"),
+    ("Preemption churn", "preempt_churn", "preemptions per epoch"),
+    ("Window occupancy", "live_tasks", "live tasks in frontier window"),
+)
+
+_SVG_COLORS = (
+    "#1f77b4", "#d62728", "#2ca02c", "#ff7f0e", "#9467bd",
+    "#8c564b", "#e377c2", "#17becf", "#bcbd22", "#7f7f7f",
+)
+
+
+def collect_stats_files(paths: Sequence[str]) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted list of stats files."""
+    out: list[pathlib.Path] = []
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            out.extend(sorted(path.glob(f"*{STATS_SUFFIX}")))
+        else:
+            out.append(path)
+    return out
+
+
+def load_runs(paths: Sequence[str]) -> list[dict[str, Any]]:
+    """Load stats files → [{label, meta, rows}], skipping empty runs."""
+    runs = []
+    for path in collect_stats_files(paths):
+        meta, rows = read_stats(str(path))
+        if not rows:
+            continue
+        label = meta.get("label") or path.name[: -len(STATS_SUFFIX)][:12]
+        runs.append({"label": label, "meta": meta, "rows": rows})
+    return runs
+
+
+def _series(run: dict[str, Any], fieldname: str) -> tuple[list[float], list[float]]:
+    xs = [float(row.get("t", i)) for i, row in enumerate(run["rows"])]
+    ys = [float(row.get(fieldname, 0.0)) for row in run["rows"]]
+    return xs, ys
+
+
+def render_terminal(runs: Sequence[dict[str, Any]], *, width: int = 64) -> str:
+    """All panels as unicode text; one chart per panel, runs overlaid."""
+    if not runs:
+        return "dash: no samples found"
+    lines: list[str] = []
+    for title, fieldname, ylabel in PANELS:
+        lines.append(f"== {title} ({ylabel}) ==")
+        if len(runs) == 1:
+            xs, ys = _series(runs[0], fieldname)
+            lines.append(f"  {runs[0]['label']}: {sparkline(ys)}")
+            lines.append(
+                f"  min {min(ys):.3g}  max {max(ys):.3g}  last {ys[-1]:.3g}"
+            )
+        else:
+            # Overlay on the longest run's time base; ascii_chart aligns
+            # by index so pad shorter runs with their own last value.
+            longest = max(runs, key=lambda r: len(r["rows"]))
+            xs, _ = _series(longest, fieldname)
+            series = {}
+            for run in runs:
+                _, ys = _series(run, fieldname)
+                if len(ys) < len(xs):
+                    ys = ys + [ys[-1]] * (len(xs) - len(ys))
+                series[run["label"]] = ys
+            lines.append(ascii_chart(xs, series, width=width, title=""))
+        lines.append("")
+    return "\n".join(lines)
+
+
+def _svg_panel(
+    runs: Sequence[dict[str, Any]],
+    fieldname: str,
+    title: str,
+    ylabel: str,
+    *,
+    width: int = 460,
+    height: int = 180,
+) -> str:
+    pad = 8
+    all_pts = []
+    for run in runs:
+        xs, ys = _series(run, fieldname)
+        if xs:
+            all_pts.append((xs, ys))
+    if not all_pts:
+        return f"<div class='panel'><h3>{html.escape(title)}</h3><p>no data</p></div>"
+    x_lo = min(min(xs) for xs, _ in all_pts)
+    x_hi = max(max(xs) for xs, _ in all_pts)
+    y_lo = min(min(ys) for _, ys in all_pts)
+    y_hi = max(max(ys) for _, ys in all_pts)
+    if x_hi - x_lo < 1e-12:
+        x_hi = x_lo + 1.0
+    if y_hi - y_lo < 1e-12:
+        y_hi = y_lo + 1.0
+
+    def sx(x: float) -> float:
+        return pad + (x - x_lo) / (x_hi - x_lo) * (width - 2 * pad)
+
+    def sy(y: float) -> float:
+        return height - pad - (y - y_lo) / (y_hi - y_lo) * (height - 2 * pad)
+
+    polys = []
+    legend = []
+    for i, run in enumerate(runs):
+        xs, ys = _series(run, fieldname)
+        if not xs:
+            continue
+        color = _SVG_COLORS[i % len(_SVG_COLORS)]
+        points = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+        polys.append(
+            f"<polyline fill='none' stroke='{color}' stroke-width='1.5' "
+            f"points='{points}'/>"
+        )
+        legend.append(
+            f"<span style='color:{color}'>&#9632; "
+            f"{html.escape(run['label'])}</span>"
+        )
+    return (
+        "<div class='panel'>"
+        f"<h3>{html.escape(title)}</h3>"
+        f"<p class='ylabel'>{html.escape(ylabel)} &middot; "
+        f"y [{y_lo:.3g}, {y_hi:.3g}] &middot; t [{x_lo:.3g}, {x_hi:.3g}]</p>"
+        f"<svg viewBox='0 0 {width} {height}' width='{width}' height='{height}'>"
+        f"<rect width='{width}' height='{height}' fill='#fafafa' "
+        "stroke='#ccc'/>" + "".join(polys) + "</svg>"
+        f"<p class='legend'>{' '.join(legend)}</p>"
+        "</div>"
+    )
+
+
+def render_html(runs: Sequence[dict[str, Any]], *, title: str = "repro dash") -> str:
+    """One static HTML page with an SVG panel per metric."""
+    panels = "\n".join(
+        _svg_panel(runs, fieldname, panel_title, ylabel)
+        for panel_title, fieldname, ylabel in PANELS
+    )
+    n = len(runs)
+    samples = sum(len(run["rows"]) for run in runs)
+    return f"""<!doctype html>
+<html><head><meta charset="utf-8"><title>{html.escape(title)}</title>
+<style>
+ body {{ font-family: system-ui, sans-serif; margin: 1.5rem; }}
+ .panel {{ display: inline-block; vertical-align: top;
+           margin: 0 1rem 1rem 0; }}
+ .panel h3 {{ margin: 0 0 0.2rem 0; }}
+ .ylabel, .legend {{ font-size: 0.8rem; color: #555; margin: 0.2rem 0; }}
+</style></head><body>
+<h1>{html.escape(title)}</h1>
+<p>{n} run(s), {samples} epoch samples.</p>
+{panels}
+</body></html>
+"""

@@ -1,0 +1,325 @@
+"""Multiprocessing sweep executor with cache-aware grid runs.
+
+Two layers:
+
+* :func:`parallel_map` — the raw pool.  Each item runs in its own
+  forked worker process (true per-run isolation: a hard crash — segv,
+  ``os._exit``, OOM kill — is quarantined to an error record instead of
+  wedging the pool), results come back over a pipe, and the returned
+  list is in *item order* regardless of completion order.  The first
+  SIGINT stops launching new work and drains in-flight runs (workers
+  ignore SIGINT so they can finish); a second SIGINT terminates them.
+  With ``jobs <= 1`` everything runs in-process, serially — that path
+  is the behavioral reference the parallel path must match byte for
+  byte.
+
+* :func:`run_grid` — resolves each :class:`RunSpec` against the
+  content-addressed :class:`~repro.sweep.store.ResultStore`, executes
+  only the misses through :func:`parallel_map`, caches fresh ``ok``
+  results (never errors), and reports hit/miss accounting.
+
+Determinism: a run's behavior depends only on its spec (seeds live in
+``params``), so fork-per-run parallelism cannot reorder or perturb
+results — only wall-clock.  The parity test in ``tests/test_sweep.py``
+holds this line.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import pathlib
+import signal
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing import connection
+from typing import Any, Callable, Iterable, Sequence
+
+from .runspec import RunKey, RunSpec, code_fingerprint
+from .store import ResultStore
+
+#: Outcome tuples produced for every item: status first, payload second.
+OK = "ok"
+ERROR = "error"
+INTERRUPTED = "interrupted"
+
+Outcome = tuple  # (status, payload)
+
+
+@dataclass(frozen=True)
+class SweepConfig:
+    """Execution knobs for one grid submission (see docs/tuning.md)."""
+
+    #: Worker processes; 1 = serial in-process (the reference path).
+    jobs: int = 1
+    #: Result-store directory; ``None`` disables caching.
+    store: str | None = None
+    #: Per-run gzip JSONL stats directory; ``None`` disables sampling.
+    stats_dir: str | None = None
+    #: Ignore cached entries and recompute (fresh results still stored).
+    refresh: bool = False
+    #: Store eviction bound (oldest-first); 0 = unbounded.
+    max_entries: int = 0
+
+
+@dataclass
+class RunRecord:
+    """One grid point's outcome, in spec order."""
+
+    spec: RunSpec
+    key: RunKey
+    status: str  # "ok" | "error" | "interrupted"
+    result: Any = None
+    error: dict[str, Any] | None = None
+    cached: bool = False
+
+
+@dataclass
+class GridReport:
+    """What :func:`run_grid` hands back: records + hit/miss accounting."""
+
+    records: list[RunRecord] = field(default_factory=list)
+    hits: int = 0
+    computed: int = 0
+    errors: int = 0
+    interrupted: int = 0
+    store_accounting: dict[str, int] | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.errors == 0 and self.interrupted == 0
+
+    def results(self) -> list[Any]:
+        return [record.result for record in self.records]
+
+    def format_accounting(self) -> str:
+        parts = [
+            f"{len(self.records)} runs",
+            f"{self.hits} cache hits",
+            f"{self.computed} computed",
+        ]
+        if self.errors:
+            parts.append(f"{self.errors} errors")
+        if self.interrupted:
+            parts.append(f"{self.interrupted} interrupted")
+        return "sweep: " + ", ".join(parts)
+
+
+def _error_info(exc: BaseException) -> dict[str, Any]:
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": traceback.format_exc(),
+    }
+
+
+def _child_main(fn: Callable[[Any], Any], item: Any, conn) -> None:
+    """Worker entry: run one item, ship the outcome, exit.
+
+    SIGINT is ignored so a Ctrl-C in the parent's terminal (delivered
+    to the whole process group) lets in-flight runs drain; the parent
+    escalates to SIGTERM on a second interrupt.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    try:
+        outcome: Outcome = (OK, fn(item))
+    except BaseException as exc:  # noqa: BLE001 — quarantined, not swallowed
+        outcome = (ERROR, _error_info(exc))
+    try:
+        conn.send(outcome)
+    except (BrokenPipeError, OSError):
+        pass
+    conn.close()
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    *,
+    jobs: int = 1,
+    on_complete: Callable[[int, Outcome], None] | None = None,
+) -> list[Outcome]:
+    """Map ``fn`` over ``items`` with per-item process isolation.
+
+    Returns one ``(status, payload)`` outcome per item, **in item
+    order**: ``("ok", value)``, ``("error", info)`` where ``info`` has
+    ``type``/``message``/``traceback``, or ``("interrupted", None)``.
+    ``on_complete(index, outcome)`` fires in *completion* order as
+    results land — callers wanting ordered streaming buffer on top.
+    """
+    items = list(items)
+    results: list[Outcome | None] = [None] * len(items)
+    if jobs <= 1:
+        try:
+            for i, item in enumerate(items):
+                try:
+                    outcome: Outcome = (OK, fn(item))
+                except KeyboardInterrupt:
+                    raise
+                except BaseException as exc:  # noqa: BLE001
+                    outcome = (ERROR, _error_info(exc))
+                results[i] = outcome
+                if on_complete is not None:
+                    on_complete(i, outcome)
+        except KeyboardInterrupt:
+            pass
+        return [r if r is not None else (INTERRUPTED, None) for r in results]
+
+    ctx = multiprocessing.get_context("fork")
+    pending = deque(enumerate(items))
+    inflight: dict[Any, tuple[int, Any]] = {}  # conn -> (index, process)
+
+    def settle(conn, index: int, proc) -> None:
+        """Collect one worker's outcome (or synthesize a crash record)."""
+        outcome: Outcome
+        try:
+            outcome = conn.recv()
+        except (EOFError, OSError):
+            proc.join()
+            outcome = (
+                ERROR,
+                {
+                    "type": "WorkerCrash",
+                    "message": f"worker exited with code {proc.exitcode} "
+                    "before reporting a result",
+                    "traceback": "",
+                },
+            )
+        conn.close()
+        proc.join()
+        results[index] = outcome
+        if on_complete is not None:
+            on_complete(index, outcome)
+
+    def reap_ready(timeout: float | None) -> None:
+        for conn in connection.wait(list(inflight), timeout=timeout):
+            index, proc = inflight.pop(conn)
+            settle(conn, index, proc)
+
+    launching = True
+    try:
+        while pending or inflight:
+            while launching and pending and len(inflight) < jobs:
+                index, item = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_child_main, args=(fn, item, child_conn), daemon=True
+                )
+                proc.start()
+                child_conn.close()
+                inflight[parent_conn] = (index, proc)
+            if inflight:
+                reap_ready(timeout=None)
+            elif not launching:
+                break
+    except KeyboardInterrupt:
+        # First interrupt: stop launching, drain what is already running.
+        launching = False
+        while pending:
+            index, _ = pending.popleft()
+            results[index] = (INTERRUPTED, None)
+        try:
+            while inflight:
+                reap_ready(timeout=None)
+        except KeyboardInterrupt:
+            # Second interrupt: stop waiting, terminate the stragglers.
+            for conn, (index, proc) in inflight.items():
+                proc.terminate()
+                proc.join()
+                conn.close()
+                results[index] = (INTERRUPTED, None)
+            inflight.clear()
+    return [r if r is not None else (INTERRUPTED, None) for r in results]
+
+
+def _execute_item(item: tuple[RunSpec, str | None]) -> Any:
+    """Run one grid point through its registered runner (worker side)."""
+    from . import runners  # local import: workers pull callers lazily
+
+    spec, stats_path = item
+    fn = runners.get_runner(spec.runner)
+    return fn(dict(spec.params), stats_path=stats_path)
+
+
+def run_grid(
+    specs: Sequence[RunSpec],
+    config: SweepConfig | None = None,
+    *,
+    on_record: Callable[[RunRecord], None] | None = None,
+) -> GridReport:
+    """Execute a grid of specs, computing only the cache misses.
+
+    Records come back in spec order.  Only ``ok`` results are written
+    to the store (a cached failure would mask a fixed bug); specs with
+    ``cache=False`` always execute.  ``on_record`` fires once per run
+    as its outcome is known — cached hits first, then computed runs in
+    completion order.
+    """
+    config = config or SweepConfig()
+    specs = list(specs)
+    fingerprint = code_fingerprint()
+    keys = [spec.key(fingerprint) for spec in specs]
+    store = (
+        ResultStore(config.store, max_entries=config.max_entries)
+        if config.store
+        else None
+    )
+    report = GridReport(records=[None] * len(specs))  # type: ignore[list-item]
+
+    todo: list[int] = []
+    for i, (spec, key) in enumerate(zip(specs, keys)):
+        cached = None
+        if store is not None and spec.cache and not config.refresh:
+            cached = store.get(key)
+        if cached is not None:
+            record = RunRecord(spec, key, OK, result=cached, cached=True)
+            report.records[i] = record
+            report.hits += 1
+            if on_record is not None:
+                on_record(record)
+        else:
+            todo.append(i)
+
+    stats_dir = pathlib.Path(config.stats_dir) if config.stats_dir else None
+    if stats_dir is not None and todo:
+        stats_dir.mkdir(parents=True, exist_ok=True)
+
+    def stats_path(key: RunKey) -> str | None:
+        if stats_dir is None:
+            return None
+        return str(stats_dir / f"{key.digest}.stats.jsonl.gz")
+
+    work = [(specs[i], stats_path(keys[i])) for i in todo]
+
+    def finish(local_index: int, outcome: Outcome) -> None:
+        i = todo[local_index]
+        spec, key = specs[i], keys[i]
+        status, payload = outcome[0], outcome[1]
+        if status == OK:
+            record = RunRecord(spec, key, OK, result=payload)
+            report.computed += 1
+            if store is not None and spec.cache:
+                store.put(key, payload)
+        elif status == ERROR:
+            record = RunRecord(spec, key, ERROR, error=payload)
+            report.computed += 1
+            report.errors += 1
+        else:
+            record = RunRecord(spec, key, INTERRUPTED)
+            report.interrupted += 1
+        report.records[i] = record
+        if on_record is not None:
+            on_record(record)
+
+    if work:
+        parallel_map(_execute_item, work, jobs=config.jobs, on_complete=finish)
+        # Anything parallel_map gave up on (double SIGINT) still needs a
+        # record so the report stays index-aligned.
+        for i in todo:
+            if report.records[i] is None:  # type: ignore[comparison-overlap]
+                report.records[i] = RunRecord(specs[i], keys[i], INTERRUPTED)
+                report.interrupted += 1
+
+    if store is not None:
+        report.store_accounting = store.accounting()
+    return report

@@ -1,0 +1,152 @@
+"""Canonical run specifications and content-addressed run keys.
+
+A grid point is identified by three things: the *runner* (a registered
+function name, see :mod:`repro.sweep.runners`), its *params* (a JSON
+tree of scheduler/cluster/chaos/seed knobs), and the *fingerprint* of
+the code that will execute it.  :func:`canonical_json` makes the params
+hashable in a representation-independent way — dict insertion order,
+float spelling (``1e1`` vs ``10.0``) and ``-0.0`` must not change the
+key — and :class:`RunKey` folds the three into one sha256 content
+address used by the result store.
+
+The code fingerprint covers every ``*.py`` file under the ``repro``
+package, so any source change invalidates cached results wholesale.
+That is deliberately coarse: stale results are a correctness bug,
+a cold cache is just a slow first run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import pathlib
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Any, Mapping
+
+SCHEMA_VERSION = 1
+
+_JSON_SCALARS = (str, int, bool, type(None))
+
+
+def _canonical(obj: Any) -> Any:
+    """Normalize ``obj`` into a tree whose JSON dump is representation-free."""
+    if isinstance(obj, bool) or obj is None or isinstance(obj, str):
+        return obj
+    if isinstance(obj, int):
+        return obj
+    if isinstance(obj, float):
+        if not math.isfinite(obj):
+            raise ValueError(f"non-finite float {obj!r} is not a valid run param")
+        # Integral floats hash like the int they equal (json spells 2.0
+        # and 2 differently; the sweep treats scale=2 and scale=2.0 as
+        # the same grid point).  int(-0.0) == 0, so this also collapses
+        # the sign bit of zero.
+        if obj.is_integer() and abs(obj) < 2**53:
+            return int(obj)
+        return obj
+    if isinstance(obj, Mapping):
+        out = {}
+        for key in obj:
+            if not isinstance(key, str):
+                raise TypeError(f"run param keys must be str, got {key!r}")
+            out[key] = _canonical(obj[key])
+        return out
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    raise TypeError(f"unsupported run param type {type(obj).__name__}: {obj!r}")
+
+
+def canonical_json(obj: Any) -> str:
+    """Dump ``obj`` as canonical JSON: sorted keys, compact, no NaN.
+
+    Two params dicts that differ only in dict ordering, tuple-vs-list,
+    ``-0.0`` vs ``0.0`` or integral-float spelling produce identical
+    strings — and therefore identical :class:`RunKey` hashes.
+    """
+    return json.dumps(
+        _canonical(obj), sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """sha256 over every ``*.py`` source file of the ``repro`` package.
+
+    The digest folds in each file's package-relative path, so moving
+    code invalidates the cache just like editing it.
+    """
+    root = pathlib.Path(__file__).resolve().parent.parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        digest.update(rel.encode())
+        digest.update(b"\0")
+        digest.update(path.read_bytes())
+        digest.update(b"\0")
+    return digest.hexdigest()
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Content address of one grid point: runner + canonical params + code."""
+
+    runner: str
+    params_json: str
+    fingerprint: str
+
+    @classmethod
+    def make(
+        cls, runner: str, params: Mapping[str, Any], fingerprint: str | None = None
+    ) -> "RunKey":
+        return cls(
+            runner=runner,
+            params_json=canonical_json(params),
+            fingerprint=code_fingerprint() if fingerprint is None else fingerprint,
+        )
+
+    @property
+    def digest(self) -> str:
+        payload = "\0".join((str(SCHEMA_VERSION), self.runner,
+                             self.params_json, self.fingerprint))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    @property
+    def short(self) -> str:
+        return self.digest[:12]
+
+    @property
+    def params(self) -> dict[str, Any]:
+        return json.loads(self.params_json)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEMA_VERSION,
+            "runner": self.runner,
+            "params": self.params,
+            "fingerprint": self.fingerprint,
+            "digest": self.digest,
+        }
+
+
+@dataclass
+class RunSpec:
+    """One unit of work submitted to the sweep executor.
+
+    ``params`` is the *semantic* identity of the run — everything that
+    changes the result belongs in it, and nothing else.  ``label`` and
+    ``cache`` are bookkeeping: they affect display and store policy but
+    never the RunKey.
+    """
+
+    runner: str
+    params: dict[str, Any] = field(default_factory=dict)
+    label: str = ""
+    cache: bool = True
+
+    def key(self, fingerprint: str | None = None) -> RunKey:
+        return RunKey.make(self.runner, self.params, fingerprint)
+
+    def display(self) -> str:
+        return self.label or f"{self.runner}:{self.key().short}"

@@ -1,0 +1,285 @@
+"""The seeded soak case grid, as a library.
+
+Historically this lived inside ``scripts/soak.py``; it moved into the
+package so the sweep fabric can re-execute any soak case by
+:class:`~repro.sweep.runspec.RunKey` (``repro sweep --only <key>`` /
+``--only repro_case_NNNN.json``) without shelling out to the script.
+``scripts/soak.py`` re-exports every name below, so existing callers
+and tests are unaffected.
+
+Every case is fully determined by ``(base_seed, index)``: the
+scenario/policy/resilience axes cycle at coprime periods and all
+randomness derives from ``default_rng([base_seed, index])``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..baselines.fcfs import FCFSScheduler
+from ..baselines.srpt import SRPTPreemption
+from ..cluster.machine_specs import uniform_cluster
+from ..config import ChaosConfig, DSPConfig, ResilienceConfig, SimConfig
+from ..core.preemption import DSPPreemption
+from ..core.scheduler import DSPScheduler
+from ..experiments.harness import (
+    build_workload_for_cluster,
+    compute_level_deadlines,
+)
+from ..sim import (
+    AttemptBudgetExhausted,
+    FaultEvent,
+    InvariantViolation,
+    NullPreemption,
+    SimEngine,
+    SimulationError,
+    chaos_plan,
+)
+from .runspec import RunKey
+
+# --------------------------------------------------------------- case grid
+
+#: Chaos scenario mixes, keyed by name.  Timescales are matched to the
+#: soak workloads (makespans of a few thousand seconds on 4-8 nodes).
+SCENARIOS: dict[str, ChaosConfig] = {
+    "none": ChaosConfig(),
+    "correlated": ChaosConfig(domains=2, domain_mtbf=2500.0, domain_mttr=120.0),
+    "bursts": ChaosConfig(
+        burst_mtbf=4000.0,
+        burst_mttr=120.0,
+        burst_factor=8.0,
+        burst_every=1200.0,
+        burst_duration=300.0,
+    ),
+    "straggler_wave": ChaosConfig(
+        wave_every=800.0, wave_fraction=0.4, wave_duration=300.0, wave_factor=0.3
+    ),
+    "task_fail_storm": ChaosConfig(
+        storm_every=900.0, storm_duration=300.0, storm_task_fails=5.0
+    ),
+    "partitions": ChaosConfig(partition_mtbf=2500.0, partition_duration=120.0),
+    "mixed": ChaosConfig(
+        domains=2,
+        domain_mtbf=5000.0,
+        domain_mttr=120.0,
+        wave_every=1500.0,
+        wave_fraction=0.3,
+        wave_duration=200.0,
+        wave_factor=0.4,
+        storm_every=1800.0,
+        storm_duration=200.0,
+        storm_task_fails=3.0,
+        partition_mtbf=5000.0,
+        partition_duration=100.0,
+    ),
+}
+
+SCENARIO_NAMES = tuple(SCENARIOS)
+POLICY_NAMES = ("dsp", "fcfs", "srpt")
+
+#: Generous budgets: the soak asserts invariants, not retry economics, so
+#: a budget abort under heavy injected chaos would only add noise.
+SOAK_RESILIENCE = ResilienceConfig(
+    max_attempts=50,
+    backoff_base=1.0,
+    backoff_cap=30.0,
+    timeout_factor=20.0,
+    speculation_threshold=0.5,
+    quarantine_threshold=0.75,
+    quarantine_duration=300.0,
+)
+
+#: Horizon chaos events are drawn over; roughly the makespan scale of the
+#: soak workloads under faults.
+FAULT_HORIZON = 6000.0
+
+
+@dataclass(frozen=True)
+class SoakCase:
+    """One fully-seeded soak configuration."""
+
+    index: int
+    base_seed: int
+    scenario: str
+    policy: str
+    resilient: bool
+    num_nodes: int
+    num_jobs: int
+
+    def describe(self) -> dict:
+        return {
+            "index": self.index,
+            "base_seed": self.base_seed,
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "resilient": self.resilient,
+            "num_nodes": self.num_nodes,
+            "num_jobs": self.num_jobs,
+        }
+
+
+def build_case(index: int, base_seed: int) -> SoakCase:
+    """Deterministic case for *index*: the scenario/policy/resilience axes
+    cycle at coprime periods (7, 3, 2) so 42 consecutive indices cover
+    every combination."""
+    return SoakCase(
+        index=index,
+        base_seed=base_seed,
+        scenario=SCENARIO_NAMES[index % len(SCENARIO_NAMES)],
+        policy=POLICY_NAMES[index % len(POLICY_NAMES)],
+        resilient=index % 2 == 0,
+        num_nodes=4 + 2 * (index % 3),
+        num_jobs=2 + index % 2,
+    )
+
+
+@dataclass(frozen=True)
+class Outcome:
+    """Result of one engine run: ``ok``, ``abort`` (attempt budget — a
+    tuning artifact, not a correctness failure) or ``fail``."""
+
+    status: str
+    error_type: str | None = None
+    invariant: str | None = None
+    message: str | None = None
+
+    def signature(self) -> tuple[str | None, str | None]:
+        return (self.error_type, self.invariant)
+
+    def describe(self) -> dict:
+        return {
+            "status": self.status,
+            "error_type": self.error_type,
+            "invariant": self.invariant,
+            "message": self.message,
+        }
+
+
+def engine_args(case: SoakCase, workload, cluster, plan: list[FaultEvent]):
+    """Fresh ``(scheduler, kwargs)`` reconstructing *case*'s engine —
+    called once per engine build because schedulers carry cross-round
+    state.  :meth:`SimEngine.restore` takes the same pair, which is what
+    keeps the crash-recovery path honest: recovery rebuilds the engine
+    exactly the way the crashed process did."""
+    cfg = DSPConfig()
+    sim = SimConfig(invariants="strict")
+    deadlines = None
+    if case.policy == "dsp":
+        scheduler = DSPScheduler(cluster, cfg, ilp_task_limit=0)
+        policy = DSPPreemption(cfg)
+        deadlines = compute_level_deadlines(workload, cluster, cfg)
+    elif case.policy == "srpt":
+        scheduler = DSPScheduler(cluster, cfg, ilp_task_limit=0)
+        policy = SRPTPreemption(cfg)
+        deadlines = compute_level_deadlines(workload, cluster, cfg)
+    else:
+        scheduler = FCFSScheduler(cluster, cfg)
+        policy = NullPreemption()
+    kwargs = dict(
+        preemption=policy,
+        dsp_config=cfg,
+        sim_config=sim,
+        task_deadlines=deadlines,
+        dependency_aware_dispatch=policy.respects_dependencies,
+        faults=plan,
+        resilience=SOAK_RESILIENCE if case.resilient else None,
+    )
+    return scheduler, kwargs
+
+
+def execute(case: SoakCase, workload, cluster, plan: list[FaultEvent]) -> Outcome:
+    """Run one simulation for *case* under *plan* and classify the result."""
+    scheduler, kwargs = engine_args(case, workload, cluster, plan)
+    engine = SimEngine(cluster, workload.jobs, scheduler, **kwargs)
+    try:
+        engine.run()
+    except AttemptBudgetExhausted as exc:
+        return Outcome("abort", type(exc).__name__, None, str(exc))
+    except InvariantViolation as exc:
+        return Outcome("fail", "InvariantViolation", exc.name, str(exc))
+    except SimulationError as exc:
+        return Outcome("fail", type(exc).__name__, None, str(exc))
+    return Outcome("ok")
+
+
+def case_inputs(case: SoakCase):
+    """Build the (workload, cluster, plan) triple for *case*.  Everything
+    derives from ``default_rng([base_seed, index])`` so a case replays
+    bit-identically."""
+    rng = np.random.default_rng([case.base_seed, case.index])
+    cluster = uniform_cluster(case.num_nodes)
+    workload = build_workload_for_cluster(
+        case.num_jobs, cluster, seed=rng, scale=8.0
+    )
+    plan = chaos_plan(cluster, FAULT_HORIZON, SCENARIOS[case.scenario], rng=rng)
+    return workload, cluster, plan
+
+
+# ----------------------------------------------------------- fabric bridge
+
+
+def soak_run_key(mode: str, base_seed: int, index: int) -> RunKey:
+    """The fabric RunKey identifying one soak case — what failure
+    artifacts embed so ``repro sweep --only <key>`` replays the case."""
+    return RunKey.make(
+        "soak", {"mode": mode, "base_seed": base_seed, "index": index}
+    )
+
+
+def run_soak_params(params: dict[str, Any]) -> dict[str, Any]:
+    """The ``"soak"`` runner body: re-execute one case from its params.
+
+    ``mode`` selects the harness: ``plain`` runs in-library; the
+    crash/replay/service modes delegate to ``scripts/soak.py`` (loaded
+    by path) with artifacts routed to ``params["out"]`` or a temp dir.
+    """
+    mode = params.get("mode", "plain")
+    base_seed = int(params["base_seed"])
+    index = int(params["index"])
+    if mode == "plain":
+        case = build_case(index, base_seed)
+        workload, cluster, plan = case_inputs(case)
+        outcome = execute(case, workload, cluster, plan)
+        return {
+            "case": case.describe(),
+            "plan_events": len(plan),
+            "outcome": outcome.describe(),
+        }
+
+    import importlib.util
+    import pathlib
+    import tempfile
+
+    script = (
+        pathlib.Path(__file__).resolve().parents[3] / "scripts" / "soak.py"
+    )
+    spec = importlib.util.spec_from_file_location("repro_soak_script", script)
+    if spec is None or spec.loader is None:  # pragma: no cover
+        raise RuntimeError(f"cannot load soak harness from {script}")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        out_dir = pathlib.Path(params.get("out") or tmp)
+        if mode == "crash-recovery":
+            case = build_case(index, base_seed)
+            workload, cluster, plan = case_inputs(case)
+            outcome = module.run_one_crash_case(
+                case, workload, cluster, plan, out_dir
+            )
+            described = {"case": case.describe(), "plan_events": len(plan)}
+        elif mode == "replay":
+            case = module.build_replay_case(index, base_seed)
+            outcome = module.run_one_replay_case(case, out_dir)
+            described = {"case": case.describe()}
+        elif mode == "service":
+            case = module.build_service_case(index, base_seed)
+            outcome = module.run_one_service_case(case, out_dir)
+            described = {"case": case.describe()}
+        else:
+            raise ValueError(f"unknown soak mode {mode!r}")
+    described["outcome"] = outcome.describe()
+    return described

@@ -1,0 +1,137 @@
+"""Per-epoch run-stats sampler: bus subscriber → gzip JSONL.
+
+:class:`StatsSampler` attaches to a live engine's event bus (the
+``engine.runtime.bus`` seam — no engine changes needed) and, on every
+:class:`~repro.sim.kernel.EpochTick`, samples one JSON row of
+cluster-level observables: CPU/memory utilization over alive nodes,
+run-queue depth, preemption churn (per-epoch delta of the cumulative
+counter), and frontier-window occupancy (live vs retired tasks).
+
+The file is gzip JSONL with ``mtime=0`` in the gzip header, so a rerun
+of the same run produces byte-identical stats — the same property every
+other artifact in this repo keeps.  First line is a ``meta`` record;
+every following line is a ``sample``.  ``repro dash``
+(:mod:`repro.sweep.dash`) renders one or many of these files.
+"""
+
+from __future__ import annotations
+
+import gzip
+import json
+from typing import IO, TYPE_CHECKING, Any
+
+from ..sim.kernel import EpochTick
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..sim.engine import SimEngine
+
+SCHEMA_VERSION = 1
+STATS_SUFFIX = ".stats.jsonl.gz"
+
+
+class StatsSampler:
+    """Subscribe to a run's bus and stream per-epoch samples to a file.
+
+    Usage::
+
+        sampler = StatsSampler(engine, path, label="DSP/seed7")
+        try:
+            engine.run()
+        finally:
+            sampler.close()
+    """
+
+    def __init__(
+        self,
+        engine: "SimEngine",
+        path: str,
+        *,
+        label: str = "",
+        meta: dict[str, Any] | None = None,
+    ) -> None:
+        self._rt = engine.runtime
+        self._path = path
+        self._fh: IO[bytes] | None = gzip.GzipFile(
+            path, mode="wb", mtime=0  # fixed header time: byte-stable reruns
+        )
+        self._last_preemptions = 0
+        self._last_completed = 0
+        header = {
+            "record": "meta",
+            "schema": SCHEMA_VERSION,
+            "label": label,
+            "epoch": self._rt.sim_config.epoch,
+            "meta": meta or {},
+        }
+        self._write(header)
+        self._rt.bus.subscribe(EpochTick, self._on_epoch)
+
+    def _write(self, row: dict[str, Any]) -> None:
+        if self._fh is None:
+            return
+        line = json.dumps(row, sort_keys=True, separators=(",", ":"))
+        self._fh.write(line.encode() + b"\n")
+
+    def _on_epoch(self, event: EpochTick) -> None:
+        rt = self._rt
+        state = rt.state
+        cap_cpu = cap_mem = used_cpu = used_mem = 0.0
+        running = queued = 0
+        nodes_up = 0
+        for node in state.nodes.values():
+            if not node.alive:
+                continue
+            nodes_up += 1
+            cap = node.spec.capacity
+            cap_cpu += cap.cpu
+            cap_mem += cap.mem
+            used_cpu += cap.cpu - node.free.cpu
+            used_mem += cap.mem - node.free.mem
+            running += len(node.running)
+            queued += node.queue_length
+        preemptions = rt.metrics.num_preemptions
+        completed = state.completed_tasks + state.retired_tasks
+        row = {
+            "record": "sample",
+            "t": event.time,
+            "pops": rt.kernel.pops,
+            "util_cpu": used_cpu / cap_cpu if cap_cpu else 0.0,
+            "util_mem": used_mem / cap_mem if cap_mem else 0.0,
+            "nodes_up": nodes_up,
+            "nodes_total": len(state.nodes),
+            "running": running,
+            "queued": queued,
+            "live_tasks": len(state.tasks),
+            "retired_tasks": state.retired_tasks,
+            "completed": completed,
+            "completed_delta": completed - self._last_completed,
+            "preemptions": preemptions,
+            "preempt_churn": preemptions - self._last_preemptions,
+            "disorders": rt.metrics.num_disorders,
+        }
+        self._last_preemptions = preemptions
+        self._last_completed = completed
+        self._write(row)
+
+    def close(self) -> None:
+        """Flush and close the stats file (idempotent)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+
+def read_stats(path: str) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Load one stats file → (meta record, sample rows)."""
+    meta: dict[str, Any] = {}
+    rows: list[dict[str, Any]] = []
+    with gzip.open(path, "rt") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            if row.get("record") == "meta":
+                meta = row
+            elif row.get("record") == "sample":
+                rows.append(row)
+    return meta, rows

@@ -1,0 +1,134 @@
+"""Content-addressed result store for sweep runs.
+
+Entries live as ``<dir>/<digest>.json`` where the digest is the
+:class:`~repro.sweep.runspec.RunKey` sha256 — runner name, canonical
+params and code fingerprint all participate, so a source edit or a
+changed knob is automatically a miss.  The store is a cache, not a
+database: corrupt entries are quarantined and treated as misses,
+eviction drops the oldest entries first, and losing the directory
+costs recompute time, never correctness.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from typing import Any
+
+from .runspec import SCHEMA_VERSION, RunKey
+
+ENTRY_SUFFIX = ".json"
+
+
+class ResultStore:
+    """Filesystem-backed content-addressed cache of run results.
+
+    Parameters
+    ----------
+    directory:
+        Root of the store; created on first write.
+    max_entries:
+        Soft bound on stored entries.  After each ``put`` the oldest
+        entries (by mtime) beyond the bound are evicted.  ``0`` means
+        unbounded.
+    """
+
+    def __init__(self, directory: str | os.PathLike[str], max_entries: int = 0):
+        self.directory = pathlib.Path(directory)
+        self.max_entries = int(max_entries)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        self.evicted = 0
+
+    def path_for(self, key: RunKey) -> pathlib.Path:
+        return self.directory / f"{key.digest}{ENTRY_SUFFIX}"
+
+    def get(self, key: RunKey) -> dict[str, Any] | None:
+        """Return the cached result for ``key`` or ``None`` (a miss).
+
+        An unreadable or mismatched entry is quarantined to
+        ``*.corrupt`` and counted, then reported as a miss — a damaged
+        cache must never poison a sweep.
+        """
+        path = self.path_for(key)
+        try:
+            entry = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if (
+            not isinstance(entry, dict)
+            or entry.get("schema") != SCHEMA_VERSION
+            or entry.get("digest") != key.digest
+            or "result" not in entry
+        ):
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["result"]
+
+    def put(self, key: RunKey, result: Any) -> pathlib.Path:
+        """Persist ``result`` under ``key`` atomically, then evict."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        entry = dict(key.to_dict(), result=result)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, sort_keys=True, indent=2) + "\n")
+        os.replace(tmp, path)
+        self._evict()
+        return path
+
+    def entries(self) -> list[pathlib.Path]:
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob(f"*{ENTRY_SUFFIX}"))
+
+    def find(self, digest_prefix: str) -> dict[str, Any] | None:
+        """Look an entry up by (a prefix of) its digest; None if ambiguous."""
+        matches = [
+            p for p in self.entries() if p.stem.startswith(digest_prefix)
+        ]
+        if len(matches) != 1:
+            return None
+        try:
+            entry = json.loads(matches[0].read_text())
+        except (OSError, ValueError):
+            return None
+        return entry if isinstance(entry, dict) else None
+
+    def accounting(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "evicted": self.evicted,
+        }
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        self.corrupt += 1
+        try:
+            os.replace(path, path.with_suffix(".corrupt"))
+        except OSError:
+            pass
+
+    def _evict(self) -> None:
+        if self.max_entries <= 0:
+            return
+        entries = self.entries()
+        if len(entries) <= self.max_entries:
+            return
+        # Oldest first; ties broken by name so eviction is deterministic.
+        by_age = sorted(entries, key=lambda p: (p.stat().st_mtime, p.name))
+        for path in by_age[: len(entries) - self.max_entries]:
+            try:
+                path.unlink()
+                self.evicted += 1
+            except OSError:
+                pass

@@ -160,10 +160,22 @@ class TestCrashRecoveryMode:
     def test_cli_flag_wires_crash_mode(self, tmp_path, capsys, monkeypatch):
         calls = {}
 
-        def fake(runs, seed, out):
-            calls["args"] = (runs, seed, out)
+        def fake(runs, seed, out, jobs=1):
+            calls["args"] = (runs, seed, out, jobs)
             return 0
 
         monkeypatch.setattr(soak, "run_crash_soak", fake)
         assert soak.main(["--crash-recovery", "--runs", "3", "--seed", "9"]) == 0
         assert calls["args"][0] == 3 and calls["args"][1] == 9
+        assert calls["args"][3] == 1  # --jobs defaults to serial
+
+    def test_cli_jobs_flag_fans_out(self, tmp_path, capsys, monkeypatch):
+        calls = {}
+
+        def fake(runs, seed, out, jobs=1):
+            calls["args"] = (runs, seed, out, jobs)
+            return 0
+
+        monkeypatch.setattr(soak, "run_soak", fake)
+        assert soak.main(["--runs", "4", "--jobs", "2"]) == 0
+        assert calls["args"][0] == 4 and calls["args"][3] == 2

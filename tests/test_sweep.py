@@ -1,0 +1,441 @@
+"""Sweep fabric tests: run keys, result store, executor, stats, dash.
+
+The load-bearing guarantees under test, in paper terms (§V's sweeps are
+what the fabric parallelizes):
+
+* :class:`RunKey` is representation-independent — dict ordering and
+  float spelling never split the cache key, NaN never enters it, and a
+  changed code fingerprint is always a miss (property-based).
+* :class:`ResultStore` is a cache, not a database — corrupt entries
+  quarantine to misses, eviction drops oldest-first, losing it costs
+  recompute time only.
+* :func:`parallel_map` / :func:`run_grid` — parallel results are
+  byte-identical to the serial reference, worker crashes quarantine to
+  error records, re-runs against a warm store compute nothing.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sweep import (
+    ResultStore,
+    RunKey,
+    RunSpec,
+    SweepConfig,
+    canonical_json,
+    parallel_map,
+    run_grid,
+)
+from repro.sweep.dash import load_runs, render_html, render_terminal
+from repro.sweep.runners import get_runner, register_runner, runner_names
+from repro.sweep.stats import read_stats
+
+# --------------------------------------------------------------- strategies
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(-(10**9), 10**9),
+    st.floats(allow_nan=False, allow_infinity=False, width=64),
+    st.text(max_size=8),
+)
+_trees = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.dictionaries(st.text(max_size=4), children, max_size=3),
+    ),
+    max_leaves=8,
+)
+_params = st.dictionaries(st.text(max_size=6), _trees, max_size=4)
+
+
+def _permute(obj, rnd):
+    """Rebuild ``obj`` with shuffled dict insertion order and random
+    list/tuple spelling — a different *representation* of the same value."""
+    if isinstance(obj, dict):
+        keys = list(obj)
+        rnd.shuffle(keys)
+        return {k: _permute(obj[k], rnd) for k in keys}
+    if isinstance(obj, list):
+        items = [_permute(v, rnd) for v in obj]
+        return tuple(items) if rnd.random() < 0.5 else items
+    if isinstance(obj, float) and obj.is_integer() and abs(obj) < 2**53:
+        # Integral floats may be respelled as the int they equal.
+        return int(obj) if rnd.random() < 0.5 else obj
+    return obj
+
+
+# ----------------------------------------------------------------- run keys
+
+
+class TestRunKey:
+    @given(params=_params, rnd=st.randoms())
+    @settings(max_examples=60, deadline=None)
+    def test_digest_stable_under_representation(self, params, rnd):
+        permuted = _permute(params, rnd)
+        a = RunKey.make("r", params, fingerprint="fp")
+        b = RunKey.make("r", permuted, fingerprint="fp")
+        assert a.digest == b.digest
+
+    def test_integral_float_and_int_collapse(self):
+        a = RunKey.make("r", {"scale": 2.0, "jobs": 4}, fingerprint="fp")
+        b = RunKey.make("r", {"jobs": 4.0, "scale": 2}, fingerprint="fp")
+        assert a.digest == b.digest
+
+    def test_negative_zero_collapses(self):
+        a = canonical_json({"x": -0.0})
+        b = canonical_json({"x": 0.0})
+        assert a == b
+
+    def test_non_finite_rejected(self):
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(ValueError):
+                canonical_json({"x": bad})
+
+    def test_non_str_keys_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({1: "x"})
+
+    def test_unsupported_types_rejected(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_runner_and_fingerprint_split_the_key(self):
+        base = RunKey.make("r", {"x": 1}, fingerprint="fp")
+        assert base.digest != RunKey.make("q", {"x": 1}, fingerprint="fp").digest
+        assert base.digest != RunKey.make("r", {"x": 1}, fingerprint="fp2").digest
+
+    def test_to_dict_round_trips_params(self):
+        key = RunKey.make("r", {"b": 2, "a": [1, 2.5]}, fingerprint="fp")
+        d = key.to_dict()
+        assert d["digest"] == key.digest
+        assert RunKey.make(d["runner"], d["params"], d["fingerprint"]).digest \
+            == key.digest
+
+
+# -------------------------------------------------------------------- store
+
+
+class TestResultStore:
+    def test_roundtrip_and_accounting(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = RunKey.make("r", {"x": 1}, fingerprint="fp")
+        assert store.get(key) is None
+        store.put(key, {"v": 42})
+        assert store.get(key) == {"v": 42}
+        assert store.accounting() == {
+            "hits": 1, "misses": 1, "corrupt": 0, "evicted": 0,
+        }
+
+    def test_changed_fingerprint_is_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(RunKey.make("r", {"x": 1}, fingerprint="fp1"), {"v": 1})
+        assert store.get(RunKey.make("r", {"x": 1}, fingerprint="fp2")) is None
+
+    def test_corrupt_entry_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = RunKey.make("r", {"x": 1}, fingerprint="fp")
+        store.put(key, {"v": 1})
+        store.path_for(key).write_text("{not json")
+        assert store.get(key) is None
+        assert store.corrupt == 1
+        assert store.path_for(key).with_suffix(".corrupt").exists()
+        # Quarantine moved the file aside: the next get is a clean miss.
+        assert store.get(key) is None
+
+    def test_digest_mismatch_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = RunKey.make("r", {"x": 1}, fingerprint="fp")
+        other = RunKey.make("r", {"x": 2}, fingerprint="fp")
+        store.put(other, {"v": 2})
+        os.replace(store.path_for(other), store.path_for(key))
+        assert store.get(key) is None
+        assert store.corrupt == 1
+
+    def test_eviction_drops_oldest_first(self, tmp_path):
+        store = ResultStore(tmp_path / "store", max_entries=2)
+        keys = [
+            RunKey.make("r", {"x": i}, fingerprint="fp") for i in range(3)
+        ]
+        for age, key in enumerate(keys):
+            store.put(key, {"v": age})
+            # Distinct mtimes so age ordering is unambiguous on coarse
+            # filesystem clocks.
+            os.utime(store.path_for(key), (1000.0 + age, 1000.0 + age))
+        store._evict()
+        assert store.get(keys[0]) is None  # oldest gone
+        assert store.get(keys[1]) == {"v": 1}
+        assert store.get(keys[2]) == {"v": 2}
+        assert store.evicted == 1
+
+    def test_find_by_unique_prefix(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        key = RunKey.make("r", {"x": 1}, fingerprint="fp")
+        store.put(key, {"v": 1})
+        entry = store.find(key.digest[:12])
+        assert entry is not None
+        assert entry["params"] == {"x": 1}
+        assert store.find("ffffffffffff") is None
+
+
+# ----------------------------------------------------------------- executor
+
+
+def _square(x):
+    return x * x
+
+
+def _flaky(x):
+    if x == 2:
+        raise ValueError("boom")
+    return x
+
+
+def _hard_crash(x):
+    if x == 1:
+        os._exit(7)
+    return x
+
+
+class TestParallelMap:
+    def test_parallel_matches_serial(self):
+        items = list(range(6))
+        serial = parallel_map(_square, items, jobs=1)
+        forked = parallel_map(_square, items, jobs=3)
+        assert serial == forked == [("ok", x * x) for x in items]
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_exception_quarantined(self, jobs):
+        out = parallel_map(_flaky, [1, 2, 3], jobs=jobs)
+        assert out[0] == ("ok", 1)
+        assert out[2] == ("ok", 3)
+        status, info = out[1]
+        assert status == "error"
+        assert info["type"] == "ValueError"
+        assert "boom" in info["traceback"]
+
+    def test_hard_crash_quarantined(self):
+        # os._exit(7) in a worker must not wedge the pool or the parent
+        # (only meaningful with process isolation — serial would die).
+        out = parallel_map(_hard_crash, [0, 1, 2], jobs=2)
+        assert out[0] == ("ok", 0)
+        assert out[2] == ("ok", 2)
+        status, info = out[1]
+        assert status == "error"
+        assert info["type"] == "WorkerCrash"
+        assert "7" in info["message"]
+
+    def test_on_complete_covers_every_item(self):
+        seen = {}
+        parallel_map(
+            _square, [3, 4, 5], jobs=2,
+            on_complete=lambda i, outcome: seen.setdefault(i, outcome),
+        )
+        assert seen == {0: ("ok", 9), 1: ("ok", 16), 2: ("ok", 25)}
+
+
+# Registered at import time so fork-children inherit the registry.
+@register_runner("test_echo")
+def _echo_runner(params, stats_path=None):
+    return {"doubled": params["x"] * 2}
+
+
+@register_runner("test_fail")
+def _fail_runner(params, stats_path=None):
+    raise RuntimeError("always fails")
+
+
+class TestRunGrid:
+    def _specs(self, n=4):
+        return [
+            RunSpec(runner="test_echo", params={"x": i}, label=f"echo{i}")
+            for i in range(n)
+        ]
+
+    def test_serial_parallel_parity(self):
+        serial = run_grid(self._specs(), SweepConfig(jobs=1))
+        forked = run_grid(self._specs(), SweepConfig(jobs=2))
+        assert serial.results() == forked.results()
+        assert [r.status for r in forked.records] == ["ok"] * 4
+
+    def test_rerun_is_all_hits(self, tmp_path):
+        cfg = SweepConfig(jobs=1, store=str(tmp_path / "store"))
+        first = run_grid(self._specs(), cfg)
+        assert (first.hits, first.computed) == (0, 4)
+        second = run_grid(self._specs(), cfg)
+        assert (second.hits, second.computed) == (4, 0)
+        assert second.results() == first.results()
+        assert all(r.cached for r in second.records)
+        assert "4 cache hits, 0 computed" in second.format_accounting()
+
+    def test_refresh_recomputes_but_restores(self, tmp_path):
+        cfg = SweepConfig(jobs=1, store=str(tmp_path / "store"))
+        run_grid(self._specs(), cfg)
+        refreshed = run_grid(
+            self._specs(),
+            SweepConfig(jobs=1, store=str(tmp_path / "store"), refresh=True),
+        )
+        assert (refreshed.hits, refreshed.computed) == (0, 4)
+        # The refreshed results repopulate the store.
+        again = run_grid(self._specs(), cfg)
+        assert (again.hits, again.computed) == (4, 0)
+
+    def test_cache_false_always_executes(self, tmp_path):
+        spec = RunSpec(runner="test_echo", params={"x": 9}, cache=False)
+        cfg = SweepConfig(jobs=1, store=str(tmp_path / "store"))
+        for _ in range(2):
+            report = run_grid([spec], cfg)
+            assert (report.hits, report.computed) == (0, 1)
+
+    def test_errors_never_cached(self, tmp_path):
+        spec = RunSpec(runner="test_fail", params={})
+        cfg = SweepConfig(jobs=1, store=str(tmp_path / "store"))
+        for _ in range(2):
+            report = run_grid([spec], cfg)
+            assert not report.ok
+            assert report.records[0].status == "error"
+            assert "always fails" in report.records[0].error["traceback"]
+        assert ResultStore(tmp_path / "store").entries() == []
+
+    def test_unknown_runner_is_error_record(self):
+        report = run_grid([RunSpec(runner="no_such_runner", params={})])
+        assert report.records[0].status == "error"
+        assert report.records[0].error["type"] == "KeyError"
+
+    def test_builtin_runners_registered(self):
+        names = runner_names()
+        for expected in (
+            "scheduling", "preemption", "figure", "soak", "replay_bench",
+        ):
+            assert expected in names
+            assert callable(get_runner(expected))
+
+
+# --------------------------------------------------- stats + dash (end-to-end)
+
+
+def _tiny_sched_spec(seed=0):
+    return RunSpec(
+        runner="scheduling",
+        params={
+            "profile": "uniform", "nodes": 2, "num_jobs": 2,
+            "method": "DSP", "scale": 5.0, "seed": seed,
+            "demand_fraction": 0.8,
+        },
+        label=f"tiny/seed{seed}",
+    )
+
+
+class TestStatsAndDash:
+    def test_stats_rows_and_byte_stability(self, tmp_path):
+        spec = _tiny_sched_spec()
+        paths = []
+        for sub in ("a", "b"):
+            report = run_grid(
+                [spec], SweepConfig(jobs=1, stats_dir=str(tmp_path / sub))
+            )
+            assert report.ok
+            files = list((tmp_path / sub).glob("*.stats.jsonl.gz"))
+            assert len(files) == 1
+            paths.append(files[0])
+        # gzip mtime=0 + deterministic sim => byte-identical reruns.
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+        meta, rows = read_stats(str(paths[0]))
+        assert meta["schema"] == 1
+        assert meta["label"] == "DSP/s0/n2"
+        assert rows, "expected at least one epoch sample"
+        for row in rows:
+            assert 0.0 <= row["util_cpu"] <= 1.0
+            assert row["nodes_up"] <= row["nodes_total"] == 2
+            assert row["queued"] >= 0 and row["running"] >= 0
+        assert rows[-1]["completed"] > 0
+        # Monotone simulation time and cumulative counters.
+        times = [row["t"] for row in rows]
+        assert times == sorted(times)
+        preempts = [row["preemptions"] for row in rows]
+        assert preempts == sorted(preempts)
+
+    def test_dash_renders_terminal_and_html(self, tmp_path):
+        specs = [_tiny_sched_spec(seed) for seed in (0, 1)]
+        report = run_grid(
+            specs, SweepConfig(jobs=1, stats_dir=str(tmp_path / "stats"))
+        )
+        assert report.ok
+        runs = load_runs([str(tmp_path / "stats")])
+        assert len(runs) == 2
+
+        text = render_terminal(runs)
+        for panel in (
+            "Utilization", "Queue depth", "Preemption churn",
+            "Window occupancy",
+        ):
+            assert panel in text
+
+        html = render_html(runs, title="t")
+        assert html.count("<svg") == 4
+        assert "DSP/s0/n2" in html and "DSP/s1/n2" in html
+
+    def test_dash_needs_stats_files(self, tmp_path):
+        assert load_runs([str(tmp_path)]) == []
+
+
+# ------------------------------------------------------------------ CLI glue
+
+
+class TestSweepCli:
+    def test_cli_sweep_cache_and_aggregate(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_a, out_b = tmp_path / "a.json", tmp_path / "b.json"
+        argv = [
+            "sweep", "--kind", "scheduling", "--methods", "DSP",
+            "--seeds", "0", "1", "--profile", "uniform", "--nodes", "2",
+            "--num-jobs", "2", "--scale", "5",
+            "--store", str(tmp_path / "store"), "--no-stats",
+        ]
+        assert main(argv + ["--out", str(out_a)]) == 0
+        first = capsys.readouterr().out
+        assert "2 runs, 0 cache hits, 2 computed" in first
+
+        assert main(argv + ["--out", str(out_b), "--jobs", "2"]) == 0
+        second = capsys.readouterr().out
+        assert "2 runs, 2 cache hits, 0 computed" in second
+        assert out_a.read_bytes() == out_b.read_bytes()
+
+        agg = json.loads(out_a.read_text())
+        assert [run["label"] for run in agg["runs"]] == [
+            "DSP/seed0", "DSP/seed1",
+        ]
+        assert all(run["status"] == "ok" for run in agg["runs"])
+
+    def test_cli_only_artifact_roundtrip(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.sweep.soakcases import soak_run_key
+
+        artifact = tmp_path / "soak_fail_0001.json"
+        artifact.write_text(json.dumps(
+            {"schema": 1, "run_key": soak_run_key("plain", 0, 1).to_dict()}
+        ))
+        rc = main([
+            "sweep", "--only", str(artifact), "--no-store", "--no-stats",
+        ])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "1 runs, 0 cache hits, 1 computed" in out
+        assert '"outcome"' in out
+
+    def test_cli_only_unresolvable(self, tmp_path, capsys):
+        from repro.cli import main
+
+        rc = main([
+            "sweep", "--only", "deadbeef", "--store",
+            str(tmp_path / "empty"), "--no-stats",
+        ])
+        assert rc == 2
