@@ -72,6 +72,7 @@ from repro.cluster.machine_specs import uniform_cluster
 from repro.config import (
     ChaosConfig,
     DSPConfig,
+    ElasticConfig,
     FrontierConfig,
     ServiceConfig,
     SimConfig,
@@ -82,8 +83,11 @@ from repro.core.ilp_heuristic import HeuristicScheduler
 from repro.experiments.harness import workload_spec_for_cluster
 from repro.sim import (
     AttemptBudgetExhausted,
+    DrainAborted,
     FaultEvent,
     InvariantViolation,
+    NodeDecommissioned,
+    NodeDraining,
     SimEngine,
     SimulatedCrash,
     SimulationError,
@@ -92,8 +96,10 @@ from repro.sim import (
     chaos_plan,
     inject_crash,
     latest_valid_snapshot,
+    membership_plan_to_json,
     normalize_plan,
     plan_to_json,
+    random_membership_plan,
 )
 from repro.service import ServiceClient, ServiceCore, ServiceFrontend
 
@@ -368,6 +374,349 @@ def run_crash_soak(
     print(
         f"crash-recovery soak: {runs} runs, {failures} failures, "
         f"{aborts} aborts (seed={base_seed})"
+    )
+    return 1 if failures else 0
+
+
+# ------------------------------------------------------------ elastic soak
+
+#: Drain pacing for elastic soak cases: small steps so the DRAINING
+#: window spans many kernel events (the crash leg aims inside it), a
+#: floor of 2 members so scripted drains never strand the workload.
+SOAK_ELASTIC = ElasticConfig(min_nodes=2, drain_step=5.0, drain_timeout=1200.0)
+
+#: Horizon membership churn is drawn over — inside the soak workloads'
+#: makespans so joins and drains land while work is in flight.
+MEMBERSHIP_HORIZON = 4000.0
+
+
+@dataclass(frozen=True)
+class ElasticCase:
+    """One fully-seeded membership-churn soak configuration."""
+
+    index: int
+    base_seed: int
+    scenario: str
+    policy: str
+    autoscale: bool
+    num_nodes: int
+    num_jobs: int
+    joins: int
+    drains: int
+    #: engine_args() compatibility — elastic cases always run resilient
+    #: (drains interleave retries/speculation, the interesting regime).
+    resilient: bool = True
+
+    def describe(self) -> dict:
+        return {
+            "index": self.index,
+            "base_seed": self.base_seed,
+            "scenario": self.scenario,
+            "policy": self.policy,
+            "autoscale": self.autoscale,
+            "num_nodes": self.num_nodes,
+            "num_jobs": self.num_jobs,
+            "joins": self.joins,
+            "drains": self.drains,
+        }
+
+
+def build_elastic_case(index: int, base_seed: int) -> ElasticCase:
+    """Deterministic elastic case: chaos scenarios x policies x autoscale
+    on/off x churn shapes, cycling at coprime periods like the plain grid."""
+    return ElasticCase(
+        index=index,
+        base_seed=base_seed,
+        scenario=SCENARIO_NAMES[index % len(SCENARIO_NAMES)],
+        policy=POLICY_NAMES[index % len(POLICY_NAMES)],
+        autoscale=index % 2 == 1,
+        num_nodes=4 + 2 * (index % 3),
+        num_jobs=2 + index % 2,
+        joins=1 + index % 2,
+        drains=1 + (index // 2) % 2,
+    )
+
+
+def elastic_case_config(case: ElasticCase) -> ElasticConfig:
+    """The :class:`ElasticConfig` for *case* (autoscaler knobs tuned so
+    chaos bursts exercise hysteresis without flapping the fleet)."""
+    cfg = SOAK_ELASTIC
+    if case.autoscale:
+        cfg = cfg.replace(
+            autoscale=True,
+            check_period=30.0,
+            scale_up_queue_depth=6.0,
+            scale_up_sustain=120.0,
+            scale_down_idle_nodes=2,
+            scale_down_sustain=600.0,
+            cooldown=240.0,
+            max_nodes=case.num_nodes + 4,
+        )
+    return cfg
+
+
+def run_one_elastic_case(case: ElasticCase, out_dir: pathlib.Path) -> Outcome:
+    """One membership-churn soak case with a mid-drain kill-and-resume leg.
+
+    1. Run the case — scripted join/drain churn plus (odd indices) the
+       autoscaler, composed with the chaos scenario — uninterrupted with
+       strict invariants, journal and rotated snapshots.  Record the
+       event-pop window of every completed or aborted drain.
+    2. Contract check: under a checkpoint-retaining policy (the default
+       ``checkpoint_interval=0`` checkpoints continuously) a graceful
+       drain must lose **zero** MI; fault losses stay on their own
+       meter.  (srpt is the paper's checkpointless baseline, so its
+       drain migrations legitimately restart from zero.)
+    3. Crash leg: re-run and kill at a seeded pop *inside a drain
+       window* when one exists (anywhere otherwise), recover from the
+       latest valid snapshot, and golden-compare journal bytes and
+       ``RunMetrics`` against the uninterrupted run.
+    """
+    rng = np.random.default_rng([case.base_seed, case.index, 0xE1A5])
+    workload, cluster, plan = case_inputs(case)
+    _, probe_kwargs = engine_args(case, workload, cluster, plan)
+    checkpointing = probe_kwargs["preemption"].uses_checkpointing
+    membership = random_membership_plan(
+        cluster,
+        MEMBERSHIP_HORIZON,
+        rng=np.random.default_rng([case.base_seed, case.index, 0xE7A5]),
+        joins=case.joins,
+        drains=case.drains,
+    )
+    with tempfile.TemporaryDirectory() as tmp_str:
+        tmp = pathlib.Path(tmp_str)
+
+        def durability(root: pathlib.Path) -> dict:
+            return dict(
+                journal=root / "run.journal",
+                snapshots=SnapshotConfig(
+                    directory=str(root / "snaps"),
+                    every_events=CRASH_SNAPSHOT_EVERY,
+                ),
+            )
+
+        def build(root: pathlib.Path) -> SimEngine:
+            scheduler, kwargs = engine_args(case, workload, cluster, plan)
+            kwargs.update(
+                membership=membership, elastic=elastic_case_config(case)
+            )
+            return SimEngine(
+                cluster, workload.jobs, scheduler, **kwargs, **durability(root)
+            )
+
+        # 1. Uninterrupted reference, recording drain windows as pop spans.
+        reference = build(tmp / "ref")
+        windows: list[tuple[int, int]] = []
+        opened: dict[str, int] = {}
+
+        def _drain_open(ev) -> None:
+            opened[ev.node_id] = reference.runtime.kernel.pops
+
+        def _drain_close(ev) -> None:
+            start = opened.pop(ev.node_id, None)
+            pops = reference.runtime.kernel.pops
+            if start is not None and pops > start + 1:
+                windows.append((start, pops))
+
+        reference.runtime.bus.subscribe(NodeDraining, _drain_open)
+        reference.runtime.bus.subscribe(
+            (NodeDecommissioned, DrainAborted), _drain_close
+        )
+        try:
+            ref_metrics = reference.run().as_dict()
+        except AttemptBudgetExhausted as exc:
+            return Outcome("abort", type(exc).__name__, None, str(exc))
+        except InvariantViolation as exc:
+            return Outcome("fail", "InvariantViolation", exc.name, str(exc))
+        except SimulationError as exc:
+            return Outcome("fail", type(exc).__name__, None, str(exc))
+        ref_journal = (tmp / "ref" / "run.journal").read_bytes()
+        pops_total = reference.runtime.kernel.pops
+
+        # 2. Drain-loss contract.
+        drain_lost = ref_metrics.get("drain_lost_mi", 0.0)
+        if checkpointing and drain_lost > 0.0:
+            _write_elastic_artifact(
+                out_dir,
+                case,
+                membership,
+                {
+                    "problems": [
+                        f"graceful drain lost {drain_lost} MI under a "
+                        f"checkpoint-retaining policy ({case.policy})"
+                    ],
+                    "metrics": ref_metrics,
+                },
+            )
+            return Outcome(
+                "fail",
+                "DrainLoss",
+                None,
+                f"{drain_lost} MI lost to drain under {case.policy}",
+            )
+
+        # 3. Mid-drain kill and resume, golden-compared.
+        if windows:
+            start, end = windows[int(rng.integers(0, len(windows)))]
+            at_pop = int(rng.integers(start + 1, end + 1))
+            crash_at = f"pop {at_pop} (drain window {start}-{end})"
+        else:
+            at_pop = int(rng.integers(1, pops_total + 1))
+            crash_at = f"pop {at_pop}/{pops_total}"
+        crash_dir = tmp / "crash"
+        crashing = build(crash_dir)
+        inject_crash(crashing, at_pop)
+        try:
+            crashing.run()
+            return Outcome(
+                "fail", "CrashRecovery", None, "injected crash never fired"
+            )
+        except SimulatedCrash:
+            pass
+        except AttemptBudgetExhausted as exc:
+            return Outcome("abort", type(exc).__name__, None, str(exc))
+
+        scheduler, kwargs = engine_args(case, workload, cluster, plan)
+        kwargs.update(membership=membership, elastic=elastic_case_config(case))
+        found = latest_valid_snapshot(crash_dir / "snaps")
+        if found is not None:
+            _, data = found
+            recovered = SimEngine.restore(
+                data,
+                cluster,
+                workload.jobs,
+                scheduler,
+                **kwargs,
+                **durability(crash_dir),
+            )
+        else:
+            # Crash predated the first snapshot: recovery restarts.
+            recovered = SimEngine(
+                cluster, workload.jobs, scheduler, **kwargs, **durability(crash_dir)
+            )
+        try:
+            rec_metrics = recovered.run().as_dict()
+        except (AttemptBudgetExhausted, InvariantViolation, SimulationError) as exc:
+            return Outcome(
+                "fail",
+                "CrashRecovery",
+                getattr(exc, "name", None),
+                f"recovered run raised {type(exc).__name__} "
+                f"(crash at {crash_at}): {exc}",
+            )
+
+        rec_journal = (crash_dir / "run.journal").read_bytes()
+        mismatches = []
+        if rec_metrics != ref_metrics:
+            diff_keys = sorted(
+                key
+                for key in set(ref_metrics) | set(rec_metrics)
+                if ref_metrics.get(key) != rec_metrics.get(key)
+            )
+            mismatches.append(f"metrics differ on {diff_keys[:6]}")
+        if rec_journal != ref_journal:
+            prefix = os.path.commonprefix([rec_journal, ref_journal])
+            mismatches.append(
+                f"journal diverges at byte {len(prefix)} "
+                f"({len(ref_journal)} vs {len(rec_journal)} bytes)"
+            )
+        if mismatches:
+            out_dir.mkdir(parents=True, exist_ok=True)
+            stem = f"elastic_case_{case.index:04d}"
+            shutil.copy(
+                tmp / "ref" / "run.journal", out_dir / f"{stem}.ref.journal"
+            )
+            shutil.copy(
+                crash_dir / "run.journal", out_dir / f"{stem}.rec.journal"
+            )
+            _write_elastic_artifact(
+                out_dir,
+                case,
+                membership,
+                {"crash_at": crash_at, "mismatches": mismatches},
+            )
+            return Outcome(
+                "fail",
+                "CrashRecovery",
+                None,
+                f"crash at {crash_at}: " + "; ".join(mismatches),
+            )
+        return Outcome(
+            "ok",
+            message=(
+                f"joined={ref_metrics.get('nodes_joined', 0):g} "
+                f"decom={ref_metrics.get('nodes_decommissioned', 0):g} "
+                f"aborts={ref_metrics.get('drain_aborts', 0):g} "
+                f"kill@{at_pop}{'*' if windows else ''}"
+            ),
+        )
+
+
+def _write_elastic_artifact(
+    out_dir: pathlib.Path, case: ElasticCase, membership, detail: dict
+) -> pathlib.Path:
+    """JSON repro artifact carrying the case and its membership plan."""
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"elastic_case_{case.index:04d}.json"
+    artifact = {
+        "case": case.describe(),
+        "membership_plan": membership_plan_to_json(membership),
+        **detail,
+        "run_key": soak_run_key("elastic", case.base_seed, case.index).to_dict(),
+        "rerun": _rerun_hint(path),
+    }
+    path.write_text(json.dumps(artifact, indent=2) + "\n")
+    return path
+
+
+def _elastic_case_worker(item: tuple[int, int, str]):
+    index, base_seed, out_dir = item
+    case = build_elastic_case(index, base_seed)
+    outcome = run_one_elastic_case(case, pathlib.Path(out_dir))
+    return case, outcome
+
+
+def run_elastic_soak(
+    runs: int, base_seed: int, out_dir: pathlib.Path, jobs: int = 1
+) -> int:
+    """Membership-churn sweep: chaos x policies x autoscale on/off, each
+    case drain-loss-checked and killed/resumed mid-drain."""
+    failures = 0
+    aborts = 0
+
+    def handle(index: int, fabric) -> None:
+        nonlocal failures, aborts
+        if fabric[0] == "ok":
+            case, outcome = fabric[1]
+        else:
+            case = build_elastic_case(index, base_seed)
+            outcome = _failure_outcome(fabric)
+        tag = (
+            f"[{index + 1:3d}/{runs}] {case.scenario:>15s} x {case.policy:<4s} "
+            f"auto={'on ' if case.autoscale else 'off'} "
+            f"nodes={case.num_nodes} jobs={case.num_jobs} "
+            f"churn={case.joins}+{case.drains}"
+        )
+        if outcome.status == "ok":
+            print(f"{tag} ok ({outcome.message})")
+        elif outcome.status == "abort":
+            aborts += 1
+            print(f"{tag} ABORT ({outcome.message})")
+        else:
+            failures += 1
+            print(f"{tag} FAIL {outcome.error_type}: {outcome.message}")
+            print(f"      artifact written to {out_dir}")
+
+    reporter = OrderedReporter(handle)
+    parallel_map(
+        _elastic_case_worker,
+        [(index, base_seed, str(out_dir)) for index in range(runs)],
+        jobs=jobs,
+        on_complete=reporter.add,
+    )
+    print(
+        f"elastic soak: {runs} runs, {failures} failures, {aborts} aborts "
+        f"(seed={base_seed})"
     )
     return 1 if failures else 0
 
@@ -1136,15 +1485,30 @@ def main(argv: list[str] | None = None) -> int:
             "journal bytes and metrics against the uninterrupted run"
         ),
     )
+    parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help=(
+            "membership-churn mode: each case composes a scripted "
+            "join/drain plan (plus, on odd indices, the autoscaler) with "
+            "a chaos scenario under strict invariants, asserts zero MI "
+            "lost to graceful drains under checkpointing policies, then "
+            "kills the run mid-drain and golden-compares the resumed "
+            "journal and metrics byte-for-byte"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.runs < 1:
         parser.error("--runs must be >= 1")
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
-    if sum((args.crash_recovery, args.service, args.replay)) > 1:
+    if sum((args.crash_recovery, args.service, args.replay, args.elastic)) > 1:
         parser.error(
-            "--crash-recovery, --service and --replay are mutually exclusive"
+            "--crash-recovery, --service, --replay and --elastic are "
+            "mutually exclusive"
         )
+    if args.elastic:
+        return run_elastic_soak(args.runs, args.seed, args.out, jobs=args.jobs)
     if args.replay:
         return run_replay_soak(args.runs, args.seed, args.out, jobs=args.jobs)
     if args.service:

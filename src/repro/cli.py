@@ -142,6 +142,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="record the execution trace and print per-node Gantt lanes",
     )
     spr.add_argument(
+        "--membership-plan", type=str, default=None, metavar="FILE.json",
+        help="scripted elastic membership plan: a JSON list of join/drain "
+        "events (see repro.sim.membership_plan_to_json)",
+    )
+    spr.add_argument(
+        "--elastic-autoscale", action="store_true",
+        help="enable the load-following autoscaler (scale up on sustained "
+        "queue depth, drain a node on sustained idleness)",
+    )
+    spr.add_argument(
+        "--elastic-min-nodes", type=int, default=1, metavar="N",
+        help="autoscaler floor: never drain below N members (default 1)",
+    )
+    spr.add_argument(
+        "--elastic-max-nodes", type=int, default=64, metavar="N",
+        help="autoscaler ceiling: never grow past N members (default 64)",
+    )
+    spr.add_argument(
         "--snapshot-every", type=int, default=0, metavar="N",
         help="write a rotated full-state snapshot every N events",
     )
@@ -326,12 +344,16 @@ def build_parser() -> argparse.ArgumentParser:
         "fabric (content-addressed caching, hit/miss accounting)",
     )
     spw.add_argument(
-        "--kind", choices=("scheduling", "preemption"), default="scheduling",
-        help="which runner each grid point uses (default scheduling)",
+        "--kind",
+        choices=("scheduling", "preemption", "elastic"),
+        default="scheduling",
+        help="which runner each grid point uses (default scheduling; "
+        "elastic compares a fixed peak fleet against the autoscaler)",
     )
     spw.add_argument(
         "--methods", nargs="+", default=None, metavar="NAME",
-        help="method labels (default: every method for --kind)",
+        help="method labels (default: every method for --kind; "
+        "for --kind elastic: fixed, autoscale)",
     )
     spw.add_argument(
         "--seeds", type=int, nargs="+", default=[0, 1, 2, 3, 4],
@@ -470,6 +492,23 @@ def _run(args) -> int:
             if args.policy == "none"
             else make_preemption_policies(cfg)[args.policy]
         )
+        membership = None
+        elastic = None
+        if args.membership_plan is not None:
+            import json
+
+            from .sim import membership_plan_from_json
+
+            with open(args.membership_plan, encoding="utf-8") as fh:
+                membership = membership_plan_from_json(json.load(fh))
+        if args.elastic_autoscale or membership is not None:
+            from .config import ElasticConfig
+
+            elastic = ElasticConfig(
+                autoscale=args.elastic_autoscale,
+                min_nodes=args.elastic_min_nodes,
+                max_nodes=args.elastic_max_nodes,
+            )
         snapshots = None
         if args.snapshot_every > 0 or args.snapshot_seconds > 0:
             from .config import SnapshotConfig
@@ -482,6 +521,8 @@ def _run(args) -> int:
         kwargs = dict(
             preemption=policy, dsp_config=cfg,
             sim_config=sim,
+            membership=membership,
+            elastic=elastic,
             task_deadlines=compute_level_deadlines(workload, cluster, cfg),
             dependency_aware_dispatch=(
                 getattr(scheduler, "respects_dependencies", True)
@@ -848,9 +889,12 @@ def _sweep_specs(args) -> list:
 
     methods = args.methods
     if methods is None:
-        methods = list(
-            SCHEDULER_NAMES if args.kind == "scheduling" else PREEMPTION_NAMES
-        )
+        if args.kind == "scheduling":
+            methods = list(SCHEDULER_NAMES)
+        elif args.kind == "preemption":
+            methods = list(PREEMPTION_NAMES)
+        else:
+            methods = ["fixed", "autoscale"]
     specs = []
     for method in methods:
         for seed in args.seeds:
@@ -862,6 +906,10 @@ def _sweep_specs(args) -> list:
                 "seed": int(seed),
                 "demand_fraction": args.demand_fraction,
             }
+            if args.kind == "elastic":
+                # The elastic runner compares fleet modes, not methods.
+                params["mode"] = params.pop("method")
+                params.pop("demand_fraction")
             if args.profile == "uniform":
                 params["nodes"] = args.nodes
             else:

@@ -22,6 +22,7 @@ __all__ = [
     "FrontierConfig",
     "ResilienceConfig",
     "ChaosConfig",
+    "ElasticConfig",
     "SnapshotConfig",
     "TenantQuota",
     "ServiceConfig",
@@ -533,6 +534,102 @@ class ChaosConfig:
         check_positive(self.partition_duration, "partition_duration")
 
     def replace(self, **changes) -> "ChaosConfig":
+        """Return a copy with *changes* applied."""
+        return dataclasses.replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class ElasticConfig:
+    """Knobs of the elastic cluster-membership subsystem
+    (:mod:`repro.sim.elastic`).
+
+    Passed to :class:`~repro.sim.engine.SimEngine` via its ``elastic``
+    argument together with an optional scripted membership plan
+    (``membership=[MembershipEvent, ...]``); when neither is given the
+    node set is fixed and the engine is byte-identical to the
+    pre-elastic one.
+
+    Attributes
+    ----------
+    autoscale:
+        Enable the load-following autoscaler.  Off, the subsystem only
+        executes the scripted membership plan.
+    check_period:
+        The autoscaler evaluates its signals on epoch ticks at least
+        this many simulated seconds apart.
+    scale_up_queue_depth:
+        Scale up when the mean queued-task depth per member node stays
+        at or above this for ``scale_up_sustain`` seconds.
+    scale_up_sustain:
+        Seconds the scale-up signal must hold continuously — transient
+        chaos bursts must not flap the fleet.
+    scale_down_idle_nodes:
+        Scale down when at least this many member nodes are completely
+        idle (nothing running, nothing queued) for
+        ``scale_down_sustain`` seconds.
+    scale_down_sustain:
+        Seconds the scale-down signal must hold continuously.
+    cooldown:
+        Minimum seconds between autoscaler actions (either direction) —
+        the hysteresis guard on top of the sustain windows.
+    min_nodes, max_nodes:
+        Bounds on the member-node count the autoscaler may reach.
+        Scripted plans are validated against ``min_nodes >= 1`` only
+        (never drain the last member).
+    join_delay:
+        Provisioning latency (seconds) between a join starting
+        (JOINING) and the node becoming a dispatchable member (ALIVE).
+    drain_step:
+        Seconds between graceful-drain migration steps: each step moves
+        at most ``drain_batch`` running tasks off the DRAINING node via
+        the checkpoint-aware preemption path, then re-homes its backlog.
+    drain_batch:
+        Running tasks migrated per drain step.
+    drain_timeout:
+        Abort a drain (node returns to ALIVE, dispatch gate lifts) when
+        it has not completed after this long — e.g. when chaos has left
+        no reachable node to take the backlog.
+    """
+
+    autoscale: bool = False
+    check_period: float = 30.0
+    scale_up_queue_depth: float = 4.0
+    scale_up_sustain: float = 60.0
+    scale_down_idle_nodes: int = 1
+    scale_down_sustain: float = 180.0
+    cooldown: float = 120.0
+    min_nodes: int = 1
+    max_nodes: int = 64
+    join_delay: float = 30.0
+    drain_step: float = 5.0
+    drain_batch: int = 1
+    drain_timeout: float = 600.0
+
+    def __post_init__(self) -> None:
+        check_positive(self.check_period, "check_period")
+        check_positive(self.scale_up_queue_depth, "scale_up_queue_depth")
+        check_non_negative(self.scale_up_sustain, "scale_up_sustain")
+        if self.scale_down_idle_nodes < 1:
+            raise ValueError(
+                "scale_down_idle_nodes must be >= 1, "
+                f"got {self.scale_down_idle_nodes!r}"
+            )
+        check_non_negative(self.scale_down_sustain, "scale_down_sustain")
+        check_non_negative(self.cooldown, "cooldown")
+        if self.min_nodes < 1:
+            raise ValueError(f"min_nodes must be >= 1, got {self.min_nodes!r}")
+        if self.max_nodes < self.min_nodes:
+            raise ValueError(
+                f"max_nodes ({self.max_nodes!r}) must be >= min_nodes "
+                f"({self.min_nodes!r})"
+            )
+        check_non_negative(self.join_delay, "join_delay")
+        check_positive(self.drain_step, "drain_step")
+        if self.drain_batch < 1:
+            raise ValueError(f"drain_batch must be >= 1, got {self.drain_batch!r}")
+        check_positive(self.drain_timeout, "drain_timeout")
+
+    def replace(self, **changes) -> "ElasticConfig":
         """Return a copy with *changes* applied."""
         return dataclasses.replace(self, **changes)
 

@@ -178,10 +178,19 @@ class ArrayCore:
         self._levels: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
         self._levels_dirty = True
 
-        # Node columns (fixed cluster: positions never change).
+        # Node columns.  Positions are stable for a node's lifetime;
+        # elastic membership reuses freed positions through a LIFO free
+        # list (the DenseIds discipline applied to nodes — see
+        # add_node/remove_node).  Freed slots hold None in the list and
+        # keep their last rate value, so stale positions on completed
+        # task rows never divide by zero (the garbage lanes are masked
+        # out before anything reads them).
         self._node_pos = {nid: i for i, nid in enumerate(runtime.state.nodes)}
-        self._node_list = list(runtime.state.nodes.values())
+        self._node_list: list["NodeRuntime | None"] = list(
+            runtime.state.nodes.values()
+        )
         self._node_rate = np.zeros(len(self._node_list))
+        self._node_free: list[int] = []
 
         # Score cache, valid for one (clock, version) generation.
         self._scores: np.ndarray | None = None
@@ -320,8 +329,10 @@ class ArrayCore:
             _NAN if t.stall_start is None else t.stall_start
         )
         self._state[row] = _STATE_CODE[t.state]
+        # .get: completed tasks keep their node_id, which may name a
+        # node decommissioned since — the -1 is garbage nothing reads.
         self._node[row] = (
-            -1 if t.node_id is None else self._node_pos[t.node_id]
+            -1 if t.node_id is None else self._node_pos.get(t.node_id, -1)
         )
         self._unfinished[row] = t.unfinished_parents
         self._preempt_count[row] = t.preempt_count
@@ -417,6 +428,41 @@ class ArrayCore:
             self._sync_row(row, tasks[tid])
         self._version += 1
 
+    # ------------------------------------------------- elastic membership
+    def add_node(self, node: "NodeRuntime") -> None:
+        """Assign a position to a newly-joined node, reusing the most
+        recently freed slot when one exists (LIFO, like DenseIds)."""
+        if self._node_free:
+            pos = self._node_free.pop()
+            self._node_list[pos] = node
+        else:
+            pos = len(self._node_list)
+            self._node_list.append(node)
+            self._node_rate = np.append(self._node_rate, 0.0)
+        self._node_pos[node.node_id] = pos
+        self._version += 1
+
+    def remove_node(self, node_id: str) -> None:
+        """Free a decommissioned node's position.  The slot keeps its
+        last rate value so stale references from completed task rows
+        stay benign until the slot is reused."""
+        pos = self._node_pos.pop(node_id)
+        self._node_list[pos] = None
+        self._node_free.append(pos)
+        self._version += 1
+
+    def reset_nodes(self) -> None:
+        """Rebuild the position table from the current (possibly
+        reconciled) node set.  Positions are internal bookkeeping —
+        nothing observable depends on them — so the restore path packs
+        the live nodes densely instead of replaying churn history."""
+        state = self._rt.state
+        self._node_pos = {nid: i for i, nid in enumerate(state.nodes)}
+        self._node_list = list(state.nodes.values())
+        self._node_rate = np.zeros(len(self._node_list))
+        self._node_free = []
+        self._version += 1
+
     # ------------------------------------------------------------- scoring
     def _ensure_scores(self, now: float) -> bool:
         """Make the score vector current for (*now*, mirror version);
@@ -508,10 +554,14 @@ class ArrayCore:
         from the objects on every pass (cheap: the cluster is small) so
         re-times never leave the mirror stale."""
         for i, node in enumerate(self._node_list):
-            self._node_rate[i] = node.rate
-        # Sequential Python sum in node insertion order — matches
-        # SimState.mean_rate() bit-for-bit (np.sum pairwise-reduces).
-        mean = sum(self._node_rate.tolist()) / len(self._node_list)
+            if node is not None:
+                self._node_rate[i] = node.rate
+        # Sequential Python sum in state.nodes insertion order — matches
+        # SimState.mean_rate() bit-for-bit (np.sum pairwise-reduces, and
+        # the position table's order diverges from dict order once the
+        # free list reuses slots).
+        nodes = self._rt.state.nodes
+        mean = sum(n.rate for n in nodes.values()) / len(nodes)
         nd = self._node[:n]
         # The -1 of unassigned rows wraps to the last node; np.where
         # discards those lanes.
@@ -722,6 +772,7 @@ class ArrayCore:
         from .snapshot import SnapshotError  # local: avoid import cycle
 
         state = self._rt.state
+        self.reset_nodes()
         # Row mapping must be a bijection over registered, un-retired tasks.
         for tid, row in self._row_of.items():
             if not 0 <= row < self._ids.capacity or self._id_of[row] != tid:

@@ -64,12 +64,34 @@ class DispatchSubsystem:
                     raise SimulationError(
                         f"task {tid} scheduled twice ({rt.kernel.position()})"
                     )
-                task.node_id = assignment.node_id
+                node = state.nodes.get(assignment.node_id)
+                if node is None:
+                    if rt.elastic is None:
+                        # Fixed cluster: a plan naming an unknown node is
+                        # a scheduler bug — fail loudly (KeyError), as
+                        # the pre-elastic engine always did.
+                        node = state.nodes[assignment.node_id]
+                    # The offline planner only knows the construction-time
+                    # cluster; its target was decommissioned since.
+                    # Re-home to the least-loaded member (same tie-break
+                    # as backlog reassignment).
+                    node = min(
+                        (
+                            n
+                            for n in state.nodes.values()
+                            if n.available and n.membership == "alive"
+                        ),
+                        key=lambda n: (n.queue_length, n.node_id),
+                        default=min(
+                            state.nodes.values(), key=lambda n: n.node_id
+                        ),
+                    )
+                task.node_id = node.node_id
                 task.planned_start = float(assignment.start)
                 task.state = TaskState.QUEUED
                 task.queued_since = rt.now
                 task.first_enqueued_at = rt.now
-                state.nodes[assignment.node_id].enqueue(tid, task.planned_start)
+                node.enqueue(tid, task.planned_start)
             missing = [
                 tid
                 for j in batch

@@ -58,11 +58,18 @@ import os
 from typing import Any, Mapping, Protocol, Sequence
 
 from ..cluster.cluster import Cluster
-from ..config import DSPConfig, ResilienceConfig, SimConfig, SnapshotConfig
+from ..config import (
+    DSPConfig,
+    ElasticConfig,
+    ResilienceConfig,
+    SimConfig,
+    SnapshotConfig,
+)
 from ..dag.job import Job
 from ..dag.task import Task, TaskState
 from .arraycore import ArrayCore
 from .dispatch import DispatchSubsystem
+from .elastic import ElasticSubsystem, MembershipEvent, normalize_membership_plan
 from .events import EventKind
 from .fault_sub import FaultSubsystem
 from .faults import FaultEvent, fault_sort_key, validate_fault_plan
@@ -216,6 +223,16 @@ class SimEngine:
         at the degraded rate, TASK_FAIL kills the longest-running attempt
         on the node (the stint's progress is lost).  Validated against the
         cluster up front.
+    membership, elastic:
+        Elastic cluster membership (:mod:`repro.sim.elastic`).
+        ``membership`` is a scripted plan of
+        :class:`~repro.sim.elastic.MembershipEvent` join/drain steps
+        (validated against the construction-time cluster up front);
+        ``elastic`` is an :class:`~repro.config.ElasticConfig` tuning the
+        lifecycle knobs and, with ``autoscale=True``, enabling the
+        load-following autoscaler.  Passing either activates the
+        subsystem; the default (both ``None``) keeps the node set fixed
+        and every code path byte-identical to a non-elastic engine.
     resilience:
         Optional :class:`~repro.config.ResilienceConfig` activating the
         dependency-aware resilience layer (:mod:`repro.sim.resilience`):
@@ -265,6 +282,8 @@ class SimEngine:
         stall_timeout: float = 120.0,
         faults: Sequence[FaultEvent] | None = None,
         resilience: ResilienceConfig | None = None,
+        membership: Sequence[MembershipEvent] | None = None,
+        elastic: ElasticConfig | None = None,
         record_trace: bool = False,
         snapshots: SnapshotConfig | None = None,
         journal: str | os.PathLike | None = None,
@@ -287,10 +306,15 @@ class SimEngine:
             if problems:
                 raise ValueError(f"invalid fault plan: {problems[:3]}")
 
+        membership_plan = normalize_membership_plan(membership or (), cluster)
+
         state = build_state(
             cluster, jobs, dsp_config, task_deadlines, allow_empty=streaming
         )
         state.pending_faults = len(self._fault_plan)
+        # The construction-time node set, for snapshot fingerprinting (the
+        # live set churns under elastic membership).
+        self._initial_node_ids = tuple(state.nodes)
         bus = EventBus()
         kernel = Kernel(bus, horizon=sim_config.horizon)
         rt = SimRuntime(
@@ -340,6 +364,12 @@ class SimEngine:
         rt.resilience = (
             ResilienceManager(rt, resilience) if resilience is not None else None
         )
+        self.elastic = (
+            ElasticSubsystem(rt, membership_plan, elastic or ElasticConfig())
+            if (membership_plan or elastic is not None)
+            else None
+        )
+        rt.elastic = self.elastic
 
         # Timed-event handlers: exactly one subsystem per EventKind.
         kernel.on(EventKind.JOB_ARRIVAL, rt.dispatch.on_arrival)
@@ -365,6 +395,11 @@ class SimEngine:
             rt.trace.attach(bus)
         if rt.resilience is not None:
             rt.resilience.attach(bus, kernel)
+        # The elastic subsystem attaches after resilience: its NodeFailed
+        # subscriber (drain-abort) must see the world after the resilience
+        # layer cancelled the dead node's speculative copies.
+        if self.elastic is not None:
+            self.elastic.attach(bus, kernel)
         rt.invariants = (
             InvariantChecker(rt, mode=sim_config.invariants)
             if sim_config.invariants != "off"
@@ -545,6 +580,9 @@ class SimEngine:
         meaningless without the retired/admitted context)."""
         state = self._rt.state
         msg = f"{state.completed_tasks}/{len(state.tasks)} live tasks done"
+        if self.elastic is not None:
+            alive, draining, total = state.node_census()
+            msg += f"; nodes: {alive} alive, {draining} draining, {total} total"
         if state.retired_tasks:
             msg += (
                 f", {state.retired_tasks} tasks retired "

@@ -30,6 +30,7 @@ class EventKind(enum.Enum):
     TASK_FINISH = "task_finish"
     FAULT = "fault"
     SPEC_FINISH = "spec_finish"  # a speculative copy's finish (resilience)
+    MEMBERSHIP = "membership"  # an elastic node-lifecycle step (str payload)
 
 
 @dataclass(frozen=True, slots=True)

@@ -126,6 +126,10 @@ class NodeRuntime:
         self.rate = rate
         self.base_rate = rate  # nominal rate; `rate` drops during stragglers
         self.alive = True      # False while failed (fault injection)
+        #: Elastic lifecycle state ("alive" / "draining" /
+        #: "decommissioned") — orthogonal to ``alive``, which tracks
+        #: fault injection.  Always "alive" without an elastic subsystem.
+        self.membership = "alive"
         self.partitioned = False  # True while unreachable (PARTITION fault)
         self.partitioned_at: float | None = None  # when the partition began
         self.free: ResourceVector = spec.capacity

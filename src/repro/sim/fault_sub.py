@@ -94,18 +94,38 @@ class FaultSubsystem:
         rt.bus.emit(NodeRecovered(rt.now, node.node_id))
         # Backlog may have parked on nodes that died while no node was
         # alive to take it; the revived node must drain it or the run
-        # deadlocks waiting for recoveries that never come.
-        alive = [n for n in rt.state.nodes.values() if n.alive]
+        # deadlocks waiting for recoveries that never come.  A recovered
+        # node can still be partitioned (the PARTITION landed while it
+        # was down): it stays dispatch-gated until its HEAL, receives no
+        # reassigned backlog, and parked work waits for whichever of a
+        # reachable recovery / the heal comes first (the heal handler
+        # runs this same drain).
+        reachable = [n for n in rt.state.nodes.values() if n.available]
+        self._drain_parked_backlog(reachable, skip_dispatch=node)
+        if node.available:
+            rt.dispatch.dispatch(node)
+
+    def _drain_parked_backlog(
+        self,
+        reachable: list[NodeRuntime],
+        skip_dispatch: NodeRuntime | None = None,
+    ) -> int:
+        """Move backlog parked on dead nodes onto *reachable* nodes and
+        re-dispatch the receivers (*skip_dispatch* excluded — its caller
+        dispatches it under its own guards)."""
+        rt = self._rt
+        if not reachable:
+            return 0
         moved = 0
         for dead in rt.state.nodes.values():
             if dead.alive or dead.queue_length == 0:
                 continue
-            moved += self.reassign_backlog(dead, alive)
+            moved += self.reassign_backlog(dead, reachable)
         if moved:
-            for n in alive:
-                if n is not node:
+            for n in reachable:
+                if n is not skip_dispatch:
                     rt.dispatch.dispatch(n)
-        rt.dispatch.dispatch(node)
+        return moved
 
     def reassign_backlog(
         self, source: NodeRuntime, alive: list[NodeRuntime]
@@ -232,6 +252,11 @@ class FaultSubsystem:
                 # could not end then (node unreachable) — start it now.
                 rt.dispatch.activate_stalled(task)
         rt.bus.emit(NodeHealed(now, node.node_id))
+        # A node recovered mid-partition takes no backlog until now (see
+        # _recover_node); with the heal it is a legitimate target again,
+        # so drain whatever parked on dead nodes in the meantime.
+        reachable = [n for n in rt.state.nodes.values() if n.available]
+        self._drain_parked_backlog(reachable, skip_dispatch=node)
         rt.dispatch.dispatch(node)
 
     # ---------------------------------------------------------- task failure

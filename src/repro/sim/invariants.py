@@ -115,6 +115,11 @@ class InvariantChecker:
         self._history: deque[k.BusEvent] = deque(maxlen=_HISTORY)
         self._last_time = 0.0
         self._stall_closed_at: dict[str, float] = {}
+        # Elastic membership conservation: the live node count must always
+        # equal construction-time nodes + joins - decommissions.
+        self._initial_nodes = len(runtime.state.nodes)
+        self._nodes_joined = 0
+        self._nodes_decommissioned = 0
 
     # -------------------------------------------------------------- wiring
     def attach(self, bus: k.EventBus) -> None:
@@ -127,6 +132,10 @@ class InvariantChecker:
         bus.subscribe(k.TaskFinished, self._on_finished)
         bus.subscribe(k.TaskPreempted, self._on_preempted)
         bus.subscribe((k.TaskSuspended, k.TaskAttemptFailed), self._on_lossy)
+        bus.subscribe(k.TaskDrainMigrated, self._on_drain_migrated)
+        bus.subscribe(
+            (k.NodeJoined, k.NodeDecommissioned), self._on_membership_change
+        )
         bus.subscribe_all(self._on_any)
 
     # ------------------------------------------------- snapshot / restore
@@ -147,6 +156,8 @@ class InvariantChecker:
             "counts": dict(self._counts),
             "last_time": self._last_time,
             "stall_closed_at": dict(self._stall_closed_at),
+            "nodes_joined": self._nodes_joined,
+            "nodes_decommissioned": self._nodes_decommissioned,
             "history": [encode_bus_event(ev) for ev in self._history],
             "violations": [
                 [
@@ -168,6 +179,8 @@ class InvariantChecker:
         self._counts = dict(data["counts"])
         self._last_time = data["last_time"]
         self._stall_closed_at = dict(data["stall_closed_at"])
+        self._nodes_joined = data.get("nodes_joined", 0)
+        self._nodes_decommissioned = data.get("nodes_decommissioned", 0)
         self._history = deque(
             (decode_bus_event(ev) for ev in data["history"]), maxlen=_HISTORY
         )
@@ -221,6 +234,7 @@ class InvariantChecker:
         # a fresh dispatch — gates (quarantine) only bar the latter.
         if self._stall_closed_at.pop(ev.task_id, None) != ev.time:
             self._check_ungated(ev, ev.node_id)
+            self._check_member(ev, ev.node_id)
         self._check_parents(ev, ev.task_id, "starts")
         self._check_work_bounds(ev, ev.task_id)
 
@@ -229,6 +243,7 @@ class InvariantChecker:
         # blind dispatch); both reachability and gating apply.
         self._check_reachable(ev, ev.node_id)
         self._check_ungated(ev, ev.node_id)
+        self._check_member(ev, ev.node_id)
 
     def _on_stall_ended(self, ev: k.TaskStallEnded) -> None:
         self._stall_closed_at[ev.task_id] = ev.time
@@ -287,6 +302,39 @@ class InvariantChecker:
         # TaskSuspended / TaskAttemptFailed both carry task_id + lost_mi.
         self._check_lost(ev, ev.task_id, ev.lost_mi)  # type: ignore[attr-defined]
 
+    def _on_drain_migrated(self, ev: k.TaskDrainMigrated) -> None:
+        """A graceful drain migrated a task: losses obey the same
+        checkpoint bound as preemptions — exactly zero with the default
+        perfect checkpointing, so a graceful drain destroys no MI."""
+        self._check_lost(ev, ev.task_id, ev.lost_mi)
+        if self._rt.policy.uses_checkpointing and ev.lost_mi > self._loss_bound(
+            ev.node_id
+        ):
+            self._report(
+                "drain-loss-bound",
+                f"drain migration of {ev.task_id} lost {ev.lost_mi} MI, above "
+                f"the checkpoint-interval bound {self._loss_bound(ev.node_id)}",
+                ev,
+            )
+
+    def _on_membership_change(self, ev: k.BusEvent) -> None:
+        if isinstance(ev, k.NodeJoined):
+            self._nodes_joined += 1
+        else:
+            self._nodes_decommissioned += 1
+        expected = (
+            self._initial_nodes + self._nodes_joined - self._nodes_decommissioned
+        )
+        actual = len(self._rt.state.nodes)
+        if actual != expected:
+            self._report(
+                "membership-conservation",
+                f"{actual} live nodes but {self._initial_nodes} initial "
+                f"+ {self._nodes_joined} joined "
+                f"- {self._nodes_decommissioned} decommissioned = {expected}",
+                ev,
+            )
+
     # --------------------------------------------------------------- checks
     def _check_reachable(self, ev: k.BusEvent, node_id: str) -> None:
         node = self._rt.state.nodes.get(node_id)
@@ -306,6 +354,15 @@ class InvariantChecker:
             self._report(
                 "gated-dispatch",
                 f"fresh dispatch to gated (e.g. quarantined) node {node_id}",
+                ev,
+            )
+
+    def _check_member(self, ev: k.BusEvent, node_id: str) -> None:
+        node = self._rt.state.nodes.get(node_id)
+        if node is not None and node.membership != "alive":
+            self._report(
+                "non-member-dispatch",
+                f"fresh dispatch to {node.membership} node {node_id}",
                 ev,
             )
 
@@ -412,6 +469,26 @@ class InvariantChecker:
                 "fault_counts",
                 sum(metrics.fault_counts.values()),
                 observed.get("FaultInjected", 0),
+            ),
+            (
+                "nodes_joined",
+                metrics.nodes_joined,
+                observed.get("NodeJoined", 0),
+            ),
+            (
+                "nodes_decommissioned",
+                metrics.nodes_decommissioned,
+                observed.get("NodeDecommissioned", 0),
+            ),
+            (
+                "drain_migrations",
+                metrics.drain_migrations,
+                observed.get("TaskDrainMigrated", 0),
+            ),
+            (
+                "drain_aborts",
+                metrics.drain_aborts,
+                observed.get("DrainAborted", 0),
             ),
         ]
         for name, reported, counted in pairs:

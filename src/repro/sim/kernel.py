@@ -64,6 +64,12 @@ __all__ = [
     "NodePartitioned",
     "NodeHealed",
     "NodeQuarantined",
+    "NodeJoining",
+    "NodeJoined",
+    "NodeDraining",
+    "TaskDrainMigrated",
+    "NodeDecommissioned",
+    "DrainAborted",
     "BacklogReassigned",
     "SpeculationLaunched",
     "SpeculationWon",
@@ -318,6 +324,70 @@ class NodeQuarantined(BusEvent):
     """The health tracker quarantined a node."""
 
     node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class NodeJoining(BusEvent):
+    """A new node began provisioning (membership JOINING): it is not yet
+    part of the cluster and takes no dispatch until :class:`NodeJoined`.
+    ``source`` is ``"plan"`` or ``"autoscaler"``."""
+
+    node_id: str
+    source: str
+
+
+@dataclass(frozen=True, slots=True)
+class NodeJoined(BusEvent):
+    """A provisioning node finished joining (JOINING → ALIVE): it is now
+    a cluster member and dispatchable."""
+
+    node_id: str
+
+
+@dataclass(frozen=True, slots=True)
+class NodeDraining(BusEvent):
+    """A member node began a graceful drain (ALIVE → DRAINING): dispatch
+    to it is gated, its backlog re-homes, and its running tasks migrate
+    via the checkpoint-aware preemption path."""
+
+    node_id: str
+    source: str
+    running: int
+    queued: int
+
+
+@dataclass(frozen=True, slots=True)
+class TaskDrainMigrated(BusEvent):
+    """A graceful drain suspended one task for re-placement elsewhere;
+    with checkpointing on, it resumes from its last checkpoint and
+    ``lost_mi`` is bounded by one checkpoint interval (zero with
+    ``checkpoint_interval == 0``)."""
+
+    task_id: str
+    node_id: str
+    lost_mi: float
+
+
+@dataclass(frozen=True, slots=True)
+class NodeDecommissioned(BusEvent):
+    """A drain completed (DRAINING → DECOMMISSIONED): the node is empty
+    and has left the cluster.  ``drain_seconds`` is the DRAINING →
+    DECOMMISSIONED latency; ``migrated`` counts drain-migrated tasks."""
+
+    node_id: str
+    drain_seconds: float
+    migrated: int
+
+
+@dataclass(frozen=True, slots=True)
+class DrainAborted(BusEvent):
+    """A drain ended without decommissioning (DRAINING → ALIVE) — the
+    node failed mid-drain (losses then belong to the ordinary FAULT
+    path), migration stalled past the drain timeout, or the node was the
+    last member left."""
+
+    node_id: str
+    reason: str
 
 
 @dataclass(frozen=True, slots=True)

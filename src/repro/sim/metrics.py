@@ -61,6 +61,17 @@ class RunMetrics:
     jobs_retired: int = 0
     jobs_shed: int = 0
     admission_pauses: int = 0
+    #: Elastic-membership accounting (zero on fixed-cluster runs; the
+    #: as_dict keys appear only when membership actually churned, so
+    #: elastic-disabled golden comparisons stay byte-identical).
+    nodes_joined: int = 0
+    nodes_decommissioned: int = 0
+    scale_up_events: int = 0
+    scale_down_events: int = 0
+    drain_migrations: int = 0
+    drain_aborts: int = 0
+    drain_lost_mi: float = 0.0
+    drain_seconds_total: float = 0.0
 
     @property
     def throughput_tasks_per_ms(self) -> float:
@@ -116,6 +127,22 @@ class RunMetrics:
             out["jobs_retired"] = float(self.jobs_retired)
             out["jobs_shed"] = float(self.jobs_shed)
             out["admission_pauses"] = float(self.admission_pauses)
+        if (
+            self.nodes_joined
+            or self.nodes_decommissioned
+            or self.scale_up_events
+            or self.scale_down_events
+            or self.drain_migrations
+            or self.drain_aborts
+        ):
+            out["nodes_joined"] = float(self.nodes_joined)
+            out["nodes_decommissioned"] = float(self.nodes_decommissioned)
+            out["scale_up_events"] = float(self.scale_up_events)
+            out["scale_down_events"] = float(self.scale_down_events)
+            out["drain_migrations"] = float(self.drain_migrations)
+            out["drain_aborts"] = float(self.drain_aborts)
+            out["drain_lost_mi"] = self.drain_lost_mi
+            out["drain_seconds_total"] = self.drain_seconds_total
         return out
 
 
@@ -159,6 +186,15 @@ class MetricsCollector:
         self.jobs_retired: int = 0
         self.jobs_shed: int = 0
         self.admission_pauses: int = 0
+        # Elastic-membership accounting (zero without the subsystem).
+        self.nodes_joined: int = 0
+        self.nodes_decommissioned: int = 0
+        self.scale_up_events: int = 0
+        self.scale_down_events: int = 0
+        self.drain_migrations: int = 0
+        self.drain_aborts: int = 0
+        self.drain_lost_mi: float = 0.0
+        self.drain_seconds_total: float = 0.0
         self._retired_tasks: int = 0
         self._retired_within_deadline: int = 0
         self._retired_wait_sum: float = 0.0
@@ -196,6 +232,12 @@ class MetricsCollector:
         bus.subscribe(k.NodeQuarantined, self._on_quarantine)
         bus.subscribe(k.JobShed, self._on_job_shed)
         bus.subscribe(k.AdmissionPaused, self._on_admission_paused)
+        bus.subscribe(k.NodeJoining, self._on_node_joining)
+        bus.subscribe(k.NodeJoined, self._on_node_joined)
+        bus.subscribe(k.NodeDraining, self._on_node_draining)
+        bus.subscribe(k.TaskDrainMigrated, self._on_drain_migrated)
+        bus.subscribe(k.NodeDecommissioned, self._on_decommissioned)
+        bus.subscribe(k.DrainAborted, self._on_drain_aborted)
 
     def _on_wait(self, ev: "_k.TaskWaitAccrued") -> None:
         self.record_wait(ev.task_id, ev.seconds)
@@ -259,6 +301,31 @@ class MetricsCollector:
     def _on_admission_paused(self, ev: "_k.AdmissionPaused") -> None:
         self.admission_pauses += 1
 
+    def _on_node_joining(self, ev: "_k.NodeJoining") -> None:
+        if ev.source == "autoscaler":
+            self.scale_up_events += 1
+
+    def _on_node_joined(self, ev: "_k.NodeJoined") -> None:
+        self.nodes_joined += 1
+
+    def _on_node_draining(self, ev: "_k.NodeDraining") -> None:
+        if ev.source == "autoscaler":
+            self.scale_down_events += 1
+
+    def _on_drain_migrated(self, ev: "_k.TaskDrainMigrated") -> None:
+        # Drain losses are accounted *separately* from fault losses
+        # (lost_work_mi) so a graceful drain's zero-loss guarantee stays
+        # auditable under concurrent chaos.
+        self.drain_migrations += 1
+        self.drain_lost_mi += max(0.0, ev.lost_mi)
+
+    def _on_decommissioned(self, ev: "_k.NodeDecommissioned") -> None:
+        self.nodes_decommissioned += 1
+        self.drain_seconds_total += max(0.0, ev.drain_seconds)
+
+    def _on_drain_aborted(self, ev: "_k.DrainAborted") -> None:
+        self.drain_aborts += 1
+
     # -- snapshot / restore ------------------------------------------------
     #: Scalar accumulators (the dict fields are listed in snapshot_state).
     _SCALAR_FIELDS = (
@@ -291,6 +358,18 @@ class MetricsCollector:
         ("_retired_arrival_min", None),
         ("_retired_completion_max", None),
     )
+    #: Elastic-membership accumulators: restored with defaults so
+    #: snapshots written before the subsystem existed stay loadable.
+    _ELASTIC_FIELDS = (
+        ("nodes_joined", 0),
+        ("nodes_decommissioned", 0),
+        ("scale_up_events", 0),
+        ("scale_down_events", 0),
+        ("drain_migrations", 0),
+        ("drain_aborts", 0),
+        ("drain_lost_mi", 0.0),
+        ("drain_seconds_total", 0.0),
+    )
     _DICT_FIELDS = (
         "_latency_samples",
         "fault_counts",
@@ -313,6 +392,8 @@ class MetricsCollector:
         out: dict = {name: getattr(self, name) for name in self._SCALAR_FIELDS}
         for name, _default in self._RETIRE_FIELDS:
             out[name] = getattr(self, name)
+        for name, _default in self._ELASTIC_FIELDS:
+            out[name] = getattr(self, name)
         out["dicts"] = {
             name: dict(getattr(self, name)) for name in self._DICT_FIELDS
         }
@@ -323,6 +404,8 @@ class MetricsCollector:
         for name in self._SCALAR_FIELDS:
             setattr(self, name, data[name])
         for name, default in self._RETIRE_FIELDS:
+            setattr(self, name, data.get(name, default))
+        for name, default in self._ELASTIC_FIELDS:
             setattr(self, name, data.get(name, default))
         for name in self._DICT_FIELDS:
             setattr(self, name, dict(data["dicts"][name]))
@@ -562,4 +645,12 @@ class MetricsCollector:
             jobs_retired=self.jobs_retired,
             jobs_shed=self.jobs_shed,
             admission_pauses=self.admission_pauses,
+            nodes_joined=self.nodes_joined,
+            nodes_decommissioned=self.nodes_decommissioned,
+            scale_up_events=self.scale_up_events,
+            scale_down_events=self.scale_down_events,
+            drain_migrations=self.drain_migrations,
+            drain_aborts=self.drain_aborts,
+            drain_lost_mi=self.drain_lost_mi,
+            drain_seconds_total=self.drain_seconds_total,
         )

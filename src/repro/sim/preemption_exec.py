@@ -21,6 +21,7 @@ from .executor import NodeRuntime, TaskRuntime
 from .kernel import (
     EpochTick,
     SimulationStuck,
+    TaskDrainMigrated,
     TaskPreempted,
     TaskStallEvicted,
     TaskSuspended,
@@ -121,11 +122,13 @@ class PreemptionExecutor:
         ``cause`` selects the accounting: ``"preemption"`` (a policy
         decision — counts toward Fig. 6d and the preemption cap),
         ``"stall"`` (the engine kicked a timed-out stalled task — counted
-        separately, bans the task from blind re-dispatch) or ``"failure"``
+        separately, bans the task from blind re-dispatch), ``"failure"``
         (node fault — no context-switch charge; the reassignment counter
-        covers it).  ``by`` names the preempting task on ``"preemption"``
-        suspends so auditors (the invariant checker's C2 rule) can see who
-        evicted whom.
+        covers it) or ``"drain"`` (elastic scale-down vacating the node —
+        checkpoint-retaining like a preemption, but it neither counts
+        toward the preemption cap nor into fault-loss accounting).  ``by``
+        names the preempting task on ``"preemption"`` suspends so auditors
+        (the invariant checker's C2 rule) can see who evicted whom.
         """
         rt = self._rt
         now = rt.now
@@ -163,6 +166,10 @@ class PreemptionExecutor:
         elif cause == "failure":
             rt.bus.emit(
                 TaskSuspended(now, task.task.task_id, node.node_id, lost)
+            )
+        elif cause == "drain":
+            rt.bus.emit(
+                TaskDrainMigrated(now, task.task.task_id, node.node_id, lost)
             )
         else:
             task.preempt_count += 1
@@ -229,7 +236,9 @@ class PreemptionExecutor:
             return  # a backoff, speculation or quarantine release is due
         queued = sum(node.queue_length for node in state.nodes.values())
         if queued and not state.all_done():
+            alive, draining, total = state.node_census()
             raise SimulationStuck(
                 f"{queued} tasks queued but none dispatchable and nothing "
-                f"running ({rt.kernel.position()})"
+                f"running ({rt.kernel.position()}; nodes: {alive} alive, "
+                f"{draining} draining, {total} total)"
             )

@@ -196,6 +196,18 @@ class ResilienceManager:
         self._spec_versions = dict(data["spec_versions"])
         self._children = None
 
+    # -------------------------------------------------- elastic membership
+    def add_node(self, node_id: str) -> None:
+        """Open a health ledger for a node the elastic subsystem joined
+        (idempotent; restores overwrite it wholesale)."""
+        self._health.setdefault(node_id, 0.0)
+
+    def forget_node(self, node_id: str) -> None:
+        """Drop all per-node bookkeeping for a decommissioned node so the
+        quarantine release sweep and health lookups never chase it."""
+        self._quarantined.pop(node_id, None)
+        self._health.pop(node_id, None)
+
     # ---------------------------------------------------------- retirement
     def retire_tasks(self, task_ids) -> None:
         """Drop per-task bookkeeping for a retired (fully-completed) job
@@ -299,6 +311,16 @@ class ResilienceManager:
         rt.bus.emit(k.SpeculationWaste(rt.now, task_id, waste))
         return spec.node_id
 
+    def cancel_specs_on(self, node_id: str) -> int:
+        """Cancel every in-flight copy running on *node_id* (the elastic
+        drain path calls this before judging the node empty — a copy holds
+        capacity without appearing in ``node.running``).  Returns the
+        number cancelled."""
+        doomed = [t for t, s in self._specs.items() if s.node_id == node_id]
+        for tid in doomed:
+            self.cancel_spec(tid)
+        return len(doomed)
+
     def pop_spec_if_current(
         self, task_id: str, version: int
     ) -> SpeculativeAttempt | None:
@@ -372,8 +394,11 @@ class ResilienceManager:
         for node_id, until in list(self._quarantined.items()):
             if rt.now + EPS >= until:
                 self._quarantined.pop(node_id)
+                node = rt.state.nodes.get(node_id)
+                if node is None:
+                    continue  # decommissioned while quarantined
                 self._health[node_id] = 0.0  # probation served; clean slate
-                rt.dispatch.dispatch(rt.state.nodes[node_id])
+                rt.dispatch.dispatch(node)
 
     def _kill_timed_out_attempts(self) -> None:
         if self._cfg.timeout_factor <= 0:
@@ -433,6 +458,7 @@ class ResilienceManager:
             for n in alive
             if n.node_id != primary.node_id
             and n.node_id not in self._quarantined
+            and n.membership == "alive"  # draining nodes take no copies
             and n.fits(task.task.demand)
         ]
         if not candidates:
@@ -507,6 +533,7 @@ class ResilienceManager:
             for n in self._rt.state.nodes.values()
             if n.available
             and n.node_id not in self._quarantined
+            and n.membership == "alive"  # draining nodes take no retries
             and n.fits(task.task.demand)
         ]
         if not candidates:

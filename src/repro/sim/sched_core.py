@@ -78,6 +78,7 @@ _TASK_EVENTS = (
     k.TransferStarted,
     k.RetryDispatched,
     k.SpeculationWon,
+    k.TaskDrainMigrated,
 )
 
 #: Events after which whole-world signals may have shifted — node rates
@@ -98,6 +99,11 @@ _WORLD_EVENTS = (
     k.NodeHealed,
     k.NodeQuarantined,
     k.BacklogReassigned,
+    # Elastic membership: node-set changes move the cluster mean rate
+    # (and with it every unassigned task's score) — drop the whole memo.
+    k.NodeJoined,
+    k.NodeDecommissioned,
+    k.DrainAborted,
 )
 
 

@@ -105,7 +105,11 @@ def _fingerprint(engine: "SimEngine") -> dict:
     state = rt.state
     return {
         "jobs": [[jid, len(job.tasks)] for jid, job in state.jobs.items()],
-        "nodes": list(state.nodes),
+        # The construction-time node set: the live set churns under
+        # elastic membership, but restore targets are always built from
+        # the original cluster (reconcile then replays the churn).
+        "nodes": list(getattr(engine, "_initial_node_ids", ()) or state.nodes),
+        "elastic": getattr(engine, "elastic", None) is not None,
         "scheduler": type(rt.scheduler).__name__,
         "policy": type(rt.policy).__name__,
         "dependency_aware": rt.dependency_aware,
@@ -221,6 +225,11 @@ def snapshot_engine(engine: "SimEngine") -> dict:
         "resilience": (
             rt.resilience.snapshot_state() if rt.resilience is not None else None
         ),
+        "elastic": (
+            engine.elastic.snapshot_state()
+            if getattr(engine, "elastic", None) is not None
+            else None
+        ),
         "invariants": (
             rt.invariants.snapshot_state() if rt.invariants is not None else None
         ),
@@ -328,6 +337,12 @@ def restore_into(engine: "SimEngine", data: dict) -> None:
         for name in _TASK_FIELDS:
             setattr(trt, name, entry[name])
         trt.state = TaskState(entry["state"])
+
+    # Elastic membership: rebuild the live node set first (joins and
+    # decommissions since construction permute/extend/shrink the node
+    # dict, and the per-node overwrite below indexes the *captured* set).
+    if getattr(engine, "elastic", None) is not None:
+        engine.elastic.reconcile(data.get("elastic"))
 
     # Node runtimes.
     for nid, entry in data["nodes"].items():

@@ -35,6 +35,7 @@ from .kernel import EventBus, Kernel, SimulationStuck
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..sim.policy import PreemptionPolicy
     from .dispatch import DispatchSubsystem
+    from .elastic import ElasticSubsystem
     from .engine import SchedulerLike
     from .fault_sub import FaultSubsystem
     from .invariants import InvariantChecker
@@ -196,6 +197,18 @@ class SimState:
         """Mean processing rate over all nodes (alive or not)."""
         return sum(n.rate for n in self.nodes.values()) / len(self.nodes)
 
+    def node_census(self) -> tuple[int, int, int]:
+        """(alive members, draining, total) — one-glance membership state
+        for stuck-run diagnostics under elastic churn."""
+        alive = 0
+        draining = 0
+        for node in self.nodes.values():
+            if node.membership == "draining":
+                draining += 1
+            elif node.alive:
+                alive += 1
+        return alive, draining, len(self.nodes)
+
     def remaining_time(self, task_id: str, now: float) -> float:
         """Live :math:`t^{rem}` of a task at its assigned node's rate (the
         cluster mean when unassigned)."""
@@ -321,6 +334,7 @@ class SimRuntime:
         #: loops check this to pick the vectorized path.
         self.array: "ArrayCore | None" = None
         self.resilience: "ResilienceManager | None" = None
+        self.elastic: "ElasticSubsystem | None" = None
         self.metrics: "MetricsCollector" = None  # type: ignore[assignment]
         self.trace: "TraceLog | None" = None
         self.invariants: "InvariantChecker | None" = None

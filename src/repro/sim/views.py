@@ -45,6 +45,7 @@ from typing import TYPE_CHECKING
 from .kernel import (
     EventBus,
     TaskAttemptFailed,
+    TaskDrainMigrated,
     TaskFinished,
     TaskPreempted,
     TaskStallEvicted,
@@ -70,6 +71,7 @@ _MEMBERSHIP_EVENTS = (
     TaskStallEvicted,
     TaskSuspended,
     TaskAttemptFailed,
+    TaskDrainMigrated,
 )
 
 
@@ -135,6 +137,12 @@ class ViewCache:
         """Invalidate a node whose running set changed outside the event
         taxonomy (e.g. a speculative-win teardown on the loser's node)."""
         self._dirty.add(node_id)
+
+    def drop_node(self, node_id: str) -> None:
+        """Forget a decommissioned node's structural entry entirely (the
+        elastic subsystem calls this when the node leaves the state)."""
+        self._deps.pop(node_id, None)
+        self._dirty.discard(node_id)
 
     # ------------------------------------------------------------- building
     def _node_entry(

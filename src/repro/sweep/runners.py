@@ -211,6 +211,83 @@ def run_figure_params(
     return figure_to_payload(fig)
 
 
+@register_runner("elastic")
+def run_elastic_params(
+    params: dict[str, Any], stats_path: str | None = None
+) -> dict[str, Any]:
+    """One fixed-vs-elastic comparison leg over a shared workload.
+
+    ``mode="fixed"`` runs the peak fleet from t=0; ``mode="autoscale"``
+    starts from ``base_nodes`` members and lets the load-following
+    autoscaler grow toward the same peak (and drain back down when the
+    backlog empties).  The workload is always calibrated to the *peak*
+    cluster so both legs solve the same problem — the figure contrasts
+    makespan against fleet cost (node-seconds provisioned).
+    """
+    import dataclasses
+
+    from ..cluster.cluster import Cluster
+    from ..config import ElasticConfig
+    from ..core.ilp_heuristic import HeuristicScheduler
+    from ..experiments.harness import build_workload_for_cluster
+    from ..sim import SimEngine
+
+    mode = params.get("mode", "fixed")
+    cfg, sim = _configs(params)
+    sim = dataclasses.replace(sim, invariants="strict")
+    peak_cluster = _build_cluster(params)
+    peak = len(peak_cluster.nodes)
+    base = max(1, int(params.get("base_nodes", max(1, peak // 3))))
+    workload = build_workload_for_cluster(
+        int(params["num_jobs"]),
+        peak_cluster,
+        scale=float(params.get("scale", 20.0)),
+        seed=int(params["seed"]),
+        config=cfg,
+    )
+    if mode == "autoscale":
+        cluster = Cluster(list(peak_cluster.nodes[:base]))
+        elastic = ElasticConfig(
+            autoscale=True,
+            check_period=20.0,
+            scale_up_queue_depth=2.0,
+            scale_up_sustain=40.0,
+            scale_down_idle_nodes=1,
+            scale_down_sustain=240.0,
+            cooldown=60.0,
+            min_nodes=base,
+            max_nodes=peak,
+            join_delay=30.0,
+        )
+    elif mode == "fixed":
+        cluster = peak_cluster
+        elastic = None
+    else:
+        raise ValueError(f"unknown elastic mode {mode!r}")
+    observe, close = _sampled(
+        stats_path, f"{mode}/s{params['seed']}/n{params['num_jobs']}"
+    )
+    engine = SimEngine(
+        cluster,
+        workload.jobs,
+        HeuristicScheduler(cluster, cfg),
+        dsp_config=cfg,
+        sim_config=sim,
+        elastic=elastic,
+    )
+    observe(engine)
+    try:
+        metrics = engine.run()
+    finally:
+        close()
+    result = metrics.as_dict()
+    result["mode"] = mode
+    result["peak_nodes"] = float(peak)
+    result["start_nodes"] = float(len(cluster.nodes))
+    result["final_nodes"] = float(len(engine.runtime.state.nodes))
+    return result
+
+
 @register_runner("soak")
 def run_soak(params: dict[str, Any], stats_path: str | None = None) -> Any:
     from .soakcases import run_soak_params

@@ -271,6 +271,10 @@ def run_soak_params(params: dict[str, Any]) -> dict[str, Any]:
                 case, workload, cluster, plan, out_dir
             )
             described = {"case": case.describe(), "plan_events": len(plan)}
+        elif mode == "elastic":
+            case = module.build_elastic_case(index, base_seed)
+            outcome = module.run_one_elastic_case(case, out_dir)
+            described = {"case": case.describe()}
         elif mode == "replay":
             case = module.build_replay_case(index, base_seed)
             outcome = module.run_one_replay_case(case, out_dir)

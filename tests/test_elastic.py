@@ -1,0 +1,327 @@
+"""Tests for elastic cluster membership: plan model, join/drain
+lifecycle, autoscaler, fault composition and snapshot resume."""
+
+import json
+
+import pytest
+
+from repro.cluster import Cluster, NodeSpec, ResourceVector, uniform_cluster
+from repro.config import ElasticConfig, SimConfig, SnapshotConfig
+from repro.core import HeuristicScheduler
+from repro.dag import Job, Task
+from repro.sim import (
+    FaultEvent,
+    FaultKind,
+    MembershipEvent,
+    SimEngine,
+    SimulatedCrash,
+    inject_crash,
+    latest_valid_snapshot,
+    membership_plan_from_json,
+    membership_plan_to_json,
+    normalize_membership_plan,
+    random_membership_plan,
+)
+
+
+def mk(tid: str, size=5000.0) -> Task:
+    return Task(task_id=tid, job_id="J", size_mi=size,
+                demand=ResourceVector(cpu=1.0, mem=0.5))
+
+
+def one_lane(n: int) -> Cluster:
+    return Cluster([
+        NodeSpec(node_id=f"n{i}", cpu_size=1.0, mem_size=1.0, mips_per_unit=500.0)
+        for i in range(n)
+    ])
+
+
+def one_lane_event(time: float, action: str, node_id: str) -> MembershipEvent:
+    """A MembershipEvent whose join spec matches the one_lane nodes."""
+    return MembershipEvent(
+        time=time, action=action, node_id=node_id,
+        cpu_size=1.0, mem_size=1.0, mips_per_unit=500.0,
+    )
+
+
+def build(cluster, jobs, *, membership=None, elastic=None, **kw):
+    return SimEngine(
+        cluster, jobs, HeuristicScheduler(cluster),
+        sim_config=SimConfig(epoch=1.0, scheduling_period=10.0,
+                             invariants="strict"),
+        membership=membership, elastic=elastic, **kw,
+    )
+
+
+class TestMembershipPlan:
+    def test_normalize_sorts_joins_before_drains(self):
+        cl = one_lane(2)
+        plan = normalize_membership_plan(
+            [one_lane_event(5.0, "drain", "n1"),
+             one_lane_event(5.0, "join", "x0")],
+            cl,
+        )
+        assert [ev.action for ev in plan] == ["join", "drain"]
+
+    def test_join_of_existing_node_rejected(self):
+        with pytest.raises(ValueError, match="already-present"):
+            normalize_membership_plan(
+                [one_lane_event(1.0, "join", "n0")], one_lane(2)
+            )
+
+    def test_drain_of_absent_node_rejected(self):
+        with pytest.raises(ValueError, match="absent"):
+            normalize_membership_plan(
+                [one_lane_event(1.0, "drain", "ghost")], one_lane(2)
+            )
+
+    def test_drain_of_earlier_drained_node_rejected(self):
+        with pytest.raises(ValueError, match="absent"):
+            normalize_membership_plan(
+                [one_lane_event(1.0, "drain", "n1"),
+                 one_lane_event(2.0, "drain", "n1")],
+                one_lane(2),
+            )
+
+    def test_join_then_drain_of_same_node_allowed(self):
+        plan = normalize_membership_plan(
+            [one_lane_event(1.0, "join", "x0"),
+             one_lane_event(9.0, "drain", "x0")],
+            one_lane(2),
+        )
+        assert len(plan) == 2
+
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown membership action"):
+            normalize_membership_plan(
+                [one_lane_event(1.0, "explode", "n0")], one_lane(2)
+            )
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            normalize_membership_plan(
+                [one_lane_event(-1.0, "join", "x0")], one_lane(2)
+            )
+
+    def test_nonpositive_spec_rejected(self):
+        ev = MembershipEvent(time=1.0, action="join", node_id="x0", cpu_size=0.0)
+        with pytest.raises(ValueError, match="non-positive"):
+            normalize_membership_plan([ev], one_lane(2))
+
+    def test_json_round_trip(self):
+        plan = [one_lane_event(3.0, "join", "x0"),
+                one_lane_event(7.0, "drain", "n1")]
+        data = membership_plan_to_json(plan)
+        assert membership_plan_from_json(json.loads(json.dumps(data))) == tuple(plan)
+
+    def test_random_plan_deterministic_and_valid(self):
+        import numpy as np
+
+        cl = uniform_cluster(4)
+        a = random_membership_plan(
+            cl, 1000.0, rng=np.random.default_rng(3), joins=2, drains=2
+        )
+        b = random_membership_plan(
+            cl, 1000.0, rng=np.random.default_rng(3), joins=2, drains=2
+        )
+        assert a == b
+        assert normalize_membership_plan(a, cl) == a
+        # Never drains the first node, so the fleet cannot empty.
+        assert all(ev.node_id != cl.nodes[0].node_id
+                   for ev in a if ev.action == "drain")
+
+
+class TestScriptedJoin:
+    def test_joined_node_takes_work(self):
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(8)], deadline=1e9)
+        eng = build(
+            cl, [job],
+            membership=[one_lane_event(5.0, "join", "x0")],
+            elastic=ElasticConfig(join_delay=5.0),
+        )
+        m = eng.run()
+        assert m.tasks_completed == 8
+        assert m.nodes_joined == 1
+        node = eng.runtime.state.nodes["x0"]
+        assert node.membership == "alive"
+        assert m.as_dict()["nodes_joined"] == 1.0
+
+    def test_join_speeds_up_backlogged_run(self):
+        cl = one_lane(1)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(8)], deadline=1e9)
+        baseline = build(cl, [job]).run()
+        job2 = Job.from_tasks("J", [mk(f"t{i}") for i in range(8)], deadline=1e9)
+        joined = build(
+            one_lane(1), [job2],
+            membership=[one_lane_event(1.0, "join", "x0")],
+            elastic=ElasticConfig(join_delay=1.0),
+        ).run()
+        assert joined.makespan < baseline.makespan
+
+
+class TestScriptedDrain:
+    def test_drain_decommissions_losslessly(self):
+        cl = one_lane(3)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(9)], deadline=1e9)
+        eng = build(
+            cl, [job],
+            membership=[one_lane_event(3.0, "drain", "n1")],
+            elastic=ElasticConfig(drain_step=1.0),
+        )
+        m = eng.run()
+        assert m.tasks_completed == 9
+        assert m.nodes_decommissioned == 1
+        assert "n1" not in eng.runtime.state.nodes
+        # HeuristicScheduler's NullPreemption retains checkpoints and the
+        # default interval (0) checkpoints continuously: zero MI lost.
+        assert m.drain_migrations >= 1
+        assert m.drain_lost_mi == 0.0
+        assert m.lost_work_mi == 0.0
+        assert m.drain_seconds_total > 0.0
+
+    def test_drain_refused_at_min_nodes(self):
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(4)], deadline=1e9)
+        eng = build(
+            cl, [job],
+            membership=[one_lane_event(3.0, "drain", "n1")],
+            elastic=ElasticConfig(min_nodes=2),
+        )
+        m = eng.run()
+        assert m.tasks_completed == 4
+        assert m.nodes_decommissioned == 0
+        assert "n1" in eng.runtime.state.nodes
+        assert eng.runtime.state.nodes["n1"].membership == "alive"
+
+    def test_metrics_disabled_run_has_no_elastic_keys(self):
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(4)], deadline=1e9)
+        eng = build(cl, [job])
+        m = eng.run()
+        assert eng.elastic is None
+        assert not any(key.startswith(("nodes_", "drain_", "scale_"))
+                       for key in m.as_dict())
+
+
+class TestMidDrainFault:
+    def test_fault_mid_drain_aborts_without_double_count(self):
+        cl = one_lane(3)
+        job = Job.from_tasks("J", [mk(f"t{i}") for i in range(9)], deadline=1e9)
+        eng = build(
+            cl, [job],
+            # drain_step far past the failure: the fault, not a drain
+            # step, resolves the DRAINING window.
+            membership=[one_lane_event(3.0, "drain", "n1")],
+            elastic=ElasticConfig(drain_step=50.0),
+            faults=[FaultEvent(4.0, "n1", FaultKind.FAILURE),
+                    FaultEvent(30.0, "n1", FaultKind.RECOVERY)],
+        )
+        m = eng.run()
+        assert m.tasks_completed == 9
+        assert m.drain_aborts == 1
+        assert m.nodes_decommissioned == 0
+        assert m.num_node_failures == 1
+        # All losses are charged by the fault path; none by the drain.
+        assert m.drain_lost_mi == 0.0
+        assert "n1" in eng.runtime.state.nodes
+        assert eng.runtime.state.nodes["n1"].membership == "alive"
+
+
+class TestAutoscaler:
+    CFG = ElasticConfig(
+        autoscale=True, check_period=5.0,
+        scale_up_queue_depth=3.0, scale_up_sustain=10.0,
+        scale_down_idle_nodes=1, scale_down_sustain=30.0,
+        cooldown=20.0, min_nodes=1, max_nodes=4,
+        join_delay=5.0, drain_step=2.0,
+    )
+
+    def test_scales_up_under_backlog_and_back_down(self):
+        cl = one_lane(1)
+        job = Job.from_tasks(
+            "J", [mk(f"t{i}", 20000.0) for i in range(24)], deadline=1e9
+        )
+        eng = build(cl, [job], elastic=self.CFG)
+        m = eng.run()
+        assert m.tasks_completed == 24
+        assert m.scale_up_events >= 1
+        assert m.nodes_joined == m.scale_up_events
+        assert m.scale_down_events >= 1
+        # Fleet bounds respected throughout: never above max_nodes.
+        assert len(eng.runtime.state.nodes) <= self.CFG.max_nodes
+
+    def test_no_scaling_on_idle_cluster(self):
+        cl = one_lane(2)
+        job = Job.from_tasks("J", [mk("t0")], deadline=1e9)
+        cfg = self.CFG.replace(min_nodes=2, scale_down_sustain=5.0)
+        m = build(cl, [job], elastic=cfg).run()
+        # min_nodes floors scale-down; one task never builds queue depth.
+        assert m.scale_up_events == 0
+        assert m.nodes_decommissioned == 0
+
+
+class TestSnapshotResume:
+    def _args(self, tag, tmp_path, crash_at=None):
+        cl = one_lane(3)
+        job = Job.from_tasks("J", [mk(f"t{i}", 8000.0) for i in range(12)],
+                             deadline=1e9)
+        membership = [one_lane_event(3.0, "drain", "n1"),
+                      one_lane_event(20.0, "join", "x0")]
+        kw = dict(
+            membership=membership,
+            elastic=ElasticConfig(drain_step=4.0),
+            journal=tmp_path / f"{tag}.journal",
+            snapshots=SnapshotConfig(directory=str(tmp_path / f"{tag}-snaps"),
+                                     every_events=10),
+        )
+        return cl, [job], kw
+
+    def test_mid_drain_crash_resumes_byte_identical(self, tmp_path):
+        cl, jobs, kw = self._args("ref", tmp_path)
+        ref = build(cl, jobs, **kw).run()
+
+        cl2, jobs2, kw2 = self._args("crash", tmp_path)
+        crashing = build(cl2, jobs2, **kw2)
+        inject_crash(crashing, 60)
+        with pytest.raises(SimulatedCrash):
+            crashing.run()
+
+        _, snap = latest_valid_snapshot(tmp_path / "crash-snaps")
+        cl3, jobs3, kw3 = self._args("crash", tmp_path)
+        kw3.pop("snapshots")
+        resumed = SimEngine.restore(
+            snap, cl3, jobs3, HeuristicScheduler(cl3),
+            sim_config=SimConfig(epoch=1.0, scheduling_period=10.0,
+                                 invariants="strict"),
+            **kw3,
+        )
+        rec = resumed.run()
+        assert rec.as_dict() == ref.as_dict()
+        assert ((tmp_path / "crash.journal").read_bytes()
+                == (tmp_path / "ref.journal").read_bytes())
+        assert rec.nodes_decommissioned == 1
+        assert rec.nodes_joined == 1
+
+
+class TestElasticDisabledParity:
+    def test_inert_subsystem_is_byte_identical_to_plain(self, tmp_path):
+        """An attached-but-inert ElasticSubsystem (empty plan, autoscale
+        off) must not perturb the run at all: same journal bytes, same
+        metrics as an engine without the subsystem."""
+        def leg(tag, elastic):
+            cl = one_lane(2)
+            job = Job.from_tasks("J", [mk(f"t{i}") for i in range(6)],
+                                 deadline=1e9)
+            eng = build(cl, [job], elastic=elastic,
+                        journal=tmp_path / f"{tag}.journal")
+            metrics = eng.run()
+            return eng, metrics
+
+        plain_eng, plain = leg("plain", None)
+        inert_eng, inert = leg("inert", ElasticConfig())
+        assert plain_eng.elastic is None
+        assert inert_eng.elastic is not None
+        assert inert.as_dict() == plain.as_dict()
+        assert ((tmp_path / "inert.journal").read_bytes()
+                == (tmp_path / "plain.journal").read_bytes())

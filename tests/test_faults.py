@@ -523,3 +523,134 @@ class TestSnapshotRestoreUnderFaults:
         assert task.stall_start is not None  # the stall clock survived
         assert resumed.run().as_dict() == ref_metrics
         assert (work / "run.journal").read_bytes() == ref_journal
+
+
+class TestRecoveryWhilePartitioned:
+    """Regression for the RECOVERY × PARTITION race: composed chaos draws
+    its streams independently, so a partition can land in the same
+    instant a node crashes and outlive the crash — the later RECOVERY
+    then arrives while the partition window is still open.  The revived
+    node must come back *alive but unreachable*: dispatch-gated and
+    handed no backlog until its HEAL.
+
+    The plan validator (rightly) refuses to script this ordering, so the
+    tests open the window from a ``NodeFailed`` subscriber — the handler
+    runs at the instant of the crash, which is exactly where the race
+    lives.
+    """
+
+    @staticmethod
+    def _engine(num_tasks, faults):
+        from repro.sim import NodeFailed
+
+        cl = one_lane(2)
+        job = Job.from_tasks(
+            "J", [mk(f"t{i}", size=2000.0) for i in range(num_tasks)],
+            deadline=1e6,
+        )
+        eng = SimEngine(
+            cl, [job], HeuristicScheduler(cl),
+            sim_config=SimConfig(epoch=1.0, scheduling_period=10.0),
+            faults=faults,
+        )
+        rt = eng.runtime
+
+        def _open_partition(ev):
+            if ev.node_id == "n0":
+                node = rt.state.nodes["n0"]
+                node.partitioned = True
+                node.partitioned_at = ev.time
+
+        rt.bus.subscribe(NodeFailed, _open_partition)
+        return eng
+
+    def test_recovery_does_not_reopen_dispatch(self):
+        # No HEAL ever arrives: the recovered node must stay gated for
+        # the rest of the run while the healthy node absorbs everything.
+        from repro.sim import TaskStarted
+
+        eng = self._engine(6, [FaultEvent(3.0, "n0", FaultKind.FAILURE),
+                               FaultEvent(6.0, "n0", FaultKind.RECOVERY)])
+        starts: list[tuple[float, str]] = []
+        eng.runtime.bus.subscribe(
+            TaskStarted, lambda ev: starts.append((ev.time, ev.node_id))
+        )
+        m = eng.run()
+        node = eng.runtime.state.nodes["n0"]
+        assert m.tasks_completed == 6
+        assert node.alive and node.partitioned and not node.available
+        # Every start on n0 predates the crash; the recovery at t=6
+        # reopened nothing.
+        assert all(t < 3.0 for t, nid in starts if nid == "n0")
+        assert any(nid == "n1" for _, nid in starts)
+
+    def test_heal_reopens_dispatch(self):
+        # n1 crashes while n0 sits recovered-but-unreachable, so the
+        # whole backlog lands on n0's gated queue; a HEAL injected at
+        # that instant is the only thing that lets work start again.
+        from repro.sim import NodeFailed, TaskStarted
+
+        eng = self._engine(6, [FaultEvent(3.0, "n0", FaultKind.FAILURE),
+                               FaultEvent(6.0, "n0", FaultKind.RECOVERY),
+                               FaultEvent(9.0, "n1", FaultKind.FAILURE)])
+        rt = eng.runtime
+        starts: list[tuple[float, str]] = []
+        rt.bus.subscribe(
+            TaskStarted, lambda ev: starts.append((ev.time, ev.node_id))
+        )
+
+        def _heal_on_n1_crash(ev):
+            if ev.node_id == "n1":
+                rt.state.pending_faults += 1
+                rt.faults.on_fault(FaultEvent(ev.time, "n0", FaultKind.HEAL))
+
+        rt.bus.subscribe(NodeFailed, _heal_on_n1_crash)
+        m = eng.run()
+        node = rt.state.nodes["n0"]
+        assert m.tasks_completed == 6
+        assert not node.partitioned and node.available
+        # n0 starts split cleanly around the window: before its crash at
+        # t=3 or at/after the heal at t=9, never inside the window.
+        n0_starts = [t for t, nid in starts if nid == "n0"]
+        assert any(t >= 9.0 for t in n0_starts)
+        assert not [t for t in n0_starts if 3.0 <= t < 9.0]
+        assert m.makespan > 9.0
+
+    def test_heal_drains_backlog_parked_on_dead_nodes(self):
+        # Both nodes crash (n1's backlog parks on it — nothing is alive
+        # to take it); n0's recovery lands mid-partition, so the parked
+        # work must keep waiting and only move at the HEAL.  Were either
+        # half of that contract broken the run would deadlock or start
+        # work on an unreachable node.
+        from repro.sim import BacklogReassigned, NodeRecovered, TaskStarted
+
+        eng = self._engine(6, [FaultEvent(3.0, "n0", FaultKind.FAILURE),
+                               FaultEvent(4.0, "n1", FaultKind.FAILURE),
+                               FaultEvent(8.0, "n0", FaultKind.RECOVERY)])
+        rt = eng.runtime
+        moves: list[tuple[float, str]] = []
+        rt.bus.subscribe(
+            BacklogReassigned,
+            lambda ev: moves.append((ev.time, ev.source)),
+        )
+        starts: list[tuple[float, str]] = []
+        rt.bus.subscribe(
+            TaskStarted, lambda ev: starts.append((ev.time, ev.node_id))
+        )
+
+        def _heal_on_recovery(ev):
+            # The heal lands in the recovery instant, before the revived
+            # node looks for parked work.
+            if ev.node_id == "n0":
+                rt.state.pending_faults += 1
+                rt.faults.on_fault(FaultEvent(ev.time, "n0", FaultKind.HEAL))
+
+        rt.bus.subscribe(NodeRecovered, _heal_on_recovery)
+        m = eng.run()
+        assert m.tasks_completed == 6
+        # n1's parked backlog moved exactly once n0 became reachable.
+        assert [t for t, nid in moves if nid == "n1" and t >= 8.0]
+        # All post-recovery work ran on the healed node, none before the
+        # heal instant and none on the still-dead n1.
+        assert all(nid == "n0" for t, nid in starts if t >= 8.0)
+        assert not [t for t, nid in starts if nid == "n1" and t >= 4.0]

@@ -552,6 +552,124 @@ class TestDegradationLadder:
             frontier.run()
 
 
+class TestWatchdogLadderProperties:
+    """Hypothesis: the pause→sweep→shed ladder is monotone for *any*
+    probe sequence — rung N never fires without rung N-1 in the same
+    check — and admission only ever resumes at or under the low-water
+    mark, never inside the hysteresis band.
+
+    The frontier is driven through ``_check_memory`` exactly as the run
+    loop would, with a scripted probe; a parallel reference model of the
+    ladder predicts the pause flag, every shed, and the sample count —
+    rung 2 resamples after its sweep, so sweeps are visible in
+    ``watchdog.samples`` without any instrumentation.
+    """
+
+    CEILING_MB = 1.0
+    CEILING = 1024 * 1024  # CEILING_MB in bytes
+
+    def _frontier(self, spill_dir, readings, resume_fraction):
+        def probe(idx={"i": 0}):
+            i, idx["i"] = idx["i"], idx["i"] + 1
+            return readings[i] if i < len(readings) else readings[-1]
+
+        engine = _streaming_engine(_cluster(2))
+        return StreamingFrontier(
+            engine,
+            _ListSource([_job(f"J{i}", 1) for i in range(len(readings))]),
+            FrontierConfig(
+                max_live_tasks=500,
+                admit_batch=1,
+                pump_pops=8,
+                rss_ceiling_mb=self.CEILING_MB,
+                watchdog_interval=1,
+                resume_fraction=resume_fraction,
+                spill_path=str(spill_dir / "spill.jsonl"),
+            ),
+            probe=probe,
+        )
+
+    @staticmethod
+    def _model(readings, calls, ceiling, resume_below, jobs):
+        """Replay the documented ladder semantics over the same virtual
+        probe tape (exhausted tape repeats its last value)."""
+        i = 0
+
+        def take():
+            nonlocal i
+            v = readings[i] if i < len(readings) else readings[-1]
+            i += 1
+            return int(v)
+
+        paused, sweeps, sheds, remaining = False, 0, 0, jobs
+        for _ in range(calls):
+            r = take()
+            if r > ceiling:
+                if not paused:
+                    paused = True  # rung 1
+                else:
+                    sweeps += 1  # rung 2 …
+                    if take() > ceiling:  # … resamples, then maybe
+                        took = min(1, remaining)  # rung 3 (admit_batch=1)
+                        sheds += took
+                        remaining -= took
+            elif paused and r <= resume_below:
+                paused = False
+        return paused, i, sweeps, sheds
+
+    @given(
+        readings=st.lists(
+            st.integers(min_value=0, max_value=2 * CEILING),
+            min_size=1,
+            max_size=30,
+        ),
+        resume_fraction=st.floats(
+            min_value=0.5, max_value=0.99, allow_nan=False
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_ladder_matches_model(self, readings, resume_fraction):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            frontier = self._frontier(
+                pathlib.Path(tmp), readings, resume_fraction
+            )
+            wd = frontier.watchdog
+            events = []
+            bus = frontier._engine.runtime.bus
+            for kind in (AdmissionPaused, AdmissionResumed, JobShed):
+                bus.subscribe(kind, events.append)
+
+            calls = len(readings)
+            for _ in range(calls):
+                frontier._check_memory()
+
+            paused, consumed, sweeps, sheds = self._model(
+                readings, calls, wd.ceiling, wd.resume_below, len(readings)
+            )
+            pauses = [e for e in events if isinstance(e, AdmissionPaused)]
+            resumes = [e for e in events if isinstance(e, AdmissionResumed)]
+            shed_events = [e for e in events if isinstance(e, JobShed)]
+
+            # The ladder walked exactly the modelled path.
+            assert frontier.paused == paused
+            assert wd.samples == consumed
+            assert wd.samples - calls == sweeps  # each sweep resamples once
+            assert frontier.shed == sheds == len(shed_events)
+            # Monotone: no rung without every rung below it.
+            if shed_events:
+                assert sweeps > 0
+            if sweeps:
+                assert pauses
+            # Pause only ever fires over the ceiling; resume only at or
+            # under the low-water mark — never inside the hysteresis band.
+            assert all(e.rss_bytes > wd.ceiling for e in pauses)
+            assert all(e.rss_bytes <= wd.resume_below for e in resumes)
+            # Pause/resume events alternate and balance the final flag.
+            assert len(pauses) - len(resumes) == (1 if frontier.paused else 0)
+
+
 # =========================================================== crash + resume
 class TestMidStreamResume:
     def _run_reference(self, tmp_path, cluster, spec):
